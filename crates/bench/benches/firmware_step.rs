@@ -1,0 +1,30 @@
+//! Criterion bench: one full firmware-in-the-loop step (sensor frontend,
+//! estimator, failsafes, navigation and physics).
+
+use avis_firmware::{BugSet, Firmware, FirmwareProfile};
+use avis_hinj::SharedInjector;
+use avis_sim::simulator::Simulator;
+use avis_sim::MotorCommands;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_firmware_step(c: &mut Criterion) {
+    c.bench_function("firmware_in_the_loop_step", |b| {
+        let mut sim = Simulator::with_defaults();
+        let mut firmware = Firmware::new(
+            FirmwareProfile::ArduPilotLike,
+            BugSet::none(),
+            SharedInjector::passthrough(),
+        );
+        let mut readings = sim.step(&MotorCommands::IDLE).readings;
+        b.iter(|| {
+            let cmd = firmware.step(&readings, sim.time(), 0.001);
+            let out = sim.step(&cmd);
+            readings = out.readings;
+            black_box(out.state)
+        });
+    });
+}
+
+criterion_group!(benches, bench_firmware_step);
+criterion_main!(benches);

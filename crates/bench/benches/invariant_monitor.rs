@@ -1,0 +1,70 @@
+//! Criterion bench: invariant-monitor calibration and per-trace checking.
+
+use avis::monitor::{InvariantMonitor, MonitorConfig};
+use avis::trace::{ModeTransition, StateSample, Trace};
+use avis_firmware::OperatingMode;
+use avis_sim::Vec3;
+use avis_workload::WorkloadStatus;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn synthetic_run(offset: f64) -> Trace {
+    let dt = 0.1;
+    let mut samples = Vec::new();
+    let mut transitions = vec![ModeTransition { time: 0.0, mode: OperatingMode::PreFlight }];
+    let mut mode = OperatingMode::PreFlight;
+    for k in 0..900 {
+        let t = k as f64 * dt;
+        let (pos, new_mode) = if t < 2.0 {
+            (Vec3::new(offset, 0.0, 0.0), OperatingMode::PreFlight)
+        } else if t < 12.0 {
+            (Vec3::new(offset, 0.0, (t - 2.0) * 2.0), OperatingMode::Takeoff)
+        } else if t < 50.0 {
+            (Vec3::new(offset + (t - 12.0), 0.0, 20.0), OperatingMode::Auto { leg: 1 })
+        } else {
+            (Vec3::new(offset + 38.0, 0.0, (20.0 - (t - 50.0) * 0.7).max(0.0)), OperatingMode::Land)
+        };
+        if new_mode != mode {
+            transitions.push(ModeTransition { time: t, mode: new_mode });
+            mode = new_mode;
+        }
+        samples.push(StateSample { time: t, position: pos, acceleration: Vec3::ZERO, mode });
+    }
+    Trace {
+        sample_interval: dt,
+        samples,
+        mode_transitions: transitions,
+        collision: None,
+        fence_violations: 0,
+        workload_status: WorkloadStatus::Passed,
+        duration: 90.0,
+    }
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let profiling = vec![synthetic_run(0.0), synthetic_run(0.3), synthetic_run(-0.2)];
+
+    c.bench_function("monitor_calibration_3_runs", |b| {
+        b.iter(|| {
+            black_box(InvariantMonitor::calibrate(profiling.clone(), MonitorConfig::default()))
+        });
+    });
+
+    let monitor = InvariantMonitor::calibrate(profiling, MonitorConfig::default());
+    let clean = synthetic_run(0.15);
+    let mut divergent = synthetic_run(0.0);
+    for s in divergent.samples.iter_mut().filter(|s| s.time > 20.0) {
+        s.position.y = (s.time - 20.0) * 5.0;
+        s.mode = OperatingMode::Auto { leg: 1 };
+    }
+
+    c.bench_function("monitor_check_clean_trace", |b| {
+        b.iter(|| black_box(monitor.check(&clean)));
+    });
+    c.bench_function("monitor_check_divergent_trace", |b| {
+        b.iter(|| black_box(monitor.check(&divergent)));
+    });
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench: SABRE queue operations (anchor dequeue, plan
+//! construction with pruning, and re-enqueueing of mode transitions).
+
+use avis::pruning::candidate_failure_sets;
+use avis::sabre::{SabreConfig, SabreQueue};
+use avis_sim::SensorSuiteConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sabre_queue(c: &mut Criterion) {
+    let transitions: Vec<f64> = (0..8).map(|i| 2.0 + i as f64 * 10.0).collect();
+    let candidates = candidate_failure_sets(&SensorSuiteConfig::iris());
+
+    c.bench_function("sabre_anchor_expansion", |b| {
+        b.iter(|| {
+            let mut queue = SabreQueue::new(&transitions, SabreConfig::default());
+            let mut plans = 0usize;
+            while let Some(anchor) = queue.next_anchor() {
+                for set in &candidates {
+                    if let Some(plan) = queue.plan_for(&anchor, set) {
+                        plans += 1;
+                        queue.record_ok(&plan, &transitions[..2]);
+                    }
+                }
+                if plans > 500 {
+                    break;
+                }
+            }
+            black_box(plans)
+        });
+    });
+}
+
+criterion_group!(benches, bench_sabre_queue);
+criterion_main!(benches);

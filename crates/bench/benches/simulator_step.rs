@@ -1,0 +1,25 @@
+//! Criterion bench: raw simulator step throughput (the physics + sensor
+//! synthesis cost that every checked scenario pays per millisecond of
+//! simulated flight).
+
+use avis_sim::simulator::Simulator;
+use avis_sim::MotorCommands;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulator_step(c: &mut Criterion) {
+    c.bench_function("simulator_step_hover", |b| {
+        let mut sim = Simulator::with_defaults();
+        let cmd = MotorCommands::uniform(0.38);
+        b.iter(|| black_box(sim.step(&cmd)));
+    });
+
+    c.bench_function("simulator_step_climb", |b| {
+        let mut sim = Simulator::with_defaults();
+        let cmd = MotorCommands::uniform(0.8);
+        b.iter(|| black_box(sim.step(&cmd)));
+    });
+}
+
+criterion_group!(benches, bench_simulator_step);
+criterion_main!(benches);

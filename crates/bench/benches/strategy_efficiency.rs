@@ -1,0 +1,42 @@
+//! Criterion bench: a scaled-down Table III — how quickly each approach
+//! turns a small simulation budget into unsafe conditions on the buggy
+//! ArduPilot-like code base.
+
+use avis::checker::{Approach, Budget, Checker, CheckerConfig};
+use avis::runner::ExperimentConfig;
+use avis_firmware::{BugSet, FirmwareProfile};
+use avis_workload::auto_box_mission;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_efficiency");
+    group.sample_size(10);
+    for approach in Approach::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(approach.name()),
+            &approach,
+            |b, &approach| {
+                b.iter(|| {
+                    let experiment = ExperimentConfig::new(
+                        FirmwareProfile::ArduPilotLike,
+                        BugSet::current_code_base(FirmwareProfile::ArduPilotLike),
+                        auto_box_mission(),
+                    );
+                    let mut config = CheckerConfig::new(
+                        approach,
+                        experiment,
+                        Budget { max_simulations: 8, max_cost_seconds: 1200.0 },
+                    );
+                    config.profiling_runs = 1;
+                    let result = Checker::new(config).run();
+                    black_box(result.unsafe_count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: the redundancy-elimination policies — sensor-instance
+//! symmetry signatures and found-bug subset checks (Figure 6 / §IV.B.1).
+
+use avis::pruning::{candidate_failure_sets, PruningState, RoleSignature};
+use avis_hinj::{FaultPlan, FaultSpec};
+use avis_sim::{SensorInstance, SensorKind, SensorSuiteConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn plans_for_bench() -> Vec<FaultPlan> {
+    let config = SensorSuiteConfig::iris();
+    candidate_failure_sets(&config)
+        .into_iter()
+        .enumerate()
+        .map(|(i, set)| {
+            FaultPlan::from_specs(
+                set.into_iter().map(|inst| FaultSpec::new(inst, 5.0 + (i % 7) as f64)),
+            )
+        })
+        .collect()
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let plans = plans_for_bench();
+
+    c.bench_function("role_signature_construction", |b| {
+        b.iter(|| {
+            for plan in &plans {
+                black_box(RoleSignature::of(plan));
+            }
+        });
+    });
+
+    c.bench_function("pruning_state_should_prune", |b| {
+        b.iter(|| {
+            let mut state = PruningState::new();
+            // Seed with one found bug so the subset check is exercised.
+            let bug = FaultPlan::from_specs(vec![FaultSpec::new(
+                SensorInstance::new(SensorKind::Gps, 0),
+                5.0,
+            )]);
+            state.record_bug(&bug);
+            let mut pruned = 0usize;
+            for plan in &plans {
+                if state.should_prune(plan) {
+                    pruned += 1;
+                } else {
+                    state.record_explored(plan);
+                }
+            }
+            // Second pass: everything is now a duplicate.
+            for plan in &plans {
+                if state.should_prune(plan) {
+                    pruned += 1;
+                }
+            }
+            black_box(pruned)
+        });
+    });
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

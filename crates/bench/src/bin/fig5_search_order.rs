@@ -1,0 +1,88 @@
+//! Regenerates **Figure 5**: the order in which depth-first search,
+//! breadth-first search and SABRE explore the toy fault space (two sensors
+//! — GPS and barometer — over a five-step workload with mode transitions
+//! at t1, t2 and t4).
+
+use avis::sabre::{SabreConfig, SabreQueue};
+use avis_sim::{SensorInstance, SensorKind};
+
+const STEPS: usize = 5;
+
+fn label(set: &[&str], active: &[bool]) -> String {
+    let names: Vec<&str> =
+        set.iter().zip(active).filter(|(_, &a)| a).map(|(n, _)| *n).collect();
+    if names.is_empty() {
+        "∅".to_string()
+    } else {
+        format!("{{{}}}", names.join(","))
+    }
+}
+
+/// Renders a schedule `<F1,...,F5>` where the chosen sensors fail from
+/// `start` onwards (the paper's permanent-failure fault model).
+fn schedule(sensors: &[bool; 2], start: usize) -> String {
+    let mut cells = Vec::new();
+    for t in 0..STEPS {
+        let active = [sensors[0] && t >= start, sensors[1] && t >= start];
+        cells.push(label(&["GPS", "Baro"], &active));
+    }
+    format!("⟨{}⟩", cells.join(", "))
+}
+
+fn main() {
+    println!("Figure 5: exploration order over 2 sensors x 5 time-steps\n");
+    let subsets: [[bool; 2]; 3] = [[true, false], [false, true], [true, true]];
+
+    println!("Depth-first search (explores the latest step exhaustively first):");
+    let mut count = 0;
+    'dfs: for start in (0..STEPS).rev() {
+        for subset in subsets {
+            println!("  {}", schedule(&subset, start));
+            count += 1;
+            if count >= 6 {
+                println!("  ...");
+                break 'dfs;
+            }
+        }
+    }
+
+    println!("\nBreadth-first search (explores earlier, similar scenarios first):");
+    let mut count = 0;
+    'bfs: for subset in subsets {
+        for start in 0..STEPS {
+            println!("  {}", schedule(&subset, start));
+            count += 1;
+            if count >= 6 {
+                println!("  ...");
+                break 'bfs;
+            }
+        }
+    }
+
+    println!("\nSABRE (anchors at the mode transitions t1, t2, t4 first):");
+    // Mode transitions of the toy workload: takeoff at t1, auto at t2, land at t4.
+    let transitions = [1.0, 2.0, 4.0];
+    let mut queue = SabreQueue::new(&transitions, SabreConfig {
+        time_increment: 1.0,
+        horizon: 4.0,
+        max_queue: 64,
+    });
+    let gps = SensorInstance::new(SensorKind::Gps, 0);
+    let baro = SensorInstance::new(SensorKind::Barometer, 0);
+    let candidate_sets: [(&str, Vec<SensorInstance>); 3] =
+        [("GPS", vec![gps]), ("Baro", vec![baro]), ("GPS,Baro", vec![gps, baro])];
+    let mut shown = 0;
+    while shown < 9 {
+        let Some(anchor) = queue.next_anchor() else { break };
+        for (name, set) in &candidate_sets {
+            if queue.plan_for(&anchor, set).is_some() {
+                let start = anchor.timestamp as usize;
+                let sensors = [name.contains("GPS"), name.contains("Baro")];
+                println!("  {}   (anchor t{})", schedule(&sensors, start), start);
+                shown += 1;
+            }
+        }
+    }
+    println!("\nSABRE reaches the dissimilar scenario at t4 after only the t1/t2 anchors,");
+    println!("whereas DFS and BFS spend their early budget on near-duplicate schedules.");
+}

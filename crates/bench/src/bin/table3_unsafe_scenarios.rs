@@ -1,0 +1,74 @@
+//! Regenerates **Table III**: unsafe scenarios identified by each approach
+//! on each firmware under the same test budget, plus the headline
+//! efficiency ratios (Avis ≈ 2.4× Stratified BFI, ≫ BFI and Random).
+
+use avis::checker::{Approach, Budget, CampaignResult};
+use avis::metrics::{efficiency_ratio, unsafe_scenario_table};
+use avis_bench::{campaign, header, row};
+use avis_firmware::{BugSet, FirmwareProfile};
+use avis_workload::default_workloads;
+
+fn main() {
+    // The paper budgets 2 wall-clock hours of SITL per approach and
+    // workload; this harness budgets by cost seconds (simulated flight time
+    // plus the modelled 10 s BFI labelling latency). Override with the
+    // first CLI argument.
+    let budget_seconds: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(7200.0);
+    eprintln!("running 4 approaches x 2 firmware x 2 workloads ({budget_seconds} s budget each)...");
+
+    let mut results: Vec<CampaignResult> = Vec::new();
+    for approach in Approach::ALL {
+        for profile in FirmwareProfile::ALL {
+            for workload in default_workloads() {
+                results.push(campaign(
+                    approach,
+                    profile,
+                    BugSet::current_code_base(profile),
+                    workload,
+                    Budget::seconds(budget_seconds),
+                ));
+            }
+        }
+    }
+
+    println!("Table III: Unsafe scenarios identified by each approach\n");
+    println!("{}", header(&["Approach", "ArduPilot Unsafe #", "PX4 Unsafe #", "Total #"]));
+    let table = unsafe_scenario_table(&results);
+    for r in &table {
+        println!(
+            "{}",
+            row(&[
+                r.approach.name().to_string(),
+                r.ardupilot.to_string(),
+                r.px4.to_string(),
+                r.total().to_string(),
+            ])
+        );
+    }
+
+    let by_approach = |a: Approach| -> Vec<&CampaignResult> {
+        results.iter().filter(|r| r.approach == a).collect()
+    };
+    let avis = by_approach(Approach::Avis);
+    let sbfi = by_approach(Approach::StratifiedBfi);
+    let bfi = by_approach(Approach::Bfi);
+    println!(
+        "\nEfficiency: Avis / Stratified BFI = {:.1}x (paper: 2.4x)",
+        efficiency_ratio(&avis, &sbfi)
+    );
+    let bfi_ratio = efficiency_ratio(&avis, &bfi);
+    if bfi_ratio.is_finite() {
+        println!("            Avis / BFI            = {bfi_ratio:.0}x (paper: 82x)");
+    } else {
+        println!("            Avis / BFI            = inf (BFI found nothing; paper: 82x)");
+    }
+    println!("\nSimulations executed per approach:");
+    for approach in Approach::ALL {
+        let sims: usize = by_approach(approach).iter().map(|r| r.simulations).sum();
+        let labels: usize = by_approach(approach).iter().map(|r| r.labels_evaluated).sum();
+        println!("  {:15} {sims} runs, {labels} model labels", approach.name());
+    }
+}

@@ -1,0 +1,508 @@
+//! The model-checking campaigns: Avis (SABRE) and the three competing
+//! approaches, run under a common test budget and evaluated by the same
+//! invariant monitor.
+//!
+//! A *campaign* corresponds to one row-cell of the paper's Table III: one
+//! approach, one firmware, one workload, a fixed budget. The paper budgets
+//! by wall-clock time (2 hours of SITL per approach and workload); this
+//! reproduction budgets by *simulated seconds* plus the modelled BFI
+//! labelling latency, which preserves the relative comparison while being
+//! independent of host speed.
+
+use crate::baselines::{BfiModel, DfsSiteIterator, RandomInjection};
+use crate::monitor::{InvariantMonitor, MonitorConfig, Violation};
+use crate::pruning::candidate_failure_sets;
+use crate::runner::{ExperimentConfig, ExperimentRunner, RunResult};
+use crate::sabre::{SabreConfig, SabreQueue};
+use crate::trace::Trace;
+use avis_firmware::{BugId, FirmwareProfile, ModeCategory, OperatingMode};
+use avis_hinj::{FaultPlan, FaultSpec};
+use avis_sim::SensorSuiteConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The fault-injection approaches compared in the paper (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Approach {
+    /// Avis: SABRE ordering, no learned model, redundancy elimination.
+    Avis,
+    /// Stratified BFI: SABRE ordering, injection sites filtered by BFI's model.
+    StratifiedBfi,
+    /// Vanilla BFI: depth-first site enumeration filtered by the model.
+    Bfi,
+    /// Uniformly random injection.
+    Random,
+}
+
+impl Approach {
+    /// All approaches in the order the paper's tables list them.
+    pub const ALL: [Approach; 4] =
+        [Approach::Avis, Approach::StratifiedBfi, Approach::Bfi, Approach::Random];
+
+    /// Display name used in regenerated tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Approach::Avis => "Avis",
+            Approach::StratifiedBfi => "Stratified BFI",
+            Approach::Bfi => "BFI",
+            Approach::Random => "Random",
+        }
+    }
+
+    /// Table I: does the approach target operating-mode transitions?
+    pub fn targets_mode_transitions(self) -> bool {
+        matches!(self, Approach::Avis | Approach::StratifiedBfi)
+    }
+
+    /// Table I: do prior bugs inform the injection sites?
+    pub fn uses_prior_bugs(self) -> bool {
+        matches!(self, Approach::StratifiedBfi | Approach::Bfi)
+    }
+
+    /// Table I: does the approach search dissimilar scenarios first?
+    pub fn searches_dissimilar_first(self) -> bool {
+        matches!(self, Approach::Avis | Approach::StratifiedBfi | Approach::Random)
+    }
+}
+
+impl fmt::Display for Approach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The test budget shared by every approach in a comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Maximum number of simulated test runs.
+    pub max_simulations: usize,
+    /// Maximum accumulated cost in seconds: simulated flight time plus the
+    /// modelled BFI labelling latency.
+    pub max_cost_seconds: f64,
+}
+
+impl Budget {
+    /// A budget expressed purely in cost seconds.
+    pub fn seconds(max_cost_seconds: f64) -> Self {
+        Budget { max_simulations: usize::MAX, max_cost_seconds }
+    }
+
+    /// A budget expressed purely in simulations.
+    pub fn simulations(max_simulations: usize) -> Self {
+        Budget { max_simulations, max_cost_seconds: f64::INFINITY }
+    }
+
+    /// Whether the budget is exhausted at the given consumption.
+    pub fn exhausted(&self, simulations: usize, cost_seconds: f64) -> bool {
+        simulations >= self.max_simulations || cost_seconds >= self.max_cost_seconds
+    }
+}
+
+/// Configuration for one campaign.
+#[derive(Debug, Clone)]
+pub struct CheckerConfig {
+    /// Which approach to run.
+    pub approach: Approach,
+    /// The experiment (firmware, defects, workload, simulation parameters).
+    pub experiment: ExperimentConfig,
+    /// The test budget.
+    pub budget: Budget,
+    /// Number of fault-free profiling runs used to calibrate the monitor.
+    pub profiling_runs: usize,
+    /// Invariant-monitor configuration.
+    pub monitor: MonitorConfig,
+    /// SABRE scheduler configuration (Avis and Stratified BFI).
+    pub sabre: SabreConfig,
+    /// Seed for the random baseline.
+    pub seed: u64,
+}
+
+impl CheckerConfig {
+    /// A configuration with sensible defaults.
+    pub fn new(approach: Approach, experiment: ExperimentConfig, budget: Budget) -> Self {
+        CheckerConfig {
+            approach,
+            experiment,
+            budget,
+            profiling_runs: 3,
+            monitor: MonitorConfig::default(),
+            sabre: SabreConfig::default(),
+            seed: 17,
+        }
+    }
+}
+
+/// One unsafe condition discovered by a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnsafeCondition {
+    /// The fault plan that exposed it.
+    pub plan: FaultPlan,
+    /// The invariant violations the monitor reported.
+    pub violations: Vec<Violation>,
+    /// The mode category in which the (earliest) failure was injected —
+    /// the Table IV axis.
+    pub injection_category: ModeCategory,
+    /// The operating mode active just before the earliest injected failure.
+    pub injection_mode: Option<OperatingMode>,
+    /// Injected defects that activated in the run (maps the unsafe
+    /// condition back to Tables II / V).
+    pub triggered_bugs: Vec<BugId>,
+    /// Number of simulations executed when this condition was found
+    /// (including this one).
+    pub simulations_used: usize,
+    /// Cost consumed when this condition was found (s).
+    pub cost_seconds_used: f64,
+}
+
+/// The outcome of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// The approach that was run.
+    pub approach: Approach,
+    /// The firmware profile under test.
+    pub profile: FirmwareProfile,
+    /// The workload name.
+    pub workload: String,
+    /// Every unsafe condition found, in discovery order.
+    pub unsafe_conditions: Vec<UnsafeCondition>,
+    /// Total simulations executed (including profiling runs).
+    pub simulations: usize,
+    /// Total cost consumed (s).
+    pub cost_seconds: f64,
+    /// Number of model labelling calls (BFI variants only).
+    pub labels_evaluated: usize,
+    /// Scenarios skipped by instance-symmetry / duplicate pruning.
+    pub symmetry_pruned: u64,
+    /// Scenarios skipped by found-bug pruning.
+    pub found_bug_pruned: u64,
+}
+
+impl CampaignResult {
+    /// Number of unsafe conditions found.
+    pub fn unsafe_count(&self) -> usize {
+        self.unsafe_conditions.len()
+    }
+
+    /// The distinct injected defects this campaign exposed.
+    pub fn bugs_found(&self) -> BTreeSet<BugId> {
+        self.unsafe_conditions.iter().flat_map(|u| u.triggered_bugs.iter().copied()).collect()
+    }
+
+    /// Unsafe conditions grouped by the mode category of the injection
+    /// (Table IV).
+    pub fn per_category(&self) -> BTreeMap<ModeCategory, usize> {
+        let mut map = BTreeMap::new();
+        for u in &self.unsafe_conditions {
+            *map.entry(u.injection_category).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Number of simulations needed before the first unsafe condition
+    /// attributable to `bug` was found (Table V), if it was found at all.
+    pub fn simulations_to_find(&self, bug: BugId) -> Option<usize> {
+        self.unsafe_conditions
+            .iter()
+            .find(|u| u.triggered_bugs.contains(&bug))
+            .map(|u| u.simulations_used)
+    }
+}
+
+/// The model checker: runs one campaign according to its configuration.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    config: CheckerConfig,
+}
+
+struct CampaignState {
+    runner: ExperimentRunner,
+    monitor: InvariantMonitor,
+    golden: Trace,
+    simulations: usize,
+    cost_seconds: f64,
+    labels: usize,
+    unsafe_conditions: Vec<UnsafeCondition>,
+}
+
+impl CampaignState {
+    fn budget_exhausted(&self, budget: &Budget) -> bool {
+        budget.exhausted(self.simulations, self.cost_seconds)
+    }
+
+    /// Executes one fault plan, charges its cost and records any unsafe
+    /// condition. Returns the run result and whether it was unsafe.
+    fn execute(&mut self, plan: FaultPlan) -> (RunResult, bool) {
+        let result = self.runner.run_with_plan(plan.clone());
+        self.simulations += 1;
+        self.cost_seconds += result.simulated_seconds;
+        let violations = self.monitor.check(&result.trace);
+        let is_unsafe = !violations.is_empty();
+        if is_unsafe {
+            let injection_time = plan.specs().map(|s| s.time).fold(f64::INFINITY, f64::min);
+            let injection_mode = if injection_time.is_finite() {
+                self.golden.mode_at((injection_time - 0.05).max(0.0))
+            } else {
+                None
+            };
+            // Table IV attributes an unsafe scenario to the mode in which it
+            // manifested (the injected failure persists, so the violation
+            // often occurs one or more modes after the injection anchor).
+            let injection_category = violations
+                .first()
+                .map(|v| v.mode.category())
+                .or_else(|| injection_mode.map(|m| m.category()))
+                .unwrap_or(ModeCategory::Manual);
+            self.unsafe_conditions.push(UnsafeCondition {
+                plan,
+                violations,
+                injection_category,
+                injection_mode,
+                triggered_bugs: result.triggered_defects.clone(),
+                simulations_used: self.simulations,
+                cost_seconds_used: self.cost_seconds,
+            });
+        }
+        (result, is_unsafe)
+    }
+}
+
+impl Checker {
+    /// Creates a checker for the given configuration.
+    pub fn new(config: CheckerConfig) -> Self {
+        Checker { config }
+    }
+
+    /// The checker configuration.
+    pub fn config(&self) -> &CheckerConfig {
+        &self.config
+    }
+
+    /// Runs the campaign to completion (budget exhaustion or fault-space
+    /// exhaustion) and returns the result.
+    pub fn run(&self) -> CampaignResult {
+        let cfg = &self.config;
+        let mut runner = ExperimentRunner::new(cfg.experiment.clone());
+
+        // Profiling runs: calibrate the invariant monitor and discover the
+        // mode transitions that anchor the search.
+        let mut profiling = Vec::new();
+        let mut cost = 0.0;
+        for i in 0..cfg.profiling_runs.max(1) {
+            let run = runner.run_profiling(i as u64);
+            cost += run.simulated_seconds;
+            profiling.push(run);
+        }
+        let monitor = InvariantMonitor::calibrate(
+            profiling.iter().map(|r| r.trace.clone()).collect(),
+            cfg.monitor.clone(),
+        );
+        let golden = profiling[0].trace.clone();
+
+        let mut state = CampaignState {
+            runner,
+            monitor,
+            golden,
+            simulations: profiling.len(),
+            cost_seconds: cost,
+            labels: 0,
+            unsafe_conditions: Vec::new(),
+        };
+
+        let (symmetry_pruned, found_bug_pruned) = match cfg.approach {
+            Approach::Avis => self.run_sabre(&mut state, None),
+            Approach::StratifiedBfi => {
+                self.run_sabre(&mut state, Some(BfiModel::with_default_training()))
+            }
+            Approach::Bfi => {
+                self.run_bfi(&mut state, BfiModel::with_default_training());
+                (0, 0)
+            }
+            Approach::Random => {
+                self.run_random(&mut state);
+                (0, 0)
+            }
+        };
+
+        CampaignResult {
+            approach: cfg.approach,
+            profile: cfg.experiment.profile,
+            workload: cfg.experiment.workload.name().to_string(),
+            unsafe_conditions: state.unsafe_conditions,
+            simulations: state.simulations,
+            cost_seconds: state.cost_seconds,
+            labels_evaluated: state.labels,
+            symmetry_pruned,
+            found_bug_pruned,
+        }
+    }
+
+    /// SABRE-driven exploration, optionally filtered by the BFI model
+    /// (`None` = Avis, `Some` = Stratified BFI).
+    fn run_sabre(&self, state: &mut CampaignState, model: Option<BfiModel>) -> (u64, u64) {
+        let cfg = &self.config;
+        let sensor_config = SensorSuiteConfig::iris();
+        let candidates = candidate_failure_sets(&sensor_config);
+        let sabre_config = SabreConfig {
+            horizon: state.golden.duration.min(cfg.sabre.horizon),
+            ..cfg.sabre
+        };
+        let mut queue = SabreQueue::new(&state.golden.transition_times(), sabre_config);
+
+        'outer: while !queue.is_empty() && !state.budget_exhausted(&cfg.budget) {
+            let Some(anchor) = queue.next_anchor() else { break };
+            let anchor_mode = state.golden.mode_at((anchor.timestamp - 0.05).max(0.0));
+            let anchor_category =
+                anchor_mode.map(|m| m.category()).unwrap_or(ModeCategory::Manual);
+            for set in &candidates {
+                if state.budget_exhausted(&cfg.budget) {
+                    break 'outer;
+                }
+                if let Some(model) = &model {
+                    state.labels += 1;
+                    state.cost_seconds += model.label_cost_seconds;
+                    if !model.predicts_unsafe_set(set, anchor_category) {
+                        continue;
+                    }
+                }
+                let Some(plan) = queue.plan_for(&anchor, set) else { continue };
+                let (result, is_unsafe) = state.execute(plan.clone());
+                if is_unsafe {
+                    queue.record_bug(&plan);
+                } else {
+                    queue.record_ok(&plan, &result.trace.transition_times());
+                }
+            }
+        }
+        (queue.pruning().symmetry_pruned(), queue.pruning().found_bug_pruned())
+    }
+
+    /// Vanilla BFI: depth-first enumeration of individual sensor-read
+    /// sites, each labelled by the model at the measured inference latency.
+    fn run_bfi(&self, state: &mut CampaignState, model: BfiModel) {
+        let cfg = &self.config;
+        let sensor_config = SensorSuiteConfig::iris();
+        let sites =
+            DfsSiteIterator::new(&sensor_config, state.golden.duration, cfg.experiment.dt);
+        for (instance, time) in sites {
+            if state.budget_exhausted(&cfg.budget) {
+                break;
+            }
+            state.labels += 1;
+            state.cost_seconds += model.label_cost_seconds;
+            let category = state
+                .golden
+                .mode_at((time - 0.05).max(0.0))
+                .map(|m| m.category())
+                .unwrap_or(ModeCategory::Manual);
+            if !model.predicts_unsafe(instance.kind, category) {
+                continue;
+            }
+            if state.budget_exhausted(&cfg.budget) {
+                break;
+            }
+            let plan = FaultPlan::from_specs(vec![FaultSpec::new(instance, time)]);
+            state.execute(plan);
+        }
+    }
+
+    /// Uniformly random fault injection.
+    fn run_random(&self, state: &mut CampaignState) {
+        let cfg = &self.config;
+        let sensor_config = SensorSuiteConfig::iris();
+        let mut random =
+            RandomInjection::new(&sensor_config, state.golden.duration, cfg.seed);
+        while !state.budget_exhausted(&cfg.budget) {
+            let plan = random.next_plan();
+            state.execute(plan);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avis_firmware::BugSet;
+    use avis_sim::SensorNoise;
+    use avis_workload::auto_box_mission;
+
+    fn small_experiment(bugs: BugSet) -> ExperimentConfig {
+        let mut exp =
+            ExperimentConfig::new(FirmwareProfile::ArduPilotLike, bugs, auto_box_mission());
+        exp.noise = Some(SensorNoise::default());
+        exp.max_duration = 110.0;
+        exp
+    }
+
+    #[test]
+    fn approach_feature_matrix_matches_table_i() {
+        assert!(Approach::Avis.targets_mode_transitions());
+        assert!(Approach::StratifiedBfi.targets_mode_transitions());
+        assert!(!Approach::Bfi.targets_mode_transitions());
+        assert!(!Approach::Random.targets_mode_transitions());
+
+        assert!(!Approach::Avis.uses_prior_bugs());
+        assert!(Approach::StratifiedBfi.uses_prior_bugs());
+        assert!(Approach::Bfi.uses_prior_bugs());
+        assert!(!Approach::Random.uses_prior_bugs());
+
+        assert!(Approach::Avis.searches_dissimilar_first());
+        assert!(Approach::StratifiedBfi.searches_dissimilar_first());
+        assert!(!Approach::Bfi.searches_dissimilar_first());
+        assert!(Approach::Random.searches_dissimilar_first());
+        assert_eq!(Approach::ALL.len(), 4);
+    }
+
+    #[test]
+    fn budget_exhaustion_rules() {
+        let b = Budget { max_simulations: 10, max_cost_seconds: 100.0 };
+        assert!(!b.exhausted(5, 50.0));
+        assert!(b.exhausted(10, 50.0));
+        assert!(b.exhausted(5, 100.0));
+        assert!(!Budget::seconds(100.0).exhausted(1_000_000, 99.0));
+        assert!(Budget::simulations(3).exhausted(3, 0.0));
+    }
+
+    // The end-to-end campaign comparisons live in the integration tests and
+    // bench harnesses (they need release-grade run times); here we only run
+    // a tiny Avis campaign to validate the plumbing.
+    #[test]
+    fn tiny_avis_campaign_finds_a_bug_in_the_buggy_code_base() {
+        let bugs = BugSet::current_code_base(FirmwareProfile::ArduPilotLike);
+        let mut config = CheckerConfig::new(
+            Approach::Avis,
+            small_experiment(bugs),
+            Budget::simulations(14),
+        );
+        config.profiling_runs = 2;
+        let result = Checker::new(config).run();
+        assert!(result.simulations <= 14);
+        assert!(
+            !result.unsafe_conditions.is_empty(),
+            "a small SABRE campaign on the buggy code base should expose at least one unsafe condition"
+        );
+        assert!(!result.bugs_found().is_empty());
+        // Every unsafe condition carries a plan and at least one violation.
+        for u in &result.unsafe_conditions {
+            assert!(!u.plan.is_empty());
+            assert!(!u.violations.is_empty());
+            assert!(u.simulations_used <= result.simulations);
+        }
+    }
+
+    #[test]
+    fn fixed_code_base_yields_no_unsafe_conditions_in_a_small_campaign() {
+        let mut config = CheckerConfig::new(
+            Approach::Avis,
+            small_experiment(BugSet::none()),
+            Budget::simulations(10),
+        );
+        config.profiling_runs = 2;
+        let result = Checker::new(config).run();
+        assert!(
+            result.unsafe_conditions.is_empty(),
+            "no false positives on the fixed code base: {:?}",
+            result.unsafe_conditions
+        );
+    }
+}

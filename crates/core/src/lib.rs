@@ -1,0 +1,77 @@
+//! # avis
+//!
+//! A from-scratch Rust reproduction of **Avis: In-Situ Model Checking for
+//! Unmanned Aerial Vehicles** (DSN 2021).
+//!
+//! Avis systematically injects *clean sensor failures* into a UAV control
+//! firmware running in simulation and searches for failures that drive the
+//! vehicle into unsafe conditions (crashes, fly-aways, stalled missions).
+//! Its key idea is to anchor fault injection at the firmware's
+//! *operating-mode transitions* — the points where mode-specific failure
+//! handling is most likely to be wrong — using the SABRE stratified
+//! breadth-first search, while pruning redundant scenarios via sensor-
+//! instance symmetry and found-bug pruning.
+//!
+//! This crate is the checker itself. The substrates it drives live in the
+//! sibling crates: `avis-sim` (physics + sensors), `avis-firmware` (the
+//! ArduPilot/PX4-like flight stack with the paper's 15 injectable bugs),
+//! `avis-hinj` (the fault-injection interface), `avis-mavlite` (the
+//! protocol layer) and `avis-workload` (the workload framework).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use avis::checker::{Approach, Budget, Checker, CheckerConfig};
+//! use avis::runner::ExperimentConfig;
+//! use avis_firmware::{BugSet, FirmwareProfile};
+//! use avis_workload::auto_box_mission;
+//!
+//! // Check the "current code base" (all unknown bugs present) with Avis.
+//! let experiment = ExperimentConfig::new(
+//!     FirmwareProfile::ArduPilotLike,
+//!     BugSet::current_code_base(FirmwareProfile::ArduPilotLike),
+//!     auto_box_mission(),
+//! );
+//! let config = CheckerConfig::new(Approach::Avis, experiment, Budget::simulations(50));
+//! let result = Checker::new(config).run();
+//! for condition in &result.unsafe_conditions {
+//!     println!("unsafe: {} ({:?})", condition.plan, condition.triggered_bugs);
+//! }
+//! ```
+//!
+//! ## Module map
+//!
+//! | Module | Paper section | Contents |
+//! |---|---|---|
+//! | [`runner`] | Fig. 7 | provisioning + lock-step execution of one test run |
+//! | [`trace`] | §IV.C | the `(P, α, M)` state traces the monitor consumes |
+//! | [`monitor`] | §IV.C | safety + liveliness invariants, mode graph, τ calibration |
+//! | [`sabre`] | §IV.B, Alg. 1 | the stratified breadth-first transition queue |
+//! | [`pruning`] | §IV.B.1 | sensor-instance symmetry and found-bug pruning |
+//! | [`baselines`] | §VI | Random, BFI and the BFI model used by Stratified BFI |
+//! | [`checker`] | §VI | campaign loops, budgets, unsafe-condition records |
+//! | [`metrics`] | Tables III/IV | aggregation into the paper's tables |
+//! | [`report`] | §IV.D | bug reports and replay |
+//! | [`study`] | §III, Fig. 3 | the sensor-bug impact study pipeline |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod checker;
+pub mod metrics;
+pub mod monitor;
+pub mod pruning;
+pub mod report;
+pub mod runner;
+pub mod sabre;
+pub mod study;
+pub mod trace;
+
+pub use checker::{Approach, Budget, CampaignResult, Checker, CheckerConfig, UnsafeCondition};
+pub use monitor::{InvariantMonitor, ModeGraph, MonitorConfig, Violation, ViolationKind};
+pub use pruning::{PruningState, RoleSignature};
+pub use report::{replay, BugReport, ReplayOutcome};
+pub use runner::{ExperimentConfig, ExperimentRunner, RunResult};
+pub use sabre::{QueueEntry, SabreConfig, SabreQueue};
+pub use trace::{ModeTransition, StateSample, Trace};

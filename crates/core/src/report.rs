@@ -1,0 +1,140 @@
+//! Bug reports and replay (§IV.D).
+//!
+//! When the invariant monitor flags an unsafe condition, Avis records the
+//! failures it injected so the scenario can be reconstructed. Replay
+//! re-executes the mission with the same faults at the same offsets from
+//! the mode transitions they were anchored to; the deterministic simulator
+//! makes the reproduction exact, and the report records whether the
+//! violation manifested again.
+
+use crate::checker::UnsafeCondition;
+use crate::monitor::{InvariantMonitor, Violation};
+use crate::runner::ExperimentRunner;
+use avis_firmware::{BugId, FirmwareProfile};
+use avis_hinj::FaultPlan;
+use serde::{Deserialize, Serialize};
+
+/// A reproducible bug report generated from an unsafe condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BugReport {
+    /// Firmware the report applies to.
+    pub profile: FirmwareProfile,
+    /// The workload that was running.
+    pub workload: String,
+    /// The injected failures.
+    pub plan: FaultPlan,
+    /// The violations observed.
+    pub violations: Vec<Violation>,
+    /// Injected defects known to have activated (empty for real campaigns
+    /// against unknown code).
+    pub suspected_bugs: Vec<BugId>,
+}
+
+impl BugReport {
+    /// Builds a report from an unsafe condition found by a campaign.
+    pub fn from_unsafe_condition(
+        profile: FirmwareProfile,
+        workload: &str,
+        condition: &UnsafeCondition,
+    ) -> Self {
+        BugReport {
+            profile,
+            workload: workload.to_string(),
+            plan: condition.plan.clone(),
+            violations: condition.violations.clone(),
+            suspected_bugs: condition.triggered_bugs.clone(),
+        }
+    }
+
+    /// Serialises the report to pretty JSON (the artefact format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bug reports are always serialisable")
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+/// The result of replaying a report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayOutcome {
+    /// Violations observed during the replay.
+    pub violations: Vec<Violation>,
+    /// Whether the replay reproduced at least one violation of the same
+    /// kind class as the original report.
+    pub reproduced: bool,
+}
+
+/// Replays a bug report against a runner and monitor, returning whether
+/// the unsafe condition manifested again.
+pub fn replay(
+    report: &BugReport,
+    runner: &mut ExperimentRunner,
+    monitor: &InvariantMonitor,
+) -> ReplayOutcome {
+    let result = runner.run_with_plan(report.plan.clone());
+    let violations = monitor.check(&result.trace);
+    let reproduced = !violations.is_empty();
+    ReplayOutcome { violations, reproduced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::UnsafeCondition;
+    use crate::monitor::ViolationKind;
+    use avis_firmware::{ModeCategory, OperatingMode};
+    use avis_hinj::FaultSpec;
+    use avis_sim::{SensorInstance, SensorKind};
+
+    fn condition() -> UnsafeCondition {
+        UnsafeCondition {
+            plan: FaultPlan::from_specs(vec![FaultSpec::new(
+                SensorInstance::new(SensorKind::Gps, 0),
+                12.5,
+            )]),
+            violations: vec![Violation {
+                kind: ViolationKind::Collision { impact_speed: 3.0 },
+                time: 20.0,
+                mode: OperatingMode::Land,
+            }],
+            injection_category: ModeCategory::Waypoint,
+            injection_mode: Some(OperatingMode::Auto { leg: 1 }),
+            triggered_bugs: vec![BugId::Apm16020],
+            simulations_used: 5,
+            cost_seconds_used: 400.0,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BugReport::from_unsafe_condition(
+            FirmwareProfile::ArduPilotLike,
+            "auto-box-mission",
+            &condition(),
+        );
+        let json = report.to_json();
+        assert!(json.to_lowercase().contains("gps"));
+        assert!(json.contains("auto-box-mission"));
+        let parsed = BugReport::from_json(&json).expect("round trip");
+        assert_eq!(parsed, report);
+        assert!(BugReport::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn report_captures_condition_fields() {
+        let c = condition();
+        let report =
+            BugReport::from_unsafe_condition(FirmwareProfile::Px4Like, "manual-box-survey", &c);
+        assert_eq!(report.profile, FirmwareProfile::Px4Like);
+        assert_eq!(report.plan, c.plan);
+        assert_eq!(report.suspected_bugs, vec![BugId::Apm16020]);
+        assert_eq!(report.violations.len(), 1);
+    }
+}

@@ -1,0 +1,312 @@
+//! The experiment runner: provisions a fresh simulator + firmware +
+//! workload per test, executes one fault-injection scenario in lock-step
+//! and records the [`Trace`] (the `RunExperiment` procedure of
+//! Algorithm 1, and the step loop of Figure 7).
+
+use crate::trace::{transition_from_code, ModeTransition, StateSample, Trace};
+use avis_firmware::{BugId, BugSet, Firmware, FirmwareProfile};
+use avis_hinj::{FaultInjector, FaultPlan, SharedInjector};
+use avis_sim::simulator::{SimConfig, Simulator};
+use avis_sim::{MotorCommands, SensorNoise};
+use avis_workload::{ScriptedWorkload, WorkloadStatus};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an experiment: which firmware, which injected defects,
+/// which workload, and the simulation parameters shared by every run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Firmware profile under test.
+    pub profile: FirmwareProfile,
+    /// Defects compiled into the firmware ("current code base" or a single
+    /// re-inserted bug).
+    pub bugs: BugSet,
+    /// The workload to execute.
+    pub workload: ScriptedWorkload,
+    /// Simulation time-step (s).
+    pub dt: f64,
+    /// Hard cap on simulated time per run (s).
+    pub max_duration: f64,
+    /// Interval at which the trace is sampled (s).
+    pub sample_interval: f64,
+    /// Base RNG seed for sensor noise. Each run adds its own offset so
+    /// profiling runs differ realistically.
+    pub seed: u64,
+    /// Sensor noise level (`None` keeps the simulator default).
+    pub noise: Option<SensorNoise>,
+    /// Extra simulated seconds to keep running after the workload reaches a
+    /// terminal state (so post-landing behaviour is captured).
+    pub grace_period: f64,
+}
+
+impl ExperimentConfig {
+    /// A configuration with sensible defaults for the given profile,
+    /// defects and workload.
+    pub fn new(profile: FirmwareProfile, bugs: BugSet, workload: ScriptedWorkload) -> Self {
+        ExperimentConfig {
+            profile,
+            bugs,
+            workload,
+            dt: 0.0025,
+            max_duration: 150.0,
+            sample_interval: 0.1,
+            seed: 7,
+            noise: None,
+            grace_period: 2.0,
+        }
+    }
+}
+
+/// The outcome of one simulated test run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The fault plan that was injected.
+    pub plan: FaultPlan,
+    /// The recorded trace.
+    pub trace: Trace,
+    /// Simulated duration of the run (s) — the "cost" charged against the
+    /// checker's test budget.
+    pub simulated_seconds: f64,
+    /// Injected defects that activated during the run (used to map unsafe
+    /// conditions back to the bugs of Tables II and V).
+    pub triggered_defects: Vec<BugId>,
+}
+
+impl RunResult {
+    /// Whether the run ended in a physical collision.
+    pub fn crashed(&self) -> bool {
+        self.trace.collision.is_some()
+    }
+}
+
+/// The experiment runner.
+#[derive(Debug, Clone)]
+pub struct ExperimentRunner {
+    config: ExperimentConfig,
+    runs: u64,
+}
+
+impl ExperimentRunner {
+    /// Creates a runner for the given configuration.
+    pub fn new(config: ExperimentConfig) -> Self {
+        assert!(config.dt > 0.0, "dt must be positive");
+        assert!(config.sample_interval >= config.dt, "sample interval must be >= dt");
+        ExperimentRunner { config, runs: 0 }
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Number of runs executed so far.
+    pub fn runs_executed(&self) -> u64 {
+        self.runs
+    }
+
+    /// Executes the workload with no injected faults (a golden / profiling
+    /// run). `profiling_index` varies the sensor-noise seed so profiling
+    /// runs differ the way real repeated flights do.
+    pub fn run_profiling(&mut self, profiling_index: u64) -> RunResult {
+        self.execute(FaultPlan::empty(), profiling_index + 1)
+    }
+
+    /// Executes one fault-injection scenario.
+    pub fn run_with_plan(&mut self, plan: FaultPlan) -> RunResult {
+        self.execute(plan, 0)
+    }
+
+    fn execute(&mut self, plan: FaultPlan, seed_offset: u64) -> RunResult {
+        self.runs += 1;
+        let cfg = &self.config;
+
+        let mut sim_config = SimConfig {
+            dt: cfg.dt,
+            seed: cfg.seed.wrapping_add(seed_offset),
+            ..SimConfig::default()
+        };
+        if let Some(noise) = &cfg.noise {
+            sim_config.sensors.noise = noise.clone();
+        }
+        let mut sim = Simulator::new(sim_config, cfg.workload.environment().clone());
+        let injector = SharedInjector::new(FaultInjector::new(plan.clone()));
+        let mut firmware = Firmware::new(cfg.profile, cfg.bugs.clone(), injector.clone());
+        let mut workload = cfg.workload.fresh();
+
+        let mut samples: Vec<StateSample> = Vec::new();
+        let mut fence_violations = 0usize;
+        let mut next_sample_time = 0.0;
+        let mut workload_status = WorkloadStatus::Running;
+        let mut terminal_since: Option<f64> = None;
+
+        // Prime the loop with one idle simulator step to obtain readings.
+        let mut output = sim.step(&MotorCommands::IDLE);
+
+        while sim.time() < cfg.max_duration {
+            let time = sim.time();
+            // Ground-station side: deliver telemetry, collect commands.
+            let telemetry = firmware.drain_outbox();
+            let (commands, status) = workload.tick(&telemetry, time);
+            firmware.handle_messages(commands.iter());
+            workload_status = status;
+            if workload_status.is_terminal() {
+                let since = *terminal_since.get_or_insert(time);
+                if time - since >= cfg.grace_period {
+                    break;
+                }
+            }
+
+            // Firmware control step, then physics.
+            let motor = firmware.step(&output.readings, time, cfg.dt);
+            output = sim.step(&motor);
+            if !output.violated_fences.is_empty() {
+                fence_violations += 1;
+            }
+
+            // Trace sampling.
+            if time >= next_sample_time {
+                samples.push(StateSample {
+                    time,
+                    position: output.state.position,
+                    acceleration: output.state.acceleration,
+                    mode: firmware.mode(),
+                });
+                next_sample_time += cfg.sample_interval;
+            }
+        }
+
+        let mode_transitions: Vec<ModeTransition> = injector
+            .mode_transitions()
+            .into_iter()
+            .filter_map(|r| transition_from_code(r.time, r.to))
+            .collect();
+
+        let duration = sim.time();
+        let trace = Trace {
+            sample_interval: cfg.sample_interval,
+            samples,
+            mode_transitions,
+            collision: sim.first_collision(),
+            fence_violations,
+            workload_status,
+            duration,
+        };
+        let mut triggered_defects: Vec<BugId> = firmware
+            .defect_log()
+            .iter()
+            .flat_map(|(_, o)| o.active.iter().copied())
+            .collect();
+        triggered_defects.sort_unstable();
+        triggered_defects.dedup();
+        RunResult { plan, trace, simulated_seconds: duration, triggered_defects }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avis_firmware::{BugId, OperatingMode};
+    use avis_hinj::FaultSpec;
+    use avis_sim::{SensorInstance, SensorKind};
+    use avis_workload::auto_box_mission;
+
+    fn quiet_config(bugs: BugSet) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::new(FirmwareProfile::ArduPilotLike, bugs, auto_box_mission());
+        cfg.noise = Some(SensorNoise::noiseless());
+        cfg.max_duration = 120.0;
+        cfg
+    }
+
+    #[test]
+    fn golden_run_passes_and_does_not_crash() {
+        let mut runner = ExperimentRunner::new(quiet_config(BugSet::none()));
+        let result = runner.run_profiling(0);
+        assert_eq!(result.trace.workload_status, WorkloadStatus::Passed);
+        assert!(!result.crashed());
+        assert!(result.trace.max_altitude() > 15.0, "the mission climbs to ~20 m");
+        assert!(result.trace.len() > 100, "trace is sampled throughout the run");
+        assert!(result.simulated_seconds > 30.0);
+        assert_eq!(runner.runs_executed(), 1);
+        // The mode transitions include takeoff, auto legs and landing.
+        let modes: Vec<OperatingMode> =
+            result.trace.mode_transitions.iter().map(|t| t.mode).collect();
+        assert!(modes.contains(&OperatingMode::Takeoff));
+        assert!(modes.iter().any(|m| m.is_auto()));
+        assert!(modes.contains(&OperatingMode::Land));
+    }
+
+    #[test]
+    fn profiling_runs_with_different_indices_differ_slightly() {
+        let mut cfg = quiet_config(BugSet::none());
+        cfg.noise = None; // keep the default noise so runs differ
+        let mut runner = ExperimentRunner::new(cfg);
+        let a = runner.run_profiling(0);
+        let b = runner.run_profiling(1);
+        assert_eq!(a.trace.workload_status, WorkloadStatus::Passed);
+        assert_eq!(b.trace.workload_status, WorkloadStatus::Passed);
+        assert_ne!(a.trace.samples, b.trace.samples, "different noise seeds");
+    }
+
+    #[test]
+    fn identical_plans_replay_identically() {
+        let plan = FaultPlan::from_specs(vec![FaultSpec::new(
+            SensorInstance::new(SensorKind::Gps, 1),
+            30.0,
+        )]);
+        let mut runner = ExperimentRunner::new(quiet_config(BugSet::none()));
+        let a = runner.run_with_plan(plan.clone());
+        let b = runner.run_with_plan(plan);
+        assert_eq!(a.trace.samples, b.trace.samples, "replay must be deterministic");
+    }
+
+    #[test]
+    fn fault_free_run_with_current_code_base_is_still_safe() {
+        // The injected defects only corrupt behaviour when their trigger
+        // sensor fails; without injection the mission completes normally.
+        let bugs = BugSet::current_code_base(FirmwareProfile::ArduPilotLike);
+        let mut runner = ExperimentRunner::new(quiet_config(bugs));
+        let result = runner.run_profiling(0);
+        assert_eq!(result.trace.workload_status, WorkloadStatus::Passed);
+        assert!(!result.crashed());
+    }
+
+    #[test]
+    fn injected_accel_failure_during_takeoff_crashes_buggy_firmware() {
+        // APM-16021: primary accelerometer failure during the climb.
+        let bugs = BugSet::only(BugId::Apm16021);
+        let mut runner = ExperimentRunner::new(quiet_config(bugs));
+        // Profile first to find the takeoff window.
+        let golden = runner.run_profiling(0);
+        let takeoff_time = golden
+            .trace
+            .mode_transitions
+            .iter()
+            .find(|t| t.mode == OperatingMode::Takeoff)
+            .map(|t| t.time)
+            .expect("golden run takes off");
+        let plan = FaultPlan::from_specs(vec![FaultSpec::new(
+            SensorInstance::new(SensorKind::Accelerometer, 0),
+            takeoff_time + 4.0,
+        )]);
+        let result = runner.run_with_plan(plan);
+        assert!(result.crashed(), "the APM-16021 defect crashes the vehicle");
+    }
+
+    #[test]
+    fn same_failure_without_the_bug_is_handled_safely() {
+        let mut runner = ExperimentRunner::new(quiet_config(BugSet::none()));
+        let golden = runner.run_profiling(0);
+        let takeoff_time = golden
+            .trace
+            .mode_transitions
+            .iter()
+            .find(|t| t.mode == OperatingMode::Takeoff)
+            .map(|t| t.time)
+            .unwrap();
+        let plan = FaultPlan::from_specs(vec![FaultSpec::new(
+            SensorInstance::new(SensorKind::Accelerometer, 0),
+            takeoff_time + 4.0,
+        )]);
+        let result = runner.run_with_plan(plan);
+        assert!(!result.crashed(), "failover to the backup accelerometer handles this");
+    }
+}

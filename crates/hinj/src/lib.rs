@@ -1,0 +1,490 @@
+//! # avis-hinj
+//!
+//! The Hardware-fault INJection interface of the Avis reproduction — the
+//! analogue of the paper's `libhinj` library (§V.B).
+//!
+//! `libhinj` sits between the model checker and the UAV firmware:
+//!
+//! 1. every instrumented sensor-driver `read()` asks the injector whether
+//!    the read should fail (a *clean failure*: the instance stops
+//!    communicating and the driver reports it failed, permanently for the
+//!    rest of the run);
+//! 2. the firmware's set-mode routine reports every operating-mode change
+//!    through [`FaultInjector::report_mode`], which is how SABRE learns
+//!    where the mode transitions are;
+//! 3. the injector records everything it did (injections, mode
+//!    transitions) so a bug-triggering scenario can be replayed.
+//!
+//! In the paper this interface is an RPC between the C-instrumented
+//! firmware and the checker process; here both live in one process, so the
+//! interface is a [`SharedInjector`] handle (an `Arc<Mutex<_>>`) held by
+//! both the firmware's sensor frontend and the experiment runner.
+//!
+//! # Example
+//!
+//! ```
+//! use avis_hinj::{FaultInjector, FaultPlan, FaultSpec, ModeCode};
+//! use avis_sim::{SensorInstance, SensorKind};
+//!
+//! let gps0 = SensorInstance::new(SensorKind::Gps, 0);
+//! let plan = FaultPlan::from_specs(vec![FaultSpec::new(gps0, 2.5)]);
+//! let mut injector = FaultInjector::new(plan);
+//!
+//! assert!(!injector.should_fail(gps0, 1.0));
+//! assert!(injector.should_fail(gps0, 2.5));
+//! // Clean failures are permanent for the rest of the run.
+//! assert!(injector.should_fail(gps0, 100.0));
+//! injector.report_mode(0.0, ModeCode(3));
+//! assert_eq!(injector.mode_transitions().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use avis_sim::SensorInstance;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An opaque operating-mode code reported by the firmware.
+///
+/// The firmware maps its mode enumeration onto these codes; the injector
+/// does not interpret them, it only records transitions between them —
+/// exactly the information `hinj_update_mode()` carries in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModeCode(pub u32);
+
+impl fmt::Display for ModeCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mode#{}", self.0)
+    }
+}
+
+/// A single clean sensor failure: `instance` stops communicating at `time`
+/// (seconds of simulation time) and never recovers within the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The sensor instance that fails.
+    pub instance: SensorInstance,
+    /// Simulation time at which the failure begins (s).
+    pub time: f64,
+}
+
+impl FaultSpec {
+    /// Creates a fault specification.
+    pub fn new(instance: SensorInstance, time: f64) -> Self {
+        FaultSpec { instance, time }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{:.3}s", self.instance, self.time)
+    }
+}
+
+/// The complete set of failures to inject during one test run.
+///
+/// This is the `failures` set manipulated by Algorithm 1 (SABRE): a set of
+/// `(sensor instance, timestamp)` pairs. At most one failure per instance
+/// is meaningful (the fault model is permanent clean failure), so the plan
+/// keeps the earliest start time per instance.
+///
+/// Plans serialise as a list of [`FaultSpec`]s (so they can be embedded in
+/// JSON bug reports) and deserialise back through [`FaultPlan::from_specs`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(from = "Vec<FaultSpec>", into = "Vec<FaultSpec>")]
+pub struct FaultPlan {
+    faults: BTreeMap<SensorInstance, f64>,
+}
+
+impl From<Vec<FaultSpec>> for FaultPlan {
+    fn from(specs: Vec<FaultSpec>) -> Self {
+        FaultPlan::from_specs(specs)
+    }
+}
+
+impl From<FaultPlan> for Vec<FaultSpec> {
+    fn from(plan: FaultPlan) -> Self {
+        plan.specs().collect()
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan: the fault-free golden/profiling run.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from fault specifications, keeping the earliest start
+    /// time when an instance appears more than once.
+    pub fn from_specs<I: IntoIterator<Item = FaultSpec>>(specs: I) -> Self {
+        let mut plan = FaultPlan::default();
+        for spec in specs {
+            plan.add(spec);
+        }
+        plan
+    }
+
+    /// Adds a failure to the plan. If the instance is already scheduled to
+    /// fail, the earlier start time wins (a sensor cannot fail twice).
+    pub fn add(&mut self, spec: FaultSpec) {
+        self.faults
+            .entry(spec.instance)
+            .and_modify(|t| *t = t.min(spec.time))
+            .or_insert(spec.time);
+    }
+
+    /// Returns a new plan equal to `self` plus the given failure.
+    pub fn with(&self, spec: FaultSpec) -> Self {
+        let mut next = self.clone();
+        next.add(spec);
+        next
+    }
+
+    /// Returns `true` if no failures are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of scheduled failures.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The scheduled failure start time for an instance, if any.
+    pub fn failure_time(&self, instance: SensorInstance) -> Option<f64> {
+        self.faults.get(&instance).copied()
+    }
+
+    /// Iterates over the scheduled failures in instance order.
+    pub fn specs(&self) -> impl Iterator<Item = FaultSpec> + '_ {
+        self.faults
+            .iter()
+            .map(|(&instance, &time)| FaultSpec { instance, time })
+    }
+
+    /// Returns `true` if `instance` has failed by `time` under this plan.
+    pub fn is_failed(&self, instance: SensorInstance, time: f64) -> bool {
+        self.failure_time(instance).is_some_and(|t| time >= t)
+    }
+
+    /// A canonical, order-independent key for de-duplicating plans (the
+    /// hash-set of explored scenarios in §V.B.2). Times are quantised to
+    /// milliseconds so replay jitter does not create spurious new plans.
+    pub fn canonical_key(&self) -> String {
+        let mut parts: Vec<String> = self
+            .specs()
+            .map(|s| {
+                format!(
+                    "{}:{}:{}",
+                    s.instance.kind.name(),
+                    s.instance.index,
+                    (s.time * 1000.0).round() as i64
+                )
+            })
+            .collect();
+        parts.sort();
+        parts.join("|")
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("(no faults)");
+        }
+        let parts: Vec<String> = self.specs().map(|s| s.to_string()).collect();
+        f.write_str(&parts.join(", "))
+    }
+}
+
+/// A record of one injected failure actually delivered to a driver read.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// The failed instance.
+    pub instance: SensorInstance,
+    /// The time of the first failed read delivered to the firmware (s).
+    pub first_failed_read: f64,
+}
+
+/// A record of one operating-mode transition reported by the firmware.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModeTransitionRecord {
+    /// Simulation time of the transition (s).
+    pub time: f64,
+    /// Mode before the transition, if any mode had been reported before.
+    pub from: Option<ModeCode>,
+    /// Mode after the transition.
+    pub to: ModeCode,
+}
+
+/// The fault injector: decides per-read whether a sensor instance has
+/// failed and records mode transitions and delivered injections.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    injections: Vec<InjectionRecord>,
+    transitions: Vec<ModeTransitionRecord>,
+    current_mode: Option<ModeCode>,
+    reads: u64,
+    failed_reads: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector executing the given fault plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan, ..Default::default() }
+    }
+
+    /// Creates an injector that never injects (golden / profiling runs).
+    pub fn passthrough() -> Self {
+        FaultInjector::new(FaultPlan::empty())
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Called from an instrumented sensor-driver read. Returns `true` if
+    /// the read must be reported as failed, and records the first failed
+    /// read per instance for the replay log.
+    pub fn should_fail(&mut self, instance: SensorInstance, time: f64) -> bool {
+        self.reads += 1;
+        let failed = self.plan.is_failed(instance, time);
+        if failed {
+            self.failed_reads += 1;
+            if !self.injections.iter().any(|r| r.instance == instance) {
+                self.injections.push(InjectionRecord { instance, first_failed_read: time });
+            }
+        }
+        failed
+    }
+
+    /// Non-mutating variant of [`FaultInjector::should_fail`] for callers
+    /// that only need the decision, not the bookkeeping.
+    pub fn would_fail(&self, instance: SensorInstance, time: f64) -> bool {
+        self.plan.is_failed(instance, time)
+    }
+
+    /// Called from the firmware's set-mode routine (the
+    /// `hinj_update_mode()` call site). Records a transition when the mode
+    /// actually changes.
+    pub fn report_mode(&mut self, time: f64, mode: ModeCode) {
+        if self.current_mode == Some(mode) {
+            return;
+        }
+        self.transitions.push(ModeTransitionRecord { time, from: self.current_mode, to: mode });
+        self.current_mode = Some(mode);
+    }
+
+    /// The most recently reported mode, if any.
+    pub fn current_mode(&self) -> Option<ModeCode> {
+        self.current_mode
+    }
+
+    /// Injections actually delivered so far (first failed read per instance).
+    pub fn injections(&self) -> &[InjectionRecord] {
+        &self.injections
+    }
+
+    /// Mode transitions reported so far.
+    pub fn mode_transitions(&self) -> &[ModeTransitionRecord] {
+        &self.transitions
+    }
+
+    /// Total number of driver reads that consulted the injector.
+    pub fn total_reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of reads that were failed.
+    pub fn failed_reads(&self) -> u64 {
+        self.failed_reads
+    }
+}
+
+/// A cloneable, thread-safe handle to a [`FaultInjector`], shared between
+/// the firmware's sensor frontend and the experiment runner.
+#[derive(Debug, Clone, Default)]
+pub struct SharedInjector {
+    inner: Arc<Mutex<FaultInjector>>,
+}
+
+impl SharedInjector {
+    /// Wraps an injector in a shared handle.
+    pub fn new(injector: FaultInjector) -> Self {
+        SharedInjector { inner: Arc::new(Mutex::new(injector)) }
+    }
+
+    /// A shared injector that never injects.
+    pub fn passthrough() -> Self {
+        SharedInjector::new(FaultInjector::passthrough())
+    }
+
+    /// Driver-side query: should this read fail?
+    pub fn should_fail(&self, instance: SensorInstance, time: f64) -> bool {
+        self.inner.lock().should_fail(instance, time)
+    }
+
+    /// Firmware-side mode report.
+    pub fn report_mode(&self, time: f64, mode: ModeCode) {
+        self.inner.lock().report_mode(time, mode);
+    }
+
+    /// Runs a closure with exclusive access to the underlying injector.
+    pub fn with<R>(&self, f: impl FnOnce(&mut FaultInjector) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Snapshot of the mode transitions recorded so far.
+    pub fn mode_transitions(&self) -> Vec<ModeTransitionRecord> {
+        self.inner.lock().mode_transitions().to_vec()
+    }
+
+    /// Snapshot of the injections delivered so far.
+    pub fn injections(&self) -> Vec<InjectionRecord> {
+        self.inner.lock().injections().to_vec()
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> FaultPlan {
+        self.inner.lock().plan().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avis_sim::SensorKind;
+
+    fn gps(i: u8) -> SensorInstance {
+        SensorInstance::new(SensorKind::Gps, i)
+    }
+    fn baro(i: u8) -> SensorInstance {
+        SensorInstance::new(SensorKind::Barometer, i)
+    }
+
+    #[test]
+    fn empty_plan_never_fails() {
+        let mut inj = FaultInjector::passthrough();
+        for t in 0..100 {
+            assert!(!inj.should_fail(gps(0), t as f64));
+        }
+        assert_eq!(inj.failed_reads(), 0);
+        assert_eq!(inj.total_reads(), 100);
+        assert!(inj.injections().is_empty());
+    }
+
+    #[test]
+    fn failure_is_permanent_after_start_time() {
+        let plan = FaultPlan::from_specs(vec![FaultSpec::new(gps(0), 5.0)]);
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.should_fail(gps(0), 4.999));
+        assert!(inj.should_fail(gps(0), 5.0));
+        assert!(inj.should_fail(gps(0), 5.001));
+        assert!(inj.should_fail(gps(0), 500.0));
+        // Other instances of the same kind are unaffected.
+        assert!(!inj.should_fail(gps(1), 500.0));
+    }
+
+    #[test]
+    fn duplicate_instance_keeps_earliest_time() {
+        let mut plan = FaultPlan::empty();
+        plan.add(FaultSpec::new(baro(0), 7.0));
+        plan.add(FaultSpec::new(baro(0), 3.0));
+        plan.add(FaultSpec::new(baro(0), 9.0));
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.failure_time(baro(0)), Some(3.0));
+    }
+
+    #[test]
+    fn with_does_not_mutate_original() {
+        let base = FaultPlan::from_specs(vec![FaultSpec::new(gps(0), 1.0)]);
+        let extended = base.with(FaultSpec::new(baro(0), 2.0));
+        assert_eq!(base.len(), 1);
+        assert_eq!(extended.len(), 2);
+    }
+
+    #[test]
+    fn canonical_key_is_order_independent() {
+        let a = FaultPlan::from_specs(vec![
+            FaultSpec::new(gps(0), 1.0),
+            FaultSpec::new(baro(1), 2.0),
+        ]);
+        let b = FaultPlan::from_specs(vec![
+            FaultSpec::new(baro(1), 2.0),
+            FaultSpec::new(gps(0), 1.0),
+        ]);
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        let c = FaultPlan::from_specs(vec![FaultSpec::new(gps(0), 1.001)]);
+        let d = FaultPlan::from_specs(vec![FaultSpec::new(gps(0), 1.0)]);
+        assert_ne!(c.canonical_key(), d.canonical_key());
+        assert_eq!(FaultPlan::empty().canonical_key(), "");
+    }
+
+    #[test]
+    fn injection_records_first_failed_read_only() {
+        let plan = FaultPlan::from_specs(vec![FaultSpec::new(gps(0), 2.0)]);
+        let mut inj = FaultInjector::new(plan);
+        inj.should_fail(gps(0), 1.0);
+        inj.should_fail(gps(0), 2.25);
+        inj.should_fail(gps(0), 3.0);
+        assert_eq!(inj.injections().len(), 1);
+        assert_eq!(inj.injections()[0].first_failed_read, 2.25);
+        assert_eq!(inj.failed_reads(), 2);
+    }
+
+    #[test]
+    fn mode_transitions_deduplicated() {
+        let mut inj = FaultInjector::passthrough();
+        inj.report_mode(0.0, ModeCode(0));
+        inj.report_mode(0.5, ModeCode(0));
+        inj.report_mode(1.0, ModeCode(3));
+        inj.report_mode(1.5, ModeCode(3));
+        inj.report_mode(2.0, ModeCode(0));
+        let t = inj.mode_transitions();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].from, None);
+        assert_eq!(t[0].to, ModeCode(0));
+        assert_eq!(t[1].from, Some(ModeCode(0)));
+        assert_eq!(t[1].to, ModeCode(3));
+        assert_eq!(t[2].to, ModeCode(0));
+        assert_eq!(inj.current_mode(), Some(ModeCode(0)));
+    }
+
+    #[test]
+    fn shared_injector_clones_share_state() {
+        let shared = SharedInjector::new(FaultInjector::new(FaultPlan::from_specs(vec![
+            FaultSpec::new(gps(0), 1.0),
+        ])));
+        let other = shared.clone();
+        assert!(other.should_fail(gps(0), 2.0));
+        shared.report_mode(0.1, ModeCode(7));
+        assert_eq!(other.mode_transitions().len(), 1);
+        assert_eq!(other.injections().len(), 1);
+        assert_eq!(shared.plan().len(), 1);
+    }
+
+    #[test]
+    fn would_fail_does_not_record() {
+        let plan = FaultPlan::from_specs(vec![FaultSpec::new(gps(0), 1.0)]);
+        let inj = FaultInjector::new(plan);
+        assert!(inj.would_fail(gps(0), 2.0));
+        assert_eq!(inj.total_reads(), 0);
+        assert!(inj.injections().is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let spec = FaultSpec::new(gps(1), 2.5);
+        assert_eq!(spec.to_string(), "gps[1]@2.500s");
+        assert_eq!(FaultPlan::empty().to_string(), "(no faults)");
+        let plan = FaultPlan::from_specs(vec![spec]);
+        assert!(plan.to_string().contains("gps[1]"));
+        assert_eq!(ModeCode(4).to_string(), "mode#4");
+    }
+}

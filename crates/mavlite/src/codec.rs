@@ -1,0 +1,417 @@
+//! Wire codec: frames [`Message`]s into length-prefixed, checksummed byte
+//! packets and decodes them back.
+//!
+//! Real MAVLink frames carry a magic byte, payload length, sequence
+//! number, system/component ids, a message id and an X.25 checksum. The
+//! MAVLite frame keeps the same shape (magic, length, sequence, message
+//! id, payload, CRC-16/X.25) so that framing bugs — truncation, bit
+//! corruption, resynchronisation — are exercised realistically by tests.
+
+use crate::message::{AckResult, CommandKind, Message, MissionCommand, MissionItem, ProtocolMode};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Start-of-frame marker.
+pub const FRAME_MAGIC: u8 = 0xFD;
+
+/// Errors produced while encoding or decoding frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not begin with [`FRAME_MAGIC`].
+    BadMagic(u8),
+    /// The buffer ended before a complete frame was read.
+    Truncated,
+    /// The checksum did not match the payload.
+    ChecksumMismatch,
+    /// The message id is not recognised.
+    UnknownMessageId(u8),
+    /// A payload field held an invalid value.
+    InvalidField(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic(b) => write!(f, "bad frame magic byte 0x{b:02x}"),
+            CodecError::Truncated => f.write_str("truncated frame"),
+            CodecError::ChecksumMismatch => f.write_str("frame checksum mismatch"),
+            CodecError::UnknownMessageId(id) => write!(f, "unknown message id {id}"),
+            CodecError::InvalidField(which) => write!(f, "invalid value in field `{which}`"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// CRC-16/X.25 (the MAVLink checksum polynomial) over a byte slice.
+pub fn crc16_x25(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        let mut tmp = byte ^ (crc as u8);
+        tmp ^= tmp << 4;
+        crc = (crc >> 8) ^ ((tmp as u16) << 8) ^ ((tmp as u16) << 3) ^ ((tmp as u16) >> 4);
+    }
+    !crc
+}
+
+fn put_mode(buf: &mut BytesMut, mode: ProtocolMode) {
+    let v = match mode {
+        ProtocolMode::Stabilize => 0u8,
+        ProtocolMode::AltHold => 1,
+        ProtocolMode::PosHold => 2,
+        ProtocolMode::Auto => 3,
+        ProtocolMode::Guided => 4,
+        ProtocolMode::Land => 5,
+        ProtocolMode::ReturnToLaunch => 6,
+    };
+    buf.put_u8(v);
+}
+
+fn get_mode(buf: &mut Bytes) -> Result<ProtocolMode, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(match buf.get_u8() {
+        0 => ProtocolMode::Stabilize,
+        1 => ProtocolMode::AltHold,
+        2 => ProtocolMode::PosHold,
+        3 => ProtocolMode::Auto,
+        4 => ProtocolMode::Guided,
+        5 => ProtocolMode::Land,
+        6 => ProtocolMode::ReturnToLaunch,
+        _ => return Err(CodecError::InvalidField("mode")),
+    })
+}
+
+fn put_mission_item(buf: &mut BytesMut, item: &MissionItem) {
+    buf.put_u16(item.seq);
+    match item.command {
+        MissionCommand::Takeoff { altitude } => {
+            buf.put_u8(0);
+            buf.put_f64(altitude);
+            buf.put_f64(0.0);
+            buf.put_f64(0.0);
+        }
+        MissionCommand::Waypoint { x, y, z } => {
+            buf.put_u8(1);
+            buf.put_f64(x);
+            buf.put_f64(y);
+            buf.put_f64(z);
+        }
+        MissionCommand::Land => {
+            buf.put_u8(2);
+            buf.put_f64(0.0);
+            buf.put_f64(0.0);
+            buf.put_f64(0.0);
+        }
+        MissionCommand::ReturnToLaunch => {
+            buf.put_u8(3);
+            buf.put_f64(0.0);
+            buf.put_f64(0.0);
+            buf.put_f64(0.0);
+        }
+    }
+}
+
+fn get_mission_item(buf: &mut Bytes) -> Result<MissionItem, CodecError> {
+    if buf.remaining() < 2 + 1 + 24 {
+        return Err(CodecError::Truncated);
+    }
+    let seq = buf.get_u16();
+    let kind = buf.get_u8();
+    let a = buf.get_f64();
+    let b = buf.get_f64();
+    let c = buf.get_f64();
+    let command = match kind {
+        0 => MissionCommand::Takeoff { altitude: a },
+        1 => MissionCommand::Waypoint { x: a, y: b, z: c },
+        2 => MissionCommand::Land,
+        3 => MissionCommand::ReturnToLaunch,
+        _ => return Err(CodecError::InvalidField("mission command")),
+    };
+    Ok(MissionItem { seq, command })
+}
+
+/// Encodes a message payload (without frame header or checksum).
+fn encode_payload(msg: &Message) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(64);
+    match *msg {
+        Message::Heartbeat { mode, armed } => {
+            put_mode(&mut buf, mode);
+            buf.put_u8(u8::from(armed));
+        }
+        Message::Status { x, y, altitude, climb_rate, mission_seq, landed } => {
+            buf.put_f64(x);
+            buf.put_f64(y);
+            buf.put_f64(altitude);
+            buf.put_f64(climb_rate);
+            buf.put_u16(mission_seq);
+            buf.put_u8(u8::from(landed));
+        }
+        Message::ArmDisarm { arm } => buf.put_u8(u8::from(arm)),
+        Message::SetMode { mode } => put_mode(&mut buf, mode),
+        Message::CommandTakeoff { altitude } => buf.put_f64(altitude),
+        Message::CommandGoto { x, y, z } => {
+            buf.put_f64(x);
+            buf.put_f64(y);
+            buf.put_f64(z);
+        }
+        Message::CommandAck { command, result } => {
+            buf.put_u8(match command {
+                CommandKind::Arm => 0,
+                CommandKind::SetMode => 1,
+                CommandKind::Takeoff => 2,
+            });
+            buf.put_u8(match result {
+                AckResult::Accepted => 0,
+                AckResult::Rejected => 1,
+            });
+        }
+        Message::MissionCount { count } => buf.put_u16(count),
+        Message::MissionRequest { seq } => buf.put_u16(seq),
+        Message::MissionItemMsg { item } => put_mission_item(&mut buf, &item),
+        Message::MissionAck { accepted } => buf.put_u8(u8::from(accepted)),
+        Message::StatusText { severity } => buf.put_u8(severity),
+    }
+    buf
+}
+
+fn decode_payload(id: u8, mut buf: Bytes) -> Result<Message, CodecError> {
+    let need = |buf: &Bytes, n: usize| {
+        if buf.remaining() < n {
+            Err(CodecError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+    let msg = match id {
+        0 => {
+            let mode = get_mode(&mut buf)?;
+            need(&buf, 1)?;
+            Message::Heartbeat { mode, armed: buf.get_u8() != 0 }
+        }
+        1 => {
+            need(&buf, 8 * 4 + 2 + 1)?;
+            Message::Status {
+                x: buf.get_f64(),
+                y: buf.get_f64(),
+                altitude: buf.get_f64(),
+                climb_rate: buf.get_f64(),
+                mission_seq: buf.get_u16(),
+                landed: buf.get_u8() != 0,
+            }
+        }
+        2 => {
+            need(&buf, 1)?;
+            Message::ArmDisarm { arm: buf.get_u8() != 0 }
+        }
+        3 => Message::SetMode { mode: get_mode(&mut buf)? },
+        4 => {
+            need(&buf, 8)?;
+            Message::CommandTakeoff { altitude: buf.get_f64() }
+        }
+        5 => {
+            need(&buf, 2)?;
+            let command = match buf.get_u8() {
+                0 => CommandKind::Arm,
+                1 => CommandKind::SetMode,
+                2 => CommandKind::Takeoff,
+                _ => return Err(CodecError::InvalidField("command kind")),
+            };
+            let result = match buf.get_u8() {
+                0 => AckResult::Accepted,
+                1 => AckResult::Rejected,
+                _ => return Err(CodecError::InvalidField("ack result")),
+            };
+            Message::CommandAck { command, result }
+        }
+        6 => {
+            need(&buf, 2)?;
+            Message::MissionCount { count: buf.get_u16() }
+        }
+        7 => {
+            need(&buf, 2)?;
+            Message::MissionRequest { seq: buf.get_u16() }
+        }
+        8 => Message::MissionItemMsg { item: get_mission_item(&mut buf)? },
+        9 => {
+            need(&buf, 1)?;
+            Message::MissionAck { accepted: buf.get_u8() != 0 }
+        }
+        10 => {
+            need(&buf, 1)?;
+            Message::StatusText { severity: buf.get_u8() }
+        }
+        11 => {
+            need(&buf, 24)?;
+            Message::CommandGoto { x: buf.get_f64(), y: buf.get_f64(), z: buf.get_f64() }
+        }
+        other => return Err(CodecError::UnknownMessageId(other)),
+    };
+    Ok(msg)
+}
+
+/// Encodes a message into a complete frame with the given sequence number.
+///
+/// Frame layout: `magic | seq | msg_id | payload_len | payload | crc16`.
+pub fn encode_frame(msg: &Message, seq: u8) -> Bytes {
+    let payload = encode_payload(msg);
+    let mut frame = BytesMut::with_capacity(payload.len() + 6);
+    frame.put_u8(FRAME_MAGIC);
+    frame.put_u8(seq);
+    frame.put_u8(msg.message_id());
+    debug_assert!(payload.len() <= u8::MAX as usize, "payload too large");
+    frame.put_u8(payload.len() as u8);
+    frame.extend_from_slice(&payload);
+    let crc = crc16_x25(&frame[1..]);
+    frame.put_u16(crc);
+    frame.freeze()
+}
+
+/// Decodes one frame from the front of `data`, returning the message, its
+/// sequence number and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] if the buffer does not hold a complete, valid
+/// frame.
+pub fn decode_frame(data: &[u8]) -> Result<(Message, u8, usize), CodecError> {
+    if data.is_empty() {
+        return Err(CodecError::Truncated);
+    }
+    if data[0] != FRAME_MAGIC {
+        return Err(CodecError::BadMagic(data[0]));
+    }
+    if data.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let seq = data[1];
+    let msg_id = data[2];
+    let payload_len = data[3] as usize;
+    let total = 4 + payload_len + 2;
+    if data.len() < total {
+        return Err(CodecError::Truncated);
+    }
+    let expected_crc = u16::from_be_bytes([data[total - 2], data[total - 1]]);
+    let actual_crc = crc16_x25(&data[1..total - 2]);
+    if expected_crc != actual_crc {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    let payload = Bytes::copy_from_slice(&data[4..4 + payload_len]);
+    let msg = decode_payload(msg_id, payload)?;
+    Ok((msg, seq, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Heartbeat { mode: ProtocolMode::Auto, armed: true },
+            Message::Status {
+                x: 1.5,
+                y: -2.5,
+                altitude: 19.75,
+                climb_rate: -0.5,
+                mission_seq: 3,
+                landed: false,
+            },
+            Message::ArmDisarm { arm: true },
+            Message::SetMode { mode: ProtocolMode::ReturnToLaunch },
+            Message::CommandTakeoff { altitude: 20.0 },
+            Message::CommandGoto { x: -4.0, y: 8.5, z: 20.0 },
+            Message::CommandAck { command: CommandKind::SetMode, result: AckResult::Rejected },
+            Message::MissionCount { count: 7 },
+            Message::MissionRequest { seq: 4 },
+            Message::MissionItemMsg {
+                item: MissionItem::new(2, MissionCommand::Waypoint { x: 20.0, y: 20.0, z: 20.0 }),
+            },
+            Message::MissionItemMsg { item: MissionItem::new(0, MissionCommand::Takeoff { altitude: 20.0 }) },
+            Message::MissionItemMsg { item: MissionItem::new(5, MissionCommand::ReturnToLaunch) },
+            Message::MissionAck { accepted: true },
+            Message::StatusText { severity: 4 },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_messages() {
+        for (i, msg) in sample_messages().into_iter().enumerate() {
+            let frame = encode_frame(&msg, i as u8);
+            let (decoded, seq, used) = decode_frame(&frame).expect("decode");
+            assert_eq!(decoded, msg);
+            assert_eq!(seq as usize, i);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let frame = encode_frame(&Message::ArmDisarm { arm: true }, 0);
+        let mut bytes = frame.to_vec();
+        bytes[0] = 0x00;
+        assert_eq!(decode_frame(&bytes), Err(CodecError::BadMagic(0)));
+    }
+
+    #[test]
+    fn decode_rejects_corrupted_payload() {
+        let frame = encode_frame(&Message::MissionCount { count: 300 }, 9);
+        let mut bytes = frame.to_vec();
+        let idx = bytes.len() - 3;
+        bytes[idx] ^= 0xFF;
+        assert_eq!(decode_frame(&bytes), Err(CodecError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let frame = encode_frame(&Message::CommandTakeoff { altitude: 12.0 }, 1);
+        for cut in 0..frame.len() {
+            let err = decode_frame(&frame[..cut]);
+            assert!(err.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn decode_consumes_exactly_one_frame() {
+        let a = encode_frame(&Message::ArmDisarm { arm: true }, 1);
+        let b = encode_frame(&Message::MissionAck { accepted: false }, 2);
+        let mut stream = a.to_vec();
+        stream.extend_from_slice(&b);
+        let (m1, _, used1) = decode_frame(&stream).unwrap();
+        assert_eq!(m1, Message::ArmDisarm { arm: true });
+        let (m2, _, used2) = decode_frame(&stream[used1..]).unwrap();
+        assert_eq!(m2, Message::MissionAck { accepted: false });
+        assert_eq!(used1 + used2, stream.len());
+    }
+
+    #[test]
+    fn unknown_message_id_reported() {
+        let frame = encode_frame(&Message::StatusText { severity: 1 }, 0);
+        let mut bytes = frame.to_vec();
+        bytes[2] = 200; // overwrite msg id
+        // Fix the checksum so only the id is wrong.
+        let total = bytes.len();
+        let crc = crc16_x25(&bytes[1..total - 2]);
+        bytes[total - 2..].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(decode_frame(&bytes), Err(CodecError::UnknownMessageId(200)));
+    }
+
+    #[test]
+    fn crc_known_properties() {
+        // CRC of an empty slice is the X.25 initial value complemented.
+        assert_eq!(crc16_x25(&[]), !0xFFFFu16);
+        // CRC changes when the data changes.
+        assert_ne!(crc16_x25(b"hello"), crc16_x25(b"hellp"));
+        // CRC is deterministic.
+        assert_eq!(crc16_x25(b"avis"), crc16_x25(b"avis"));
+    }
+
+    #[test]
+    fn error_display_strings() {
+        assert!(CodecError::BadMagic(7).to_string().contains("magic"));
+        assert!(CodecError::Truncated.to_string().contains("truncated"));
+        assert!(CodecError::ChecksumMismatch.to_string().contains("checksum"));
+        assert!(CodecError::UnknownMessageId(9).to_string().contains('9'));
+        assert!(CodecError::InvalidField("mode").to_string().contains("mode"));
+    }
+}

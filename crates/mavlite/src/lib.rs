@@ -1,0 +1,45 @@
+//! # avis-mavlite
+//!
+//! A compact MAVLink-like protocol layer for the Avis reproduction.
+//!
+//! UAVs communicate with ground-control stations using MAVLink; the
+//! paper's workload framework exists largely to hide MAVLink's awkward,
+//! vehicle-driven transactions from test authors (§V.A). This crate
+//! reproduces the protocol surface the paper relies on:
+//!
+//! - [`message::Message`] — the message set (heartbeat, telemetry, mode,
+//!   arm, takeoff, and the mission-upload handshake),
+//! - [`codec`] — length-prefixed, CRC-checked wire framing,
+//! - [`link::Link`] — an in-process, bidirectional GCS ↔ vehicle link
+//!   that still round-trips every message through the wire codec,
+//! - [`mission::MissionUploader`] — the ground-station side of the
+//!   vehicle-driven mission upload, with an explicit timeout so a stalled
+//!   upload cannot deadlock the model checker.
+//!
+//! # Example
+//!
+//! ```
+//! use avis_mavlite::{Endpoint, Link, Message, ProtocolMode};
+//!
+//! let mut link = Link::new();
+//! link.send(Endpoint::GroundStation, &Message::SetMode { mode: ProtocolMode::Auto });
+//! assert_eq!(
+//!     link.recv(Endpoint::Vehicle),
+//!     Some(Message::SetMode { mode: ProtocolMode::Auto })
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod link;
+pub mod message;
+pub mod mission;
+
+pub use codec::{decode_frame, encode_frame, CodecError, FRAME_MAGIC};
+pub use link::{Endpoint, Link};
+pub use message::{
+    AckResult, CommandKind, Message, MissionCommand, MissionItem, ProtocolMode,
+};
+pub use mission::{square_mission, MissionUploader, UploadState};

@@ -1,0 +1,211 @@
+//! An in-process, bidirectional message link between the ground-control
+//! station (workload) and the vehicle (firmware).
+//!
+//! The paper's workload framework and firmware communicate over a real
+//! MAVLink transport; here both endpoints live in one process and step in
+//! lock-step with the simulator, so the link is a pair of byte queues.
+//! Messages are still *framed and encoded* through the wire codec so the
+//! protocol path (serialisation, checksums, resynchronisation) is the one
+//! exercised in tests.
+
+use crate::codec::{decode_frame, encode_frame, CodecError};
+use crate::message::Message;
+use std::collections::VecDeque;
+
+/// Which side of the link an endpoint represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// The ground-control station (the workload).
+    GroundStation,
+    /// The vehicle (the firmware).
+    Vehicle,
+}
+
+/// A bidirectional, in-process MAVLite link.
+///
+/// The link owns two byte streams (GCS → vehicle and vehicle → GCS); each
+/// `send_*` call appends an encoded frame and each `recv_*` call decodes
+/// and removes one frame.
+#[derive(Debug, Default)]
+pub struct Link {
+    to_vehicle: VecDeque<u8>,
+    to_gcs: VecDeque<u8>,
+    seq_gcs: u8,
+    seq_vehicle: u8,
+    /// Count of frames dropped due to decode errors.
+    decode_errors: u64,
+}
+
+impl Link {
+    /// Creates an empty link.
+    pub fn new() -> Self {
+        Link::default()
+    }
+
+    /// Sends a message from the given endpoint.
+    pub fn send(&mut self, from: Endpoint, msg: &Message) {
+        match from {
+            Endpoint::GroundStation => {
+                let frame = encode_frame(msg, self.seq_gcs);
+                self.seq_gcs = self.seq_gcs.wrapping_add(1);
+                self.to_vehicle.extend(frame.iter());
+            }
+            Endpoint::Vehicle => {
+                let frame = encode_frame(msg, self.seq_vehicle);
+                self.seq_vehicle = self.seq_vehicle.wrapping_add(1);
+                self.to_gcs.extend(frame.iter());
+            }
+        }
+    }
+
+    /// Receives the next message addressed to the given endpoint, if any.
+    ///
+    /// Corrupted frames are dropped (counted in
+    /// [`Link::decode_error_count`]) and decoding continues with the next
+    /// frame, mimicking a real link that resynchronises on the magic byte.
+    pub fn recv(&mut self, at: Endpoint) -> Option<Message> {
+        let queue = match at {
+            Endpoint::GroundStation => &mut self.to_gcs,
+            Endpoint::Vehicle => &mut self.to_vehicle,
+        };
+        loop {
+            if queue.is_empty() {
+                return None;
+            }
+            let contiguous: Vec<u8> = queue.iter().copied().collect();
+            match decode_frame(&contiguous) {
+                Ok((msg, _seq, used)) => {
+                    queue.drain(..used);
+                    return Some(msg);
+                }
+                Err(CodecError::Truncated) => return None,
+                Err(_) => {
+                    // Drop one byte and attempt to resynchronise on the next
+                    // magic byte.
+                    self.decode_errors += 1;
+                    queue.pop_front();
+                    while let Some(&b) = queue.front() {
+                        if b == crate::codec::FRAME_MAGIC {
+                            break;
+                        }
+                        queue.pop_front();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains every pending message addressed to the given endpoint.
+    pub fn drain(&mut self, at: Endpoint) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Some(m) = self.recv(at) {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Number of frames dropped because they failed to decode.
+    pub fn decode_error_count(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// Number of bytes currently queued toward the given endpoint.
+    pub fn pending_bytes(&self, at: Endpoint) -> usize {
+        match at {
+            Endpoint::GroundStation => self.to_gcs.len(),
+            Endpoint::Vehicle => self.to_vehicle.len(),
+        }
+    }
+
+    /// Corrupts the next `n` bytes queued toward an endpoint (test helper
+    /// for exercising link-level fault tolerance).
+    pub fn corrupt_pending(&mut self, at: Endpoint, n: usize) {
+        let queue = match at {
+            Endpoint::GroundStation => &mut self.to_gcs,
+            Endpoint::Vehicle => &mut self.to_vehicle,
+        };
+        for byte in queue.iter_mut().take(n) {
+            *byte ^= 0xA5;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MissionCommand, MissionItem, ProtocolMode};
+
+    #[test]
+    fn gcs_to_vehicle_round_trip() {
+        let mut link = Link::new();
+        link.send(Endpoint::GroundStation, &Message::ArmDisarm { arm: true });
+        link.send(Endpoint::GroundStation, &Message::SetMode { mode: ProtocolMode::Auto });
+        assert_eq!(link.recv(Endpoint::Vehicle), Some(Message::ArmDisarm { arm: true }));
+        assert_eq!(
+            link.recv(Endpoint::Vehicle),
+            Some(Message::SetMode { mode: ProtocolMode::Auto })
+        );
+        assert_eq!(link.recv(Endpoint::Vehicle), None);
+    }
+
+    #[test]
+    fn vehicle_to_gcs_round_trip() {
+        let mut link = Link::new();
+        link.send(Endpoint::Vehicle, &Message::Heartbeat { mode: ProtocolMode::Land, armed: true });
+        assert_eq!(
+            link.recv(Endpoint::GroundStation),
+            Some(Message::Heartbeat { mode: ProtocolMode::Land, armed: true })
+        );
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut link = Link::new();
+        link.send(Endpoint::GroundStation, &Message::MissionCount { count: 2 });
+        // The GCS does not see its own message.
+        assert_eq!(link.recv(Endpoint::GroundStation), None);
+        assert!(link.recv(Endpoint::Vehicle).is_some());
+    }
+
+    #[test]
+    fn drain_returns_all_pending() {
+        let mut link = Link::new();
+        for i in 0..5u16 {
+            link.send(Endpoint::GroundStation, &Message::MissionRequest { seq: i });
+        }
+        let msgs = link.drain(Endpoint::Vehicle);
+        assert_eq!(msgs.len(), 5);
+        assert_eq!(msgs[4], Message::MissionRequest { seq: 4 });
+        assert!(link.drain(Endpoint::Vehicle).is_empty());
+    }
+
+    #[test]
+    fn corruption_drops_frame_but_recovers() {
+        let mut link = Link::new();
+        link.send(Endpoint::GroundStation, &Message::MissionAck { accepted: true });
+        link.send(
+            Endpoint::GroundStation,
+            &Message::MissionItemMsg {
+                item: MissionItem::new(1, MissionCommand::Waypoint { x: 1.0, y: 2.0, z: 3.0 }),
+            },
+        );
+        // Corrupt the first frame's payload byte.
+        link.corrupt_pending(Endpoint::Vehicle, 5);
+        let got = link.drain(Endpoint::Vehicle);
+        // First frame is dropped, second survives.
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0], Message::MissionItemMsg { .. }));
+        assert!(link.decode_error_count() >= 1);
+    }
+
+    #[test]
+    fn pending_bytes_tracks_queues() {
+        let mut link = Link::new();
+        assert_eq!(link.pending_bytes(Endpoint::Vehicle), 0);
+        link.send(Endpoint::GroundStation, &Message::ArmDisarm { arm: false });
+        assert!(link.pending_bytes(Endpoint::Vehicle) > 0);
+        assert_eq!(link.pending_bytes(Endpoint::GroundStation), 0);
+        link.recv(Endpoint::Vehicle);
+        assert_eq!(link.pending_bytes(Endpoint::Vehicle), 0);
+    }
+}

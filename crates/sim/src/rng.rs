@@ -1,0 +1,140 @@
+//! Deterministic random number generation for reproducible simulations.
+//!
+//! All stochastic parts of the simulator (sensor noise) draw from a
+//! [`SimRng`] seeded per test run, so a fault-injection scenario replays
+//! identically — the property the paper's replay mechanism (§IV.D) relies
+//! on.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded random number generator with Gaussian sampling support.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+    /// Cached second value from the Box-Muller transform.
+    spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { inner: ChaCha8Rng::seed_from_u64(seed), spare: None }
+    }
+
+    /// Returns a uniformly distributed value in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns a uniformly distributed value in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Returns a uniformly distributed integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Returns a standard-normal sample using the Box-Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        // Box-Muller: two uniforms -> two independent normals.
+        let u1: f64 = loop {
+            let u = self.uniform();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Returns a normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        debug_assert!(std_dev >= 0.0);
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..50).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.uniform_range(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn index_in_range() {
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(rng.index(10) < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn index_zero_panics() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let _ = rng.index(0);
+    }
+
+    #[test]
+    fn normal_statistics_are_plausible() {
+        let mut rng = SimRng::seed_from_u64(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean = {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+}

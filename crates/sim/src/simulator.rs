@@ -1,0 +1,334 @@
+//! The lock-step simulator that advances physics, samples sensors and
+//! detects collisions.
+//!
+//! One call to [`Simulator::step`] corresponds to one *simulation
+//! time-step* in the paper (Fig. 7): the workload yields control, the
+//! simulator advances time by a fixed unit, synthesizes sensor readings,
+//! accepts actuator outputs and computes the vehicle's next physical
+//! state.
+
+use crate::environment::{Collision, Environment};
+use crate::math::Vec3;
+use crate::sensors::{SensorReading, SensorSuite, SensorSuiteConfig};
+use crate::vehicle::{MotorCommands, Quadcopter, RigidBodyState, VehicleParams};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a simulation instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Fixed simulation time-step (s). The paper uses 1 ms.
+    pub dt: f64,
+    /// Vehicle physical parameters.
+    pub vehicle: VehicleParams,
+    /// Sensor complement and noise.
+    pub sensors: SensorSuiteConfig,
+    /// RNG seed for sensor noise.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            dt: 0.001,
+            vehicle: VehicleParams::default(),
+            sensors: SensorSuiteConfig::iris(),
+            seed: 0,
+        }
+    }
+}
+
+/// A compact snapshot of the physical state exposed to the invariant
+/// monitor: the `(P, α, ·)` part of the state tuple in §IV.C.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalState {
+    /// Simulation time (s).
+    pub time: f64,
+    /// World-frame position (m).
+    pub position: Vec3,
+    /// World-frame velocity (m/s).
+    pub velocity: Vec3,
+    /// World-frame acceleration (m/s²).
+    pub acceleration: Vec3,
+    /// Yaw heading (rad).
+    pub heading: f64,
+    /// Whether the vehicle is resting on the ground.
+    pub on_ground: bool,
+}
+
+/// The result of advancing the simulation by one step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutput {
+    /// The vehicle's new physical state.
+    pub state: PhysicalState,
+    /// Sensor samples for this step (true values; fault injection happens
+    /// in the firmware's drivers).
+    pub readings: Vec<SensorReading>,
+    /// A collision detected during this step, if any.
+    pub collision: Option<Collision>,
+    /// Indices of fences violated at the new position.
+    pub violated_fences: Vec<usize>,
+}
+
+/// The software-in-the-loop simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+    quad: Quadcopter,
+    env: Environment,
+    sensors: SensorSuite,
+    time: f64,
+    steps: u64,
+    first_collision: Option<Collision>,
+    was_airborne: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator with the vehicle at rest at the environment's
+    /// home position.
+    pub fn new(config: SimConfig, env: Environment) -> Self {
+        assert!(config.dt > 0.0 && config.dt <= 0.1, "dt must be in (0, 0.1]");
+        let mut quad = Quadcopter::new(config.vehicle.clone());
+        quad.set_state(RigidBodyState::at_rest(env.home()));
+        let sensors = SensorSuite::new(config.sensors.clone(), config.seed);
+        Simulator {
+            config,
+            quad,
+            env,
+            sensors,
+            time: 0.0,
+            steps: 0,
+            first_collision: None,
+            was_airborne: false,
+        }
+    }
+
+    /// Creates a simulator with default configuration in an open field.
+    pub fn with_defaults() -> Self {
+        Simulator::new(SimConfig::default(), Environment::open_field())
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The environment model.
+    pub fn environment(&self) -> &Environment {
+        &self.env
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Number of steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The first collision observed during this run, if any.
+    pub fn first_collision(&self) -> Option<Collision> {
+        self.first_collision
+    }
+
+    /// Mutable access to the sensor suite (battery preconditioning, etc.).
+    pub fn sensors_mut(&mut self) -> &mut SensorSuite {
+        &mut self.sensors
+    }
+
+    /// The vehicle's true rigid-body state.
+    pub fn true_state(&self) -> &RigidBodyState {
+        self.quad.state()
+    }
+
+    /// A compact physical-state snapshot at the current time.
+    pub fn physical_state(&self) -> PhysicalState {
+        let s = self.quad.state();
+        PhysicalState {
+            time: self.time,
+            position: s.position,
+            velocity: s.velocity,
+            acceleration: s.acceleration,
+            heading: s.attitude.yaw(),
+            on_ground: self.quad.on_ground(),
+        }
+    }
+
+    /// Repositions the vehicle (scenario setup / tests only).
+    pub fn set_true_state(&mut self, state: RigidBodyState) {
+        self.was_airborne = state.position.z > 0.05;
+        self.quad.set_state(state);
+    }
+
+    /// Advances the simulation by one fixed time-step with the given motor
+    /// commands, returning the new state, the sensor samples and any
+    /// collision detected.
+    pub fn step(&mut self, commands: &MotorCommands) -> StepOutput {
+        let dt = self.config.dt;
+        let wind = self.env.wind().at(self.time);
+        let airborne_before = !self.quad.on_ground();
+        self.was_airborne = self.was_airborne || airborne_before;
+
+        let commands = if self.first_collision.is_some() {
+            // After a crash the airframe is destroyed; motors stop.
+            self.quad.cut_motors();
+            MotorCommands::IDLE
+        } else {
+            *commands
+        };
+
+        // Preserve the velocity of the incoming trajectory: the collision
+        // check needs the impact velocity, which the ground-contact clamp in
+        // the dynamics would otherwise zero out.
+        let pre_step_velocity = self.quad.state().velocity;
+        let new_state = self.quad.step(&commands, wind, dt);
+        self.time += dt;
+        self.steps += 1;
+
+        let impact_velocity = if new_state.position.z <= 1e-9 && airborne_before {
+            pre_step_velocity
+        } else {
+            new_state.velocity
+        };
+        let collision =
+            self.env
+                .check_collision(new_state.position, impact_velocity, self.was_airborne);
+        if let Some(c) = collision {
+            if self.first_collision.is_none() {
+                self.first_collision = Some(c);
+            }
+            self.quad.cut_motors();
+        }
+        if new_state.position.z <= 1e-9 {
+            // Back on the ground: require becoming airborne again before the
+            // next ground impact can be reported.
+            self.was_airborne = false;
+        }
+
+        let readings = self
+            .sensors
+            .sample(self.quad.state(), commands.mean(), self.time, dt);
+        let violated_fences = self.env.violated_fences(new_state.position);
+
+        StepOutput {
+            state: self.physical_state(),
+            readings,
+            collision,
+            violated_fences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::CollisionKind;
+    use crate::vehicle::MotorCommands;
+
+    #[test]
+    fn simulator_advances_time() {
+        let mut sim = Simulator::with_defaults();
+        for _ in 0..100 {
+            sim.step(&MotorCommands::IDLE);
+        }
+        assert!((sim.time() - 0.1).abs() < 1e-9);
+        assert_eq!(sim.steps(), 100);
+    }
+
+    #[test]
+    fn idle_on_ground_never_collides() {
+        let mut sim = Simulator::with_defaults();
+        for _ in 0..1000 {
+            let out = sim.step(&MotorCommands::IDLE);
+            assert!(out.collision.is_none());
+            assert!(out.state.on_ground);
+        }
+        assert!(sim.first_collision().is_none());
+    }
+
+    #[test]
+    fn climb_then_free_fall_crashes() {
+        let mut sim = Simulator::with_defaults();
+        // Climb hard for 4 seconds.
+        for _ in 0..4000 {
+            sim.step(&MotorCommands::uniform(0.9));
+        }
+        assert!(sim.physical_state().position.z > 5.0);
+        // Cut power and fall.
+        let mut crashed = false;
+        for _ in 0..10_000 {
+            let out = sim.step(&MotorCommands::IDLE);
+            if let Some(c) = out.collision {
+                assert_eq!(c.kind, CollisionKind::Ground);
+                assert!(c.impact_speed >= 2.0);
+                crashed = true;
+                break;
+            }
+        }
+        assert!(crashed, "expected a ground crash");
+        assert!(sim.first_collision().is_some());
+    }
+
+    #[test]
+    fn after_crash_motors_are_dead() {
+        let mut sim = Simulator::with_defaults();
+        for _ in 0..4000 {
+            sim.step(&MotorCommands::uniform(0.9));
+        }
+        for _ in 0..10_000 {
+            if sim.step(&MotorCommands::IDLE).collision.is_some() {
+                break;
+            }
+        }
+        assert!(sim.first_collision().is_some());
+        // Commanding full throttle after the crash must not lift the wreck.
+        for _ in 0..3000 {
+            sim.step(&MotorCommands::uniform(1.0));
+        }
+        assert!(sim.physical_state().position.z < 0.5);
+    }
+
+    #[test]
+    fn step_reports_sensor_readings() {
+        let mut sim = Simulator::with_defaults();
+        let out = sim.step(&MotorCommands::IDLE);
+        assert_eq!(out.readings.len(), SensorSuiteConfig::iris().total_instances());
+    }
+
+    #[test]
+    fn fence_violations_reported() {
+        use crate::environment::{Fence, FenceRegion};
+        let env = Environment::open_field().with_fence(Fence::containment(FenceRegion::Circle {
+            center: Vec3::ZERO,
+            radius: 1000.0,
+        }));
+        let mut sim = Simulator::new(SimConfig::default(), env);
+        let out = sim.step(&MotorCommands::IDLE);
+        assert!(out.violated_fences.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_commands() {
+        let run = || {
+            let mut sim = Simulator::new(SimConfig { seed: 5, ..Default::default() }, Environment::open_field());
+            let mut last = None;
+            for i in 0..2000 {
+                let throttle = if i < 1500 { 0.8 } else { 0.3 };
+                last = Some(sim.step(&MotorCommands::uniform(throttle)));
+            }
+            last.unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.state, b.state);
+        assert_eq!(a.readings, b.readings);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be")]
+    fn rejects_invalid_dt() {
+        let config = SimConfig { dt: 0.0, ..Default::default() };
+        let _ = Simulator::new(config, Environment::open_field());
+    }
+}

@@ -1,0 +1,27 @@
+//! # avis-workload
+//!
+//! The workload framework and default workloads of the Avis reproduction.
+//!
+//! A *workload* is a sequence of pilot commands sent to the vehicle over
+//! the MAVLite protocol (§IV.A). The paper provides a high-level framework
+//! so test authors do not have to hand-write MAVLink transactions, plus
+//! two default workloads that exercise the common commands (takeoff,
+//! fly-to-waypoint, land) and are shown to be effective at triggering
+//! bugs. This crate mirrors that design:
+//!
+//! - [`ScriptedWorkload`] — a step-scripted workload built with
+//!   [`WorkloadBuilder`], mirroring the paper's Figure 8 API
+//!   (`wait_time`, `upload_mission`, `arm_system_completely`,
+//!   `enter_auto_mode`, `wait_altitude`, `pass_test`);
+//! - [`builtin`] — the default workloads: an auto waypoint-box mission, a
+//!   box survey flown with guided / position-hold "manual" modes, and a
+//!   geofenced waypoint variant.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builtin;
+pub mod script;
+
+pub use builtin::{auto_box_mission, default_workloads, fence_box_mission, manual_box_survey};
+pub use script::{ScriptedWorkload, WorkloadBuilder, WorkloadStatus, WorkloadStep};

@@ -1,0 +1,49 @@
+//! Domain scenario: a survey operator wants to know whether their
+//! autonomous waypoint mission survives sensor failures on an
+//! ArduPilot-like stack. This example runs the full Avis pipeline on the
+//! auto mission and prints a per-bug summary plus the per-mode coverage.
+//!
+//! ```bash
+//! cargo run --release --example auto_mission_check
+//! ```
+
+use avis::checker::{Approach, Budget, Checker, CheckerConfig};
+use avis::report::BugReport;
+use avis::runner::ExperimentConfig;
+use avis_firmware::{BugId, BugSet, FirmwareProfile};
+use avis_workload::auto_box_mission;
+
+fn main() {
+    let profile = FirmwareProfile::ArduPilotLike;
+    let experiment =
+        ExperimentConfig::new(profile, BugSet::current_code_base(profile), auto_box_mission());
+    let config = CheckerConfig::new(Approach::Avis, experiment, Budget::simulations(100));
+    let result = Checker::new(config).run();
+
+    println!("== Avis on the ArduPilot-like auto mission ==");
+    println!(
+        "simulations: {}   unsafe conditions: {}   (symmetry pruned: {}, found-bug pruned: {})",
+        result.simulations,
+        result.unsafe_count(),
+        result.symmetry_pruned,
+        result.found_bug_pruned
+    );
+
+    println!("\nPer-mode coverage (Table IV row):");
+    for (category, count) in result.per_category() {
+        println!("  {category:<10} {count}");
+    }
+
+    println!("\nKnown ArduPilot defects exposed:");
+    for bug in BugId::UNKNOWN.iter().filter(|b| b.applies_to(profile)) {
+        match result.simulations_to_find(*bug) {
+            Some(sims) => println!("  {bug}: found after {sims} simulations"),
+            None => println!("  {bug}: not triggered within this budget"),
+        }
+    }
+
+    if let Some(first) = result.unsafe_conditions.first() {
+        let report = BugReport::from_unsafe_condition(profile, "auto-box-mission", first);
+        println!("\nFirst bug report (JSON artefact):\n{}", report.to_json());
+    }
+}

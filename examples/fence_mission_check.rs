@@ -1,0 +1,49 @@
+//! Domain scenario: a PX4-like vehicle flying a waypoint mission next to
+//! restricted airspace (the paper's second default workload). This example
+//! checks the PX4 profile with Avis and shows how takeoff-phase failures
+//! dominate the findings on that stack.
+//!
+//! ```bash
+//! cargo run --release --example fence_mission_check
+//! ```
+
+use avis::checker::{Approach, Budget, Checker, CheckerConfig};
+use avis::runner::ExperimentConfig;
+use avis_firmware::{BugSet, FirmwareProfile};
+use avis_workload::fence_box_mission;
+
+fn main() {
+    let profile = FirmwareProfile::Px4Like;
+    let workload = fence_box_mission();
+    println!(
+        "Checking the {} profile on the '{}' workload ({} fence region(s) in the environment)",
+        profile,
+        workload.name(),
+        workload.environment().fences().len()
+    );
+
+    let experiment =
+        ExperimentConfig::new(profile, BugSet::current_code_base(profile), workload);
+    let config = CheckerConfig::new(Approach::Avis, experiment, Budget::simulations(80));
+    let result = Checker::new(config).run();
+
+    println!(
+        "\nsimulations: {}   unsafe conditions: {}",
+        result.simulations,
+        result.unsafe_count()
+    );
+    println!("\nFindings:");
+    for condition in &result.unsafe_conditions {
+        println!(
+            "  [{:?}] {} -> {}",
+            condition.injection_category,
+            condition.plan,
+            condition
+                .violations
+                .first()
+                .map(|v| v.kind.to_string())
+                .unwrap_or_else(|| "unknown".to_string())
+        );
+    }
+    println!("\nBugs exposed: {:?}", result.bugs_found());
+}

@@ -1,0 +1,49 @@
+//! Quickstart: check a buggy firmware with Avis and print what it finds.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use avis::checker::{Approach, Budget, Checker, CheckerConfig};
+use avis::runner::ExperimentConfig;
+use avis_firmware::{BugSet, FirmwareProfile};
+use avis_workload::auto_box_mission;
+
+fn main() {
+    // 1. Pick a firmware profile and the set of defects compiled into it.
+    //    `current_code_base` enables every previously-unknown bug the paper
+    //    reports for that firmware.
+    let profile = FirmwareProfile::ArduPilotLike;
+    let bugs = BugSet::current_code_base(profile);
+
+    // 2. Pick a workload (the paper's default auto waypoint mission).
+    let workload = auto_box_mission();
+
+    // 3. Configure and run an Avis campaign with a small simulation budget.
+    let experiment = ExperimentConfig::new(profile, bugs, workload);
+    let config = CheckerConfig::new(Approach::Avis, experiment, Budget::simulations(40));
+    let result = Checker::new(config).run();
+
+    println!(
+        "Avis ran {} simulations ({:.0} simulated seconds) and found {} unsafe conditions.",
+        result.simulations,
+        result.cost_seconds,
+        result.unsafe_count()
+    );
+    for (i, condition) in result.unsafe_conditions.iter().enumerate() {
+        println!(
+            "\n#{:<2} faults: {}\n    injected in: {:?} ({:?})\n    violations: {}\n    suspected bugs: {:?}",
+            i + 1,
+            condition.plan,
+            condition.injection_mode,
+            condition.injection_category,
+            condition
+                .violations
+                .iter()
+                .map(|v| v.kind.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+            condition.triggered_bugs,
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Find an unsafe condition, turn it into a bug report, and replay it to
+//! confirm the scenario reproduces (the paper's §IV.D replay mechanism).
+//!
+//! ```bash
+//! cargo run --release --example replay_bug
+//! ```
+
+use avis::checker::{Approach, Budget, Checker, CheckerConfig};
+use avis::monitor::{InvariantMonitor, MonitorConfig};
+use avis::report::{replay, BugReport};
+use avis::runner::{ExperimentConfig, ExperimentRunner};
+use avis_firmware::{BugSet, FirmwareProfile};
+use avis_workload::auto_box_mission;
+
+fn main() {
+    let profile = FirmwareProfile::ArduPilotLike;
+    let bugs = BugSet::current_code_base(profile);
+
+    // Find an unsafe condition with a small Avis campaign.
+    let experiment = ExperimentConfig::new(profile, bugs.clone(), auto_box_mission());
+    let config = CheckerConfig::new(Approach::Avis, experiment.clone(), Budget::simulations(40));
+    let result = Checker::new(config).run();
+    let Some(condition) = result.unsafe_conditions.first() else {
+        println!("No unsafe condition found within the budget; nothing to replay.");
+        return;
+    };
+
+    let report = BugReport::from_unsafe_condition(profile, "auto-box-mission", condition);
+    println!("Bug report:\n{}\n", report.to_json());
+
+    // Re-provision a runner and monitor, then replay the recorded faults.
+    let mut runner = ExperimentRunner::new(experiment);
+    let profiling = (0..3).map(|i| runner.run_profiling(i).trace).collect();
+    let monitor = InvariantMonitor::calibrate(profiling, MonitorConfig::default());
+    let outcome = replay(&report, &mut runner, &monitor);
+
+    println!(
+        "Replay reproduced the unsafe condition: {} ({} violation(s))",
+        outcome.reproduced,
+        outcome.violations.len()
+    );
+    for violation in &outcome.violations {
+        println!("  at t={:.1}s in {}: {}", violation.time, violation.mode, violation.kind);
+    }
+}

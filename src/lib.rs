@@ -1,0 +1,19 @@
+//! Umbrella crate for the Avis reproduction workspace.
+//!
+//! This crate only re-exports the workspace members so that the
+//! repository-level `examples/` and `tests/` can use a single dependency
+//! root. The actual implementation lives in the `crates/` directory:
+//!
+//! - [`avis`] — the model checker (SABRE, pruning, invariant monitor, baselines)
+//! - [`avis_firmware`] — the mode-based flight control firmware substrate
+//! - [`avis_sim`] — the quadcopter physics / sensor simulator
+//! - [`avis_hinj`] — the sensor fault injection interface
+//! - [`avis_mavlite`] — the MAVLink-like protocol layer
+//! - [`avis_workload`] — the workload framework and default workloads
+
+pub use avis;
+pub use avis_firmware;
+pub use avis_hinj;
+pub use avis_mavlite;
+pub use avis_sim;
+pub use avis_workload;

@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: the full Avis pipeline against the
+//! firmware substrate, covering the paper's three headline claims at small
+//! scale — Avis finds the injected bugs, correct firmware yields no false
+//! positives, and found scenarios replay deterministically.
+
+use avis::checker::{Approach, Budget, Checker, CheckerConfig};
+use avis::monitor::{InvariantMonitor, MonitorConfig};
+use avis::report::{replay, BugReport};
+use avis::runner::{ExperimentConfig, ExperimentRunner};
+use avis_firmware::{BugId, BugSet, FirmwareProfile};
+use avis_workload::{auto_box_mission, default_workloads};
+
+fn experiment(profile: FirmwareProfile, bugs: BugSet) -> ExperimentConfig {
+    let mut config = ExperimentConfig::new(profile, bugs, auto_box_mission());
+    config.max_duration = 110.0;
+    config
+}
+
+#[test]
+fn avis_finds_unsafe_conditions_on_the_buggy_code_base() {
+    let profile = FirmwareProfile::ArduPilotLike;
+    let config = CheckerConfig::new(
+        Approach::Avis,
+        experiment(profile, BugSet::current_code_base(profile)),
+        Budget::simulations(25),
+    );
+    let result = Checker::new(config).run();
+    assert!(
+        result.unsafe_count() >= 1,
+        "Avis should expose unsafe conditions within 25 simulations"
+    );
+    assert!(!result.bugs_found().is_empty());
+    // Every unsafe condition is attributable and reportable.
+    for condition in &result.unsafe_conditions {
+        assert!(!condition.violations.is_empty());
+        let report = BugReport::from_unsafe_condition(profile, "auto-box-mission", condition);
+        let parsed = BugReport::from_json(&report.to_json()).expect("report round-trips");
+        assert_eq!(parsed.plan, condition.plan);
+    }
+}
+
+#[test]
+fn fixed_firmware_produces_no_false_positives() {
+    let profile = FirmwareProfile::ArduPilotLike;
+    let mut config = CheckerConfig::new(
+        Approach::Avis,
+        experiment(profile, BugSet::none()),
+        Budget::simulations(15),
+    );
+    config.profiling_runs = 3;
+    let result = Checker::new(config).run();
+    assert_eq!(
+        result.unsafe_count(),
+        0,
+        "the paper reports no false positives; found {:?}",
+        result.unsafe_conditions
+    );
+}
+
+#[test]
+fn found_scenarios_replay_deterministically() {
+    let profile = FirmwareProfile::ArduPilotLike;
+    let exp = experiment(profile, BugSet::current_code_base(profile));
+    let config = CheckerConfig::new(Approach::Avis, exp.clone(), Budget::simulations(25));
+    let result = Checker::new(config).run();
+    let condition = result
+        .unsafe_conditions
+        .first()
+        .expect("the buggy code base yields at least one unsafe condition");
+    let report = BugReport::from_unsafe_condition(profile, "auto-box-mission", condition);
+
+    let mut runner = ExperimentRunner::new(exp);
+    let profiling = (0..3).map(|i| runner.run_profiling(i).trace).collect();
+    let monitor = InvariantMonitor::calibrate(profiling, MonitorConfig::default());
+    let outcome = replay(&report, &mut runner, &monitor);
+    assert!(outcome.reproduced, "replaying the recorded faults must reproduce the violation");
+}
+
+#[test]
+fn reinserted_known_bug_is_detected_by_avis() {
+    // Table V-style single-bug reinsertion: APM-4679 (accelerometer failure
+    // between waypoints).
+    let bug = BugId::Apm4679;
+    let config = CheckerConfig::new(
+        Approach::Avis,
+        experiment(bug.info().firmware, BugSet::only(bug)),
+        Budget::simulations(40),
+    );
+    let result = Checker::new(config).run();
+    let sims = result.simulations_to_find(bug);
+    assert!(sims.is_some(), "Avis should trigger the re-inserted {bug} within 40 simulations");
+}
+
+#[test]
+fn default_workloads_pass_on_healthy_firmware() {
+    // The paper's workloads must complete cleanly on both firmware stacks
+    // when no faults are injected.
+    for profile in FirmwareProfile::ALL {
+        for workload in default_workloads() {
+            let mut config = ExperimentConfig::new(profile, BugSet::none(), workload);
+            config.max_duration = 130.0;
+            let mut runner = ExperimentRunner::new(config);
+            let result = runner.run_profiling(0);
+            assert_eq!(
+                result.trace.workload_status,
+                avis_workload::WorkloadStatus::Passed,
+                "workload should pass on {profile}"
+            );
+            assert!(!result.crashed(), "no crash on healthy {profile}");
+        }
+    }
+}
+
+#[test]
+fn umbrella_crate_reexports_every_subsystem() {
+    // The repository-level crate exposes all workspace members.
+    let _ = avis_repro::avis_sim::SensorKind::Gps;
+    let _ = avis_repro::avis_firmware::FirmwareProfile::Px4Like;
+    let _ = avis_repro::avis_hinj::FaultPlan::empty();
+    let _ = avis_repro::avis_mavlite::ProtocolMode::Auto;
+    let _ = avis_repro::avis_workload::auto_box_mission();
+    let _ = avis_repro::avis::checker::Approach::Avis;
+}

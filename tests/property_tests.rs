@@ -1,0 +1,182 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the simulator math, the wire codec, fault plans and the
+//! pruning signatures.
+
+use avis::pruning::RoleSignature;
+use avis_hinj::{FaultPlan, FaultSpec};
+use avis_mavlite::{decode_frame, encode_frame, Message, MissionCommand, MissionItem, ProtocolMode};
+use avis_sim::math::{wrap_angle, Quat, Vec3};
+use avis_sim::{SensorInstance, SensorKind};
+use proptest::prelude::*;
+
+fn arb_vec3() -> impl Strategy<Value = Vec3> {
+    (-1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_sensor_kind() -> impl Strategy<Value = SensorKind> {
+    prop_oneof![
+        Just(SensorKind::Accelerometer),
+        Just(SensorKind::Gyroscope),
+        Just(SensorKind::Gps),
+        Just(SensorKind::Barometer),
+        Just(SensorKind::Compass),
+        Just(SensorKind::Battery),
+    ]
+}
+
+fn arb_instance() -> impl Strategy<Value = SensorInstance> {
+    (arb_sensor_kind(), 0u8..3).prop_map(|(kind, index)| SensorInstance::new(kind, index))
+}
+
+fn arb_spec() -> impl Strategy<Value = FaultSpec> {
+    (arb_instance(), 0.0..200.0f64).prop_map(|(instance, time)| FaultSpec::new(instance, time))
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<bool>(), any::<bool>()).prop_map(|(armed, auto)| Message::Heartbeat {
+            mode: if auto { ProtocolMode::Auto } else { ProtocolMode::Land },
+            armed,
+        }),
+        (-500.0..500.0f64, -500.0..500.0f64, 0.0..120.0f64, -10.0..10.0f64, 0u16..20, any::<bool>())
+            .prop_map(|(x, y, altitude, climb_rate, mission_seq, landed)| Message::Status {
+                x,
+                y,
+                altitude,
+                climb_rate,
+                mission_seq,
+                landed,
+            }),
+        any::<bool>().prop_map(|arm| Message::ArmDisarm { arm }),
+        (0.0..100.0f64).prop_map(|altitude| Message::CommandTakeoff { altitude }),
+        (-200.0..200.0f64, -200.0..200.0f64, 0.0..100.0f64)
+            .prop_map(|(x, y, z)| Message::CommandGoto { x, y, z }),
+        (0u16..100).prop_map(|count| Message::MissionCount { count }),
+        (0u16..100).prop_map(|seq| Message::MissionRequest { seq }),
+        (0u16..30, -100.0..100.0f64, -100.0..100.0f64, 1.0..60.0f64).prop_map(|(seq, x, y, z)| {
+            Message::MissionItemMsg { item: MissionItem::new(seq, MissionCommand::Waypoint { x, y, z }) }
+        }),
+        any::<bool>().prop_map(|accepted| Message::MissionAck { accepted }),
+        (0u8..8).prop_map(|severity| Message::StatusText { severity }),
+    ]
+}
+
+proptest! {
+    /// Rotating any vector by any attitude preserves its length.
+    #[test]
+    fn quaternion_rotation_preserves_norm(v in arb_vec3(), roll in -3.0..3.0f64, pitch in -1.5..1.5f64, yaw in -3.0..3.0f64) {
+        let q = Quat::from_euler(roll, pitch, yaw);
+        let rotated = q.rotate(v);
+        prop_assert!((rotated.norm() - v.norm()).abs() < 1e-6);
+        // Rotating back recovers the original vector.
+        let back = q.rotate_inverse(rotated);
+        prop_assert!(back.distance(v) < 1e-6);
+    }
+
+    /// Wrapped angles always land in (-pi, pi].
+    #[test]
+    fn wrap_angle_stays_in_range(angle in -1e4..1e4f64) {
+        let wrapped = wrap_angle(angle);
+        prop_assert!(wrapped > -std::f64::consts::PI - 1e-9);
+        prop_assert!(wrapped <= std::f64::consts::PI + 1e-9);
+        // Wrapping is idempotent.
+        prop_assert!((wrap_angle(wrapped) - wrapped).abs() < 1e-9);
+    }
+
+    /// The triangle inequality holds for the Euclidean position distance
+    /// used by the invariant monitor.
+    #[test]
+    fn position_distance_triangle_inequality(a in arb_vec3(), b in arb_vec3(), c in arb_vec3()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        prop_assert!(a.distance(b) >= 0.0);
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+    }
+
+    /// Every MAVLite message survives an encode/decode round trip.
+    #[test]
+    fn mavlite_frames_round_trip(msg in arb_message(), seq in any::<u8>()) {
+        let frame = encode_frame(&msg, seq);
+        let (decoded, decoded_seq, used) = decode_frame(&frame).expect("well-formed frame");
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(decoded_seq, seq);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    /// Corrupting any single payload byte of a frame never yields a wrong
+    /// message: decoding either fails or (for the rare case where the
+    /// corrupted byte is outside the checksummed region boundary) returns
+    /// the original message.
+    #[test]
+    fn mavlite_detects_single_byte_corruption(msg in arb_message(), flip in 1usize..64, bit in 0u8..8) {
+        let frame = encode_frame(&msg, 7);
+        let mut bytes = frame.to_vec();
+        let idx = flip % bytes.len();
+        if idx == 0 {
+            // Corrupting the magic byte is always detected as BadMagic.
+            bytes[0] ^= 1 << bit;
+            prop_assert!(decode_frame(&bytes).is_err());
+        } else {
+            bytes[idx] ^= 1 << bit;
+            match decode_frame(&bytes) {
+                Err(_) => {}
+                Ok((decoded, _, _)) => prop_assert_eq!(decoded, msg),
+            }
+        }
+    }
+
+    /// Fault plans are order-independent sets: building a plan from any
+    /// permutation of the same specs yields the same canonical key, and a
+    /// sensor never fails more than once.
+    #[test]
+    fn fault_plan_canonicalisation(specs in prop::collection::vec(arb_spec(), 0..8)) {
+        let plan = FaultPlan::from_specs(specs.clone());
+        let mut reversed = specs.clone();
+        reversed.reverse();
+        let plan_rev = FaultPlan::from_specs(reversed);
+        prop_assert_eq!(plan.canonical_key(), plan_rev.canonical_key());
+        // At most one failure per instance, at the earliest requested time.
+        let distinct: std::collections::BTreeSet<_> = specs.iter().map(|s| s.instance).collect();
+        prop_assert_eq!(plan.len(), distinct.len());
+        for spec in &specs {
+            let time = plan.failure_time(spec.instance).expect("instance scheduled");
+            prop_assert!(time <= spec.time + 1e-9);
+        }
+        // The failure predicate is monotone in time.
+        for spec in plan.specs() {
+            prop_assert!(!plan.is_failed(spec.instance, spec.time - 0.001));
+            prop_assert!(plan.is_failed(spec.instance, spec.time));
+            prop_assert!(plan.is_failed(spec.instance, spec.time + 1000.0));
+        }
+    }
+
+    /// Role signatures are invariant under backup-index renaming and a plan
+    /// is always a subset of any plan that extends it.
+    #[test]
+    fn role_signature_symmetry_and_subsets(specs in prop::collection::vec(arb_spec(), 1..6), extra in arb_spec()) {
+        let plan = FaultPlan::from_specs(specs.clone());
+        // Rename backups: index 1 <-> 2 (index 0 stays primary).
+        let renamed: Vec<FaultSpec> = specs
+            .iter()
+            .map(|s| {
+                let index = match s.instance.index {
+                    1 => 2,
+                    2 => 1,
+                    other => other,
+                };
+                FaultSpec::new(SensorInstance::new(s.instance.kind, index), s.time)
+            })
+            .collect();
+        let renamed_plan = FaultPlan::from_specs(renamed);
+        prop_assert_eq!(RoleSignature::of(&plan), RoleSignature::of(&renamed_plan));
+
+        // Adding a failure of a *new* instance extends the plan, so the
+        // original signature must be contained in the extended one. (When
+        // `extra` re-schedules an instance already in the plan, the earlier
+        // time wins and the original entry is replaced, so containment is
+        // not expected.)
+        if plan.failure_time(extra.instance).is_none() {
+            let extended = plan.with(extra);
+            prop_assert!(RoleSignature::of(&plan).is_subset_of(&RoleSignature::of(&extended)));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Integration test: the relative ordering of the four approaches under an
+//! equal (small) budget reproduces the shape of the paper's Table III —
+//! Avis finds at least as many unsafe conditions as Stratified BFI, which
+//! finds more than vanilla BFI.
+
+use avis::checker::{Approach, Budget, Checker, CheckerConfig};
+use avis::metrics::unsafe_scenario_table;
+use avis::runner::ExperimentConfig;
+use avis_firmware::{BugSet, FirmwareProfile};
+use avis_workload::auto_box_mission;
+
+fn run(approach: Approach, budget: Budget) -> avis::checker::CampaignResult {
+    let profile = FirmwareProfile::ArduPilotLike;
+    let mut experiment = ExperimentConfig::new(
+        profile,
+        BugSet::current_code_base(profile),
+        auto_box_mission(),
+    );
+    experiment.max_duration = 110.0;
+    let mut config = CheckerConfig::new(approach, experiment, budget);
+    config.profiling_runs = 2;
+    Checker::new(config).run()
+}
+
+#[test]
+fn table_iii_shape_holds_at_small_scale() {
+    // Equal cost budget for every approach (seconds of simulated flight
+    // plus modelled BFI labelling latency).
+    let budget = Budget::seconds(2000.0);
+    let avis = run(Approach::Avis, budget);
+    let sbfi = run(Approach::StratifiedBfi, budget);
+    let bfi = run(Approach::Bfi, budget);
+
+    assert!(
+        avis.unsafe_count() >= sbfi.unsafe_count(),
+        "Avis ({}) should find at least as many unsafe conditions as Stratified BFI ({})",
+        avis.unsafe_count(),
+        sbfi.unsafe_count()
+    );
+    assert!(
+        avis.unsafe_count() > bfi.unsafe_count(),
+        "Avis ({}) should beat vanilla BFI ({})",
+        avis.unsafe_count(),
+        bfi.unsafe_count()
+    );
+    assert!(avis.unsafe_count() >= 1, "Avis should find something under this budget");
+    // BFI burns its budget on per-site labelling (the paper: it cannot even
+    // cover one second of data).
+    assert!(bfi.labels_evaluated > 0);
+    assert_eq!(avis.labels_evaluated, 0, "Avis does not use a learned model");
+
+    // The metrics helper aggregates these into a Table III row set.
+    let results = vec![avis.clone(), sbfi, bfi];
+    let table = unsafe_scenario_table(&results);
+    let avis_row = table.iter().find(|r| r.approach == Approach::Avis).unwrap();
+    assert_eq!(avis_row.ardupilot, avis.unsafe_count());
+    assert_eq!(avis_row.px4, 0);
+}
+
+#[test]
+fn stratified_bfi_skips_joint_failures() {
+    let budget = Budget::seconds(1500.0);
+    let sbfi = run(Approach::StratifiedBfi, budget);
+    for condition in &sbfi.unsafe_conditions {
+        let kinds: std::collections::BTreeSet<_> =
+            condition.plan.specs().map(|s| s.instance.kind).collect();
+        assert!(
+            kinds.len() <= 1,
+            "Stratified BFI's model cannot predict joint failures, so it never runs them"
+        );
+    }
+}
