@@ -1,0 +1,154 @@
+//! Campaign-throughput bench: wall-clock time for fixed-budget Avis
+//! campaigns at increasing worker counts, verifying along the way that
+//! the parallel engine's `CampaignResult` is bit-identical to the serial
+//! one.
+//!
+//! Two scenarios bracket the engine's speculation behaviour:
+//!
+//! - **fixed** — the repaired code base: no run is unsafe, so found-bug
+//!   pruning never rejects speculated work and the engine scales ~linearly
+//!   with the worker count (the realistic large-budget regime, where most
+//!   scenarios are safe).
+//! - **buggy** — the paper's "current code base": most runs trigger
+//!   found-bug pruning, which invalidates speculated siblings, so the
+//!   useful parallelism is bounded by the commit-accept ratio. This is
+//!   the engine's worst case and is reported for honesty.
+//!
+//! Unlike the Criterion-style micro-benches this harness owns its `main`
+//! (`harness = false`): one campaign is seconds of work, so it runs each
+//! configuration once and reports wall-clock plus speedup directly, and
+//! it emits the machine-readable `bench_campaign.json` consumed by CI as
+//! the perf-trajectory artefact.
+//!
+//! Environment knobs:
+//! - `AVIS_BENCH_SIMS` — simulation budget per campaign (default 64)
+//! - `AVIS_BENCH_PARALLELISM` — comma-separated worker counts to measure
+//!   (default `2,4`; `1` is always measured first as the baseline)
+//! - `AVIS_BENCH_OUT` — output path (default `bench_campaign.json`)
+
+use avis::checker::{Approach, Budget, CampaignResult, Checker, CheckerConfig};
+use avis::json::{self, Json};
+use avis::runner::ExperimentConfig;
+use avis_firmware::{BugSet, FirmwareProfile};
+use avis_workload::auto_box_mission;
+use std::time::Instant;
+
+fn campaign_config(bugs: BugSet, simulations: usize, parallelism: usize) -> CheckerConfig {
+    let experiment =
+        ExperimentConfig::new(FirmwareProfile::ArduPilotLike, bugs, auto_box_mission());
+    let mut config =
+        CheckerConfig::new(Approach::Avis, experiment, Budget::simulations(simulations))
+            .with_parallelism(parallelism);
+    config.experiment.max_duration = 110.0;
+    // Two profiling runs: liveliness calibration from a single golden
+    // trace has no run-to-run variance to measure and flags every faulted
+    // run as divergent.
+    config.profiling_runs = 2;
+    config
+}
+
+fn run_campaign(bugs: &BugSet, simulations: usize, parallelism: usize) -> (CampaignResult, f64) {
+    let checker = Checker::new(campaign_config(bugs.clone(), simulations, parallelism));
+    let start = Instant::now();
+    let result = checker.run();
+    (result, start.elapsed().as_secs_f64())
+}
+
+fn bench_scenario(name: &str, bugs: &BugSet, simulations: usize, worker_counts: &[usize]) -> Json {
+    println!("scenario `{name}`: {simulations}-simulation Avis campaign");
+    let (serial_result, serial_seconds) = run_campaign(bugs, simulations, 1);
+    println!(
+        "  parallelism=1: {serial_seconds:.2}s wall, {} unsafe conditions, {} simulations",
+        serial_result.unsafe_count(),
+        serial_result.simulations
+    );
+
+    let mut measurements = vec![(1usize, serial_seconds)];
+    for &workers in worker_counts {
+        if workers <= 1 {
+            continue;
+        }
+        let (result, seconds) = run_campaign(bugs, simulations, workers);
+        let identical = result == serial_result;
+        println!(
+            "  parallelism={workers}: {seconds:.2}s wall, speedup {:.2}x, result {}",
+            serial_seconds / seconds,
+            if identical {
+                "bit-identical to serial"
+            } else {
+                "DIVERGED FROM SERIAL"
+            }
+        );
+        assert!(
+            identical,
+            "parallel campaign ({name}, workers={workers}) diverged from the serial result"
+        );
+        measurements.push((workers, seconds));
+    }
+
+    json::object(vec![
+        ("scenario", Json::String(name.to_string())),
+        (
+            "unsafe_conditions",
+            Json::Number(serial_result.unsafe_count() as f64),
+        ),
+        (
+            "simulations",
+            Json::Number(serial_result.simulations as f64),
+        ),
+        (
+            "measurements",
+            Json::Array(
+                measurements
+                    .iter()
+                    .map(|&(workers, seconds)| {
+                        json::object(vec![
+                            ("parallelism", Json::Number(workers as f64)),
+                            ("wall_seconds", Json::Number(seconds)),
+                            ("speedup_vs_serial", Json::Number(serial_seconds / seconds)),
+                            ("result_identical", Json::Bool(true)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let simulations: usize = std::env::var("AVIS_BENCH_SIMS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let worker_counts: Vec<usize> = std::env::var("AVIS_BENCH_PARALLELISM")
+        .ok()
+        .map(|s| s.split(',').filter_map(|p| p.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![2, 4]);
+    let out_path =
+        std::env::var("AVIS_BENCH_OUT").unwrap_or_else(|_| "bench_campaign.json".to_string());
+
+    let scenarios = [
+        ("fixed", BugSet::none()),
+        (
+            "buggy",
+            BugSet::current_code_base(FirmwareProfile::ArduPilotLike),
+        ),
+    ];
+    let reports: Vec<Json> = scenarios
+        .iter()
+        .map(|(name, bugs)| bench_scenario(name, bugs, simulations, &worker_counts))
+        .collect();
+
+    let doc = json::object(vec![
+        ("bench", Json::String("campaign_throughput".to_string())),
+        ("approach", Json::String("Avis".to_string())),
+        ("budget_simulations", Json::Number(simulations as f64)),
+        (
+            "host_cores",
+            Json::Number(avis::engine::default_parallelism() as f64),
+        ),
+        ("scenarios", Json::Array(reports)),
+    ]);
+    std::fs::write(&out_path, doc.to_pretty()).expect("write bench_campaign.json");
+    println!("wrote {out_path}");
+}

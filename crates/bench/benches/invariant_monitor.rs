@@ -11,24 +11,44 @@ use std::hint::black_box;
 fn synthetic_run(offset: f64) -> Trace {
     let dt = 0.1;
     let mut samples = Vec::new();
-    let mut transitions = vec![ModeTransition { time: 0.0, mode: OperatingMode::PreFlight }];
+    let mut transitions = vec![ModeTransition {
+        time: 0.0,
+        mode: OperatingMode::PreFlight,
+    }];
     let mut mode = OperatingMode::PreFlight;
     for k in 0..900 {
         let t = k as f64 * dt;
         let (pos, new_mode) = if t < 2.0 {
             (Vec3::new(offset, 0.0, 0.0), OperatingMode::PreFlight)
         } else if t < 12.0 {
-            (Vec3::new(offset, 0.0, (t - 2.0) * 2.0), OperatingMode::Takeoff)
+            (
+                Vec3::new(offset, 0.0, (t - 2.0) * 2.0),
+                OperatingMode::Takeoff,
+            )
         } else if t < 50.0 {
-            (Vec3::new(offset + (t - 12.0), 0.0, 20.0), OperatingMode::Auto { leg: 1 })
+            (
+                Vec3::new(offset + (t - 12.0), 0.0, 20.0),
+                OperatingMode::Auto { leg: 1 },
+            )
         } else {
-            (Vec3::new(offset + 38.0, 0.0, (20.0 - (t - 50.0) * 0.7).max(0.0)), OperatingMode::Land)
+            (
+                Vec3::new(offset + 38.0, 0.0, (20.0 - (t - 50.0) * 0.7).max(0.0)),
+                OperatingMode::Land,
+            )
         };
         if new_mode != mode {
-            transitions.push(ModeTransition { time: t, mode: new_mode });
+            transitions.push(ModeTransition {
+                time: t,
+                mode: new_mode,
+            });
             mode = new_mode;
         }
-        samples.push(StateSample { time: t, position: pos, acceleration: Vec3::ZERO, mode });
+        samples.push(StateSample {
+            time: t,
+            position: pos,
+            acceleration: Vec3::ZERO,
+            mode,
+        });
     }
     Trace {
         sample_interval: dt,
@@ -46,7 +66,10 @@ fn bench_monitor(c: &mut Criterion) {
 
     c.bench_function("monitor_calibration_3_runs", |b| {
         b.iter(|| {
-            black_box(InvariantMonitor::calibrate(profiling.clone(), MonitorConfig::default()))
+            black_box(InvariantMonitor::calibrate(
+                profiling.clone(),
+                MonitorConfig::default(),
+            ))
         });
     });
 

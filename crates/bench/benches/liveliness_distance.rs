@@ -27,10 +27,22 @@ fn flat_trace() -> Trace {
         sample_interval: dt,
         samples,
         mode_transitions: vec![
-            ModeTransition { time: 0.0, mode: OperatingMode::PreFlight },
-            ModeTransition { time: 1.0, mode: OperatingMode::Takeoff },
-            ModeTransition { time: 5.0, mode: OperatingMode::Auto { leg: 1 } },
-            ModeTransition { time: 50.0, mode: OperatingMode::Land },
+            ModeTransition {
+                time: 0.0,
+                mode: OperatingMode::PreFlight,
+            },
+            ModeTransition {
+                time: 1.0,
+                mode: OperatingMode::Takeoff,
+            },
+            ModeTransition {
+                time: 5.0,
+                mode: OperatingMode::Auto { leg: 1 },
+            },
+            ModeTransition {
+                time: 50.0,
+                mode: OperatingMode::Land,
+            },
         ],
         collision: None,
         fence_violations: 0,
@@ -68,10 +80,7 @@ fn bench_distance(c: &mut Criterion) {
     let graph = ModeGraph::from_traces([&flat_trace()]);
     c.bench_function("mode_graph_distance", |bench| {
         bench.iter(|| {
-            black_box(graph.distance(
-                OperatingMode::PreFlight.code(),
-                OperatingMode::Land.code(),
-            ))
+            black_box(graph.distance(OperatingMode::PreFlight.code(), OperatingMode::Land.code()))
         });
     });
 }

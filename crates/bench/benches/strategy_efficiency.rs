@@ -26,7 +26,10 @@ fn bench_strategies(c: &mut Criterion) {
                     let mut config = CheckerConfig::new(
                         approach,
                         experiment,
-                        Budget { max_simulations: 8, max_cost_seconds: 1200.0 },
+                        Budget {
+                            max_simulations: 8,
+                            max_cost_seconds: 1200.0,
+                        },
                     );
                     config.profiling_runs = 1;
                     let result = Checker::new(config).run();

@@ -14,7 +14,8 @@ fn plans_for_bench() -> Vec<FaultPlan> {
         .enumerate()
         .map(|(i, set)| {
             FaultPlan::from_specs(
-                set.into_iter().map(|inst| FaultSpec::new(inst, 5.0 + (i % 7) as f64)),
+                set.into_iter()
+                    .map(|inst| FaultSpec::new(inst, 5.0 + (i % 7) as f64)),
             )
         })
         .collect()

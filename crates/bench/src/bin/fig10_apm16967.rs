@@ -11,10 +11,13 @@ use avis_workload::auto_box_mission;
 
 fn main() {
     let bug = BugId::Apm16967;
-    println!("Figure 10: sequence of events in {} ({})\n", bug, bug.info().window_description);
+    println!(
+        "Figure 10: sequence of events in {} ({})\n",
+        bug,
+        bug.info().window_description
+    );
 
-    let (result, condition) =
-        first_condition_for(bug, auto_box_mission(), Budget::simulations(80));
+    let (result, condition) = first_condition_for(bug, auto_box_mission(), Budget::simulations(80));
     let Some(condition) = condition else {
         println!(
             "Avis did not trigger {bug} within {} simulations — increase the budget.",
@@ -38,7 +41,10 @@ fn main() {
     altitude_chart(&golden.trace, &faulted.trace);
 
     println!("\nEvents:");
-    println!("  1. Compass fault injected between waypoints ({})", condition.plan);
+    println!(
+        "  1. Compass fault injected between waypoints ({})",
+        condition.plan
+    );
     println!("  2. Firmware keeps using the stale heading; track error grows");
     println!("  3. Emergency land fail-safe engages");
     println!("  4. State-estimate reset near the ground");
@@ -46,5 +52,8 @@ fn main() {
         Some(c) => println!("  5. Crash at {:.1} m/s", c.impact_speed),
         None => println!("  5. (no crash reproduced in this run)"),
     }
-    println!("\nMonitor verdict: {:?}", condition.violations.first().map(|v| v.kind.to_string()));
+    println!(
+        "\nMonitor verdict: {:?}",
+        condition.violations.first().map(|v| v.kind.to_string())
+    );
 }

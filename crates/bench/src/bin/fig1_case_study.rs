@@ -53,7 +53,10 @@ fn main() {
     }
     println!("  - firmware engages GPS-driven return home");
     match faulted.trace.collision {
-        Some(c) => println!("  - GPS resolution is too coarse at low altitude: crash at {:.1} m/s", c.impact_speed),
+        Some(c) => println!(
+            "  - GPS resolution is too coarse at low altitude: crash at {:.1} m/s",
+            c.impact_speed
+        ),
         None => println!("  - (no crash reproduced in this run)"),
     }
 }

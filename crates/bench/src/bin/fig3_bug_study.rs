@@ -8,7 +8,10 @@ fn main() {
     let corpus = synthetic_corpus();
     let stats = analyse(&corpus);
 
-    println!("Figure 3: Analysis of reported bugs for ArduPilot and PX4 ({} reports)\n", stats.total);
+    println!(
+        "Figure 3: Analysis of reported bugs for ArduPilot and PX4 ({} reports)\n",
+        stats.total
+    );
 
     println!("(A) Type of bug");
     println!("{}", header(&["Root cause", "Reports", "Share"]));
@@ -30,7 +33,10 @@ fn main() {
     );
 
     println!("\n(C) Sensor-bug outcomes");
-    println!("  serious (crash / fly-away): {:.0}% (paper: ~34%)", 100.0 * stats.sensor_serious);
+    println!(
+        "  serious (crash / fly-away): {:.0}% (paper: ~34%)",
+        100.0 * stats.sensor_serious
+    );
 
     println!("\nFindings");
     println!(

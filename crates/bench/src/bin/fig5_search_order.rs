@@ -9,8 +9,12 @@ use avis_sim::{SensorInstance, SensorKind};
 const STEPS: usize = 5;
 
 fn label(set: &[&str], active: &[bool]) -> String {
-    let names: Vec<&str> =
-        set.iter().zip(active).filter(|(_, &a)| a).map(|(n, _)| *n).collect();
+    let names: Vec<&str> = set
+        .iter()
+        .zip(active)
+        .filter(|(_, &a)| a)
+        .map(|(n, _)| *n)
+        .collect();
     if names.is_empty() {
         "∅".to_string()
     } else {
@@ -62,18 +66,26 @@ fn main() {
     println!("\nSABRE (anchors at the mode transitions t1, t2, t4 first):");
     // Mode transitions of the toy workload: takeoff at t1, auto at t2, land at t4.
     let transitions = [1.0, 2.0, 4.0];
-    let mut queue = SabreQueue::new(&transitions, SabreConfig {
-        time_increment: 1.0,
-        horizon: 4.0,
-        max_queue: 64,
-    });
+    let mut queue = SabreQueue::new(
+        &transitions,
+        SabreConfig {
+            time_increment: 1.0,
+            horizon: 4.0,
+            max_queue: 64,
+        },
+    );
     let gps = SensorInstance::new(SensorKind::Gps, 0);
     let baro = SensorInstance::new(SensorKind::Barometer, 0);
-    let candidate_sets: [(&str, Vec<SensorInstance>); 3] =
-        [("GPS", vec![gps]), ("Baro", vec![baro]), ("GPS,Baro", vec![gps, baro])];
+    let candidate_sets: [(&str, Vec<SensorInstance>); 3] = [
+        ("GPS", vec![gps]),
+        ("Baro", vec![baro]),
+        ("GPS,Baro", vec![gps, baro]),
+    ];
     let mut shown = 0;
     while shown < 9 {
-        let Some(anchor) = queue.next_anchor() else { break };
+        let Some(anchor) = queue.next_anchor() else {
+            break;
+        };
         for (name, set) in &candidate_sets {
             if queue.plan_for(&anchor, set).is_some() {
                 let start = anchor.timestamp as usize;

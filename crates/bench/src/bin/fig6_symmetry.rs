@@ -2,15 +2,21 @@
 //! sensor-instance symmetry pruning, including the 21 → 5 reduction for a
 //! three-compass vehicle.
 
-use avis::pruning::{
-    naive_combination_count, representative_subsets, symmetric_combination_count,
-};
+use avis::pruning::{naive_combination_count, representative_subsets, symmetric_combination_count};
 use avis_bench::{header, row};
 use avis_sim::SensorKind;
 
 fn main() {
     println!("Figure 6 / §IV.B.1: sensor-instance symmetry\n");
-    println!("{}", header(&["Instances N", "Naive N×(2^N−1)", "With symmetry 2N−1", "Reduction"]));
+    println!(
+        "{}",
+        header(&[
+            "Instances N",
+            "Naive N×(2^N−1)",
+            "With symmetry 2N−1",
+            "Reduction"
+        ])
+    );
     for n in 1..=6u32 {
         let naive = naive_combination_count(n);
         let pruned = symmetric_combination_count(n);
@@ -29,7 +35,13 @@ fn main() {
     for subset in representative_subsets(SensorKind::Compass, 3) {
         let names: Vec<String> = subset
             .iter()
-            .map(|i| if i.index == 0 { "P".to_string() } else { format!("B{}", i.index) })
+            .map(|i| {
+                if i.index == 0 {
+                    "P".to_string()
+                } else {
+                    format!("B{}", i.index)
+                }
+            })
             .collect();
         println!("  {{{}}}", names.join(", "));
     }

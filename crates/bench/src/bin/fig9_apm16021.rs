@@ -11,10 +11,13 @@ use avis_workload::auto_box_mission;
 
 fn main() {
     let bug = BugId::Apm16021;
-    println!("Figure 9: sequence of events in {} ({})\n", bug, bug.info().window_description);
+    println!(
+        "Figure 9: sequence of events in {} ({})\n",
+        bug,
+        bug.info().window_description
+    );
 
-    let (result, condition) =
-        first_condition_for(bug, auto_box_mission(), Budget::simulations(60));
+    let (result, condition) = first_condition_for(bug, auto_box_mission(), Budget::simulations(60));
     let Some(condition) = condition else {
         println!(
             "Avis did not trigger {bug} within {} simulations — increase the budget.",
@@ -56,5 +59,8 @@ fn main() {
         Some(c) => println!("  4. Crash at {:.1} m/s", c.impact_speed),
         None => println!("  4. (no crash reproduced in this run)"),
     }
-    println!("\nMonitor verdict: {:?}", condition.violations.first().map(|v| v.kind.to_string()));
+    println!(
+        "\nMonitor verdict: {:?}",
+        condition.violations.first().map(|v| v.kind.to_string())
+    );
 }

@@ -6,16 +6,38 @@ use avis_bench::{check_mark, header, row};
 
 fn main() {
     println!("Table I: Distinguishing features of Avis versus competing approaches\n");
-    println!("{}", header(&["Feature", "Avis", "Strat. BFI", "BFI", "Rnd"]));
-    let approaches = [Approach::Avis, Approach::StratifiedBfi, Approach::Bfi, Approach::Random];
-    let features: [(&str, fn(Approach) -> bool); 3] = [
-        ("Targets operating mode transitions", Approach::targets_mode_transitions),
-        ("Prior bugs inform injection sites", Approach::uses_prior_bugs),
-        ("Search dissimilar scenarios first", Approach::searches_dissimilar_first),
+    println!(
+        "{}",
+        header(&["Feature", "Avis", "Strat. BFI", "BFI", "Rnd"])
+    );
+    let approaches = [
+        Approach::Avis,
+        Approach::StratifiedBfi,
+        Approach::Bfi,
+        Approach::Random,
+    ];
+    type Feature = (&'static str, fn(Approach) -> bool);
+    let features: [Feature; 3] = [
+        (
+            "Targets operating mode transitions",
+            Approach::targets_mode_transitions,
+        ),
+        (
+            "Prior bugs inform injection sites",
+            Approach::uses_prior_bugs,
+        ),
+        (
+            "Search dissimilar scenarios first",
+            Approach::searches_dissimilar_first,
+        ),
     ];
     for (name, predicate) in features {
         let mut cells = vec![name.to_string()];
-        cells.extend(approaches.iter().map(|&a| check_mark(predicate(a)).to_string()));
+        cells.extend(
+            approaches
+                .iter()
+                .map(|&a| check_mark(predicate(a)).to_string()),
+        );
         println!("{}", row(&cells));
     }
 }

@@ -65,8 +65,14 @@ fn main() {
     }
     println!(
         "\nAvis found {}/10 unknown bugs; Stratified BFI found {}/10.",
-        BugId::UNKNOWN.iter().filter(|b| avis_found.contains(b)).count(),
-        BugId::UNKNOWN.iter().filter(|b| sbfi_found.contains(b)).count()
+        BugId::UNKNOWN
+            .iter()
+            .filter(|b| avis_found.contains(b))
+            .count(),
+        BugId::UNKNOWN
+            .iter()
+            .filter(|b| sbfi_found.contains(b))
+            .count()
     );
     println!("(Paper: Avis 10/10, Stratified BFI 4/10.)");
 }

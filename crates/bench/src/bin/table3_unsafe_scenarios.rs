@@ -17,7 +17,9 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(7200.0);
-    eprintln!("running 4 approaches x 2 firmware x 2 workloads ({budget_seconds} s budget each)...");
+    eprintln!(
+        "running 4 approaches x 2 firmware x 2 workloads ({budget_seconds} s budget each)..."
+    );
 
     let mut results: Vec<CampaignResult> = Vec::new();
     for approach in Approach::ALL {
@@ -35,7 +37,10 @@ fn main() {
     }
 
     println!("Table III: Unsafe scenarios identified by each approach\n");
-    println!("{}", header(&["Approach", "ArduPilot Unsafe #", "PX4 Unsafe #", "Total #"]));
+    println!(
+        "{}",
+        header(&["Approach", "ArduPilot Unsafe #", "PX4 Unsafe #", "Total #"])
+    );
     let table = unsafe_scenario_table(&results);
     for r in &table {
         println!(
@@ -68,7 +73,13 @@ fn main() {
     println!("\nSimulations executed per approach:");
     for approach in Approach::ALL {
         let sims: usize = by_approach(approach).iter().map(|r| r.simulations).sum();
-        let labels: usize = by_approach(approach).iter().map(|r| r.labels_evaluated).sum();
-        println!("  {:15} {sims} runs, {labels} model labels", approach.name());
+        let labels: usize = by_approach(approach)
+            .iter()
+            .map(|r| r.labels_evaluated)
+            .sum();
+        println!(
+            "  {:15} {sims} runs, {labels} model labels",
+            approach.name()
+        );
     }
 }

@@ -13,7 +13,9 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(7200.0);
-    eprintln!("running 4 approaches x 2 firmware x 2 workloads ({budget_seconds} s budget each)...");
+    eprintln!(
+        "running 4 approaches x 2 firmware x 2 workloads ({budget_seconds} s budget each)..."
+    );
 
     let mut results: Vec<CampaignResult> = Vec::new();
     for approach in Approach::ALL {

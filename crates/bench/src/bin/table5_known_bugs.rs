@@ -17,13 +17,23 @@ fn main() {
     println!("Table V: Existing bugs triggered by Avis\n");
     println!(
         "{}",
-        header(&["Bug ID", "Avis Found", "Avis Simulations", "Strat. BFI Found", "Strat. BFI Simulations"])
+        header(&[
+            "Bug ID",
+            "Avis Found",
+            "Avis Simulations",
+            "Strat. BFI Found",
+            "Strat. BFI Simulations"
+        ])
     );
     for bug in BugId::KNOWN {
         let info = bug.info();
         // APM-4455 manifests while holding position, so it needs the manual
         // survey workload; the others use the default auto mission.
-        let workload = if bug == BugId::Apm4455 { manual_box_survey() } else { auto_box_mission() };
+        let workload = if bug == BugId::Apm4455 {
+            manual_box_survey()
+        } else {
+            auto_box_mission()
+        };
         let mut cells = vec![bug.report_id().to_string()];
         for approach in [Approach::Avis, Approach::StratifiedBfi] {
             let result = campaign(

@@ -58,7 +58,10 @@ pub fn first_condition_for(
 /// Prints a golden-vs-faulted altitude comparison (the content of the
 /// paper's Figure 9 / Figure 10 charts) at two-second resolution.
 pub fn altitude_chart(golden: &avis::trace::Trace, faulted: &avis::trace::Trace) {
-    println!("{}", header(&["t (s)", "golden alt (m)", "faulted alt (m)", "faulted mode"]));
+    println!(
+        "{}",
+        header(&["t (s)", "golden alt (m)", "faulted alt (m)", "faulted mode"])
+    );
     let horizon = golden.duration.max(faulted.duration);
     let mut t = 0.0;
     while t <= horizon {
@@ -68,7 +71,15 @@ pub fn altitude_chart(golden: &avis::trace::Trace, faulted: &avis::trace::Trace)
             .mode_at(t)
             .map(|m| m.name())
             .unwrap_or_else(|| "-".to_string());
-        println!("{}", row(&[format!("{t:5.1}"), format!("{g:6.2}"), format!("{f:6.2}"), mode]));
+        println!(
+            "{}",
+            row(&[
+                format!("{t:5.1}"),
+                format!("{g:6.2}"),
+                format!("{f:6.2}"),
+                mode
+            ])
+        );
         t += 2.0;
     }
 }

@@ -52,7 +52,10 @@ impl BfiModel {
                 entry.0 += 1;
             }
         }
-        BfiModel { counts, label_cost_seconds }
+        BfiModel {
+            counts,
+            label_cost_seconds,
+        }
     }
 
     /// The default training corpus: unsafe conditions observed in the main
@@ -75,9 +78,17 @@ impl BfiModel {
         ];
         for &(sensor, category) in positive {
             for _ in 0..4 {
-                examples.push(TrainingExample { sensor, category, led_to_unsafe: true });
+                examples.push(TrainingExample {
+                    sensor,
+                    category,
+                    led_to_unsafe: true,
+                });
             }
-            examples.push(TrainingExample { sensor, category, led_to_unsafe: false });
+            examples.push(TrainingExample {
+                sensor,
+                category,
+                led_to_unsafe: false,
+            });
         }
         // Explicit negatives: failures seen during landing / RTL and for the
         // remaining sensors were handled safely in the training fleet.
@@ -96,7 +107,11 @@ impl BfiModel {
         ];
         for &(sensor, category) in negative {
             for _ in 0..5 {
-                examples.push(TrainingExample { sensor, category, led_to_unsafe: false });
+                examples.push(TrainingExample {
+                    sensor,
+                    category,
+                    led_to_unsafe: false,
+                });
             }
         }
         examples
@@ -111,7 +126,11 @@ impl BfiModel {
     /// The Laplace-smoothed probability that failing `sensor` in
     /// `category` leads to an unsafe condition.
     pub fn probability_unsafe(&self, sensor: SensorKind, category: ModeCategory) -> f64 {
-        let (unsafe_count, total) = self.counts.get(&(sensor, category)).copied().unwrap_or((0, 0));
+        let (unsafe_count, total) = self
+            .counts
+            .get(&(sensor, category))
+            .copied()
+            .unwrap_or((0, 0));
         (unsafe_count as f64 + 1.0) / (total as f64 + 2.0)
     }
 
@@ -148,7 +167,11 @@ pub struct RandomInjection {
 impl RandomInjection {
     /// Creates a random injector over the vehicle's sensor complement.
     pub fn new(config: &SensorSuiteConfig, horizon: f64, seed: u64) -> Self {
-        RandomInjection { rng: SimRng::seed_from_u64(seed), instances: config.instances(), horizon }
+        RandomInjection {
+            rng: SimRng::seed_from_u64(seed),
+            instances: config.instances(),
+            horizon,
+        }
     }
 
     /// Draws the next random fault plan.
@@ -180,7 +203,12 @@ impl DfsSiteIterator {
     /// Creates the iterator over all instances, starting from `horizon` and
     /// stepping backwards by `step` seconds (one sensor-read period).
     pub fn new(config: &SensorSuiteConfig, horizon: f64, step: f64) -> Self {
-        DfsSiteIterator { instances: config.instances(), time: horizon, step, instance_index: 0 }
+        DfsSiteIterator {
+            instances: config.instances(),
+            time: horizon,
+            step,
+            instance_index: 0,
+        }
     }
 }
 
@@ -227,7 +255,10 @@ mod tests {
         let model = BfiModel::train(&[], 1.0);
         // With no data at all the smoothed probability is exactly one half,
         // which is treated as "not predicted unsafe".
-        assert_eq!(model.probability_unsafe(SensorKind::Gps, ModeCategory::Waypoint), 0.5);
+        assert_eq!(
+            model.probability_unsafe(SensorKind::Gps, ModeCategory::Waypoint),
+            0.5
+        );
         assert!(!model.predicts_unsafe(SensorKind::Gps, ModeCategory::Waypoint));
     }
 
@@ -266,8 +297,7 @@ mod tests {
     #[test]
     fn dfs_iterator_walks_backwards_from_the_end() {
         let config = SensorSuiteConfig::minimal();
-        let sites: Vec<(SensorInstance, f64)> =
-            DfsSiteIterator::new(&config, 1.0, 0.5).collect();
+        let sites: Vec<(SensorInstance, f64)> = DfsSiteIterator::new(&config, 1.0, 0.5).collect();
         // 6 instances × 3 time points (1.0, 0.5, 0.0).
         assert_eq!(sites.len(), 18);
         assert_eq!(sites[0].1, 1.0);

@@ -10,6 +10,7 @@
 //! independent of host speed.
 
 use crate::baselines::{BfiModel, DfsSiteIterator, RandomInjection};
+use crate::engine;
 use crate::monitor::{InvariantMonitor, MonitorConfig, Violation};
 use crate::pruning::candidate_failure_sets;
 use crate::runner::{ExperimentConfig, ExperimentRunner, RunResult};
@@ -37,8 +38,12 @@ pub enum Approach {
 
 impl Approach {
     /// All approaches in the order the paper's tables list them.
-    pub const ALL: [Approach; 4] =
-        [Approach::Avis, Approach::StratifiedBfi, Approach::Bfi, Approach::Random];
+    pub const ALL: [Approach; 4] = [
+        Approach::Avis,
+        Approach::StratifiedBfi,
+        Approach::Bfi,
+        Approach::Random,
+    ];
 
     /// Display name used in regenerated tables.
     pub fn name(self) -> &'static str {
@@ -62,7 +67,10 @@ impl Approach {
 
     /// Table I: does the approach search dissimilar scenarios first?
     pub fn searches_dissimilar_first(self) -> bool {
-        matches!(self, Approach::Avis | Approach::StratifiedBfi | Approach::Random)
+        matches!(
+            self,
+            Approach::Avis | Approach::StratifiedBfi | Approach::Random
+        )
     }
 }
 
@@ -85,12 +93,18 @@ pub struct Budget {
 impl Budget {
     /// A budget expressed purely in cost seconds.
     pub fn seconds(max_cost_seconds: f64) -> Self {
-        Budget { max_simulations: usize::MAX, max_cost_seconds }
+        Budget {
+            max_simulations: usize::MAX,
+            max_cost_seconds,
+        }
     }
 
     /// A budget expressed purely in simulations.
     pub fn simulations(max_simulations: usize) -> Self {
-        Budget { max_simulations, max_cost_seconds: f64::INFINITY }
+        Budget {
+            max_simulations,
+            max_cost_seconds: f64::INFINITY,
+        }
     }
 
     /// Whether the budget is exhausted at the given consumption.
@@ -116,6 +130,12 @@ pub struct CheckerConfig {
     pub sabre: SabreConfig,
     /// Seed for the random baseline.
     pub seed: u64,
+    /// Number of worker threads executing fault plans. `1` runs the exact
+    /// legacy serial loop; anything larger routes the campaign through the
+    /// deterministic parallel engine ([`crate::engine`]), which produces a
+    /// bit-identical [`CampaignResult`]. Defaults to the number of
+    /// available CPU cores.
+    pub parallelism: usize,
 }
 
 impl CheckerConfig {
@@ -129,7 +149,14 @@ impl CheckerConfig {
             monitor: MonitorConfig::default(),
             sabre: SabreConfig::default(),
             seed: 17,
+            parallelism: engine::default_parallelism(),
         }
+    }
+
+    /// Sets the worker count (`1` = serial) and returns the configuration.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
     }
 }
 
@@ -186,7 +213,10 @@ impl CampaignResult {
 
     /// The distinct injected defects this campaign exposed.
     pub fn bugs_found(&self) -> BTreeSet<BugId> {
-        self.unsafe_conditions.iter().flat_map(|u| u.triggered_bugs.iter().copied()).collect()
+        self.unsafe_conditions
+            .iter()
+            .flat_map(|u| u.triggered_bugs.iter().copied())
+            .collect()
     }
 
     /// Unsafe conditions grouped by the mode category of the injection
@@ -215,54 +245,67 @@ pub struct Checker {
     config: CheckerConfig,
 }
 
-struct CampaignState {
-    runner: ExperimentRunner,
-    monitor: InvariantMonitor,
-    golden: Trace,
-    simulations: usize,
-    cost_seconds: f64,
-    labels: usize,
-    unsafe_conditions: Vec<UnsafeCondition>,
+pub(crate) struct CampaignState {
+    pub(crate) runner: ExperimentRunner,
+    pub(crate) monitor: InvariantMonitor,
+    pub(crate) golden: Trace,
+    pub(crate) simulations: usize,
+    pub(crate) cost_seconds: f64,
+    pub(crate) labels: usize,
+    pub(crate) unsafe_conditions: Vec<UnsafeCondition>,
 }
 
 impl CampaignState {
-    fn budget_exhausted(&self, budget: &Budget) -> bool {
+    pub(crate) fn budget_exhausted(&self, budget: &Budget) -> bool {
         budget.exhausted(self.simulations, self.cost_seconds)
+    }
+
+    /// Charges a completed run against the budget and records any unsafe
+    /// condition. Returns whether the run was unsafe. Shared by the serial
+    /// loop (which produced the result itself) and the parallel engine
+    /// (which replays worker results in canonical order).
+    pub(crate) fn absorb(&mut self, result: &RunResult) -> bool {
+        self.simulations += 1;
+        self.cost_seconds += result.simulated_seconds;
+        let violations = self.monitor.check(&result.trace);
+        if violations.is_empty() {
+            return false;
+        }
+        let injection_time = result
+            .plan
+            .specs()
+            .map(|s| s.time)
+            .fold(f64::INFINITY, f64::min);
+        let injection_mode = if injection_time.is_finite() {
+            self.golden.mode_before(injection_time)
+        } else {
+            None
+        };
+        // Table IV attributes an unsafe scenario to the mode in which it
+        // manifested (the injected failure persists, so the violation
+        // often occurs one or more modes after the injection anchor).
+        let injection_category = violations
+            .first()
+            .map(|v| v.mode.category())
+            .or_else(|| injection_mode.map(|m| m.category()))
+            .unwrap_or(ModeCategory::Manual);
+        self.unsafe_conditions.push(UnsafeCondition {
+            plan: result.plan.clone(),
+            violations,
+            injection_category,
+            injection_mode,
+            triggered_bugs: result.triggered_defects.clone(),
+            simulations_used: self.simulations,
+            cost_seconds_used: self.cost_seconds,
+        });
+        true
     }
 
     /// Executes one fault plan, charges its cost and records any unsafe
     /// condition. Returns the run result and whether it was unsafe.
     fn execute(&mut self, plan: FaultPlan) -> (RunResult, bool) {
-        let result = self.runner.run_with_plan(plan.clone());
-        self.simulations += 1;
-        self.cost_seconds += result.simulated_seconds;
-        let violations = self.monitor.check(&result.trace);
-        let is_unsafe = !violations.is_empty();
-        if is_unsafe {
-            let injection_time = plan.specs().map(|s| s.time).fold(f64::INFINITY, f64::min);
-            let injection_mode = if injection_time.is_finite() {
-                self.golden.mode_at((injection_time - 0.05).max(0.0))
-            } else {
-                None
-            };
-            // Table IV attributes an unsafe scenario to the mode in which it
-            // manifested (the injected failure persists, so the violation
-            // often occurs one or more modes after the injection anchor).
-            let injection_category = violations
-                .first()
-                .map(|v| v.mode.category())
-                .or_else(|| injection_mode.map(|m| m.category()))
-                .unwrap_or(ModeCategory::Manual);
-            self.unsafe_conditions.push(UnsafeCondition {
-                plan,
-                violations,
-                injection_category,
-                injection_mode,
-                triggered_bugs: result.triggered_defects.clone(),
-                simulations_used: self.simulations,
-                cost_seconds_used: self.cost_seconds,
-            });
-        }
+        let result = self.runner.run_with_plan(plan);
+        let is_unsafe = self.absorb(&result);
         (result, is_unsafe)
     }
 }
@@ -309,18 +352,22 @@ impl Checker {
             unsafe_conditions: Vec::new(),
         };
 
-        let (symmetry_pruned, found_bug_pruned) = match cfg.approach {
-            Approach::Avis => self.run_sabre(&mut state, None),
-            Approach::StratifiedBfi => {
-                self.run_sabre(&mut state, Some(BfiModel::with_default_training()))
-            }
-            Approach::Bfi => {
-                self.run_bfi(&mut state, BfiModel::with_default_training());
-                (0, 0)
-            }
-            Approach::Random => {
-                self.run_random(&mut state);
-                (0, 0)
+        let (symmetry_pruned, found_bug_pruned) = if cfg.parallelism > 1 {
+            engine::run_campaign_parallel(self, &mut state)
+        } else {
+            match cfg.approach {
+                Approach::Avis => self.run_sabre(&mut state, None),
+                Approach::StratifiedBfi => {
+                    self.run_sabre(&mut state, Some(BfiModel::with_default_training()))
+                }
+                Approach::Bfi => {
+                    self.run_bfi(&mut state, BfiModel::with_default_training());
+                    (0, 0)
+                }
+                Approach::Random => {
+                    self.run_random(&mut state);
+                    (0, 0)
+                }
             }
         };
 
@@ -350,10 +397,13 @@ impl Checker {
         let mut queue = SabreQueue::new(&state.golden.transition_times(), sabre_config);
 
         'outer: while !queue.is_empty() && !state.budget_exhausted(&cfg.budget) {
-            let Some(anchor) = queue.next_anchor() else { break };
-            let anchor_mode = state.golden.mode_at((anchor.timestamp - 0.05).max(0.0));
-            let anchor_category =
-                anchor_mode.map(|m| m.category()).unwrap_or(ModeCategory::Manual);
+            let Some(anchor) = queue.next_anchor() else {
+                break;
+            };
+            let anchor_mode = state.golden.mode_before(anchor.timestamp);
+            let anchor_category = anchor_mode
+                .map(|m| m.category())
+                .unwrap_or(ModeCategory::Manual);
             for set in &candidates {
                 if state.budget_exhausted(&cfg.budget) {
                     break 'outer;
@@ -365,16 +415,21 @@ impl Checker {
                         continue;
                     }
                 }
-                let Some(plan) = queue.plan_for(&anchor, set) else { continue };
-                let (result, is_unsafe) = state.execute(plan.clone());
+                let Some(plan) = queue.plan_for(&anchor, set) else {
+                    continue;
+                };
+                let (result, is_unsafe) = state.execute(plan);
                 if is_unsafe {
-                    queue.record_bug(&plan);
+                    queue.record_bug(&result.plan);
                 } else {
-                    queue.record_ok(&plan, &result.trace.transition_times());
+                    queue.record_ok(&result.plan, &result.trace.transition_times());
                 }
             }
         }
-        (queue.pruning().symmetry_pruned(), queue.pruning().found_bug_pruned())
+        (
+            queue.pruning().symmetry_pruned(),
+            queue.pruning().found_bug_pruned(),
+        )
     }
 
     /// Vanilla BFI: depth-first enumeration of individual sensor-read
@@ -382,8 +437,7 @@ impl Checker {
     fn run_bfi(&self, state: &mut CampaignState, model: BfiModel) {
         let cfg = &self.config;
         let sensor_config = SensorSuiteConfig::iris();
-        let sites =
-            DfsSiteIterator::new(&sensor_config, state.golden.duration, cfg.experiment.dt);
+        let sites = DfsSiteIterator::new(&sensor_config, state.golden.duration, cfg.experiment.dt);
         for (instance, time) in sites {
             if state.budget_exhausted(&cfg.budget) {
                 break;
@@ -392,7 +446,7 @@ impl Checker {
             state.cost_seconds += model.label_cost_seconds;
             let category = state
                 .golden
-                .mode_at((time - 0.05).max(0.0))
+                .mode_before(time)
                 .map(|m| m.category())
                 .unwrap_or(ModeCategory::Manual);
             if !model.predicts_unsafe(instance.kind, category) {
@@ -410,8 +464,7 @@ impl Checker {
     fn run_random(&self, state: &mut CampaignState) {
         let cfg = &self.config;
         let sensor_config = SensorSuiteConfig::iris();
-        let mut random =
-            RandomInjection::new(&sensor_config, state.golden.duration, cfg.seed);
+        let mut random = RandomInjection::new(&sensor_config, state.golden.duration, cfg.seed);
         while !state.budget_exhausted(&cfg.budget) {
             let plan = random.next_plan();
             state.execute(plan);
@@ -455,7 +508,10 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_rules() {
-        let b = Budget { max_simulations: 10, max_cost_seconds: 100.0 };
+        let b = Budget {
+            max_simulations: 10,
+            max_cost_seconds: 100.0,
+        };
         assert!(!b.exhausted(5, 50.0));
         assert!(b.exhausted(10, 50.0));
         assert!(b.exhausted(5, 100.0));

@@ -50,15 +50,44 @@
 //! | [`pruning`] | §IV.B.1 | sensor-instance symmetry and found-bug pruning |
 //! | [`baselines`] | §VI | Random, BFI and the BFI model used by Stratified BFI |
 //! | [`checker`] | §VI | campaign loops, budgets, unsafe-condition records |
+//! | [`engine`] | — | the parallel campaign engine (deterministic wavefronts) |
 //! | [`metrics`] | Tables III/IV | aggregation into the paper's tables |
 //! | [`report`] | §IV.D | bug reports and replay |
 //! | [`study`] | §III, Fig. 3 | the sensor-bug impact study pipeline |
+//! | [`json`] | — | dependency-free JSON for the artefact formats |
+//!
+//! ## The parallel campaign engine
+//!
+//! [`engine`] executes a campaign's independent fault plans on a scoped
+//! worker pool while producing a [`CampaignResult`] *bit-identical* to the
+//! serial loop. The trick is speculative wavefront execution with a
+//! sequential commit replay:
+//!
+//! 1. **Wavefront selection** — for the current SABRE anchor (or the next
+//!    batch of BFI sites / random draws) the engine decides, against a
+//!    *clone* of the pruning state, which plans the serial checker could
+//!    possibly execute next. Pruning only ever removes more work as
+//!    results arrive, so this speculative set is a superset of what the
+//!    serial checker would run.
+//! 2. **Parallel execution** — the wavefront's plans run concurrently,
+//!    one fresh [`runner::ExperimentRunner`] per worker. Runs are pure
+//!    functions of their fault plan, so results are order-independent.
+//! 3. **Sequential commit** — results are replayed in canonical plan
+//!    order against the *real* queue, budget and pruning state, applying
+//!    exactly the serial control flow (`record_bug` / `record_ok`,
+//!    budget checks, label charges). Speculative runs the serial path
+//!    would have pruned or never reached are discarded.
+//!
+//! [`CheckerConfig::parallelism`] selects the worker count; `1` takes the
+//! legacy serial path.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod baselines;
 pub mod checker;
+pub mod engine;
+pub mod json;
 pub mod metrics;
 pub mod monitor;
 pub mod pruning;

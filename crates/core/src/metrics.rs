@@ -147,8 +147,18 @@ mod tests {
                 &[ModeCategory::Takeoff, ModeCategory::Waypoint],
                 100.0,
             ),
-            fake_result(Approach::Avis, FirmwareProfile::ArduPilotLike, &[ModeCategory::Land], 100.0),
-            fake_result(Approach::Avis, FirmwareProfile::Px4Like, &[ModeCategory::Takeoff], 100.0),
+            fake_result(
+                Approach::Avis,
+                FirmwareProfile::ArduPilotLike,
+                &[ModeCategory::Land],
+                100.0,
+            ),
+            fake_result(
+                Approach::Avis,
+                FirmwareProfile::Px4Like,
+                &[ModeCategory::Takeoff],
+                100.0,
+            ),
             fake_result(Approach::Bfi, FirmwareProfile::ArduPilotLike, &[], 100.0),
         ];
         let table = unsafe_scenario_table(&results);
@@ -167,7 +177,11 @@ mod tests {
         let results = vec![fake_result(
             Approach::Avis,
             FirmwareProfile::ArduPilotLike,
-            &[ModeCategory::Takeoff, ModeCategory::Takeoff, ModeCategory::Land],
+            &[
+                ModeCategory::Takeoff,
+                ModeCategory::Takeoff,
+                ModeCategory::Land,
+            ],
             100.0,
         )];
         let table = per_mode_table(&results);

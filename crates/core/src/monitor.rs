@@ -78,8 +78,11 @@ impl ModeGraph {
     }
 
     fn neighbours(&self, node: ModeCode, undirected: bool) -> Vec<ModeCode> {
-        let mut out: Vec<ModeCode> =
-            self.edges.get(&node).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        let mut out: Vec<ModeCode> = self
+            .edges
+            .get(&node)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
         if undirected {
             for (src, dsts) in &self.edges {
                 if dsts.contains(&node) {
@@ -155,8 +158,14 @@ impl fmt::Display for ViolationKind {
             ViolationKind::Collision { impact_speed } => {
                 write!(f, "collision at {impact_speed:.1} m/s")
             }
-            ViolationKind::LivelinessDivergence { distance, threshold } => {
-                write!(f, "liveliness divergence ({distance:.2} > τ={threshold:.2})")
+            ViolationKind::LivelinessDivergence {
+                distance,
+                threshold,
+            } => {
+                write!(
+                    f,
+                    "liveliness divergence ({distance:.2} > τ={threshold:.2})"
+                )
             }
             ViolationKind::SafeModeStalled { mode } => write!(f, "safe mode {mode} stalled"),
         }
@@ -237,7 +246,10 @@ impl InvariantMonitor {
     ///
     /// Panics if `profiling` is empty.
     pub fn calibrate(profiling: Vec<Trace>, config: MonitorConfig) -> Self {
-        assert!(!profiling.is_empty(), "at least one profiling run is required");
+        assert!(
+            !profiling.is_empty(),
+            "at least one profiling run is required"
+        );
         let mode_graph = ModeGraph::from_traces(profiling.iter());
         let diameter = mode_graph.diameter();
         let duration = profiling.iter().map(|t| t.duration).fold(0.0, f64::max);
@@ -288,9 +300,10 @@ impl InvariantMonitor {
             for j in (i + 1)..monitor.profiling.len() {
                 for k in 0..=steps {
                     let t = k as f64 * sample_interval;
-                    let (Some(a), Some(b)) =
-                        (monitor.profiling[i].sample_at(t), monitor.profiling[j].sample_at(t))
-                    else {
+                    let (Some(a), Some(b)) = (
+                        monitor.profiling[i].sample_at(t),
+                        monitor.profiling[j].sample_at(t),
+                    ) else {
                         continue;
                     };
                     tau = tau.max(monitor.state_distance(a, b));
@@ -342,7 +355,9 @@ impl InvariantMonitor {
                 .map(|s| s.time)
                 .unwrap_or(trace.duration);
             violations.push(Violation {
-                kind: ViolationKind::Collision { impact_speed: collision.impact_speed },
+                kind: ViolationKind::Collision {
+                    impact_speed: collision.impact_speed,
+                },
                 time,
                 mode: trace.mode_at(time).unwrap_or(OperatingMode::Crashed),
             });
@@ -439,7 +454,10 @@ impl InvariantMonitor {
                 let approach = earlier.position.horizontal_distance(self.home)
                     - sample.position.horizontal_distance(self.home);
                 let near_home = sample.position.horizontal_distance(self.home) < 3.0;
-                if on_ground || near_home || approach >= cfg.min_progress || descended >= cfg.min_progress
+                if on_ground
+                    || near_home
+                    || approach >= cfg.min_progress
+                    || descended >= cfg.min_progress
                 {
                     None
                 } else {
@@ -462,13 +480,21 @@ mod tests {
     use avis_workload::WorkloadStatus;
 
     fn sample(t: f64, pos: Vec3, mode: OperatingMode) -> StateSample {
-        StateSample { time: t, position: pos, acceleration: Vec3::ZERO, mode }
+        StateSample {
+            time: t,
+            position: pos,
+            acceleration: Vec3::ZERO,
+            mode,
+        }
     }
 
     /// Builds a synthetic "mission-like" trace: climb, cruise east, land.
     fn synthetic_run(offset: f64) -> Trace {
         let mut samples = Vec::new();
-        let mut transitions = vec![ModeTransition { time: 0.0, mode: OperatingMode::PreFlight }];
+        let mut transitions = vec![ModeTransition {
+            time: 0.0,
+            mode: OperatingMode::PreFlight,
+        }];
         let dt = 0.5;
         let mut mode = OperatingMode::PreFlight;
         for k in 0..200 {
@@ -476,9 +502,15 @@ mod tests {
             let (pos, new_mode) = if t < 2.0 {
                 (Vec3::new(offset, 0.0, 0.0), OperatingMode::PreFlight)
             } else if t < 12.0 {
-                (Vec3::new(offset, 0.0, (t - 2.0) * 2.0), OperatingMode::Takeoff)
+                (
+                    Vec3::new(offset, 0.0, (t - 2.0) * 2.0),
+                    OperatingMode::Takeoff,
+                )
             } else if t < 40.0 {
-                (Vec3::new(offset + (t - 12.0) * 1.0, 0.0, 20.0), OperatingMode::Auto { leg: 1 })
+                (
+                    Vec3::new(offset + (t - 12.0) * 1.0, 0.0, 20.0),
+                    OperatingMode::Auto { leg: 1 },
+                )
             } else if t < 70.0 {
                 (
                     Vec3::new(offset + 28.0, 0.0, (20.0 - (t - 40.0) * 0.7).max(0.0)),
@@ -488,7 +520,10 @@ mod tests {
                 (Vec3::new(offset + 28.0, 0.0, 0.0), OperatingMode::PreFlight)
             };
             if new_mode != mode {
-                transitions.push(ModeTransition { time: t, mode: new_mode });
+                transitions.push(ModeTransition {
+                    time: t,
+                    mode: new_mode,
+                });
                 mode = new_mode;
             }
             samples.push(sample(t, pos, mode));
@@ -555,7 +590,10 @@ mod tests {
     fn profiling_runs_check_clean_against_each_other() {
         let monitor = calibrated_monitor();
         for run in [synthetic_run(0.2), synthetic_run(-0.2)] {
-            assert!(monitor.check(&run).is_empty(), "a near-profiling run must not be flagged");
+            assert!(
+                monitor.check(&run).is_empty(),
+                "a near-profiling run must not be flagged"
+            );
         }
     }
 
@@ -569,9 +607,9 @@ mod tests {
             position: Vec3::new(10.0, 0.0, 0.0),
         });
         let violations = monitor.check(&run);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v.kind, ViolationKind::Collision { impact_speed } if impact_speed > 4.0)));
+        assert!(violations.iter().any(
+            |v| matches!(v.kind, ViolationKind::Collision { impact_speed } if impact_speed > 4.0)
+        ));
     }
 
     #[test]
@@ -667,9 +705,14 @@ mod tests {
     fn violation_kind_display() {
         let c = ViolationKind::Collision { impact_speed: 3.5 };
         assert!(c.to_string().contains("3.5"));
-        let l = ViolationKind::LivelinessDivergence { distance: 9.0, threshold: 2.0 };
+        let l = ViolationKind::LivelinessDivergence {
+            distance: 9.0,
+            threshold: 2.0,
+        };
         assert!(l.to_string().contains("9.00"));
-        let s = ViolationKind::SafeModeStalled { mode: "rtl".to_string() };
+        let s = ViolationKind::SafeModeStalled {
+            mode: "rtl".to_string(),
+        };
         assert!(s.to_string().contains("rtl"));
     }
 }

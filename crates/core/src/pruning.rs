@@ -101,8 +101,7 @@ pub fn representative_subsets(kind: SensorKind, instances: u8) -> Vec<Vec<Sensor
     out.push(vec![primary]);
     // k backups without the primary, then with the primary.
     for k in 1..instances {
-        let backups: Vec<SensorInstance> =
-            (1..=k).map(|i| SensorInstance::new(kind, i)).collect();
+        let backups: Vec<SensorInstance> = (1..=k).map(|i| SensorInstance::new(kind, i)).collect();
         out.push(backups.clone());
         let mut with_primary = vec![primary];
         with_primary.extend(backups);
@@ -130,7 +129,10 @@ pub fn candidate_failure_sets(config: &SensorSuiteConfig) -> Vec<Vec<SensorInsta
         .collect();
     for i in 0..kinds.len() {
         for j in (i + 1)..kinds.len() {
-            out.push(vec![SensorInstance::new(kinds[i], 0), SensorInstance::new(kinds[j], 0)]);
+            out.push(vec![
+                SensorInstance::new(kinds[i], 0),
+                SensorInstance::new(kinds[j], 0),
+            ]);
         }
     }
     out
@@ -226,7 +228,10 @@ mod tests {
         assert_eq!(subsets.len(), 5);
         // {P}, {B1}, {P,B1}, {B1,B2}, {P,B1,B2} in some order; check sizes
         // and primary membership.
-        let with_primary = subsets.iter().filter(|s| s.iter().any(|i| i.index == 0)).count();
+        let with_primary = subsets
+            .iter()
+            .filter(|s| s.iter().any(|i| i.index == 0))
+            .count();
         assert_eq!(with_primary, 3);
         let sizes: Vec<usize> = subsets.iter().map(|s| s.len()).collect();
         assert!(sizes.contains(&1));
@@ -242,11 +247,14 @@ mod tests {
         // compass 5, battery 1 = 22. Pairs: C(6,2) = 15. Total 37.
         assert_eq!(candidates.len(), 37);
         // The first candidate for each kind is the primary alone.
-        assert!(candidates.iter().any(|c| c == &vec![SensorInstance::new(SensorKind::Gps, 0)]));
+        assert!(candidates
+            .iter()
+            .any(|c| c == &vec![SensorInstance::new(SensorKind::Gps, 0)]));
         // Pairs involve exactly two distinct kinds, primaries only.
-        let pairs: Vec<_> = candidates.iter().filter(|c| {
-            c.len() == 2 && c[0].kind != c[1].kind
-        }).collect();
+        let pairs: Vec<_> = candidates
+            .iter()
+            .filter(|c| c.len() == 2 && c[0].kind != c[1].kind)
+            .collect();
         assert_eq!(pairs.len(), 15);
         assert!(pairs.iter().all(|p| p.iter().all(|i| i.index == 0)));
     }
@@ -270,7 +278,10 @@ mod tests {
         let b2 = plan(&[(SensorKind::Compass, 2, 5.0)]);
         assert!(!state.should_prune(&b1));
         state.record_explored(&b1);
-        assert!(state.should_prune(&b2), "failing B2 is equivalent to failing B1");
+        assert!(
+            state.should_prune(&b2),
+            "failing B2 is equivalent to failing B1"
+        );
         assert_eq!(state.symmetry_pruned(), 1);
         assert_eq!(state.explored_count(), 1);
     }
@@ -297,8 +308,10 @@ mod tests {
     #[test]
     fn subset_check_respects_multiplicity() {
         let one_backup = RoleSignature::of(&plan(&[(SensorKind::Compass, 1, 5.0)]));
-        let two_backups =
-            RoleSignature::of(&plan(&[(SensorKind::Compass, 1, 5.0), (SensorKind::Compass, 2, 5.0)]));
+        let two_backups = RoleSignature::of(&plan(&[
+            (SensorKind::Compass, 1, 5.0),
+            (SensorKind::Compass, 2, 5.0),
+        ]));
         assert!(one_backup.is_subset_of(&two_backups));
         assert!(!two_backups.is_subset_of(&one_backup));
         assert!(RoleSignature::default().is_subset_of(&one_backup));

@@ -8,10 +8,12 @@
 //! violation manifested again.
 
 use crate::checker::UnsafeCondition;
-use crate::monitor::{InvariantMonitor, Violation};
+use crate::json::{self, Json, JsonError};
+use crate::monitor::{InvariantMonitor, Violation, ViolationKind};
 use crate::runner::ExperimentRunner;
-use avis_firmware::{BugId, FirmwareProfile};
-use avis_hinj::FaultPlan;
+use avis_firmware::{BugId, FirmwareProfile, OperatingMode};
+use avis_hinj::{FaultPlan, FaultSpec, ModeCode};
+use avis_sim::{SensorInstance, SensorKind};
 use serde::{Deserialize, Serialize};
 
 /// A reproducible bug report generated from an unsafe condition.
@@ -48,17 +50,173 @@ impl BugReport {
 
     /// Serialises the report to pretty JSON (the artefact format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("bug reports are always serialisable")
+        json::object(vec![
+            ("profile", Json::String(self.profile.name().to_string())),
+            ("workload", Json::String(self.workload.clone())),
+            (
+                "plan",
+                Json::Array(
+                    self.plan
+                        .specs()
+                        .map(|s| {
+                            json::object(vec![
+                                ("sensor", Json::String(s.instance.kind.name().to_string())),
+                                ("index", Json::Number(s.instance.index as f64)),
+                                ("time", Json::Number(s.time)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "violations",
+                Json::Array(self.violations.iter().map(violation_to_json).collect()),
+            ),
+            (
+                "suspected_bugs",
+                Json::Array(
+                    self.suspected_bugs
+                        .iter()
+                        .map(|b| Json::String(b.to_string()))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_pretty()
     }
 
     /// Parses a report back from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error for malformed input.
-    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(text)
+    /// Returns a [`JsonError`] for malformed input or an unknown
+    /// profile / sensor / bug / mode name.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let doc = Json::parse(text)?;
+        let profile_name = require_str(&doc, "profile")?;
+        let profile = FirmwareProfile::ALL
+            .into_iter()
+            .find(|p| p.name() == profile_name)
+            .ok_or_else(|| schema_error(format!("unknown firmware profile `{profile_name}`")))?;
+        let workload = require_str(&doc, "workload")?.to_string();
+
+        let mut plan = FaultPlan::empty();
+        for entry in require_array(&doc, "plan")? {
+            let sensor_name = require_str(entry, "sensor")?;
+            let kind = SensorKind::ALL
+                .into_iter()
+                .find(|k| k.name() == sensor_name)
+                .ok_or_else(|| schema_error(format!("unknown sensor kind `{sensor_name}`")))?;
+            let index = require_f64(entry, "index")? as u8;
+            let time = require_f64(entry, "time")?;
+            plan.add(FaultSpec::new(SensorInstance::new(kind, index), time));
+        }
+
+        let violations = require_array(&doc, "violations")?
+            .iter()
+            .map(violation_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let suspected_bugs = require_array(&doc, "suspected_bugs")?
+            .iter()
+            .map(|entry| {
+                let name = entry
+                    .as_str()
+                    .ok_or_else(|| schema_error("bug entries must be strings"))?;
+                BugId::UNKNOWN
+                    .into_iter()
+                    .chain(BugId::KNOWN)
+                    .find(|b| b.to_string() == name)
+                    .ok_or_else(|| schema_error(format!("unknown bug id `{name}`")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(BugReport {
+            profile,
+            workload,
+            plan,
+            violations,
+            suspected_bugs,
+        })
     }
+}
+
+fn schema_error(message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset: 0,
+        message: message.into(),
+    }
+}
+
+fn require<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+    doc.get(key)
+        .ok_or_else(|| schema_error(format!("missing field `{key}`")))
+}
+
+fn require_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, JsonError> {
+    require(doc, key)?
+        .as_str()
+        .ok_or_else(|| schema_error(format!("field `{key}` must be a string")))
+}
+
+fn require_f64(doc: &Json, key: &str) -> Result<f64, JsonError> {
+    require(doc, key)?
+        .as_f64()
+        .ok_or_else(|| schema_error(format!("field `{key}` must be a number")))
+}
+
+fn require_array<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], JsonError> {
+    require(doc, key)?
+        .as_array()
+        .ok_or_else(|| schema_error(format!("field `{key}` must be an array")))
+}
+
+fn violation_to_json(v: &Violation) -> Json {
+    let kind = match &v.kind {
+        ViolationKind::Collision { impact_speed } => json::object(vec![
+            ("type", Json::String("collision".to_string())),
+            ("impact_speed", Json::Number(*impact_speed)),
+        ]),
+        ViolationKind::LivelinessDivergence {
+            distance,
+            threshold,
+        } => json::object(vec![
+            ("type", Json::String("liveliness_divergence".to_string())),
+            ("distance", Json::Number(*distance)),
+            ("threshold", Json::Number(*threshold)),
+        ]),
+        ViolationKind::SafeModeStalled { mode } => json::object(vec![
+            ("type", Json::String("safe_mode_stalled".to_string())),
+            ("mode", Json::String(mode.clone())),
+        ]),
+    };
+    json::object(vec![
+        ("kind", kind),
+        ("time", Json::Number(v.time)),
+        ("mode_code", Json::Number(v.mode.code().0 as f64)),
+    ])
+}
+
+fn violation_from_json(doc: &Json) -> Result<Violation, JsonError> {
+    let kind_doc = require(doc, "kind")?;
+    let kind = match require_str(kind_doc, "type")? {
+        "collision" => ViolationKind::Collision {
+            impact_speed: require_f64(kind_doc, "impact_speed")?,
+        },
+        "liveliness_divergence" => ViolationKind::LivelinessDivergence {
+            distance: require_f64(kind_doc, "distance")?,
+            threshold: require_f64(kind_doc, "threshold")?,
+        },
+        "safe_mode_stalled" => ViolationKind::SafeModeStalled {
+            mode: require_str(kind_doc, "mode")?.to_string(),
+        },
+        other => return Err(schema_error(format!("unknown violation type `{other}`"))),
+    };
+    let time = require_f64(doc, "time")?;
+    let code = require_f64(doc, "mode_code")? as u32;
+    let mode = OperatingMode::from_code(ModeCode(code))
+        .ok_or_else(|| schema_error(format!("unknown mode code {code}")))?;
+    Ok(Violation { kind, time, mode })
 }
 
 /// The result of replaying a report.
@@ -81,7 +239,10 @@ pub fn replay(
     let result = runner.run_with_plan(report.plan.clone());
     let violations = monitor.check(&result.trace);
     let reproduced = !violations.is_empty();
-    ReplayOutcome { violations, reproduced }
+    ReplayOutcome {
+        violations,
+        reproduced,
+    }
 }
 
 #[cfg(test)]

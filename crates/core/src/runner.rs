@@ -6,7 +6,8 @@
 use crate::trace::{transition_from_code, ModeTransition, StateSample, Trace};
 use avis_firmware::{BugId, BugSet, Firmware, FirmwareProfile};
 use avis_hinj::{FaultInjector, FaultPlan, SharedInjector};
-use avis_sim::simulator::{SimConfig, Simulator};
+use avis_mavlite::Message;
+use avis_sim::simulator::{SimConfig, Simulator, StepOutput};
 use avis_sim::{MotorCommands, SensorNoise};
 use avis_workload::{ScriptedWorkload, WorkloadStatus};
 use serde::{Deserialize, Serialize};
@@ -89,7 +90,10 @@ impl ExperimentRunner {
     /// Creates a runner for the given configuration.
     pub fn new(config: ExperimentConfig) -> Self {
         assert!(config.dt > 0.0, "dt must be positive");
-        assert!(config.sample_interval >= config.dt, "sample interval must be >= dt");
+        assert!(
+            config.sample_interval >= config.dt,
+            "sample interval must be >= dt"
+        );
         ExperimentRunner { config, runs: 0 }
     }
 
@@ -128,23 +132,29 @@ impl ExperimentRunner {
             sim_config.sensors.noise = noise.clone();
         }
         let mut sim = Simulator::new(sim_config, cfg.workload.environment().clone());
-        let injector = SharedInjector::new(FaultInjector::new(plan.clone()));
+        let injector = SharedInjector::new(FaultInjector::new(plan));
         let mut firmware = Firmware::new(cfg.profile, cfg.bugs.clone(), injector.clone());
         let mut workload = cfg.workload.fresh();
 
-        let mut samples: Vec<StateSample> = Vec::new();
+        // Pre-size the trace for the full run and reuse the step/telemetry
+        // buffers across iterations: the lock-step loop below performs no
+        // per-step heap allocations in steady state.
+        let mut samples: Vec<StateSample> =
+            Vec::with_capacity((cfg.max_duration / cfg.sample_interval) as usize + 2);
+        let mut telemetry: Vec<Message> = Vec::new();
         let mut fence_violations = 0usize;
         let mut next_sample_time = 0.0;
         let mut workload_status = WorkloadStatus::Running;
         let mut terminal_since: Option<f64> = None;
 
         // Prime the loop with one idle simulator step to obtain readings.
-        let mut output = sim.step(&MotorCommands::IDLE);
+        let mut output = StepOutput::empty();
+        sim.step_into(&MotorCommands::IDLE, &mut output);
 
         while sim.time() < cfg.max_duration {
             let time = sim.time();
             // Ground-station side: deliver telemetry, collect commands.
-            let telemetry = firmware.drain_outbox();
+            firmware.drain_outbox_into(&mut telemetry);
             let (commands, status) = workload.tick(&telemetry, time);
             firmware.handle_messages(commands.iter());
             workload_status = status;
@@ -157,7 +167,7 @@ impl ExperimentRunner {
 
             // Firmware control step, then physics.
             let motor = firmware.step(&output.readings, time, cfg.dt);
-            output = sim.step(&motor);
+            sim.step_into(&motor, &mut output);
             if !output.violated_fences.is_empty() {
                 fence_violations += 1;
             }
@@ -197,7 +207,15 @@ impl ExperimentRunner {
             .collect();
         triggered_defects.sort_unstable();
         triggered_defects.dedup();
-        RunResult { plan, trace, simulated_seconds: duration, triggered_defects }
+        // The injector owned the plan for the duration of the run; take it
+        // back rather than cloning it up front.
+        let plan = injector.take_plan();
+        RunResult {
+            plan,
+            trace,
+            simulated_seconds: duration,
+            triggered_defects,
+        }
     }
 }
 
@@ -210,7 +228,8 @@ mod tests {
     use avis_workload::auto_box_mission;
 
     fn quiet_config(bugs: BugSet) -> ExperimentConfig {
-        let mut cfg = ExperimentConfig::new(FirmwareProfile::ArduPilotLike, bugs, auto_box_mission());
+        let mut cfg =
+            ExperimentConfig::new(FirmwareProfile::ArduPilotLike, bugs, auto_box_mission());
         cfg.noise = Some(SensorNoise::noiseless());
         cfg.max_duration = 120.0;
         cfg
@@ -222,13 +241,23 @@ mod tests {
         let result = runner.run_profiling(0);
         assert_eq!(result.trace.workload_status, WorkloadStatus::Passed);
         assert!(!result.crashed());
-        assert!(result.trace.max_altitude() > 15.0, "the mission climbs to ~20 m");
-        assert!(result.trace.len() > 100, "trace is sampled throughout the run");
+        assert!(
+            result.trace.max_altitude() > 15.0,
+            "the mission climbs to ~20 m"
+        );
+        assert!(
+            result.trace.len() > 100,
+            "trace is sampled throughout the run"
+        );
         assert!(result.simulated_seconds > 30.0);
         assert_eq!(runner.runs_executed(), 1);
         // The mode transitions include takeoff, auto legs and landing.
-        let modes: Vec<OperatingMode> =
-            result.trace.mode_transitions.iter().map(|t| t.mode).collect();
+        let modes: Vec<OperatingMode> = result
+            .trace
+            .mode_transitions
+            .iter()
+            .map(|t| t.mode)
+            .collect();
         assert!(modes.contains(&OperatingMode::Takeoff));
         assert!(modes.iter().any(|m| m.is_auto()));
         assert!(modes.contains(&OperatingMode::Land));
@@ -255,7 +284,10 @@ mod tests {
         let mut runner = ExperimentRunner::new(quiet_config(BugSet::none()));
         let a = runner.run_with_plan(plan.clone());
         let b = runner.run_with_plan(plan);
-        assert_eq!(a.trace.samples, b.trace.samples, "replay must be deterministic");
+        assert_eq!(
+            a.trace.samples, b.trace.samples,
+            "replay must be deterministic"
+        );
     }
 
     #[test]
@@ -307,6 +339,9 @@ mod tests {
             takeoff_time + 4.0,
         )]);
         let result = runner.run_with_plan(plan);
-        assert!(!result.crashed(), "failover to the backup accelerometer handles this");
+        assert!(
+            !result.crashed(),
+            "failover to the backup accelerometer handles this"
+        );
     }
 }

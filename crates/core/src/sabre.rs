@@ -39,7 +39,11 @@ pub struct SabreConfig {
 
 impl Default for SabreConfig {
     fn default() -> Self {
-        SabreConfig { time_increment: 1.0, horizon: 150.0, max_queue: 4096 }
+        SabreConfig {
+            time_increment: 1.0,
+            horizon: 150.0,
+            max_queue: 4096,
+        }
     }
 }
 
@@ -59,10 +63,18 @@ impl SabreQueue {
         let mut queue = VecDeque::new();
         for &t in profile_transition_times {
             if t <= config.horizon {
-                queue.push_back(QueueEntry { timestamp: t, base_plan: FaultPlan::empty() });
+                queue.push_back(QueueEntry {
+                    timestamp: t,
+                    base_plan: FaultPlan::empty(),
+                });
             }
         }
-        SabreQueue { config, queue, pruning: PruningState::new(), dequeued: 0 }
+        SabreQueue {
+            config,
+            queue,
+            pruning: PruningState::new(),
+            dequeued: 0,
+        }
     }
 
     /// The scheduler configuration.
@@ -105,6 +117,19 @@ impl SabreQueue {
         Some(entry)
     }
 
+    /// Builds the concrete (not yet pruned) plan for injecting
+    /// `failure_set` at the anchor: the anchor's inherited failures plus
+    /// one failure per instance at the anchor timestamp. This is the plan
+    /// [`SabreQueue::plan_for`] submits to pruning; the parallel engine
+    /// uses it to speculate without touching the real pruning state.
+    pub fn assemble_plan(anchor: &QueueEntry, failure_set: &[SensorInstance]) -> FaultPlan {
+        let mut plan = anchor.base_plan.clone();
+        for &instance in failure_set {
+            plan.add(FaultSpec::new(instance, anchor.timestamp));
+        }
+        plan
+    }
+
     /// Builds the concrete plan for injecting `failure_set` at the anchor,
     /// returning `None` if pruning rejects it (Lines 6–9).
     pub fn plan_for(
@@ -112,10 +137,7 @@ impl SabreQueue {
         anchor: &QueueEntry,
         failure_set: &[SensorInstance],
     ) -> Option<FaultPlan> {
-        let mut plan = anchor.base_plan.clone();
-        for &instance in failure_set {
-            plan.add(FaultSpec::new(instance, anchor.timestamp));
-        }
+        let plan = Self::assemble_plan(anchor, failure_set);
         if self.pruning.should_prune(&plan) {
             return None;
         }
@@ -130,7 +152,10 @@ impl SabreQueue {
             if t > self.config.horizon || self.queue.len() >= self.config.max_queue {
                 continue;
             }
-            self.queue.push_back(QueueEntry { timestamp: t, base_plan: plan.clone() });
+            self.queue.push_back(QueueEntry {
+                timestamp: t,
+                base_plan: plan.clone(),
+            });
         }
     }
 
@@ -167,7 +192,11 @@ mod tests {
 
     #[test]
     fn horizon_limits_requeueing() {
-        let config = SabreConfig { time_increment: 1.0, horizon: 5.0, ..Default::default() };
+        let config = SabreConfig {
+            time_increment: 1.0,
+            horizon: 5.0,
+            ..Default::default()
+        };
         let mut q = SabreQueue::new(&[4.5, 9.0], config);
         // 9.0 exceeds the horizon and is dropped at construction.
         assert_eq!(q.len(), 1);
@@ -222,7 +251,10 @@ mod tests {
 
     #[test]
     fn queue_growth_is_bounded() {
-        let config = SabreConfig { max_queue: 5, ..Default::default() };
+        let config = SabreConfig {
+            max_queue: 5,
+            ..Default::default()
+        };
         let mut q = SabreQueue::new(&[1.0, 2.0, 3.0], config);
         let anchor = q.next_anchor().unwrap();
         let plan = q.plan_for(&anchor, &[gps(0)]).unwrap();

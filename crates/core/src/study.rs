@@ -107,7 +107,13 @@ pub fn synthetic_corpus() -> Vec<BugReportRecord> {
         for _ in 0..count {
             id += 1;
             let firmware = if id % 2 == 0 { "ArduPilot" } else { "PX4" };
-            reports.push(BugReportRecord { id, firmware, cause, reproducibility, outcome });
+            reports.push(BugReportRecord {
+                id,
+                firmware,
+                cause,
+                reproducibility,
+                outcome,
+            });
         }
     };
 
@@ -131,9 +137,27 @@ pub fn synthetic_corpus() -> Vec<BugReportRecord> {
     push(Sensor, CustomEnvironment, Serious, 5, &mut reports);
     push(Sensor, CustomEnvironment, Transient, 6, &mut reports);
     push(Sensor, CustomEnvironment, Asymptomatic, 4, &mut reports);
-    push(Sensor, CustomEnvironmentAndHardware, Serious, 2, &mut reports);
-    push(Sensor, CustomEnvironmentAndHardware, Transient, 4, &mut reports);
-    push(Sensor, CustomEnvironmentAndHardware, Asymptomatic, 2, &mut reports);
+    push(
+        Sensor,
+        CustomEnvironmentAndHardware,
+        Serious,
+        2,
+        &mut reports,
+    );
+    push(
+        Sensor,
+        CustomEnvironmentAndHardware,
+        Transient,
+        4,
+        &mut reports,
+    );
+    push(
+        Sensor,
+        CustomEnvironmentAndHardware,
+        Asymptomatic,
+        2,
+        &mut reports,
+    );
 
     // 12 memory bugs and 13 "other" bugs.
     push(Memory, DefaultSettings, Transient, 6, &mut reports);
@@ -141,7 +165,13 @@ pub fn synthetic_corpus() -> Vec<BugReportRecord> {
     push(Memory, CustomEnvironment, Asymptomatic, 3, &mut reports);
     push(Other, DefaultSettings, Serious, 5, &mut reports);
     push(Other, CustomEnvironment, Transient, 5, &mut reports);
-    push(Other, CustomEnvironmentAndHardware, Asymptomatic, 3, &mut reports);
+    push(
+        Other,
+        CustomEnvironmentAndHardware,
+        Asymptomatic,
+        3,
+        &mut reports,
+    );
 
     reports
 }
@@ -156,20 +186,35 @@ pub fn analyse(reports: &[BugReportRecord]) -> StudyStatistics {
         (RootCause::Sensor, count_cause(RootCause::Sensor)),
         (RootCause::Other, count_cause(RootCause::Other)),
     ];
-    let sensor: Vec<&BugReportRecord> =
-        reports.iter().filter(|r| r.cause == RootCause::Sensor).collect();
-    let serious: Vec<&BugReportRecord> =
-        reports.iter().filter(|r| r.outcome == Outcome::Serious).collect();
-    let semantic: Vec<&BugReportRecord> =
-        reports.iter().filter(|r| r.cause == RootCause::Semantic).collect();
+    let sensor: Vec<&BugReportRecord> = reports
+        .iter()
+        .filter(|r| r.cause == RootCause::Sensor)
+        .collect();
+    let serious: Vec<&BugReportRecord> = reports
+        .iter()
+        .filter(|r| r.outcome == Outcome::Serious)
+        .collect();
+    let semantic: Vec<&BugReportRecord> = reports
+        .iter()
+        .filter(|r| r.cause == RootCause::Semantic)
+        .collect();
 
-    let frac = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    let frac = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
 
     StudyStatistics {
         total,
         sensor_share: frac(sensor.len(), total),
         sensor_share_of_serious: frac(
-            serious.iter().filter(|r| r.cause == RootCause::Sensor).count(),
+            serious
+                .iter()
+                .filter(|r| r.cause == RootCause::Sensor)
+                .count(),
             serious.len(),
         ),
         sensor_default_reproducible: frac(
@@ -180,11 +225,17 @@ pub fn analyse(reports: &[BugReportRecord]) -> StudyStatistics {
             sensor.len(),
         ),
         sensor_serious: frac(
-            sensor.iter().filter(|r| r.outcome == Outcome::Serious).count(),
+            sensor
+                .iter()
+                .filter(|r| r.outcome == Outcome::Serious)
+                .count(),
             sensor.len(),
         ),
         semantic_asymptomatic: frac(
-            semantic.iter().filter(|r| r.outcome == Outcome::Asymptomatic).count(),
+            semantic
+                .iter()
+                .filter(|r| r.outcome == Outcome::Asymptomatic)
+                .count(),
             semantic.len(),
         ),
         per_cause,
@@ -213,7 +264,11 @@ mod tests {
         let stats = analyse(&synthetic_corpus());
         assert_eq!(stats.total, 215);
         // Finding 1: sensor bugs ≈ 20 % of reports, semantic ≈ 68 %.
-        assert!((stats.sensor_share - 0.20).abs() < 0.02, "{}", stats.sensor_share);
+        assert!(
+            (stats.sensor_share - 0.20).abs() < 0.02,
+            "{}",
+            stats.sensor_share
+        );
         let semantic = stats
             .per_cause
             .iter()
@@ -234,7 +289,11 @@ mod tests {
             stats.sensor_default_reproducible
         );
         // Finding 3: ≈ 34 % of sensor bugs are serious.
-        assert!((stats.sensor_serious - 0.34).abs() < 0.03, "{}", stats.sensor_serious);
+        assert!(
+            (stats.sensor_serious - 0.34).abs() < 0.03,
+            "{}",
+            stats.sensor_serious
+        );
         // Semantic bugs are ≈ 90 % asymptomatic.
         assert!((stats.semantic_asymptomatic - 0.90).abs() < 0.03);
     }

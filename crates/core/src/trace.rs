@@ -55,6 +55,20 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Slack subtracted when looking up "the mode active just before `t`":
+    /// mode transitions are recorded at the same timestamp the anchored
+    /// injection uses, so an exact lookup at `t` would return the mode
+    /// *entered* at the transition rather than the mode the failure was
+    /// injected into.
+    pub const MODE_LOOKUP_EPSILON: f64 = 0.05;
+
+    /// The operating mode active just before time `t` (see
+    /// [`Trace::MODE_LOOKUP_EPSILON`]); the mode a failure injected at `t`
+    /// lands in.
+    pub fn mode_before(&self, t: f64) -> Option<OperatingMode> {
+        self.mode_at((t - Self::MODE_LOOKUP_EPSILON).max(0.0))
+    }
+
     /// The sample closest to time `t`, clamping past the end (the paper
     /// repeats the last state of shorter runs so every run has the same
     /// duration).
@@ -84,13 +98,19 @@ impl Trace {
 
     /// Maximum altitude reached during the run (m).
     pub fn max_altitude(&self) -> f64 {
-        self.samples.iter().map(|s| s.position.z).fold(0.0, f64::max)
+        self.samples
+            .iter()
+            .map(|s| s.position.z)
+            .fold(0.0, f64::max)
     }
 
     /// The altitude time-series `(time, altitude)` — used by the Figure 9
     /// and Figure 10 case-study harnesses.
     pub fn altitude_series(&self) -> Vec<(f64, f64)> {
-        self.samples.iter().map(|s| (s.time, s.position.z)).collect()
+        self.samples
+            .iter()
+            .map(|s| (s.time, s.position.z))
+            .collect()
     }
 
     /// The operating mode active at time `t`, according to the transition
@@ -137,9 +157,18 @@ mod tests {
                 sample(1.5, 8.0, OperatingMode::Auto { leg: 1 }),
             ],
             mode_transitions: vec![
-                ModeTransition { time: 0.0, mode: OperatingMode::PreFlight },
-                ModeTransition { time: 0.3, mode: OperatingMode::Takeoff },
-                ModeTransition { time: 1.2, mode: OperatingMode::Auto { leg: 1 } },
+                ModeTransition {
+                    time: 0.0,
+                    mode: OperatingMode::PreFlight,
+                },
+                ModeTransition {
+                    time: 0.3,
+                    mode: OperatingMode::Takeoff,
+                },
+                ModeTransition {
+                    time: 1.2,
+                    mode: OperatingMode::Auto { leg: 1 },
+                },
             ],
             collision: None,
             fence_violations: 0,
@@ -182,6 +211,17 @@ mod tests {
         assert_eq!(trace.mode_at(0.1), Some(OperatingMode::PreFlight));
         assert_eq!(trace.mode_at(0.5), Some(OperatingMode::Takeoff));
         assert_eq!(trace.mode_at(5.0), Some(OperatingMode::Auto { leg: 1 }));
+    }
+
+    #[test]
+    fn mode_before_steps_back_by_the_epsilon() {
+        let trace = simple_trace();
+        // An injection anchored exactly at the 1.2 s transition lands in
+        // the mode active *before* the transition.
+        assert_eq!(trace.mode_at(1.2), Some(OperatingMode::Auto { leg: 1 }));
+        assert_eq!(trace.mode_before(1.2), Some(OperatingMode::Takeoff));
+        // Near zero the lookup clamps instead of going negative.
+        assert_eq!(trace.mode_before(0.0), Some(OperatingMode::PreFlight));
     }
 
     #[test]

@@ -83,8 +83,13 @@ impl BugId {
     ];
 
     /// The five re-inserted known bugs of Table V, in table order.
-    pub const KNOWN: [BugId; 5] =
-        [BugId::Apm4455, BugId::Apm4679, BugId::Apm5428, BugId::Apm9349, BugId::Px413291];
+    pub const KNOWN: [BugId; 5] = [
+        BugId::Apm4455,
+        BugId::Apm4679,
+        BugId::Apm5428,
+        BugId::Apm9349,
+        BugId::Px413291,
+    ];
 
     /// Every bug in the catalog.
     pub fn all() -> Vec<BugId> {
@@ -386,7 +391,9 @@ impl BugSet {
 
     /// A set containing exactly the given defects.
     pub fn with_bugs<I: IntoIterator<Item = BugId>>(bugs: I) -> Self {
-        BugSet { enabled: bugs.into_iter().collect() }
+        BugSet {
+            enabled: bugs.into_iter().collect(),
+        }
     }
 
     /// A set containing a single defect (the Table V re-insertion setup).
@@ -519,7 +526,10 @@ mod tests {
         assert_eq!(apm.len(), 6);
         assert!(apm.is_enabled(BugId::Apm16682));
         assert!(!apm.is_enabled(BugId::Px417057));
-        assert!(!apm.is_enabled(BugId::Apm4455), "known bugs are not in the current code base");
+        assert!(
+            !apm.is_enabled(BugId::Apm4455),
+            "known bugs are not in the current code base"
+        );
 
         let px4 = BugSet::current_code_base(FirmwareProfile::Px4Like);
         assert_eq!(px4.len(), 4);

@@ -81,7 +81,10 @@ pub struct DefectEngine {
 impl DefectEngine {
     /// Creates an engine for the given set of enabled defects.
     pub fn new(bugs: BugSet) -> Self {
-        DefectEngine { bugs, triggered_at: BTreeMap::new() }
+        DefectEngine {
+            bugs,
+            triggered_at: BTreeMap::new(),
+        }
     }
 
     /// The set of enabled defects.
@@ -97,8 +100,13 @@ impl DefectEngine {
     /// Evaluates every enabled defect for this step.
     pub fn evaluate(&mut self, ctx: &DefectContext<'_>) -> DefectOverrides {
         let mut overrides = DefectOverrides::default();
-        let enabled: Vec<BugId> = self.bugs.iter().collect();
-        for bug in enabled {
+        // Walk the catalog in declaration order (= the enabled set's
+        // BTreeSet order) instead of collecting the set into a Vec: this
+        // runs once per control step and must not allocate.
+        for bug in BugId::UNKNOWN.into_iter().chain(BugId::KNOWN) {
+            if !self.bugs.is_enabled(bug) {
+                continue;
+            }
             if bug.info().firmware != ctx.profile {
                 continue;
             }
@@ -133,26 +141,18 @@ impl DefectEngine {
         let mode = ctx.mode;
         match bug {
             // --- Previously-unknown ArduPilot bugs (Table II) ----------
-            BugId::Apm16020 => {
-                primary(K::Gps) && matches!(mode, M::Auto { leg } if leg <= 1)
-            }
+            BugId::Apm16020 => primary(K::Gps) && matches!(mode, M::Auto { leg } if leg <= 1),
             BugId::Apm16021 => {
                 primary(K::Accelerometer)
                     && (mode == M::Takeoff || matches!(mode, M::Auto { leg } if leg <= 1))
                     && ctx.estimate.altitude > 2.0
             }
-            BugId::Apm16027 => {
-                primary(K::Barometer) && matches!(mode, M::PreFlight | M::Takeoff)
-            }
-            BugId::Apm16967 => {
-                primary(K::Compass) && matches!(mode, M::Auto { leg } if leg >= 2)
-            }
+            BugId::Apm16027 => primary(K::Barometer) && matches!(mode, M::PreFlight | M::Takeoff),
+            BugId::Apm16967 => primary(K::Compass) && matches!(mode, M::Auto { leg } if leg >= 2),
             BugId::Apm16682 => {
                 primary(K::Accelerometer) && mode == M::Land && ctx.estimate.altitude < 4.0
             }
-            BugId::Apm16953 => {
-                primary(K::Gyroscope) && matches!(mode, M::Land | M::ReturnToLaunch)
-            }
+            BugId::Apm16953 => primary(K::Gyroscope) && matches!(mode, M::Land | M::ReturnToLaunch),
             // --- Previously-unknown PX4 bugs (Table II) ------------------
             BugId::Px417046 => primary(K::Gyroscope) && mode == M::ReturnToLaunch,
             BugId::Px417057 => primary(K::Gyroscope) && matches!(mode, M::PreFlight | M::Takeoff),
@@ -173,21 +173,13 @@ impl DefectEngine {
                 // the fused position estimate, so losing the primary GPS is
                 // enough to take the broken branch once the battery
                 // failsafe engages.
-                primary(K::Gps)
-                    && ctx.health.kind_failed(K::Battery)
-                    && ctx.battery_failsafe_fired
+                primary(K::Gps) && ctx.health.kind_failed(K::Battery) && ctx.battery_failsafe_fired
             }
         }
     }
 
     /// Applies the behavioural corruption of an active bug.
-    fn apply(
-        &self,
-        bug: BugId,
-        elapsed: f64,
-        ctx: &DefectContext<'_>,
-        out: &mut DefectOverrides,
-    ) {
+    fn apply(&self, bug: BugId, elapsed: f64, ctx: &DefectContext<'_>, out: &mut DefectOverrides) {
         let est = ctx.estimate;
         let hold = Vec3::new(est.position.x, est.position.y, 0.0);
         match bug {
@@ -204,12 +196,16 @@ impl DefectEngine {
                 // Stale climb acceleration: overshoot, then land on the
                 // inflated estimate and descend into the ground.
                 if elapsed < 2.5 {
-                    out.setpoint =
-                        Some(Setpoint::VerticalSpeed { rate: 2.5, hold: Some(hold) });
+                    out.setpoint = Some(Setpoint::VerticalSpeed {
+                        rate: 2.5,
+                        hold: Some(hold),
+                    });
                 } else {
                     out.force_mode = Some(OperatingMode::Land);
-                    out.setpoint =
-                        Some(Setpoint::VerticalSpeed { rate: -2.6, hold: Some(hold) });
+                    out.setpoint = Some(Setpoint::VerticalSpeed {
+                        rate: -2.6,
+                        hold: Some(hold),
+                    });
                 }
             }
             BugId::Apm16027 => {
@@ -217,8 +213,10 @@ impl DefectEngine {
                 // never passes and the climb continues indefinitely.
                 out.disable_altitude_reached = true;
                 if ctx.mode == OperatingMode::Takeoff {
-                    out.setpoint =
-                        Some(Setpoint::VerticalSpeed { rate: 2.0, hold: Some(hold) });
+                    out.setpoint = Some(Setpoint::VerticalSpeed {
+                        rate: 2.0,
+                        hold: Some(hold),
+                    });
                 }
             }
             BugId::Apm16967 => {
@@ -231,8 +229,10 @@ impl DefectEngine {
                     });
                 } else {
                     out.force_mode = Some(OperatingMode::Land);
-                    out.setpoint =
-                        Some(Setpoint::VerticalSpeed { rate: -2.6, hold: Some(hold) });
+                    out.setpoint = Some(Setpoint::VerticalSpeed {
+                        rate: -2.6,
+                        hold: Some(hold),
+                    });
                 }
             }
             BugId::Apm16682 => {
@@ -240,19 +240,29 @@ impl DefectEngine {
                 // GPS-driven return-home; GPS altitude is too coarse and the
                 // vehicle descends hard into the ground.
                 out.force_mode = Some(OperatingMode::ReturnToLaunch);
-                out.setpoint = Some(Setpoint::VerticalSpeed { rate: -2.8, hold: Some(hold) });
+                out.setpoint = Some(Setpoint::VerticalSpeed {
+                    rate: -2.8,
+                    hold: Some(hold),
+                });
             }
             BugId::Apm16953 => {
                 // Gyro loss during landing removes rate damping; the landing
                 // controller keeps descending far faster than the touchdown
                 // limit.
-                out.setpoint = Some(Setpoint::VerticalSpeed { rate: -2.7, hold: Some(hold) });
+                out.setpoint = Some(Setpoint::VerticalSpeed {
+                    rate: -2.7,
+                    hold: Some(hold),
+                });
             }
             BugId::Px417046 => {
                 // Frozen heading steers the RTL away from home.
-                let away = (Vec3::new(est.position.x - ctx.home.x, est.position.y - ctx.home.y, 0.0))
-                    .normalized()
-                    .unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+                let away = (Vec3::new(
+                    est.position.x - ctx.home.x,
+                    est.position.y - ctx.home.y,
+                    0.0,
+                ))
+                .normalized()
+                .unwrap_or(Vec3::new(1.0, 0.0, 0.0));
                 out.setpoint = Some(Setpoint::HorizontalVelocity {
                     velocity: away * 4.0,
                     altitude: est.altitude.max(10.0),
@@ -263,8 +273,10 @@ impl DefectEngine {
                 // Unstabilised climb; the tip-over protection then cuts the
                 // motors in mid-air.
                 if elapsed < 1.2 {
-                    out.setpoint =
-                        Some(Setpoint::VerticalSpeed { rate: 2.5, hold: Some(hold) });
+                    out.setpoint = Some(Setpoint::VerticalSpeed {
+                        rate: 2.5,
+                        hold: Some(hold),
+                    });
                 } else {
                     out.cut_motors = true;
                 }
@@ -273,7 +285,10 @@ impl DefectEngine {
                 // Heading alignment pending forever: climb capped just off
                 // the ground, mission never progresses.
                 out.disable_altitude_reached = true;
-                out.setpoint = Some(Setpoint::ClimbTo { altitude: 1.5, hold });
+                out.setpoint = Some(Setpoint::ClimbTo {
+                    altitude: 1.5,
+                    hold,
+                });
             }
             BugId::Px417181 => {
                 // Altitude reference never initialised: throttle stays at the
@@ -289,10 +304,16 @@ impl DefectEngine {
                 });
             }
             BugId::Apm4679 => {
-                out.setpoint = Some(Setpoint::VerticalSpeed { rate: -2.5, hold: Some(hold) });
+                out.setpoint = Some(Setpoint::VerticalSpeed {
+                    rate: -2.5,
+                    hold: Some(hold),
+                });
             }
             BugId::Apm5428 => {
-                out.setpoint = Some(Setpoint::VerticalSpeed { rate: -2.6, hold: Some(hold) });
+                out.setpoint = Some(Setpoint::VerticalSpeed {
+                    rate: -2.6,
+                    hold: Some(hold),
+                });
             }
             BugId::Apm9349 => {
                 out.suppress_failsafes = true;
@@ -324,8 +345,12 @@ mod tests {
         let mut cfg = SensorSuiteConfig::iris();
         cfg.noise = SensorNoise::noiseless();
         let mut suite = SensorSuite::new(cfg, 1);
-        let readings =
-            suite.sample(&RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0)), 0.4, 0.0, 0.001);
+        let readings = suite.sample(
+            &RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0)),
+            0.4,
+            0.0,
+            0.001,
+        );
         let mut specs = Vec::new();
         for &(kind, count) in kind_failures {
             for idx in 0..count {
@@ -444,7 +469,15 @@ mod tests {
         let mut engine = DefectEngine::new(BugSet::only(BugId::Apm16021));
         let health = health_with(&[(SensorKind::Accelerometer, 1)]);
         let est = estimate_at(18.0);
-        let c = |t| ctx(OperatingMode::Takeoff, &health, &est, FirmwareProfile::ArduPilotLike, t);
+        let c = |t| {
+            ctx(
+                OperatingMode::Takeoff,
+                &health,
+                &est,
+                FirmwareProfile::ArduPilotLike,
+                t,
+            )
+        };
         let first = engine.evaluate(&c(10.0));
         assert!(matches!(first.setpoint, Some(Setpoint::VerticalSpeed { rate, .. }) if rate > 0.0));
         assert_eq!(first.force_mode, None);
@@ -461,8 +494,12 @@ mod tests {
         let mut cfg = SensorSuiteConfig::iris();
         cfg.noise = SensorNoise::noiseless();
         let mut suite = SensorSuite::new(cfg, 1);
-        let readings =
-            suite.sample(&RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0)), 0.4, 0.0, 0.001);
+        let readings = suite.sample(
+            &RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0)),
+            0.4,
+            0.0,
+            0.001,
+        );
         let mut fe = SensorFrontend::new(SharedInjector::new(FaultInjector::new(
             FaultPlan::from_specs(vec![FaultSpec::new(
                 SensorInstance::new(SensorKind::Gps, 1),
@@ -487,19 +524,37 @@ mod tests {
         let est = estimate_at(15.0);
         // Only GPS failed: not triggered.
         let health = health_with(&[(SensorKind::Gps, 2)]);
-        let mut c = ctx(OperatingMode::Auto { leg: 1 }, &health, &est, FirmwareProfile::Px4Like, 5.0);
+        let mut c = ctx(
+            OperatingMode::Auto { leg: 1 },
+            &health,
+            &est,
+            FirmwareProfile::Px4Like,
+            5.0,
+        );
         c.battery_failsafe_fired = true;
         assert!(engine.evaluate(&c).is_empty());
         // GPS + battery failed and the battery failsafe fired: triggered.
         let health = health_with(&[(SensorKind::Gps, 2), (SensorKind::Battery, 1)]);
-        let mut c = ctx(OperatingMode::Auto { leg: 1 }, &health, &est, FirmwareProfile::Px4Like, 6.0);
+        let mut c = ctx(
+            OperatingMode::Auto { leg: 1 },
+            &health,
+            &est,
+            FirmwareProfile::Px4Like,
+            6.0,
+        );
         c.battery_failsafe_fired = true;
         let out = engine.evaluate(&c);
         assert_eq!(out.active, vec![BugId::Px413291]);
         assert!(out.suppress_failsafes);
         // Without the battery failsafe flag: not triggered.
         let mut engine2 = DefectEngine::new(BugSet::only(BugId::Px413291));
-        let c2 = ctx(OperatingMode::Auto { leg: 1 }, &health, &est, FirmwareProfile::Px4Like, 6.0);
+        let c2 = ctx(
+            OperatingMode::Auto { leg: 1 },
+            &health,
+            &est,
+            FirmwareProfile::Px4Like,
+            6.0,
+        );
         assert!(engine2.evaluate(&c2).is_empty());
     }
 

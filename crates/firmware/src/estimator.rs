@@ -126,7 +126,11 @@ impl Default for StateEstimator {
 impl StateEstimator {
     /// Creates an estimator with the given gains, at rest at the origin.
     pub fn new(gains: EstimatorGains) -> Self {
-        StateEstimator { gains, state: EstimatorState::default(), baro_reference: None }
+        StateEstimator {
+            gains,
+            state: EstimatorState::default(),
+            baro_reference: None,
+        }
     }
 
     /// The current estimate.
@@ -208,8 +212,10 @@ impl StateEstimator {
         if let Some(gps) = sensors.gps {
             s.velocity.x += g.gps_velocity * dt * (gps.velocity.x - s.velocity.x);
             s.velocity.y += g.gps_velocity * dt * (gps.velocity.y - s.velocity.y);
-            s.position.x += s.velocity.x * dt + g.gps_position * dt * (gps.position.x - s.position.x);
-            s.position.y += s.velocity.y * dt + g.gps_position * dt * (gps.position.y - s.position.y);
+            s.position.x +=
+                s.velocity.x * dt + g.gps_position * dt * (gps.position.x - s.position.x);
+            s.position.y +=
+                s.velocity.y * dt + g.gps_position * dt * (gps.position.y - s.position.y);
             s.gps_loss_seconds = 0.0;
             s.position_ok = true;
         } else {
@@ -245,7 +251,10 @@ mod tests {
             }),
             baro_altitude: Some(alt),
             heading: Some(0.0),
-            battery: Some(BatteryState { voltage: 12.0, remaining: 0.9 }),
+            battery: Some(BatteryState {
+                voltage: 12.0,
+                remaining: 0.9,
+            }),
         }
     }
 
@@ -285,7 +294,10 @@ mod tests {
         for _ in 0..2000 {
             est.update(&sensors, &healthy(), DT);
         }
-        assert!(est.state().altitude.abs() < 0.2, "altitude should be relative to home");
+        assert!(
+            est.state().altitude.abs() < 0.2,
+            "altitude should be relative to home"
+        );
     }
 
     #[test]
@@ -297,7 +309,11 @@ mod tests {
         for _ in 0..4000 {
             est.update(&hover_sensors(20.0), &healthy(), DT);
         }
-        assert!((est.state().altitude - 20.0).abs() < 1.0, "altitude {}", est.state().altitude);
+        assert!(
+            (est.state().altitude - 20.0).abs() < 1.0,
+            "altitude {}",
+            est.state().altitude
+        );
     }
 
     #[test]
@@ -328,7 +344,10 @@ mod tests {
         for _ in 0..500 {
             est.update(&lost, &healthy(), DT);
         }
-        assert!(est.state().position_ok, "within the timeout the estimate coasts");
+        assert!(
+            est.state().position_ok,
+            "within the timeout the estimate coasts"
+        );
         for _ in 0..1000 {
             est.update(&lost, &healthy(), DT);
         }
@@ -344,7 +363,11 @@ mod tests {
         for _ in 0..4000 {
             est.update(&sensors, &healthy(), DT);
         }
-        assert!((est.state().yaw - 1.2).abs() < 0.05, "yaw {}", est.state().yaw);
+        assert!(
+            (est.state().yaw - 1.2).abs() < 0.05,
+            "yaw {}",
+            est.state().yaw
+        );
     }
 
     #[test]
@@ -361,7 +384,10 @@ mod tests {
         for _ in 0..2000 {
             est.update(&sensors, &healthy(), DT);
         }
-        assert!((est.state().yaw - yaw_before).abs() < 1e-6, "yaw should coast unchanged");
+        assert!(
+            (est.state().yaw - yaw_before).abs() < 1e-6,
+            "yaw should coast unchanged"
+        );
     }
 
     #[test]
@@ -383,7 +409,11 @@ mod tests {
         for _ in 0..30_000 {
             est.update(&sensors, &healthy(), DT);
         }
-        assert!((est.state().roll - roll).abs() < 0.02, "roll {}", est.state().roll);
+        assert!(
+            (est.state().roll - roll).abs() < 0.02,
+            "roll {}",
+            est.state().roll
+        );
     }
 
     #[test]
@@ -408,7 +438,9 @@ mod tests {
         // Build a health struct where every accelerometer has failed by
         // ingesting through a frontend with an all-fail plan.
         use avis_hinj::{FaultInjector, FaultPlan, FaultSpec, SharedInjector};
-        use avis_sim::{RigidBodyState, SensorNoise, SensorSuite, SensorSuiteConfig, SensorInstance};
+        use avis_sim::{
+            RigidBodyState, SensorInstance, SensorNoise, SensorSuite, SensorSuiteConfig,
+        };
         let mut cfg = SensorSuiteConfig::iris();
         cfg.noise = SensorNoise::noiseless();
         let mut suite = SensorSuite::new(cfg.clone(), 1);

@@ -11,7 +11,7 @@
 //! engine.
 
 use crate::estimator::EstimatorState;
-use crate::frontend::{SensorHealth, SelectedSensors};
+use crate::frontend::{SelectedSensors, SensorHealth};
 use crate::modes::OperatingMode;
 use crate::params::{FailsafeAction, FirmwareParams};
 use avis_sim::SensorKind;
@@ -116,7 +116,11 @@ impl FailsafeEngine {
 
         for candidate in candidates.into_iter().flatten() {
             if !self.has_fired(candidate.0) {
-                let event = FailsafeEvent { cause: candidate.0, action: candidate.1, time };
+                let event = FailsafeEvent {
+                    cause: candidate.0,
+                    action: candidate.1,
+                    time,
+                };
                 self.fired.push(event);
                 return Some(event);
             }
@@ -131,8 +135,10 @@ impl FailsafeEngine {
         params: &FirmwareParams,
     ) -> Option<(FailsafeCause, FailsafeAction)> {
         let remaining = sensors.battery.map(|b| b.remaining)?;
-        (remaining < params.battery_critical_threshold)
-            .then_some((FailsafeCause::BatteryCritical, params.battery_critical_action))
+        (remaining < params.battery_critical_threshold).then_some((
+            FailsafeCause::BatteryCritical,
+            params.battery_critical_action,
+        ))
     }
 
     fn battery_low(
@@ -159,7 +165,9 @@ impl FailsafeEngine {
         health: &SensorHealth,
         params: &FirmwareParams,
     ) -> Option<(FailsafeCause, FailsafeAction)> {
-        health.imu_failed().then_some((FailsafeCause::ImuLoss, params.imu_failsafe_action))
+        health
+            .imu_failed()
+            .then_some((FailsafeCause::ImuLoss, params.imu_failsafe_action))
     }
 
     fn position_loss(
@@ -190,7 +198,10 @@ impl FailsafeEngine {
 
     /// Maps a failsafe action to the operating mode it implies, given the
     /// current mode. Returns `None` when the action does not change modes.
-    pub fn mode_for_action(action: FailsafeAction, current: OperatingMode) -> Option<OperatingMode> {
+    pub fn mode_for_action(
+        action: FailsafeAction,
+        current: OperatingMode,
+    ) -> Option<OperatingMode> {
         match action {
             FailsafeAction::Warn => None,
             FailsafeAction::AltHold => Some(OperatingMode::AltHold),
@@ -207,13 +218,20 @@ mod tests {
     use super::*;
     use crate::frontend::{BatteryState, SensorFrontend};
     use avis_hinj::{FaultInjector, FaultPlan, FaultSpec, SharedInjector};
-    use avis_sim::{RigidBodyState, SensorInstance, SensorNoise, SensorSuite, SensorSuiteConfig, Vec3};
+    use avis_sim::{
+        RigidBodyState, SensorInstance, SensorNoise, SensorSuite, SensorSuiteConfig, Vec3,
+    };
 
     fn health_with_failures(kinds: &[(SensorKind, u8)]) -> (SensorHealth, SelectedSensors) {
         let mut cfg = SensorSuiteConfig::iris();
         cfg.noise = SensorNoise::noiseless();
         let mut suite = SensorSuite::new(cfg.clone(), 1);
-        let readings = suite.sample(&RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0)), 0.4, 0.0, 0.001);
+        let readings = suite.sample(
+            &RigidBodyState::at_rest(Vec3::new(0.0, 0.0, 10.0)),
+            0.4,
+            0.0,
+            0.001,
+        );
         let mut specs = Vec::new();
         for &(kind, count) in kinds {
             for idx in 0..count {
@@ -228,7 +246,11 @@ mod tests {
     }
 
     fn good_estimate() -> EstimatorState {
-        EstimatorState { position_ok: true, altitude_ok: true, ..Default::default() }
+        EstimatorState {
+            position_ok: true,
+            altitude_ok: true,
+            ..Default::default()
+        }
     }
 
     fn params() -> FirmwareParams {
@@ -257,10 +279,26 @@ mod tests {
         let (health, sensors) = health_with_failures(&[(SensorKind::Accelerometer, 3)]);
         let mut engine = FailsafeEngine::new();
         assert!(engine
-            .evaluate(OperatingMode::Auto { leg: 0 }, &health, &sensors, &good_estimate(), &params(), false, 1.0)
+            .evaluate(
+                OperatingMode::Auto { leg: 0 },
+                &health,
+                &sensors,
+                &good_estimate(),
+                &params(),
+                false,
+                1.0
+            )
             .is_none());
         assert!(engine
-            .evaluate(OperatingMode::PreFlight, &health, &sensors, &good_estimate(), &params(), true, 1.0)
+            .evaluate(
+                OperatingMode::PreFlight,
+                &health,
+                &sensors,
+                &good_estimate(),
+                &params(),
+                true,
+                1.0
+            )
             .is_none());
     }
 
@@ -269,13 +307,29 @@ mod tests {
         let (health, sensors) = health_with_failures(&[(SensorKind::Accelerometer, 3)]);
         let mut engine = FailsafeEngine::new();
         let event = engine
-            .evaluate(OperatingMode::Auto { leg: 2 }, &health, &sensors, &good_estimate(), &params(), true, 3.0)
+            .evaluate(
+                OperatingMode::Auto { leg: 2 },
+                &health,
+                &sensors,
+                &good_estimate(),
+                &params(),
+                true,
+                3.0,
+            )
             .expect("imu failsafe");
         assert_eq!(event.cause, FailsafeCause::ImuLoss);
         assert_eq!(event.action, FailsafeAction::Land);
         // Latched: does not fire twice.
         assert!(engine
-            .evaluate(OperatingMode::Land, &health, &sensors, &good_estimate(), &params(), true, 4.0)
+            .evaluate(
+                OperatingMode::Land,
+                &health,
+                &sensors,
+                &good_estimate(),
+                &params(),
+                true,
+                4.0
+            )
             .is_none());
     }
 
@@ -288,17 +342,41 @@ mod tests {
         est.gps_loss_seconds = 0.2;
         // Below the timeout: no event.
         assert!(engine
-            .evaluate(OperatingMode::Auto { leg: 1 }, &health, &sensors, &est, &params(), true, 1.0)
+            .evaluate(
+                OperatingMode::Auto { leg: 1 },
+                &health,
+                &sensors,
+                &est,
+                &params(),
+                true,
+                1.0
+            )
             .is_none());
         est.gps_loss_seconds = 2.0;
         let event = engine
-            .evaluate(OperatingMode::Auto { leg: 1 }, &health, &sensors, &est, &params(), true, 2.0)
+            .evaluate(
+                OperatingMode::Auto { leg: 1 },
+                &health,
+                &sensors,
+                &est,
+                &params(),
+                true,
+                2.0,
+            )
             .expect("gps failsafe");
         assert_eq!(event.cause, FailsafeCause::PositionLoss);
         // In a mode that does not need position (AltHold), it would not fire.
         let mut engine2 = FailsafeEngine::new();
         assert!(engine2
-            .evaluate(OperatingMode::AltHold, &health, &sensors, &est, &params(), true, 2.0)
+            .evaluate(
+                OperatingMode::AltHold,
+                &health,
+                &sensors,
+                &est,
+                &params(),
+                true,
+                2.0
+            )
             .is_none());
     }
 
@@ -306,16 +384,38 @@ mod tests {
     fn battery_thresholds_fire_in_priority_order() {
         let (health, mut sensors) = health_with_failures(&[]);
         let mut engine = FailsafeEngine::new();
-        sensors.battery = Some(BatteryState { voltage: 11.0, remaining: 0.15 });
+        sensors.battery = Some(BatteryState {
+            voltage: 11.0,
+            remaining: 0.15,
+        });
         let event = engine
-            .evaluate(OperatingMode::Auto { leg: 0 }, &health, &sensors, &good_estimate(), &params(), true, 1.0)
+            .evaluate(
+                OperatingMode::Auto { leg: 0 },
+                &health,
+                &sensors,
+                &good_estimate(),
+                &params(),
+                true,
+                1.0,
+            )
             .expect("low battery");
         assert_eq!(event.cause, FailsafeCause::BatteryLow);
         assert_eq!(event.action, FailsafeAction::ReturnToLaunch);
 
-        sensors.battery = Some(BatteryState { voltage: 10.6, remaining: 0.05 });
+        sensors.battery = Some(BatteryState {
+            voltage: 10.6,
+            remaining: 0.05,
+        });
         let event = engine
-            .evaluate(OperatingMode::ReturnToLaunch, &health, &sensors, &good_estimate(), &params(), true, 2.0)
+            .evaluate(
+                OperatingMode::ReturnToLaunch,
+                &health,
+                &sensors,
+                &good_estimate(),
+                &params(),
+                true,
+                2.0,
+            )
             .expect("critical battery");
         assert_eq!(event.cause, FailsafeCause::BatteryCritical);
         assert_eq!(event.action, FailsafeAction::Land);
@@ -326,7 +426,15 @@ mod tests {
         let (health, sensors) = health_with_failures(&[(SensorKind::Battery, 1)]);
         let mut engine = FailsafeEngine::new();
         let event = engine
-            .evaluate(OperatingMode::Auto { leg: 1 }, &health, &sensors, &good_estimate(), &params(), true, 1.0)
+            .evaluate(
+                OperatingMode::Auto { leg: 1 },
+                &health,
+                &sensors,
+                &good_estimate(),
+                &params(),
+                true,
+                1.0,
+            )
             .expect("battery monitor loss");
         assert_eq!(event.cause, FailsafeCause::BatteryLow);
     }
@@ -336,16 +444,33 @@ mod tests {
         let (health, sensors) = health_with_failures(&[(SensorKind::Barometer, 2)]);
         let mut engine = FailsafeEngine::new();
         assert!(engine
-            .evaluate(OperatingMode::AltHold, &health, &sensors, &good_estimate(), &params(), true, 1.0)
+            .evaluate(
+                OperatingMode::AltHold,
+                &health,
+                &sensors,
+                &good_estimate(),
+                &params(),
+                true,
+                1.0
+            )
             .is_none());
-        let (health, sensors) = health_with_failures(&[(SensorKind::Barometer, 2), (SensorKind::Gps, 2)]);
+        let (health, sensors) =
+            health_with_failures(&[(SensorKind::Barometer, 2), (SensorKind::Gps, 2)]);
         let mut est = good_estimate();
         est.position_ok = false;
         est.gps_loss_seconds = 5.0;
         let mut engine = FailsafeEngine::new();
         // Altitude loss fires (position loss does not apply in AltHold).
         let event = engine
-            .evaluate(OperatingMode::AltHold, &health, &sensors, &est, &params(), true, 1.0)
+            .evaluate(
+                OperatingMode::AltHold,
+                &health,
+                &sensors,
+                &est,
+                &params(),
+                true,
+                1.0,
+            )
             .expect("altitude loss");
         assert_eq!(event.cause, FailsafeCause::AltitudeLoss);
         assert_eq!(event.action, FailsafeAction::Land);
@@ -356,10 +481,26 @@ mod tests {
         let (health, sensors) = health_with_failures(&[(SensorKind::Compass, 3)]);
         let mut engine = FailsafeEngine::new();
         assert!(engine
-            .evaluate(OperatingMode::AltHold, &health, &sensors, &good_estimate(), &params(), true, 1.0)
+            .evaluate(
+                OperatingMode::AltHold,
+                &health,
+                &sensors,
+                &good_estimate(),
+                &params(),
+                true,
+                1.0
+            )
             .is_none());
         let event = engine
-            .evaluate(OperatingMode::Auto { leg: 1 }, &health, &sensors, &good_estimate(), &params(), true, 1.0)
+            .evaluate(
+                OperatingMode::Auto { leg: 1 },
+                &health,
+                &sensors,
+                &good_estimate(),
+                &params(),
+                true,
+                1.0,
+            )
             .expect("compass loss");
         assert_eq!(event.cause, FailsafeCause::CompassLoss);
     }
@@ -373,12 +514,28 @@ mod tests {
         est.gps_loss_seconds = 10.0;
         let mut engine = FailsafeEngine::new();
         let event = engine
-            .evaluate(OperatingMode::Auto { leg: 1 }, &health, &sensors, &est, &params(), true, 1.0)
+            .evaluate(
+                OperatingMode::Auto { leg: 1 },
+                &health,
+                &sensors,
+                &est,
+                &params(),
+                true,
+                1.0,
+            )
             .unwrap();
         assert_eq!(event.cause, FailsafeCause::ImuLoss);
         // Next evaluation surfaces the position loss.
         let event = engine
-            .evaluate(OperatingMode::Auto { leg: 1 }, &health, &sensors, &est, &params(), true, 1.1)
+            .evaluate(
+                OperatingMode::Auto { leg: 1 },
+                &health,
+                &sensors,
+                &est,
+                &params(),
+                true,
+                1.1,
+            )
             .unwrap();
         assert_eq!(event.cause, FailsafeCause::PositionLoss);
     }
@@ -390,7 +547,10 @@ mod tests {
             FailsafeEngine::mode_for_action(Land, OperatingMode::Auto { leg: 1 }),
             Some(OperatingMode::Land)
         );
-        assert_eq!(FailsafeEngine::mode_for_action(Land, OperatingMode::Land), None);
+        assert_eq!(
+            FailsafeEngine::mode_for_action(Land, OperatingMode::Land),
+            None
+        );
         assert_eq!(
             FailsafeEngine::mode_for_action(ReturnToLaunch, OperatingMode::Auto { leg: 0 }),
             Some(OperatingMode::ReturnToLaunch)
@@ -399,7 +559,10 @@ mod tests {
             FailsafeEngine::mode_for_action(AltHold, OperatingMode::PosHold),
             Some(OperatingMode::AltHold)
         );
-        assert_eq!(FailsafeEngine::mode_for_action(Warn, OperatingMode::Auto { leg: 0 }), None);
+        assert_eq!(
+            FailsafeEngine::mode_for_action(Warn, OperatingMode::Auto { leg: 0 }),
+            None
+        );
         assert_eq!(
             FailsafeEngine::mode_for_action(Disarm, OperatingMode::Stabilize),
             Some(OperatingMode::PreFlight)

@@ -106,7 +106,9 @@ impl Firmware {
             after_takeoff: OperatingMode::Guided,
             guided_target: None,
             hold_position: Vec3::ZERO,
-            rtl_phase: RtlPhase::Travel { cruise_altitude: 15.0 },
+            rtl_phase: RtlPhase::Travel {
+                cruise_altitude: 15.0,
+            },
             touchdown_timer: 0.0,
             mode_history: Vec::new(),
             outbox: Vec::new(),
@@ -203,16 +205,22 @@ impl Firmware {
         std::mem::take(&mut self.outbox)
     }
 
+    /// Drains the outgoing messages into `out` (cleared first), keeping
+    /// both buffers' capacity so a tick loop that reuses `out` performs no
+    /// steady-state allocations.
+    pub fn drain_outbox_into(&mut self, out: &mut Vec<Message>) {
+        out.clear();
+        out.append(&mut self.outbox);
+    }
+
     /// Handles one incoming ground-station message.
     pub fn handle_message(&mut self, msg: &Message) {
         match *msg {
             Message::ArmDisarm { arm } => self.handle_arm(arm),
             Message::SetMode { mode } => self.handle_set_mode(mode),
             Message::CommandTakeoff { altitude } => self.handle_takeoff_command(altitude),
-            Message::CommandGoto { x, y, z } => {
-                if self.mode == OperatingMode::Guided {
-                    self.guided_target = Some(Vec3::new(x, y, z));
-                }
+            Message::CommandGoto { x, y, z } if self.mode == OperatingMode::Guided => {
+                self.guided_target = Some(Vec3::new(x, y, z));
             }
             Message::MissionCount { .. } | Message::MissionItemMsg { .. } => {
                 let responses = self.mission.handle_message(msg);
@@ -249,7 +257,11 @@ impl Firmware {
         }
         self.outbox.push(Message::CommandAck {
             command: CommandKind::Arm,
-            result: if ok { AckResult::Accepted } else { AckResult::Rejected },
+            result: if ok {
+                AckResult::Accepted
+            } else {
+                AckResult::Rejected
+            },
         });
     }
 
@@ -275,7 +287,11 @@ impl Firmware {
         let accepted = self.request_mode(target);
         self.outbox.push(Message::CommandAck {
             command: CommandKind::SetMode,
-            result: if accepted { AckResult::Accepted } else { AckResult::Rejected },
+            result: if accepted {
+                AckResult::Accepted
+            } else {
+                AckResult::Rejected
+            },
         });
     }
 
@@ -290,7 +306,11 @@ impl Firmware {
         }
         self.outbox.push(Message::CommandAck {
             command: CommandKind::Takeoff,
-            result: if accepted { AckResult::Accepted } else { AckResult::Rejected },
+            result: if accepted {
+                AckResult::Accepted
+            } else {
+                AckResult::Rejected
+            },
         });
     }
 
@@ -344,7 +364,9 @@ impl Firmware {
     fn enter_rtl(&mut self) {
         let est = self.estimator.state();
         let cruise = est.altitude.max(self.params.rtl_altitude);
-        self.rtl_phase = RtlPhase::Travel { cruise_altitude: cruise };
+        self.rtl_phase = RtlPhase::Travel {
+            cruise_altitude: cruise,
+        };
         self.transition_to(OperatingMode::ReturnToLaunch);
     }
 
@@ -354,7 +376,9 @@ impl Firmware {
         match self.mission.current_command() {
             Some(MissionCommand::Takeoff { altitude }) => {
                 self.takeoff_target = altitude;
-                self.after_takeoff = OperatingMode::Auto { leg: self.mission.current_index() as u8 };
+                self.after_takeoff = OperatingMode::Auto {
+                    leg: self.mission.current_index() as u8,
+                };
                 self.transition_to(OperatingMode::Takeoff);
             }
             Some(MissionCommand::Waypoint { .. }) => {
@@ -510,7 +534,10 @@ impl Firmware {
                         self.advance_mission();
                         return self.mode_setpoint(overrides, dt);
                     }
-                    Setpoint::GotoPosition { target, speed: self.params.waypoint_speed }
+                    Setpoint::GotoPosition {
+                        target,
+                        speed: self.params.waypoint_speed,
+                    }
                 }
                 Some(_) | None => {
                     // The current item is not a waypoint: let the mission
@@ -520,15 +547,20 @@ impl Firmware {
                 }
             },
             OperatingMode::Guided => match self.guided_target {
-                Some(target) => Setpoint::GotoPosition { target, speed: self.params.waypoint_speed },
+                Some(target) => Setpoint::GotoPosition {
+                    target,
+                    speed: self.params.waypoint_speed,
+                },
                 None => Setpoint::HoldPosition {
                     target: Vec3::new(est.position.x, est.position.y, est.altitude),
                 },
             },
-            OperatingMode::PosHold | OperatingMode::Brake => {
-                Setpoint::HoldPosition { target: self.hold_position }
-            }
-            OperatingMode::AltHold => Setpoint::HoldAltitude { altitude: est.altitude },
+            OperatingMode::PosHold | OperatingMode::Brake => Setpoint::HoldPosition {
+                target: self.hold_position,
+            },
+            OperatingMode::AltHold => Setpoint::HoldAltitude {
+                altitude: est.altitude,
+            },
             OperatingMode::Stabilize => Setpoint::RawThrottle { throttle: 0.38 },
             OperatingMode::Land => {
                 let rate = if est.altitude > self.params.land_final_altitude {
@@ -556,7 +588,10 @@ impl Firmware {
                             self.rtl_phase = RtlPhase::Landing;
                             self.hold_position = Vec3::new(self.home.x, self.home.y, 0.0);
                         }
-                        Setpoint::GotoPosition { target, speed: self.params.waypoint_speed }
+                        Setpoint::GotoPosition {
+                            target,
+                            speed: self.params.waypoint_speed,
+                        }
                     }
                     RtlPhase::Landing => {
                         let rate = if est.altitude > self.params.land_final_altitude {
@@ -620,15 +655,20 @@ mod tests {
     const DT: f64 = 0.0025;
 
     fn make_sim() -> Simulator {
-        let mut config = SimConfig::default();
-        config.dt = DT;
+        let mut config = SimConfig {
+            dt: DT,
+            ..SimConfig::default()
+        };
         config.sensors.noise = SensorNoise::noiseless();
         Simulator::new(config, Environment::open_field())
     }
 
     fn make_firmware(bugs: BugSet) -> (Firmware, SharedInjector) {
         let injector = SharedInjector::passthrough();
-        (Firmware::new(FirmwareProfile::ArduPilotLike, bugs, injector.clone()), injector)
+        (
+            Firmware::new(FirmwareProfile::ArduPilotLike, bugs, injector.clone()),
+            injector,
+        )
     }
 
     /// Runs the full firmware-in-the-loop simulation for `seconds`.
@@ -643,14 +683,18 @@ mod tests {
     }
 
     fn upload_mission(fw: &mut Firmware, items: &[avis_mavlite::MissionItem]) {
-        fw.handle_message(&Message::MissionCount { count: items.len() as u16 });
+        fw.handle_message(&Message::MissionCount {
+            count: items.len() as u16,
+        });
         loop {
             let responses = fw.drain_outbox();
             let mut done = false;
             for r in &responses {
                 match *r {
                     Message::MissionRequest { seq } => {
-                        fw.handle_message(&Message::MissionItemMsg { item: items[seq as usize] });
+                        fw.handle_message(&Message::MissionItemMsg {
+                            item: items[seq as usize],
+                        });
                     }
                     Message::MissionAck { accepted } => {
                         assert!(accepted);
@@ -691,11 +735,22 @@ mod tests {
         let acks: Vec<Message> = fw
             .drain_outbox()
             .into_iter()
-            .filter(|m| matches!(m, Message::CommandAck { command: CommandKind::Arm, .. }))
+            .filter(|m| {
+                matches!(
+                    m,
+                    Message::CommandAck {
+                        command: CommandKind::Arm,
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(
             acks.last(),
-            Some(&Message::CommandAck { command: CommandKind::Arm, result: AckResult::Rejected })
+            Some(&Message::CommandAck {
+                command: CommandKind::Arm,
+                result: AckResult::Rejected
+            })
         );
     }
 
@@ -706,11 +761,17 @@ mod tests {
         run(&mut fw, &mut sim, 1.0);
         fw.handle_message(&Message::ArmDisarm { arm: true });
         assert!(fw.armed());
-        fw.handle_message(&Message::SetMode { mode: ProtocolMode::Guided });
+        fw.handle_message(&Message::SetMode {
+            mode: ProtocolMode::Guided,
+        });
         fw.handle_message(&Message::CommandTakeoff { altitude: 15.0 });
         assert_eq!(fw.mode(), OperatingMode::Takeoff);
         run(&mut fw, &mut sim, 20.0);
-        assert_eq!(fw.mode(), OperatingMode::Guided, "takeoff should complete into guided");
+        assert_eq!(
+            fw.mode(),
+            OperatingMode::Guided,
+            "takeoff should complete into guided"
+        );
         assert!((sim.physical_state().position.z - 15.0).abs() < 3.0);
         assert!(sim.first_collision().is_none());
     }
@@ -722,7 +783,9 @@ mod tests {
         run(&mut fw, &mut sim, 1.0);
         upload_mission(&mut fw, &square_mission(15.0, 10.0, true));
         fw.handle_message(&Message::ArmDisarm { arm: true });
-        fw.handle_message(&Message::SetMode { mode: ProtocolMode::Auto });
+        fw.handle_message(&Message::SetMode {
+            mode: ProtocolMode::Auto,
+        });
         assert_eq!(fw.mode(), OperatingMode::Takeoff);
         run(&mut fw, &mut sim, 90.0);
         // Mission is over: landed at home, disarmed, no crash.
@@ -730,11 +793,17 @@ mod tests {
         assert_eq!(fw.mode(), OperatingMode::PreFlight);
         assert!(sim.physical_state().position.z < 0.5);
         assert!(
-            sim.physical_state().position.horizontal_distance(Vec3::ZERO) < 4.0,
+            sim.physical_state()
+                .position
+                .horizontal_distance(Vec3::ZERO)
+                < 4.0,
             "landed near home: {:?}",
             sim.physical_state().position
         );
-        assert!(sim.first_collision().is_none(), "no crash in a fault-free mission");
+        assert!(
+            sim.first_collision().is_none(),
+            "no crash in a fault-free mission"
+        );
         // Mode transitions were reported to the injector, including auto legs.
         let transitions = injector.mode_transitions();
         assert!(transitions.len() >= 5, "transitions: {transitions:?}");
@@ -747,10 +816,17 @@ mod tests {
         run(&mut fw, &mut sim, 1.0);
         upload_mission(&mut fw, &square_mission(15.0, 10.0, false));
         fw.handle_message(&Message::ArmDisarm { arm: true });
-        fw.handle_message(&Message::SetMode { mode: ProtocolMode::Auto });
+        fw.handle_message(&Message::SetMode {
+            mode: ProtocolMode::Auto,
+        });
         run(&mut fw, &mut sim, 110.0);
         assert!(!fw.armed());
-        assert!(sim.physical_state().position.horizontal_distance(Vec3::ZERO) < 4.0);
+        assert!(
+            sim.physical_state()
+                .position
+                .horizontal_distance(Vec3::ZERO)
+                < 4.0
+        );
         assert!(sim.first_collision().is_none());
     }
 
@@ -768,15 +844,23 @@ mod tests {
         run(&mut fw, &mut sim, 1.0);
         upload_mission(&mut fw, &square_mission(15.0, 10.0, true));
         fw.handle_message(&Message::ArmDisarm { arm: true });
-        fw.handle_message(&Message::SetMode { mode: ProtocolMode::Auto });
+        fw.handle_message(&Message::SetMode {
+            mode: ProtocolMode::Auto,
+        });
         run(&mut fw, &mut sim, 80.0);
         // The GPS failsafe landed the vehicle without a crash.
         assert!(fw
             .failsafe_events()
             .iter()
             .any(|e| e.cause == FailsafeCause::PositionLoss));
-        assert!(sim.first_collision().is_none(), "correct handling must not crash");
-        assert!(sim.physical_state().position.z < 1.0, "vehicle should have landed");
+        assert!(
+            sim.first_collision().is_none(),
+            "correct handling must not crash"
+        );
+        assert!(
+            sim.physical_state().position.z < 1.0,
+            "vehicle should have landed"
+        );
     }
 
     #[test]
@@ -792,9 +876,14 @@ mod tests {
         run(&mut fw, &mut sim, 1.0);
         upload_mission(&mut fw, &square_mission(15.0, 10.0, true));
         fw.handle_message(&Message::ArmDisarm { arm: true });
-        fw.handle_message(&Message::SetMode { mode: ProtocolMode::Auto });
+        fw.handle_message(&Message::SetMode {
+            mode: ProtocolMode::Auto,
+        });
         run(&mut fw, &mut sim, 80.0);
-        assert!(fw.failsafe_events().iter().any(|e| e.cause == FailsafeCause::ImuLoss));
+        assert!(fw
+            .failsafe_events()
+            .iter()
+            .any(|e| e.cause == FailsafeCause::ImuLoss));
         assert!(sim.first_collision().is_none());
     }
 
@@ -804,8 +893,14 @@ mod tests {
         let mut sim = make_sim();
         run(&mut fw, &mut sim, 1.0);
         let msgs = fw.drain_outbox();
-        let heartbeats = msgs.iter().filter(|m| matches!(m, Message::Heartbeat { .. })).count();
-        let statuses = msgs.iter().filter(|m| matches!(m, Message::Status { .. })).count();
+        let heartbeats = msgs
+            .iter()
+            .filter(|m| matches!(m, Message::Heartbeat { .. }))
+            .count();
+        let statuses = msgs
+            .iter()
+            .filter(|m| matches!(m, Message::Status { .. }))
+            .count();
         assert!(heartbeats >= 8, "heartbeats: {heartbeats}");
         assert!(statuses >= 15, "statuses: {statuses}");
         // Draining empties the outbox.
@@ -819,11 +914,21 @@ mod tests {
         run(&mut fw, &mut sim, 0.5);
         fw.handle_message(&Message::ArmDisarm { arm: true });
         fw.drain_outbox();
-        fw.handle_message(&Message::SetMode { mode: ProtocolMode::Auto });
+        fw.handle_message(&Message::SetMode {
+            mode: ProtocolMode::Auto,
+        });
         let acks: Vec<Message> = fw
             .drain_outbox()
             .into_iter()
-            .filter(|m| matches!(m, Message::CommandAck { command: CommandKind::SetMode, .. }))
+            .filter(|m| {
+                matches!(
+                    m,
+                    Message::CommandAck {
+                        command: CommandKind::SetMode,
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(
             acks.last(),
@@ -849,7 +954,9 @@ mod tests {
         run(&mut golden_fw, &mut golden_sim, 1.0);
         upload_mission(&mut golden_fw, &square_mission(15.0, 10.0, true));
         golden_fw.handle_message(&Message::ArmDisarm { arm: true });
-        golden_fw.handle_message(&Message::SetMode { mode: ProtocolMode::Auto });
+        golden_fw.handle_message(&Message::SetMode {
+            mode: ProtocolMode::Auto,
+        });
         run(&mut golden_fw, &mut golden_sim, 90.0);
         let land_start = golden_fw
             .mode_history()
@@ -869,7 +976,9 @@ mod tests {
         run(&mut fw, &mut sim, 1.0);
         upload_mission(&mut fw, &square_mission(15.0, 10.0, true));
         fw.handle_message(&Message::ArmDisarm { arm: true });
-        fw.handle_message(&Message::SetMode { mode: ProtocolMode::Auto });
+        fw.handle_message(&Message::SetMode {
+            mode: ProtocolMode::Auto,
+        });
         run(&mut fw, &mut sim, 110.0);
         assert!(
             sim.first_collision().is_some(),

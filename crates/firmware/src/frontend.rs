@@ -66,7 +66,8 @@ impl SensorHealth {
 
     /// Whether the *primary* instance (index 0) of `kind` has failed.
     pub fn primary_failed(&self, kind: SensorKind) -> bool {
-        self.failed_instances.contains(&SensorInstance::new(kind, 0))
+        self.failed_instances
+            .contains(&SensorInstance::new(kind, 0))
     }
 
     /// Whether every instance of `kind` has failed.
@@ -76,7 +77,10 @@ impl SensorHealth {
 
     /// The instance currently used for `kind`, if any.
     pub fn active_instance(&self, kind: SensorKind) -> Option<SensorInstance> {
-        self.active.iter().find(|(k, _)| *k == kind).map(|(_, i)| *i)
+        self.active
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, i)| *i)
     }
 
     /// Every failed instance observed so far.
@@ -86,7 +90,10 @@ impl SensorHealth {
 
     /// Number of failed instances of `kind`.
     pub fn failed_count(&self, kind: SensorKind) -> usize {
-        self.failed_instances.iter().filter(|i| i.kind == kind).count()
+        self.failed_instances
+            .iter()
+            .filter(|i| i.kind == kind)
+            .count()
     }
 
     fn total_of(&self, kind: SensorKind) -> u8 {
@@ -114,7 +121,10 @@ pub struct SensorFrontend {
 impl SensorFrontend {
     /// Creates a frontend reporting reads to the given injector.
     pub fn new(injector: SharedInjector) -> Self {
-        SensorFrontend { injector, health: SensorHealth::default() }
+        SensorFrontend {
+            injector,
+            health: SensorHealth::default(),
+        }
     }
 
     /// The current health summary.
@@ -128,33 +138,41 @@ impl SensorFrontend {
     /// healthy instance index (primary first, then backups in order).
     pub fn ingest(&mut self, readings: &[SensorReading], time: f64) -> SelectedSensors {
         let mut selected = SelectedSensors::default();
-        let mut chosen: Vec<(SensorKind, SensorInstance)> = Vec::new();
-        let mut counts: Vec<(SensorKind, u8)> = Vec::new();
+        // The per-kind bookkeeping lives in the health struct's vectors and
+        // is rebuilt in place each step, so the control loop performs no
+        // per-step heap allocations once the vectors reach capacity.
+        self.health.active.clear();
+        self.health.total_per_kind.clear();
 
         // Readings arrive ordered by kind and instance index from the
         // simulator; iterate in order so instance 0 wins when healthy.
         for reading in readings {
             let kind = reading.instance.kind;
-            match counts.iter_mut().find(|(k, _)| *k == kind) {
+            match self
+                .health
+                .total_per_kind
+                .iter_mut()
+                .find(|(k, _)| *k == kind)
+            {
                 Some((_, n)) => *n += 1,
-                None => counts.push((kind, 1)),
+                None => self.health.total_per_kind.push((kind, 1)),
             }
             let failed = self.injector.should_fail(reading.instance, time);
             if failed {
                 self.health.failed_instances.insert(reading.instance);
                 continue;
             }
-            let already_chosen = chosen.iter().any(|(k, _)| *k == kind);
+            let already_chosen = self.health.active.iter().any(|(k, _)| *k == kind);
             if already_chosen {
                 continue;
             }
-            chosen.push((kind, reading.instance));
+            self.health.active.push((kind, reading.instance));
             match reading.value {
                 SensorValue::Acceleration(v) => selected.accel = Some(v),
                 SensorValue::AngularRate(v) => selected.gyro = Some(v),
-                SensorValue::GpsFix { position, velocity, .. } => {
-                    selected.gps = Some(GpsSolution { position, velocity })
-                }
+                SensorValue::GpsFix {
+                    position, velocity, ..
+                } => selected.gps = Some(GpsSolution { position, velocity }),
                 SensorValue::PressureAltitude(alt) => selected.baro_altitude = Some(alt),
                 SensorValue::MagneticHeading(h) => selected.heading = Some(h),
                 SensorValue::BatteryStatus { voltage, remaining } => {
@@ -163,8 +181,6 @@ impl SensorFrontend {
             }
         }
 
-        self.health.active = chosen;
-        self.health.total_per_kind = counts;
         selected
     }
 }

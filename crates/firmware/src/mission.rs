@@ -69,7 +69,7 @@ impl MissionManager {
     /// Advances to the next mission item. Returns `false` if the mission
     /// is already complete.
     pub fn advance(&mut self) -> bool {
-        if self.current + 1 <= self.items.len() {
+        if self.current < self.items.len() {
             self.current += 1;
         }
         self.current < self.items.len()
@@ -132,7 +132,9 @@ mod tests {
     use avis_mavlite::square_mission;
 
     fn upload(manager: &mut MissionManager, items: &[MissionItem]) {
-        let mut responses = manager.handle_message(&Message::MissionCount { count: items.len() as u16 });
+        let mut responses = manager.handle_message(&Message::MissionCount {
+            count: items.len() as u16,
+        });
         loop {
             let mut next = Vec::new();
             for resp in &responses {
@@ -177,7 +179,9 @@ mod tests {
     fn out_of_order_item_is_rerequested() {
         let mut manager = MissionManager::new();
         let items = square_mission(20.0, 20.0, true);
-        let resp = manager.handle_message(&Message::MissionCount { count: items.len() as u16 });
+        let resp = manager.handle_message(&Message::MissionCount {
+            count: items.len() as u16,
+        });
         assert_eq!(resp, vec![Message::MissionRequest { seq: 0 }]);
         // Send item 3 instead of item 0.
         let resp = manager.handle_message(&Message::MissionItemMsg { item: items[3] });
@@ -220,15 +224,23 @@ mod tests {
         let mut manager = MissionManager::new();
         let items = square_mission(15.0, 10.0, true);
         upload(&mut manager, &items);
-        assert!(matches!(manager.current_command(), Some(MissionCommand::Takeoff { .. })));
+        assert!(matches!(
+            manager.current_command(),
+            Some(MissionCommand::Takeoff { .. })
+        ));
         manager.advance();
-        assert!(matches!(manager.current_command(), Some(MissionCommand::Waypoint { .. })));
+        assert!(matches!(
+            manager.current_command(),
+            Some(MissionCommand::Waypoint { .. })
+        ));
     }
 
     #[test]
     fn non_mission_messages_ignored() {
         let mut manager = MissionManager::new();
-        assert!(manager.handle_message(&Message::ArmDisarm { arm: true }).is_empty());
+        assert!(manager
+            .handle_message(&Message::ArmDisarm { arm: true })
+            .is_empty());
         assert!(manager
             .handle_message(&Message::StatusText { severity: 3 })
             .is_empty());

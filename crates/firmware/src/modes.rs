@@ -78,7 +78,9 @@ impl OperatingMode {
             7 => OperatingMode::Land,
             8 => OperatingMode::ReturnToLaunch,
             9 => OperatingMode::Crashed,
-            n if (100..=355).contains(&n) => OperatingMode::Auto { leg: (n - 100) as u8 },
+            n if (100..=355).contains(&n) => OperatingMode::Auto {
+                leg: (n - 100) as u8,
+            },
             _ => return None,
         })
     }
@@ -120,7 +122,10 @@ impl OperatingMode {
     /// Whether this is one of the fail-safe "safe modes" the invariant
     /// monitor permits even when it sacrifices liveliness (§IV.C.2).
     pub fn is_safe_mode(self) -> bool {
-        matches!(self, OperatingMode::Land | OperatingMode::ReturnToLaunch | OperatingMode::Brake)
+        matches!(
+            self,
+            OperatingMode::Land | OperatingMode::ReturnToLaunch | OperatingMode::Brake
+        )
     }
 
     /// The coarse category used by the paper's Table IV breakdown
@@ -272,7 +277,10 @@ mod tests {
     fn categories_match_table_iv_columns() {
         assert_eq!(OperatingMode::Takeoff.category(), ModeCategory::Takeoff);
         assert_eq!(OperatingMode::PreFlight.category(), ModeCategory::Takeoff);
-        assert_eq!(OperatingMode::Auto { leg: 2 }.category(), ModeCategory::Waypoint);
+        assert_eq!(
+            OperatingMode::Auto { leg: 2 }.category(),
+            ModeCategory::Waypoint
+        );
         assert_eq!(OperatingMode::PosHold.category(), ModeCategory::Manual);
         assert_eq!(OperatingMode::Guided.category(), ModeCategory::Manual);
         assert_eq!(OperatingMode::Land.category(), ModeCategory::Land);
@@ -300,7 +308,10 @@ mod tests {
     #[test]
     fn names_are_nonempty_and_distinct_for_legs() {
         assert_eq!(OperatingMode::Auto { leg: 1 }.name(), "auto[wp1]");
-        assert_ne!(OperatingMode::Auto { leg: 1 }.name(), OperatingMode::Auto { leg: 2 }.name());
+        assert_ne!(
+            OperatingMode::Auto { leg: 1 }.name(),
+            OperatingMode::Auto { leg: 2 }.name()
+        );
         for m in all_modes() {
             assert!(!m.name().is_empty());
         }

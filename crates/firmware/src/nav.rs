@@ -137,7 +137,13 @@ impl Navigator {
 
     /// Creates a navigator with explicit gains (tests, ablations).
     pub fn with_gains(gains: NavGains, max_tilt: f64, max_climb_rate: f64) -> Self {
-        Navigator { gains, max_tilt, max_climb_rate, hover_trim: 0.0, yaw_hold: 0.0 }
+        Navigator {
+            gains,
+            max_tilt,
+            max_climb_rate,
+            hover_trim: 0.0,
+            yaw_hold: 0.0,
+        }
     }
 
     /// Resets transient controller state (on arming).
@@ -172,29 +178,49 @@ impl Navigator {
         // Desired vertical speed and horizontal velocity in the world frame.
         let (vz_des, v_des): (f64, Option<Vec3>) = match setpoint {
             Setpoint::ClimbTo { altitude, hold } => (
-                clamp(g.kp_alt * (altitude - est.altitude), -1.0, self.max_climb_rate),
+                clamp(
+                    g.kp_alt * (altitude - est.altitude),
+                    -1.0,
+                    self.max_climb_rate,
+                ),
                 Some(self.velocity_toward(hold, est, 2.0)),
             ),
             Setpoint::GotoPosition { target, speed } => (
-                clamp(g.kp_alt * (target.z - est.altitude), -1.5, self.max_climb_rate),
+                clamp(
+                    g.kp_alt * (target.z - est.altitude),
+                    -1.5,
+                    self.max_climb_rate,
+                ),
                 Some(self.velocity_toward(target, est, speed)),
             ),
             Setpoint::HoldPosition { target } => (
-                clamp(g.kp_alt * (target.z - est.altitude), -1.5, self.max_climb_rate),
+                clamp(
+                    g.kp_alt * (target.z - est.altitude),
+                    -1.5,
+                    self.max_climb_rate,
+                ),
                 Some(self.velocity_toward(target, est, 2.5)),
             ),
-            Setpoint::HoldAltitude { altitude } => {
-                (clamp(g.kp_alt * (altitude - est.altitude), -1.5, self.max_climb_rate), None)
-            }
-            Setpoint::Descend { rate, hold } => (
-                -rate.abs(),
-                hold.map(|h| self.velocity_toward(h, est, 1.5)),
+            Setpoint::HoldAltitude { altitude } => (
+                clamp(
+                    g.kp_alt * (altitude - est.altitude),
+                    -1.5,
+                    self.max_climb_rate,
+                ),
+                None,
             ),
+            Setpoint::Descend { rate, hold } => {
+                (-rate.abs(), hold.map(|h| self.velocity_toward(h, est, 1.5)))
+            }
             Setpoint::VerticalSpeed { rate, hold } => {
                 (rate, hold.map(|h| self.velocity_toward(h, est, 1.5)))
             }
             Setpoint::HorizontalVelocity { velocity, altitude } => (
-                clamp(g.kp_alt * (altitude - est.altitude), -1.5, self.max_climb_rate),
+                clamp(
+                    g.kp_alt * (altitude - est.altitude),
+                    -1.5,
+                    self.max_climb_rate,
+                ),
                 Some(Vec3::new(velocity.x, velocity.y, 0.0)),
             ),
             Setpoint::Idle | Setpoint::GroundIdle | Setpoint::RawThrottle { .. } => unreachable!(),
@@ -245,8 +271,16 @@ impl Navigator {
         rates: Vec3,
     ) -> MotorCommands {
         let g = self.gains;
-        let roll_cmd = clamp(g.kp_att * (roll_des - est.roll) - g.kd_att * rates.x, -0.4, 0.4);
-        let pitch_cmd = clamp(g.kp_att * (pitch_des - est.pitch) - g.kd_att * rates.y, -0.4, 0.4);
+        let roll_cmd = clamp(
+            g.kp_att * (roll_des - est.roll) - g.kd_att * rates.x,
+            -0.4,
+            0.4,
+        );
+        let pitch_cmd = clamp(
+            g.kp_att * (pitch_des - est.pitch) - g.kd_att * rates.y,
+            -0.4,
+            0.4,
+        );
         let yaw_cmd = clamp(
             g.kp_yaw * wrap_angle(self.yaw_hold - est.yaw) - g.kd_yaw * rates.z,
             -0.2,
@@ -318,10 +352,17 @@ mod tests {
         let est = run_with_perfect_state(
             &mut nav,
             &mut sim,
-            |_, _| Setpoint::ClimbTo { altitude: 20.0, hold: Vec3::ZERO },
+            |_, _| Setpoint::ClimbTo {
+                altitude: 20.0,
+                hold: Vec3::ZERO,
+            },
             25_000,
         );
-        assert!((est.altitude - 20.0).abs() < 1.5, "altitude {}", est.altitude);
+        assert!(
+            (est.altitude - 20.0).abs() < 1.5,
+            "altitude {}",
+            est.altitude
+        );
         assert!(est.position.horizontal_distance(Vec3::ZERO) < 2.0);
         assert!(sim.first_collision().is_none());
     }
@@ -334,7 +375,10 @@ mod tests {
         run_with_perfect_state(
             &mut nav,
             &mut sim,
-            |_, _| Setpoint::ClimbTo { altitude: 15.0, hold: Vec3::ZERO },
+            |_, _| Setpoint::ClimbTo {
+                altitude: 15.0,
+                hold: Vec3::ZERO,
+            },
             15_000,
         );
         let target = Vec3::new(20.0, 10.0, 15.0);
@@ -344,7 +388,11 @@ mod tests {
             move |_, _| Setpoint::GotoPosition { target, speed: 5.0 },
             25_000,
         );
-        assert!(est.position.horizontal_distance(target) < 2.5, "pos {:?}", est.position);
+        assert!(
+            est.position.horizontal_distance(target) < 2.5,
+            "pos {:?}",
+            est.position
+        );
         assert!((est.altitude - 15.0).abs() < 2.0);
         assert!(sim.first_collision().is_none());
     }
@@ -360,7 +408,10 @@ mod tests {
         run_with_perfect_state(
             &mut nav,
             &mut sim,
-            |_, _| Setpoint::ClimbTo { altitude: 10.0, hold: Vec3::ZERO },
+            |_, _| Setpoint::ClimbTo {
+                altitude: 10.0,
+                hold: Vec3::ZERO,
+            },
             12_000,
         );
         let hold = Vec3::new(0.0, 0.0, 10.0);
@@ -370,7 +421,11 @@ mod tests {
             move |_, _| Setpoint::HoldPosition { target: hold },
             20_000,
         );
-        assert!(est.position.horizontal_distance(hold) < 3.0, "pos {:?}", est.position);
+        assert!(
+            est.position.horizontal_distance(hold) < 3.0,
+            "pos {:?}",
+            est.position
+        );
         assert!(sim.first_collision().is_none());
     }
 
@@ -381,17 +436,26 @@ mod tests {
         run_with_perfect_state(
             &mut nav,
             &mut sim,
-            |_, _| Setpoint::ClimbTo { altitude: 12.0, hold: Vec3::ZERO },
+            |_, _| Setpoint::ClimbTo {
+                altitude: 12.0,
+                hold: Vec3::ZERO,
+            },
             14_000,
         );
         let est = run_with_perfect_state(
             &mut nav,
             &mut sim,
-            |_, _| Setpoint::Descend { rate: 0.8, hold: Some(Vec3::ZERO) },
+            |_, _| Setpoint::Descend {
+                rate: 0.8,
+                hold: Some(Vec3::ZERO),
+            },
             25_000,
         );
         assert!(est.altitude < 0.3, "altitude {}", est.altitude);
-        assert!(sim.first_collision().is_none(), "gentle landing must not register a crash");
+        assert!(
+            sim.first_collision().is_none(),
+            "gentle landing must not register a crash"
+        );
     }
 
     #[test]
@@ -401,16 +465,25 @@ mod tests {
         run_with_perfect_state(
             &mut nav,
             &mut sim,
-            |_, _| Setpoint::ClimbTo { altitude: 15.0, hold: Vec3::ZERO },
+            |_, _| Setpoint::ClimbTo {
+                altitude: 15.0,
+                hold: Vec3::ZERO,
+            },
             16_000,
         );
         run_with_perfect_state(
             &mut nav,
             &mut sim,
-            |_, _| Setpoint::VerticalSpeed { rate: -3.0, hold: Some(Vec3::ZERO) },
+            |_, _| Setpoint::VerticalSpeed {
+                rate: -3.0,
+                hold: Some(Vec3::ZERO),
+            },
             15_000,
         );
-        assert!(sim.first_collision().is_some(), "a 3 m/s descent into the ground is a crash");
+        assert!(
+            sim.first_collision().is_some(),
+            "a 3 m/s descent into the ground is a crash"
+        );
     }
 
     #[test]
@@ -420,13 +493,19 @@ mod tests {
         run_with_perfect_state(
             &mut nav,
             &mut sim,
-            |_, _| Setpoint::ClimbTo { altitude: 15.0, hold: Vec3::ZERO },
+            |_, _| Setpoint::ClimbTo {
+                altitude: 15.0,
+                hold: Vec3::ZERO,
+            },
             16_000,
         );
         let est = run_with_perfect_state(
             &mut nav,
             &mut sim,
-            |_, _| Setpoint::HorizontalVelocity { velocity: Vec3::new(4.0, 0.0, 0.0), altitude: 15.0 },
+            |_, _| Setpoint::HorizontalVelocity {
+                velocity: Vec3::new(4.0, 0.0, 0.0),
+                altitude: 15.0,
+            },
             10_000,
         );
         assert!(est.position.x > 15.0, "x = {}", est.position.x);
@@ -447,7 +526,12 @@ mod tests {
     fn raw_throttle_is_clamped_and_level() {
         let mut nav = default_nav();
         let est = EstimatorState::default();
-        let cmd = nav.update(Setpoint::RawThrottle { throttle: 2.0 }, &est, Vec3::ZERO, DT);
+        let cmd = nav.update(
+            Setpoint::RawThrottle { throttle: 2.0 },
+            &est,
+            Vec3::ZERO,
+            DT,
+        );
         assert!(cmd.is_valid());
         assert!(cmd.mean() > 0.8);
     }
@@ -456,11 +540,18 @@ mod tests {
     fn reset_sets_heading_hold() {
         let mut nav = default_nav();
         nav.reset(1.0);
-        let mut est = EstimatorState::default();
-        est.yaw = 0.0;
+        let est = EstimatorState {
+            yaw: 0.0,
+            ..EstimatorState::default()
+        };
         // With heading hold at 1.0 rad and yaw 0, the yaw command is positive,
         // which raises motors 0/1 relative to 2/3 in the mixer.
-        let cmd = nav.update(Setpoint::HoldAltitude { altitude: 0.0 }, &est, Vec3::ZERO, DT);
+        let cmd = nav.update(
+            Setpoint::HoldAltitude { altitude: 0.0 },
+            &est,
+            Vec3::ZERO,
+            DT,
+        );
         assert!(cmd.throttle[0] > cmd.throttle[2]);
     }
 }

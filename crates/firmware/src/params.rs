@@ -22,7 +22,8 @@ pub enum FirmwareProfile {
 
 impl FirmwareProfile {
     /// Both profiles, in the order the paper reports them.
-    pub const ALL: [FirmwareProfile; 2] = [FirmwareProfile::ArduPilotLike, FirmwareProfile::Px4Like];
+    pub const ALL: [FirmwareProfile; 2] =
+        [FirmwareProfile::ArduPilotLike, FirmwareProfile::Px4Like];
 
     /// The short name used in reports ("ArduPilot" / "PX4").
     pub fn name(self) -> &'static str {
@@ -216,7 +217,9 @@ mod tests {
 
     #[test]
     fn defaults_are_valid() {
-        FirmwareParams::ardupilot().validate().expect("ardupilot defaults");
+        FirmwareParams::ardupilot()
+            .validate()
+            .expect("ardupilot defaults");
         FirmwareParams::px4().validate().expect("px4 defaults");
         FirmwareParams::default().validate().expect("default");
     }
@@ -229,7 +232,10 @@ mod tests {
         assert!(px4.arming_requires_compass);
         assert!(!apm.arming_requires_compass);
         assert_eq!(FirmwareParams::for_profile(FirmwareProfile::Px4Like), px4);
-        assert_eq!(FirmwareParams::for_profile(FirmwareProfile::ArduPilotLike), apm);
+        assert_eq!(
+            FirmwareParams::for_profile(FirmwareProfile::ArduPilotLike),
+            apm
+        );
     }
 
     #[test]

@@ -43,8 +43,8 @@ impl Pid {
     /// returns the clamped output.
     pub fn update(&mut self, error: f64, dt: f64) -> f64 {
         debug_assert!(dt > 0.0);
-        self.integral = (self.integral + error * dt)
-            .clamp(-self.integral_limit, self.integral_limit);
+        self.integral =
+            (self.integral + error * dt).clamp(-self.integral_limit, self.integral_limit);
         let derivative = match self.last_error {
             Some(prev) => (error - prev) / dt,
             None => 0.0,
@@ -59,8 +59,8 @@ impl Pid {
     /// avoids derivative kick on setpoint changes.
     pub fn update_with_rate(&mut self, error: f64, rate: f64, dt: f64) -> f64 {
         debug_assert!(dt > 0.0);
-        self.integral = (self.integral + error * dt)
-            .clamp(-self.integral_limit, self.integral_limit);
+        self.integral =
+            (self.integral + error * dt).clamp(-self.integral_limit, self.integral_limit);
         self.last_error = Some(error);
         let out = self.kp * error + self.ki * self.integral - self.kd * rate;
         out.clamp(-self.output_limit, self.output_limit)

@@ -236,7 +236,10 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Creates an injector executing the given fault plan.
     pub fn new(plan: FaultPlan) -> Self {
-        FaultInjector { plan, ..Default::default() }
+        FaultInjector {
+            plan,
+            ..Default::default()
+        }
     }
 
     /// Creates an injector that never injects (golden / profiling runs).
@@ -249,6 +252,13 @@ impl FaultInjector {
         &self.plan
     }
 
+    /// Removes and returns the plan, leaving an empty one behind. The
+    /// experiment runner uses this to hand the plan back to the caller at
+    /// the end of a run without cloning it up front.
+    pub fn take_plan(&mut self) -> FaultPlan {
+        std::mem::take(&mut self.plan)
+    }
+
     /// Called from an instrumented sensor-driver read. Returns `true` if
     /// the read must be reported as failed, and records the first failed
     /// read per instance for the replay log.
@@ -258,7 +268,10 @@ impl FaultInjector {
         if failed {
             self.failed_reads += 1;
             if !self.injections.iter().any(|r| r.instance == instance) {
-                self.injections.push(InjectionRecord { instance, first_failed_read: time });
+                self.injections.push(InjectionRecord {
+                    instance,
+                    first_failed_read: time,
+                });
             }
         }
         failed
@@ -277,7 +290,11 @@ impl FaultInjector {
         if self.current_mode == Some(mode) {
             return;
         }
-        self.transitions.push(ModeTransitionRecord { time, from: self.current_mode, to: mode });
+        self.transitions.push(ModeTransitionRecord {
+            time,
+            from: self.current_mode,
+            to: mode,
+        });
         self.current_mode = Some(mode);
     }
 
@@ -317,7 +334,9 @@ pub struct SharedInjector {
 impl SharedInjector {
     /// Wraps an injector in a shared handle.
     pub fn new(injector: FaultInjector) -> Self {
-        SharedInjector { inner: Arc::new(Mutex::new(injector)) }
+        SharedInjector {
+            inner: Arc::new(Mutex::new(injector)),
+        }
     }
 
     /// A shared injector that never injects.
@@ -353,6 +372,11 @@ impl SharedInjector {
     /// The plan being executed.
     pub fn plan(&self) -> FaultPlan {
         self.inner.lock().plan().clone()
+    }
+
+    /// Removes and returns the plan (see [`FaultInjector::take_plan`]).
+    pub fn take_plan(&self) -> FaultPlan {
+        self.inner.lock().take_plan()
     }
 }
 

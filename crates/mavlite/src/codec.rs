@@ -140,7 +140,14 @@ fn encode_payload(msg: &Message) -> BytesMut {
             put_mode(&mut buf, mode);
             buf.put_u8(u8::from(armed));
         }
-        Message::Status { x, y, altitude, climb_rate, mission_seq, landed } => {
+        Message::Status {
+            x,
+            y,
+            altitude,
+            climb_rate,
+            mission_seq,
+            landed,
+        } => {
             buf.put_f64(x);
             buf.put_f64(y);
             buf.put_f64(altitude);
@@ -188,7 +195,10 @@ fn decode_payload(id: u8, mut buf: Bytes) -> Result<Message, CodecError> {
         0 => {
             let mode = get_mode(&mut buf)?;
             need(&buf, 1)?;
-            Message::Heartbeat { mode, armed: buf.get_u8() != 0 }
+            Message::Heartbeat {
+                mode,
+                armed: buf.get_u8() != 0,
+            }
         }
         1 => {
             need(&buf, 8 * 4 + 2 + 1)?;
@@ -203,12 +213,18 @@ fn decode_payload(id: u8, mut buf: Bytes) -> Result<Message, CodecError> {
         }
         2 => {
             need(&buf, 1)?;
-            Message::ArmDisarm { arm: buf.get_u8() != 0 }
+            Message::ArmDisarm {
+                arm: buf.get_u8() != 0,
+            }
         }
-        3 => Message::SetMode { mode: get_mode(&mut buf)? },
+        3 => Message::SetMode {
+            mode: get_mode(&mut buf)?,
+        },
         4 => {
             need(&buf, 8)?;
-            Message::CommandTakeoff { altitude: buf.get_f64() }
+            Message::CommandTakeoff {
+                altitude: buf.get_f64(),
+            }
         }
         5 => {
             need(&buf, 2)?;
@@ -227,24 +243,36 @@ fn decode_payload(id: u8, mut buf: Bytes) -> Result<Message, CodecError> {
         }
         6 => {
             need(&buf, 2)?;
-            Message::MissionCount { count: buf.get_u16() }
+            Message::MissionCount {
+                count: buf.get_u16(),
+            }
         }
         7 => {
             need(&buf, 2)?;
             Message::MissionRequest { seq: buf.get_u16() }
         }
-        8 => Message::MissionItemMsg { item: get_mission_item(&mut buf)? },
+        8 => Message::MissionItemMsg {
+            item: get_mission_item(&mut buf)?,
+        },
         9 => {
             need(&buf, 1)?;
-            Message::MissionAck { accepted: buf.get_u8() != 0 }
+            Message::MissionAck {
+                accepted: buf.get_u8() != 0,
+            }
         }
         10 => {
             need(&buf, 1)?;
-            Message::StatusText { severity: buf.get_u8() }
+            Message::StatusText {
+                severity: buf.get_u8(),
+            }
         }
         11 => {
             need(&buf, 24)?;
-            Message::CommandGoto { x: buf.get_f64(), y: buf.get_f64(), z: buf.get_f64() }
+            Message::CommandGoto {
+                x: buf.get_f64(),
+                y: buf.get_f64(),
+                z: buf.get_f64(),
+            }
         }
         other => return Err(CodecError::UnknownMessageId(other)),
     };
@@ -308,7 +336,10 @@ mod tests {
 
     fn sample_messages() -> Vec<Message> {
         vec![
-            Message::Heartbeat { mode: ProtocolMode::Auto, armed: true },
+            Message::Heartbeat {
+                mode: ProtocolMode::Auto,
+                armed: true,
+            },
             Message::Status {
                 x: 1.5,
                 y: -2.5,
@@ -318,17 +349,37 @@ mod tests {
                 landed: false,
             },
             Message::ArmDisarm { arm: true },
-            Message::SetMode { mode: ProtocolMode::ReturnToLaunch },
+            Message::SetMode {
+                mode: ProtocolMode::ReturnToLaunch,
+            },
             Message::CommandTakeoff { altitude: 20.0 },
-            Message::CommandGoto { x: -4.0, y: 8.5, z: 20.0 },
-            Message::CommandAck { command: CommandKind::SetMode, result: AckResult::Rejected },
+            Message::CommandGoto {
+                x: -4.0,
+                y: 8.5,
+                z: 20.0,
+            },
+            Message::CommandAck {
+                command: CommandKind::SetMode,
+                result: AckResult::Rejected,
+            },
             Message::MissionCount { count: 7 },
             Message::MissionRequest { seq: 4 },
             Message::MissionItemMsg {
-                item: MissionItem::new(2, MissionCommand::Waypoint { x: 20.0, y: 20.0, z: 20.0 }),
+                item: MissionItem::new(
+                    2,
+                    MissionCommand::Waypoint {
+                        x: 20.0,
+                        y: 20.0,
+                        z: 20.0,
+                    },
+                ),
             },
-            Message::MissionItemMsg { item: MissionItem::new(0, MissionCommand::Takeoff { altitude: 20.0 }) },
-            Message::MissionItemMsg { item: MissionItem::new(5, MissionCommand::ReturnToLaunch) },
+            Message::MissionItemMsg {
+                item: MissionItem::new(0, MissionCommand::Takeoff { altitude: 20.0 }),
+            },
+            Message::MissionItemMsg {
+                item: MissionItem::new(5, MissionCommand::ReturnToLaunch),
+            },
             Message::MissionAck { accepted: true },
             Message::StatusText { severity: 4 },
         ]
@@ -389,7 +440,7 @@ mod tests {
         let frame = encode_frame(&Message::StatusText { severity: 1 }, 0);
         let mut bytes = frame.to_vec();
         bytes[2] = 200; // overwrite msg id
-        // Fix the checksum so only the id is wrong.
+                        // Fix the checksum so only the id is wrong.
         let total = bytes.len();
         let crc = crc16_x25(&bytes[1..total - 2]);
         bytes[total - 2..].copy_from_slice(&crc.to_be_bytes());
@@ -410,8 +461,12 @@ mod tests {
     fn error_display_strings() {
         assert!(CodecError::BadMagic(7).to_string().contains("magic"));
         assert!(CodecError::Truncated.to_string().contains("truncated"));
-        assert!(CodecError::ChecksumMismatch.to_string().contains("checksum"));
+        assert!(CodecError::ChecksumMismatch
+            .to_string()
+            .contains("checksum"));
         assert!(CodecError::UnknownMessageId(9).to_string().contains('9'));
-        assert!(CodecError::InvalidField("mode").to_string().contains("mode"));
+        assert!(CodecError::InvalidField("mode")
+            .to_string()
+            .contains("mode"));
     }
 }

@@ -39,7 +39,5 @@ pub mod mission;
 
 pub use codec::{decode_frame, encode_frame, CodecError, FRAME_MAGIC};
 pub use link::{Endpoint, Link};
-pub use message::{
-    AckResult, CommandKind, Message, MissionCommand, MissionItem, ProtocolMode,
-};
+pub use message::{AckResult, CommandKind, Message, MissionCommand, MissionItem, ProtocolMode};
 pub use mission::{square_mission, MissionUploader, UploadState};

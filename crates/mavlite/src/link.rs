@@ -139,11 +139,21 @@ mod tests {
     fn gcs_to_vehicle_round_trip() {
         let mut link = Link::new();
         link.send(Endpoint::GroundStation, &Message::ArmDisarm { arm: true });
-        link.send(Endpoint::GroundStation, &Message::SetMode { mode: ProtocolMode::Auto });
-        assert_eq!(link.recv(Endpoint::Vehicle), Some(Message::ArmDisarm { arm: true }));
+        link.send(
+            Endpoint::GroundStation,
+            &Message::SetMode {
+                mode: ProtocolMode::Auto,
+            },
+        );
         assert_eq!(
             link.recv(Endpoint::Vehicle),
-            Some(Message::SetMode { mode: ProtocolMode::Auto })
+            Some(Message::ArmDisarm { arm: true })
+        );
+        assert_eq!(
+            link.recv(Endpoint::Vehicle),
+            Some(Message::SetMode {
+                mode: ProtocolMode::Auto
+            })
         );
         assert_eq!(link.recv(Endpoint::Vehicle), None);
     }
@@ -151,10 +161,19 @@ mod tests {
     #[test]
     fn vehicle_to_gcs_round_trip() {
         let mut link = Link::new();
-        link.send(Endpoint::Vehicle, &Message::Heartbeat { mode: ProtocolMode::Land, armed: true });
+        link.send(
+            Endpoint::Vehicle,
+            &Message::Heartbeat {
+                mode: ProtocolMode::Land,
+                armed: true,
+            },
+        );
         assert_eq!(
             link.recv(Endpoint::GroundStation),
-            Some(Message::Heartbeat { mode: ProtocolMode::Land, armed: true })
+            Some(Message::Heartbeat {
+                mode: ProtocolMode::Land,
+                armed: true
+            })
         );
     }
 
@@ -182,11 +201,21 @@ mod tests {
     #[test]
     fn corruption_drops_frame_but_recovers() {
         let mut link = Link::new();
-        link.send(Endpoint::GroundStation, &Message::MissionAck { accepted: true });
+        link.send(
+            Endpoint::GroundStation,
+            &Message::MissionAck { accepted: true },
+        );
         link.send(
             Endpoint::GroundStation,
             &Message::MissionItemMsg {
-                item: MissionItem::new(1, MissionCommand::Waypoint { x: 1.0, y: 2.0, z: 3.0 }),
+                item: MissionItem::new(
+                    1,
+                    MissionCommand::Waypoint {
+                        x: 1.0,
+                        y: 2.0,
+                        z: 3.0,
+                    },
+                ),
             },
         );
         // Corrupt the first frame's payload byte.

@@ -231,16 +231,37 @@ mod tests {
     #[test]
     fn message_ids_are_unique() {
         let msgs = [
-            Message::Heartbeat { mode: ProtocolMode::Auto, armed: false },
-            Message::Status { x: 0.0, y: 0.0, altitude: 0.0, climb_rate: 0.0, mission_seq: 0, landed: true },
+            Message::Heartbeat {
+                mode: ProtocolMode::Auto,
+                armed: false,
+            },
+            Message::Status {
+                x: 0.0,
+                y: 0.0,
+                altitude: 0.0,
+                climb_rate: 0.0,
+                mission_seq: 0,
+                landed: true,
+            },
             Message::ArmDisarm { arm: true },
-            Message::SetMode { mode: ProtocolMode::Land },
+            Message::SetMode {
+                mode: ProtocolMode::Land,
+            },
             Message::CommandTakeoff { altitude: 20.0 },
-            Message::CommandGoto { x: 1.0, y: 2.0, z: 3.0 },
-            Message::CommandAck { command: CommandKind::Arm, result: AckResult::Accepted },
+            Message::CommandGoto {
+                x: 1.0,
+                y: 2.0,
+                z: 3.0,
+            },
+            Message::CommandAck {
+                command: CommandKind::Arm,
+                result: AckResult::Accepted,
+            },
             Message::MissionCount { count: 3 },
             Message::MissionRequest { seq: 0 },
-            Message::MissionItemMsg { item: MissionItem::new(0, MissionCommand::Land) },
+            Message::MissionItemMsg {
+                item: MissionItem::new(0, MissionCommand::Land),
+            },
             Message::MissionAck { accepted: true },
             Message::StatusText { severity: 6 },
         ];
@@ -252,7 +273,11 @@ mod tests {
 
     #[test]
     fn telemetry_classification() {
-        assert!(Message::Heartbeat { mode: ProtocolMode::Auto, armed: true }.is_telemetry());
+        assert!(Message::Heartbeat {
+            mode: ProtocolMode::Auto,
+            armed: true
+        }
+        .is_telemetry());
         assert!(Message::MissionRequest { seq: 1 }.is_telemetry());
         assert!(!Message::ArmDisarm { arm: true }.is_telemetry());
         assert!(!Message::MissionCount { count: 2 }.is_telemetry());

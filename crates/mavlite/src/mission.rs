@@ -92,7 +92,9 @@ impl MissionUploader {
         let mut out = Vec::new();
         match self.state {
             UploadState::NotStarted => {
-                out.push(Message::MissionCount { count: self.items.len() as u16 });
+                out.push(Message::MissionCount {
+                    count: self.items.len() as u16,
+                });
                 self.state = UploadState::InProgress;
                 self.idle_ticks = 0;
             }
@@ -138,14 +140,16 @@ impl MissionUploader {
 pub fn square_mission(altitude: f64, side: f64, land_at_home: bool) -> Vec<MissionItem> {
     use crate::message::MissionCommand as C;
     let mut items = vec![MissionItem::new(0, C::Takeoff { altitude })];
-    let corners = [
-        (side, 0.0),
-        (side, side),
-        (0.0, side),
-        (0.0, 0.0),
-    ];
+    let corners = [(side, 0.0), (side, side), (0.0, side), (0.0, 0.0)];
     for (i, (x, y)) in corners.iter().enumerate() {
-        items.push(MissionItem::new(i as u16 + 1, C::Waypoint { x: *x, y: *y, z: altitude }));
+        items.push(MissionItem::new(
+            i as u16 + 1,
+            C::Waypoint {
+                x: *x,
+                y: *y,
+                z: altitude,
+            },
+        ));
     }
     let last_seq = items.len() as u16;
     if land_at_home {
@@ -176,7 +180,10 @@ mod tests {
             assert_eq!(item.seq as usize, i);
         }
         let rtl = square_mission(10.0, 5.0, false);
-        assert!(matches!(rtl.last().unwrap().command, MissionCommand::ReturnToLaunch));
+        assert!(matches!(
+            rtl.last().unwrap().command,
+            MissionCommand::ReturnToLaunch
+        ));
     }
 
     #[test]

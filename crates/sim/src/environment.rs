@@ -67,9 +67,12 @@ impl FenceRegion {
     pub fn contains(&self, p: Vec3) -> bool {
         match *self {
             FenceRegion::Circle { center, radius } => p.horizontal_distance(center) <= radius,
-            FenceRegion::Rectangle { min_x, min_y, max_x, max_y } => {
-                p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y
-            }
+            FenceRegion::Rectangle {
+                min_x,
+                min_y,
+                max_x,
+                max_y,
+            } => p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y,
         }
     }
 }
@@ -88,12 +91,18 @@ pub struct Fence {
 impl Fence {
     /// Creates a keep-out (restricted airspace) fence.
     pub fn exclusion(region: FenceRegion) -> Self {
-        Fence { region, exclusion: true }
+        Fence {
+            region,
+            exclusion: true,
+        }
     }
 
     /// Creates a containment fence.
     pub fn containment(region: FenceRegion) -> Self {
-        Fence { region, exclusion: false }
+        Fence {
+            region,
+            exclusion: false,
+        }
     }
 
     /// Returns `true` if position `p` violates this fence.
@@ -119,7 +128,11 @@ pub struct Wind {
 
 impl Default for Wind {
     fn default() -> Self {
-        Wind { mean: Vec3::ZERO, gust_amplitude: 0.0, gust_period: 10.0 }
+        Wind {
+            mean: Vec3::ZERO,
+            gust_amplitude: 0.0,
+            gust_period: 10.0,
+        }
     }
 }
 
@@ -131,7 +144,10 @@ impl Wind {
 
     /// Steady wind with the given velocity and no gusts.
     pub fn steady(mean: Vec3) -> Self {
-        Wind { mean, ..Default::default() }
+        Wind {
+            mean,
+            ..Default::default()
+        }
     }
 
     /// Evaluates the wind velocity at simulation time `t` seconds.
@@ -285,7 +301,11 @@ impl Environment {
         if was_airborne && position.z <= self.vehicle_radius * 0.1 {
             let impact_speed = velocity.norm();
             if -velocity.z >= self.crash_speed_threshold {
-                return Some(Collision { kind: CollisionKind::Ground, impact_speed, position });
+                return Some(Collision {
+                    kind: CollisionKind::Ground,
+                    impact_speed,
+                    position,
+                });
             }
         }
         None
@@ -293,12 +313,20 @@ impl Environment {
 
     /// Returns the indices of fences violated at `position`.
     pub fn violated_fences(&self, position: Vec3) -> Vec<usize> {
-        self.fences
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.violated_by(position))
-            .map(|(i, _)| i)
-            .collect()
+        let mut indices = Vec::new();
+        self.violated_fences_into(position, &mut indices);
+        indices
+    }
+
+    /// Appends the indices of fences violated at `position` to `indices`
+    /// (which the caller clears between steps), avoiding the per-step
+    /// allocation of [`Environment::violated_fences`].
+    pub fn violated_fences_into(&self, position: Vec3, indices: &mut Vec<usize>) {
+        for (i, fence) in self.fences.iter().enumerate() {
+            if fence.violated_by(position) {
+                indices.push(i);
+            }
+        }
     }
 }
 
@@ -319,14 +347,22 @@ mod tests {
 
     #[test]
     fn fence_circle_contains() {
-        let region = FenceRegion::Circle { center: Vec3::new(10.0, 0.0, 0.0), radius: 5.0 };
+        let region = FenceRegion::Circle {
+            center: Vec3::new(10.0, 0.0, 0.0),
+            radius: 5.0,
+        };
         assert!(region.contains(Vec3::new(12.0, 0.0, 50.0)));
         assert!(!region.contains(Vec3::new(16.0, 0.0, 0.0)));
     }
 
     #[test]
     fn fence_rectangle_contains() {
-        let region = FenceRegion::Rectangle { min_x: 0.0, min_y: 0.0, max_x: 10.0, max_y: 20.0 };
+        let region = FenceRegion::Rectangle {
+            min_x: 0.0,
+            min_y: 0.0,
+            max_x: 10.0,
+            max_y: 20.0,
+        };
         assert!(region.contains(Vec3::new(5.0, 10.0, 3.0)));
         assert!(!region.contains(Vec3::new(-1.0, 10.0, 3.0)));
         assert!(!region.contains(Vec3::new(5.0, 21.0, 3.0)));
@@ -334,7 +370,10 @@ mod tests {
 
     #[test]
     fn exclusion_vs_containment_fences() {
-        let region = FenceRegion::Circle { center: Vec3::ZERO, radius: 10.0 };
+        let region = FenceRegion::Circle {
+            center: Vec3::ZERO,
+            radius: 10.0,
+        };
         let keep_out = Fence::exclusion(region);
         let keep_in = Fence::containment(region);
         let inside = Vec3::new(1.0, 1.0, 5.0);
@@ -354,7 +393,11 @@ mod tests {
 
     #[test]
     fn gusty_wind_oscillates_about_mean() {
-        let w = Wind { mean: Vec3::new(4.0, 0.0, 0.0), gust_amplitude: 2.0, gust_period: 8.0 };
+        let w = Wind {
+            mean: Vec3::new(4.0, 0.0, 0.0),
+            gust_amplitude: 2.0,
+            gust_period: 8.0,
+        };
         let quarter = w.at(2.0); // sin(pi/2) = 1 -> mean + amplitude
         assert!((quarter.x - 6.0).abs() < 1e-9);
         let half = w.at(4.0); // sin(pi) = 0
@@ -379,8 +422,10 @@ mod tests {
 
     #[test]
     fn obstacle_collision_detected() {
-        let env = Environment::open_field()
-            .with_obstacle(BoxObstacle::new(Vec3::new(5.0, -1.0, 0.0), Vec3::new(6.0, 1.0, 30.0)));
+        let env = Environment::open_field().with_obstacle(BoxObstacle::new(
+            Vec3::new(5.0, -1.0, 0.0),
+            Vec3::new(6.0, 1.0, 30.0),
+        ));
         let c = env
             .check_collision(Vec3::new(5.5, 0.0, 10.0), Vec3::new(3.0, 0.0, 0.0), true)
             .expect("collision");
@@ -408,7 +453,10 @@ mod tests {
     fn builder_chain_accumulates() {
         let env = Environment::open_field()
             .with_obstacle(BoxObstacle::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0)))
-            .with_obstacle(BoxObstacle::new(Vec3::new(2.0, 2.0, 0.0), Vec3::new(3.0, 3.0, 1.0)))
+            .with_obstacle(BoxObstacle::new(
+                Vec3::new(2.0, 2.0, 0.0),
+                Vec3::new(3.0, 3.0, 1.0),
+            ))
             .with_wind(Wind::steady(Vec3::new(1.0, 0.0, 0.0)))
             .with_home(Vec3::new(1.0, 2.0, 0.0));
         assert_eq!(env.obstacles().len(), 2);

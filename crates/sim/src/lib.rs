@@ -41,7 +41,9 @@ pub mod sensors;
 pub mod simulator;
 pub mod vehicle;
 
-pub use environment::{BoxObstacle, Collision, CollisionKind, Environment, Fence, FenceRegion, Wind};
+pub use environment::{
+    BoxObstacle, Collision, CollisionKind, Environment, Fence, FenceRegion, Wind,
+};
 pub use math::{Quat, Vec3};
 pub use rng::SimRng;
 pub use sensors::{

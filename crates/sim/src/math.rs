@@ -28,9 +28,17 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// World-frame unit "up" vector.
-    pub const UP: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const UP: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Creates a vector from its components.
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -186,7 +194,12 @@ impl Default for Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a quaternion from raw components (not normalized).
     pub const fn new(w: f64, x: f64, y: f64, z: f64) -> Self {
@@ -212,7 +225,13 @@ impl Quat {
     pub fn from_axis_angle(axis: Vec3, angle: f64) -> Self {
         let axis = axis.normalized().unwrap_or(Vec3::UP);
         let (s, c) = (angle * 0.5).sin_cos();
-        Quat { w: c, x: axis.x * s, y: axis.y * s, z: axis.z * s }.normalized()
+        Quat {
+            w: c,
+            x: axis.x * s,
+            y: axis.y * s,
+            z: axis.z * s,
+        }
+        .normalized()
     }
 
     /// Returns the (roll, pitch, yaw) Euler angles in radians.
@@ -252,22 +271,22 @@ impl Quat {
         if n < 1e-12 || !n.is_finite() {
             Quat::IDENTITY
         } else {
-            Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+            Quat {
+                w: self.w / n,
+                x: self.x / n,
+                y: self.y / n,
+                z: self.z / n,
+            }
         }
     }
 
     /// Conjugate (inverse for unit quaternions).
     pub fn conjugate(self) -> Quat {
-        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
-    }
-
-    /// Hamilton product `self * rhs`.
-    pub fn mul(self, rhs: Quat) -> Quat {
         Quat {
-            w: self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
-            x: self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
-            y: self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
-            z: self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
         }
     }
 
@@ -294,7 +313,7 @@ impl Quat {
             y: omega.y,
             z: omega.z,
         };
-        let derivative = self.mul(dq);
+        let derivative = self * dq;
         Quat {
             w: self.w + derivative.w * half_dt,
             x: self.x + derivative.x * half_dt,
@@ -307,6 +326,20 @@ impl Quat {
     /// Returns `true` if every component is finite.
     pub fn is_finite(self) -> bool {
         self.w.is_finite() && self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+/// Hamilton product `self * rhs`.
+impl Mul for Quat {
+    type Output = Quat;
+
+    fn mul(self, rhs: Quat) -> Quat {
+        Quat {
+            w: self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+            x: self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            y: self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            z: self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+        }
     }
 }
 

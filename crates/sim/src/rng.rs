@@ -4,14 +4,114 @@
 //! [`SimRng`] seeded per test run, so a fault-injection scenario replays
 //! identically — the property the paper's replay mechanism (§IV.D) relies
 //! on.
+//!
+//! The generator is a self-contained ChaCha8 stream cipher keyed from the
+//! 64-bit seed (the build environment has no crates.io access, so the
+//! `rand`/`rand_chacha` crates are not available; the algorithm here is
+//! the same reduced-round ChaCha construction they provide).
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+/// ChaCha block constants ("expand 32-byte k").
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+/// Number of double-rounds (ChaCha8 = 4 double-rounds).
+const CHACHA_DOUBLE_ROUNDS: usize = 4;
+
+/// The raw ChaCha8 keystream generator.
+#[derive(Debug, Clone)]
+struct ChaCha8 {
+    key: [u32; 8],
+    counter: u64,
+    block: [u32; 16],
+    /// Next unread word within `block`; 16 means "block exhausted".
+    word_index: usize,
+}
+
+impl ChaCha8 {
+    fn new(seed: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64 — the
+        // same trick `SeedableRng::seed_from_u64` uses.
+        let mut state = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let v = splitmix64(&mut state);
+            pair[0] = v as u32;
+            pair[1] = (v >> 32) as u32;
+        }
+        ChaCha8 {
+            key,
+            counter: 0,
+            block: [0; 16],
+            word_index: 16,
+        }
+    }
+
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        for _ in 0..CHACHA_DOUBLE_ROUNDS {
+            // Column round.
+            Self::quarter_round(&mut state, 0, 4, 8, 12);
+            Self::quarter_round(&mut state, 1, 5, 9, 13);
+            Self::quarter_round(&mut state, 2, 6, 10, 14);
+            Self::quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut state, 0, 5, 10, 15);
+            Self::quarter_round(&mut state, 1, 6, 11, 12);
+            Self::quarter_round(&mut state, 2, 7, 8, 13);
+            Self::quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.word_index = 0;
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.word_index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.word_index];
+        self.word_index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A seeded random number generator with Gaussian sampling support.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8,
     /// Cached second value from the Box-Muller transform.
     spare: Option<f64>,
 }
@@ -19,12 +119,16 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: ChaCha8Rng::seed_from_u64(seed), spare: None }
+        SimRng {
+            inner: ChaCha8::new(seed),
+            spare: None,
+        }
     }
 
     /// Returns a uniformly distributed value in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits, the standard float-in-[0,1) recipe.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns a uniformly distributed value in `[lo, hi)`.
@@ -40,7 +144,15 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        // Rejection sampling over the smallest covering power of two keeps
+        // the distribution exactly uniform.
+        let mask = (n as u64).next_power_of_two() - 1;
+        loop {
+            let candidate = self.inner.next_u64() & mask;
+            if candidate < n as u64 {
+                return candidate as usize;
+            }
+        }
     }
 
     /// Returns a standard-normal sample using the Box-Muller transform.
@@ -136,5 +248,17 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(3);
         assert!(!(0..100).any(|_| rng.chance(0.0)));
         assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn index_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut counts = [0usize; 7];
+        for _ in 0..7000 {
+            counts[rng.index(7)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "counts = {counts:?}");
+        }
     }
 }

@@ -372,6 +372,9 @@ impl SensorSuite {
 
     /// Samples every sensor instance at simulation time `time` given the
     /// true rigid-body state and mean motor throttle (battery drain model).
+    ///
+    /// Allocates a fresh vector per call; hot loops should reuse a buffer
+    /// through [`SensorSuite::sample_into`].
     pub fn sample(
         &mut self,
         state: &RigidBodyState,
@@ -380,10 +383,27 @@ impl SensorSuite {
         dt: f64,
     ) -> Vec<SensorReading> {
         let mut readings = Vec::with_capacity(self.config.total_instances());
+        self.sample_into(&mut readings, state, mean_throttle, time, dt);
+        readings
+    }
+
+    /// Samples every sensor instance, appending the readings to
+    /// `readings` (which the caller clears between steps). A buffer
+    /// reused across steps reaches steady-state capacity after the first
+    /// step, making subsequent steps allocation-free.
+    pub fn sample_into(
+        &mut self,
+        readings: &mut Vec<SensorReading>,
+        state: &RigidBodyState,
+        mean_throttle: f64,
+        time: f64,
+        dt: f64,
+    ) {
         let noise = self.config.noise.clone();
 
         // Battery drain: idle draw plus throttle-proportional draw.
-        let drain_rate = (0.15 + 0.85 * mean_throttle.clamp(0.0, 1.0)) / self.config.battery_endurance_s;
+        let drain_rate =
+            (0.15 + 0.85 * mean_throttle.clamp(0.0, 1.0)) / self.config.battery_endurance_s;
         self.battery_remaining = (self.battery_remaining - drain_rate * dt).max(0.0);
 
         // Specific force measured by an accelerometer: f = R^T (a + g·ẑ).
@@ -459,9 +479,8 @@ impl SensorSuite {
         }
 
         for idx in 0..self.config.barometers {
-            let value = SensorValue::PressureAltitude(
-                state.position.z + self.rng.normal(0.0, noise.baro),
-            );
+            let value =
+                SensorValue::PressureAltitude(state.position.z + self.rng.normal(0.0, noise.baro));
             readings.push(SensorReading {
                 instance: SensorInstance::new(SensorKind::Barometer, idx),
                 time,
@@ -496,8 +515,6 @@ impl SensorSuite {
                 value,
             });
         }
-
-        readings
     }
 }
 
@@ -524,9 +541,18 @@ mod tests {
 
     #[test]
     fn instance_roles() {
-        assert_eq!(SensorInstance::new(SensorKind::Gps, 0).role(), SensorRole::Primary);
-        assert_eq!(SensorInstance::new(SensorKind::Gps, 1).role(), SensorRole::Backup);
-        assert_eq!(SensorInstance::new(SensorKind::Compass, 2).role(), SensorRole::Backup);
+        assert_eq!(
+            SensorInstance::new(SensorKind::Gps, 0).role(),
+            SensorRole::Primary
+        );
+        assert_eq!(
+            SensorInstance::new(SensorKind::Gps, 1).role(),
+            SensorRole::Backup
+        );
+        assert_eq!(
+            SensorInstance::new(SensorKind::Compass, 2).role(),
+            SensorRole::Backup
+        );
     }
 
     #[test]
@@ -570,7 +596,11 @@ mod tests {
                     assert!((a.z - GRAVITY).abs() < 1e-9);
                 }
                 SensorValue::AngularRate(w) => assert!(w.norm() < 1e-12),
-                SensorValue::GpsFix { position, velocity, satellites } => {
+                SensorValue::GpsFix {
+                    position,
+                    velocity,
+                    satellites,
+                } => {
                     assert!((position.z - 20.0).abs() < 1e-9);
                     assert!(velocity.norm() < 1e-9);
                     assert!(satellites >= 6);
@@ -591,13 +621,25 @@ mod tests {
         let state = level_state_at(15.0);
         let first = suite.sample(&state, 0.4, 0.0, 0.001);
         let second = suite.sample(&state, 0.4, 0.001, 0.001);
-        let gps_first = first.iter().find(|r| r.instance.kind == SensorKind::Gps).unwrap().value;
-        let gps_second = second.iter().find(|r| r.instance.kind == SensorKind::Gps).unwrap().value;
+        let gps_first = first
+            .iter()
+            .find(|r| r.instance.kind == SensorKind::Gps)
+            .unwrap()
+            .value;
+        let gps_second = second
+            .iter()
+            .find(|r| r.instance.kind == SensorKind::Gps)
+            .unwrap()
+            .value;
         // Between epochs the fix is repeated exactly (noise included).
         assert_eq!(gps_first, gps_second);
         // After the epoch interval the fix refreshes.
         let third = suite.sample(&state, 0.4, 0.25, 0.001);
-        let gps_third = third.iter().find(|r| r.instance.kind == SensorKind::Gps).unwrap().value;
+        let gps_third = third
+            .iter()
+            .find(|r| r.instance.kind == SensorKind::Gps)
+            .unwrap()
+            .value;
         assert_ne!(gps_first, gps_third);
     }
 
@@ -634,14 +676,20 @@ mod tests {
         let state = level_state_at(8.0);
         for step in 0..50 {
             let t = step as f64 * 0.001;
-            assert_eq!(a.sample(&state, 0.5, t, 0.001), b.sample(&state, 0.5, t, 0.001));
+            assert_eq!(
+                a.sample(&state, 0.5, t, 0.001),
+                b.sample(&state, 0.5, t, 0.001)
+            );
         }
     }
 
     #[test]
     fn display_formats() {
         assert_eq!(SensorKind::Gps.to_string(), "gps");
-        assert_eq!(SensorInstance::new(SensorKind::Compass, 2).to_string(), "compass[2]");
+        assert_eq!(
+            SensorInstance::new(SensorKind::Compass, 2).to_string(),
+            "compass[2]"
+        );
         assert_eq!(SensorRole::Primary.to_string(), "primary");
     }
 }

@@ -69,6 +69,33 @@ pub struct StepOutput {
     pub violated_fences: Vec<usize>,
 }
 
+impl StepOutput {
+    /// An output buffer ready to be filled by [`Simulator::step_into`].
+    /// Reusing one buffer across steps keeps the lock-step loop free of
+    /// per-step heap allocations.
+    pub fn empty() -> Self {
+        StepOutput {
+            state: PhysicalState {
+                time: 0.0,
+                position: Vec3::ZERO,
+                velocity: Vec3::ZERO,
+                acceleration: Vec3::ZERO,
+                heading: 0.0,
+                on_ground: true,
+            },
+            readings: Vec::new(),
+            collision: None,
+            violated_fences: Vec::new(),
+        }
+    }
+}
+
+impl Default for StepOutput {
+    fn default() -> Self {
+        StepOutput::empty()
+    }
+}
+
 /// The software-in-the-loop simulator.
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -86,7 +113,10 @@ impl Simulator {
     /// Creates a simulator with the vehicle at rest at the environment's
     /// home position.
     pub fn new(config: SimConfig, env: Environment) -> Self {
-        assert!(config.dt > 0.0 && config.dt <= 0.1, "dt must be in (0, 0.1]");
+        assert!(
+            config.dt > 0.0 && config.dt <= 0.1,
+            "dt must be in (0, 0.1]"
+        );
         let mut quad = Quadcopter::new(config.vehicle.clone());
         quad.set_state(RigidBodyState::at_rest(env.home()));
         let sensors = SensorSuite::new(config.sensors.clone(), config.seed);
@@ -164,7 +194,21 @@ impl Simulator {
     /// Advances the simulation by one fixed time-step with the given motor
     /// commands, returning the new state, the sensor samples and any
     /// collision detected.
+    ///
+    /// Allocates a fresh [`StepOutput`] per call; hot loops should hold
+    /// one buffer and call [`Simulator::step_into`] instead.
     pub fn step(&mut self, commands: &MotorCommands) -> StepOutput {
+        let mut output = StepOutput::empty();
+        self.step_into(commands, &mut output);
+        output
+    }
+
+    /// Advances the simulation by one fixed time-step, writing the result
+    /// into `output`. The `readings` and `violated_fences` buffers are
+    /// cleared and refilled in place, so a buffer reused across steps
+    /// reaches its steady-state capacity after the first step and the
+    /// loop performs no further heap allocations.
+    pub fn step_into(&mut self, commands: &MotorCommands, output: &mut StepOutput) {
         let dt = self.config.dt;
         let wind = self.env.wind().at(self.time);
         let airborne_before = !self.quad.on_ground();
@@ -206,17 +250,19 @@ impl Simulator {
             self.was_airborne = false;
         }
 
-        let readings = self
-            .sensors
-            .sample(self.quad.state(), commands.mean(), self.time, dt);
-        let violated_fences = self.env.violated_fences(new_state.position);
-
-        StepOutput {
-            state: self.physical_state(),
-            readings,
-            collision,
-            violated_fences,
-        }
+        output.readings.clear();
+        self.sensors.sample_into(
+            &mut output.readings,
+            self.quad.state(),
+            commands.mean(),
+            self.time,
+            dt,
+        );
+        output.violated_fences.clear();
+        self.env
+            .violated_fences_into(new_state.position, &mut output.violated_fences);
+        output.state = self.physical_state();
+        output.collision = collision;
     }
 }
 
@@ -293,7 +339,10 @@ mod tests {
     fn step_reports_sensor_readings() {
         let mut sim = Simulator::with_defaults();
         let out = sim.step(&MotorCommands::IDLE);
-        assert_eq!(out.readings.len(), SensorSuiteConfig::iris().total_instances());
+        assert_eq!(
+            out.readings.len(),
+            SensorSuiteConfig::iris().total_instances()
+        );
     }
 
     #[test]
@@ -311,7 +360,13 @@ mod tests {
     #[test]
     fn deterministic_given_seed_and_commands() {
         let run = || {
-            let mut sim = Simulator::new(SimConfig { seed: 5, ..Default::default() }, Environment::open_field());
+            let mut sim = Simulator::new(
+                SimConfig {
+                    seed: 5,
+                    ..Default::default()
+                },
+                Environment::open_field(),
+            );
             let mut last = None;
             for i in 0..2000 {
                 let throttle = if i < 1500 { 0.8 } else { 0.3 };
@@ -328,7 +383,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "dt must be")]
     fn rejects_invalid_dt() {
-        let config = SimConfig { dt: 0.0, ..Default::default() };
+        let config = SimConfig {
+            dt: 0.0,
+            ..Default::default()
+        };
         let _ = Simulator::new(config, Environment::open_field());
     }
 }

@@ -82,11 +82,15 @@ pub struct MotorCommands {
 
 impl MotorCommands {
     /// All motors at zero throttle.
-    pub const IDLE: MotorCommands = MotorCommands { throttle: [0.0; MOTOR_COUNT] };
+    pub const IDLE: MotorCommands = MotorCommands {
+        throttle: [0.0; MOTOR_COUNT],
+    };
 
     /// Creates commands with every motor at the same throttle.
     pub fn uniform(throttle: f64) -> Self {
-        MotorCommands { throttle: [clamp(throttle, 0.0, 1.0); MOTOR_COUNT] }
+        MotorCommands {
+            throttle: [clamp(throttle, 0.0, 1.0); MOTOR_COUNT],
+        }
     }
 
     /// Creates motor commands from collective throttle plus roll, pitch and
@@ -102,7 +106,9 @@ impl MotorCommands {
             throttle + roll + pitch - yaw, // front-left
             throttle - roll - pitch - yaw, // back-right
         ];
-        MotorCommands { throttle: m.map(|v| clamp(v, 0.0, 1.0)) }
+        MotorCommands {
+            throttle: m.map(|v| clamp(v, 0.0, 1.0)),
+        }
     }
 
     /// Returns the mean commanded throttle.
@@ -112,7 +118,9 @@ impl MotorCommands {
 
     /// Returns `true` if every command is finite and within `[0, 1]`.
     pub fn is_valid(&self) -> bool {
-        self.throttle.iter().all(|t| t.is_finite() && (0.0..=1.0).contains(t))
+        self.throttle
+            .iter()
+            .all(|t| t.is_finite() && (0.0..=1.0).contains(t))
     }
 }
 
@@ -127,7 +135,10 @@ pub struct MotorBank {
 impl MotorBank {
     /// Creates a motor bank at rest.
     pub fn new(time_constant: f64) -> Self {
-        MotorBank { realized: [0.0; MOTOR_COUNT], time_constant: time_constant.max(1e-4) }
+        MotorBank {
+            realized: [0.0; MOTOR_COUNT],
+            time_constant: time_constant.max(1e-4),
+        }
     }
 
     /// Advances the motor dynamics by `dt` seconds toward `commands`.
@@ -180,7 +191,10 @@ impl Default for RigidBodyState {
 impl RigidBodyState {
     /// Returns a state at rest at the given position.
     pub fn at_rest(position: Vec3) -> Self {
-        RigidBodyState { position, ..Default::default() }
+        RigidBodyState {
+            position,
+            ..Default::default()
+        }
     }
 
     /// Altitude above ground level (m).
@@ -310,7 +324,11 @@ impl Quadcopter {
             attitude,
             angular_velocity: omega,
         };
-        debug_assert!(self.state.is_finite(), "dynamics diverged: {:?}", self.state);
+        debug_assert!(
+            self.state.is_finite(),
+            "dynamics diverged: {:?}",
+            self.state
+        );
         self.state
     }
 
@@ -354,7 +372,11 @@ mod tests {
             quad.step(&MotorCommands::uniform(0.9), Vec3::ZERO, 0.001);
         }
         assert!(!quad.on_ground());
-        assert!(quad.state().position.z > 1.0, "alt = {}", quad.state().position.z);
+        assert!(
+            quad.state().position.z > 1.0,
+            "alt = {}",
+            quad.state().position.z
+        );
         assert!(quad.state().velocity.z > 0.0);
     }
 

@@ -106,11 +106,16 @@ mod tests {
     #[test]
     fn auto_mission_contains_upload_and_auto_mode() {
         let w = auto_box_mission();
-        assert!(w.steps().iter().any(|s| matches!(s, WorkloadStep::UploadMission { items } if items.len() == 6)));
         assert!(w
             .steps()
             .iter()
-            .any(|s| matches!(s, WorkloadStep::SetMode { mode: ProtocolMode::Auto })));
+            .any(|s| matches!(s, WorkloadStep::UploadMission { items } if items.len() == 6)));
+        assert!(w.steps().iter().any(|s| matches!(
+            s,
+            WorkloadStep::SetMode {
+                mode: ProtocolMode::Auto
+            }
+        )));
         assert!(w.environment().fences().is_empty());
     }
 
@@ -123,14 +128,18 @@ mod tests {
             .filter(|s| matches!(s, WorkloadStep::GotoAndWait { .. }))
             .count();
         assert_eq!(gotos, 4, "the survey flies the four corners of the box");
-        assert!(w
-            .steps()
-            .iter()
-            .any(|s| matches!(s, WorkloadStep::SetMode { mode: ProtocolMode::PosHold })));
-        assert!(w
-            .steps()
-            .iter()
-            .any(|s| matches!(s, WorkloadStep::SetMode { mode: ProtocolMode::Land })));
+        assert!(w.steps().iter().any(|s| matches!(
+            s,
+            WorkloadStep::SetMode {
+                mode: ProtocolMode::PosHold
+            }
+        )));
+        assert!(w.steps().iter().any(|s| matches!(
+            s,
+            WorkloadStep::SetMode {
+                mode: ProtocolMode::Land
+            }
+        )));
     }
 
     #[test]

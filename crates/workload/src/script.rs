@@ -11,6 +11,7 @@ use avis_mavlite::{Message, MissionItem, MissionUploader, ProtocolMode, UploadSt
 use avis_sim::Environment;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Result of ticking a workload.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -109,11 +110,16 @@ struct SeenTelemetry {
 }
 
 /// A scripted workload (cloneable so the checker can re-run it).
+///
+/// The immutable script — name, steps, environment — is shared behind
+/// `Arc`s, so [`ScriptedWorkload::fresh`] (called once per test run) only
+/// resets the runtime state instead of deep-cloning the mission items and
+/// environment geometry.
 #[derive(Debug, Clone)]
 pub struct ScriptedWorkload {
-    name: String,
-    steps: Vec<WorkloadStep>,
-    environment: Environment,
+    name: Arc<str>,
+    steps: Arc<[WorkloadStep]>,
+    environment: Arc<Environment>,
     step_timeout: f64,
     // runtime state
     index: usize,
@@ -126,11 +132,16 @@ pub struct ScriptedWorkload {
 }
 
 impl ScriptedWorkload {
-    fn new(name: String, steps: Vec<WorkloadStep>, environment: Environment, step_timeout: f64) -> Self {
+    fn new(
+        name: String,
+        steps: Vec<WorkloadStep>,
+        environment: Environment,
+        step_timeout: f64,
+    ) -> Self {
         ScriptedWorkload {
-            name,
-            steps,
-            environment,
+            name: name.into(),
+            steps: steps.into(),
+            environment: Arc::new(environment),
             step_timeout,
             index: 0,
             step_started: None,
@@ -163,20 +174,34 @@ impl ScriptedWorkload {
     }
 
     /// Returns a fresh copy with all runtime state cleared, ready for a
-    /// new test run.
+    /// new test run. The script itself (steps, environment, name) is
+    /// shared, not cloned.
     pub fn fresh(&self) -> ScriptedWorkload {
-        ScriptedWorkload::new(
-            self.name.clone(),
-            self.steps.clone(),
-            self.environment.clone(),
-            self.step_timeout,
-        )
+        ScriptedWorkload {
+            name: Arc::clone(&self.name),
+            steps: Arc::clone(&self.steps),
+            environment: Arc::clone(&self.environment),
+            step_timeout: self.step_timeout,
+            index: 0,
+            step_started: None,
+            status: WorkloadStatus::Running,
+            telemetry: SeenTelemetry::default(),
+            uploader: None,
+            sent_command: false,
+            waiting_ack: false,
+        }
     }
 
     fn absorb_telemetry(&mut self, incoming: &[Message]) {
         for msg in incoming {
             match *msg {
-                Message::Status { x, y, altitude, landed, .. } => {
+                Message::Status {
+                    x,
+                    y,
+                    altitude,
+                    landed,
+                    ..
+                } => {
                     self.telemetry.x = x;
                     self.telemetry.y = y;
                     self.telemetry.altitude = altitude;
@@ -272,7 +297,10 @@ impl ScriptedWorkload {
                 } else if incoming.iter().any(|m| {
                     matches!(
                         m,
-                        Message::CommandAck { command: avis_mavlite::CommandKind::SetMode, .. }
+                        Message::CommandAck {
+                            command: avis_mavlite::CommandKind::SetMode,
+                            ..
+                        }
                     )
                 }) {
                     // Mode rejections are surfaced by later waits timing out;
@@ -288,7 +316,10 @@ impl ScriptedWorkload {
                 } else if incoming.iter().any(|m| {
                     matches!(
                         m,
-                        Message::CommandAck { command: avis_mavlite::CommandKind::Takeoff, .. }
+                        Message::CommandAck {
+                            command: avis_mavlite::CommandKind::Takeoff,
+                            ..
+                        }
                     )
                 }) {
                     done = true;
@@ -387,7 +418,9 @@ impl WorkloadBuilder {
 
     /// Enters the autonomous mission mode ("enter_auto_mode").
     pub fn enter_auto_mode(mut self) -> Self {
-        self.steps.push(WorkloadStep::SetMode { mode: ProtocolMode::Auto });
+        self.steps.push(WorkloadStep::SetMode {
+            mode: ProtocolMode::Auto,
+        });
         self
     }
 
@@ -405,20 +438,23 @@ impl WorkloadBuilder {
 
     /// Sends a guided reposition and waits for arrival.
     pub fn goto_and_wait(mut self, x: f64, y: f64, z: f64, tolerance: f64) -> Self {
-        self.steps.push(WorkloadStep::GotoAndWait { x, y, z, tolerance });
+        self.steps
+            .push(WorkloadStep::GotoAndWait { x, y, z, tolerance });
         self
     }
 
     /// Waits until the vehicle reports an altitude above the threshold
     /// ("wait_altitude" for the climb in the paper's example).
     pub fn wait_altitude_above(mut self, altitude: f64) -> Self {
-        self.steps.push(WorkloadStep::WaitAltitudeAbove { altitude });
+        self.steps
+            .push(WorkloadStep::WaitAltitudeAbove { altitude });
         self
     }
 
     /// Waits until the vehicle reports an altitude below the threshold.
     pub fn wait_altitude_below(mut self, altitude: f64) -> Self {
-        self.steps.push(WorkloadStep::WaitAltitudeBelow { altitude });
+        self.steps
+            .push(WorkloadStep::WaitAltitudeBelow { altitude });
         self
     }
 
@@ -467,7 +503,10 @@ mod tests {
 
     #[test]
     fn arm_step_sends_and_waits_for_ack() {
-        let mut w = WorkloadBuilder::new("t").arm_system_completely().pass_test().build();
+        let mut w = WorkloadBuilder::new("t")
+            .arm_system_completely()
+            .pass_test()
+            .build();
         let (out, _) = w.tick(&[], 0.0);
         assert_eq!(out, vec![Message::ArmDisarm { arm: true }]);
         // No ack yet: nothing more is sent, still running.
@@ -487,7 +526,10 @@ mod tests {
 
     #[test]
     fn arm_rejection_fails_workload() {
-        let mut w = WorkloadBuilder::new("t").arm_system_completely().pass_test().build();
+        let mut w = WorkloadBuilder::new("t")
+            .arm_system_completely()
+            .pass_test()
+            .build();
         w.tick(&[], 0.0);
         let nack = Message::CommandAck {
             command: avis_mavlite::CommandKind::Arm,
@@ -503,9 +545,17 @@ mod tests {
     #[test]
     fn upload_mission_step_runs_handshake() {
         let items = square_mission(20.0, 20.0, true);
-        let mut w = WorkloadBuilder::new("t").upload_mission(items.clone()).pass_test().build();
+        let mut w = WorkloadBuilder::new("t")
+            .upload_mission(items.clone())
+            .pass_test()
+            .build();
         let (out, _) = w.tick(&[], 0.0);
-        assert_eq!(out, vec![Message::MissionCount { count: items.len() as u16 }]);
+        assert_eq!(
+            out,
+            vec![Message::MissionCount {
+                count: items.len() as u16
+            }]
+        );
         // Simulate the vehicle requesting each item.
         for seq in 0..items.len() as u16 {
             let (out, s) = w.tick(&[Message::MissionRequest { seq }], 0.1 + seq as f64 * 0.1);
@@ -582,9 +632,19 @@ mod tests {
 
     #[test]
     fn goto_and_wait_checks_position() {
-        let mut w = WorkloadBuilder::new("t").goto_and_wait(10.0, 0.0, 20.0, 2.0).pass_test().build();
+        let mut w = WorkloadBuilder::new("t")
+            .goto_and_wait(10.0, 0.0, 20.0, 2.0)
+            .pass_test()
+            .build();
         let (out, _) = w.tick(&[], 0.0);
-        assert_eq!(out, vec![Message::CommandGoto { x: 10.0, y: 0.0, z: 20.0 }]);
+        assert_eq!(
+            out,
+            vec![Message::CommandGoto {
+                x: 10.0,
+                y: 0.0,
+                z: 20.0
+            }]
+        );
         let far = Message::Status {
             x: 3.0,
             y: 0.0,

@@ -15,8 +15,11 @@ use avis_workload::auto_box_mission;
 
 fn main() {
     let profile = FirmwareProfile::ArduPilotLike;
-    let experiment =
-        ExperimentConfig::new(profile, BugSet::current_code_base(profile), auto_box_mission());
+    let experiment = ExperimentConfig::new(
+        profile,
+        BugSet::current_code_base(profile),
+        auto_box_mission(),
+    );
     let config = CheckerConfig::new(Approach::Avis, experiment, Budget::simulations(100));
     let result = Checker::new(config).run();
 

@@ -32,5 +32,7 @@ fn main() {
             result.bugs_found()
         );
     }
-    println!("\n(The paper's Table III shows the same ordering: Avis > Stratified BFI >> BFI, Random.)");
+    println!(
+        "\n(The paper's Table III shows the same ordering: Avis > Stratified BFI >> BFI, Random.)"
+    );
 }

@@ -22,8 +22,7 @@ fn main() {
         workload.environment().fences().len()
     );
 
-    let experiment =
-        ExperimentConfig::new(profile, BugSet::current_code_base(profile), workload);
+    let experiment = ExperimentConfig::new(profile, BugSet::current_code_base(profile), workload);
     let config = CheckerConfig::new(Approach::Avis, experiment, Budget::simulations(80));
     let result = Checker::new(config).run();
 

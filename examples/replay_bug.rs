@@ -40,6 +40,9 @@ fn main() {
         outcome.violations.len()
     );
     for violation in &outcome.violations {
-        println!("  at t={:.1}s in {}: {}", violation.time, violation.mode, violation.kind);
+        println!(
+            "  at t={:.1}s in {}: {}",
+            violation.time, violation.mode, violation.kind
+        );
     }
 }

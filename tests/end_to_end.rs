@@ -73,7 +73,10 @@ fn found_scenarios_replay_deterministically() {
     let profiling = (0..3).map(|i| runner.run_profiling(i).trace).collect();
     let monitor = InvariantMonitor::calibrate(profiling, MonitorConfig::default());
     let outcome = replay(&report, &mut runner, &monitor);
-    assert!(outcome.reproduced, "replaying the recorded faults must reproduce the violation");
+    assert!(
+        outcome.reproduced,
+        "replaying the recorded faults must reproduce the violation"
+    );
 }
 
 #[test]
@@ -88,7 +91,10 @@ fn reinserted_known_bug_is_detected_by_avis() {
     );
     let result = Checker::new(config).run();
     let sims = result.simulations_to_find(bug);
-    assert!(sims.is_some(), "Avis should trigger the re-inserted {bug} within 40 simulations");
+    assert!(
+        sims.is_some(),
+        "Avis should trigger the re-inserted {bug} within 40 simulations"
+    );
 }
 
 #[test]

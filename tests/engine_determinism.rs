@@ -1,0 +1,100 @@
+//! Determinism suite for the parallel campaign engine: for every
+//! [`Approach`] the parallel engine must produce a [`CampaignResult`]
+//! structurally identical to the serial engine — same unsafe conditions
+//! in the same order, same simulation/cost accounting, same pruning
+//! counters — and the simulator's buffer-reusing `step_into` must match
+//! the allocating `step` sample-for-sample.
+
+use avis::checker::{Approach, Budget, CampaignResult, Checker, CheckerConfig};
+use avis::runner::ExperimentConfig;
+use avis_firmware::{BugSet, FirmwareProfile};
+use avis_sim::simulator::{SimConfig, Simulator, StepOutput};
+use avis_sim::{Environment, MotorCommands, SensorNoise};
+use avis_workload::auto_box_mission;
+
+fn campaign(approach: Approach, parallelism: usize) -> CampaignResult {
+    let bugs = BugSet::current_code_base(FirmwareProfile::ArduPilotLike);
+    let mut experiment =
+        ExperimentConfig::new(FirmwareProfile::ArduPilotLike, bugs, auto_box_mission());
+    experiment.noise = Some(SensorNoise::default());
+    experiment.max_duration = 110.0;
+    let mut config = CheckerConfig::new(approach, experiment, Budget::simulations(6))
+        .with_parallelism(parallelism);
+    config.profiling_runs = 1;
+    Checker::new(config).run()
+}
+
+fn assert_identical(approach: Approach) {
+    let serial = campaign(approach, 1);
+    let parallel = campaign(approach, 4);
+    assert_eq!(
+        serial, parallel,
+        "{approach}: parallel campaign diverged from the serial engine"
+    );
+    // The budget was honoured, and the accounting carried over exactly.
+    assert!(serial.simulations <= 6);
+    assert_eq!(serial.simulations, parallel.simulations);
+    assert_eq!(serial.cost_seconds, parallel.cost_seconds);
+    assert_eq!(serial.symmetry_pruned, parallel.symmetry_pruned);
+    assert_eq!(serial.found_bug_pruned, parallel.found_bug_pruned);
+    assert_eq!(serial.labels_evaluated, parallel.labels_evaluated);
+}
+
+#[test]
+fn avis_campaign_is_deterministic_across_engines() {
+    assert_identical(Approach::Avis);
+}
+
+#[test]
+fn stratified_bfi_campaign_is_deterministic_across_engines() {
+    assert_identical(Approach::StratifiedBfi);
+}
+
+#[test]
+fn bfi_campaign_is_deterministic_across_engines() {
+    assert_identical(Approach::Bfi);
+}
+
+#[test]
+fn random_campaign_is_deterministic_across_engines() {
+    assert_identical(Approach::Random);
+}
+
+#[test]
+fn parallel_avis_campaign_still_finds_bugs() {
+    // Guards against a degenerate "determinism" where both engines find
+    // nothing: the buggy code base must expose unsafe conditions through
+    // the parallel path too.
+    let result = campaign(Approach::Avis, 4);
+    assert!(
+        !result.unsafe_conditions.is_empty(),
+        "the parallel engine should find the same unsafe conditions the serial one does"
+    );
+}
+
+#[test]
+fn step_into_matches_step_sample_for_sample() {
+    let make = || {
+        Simulator::new(
+            SimConfig {
+                seed: 11,
+                ..SimConfig::default()
+            },
+            Environment::open_field(),
+        )
+    };
+    let mut with_step = make();
+    let mut with_step_into = make();
+    let mut output = StepOutput::empty();
+    for i in 0..4000 {
+        let throttle = match i {
+            0..=1500 => 0.85,
+            1501..=3000 => 0.4,
+            _ => 0.0,
+        };
+        let cmd = MotorCommands::uniform(throttle);
+        let expected = with_step.step(&cmd);
+        with_step_into.step_into(&cmd, &mut output);
+        assert_eq!(output, expected, "divergence at step {i}");
+    }
+}

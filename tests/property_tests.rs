@@ -1,158 +1,242 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning the simulator math, the wire codec, fault plans and the
 //! pruning signatures.
+//!
+//! The build environment has no crates.io access, so instead of
+//! `proptest` these use a seeded [`SimRng`] to draw a few hundred random
+//! cases per property — fully deterministic across runs, with the case
+//! data included in assertion messages for shrink-free debugging.
 
 use avis::pruning::RoleSignature;
 use avis_hinj::{FaultPlan, FaultSpec};
-use avis_mavlite::{decode_frame, encode_frame, Message, MissionCommand, MissionItem, ProtocolMode};
+use avis_mavlite::{
+    decode_frame, encode_frame, Message, MissionCommand, MissionItem, ProtocolMode,
+};
 use avis_sim::math::{wrap_angle, Quat, Vec3};
-use avis_sim::{SensorInstance, SensorKind};
-use proptest::prelude::*;
+use avis_sim::{SensorInstance, SensorKind, SimRng};
 
-fn arb_vec3() -> impl Strategy<Value = Vec3> {
-    (-1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+const CASES: usize = 300;
+
+fn arb_vec3(rng: &mut SimRng) -> Vec3 {
+    Vec3::new(
+        rng.uniform_range(-1e3, 1e3),
+        rng.uniform_range(-1e3, 1e3),
+        rng.uniform_range(-1e3, 1e3),
+    )
 }
 
-fn arb_sensor_kind() -> impl Strategy<Value = SensorKind> {
-    prop_oneof![
-        Just(SensorKind::Accelerometer),
-        Just(SensorKind::Gyroscope),
-        Just(SensorKind::Gps),
-        Just(SensorKind::Barometer),
-        Just(SensorKind::Compass),
-        Just(SensorKind::Battery),
-    ]
+fn arb_sensor_kind(rng: &mut SimRng) -> SensorKind {
+    SensorKind::ALL[rng.index(SensorKind::ALL.len())]
 }
 
-fn arb_instance() -> impl Strategy<Value = SensorInstance> {
-    (arb_sensor_kind(), 0u8..3).prop_map(|(kind, index)| SensorInstance::new(kind, index))
+fn arb_instance(rng: &mut SimRng) -> SensorInstance {
+    SensorInstance::new(arb_sensor_kind(rng), rng.index(3) as u8)
 }
 
-fn arb_spec() -> impl Strategy<Value = FaultSpec> {
-    (arb_instance(), 0.0..200.0f64).prop_map(|(instance, time)| FaultSpec::new(instance, time))
+fn arb_spec(rng: &mut SimRng) -> FaultSpec {
+    FaultSpec::new(arb_instance(rng), rng.uniform_range(0.0, 200.0))
 }
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    prop_oneof![
-        (any::<bool>(), any::<bool>()).prop_map(|(armed, auto)| Message::Heartbeat {
-            mode: if auto { ProtocolMode::Auto } else { ProtocolMode::Land },
-            armed,
-        }),
-        (-500.0..500.0f64, -500.0..500.0f64, 0.0..120.0f64, -10.0..10.0f64, 0u16..20, any::<bool>())
-            .prop_map(|(x, y, altitude, climb_rate, mission_seq, landed)| Message::Status {
-                x,
-                y,
-                altitude,
-                climb_rate,
-                mission_seq,
-                landed,
-            }),
-        any::<bool>().prop_map(|arm| Message::ArmDisarm { arm }),
-        (0.0..100.0f64).prop_map(|altitude| Message::CommandTakeoff { altitude }),
-        (-200.0..200.0f64, -200.0..200.0f64, 0.0..100.0f64)
-            .prop_map(|(x, y, z)| Message::CommandGoto { x, y, z }),
-        (0u16..100).prop_map(|count| Message::MissionCount { count }),
-        (0u16..100).prop_map(|seq| Message::MissionRequest { seq }),
-        (0u16..30, -100.0..100.0f64, -100.0..100.0f64, 1.0..60.0f64).prop_map(|(seq, x, y, z)| {
-            Message::MissionItemMsg { item: MissionItem::new(seq, MissionCommand::Waypoint { x, y, z }) }
-        }),
-        any::<bool>().prop_map(|accepted| Message::MissionAck { accepted }),
-        (0u8..8).prop_map(|severity| Message::StatusText { severity }),
-    ]
+fn arb_message(rng: &mut SimRng) -> Message {
+    match rng.index(10) {
+        0 => Message::Heartbeat {
+            mode: if rng.chance(0.5) {
+                ProtocolMode::Auto
+            } else {
+                ProtocolMode::Land
+            },
+            armed: rng.chance(0.5),
+        },
+        1 => Message::Status {
+            x: rng.uniform_range(-500.0, 500.0),
+            y: rng.uniform_range(-500.0, 500.0),
+            altitude: rng.uniform_range(0.0, 120.0),
+            climb_rate: rng.uniform_range(-10.0, 10.0),
+            mission_seq: rng.index(20) as u16,
+            landed: rng.chance(0.5),
+        },
+        2 => Message::ArmDisarm {
+            arm: rng.chance(0.5),
+        },
+        3 => Message::CommandTakeoff {
+            altitude: rng.uniform_range(0.0, 100.0),
+        },
+        4 => Message::CommandGoto {
+            x: rng.uniform_range(-200.0, 200.0),
+            y: rng.uniform_range(-200.0, 200.0),
+            z: rng.uniform_range(0.0, 100.0),
+        },
+        5 => Message::MissionCount {
+            count: rng.index(100) as u16,
+        },
+        6 => Message::MissionRequest {
+            seq: rng.index(100) as u16,
+        },
+        7 => Message::MissionItemMsg {
+            item: MissionItem::new(
+                rng.index(30) as u16,
+                MissionCommand::Waypoint {
+                    x: rng.uniform_range(-100.0, 100.0),
+                    y: rng.uniform_range(-100.0, 100.0),
+                    z: rng.uniform_range(1.0, 60.0),
+                },
+            ),
+        },
+        8 => Message::MissionAck {
+            accepted: rng.chance(0.5),
+        },
+        _ => Message::StatusText {
+            severity: rng.index(8) as u8,
+        },
+    }
 }
 
-proptest! {
-    /// Rotating any vector by any attitude preserves its length.
-    #[test]
-    fn quaternion_rotation_preserves_norm(v in arb_vec3(), roll in -3.0..3.0f64, pitch in -1.5..1.5f64, yaw in -3.0..3.0f64) {
+/// Rotating any vector by any attitude preserves its length, and rotating
+/// back recovers the original vector.
+#[test]
+fn quaternion_rotation_preserves_norm() {
+    let mut rng = SimRng::seed_from_u64(0xA1);
+    for _ in 0..CASES {
+        let v = arb_vec3(&mut rng);
+        let roll = rng.uniform_range(-3.0, 3.0);
+        let pitch = rng.uniform_range(-1.5, 1.5);
+        let yaw = rng.uniform_range(-3.0, 3.0);
         let q = Quat::from_euler(roll, pitch, yaw);
         let rotated = q.rotate(v);
-        prop_assert!((rotated.norm() - v.norm()).abs() < 1e-6);
-        // Rotating back recovers the original vector.
+        assert!(
+            (rotated.norm() - v.norm()).abs() < 1e-6,
+            "norm not preserved: v={v:?} rpy=({roll},{pitch},{yaw})"
+        );
         let back = q.rotate_inverse(rotated);
-        prop_assert!(back.distance(v) < 1e-6);
+        assert!(
+            back.distance(v) < 1e-6,
+            "inverse rotation diverged: v={v:?}"
+        );
     }
+}
 
-    /// Wrapped angles always land in (-pi, pi].
-    #[test]
-    fn wrap_angle_stays_in_range(angle in -1e4..1e4f64) {
+/// Wrapped angles always land in (-pi, pi] and wrapping is idempotent.
+#[test]
+fn wrap_angle_stays_in_range() {
+    let mut rng = SimRng::seed_from_u64(0xA2);
+    for _ in 0..CASES {
+        let angle = rng.uniform_range(-1e4, 1e4);
         let wrapped = wrap_angle(angle);
-        prop_assert!(wrapped > -std::f64::consts::PI - 1e-9);
-        prop_assert!(wrapped <= std::f64::consts::PI + 1e-9);
-        // Wrapping is idempotent.
-        prop_assert!((wrap_angle(wrapped) - wrapped).abs() < 1e-9);
+        assert!(wrapped > -std::f64::consts::PI - 1e-9, "angle={angle}");
+        assert!(wrapped <= std::f64::consts::PI + 1e-9, "angle={angle}");
+        assert!(
+            (wrap_angle(wrapped) - wrapped).abs() < 1e-9,
+            "angle={angle}"
+        );
     }
+}
 
-    /// The triangle inequality holds for the Euclidean position distance
-    /// used by the invariant monitor.
-    #[test]
-    fn position_distance_triangle_inequality(a in arb_vec3(), b in arb_vec3(), c in arb_vec3()) {
-        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
-        prop_assert!(a.distance(b) >= 0.0);
-        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+/// The triangle inequality holds for the Euclidean position distance used
+/// by the invariant monitor.
+#[test]
+fn position_distance_triangle_inequality() {
+    let mut rng = SimRng::seed_from_u64(0xA3);
+    for _ in 0..CASES {
+        let (a, b, c) = (arb_vec3(&mut rng), arb_vec3(&mut rng), arb_vec3(&mut rng));
+        assert!(
+            a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9,
+            "triangle inequality failed: a={a:?} b={b:?} c={c:?}"
+        );
+        assert!(a.distance(b) >= 0.0);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
     }
+}
 
-    /// Every MAVLite message survives an encode/decode round trip.
-    #[test]
-    fn mavlite_frames_round_trip(msg in arb_message(), seq in any::<u8>()) {
+/// Every MAVLite message survives an encode/decode round trip.
+#[test]
+fn mavlite_frames_round_trip() {
+    let mut rng = SimRng::seed_from_u64(0xA4);
+    for _ in 0..CASES {
+        let msg = arb_message(&mut rng);
+        let seq = rng.index(256) as u8;
         let frame = encode_frame(&msg, seq);
         let (decoded, decoded_seq, used) = decode_frame(&frame).expect("well-formed frame");
-        prop_assert_eq!(decoded, msg);
-        prop_assert_eq!(decoded_seq, seq);
-        prop_assert_eq!(used, frame.len());
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded_seq, seq);
+        assert_eq!(used, frame.len());
     }
+}
 
-    /// Corrupting any single payload byte of a frame never yields a wrong
-    /// message: decoding either fails or (for the rare case where the
-    /// corrupted byte is outside the checksummed region boundary) returns
-    /// the original message.
-    #[test]
-    fn mavlite_detects_single_byte_corruption(msg in arb_message(), flip in 1usize..64, bit in 0u8..8) {
+/// Corrupting any single payload byte of a frame never yields a wrong
+/// message: decoding either fails or (for the rare case where the
+/// corrupted byte is outside the checksummed region boundary) returns the
+/// original message.
+#[test]
+fn mavlite_detects_single_byte_corruption() {
+    let mut rng = SimRng::seed_from_u64(0xA5);
+    for _ in 0..CASES {
+        let msg = arb_message(&mut rng);
         let frame = encode_frame(&msg, 7);
         let mut bytes = frame.to_vec();
-        let idx = flip % bytes.len();
+        let idx = (1 + rng.index(63)) % bytes.len();
+        let bit = rng.index(8) as u8;
         if idx == 0 {
             // Corrupting the magic byte is always detected as BadMagic.
             bytes[0] ^= 1 << bit;
-            prop_assert!(decode_frame(&bytes).is_err());
+            assert!(decode_frame(&bytes).is_err(), "msg={msg:?}");
         } else {
             bytes[idx] ^= 1 << bit;
             match decode_frame(&bytes) {
                 Err(_) => {}
-                Ok((decoded, _, _)) => prop_assert_eq!(decoded, msg),
+                Ok((decoded, _, _)) => {
+                    assert_eq!(
+                        decoded, msg,
+                        "corrupted byte {idx} bit {bit} changed message"
+                    )
+                }
             }
         }
     }
+}
 
-    /// Fault plans are order-independent sets: building a plan from any
-    /// permutation of the same specs yields the same canonical key, and a
-    /// sensor never fails more than once.
-    #[test]
-    fn fault_plan_canonicalisation(specs in prop::collection::vec(arb_spec(), 0..8)) {
+/// Fault plans are order-independent sets: building a plan from any
+/// permutation of the same specs yields the same canonical key, and a
+/// sensor never fails more than once.
+#[test]
+fn fault_plan_canonicalisation() {
+    let mut rng = SimRng::seed_from_u64(0xA6);
+    for _ in 0..CASES {
+        let specs: Vec<FaultSpec> = (0..rng.index(8)).map(|_| arb_spec(&mut rng)).collect();
         let plan = FaultPlan::from_specs(specs.clone());
         let mut reversed = specs.clone();
         reversed.reverse();
         let plan_rev = FaultPlan::from_specs(reversed);
-        prop_assert_eq!(plan.canonical_key(), plan_rev.canonical_key());
+        assert_eq!(
+            plan.canonical_key(),
+            plan_rev.canonical_key(),
+            "specs={specs:?}"
+        );
         // At most one failure per instance, at the earliest requested time.
         let distinct: std::collections::BTreeSet<_> = specs.iter().map(|s| s.instance).collect();
-        prop_assert_eq!(plan.len(), distinct.len());
+        assert_eq!(plan.len(), distinct.len(), "specs={specs:?}");
         for spec in &specs {
-            let time = plan.failure_time(spec.instance).expect("instance scheduled");
-            prop_assert!(time <= spec.time + 1e-9);
+            let time = plan
+                .failure_time(spec.instance)
+                .expect("instance scheduled");
+            assert!(time <= spec.time + 1e-9, "specs={specs:?}");
         }
         // The failure predicate is monotone in time.
         for spec in plan.specs() {
-            prop_assert!(!plan.is_failed(spec.instance, spec.time - 0.001));
-            prop_assert!(plan.is_failed(spec.instance, spec.time));
-            prop_assert!(plan.is_failed(spec.instance, spec.time + 1000.0));
+            assert!(!plan.is_failed(spec.instance, spec.time - 0.001));
+            assert!(plan.is_failed(spec.instance, spec.time));
+            assert!(plan.is_failed(spec.instance, spec.time + 1000.0));
         }
     }
+}
 
-    /// Role signatures are invariant under backup-index renaming and a plan
-    /// is always a subset of any plan that extends it.
-    #[test]
-    fn role_signature_symmetry_and_subsets(specs in prop::collection::vec(arb_spec(), 1..6), extra in arb_spec()) {
+/// Role signatures are invariant under backup-index renaming and a plan
+/// is always a subset of any plan that extends it.
+#[test]
+fn role_signature_symmetry_and_subsets() {
+    let mut rng = SimRng::seed_from_u64(0xA7);
+    for _ in 0..CASES {
+        let specs: Vec<FaultSpec> = (0..1 + rng.index(5)).map(|_| arb_spec(&mut rng)).collect();
+        let extra = arb_spec(&mut rng);
         let plan = FaultPlan::from_specs(specs.clone());
         // Rename backups: index 1 <-> 2 (index 0 stays primary).
         let renamed: Vec<FaultSpec> = specs
@@ -167,7 +251,11 @@ proptest! {
             })
             .collect();
         let renamed_plan = FaultPlan::from_specs(renamed);
-        prop_assert_eq!(RoleSignature::of(&plan), RoleSignature::of(&renamed_plan));
+        assert_eq!(
+            RoleSignature::of(&plan),
+            RoleSignature::of(&renamed_plan),
+            "specs={specs:?}"
+        );
 
         // Adding a failure of a *new* instance extends the plan, so the
         // original signature must be contained in the extended one. (When
@@ -176,7 +264,10 @@ proptest! {
         // not expected.)
         if plan.failure_time(extra.instance).is_none() {
             let extended = plan.with(extra);
-            prop_assert!(RoleSignature::of(&plan).is_subset_of(&RoleSignature::of(&extended)));
+            assert!(
+                RoleSignature::of(&plan).is_subset_of(&RoleSignature::of(&extended)),
+                "specs={specs:?} extra={extra:?}"
+            );
         }
     }
 }

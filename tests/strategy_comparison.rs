@@ -43,11 +43,17 @@ fn table_iii_shape_holds_at_small_scale() {
         avis.unsafe_count(),
         bfi.unsafe_count()
     );
-    assert!(avis.unsafe_count() >= 1, "Avis should find something under this budget");
+    assert!(
+        avis.unsafe_count() >= 1,
+        "Avis should find something under this budget"
+    );
     // BFI burns its budget on per-site labelling (the paper: it cannot even
     // cover one second of data).
     assert!(bfi.labels_evaluated > 0);
-    assert_eq!(avis.labels_evaluated, 0, "Avis does not use a learned model");
+    assert_eq!(
+        avis.labels_evaluated, 0,
+        "Avis does not use a learned model"
+    );
 
     // The metrics helper aggregates these into a Table III row set.
     let results = vec![avis.clone(), sbfi, bfi];

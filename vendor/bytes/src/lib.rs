@@ -1,0 +1,219 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements just the surface the MAVLite codec uses: a growable
+//! [`BytesMut`] with big-endian `put_*` writers, an immutable [`Bytes`]
+//! cursor with matching `get_*` readers, and the [`Buf`]/[`BufMut`]
+//! traits those methods live on. Backed by plain `Vec<u8>` — no
+//! zero-copy sharing, which this workspace never relies on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// Read side: a cursor over immutable bytes (big-endian decode).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a big-endian `u16`, advancing the cursor.
+    fn get_u16(&mut self) -> u16;
+    /// Reads a big-endian `f64`, advancing the cursor.
+    fn get_f64(&mut self) -> f64;
+}
+
+/// Write side: appends big-endian encoded values.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64);
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether all bytes have been read.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        let start = self.pos;
+        assert!(start + n <= self.data.len(), "advance past end of Bytes");
+        self.pos += n;
+        &self.data[start..self.pos]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let b = self.take(2);
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        let b = self.take(8);
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        f64::from_be_bytes(buf)
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_values() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(7);
+        buf.put_u16(0xBEEF);
+        buf.put_f64(-12.5);
+        assert_eq!(buf.len(), 11);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.remaining(), 11);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u16(), 0xBEEF);
+        assert_eq!(bytes.get_f64(), -12.5);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn deref_tracks_cursor() {
+        let mut bytes = Bytes::copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(&bytes[..], &[1, 2, 3, 4]);
+        bytes.get_u8();
+        assert_eq!(&bytes[..], &[2, 3, 4]);
+        assert_eq!(bytes.to_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn reading_past_end_panics() {
+        let mut bytes = Bytes::copy_from_slice(&[1]);
+        bytes.get_u16();
+    }
+}

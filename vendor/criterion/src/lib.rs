@@ -1,0 +1,234 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so the real statistical
+//! harness cannot be fetched. This stub keeps the API shape the
+//! workspace's benches use (`Criterion`, `bench_function`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros) and performs a simple
+//! wall-clock measurement: warm up once, then run batches until a time
+//! budget is spent, reporting the median batch ns/iter on stdout.
+//!
+//! It is *not* statistically rigorous — it exists so `cargo bench`
+//! compiles, runs and prints comparable numbers on this machine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark (after one warm-up call).
+const DEFAULT_BUDGET: Duration = Duration::from_millis(300);
+/// Batches the budget is split into (the median batch is reported).
+const BATCHES: usize = 5;
+
+/// Passed to the closure under `iter`; times the measured routine.
+pub struct Bencher {
+    iters_per_batch: Option<u64>,
+    samples: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters_per_batch: None,
+            samples: Vec::new(),
+            total_iters: 0,
+        }
+    }
+
+    /// Measures the closure: one warm-up call sizes the batches, then
+    /// `BATCHES` timed batches fill the time budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + batch sizing.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (DEFAULT_BUDGET.as_nanos() / BATCHES as u128 / once.as_nanos()).max(1);
+        let per_batch = per_batch.min(u64::MAX as u128) as u64;
+        self.iters_per_batch = Some(per_batch);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.total_iters += per_batch;
+            self.samples
+                .push(elapsed.as_nanos() as f64 / per_batch as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<44} (not measured)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let lo = self.samples[0];
+        let hi = self.samples[self.samples.len() - 1];
+        println!(
+            "{name:<44} {:>14} ns/iter (min {:.0}, max {:.0}, {} iters)",
+            format_ns(median),
+            lo,
+            hi,
+            self.total_iters
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Identifies a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies CLI configuration (accepted and ignored by the stub).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}:");
+        BenchmarkGroup {
+            _criterion: self,
+            group: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted and ignored by the stub).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted and ignored by the stub).
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        bencher.report(&format!("{}/{name}", self.group));
+        self
+    }
+
+    /// Runs a parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new();
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{id}", self.group));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default().configure_from_args();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

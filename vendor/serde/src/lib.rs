@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this repository builds in has no crates.io access, so
+//! the real `serde` cannot be used. The workspace treats `Serialize` /
+//! `Deserialize` purely as markers — every format that actually leaves
+//! the process (bug reports, bench result files) is produced by the
+//! hand-rolled JSON layer in `avis::json`. The traits here are therefore
+//! empty, and the derives (re-exported from the sibling `serde_derive`
+//! stub) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

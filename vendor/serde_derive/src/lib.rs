@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment for this repository has no network access to
+//! crates.io, so the real `serde` stack cannot be fetched. The workspace
+//! only uses `#[derive(Serialize, Deserialize)]` as markers (all actual
+//! persistence goes through the hand-rolled JSON layer in
+//! `avis::json`), so these derives expand to nothing. The `serde` helper
+//! attribute is registered so existing `#[serde(...)]` annotations keep
+//! compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
