@@ -26,31 +26,29 @@
 //!   (default `2,4`; `1` is always measured first as the baseline)
 //! - `AVIS_BENCH_OUT` — output path (default `bench_campaign.json`)
 
-use avis::checker::{Approach, Budget, CampaignResult, Checker, CheckerConfig};
+use avis::campaign::Campaign;
+use avis::checker::{Approach, Budget, CampaignResult};
 use avis::json::{self, Json};
-use avis::runner::ExperimentConfig;
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_workload::auto_box_mission;
 use std::time::Instant;
 
-fn campaign_config(bugs: BugSet, simulations: usize, parallelism: usize) -> CheckerConfig {
-    let experiment =
-        ExperimentConfig::new(FirmwareProfile::ArduPilotLike, bugs, auto_box_mission());
-    let mut config =
-        CheckerConfig::new(Approach::Avis, experiment, Budget::simulations(simulations))
-            .with_parallelism(parallelism);
-    config.experiment.max_duration = 110.0;
-    // Two profiling runs: liveliness calibration from a single golden
-    // trace has no run-to-run variance to measure and flags every faulted
-    // run as divergent.
-    config.profiling_runs = 2;
-    config
-}
-
 fn run_campaign(bugs: &BugSet, simulations: usize, parallelism: usize) -> (CampaignResult, f64) {
-    let checker = Checker::new(campaign_config(bugs.clone(), simulations, parallelism));
+    let campaign = Campaign::builder()
+        .firmware(FirmwareProfile::ArduPilotLike)
+        .bugs(bugs.clone())
+        .workload(auto_box_mission())
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(simulations))
+        .parallelism(parallelism)
+        .max_duration(110.0)
+        // Two profiling runs: liveliness calibration from a single golden
+        // trace has no run-to-run variance to measure and flags every
+        // faulted run as divergent.
+        .profiling_runs(2)
+        .build();
     let start = Instant::now();
-    let result = checker.run();
+    let result = campaign.run();
     (result, start.elapsed().as_secs_f64())
 }
 

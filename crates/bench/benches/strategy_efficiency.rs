@@ -2,8 +2,8 @@
 //! turns a small simulation budget into unsafe conditions on the buggy
 //! ArduPilot-like code base.
 
-use avis::checker::{Approach, Budget, Checker, CheckerConfig};
-use avis::runner::ExperimentConfig;
+use avis::campaign::Campaign;
+use avis::checker::{Approach, Budget};
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_workload::auto_box_mission;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -18,21 +18,18 @@ fn bench_strategies(c: &mut Criterion) {
             &approach,
             |b, &approach| {
                 b.iter(|| {
-                    let experiment = ExperimentConfig::new(
-                        FirmwareProfile::ArduPilotLike,
-                        BugSet::current_code_base(FirmwareProfile::ArduPilotLike),
-                        auto_box_mission(),
-                    );
-                    let mut config = CheckerConfig::new(
-                        approach,
-                        experiment,
-                        Budget {
+                    let result = Campaign::builder()
+                        .firmware(FirmwareProfile::ArduPilotLike)
+                        .bugs(BugSet::current_code_base(FirmwareProfile::ArduPilotLike))
+                        .workload(auto_box_mission())
+                        .approach(approach)
+                        .budget(Budget {
                             max_simulations: 8,
                             max_cost_seconds: 1200.0,
-                        },
-                    );
-                    config.profiling_runs = 1;
-                    let result = Checker::new(config).run();
+                        })
+                        .profiling_runs(1)
+                        .build()
+                        .run();
                     black_box(result.unsafe_count())
                 });
             },

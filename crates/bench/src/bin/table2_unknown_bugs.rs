@@ -3,27 +3,19 @@
 //! Avis and Stratified BFI expose them within the budget.
 
 use avis::checker::{Approach, Budget};
-use avis_bench::{campaign, check_mark, header, row};
-use avis_firmware::{BugId, BugSet, FirmwareProfile};
+use avis_bench::{check_mark, evaluation_matrix, header, row};
+use avis_firmware::BugId;
 use avis_workload::default_workloads;
 use std::collections::BTreeSet;
 
 fn bugs_found(approach: Approach, budget_per_campaign: usize) -> BTreeSet<BugId> {
-    let mut found = BTreeSet::new();
-    for profile in FirmwareProfile::ALL {
-        let bugs = BugSet::current_code_base(profile);
-        for workload in default_workloads() {
-            let result = campaign(
-                approach,
-                profile,
-                bugs.clone(),
-                workload,
-                Budget::simulations(budget_per_campaign),
-            );
-            found.extend(result.bugs_found());
-        }
-    }
-    found
+    evaluation_matrix(
+        [approach],
+        default_workloads(),
+        Budget::simulations(budget_per_campaign),
+    )
+    .run()
+    .bugs_found()
 }
 
 fn main() {

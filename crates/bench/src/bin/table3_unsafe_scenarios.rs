@@ -4,8 +4,7 @@
 
 use avis::checker::{Approach, Budget, CampaignResult};
 use avis::metrics::{efficiency_ratio, unsafe_scenario_table};
-use avis_bench::{campaign, header, row};
-use avis_firmware::{BugSet, FirmwareProfile};
+use avis_bench::{evaluation_matrix, header, row};
 use avis_workload::default_workloads;
 
 fn main() {
@@ -21,20 +20,13 @@ fn main() {
         "running 4 approaches x 2 firmware x 2 workloads ({budget_seconds} s budget each)..."
     );
 
-    let mut results: Vec<CampaignResult> = Vec::new();
-    for approach in Approach::ALL {
-        for profile in FirmwareProfile::ALL {
-            for workload in default_workloads() {
-                results.push(campaign(
-                    approach,
-                    profile,
-                    BugSet::current_code_base(profile),
-                    workload,
-                    Budget::seconds(budget_seconds),
-                ));
-            }
-        }
-    }
+    let report = evaluation_matrix(
+        Approach::ALL,
+        default_workloads(),
+        Budget::seconds(budget_seconds),
+    )
+    .run();
+    let results = report.results;
 
     println!("Table III: Unsafe scenarios identified by each approach\n");
     println!(
@@ -55,7 +47,7 @@ fn main() {
     }
 
     let by_approach = |a: Approach| -> Vec<&CampaignResult> {
-        results.iter().filter(|r| r.approach == a).collect()
+        results.iter().filter(|r| r.approach == Some(a)).collect()
     };
     let avis = by_approach(Approach::Avis);
     let sbfi = by_approach(Approach::StratifiedBfi);

@@ -2,10 +2,10 @@
 //! each approach in each operating-mode category (Takeoff / Manual /
 //! Waypoint / Land).
 
-use avis::checker::{Approach, Budget, CampaignResult};
+use avis::checker::{Approach, Budget};
 use avis::metrics::per_mode_table;
-use avis_bench::{campaign, header, row};
-use avis_firmware::{BugSet, FirmwareProfile, ModeCategory};
+use avis_bench::{evaluation_matrix, header, row};
+use avis_firmware::ModeCategory;
 use avis_workload::default_workloads;
 
 fn main() {
@@ -17,20 +17,13 @@ fn main() {
         "running 4 approaches x 2 firmware x 2 workloads ({budget_seconds} s budget each)..."
     );
 
-    let mut results: Vec<CampaignResult> = Vec::new();
-    for approach in Approach::ALL {
-        for profile in FirmwareProfile::ALL {
-            for workload in default_workloads() {
-                results.push(campaign(
-                    approach,
-                    profile,
-                    BugSet::current_code_base(profile),
-                    workload,
-                    Budget::seconds(budget_seconds),
-                ));
-            }
-        }
-    }
+    let results = evaluation_matrix(
+        Approach::ALL,
+        default_workloads(),
+        Budget::seconds(budget_seconds),
+    )
+    .run()
+    .results;
 
     println!("Table IV: Unsafe scenarios identified by each approach in each mode\n");
     let mut columns = vec!["Approach"];

@@ -5,14 +5,23 @@
 //! dedicated binary under `src/bin/` (see DESIGN.md for the experiment
 //! index); the Criterion benches under `benches/` measure the hot paths
 //! and run a scaled-down version of the Table III comparison.
+//!
+//! The harnesses configure campaigns through the fluent
+//! [`avis::campaign::Campaign`] builder and the
+//! [`avis::matrix::ScenarioMatrix`] grid API.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use avis::checker::{Approach, Budget, CampaignResult, Checker, CheckerConfig};
+use avis::campaign::Campaign;
+use avis::checker::{Approach, Budget, CampaignResult};
+use avis::matrix::ScenarioMatrix;
 use avis::runner::ExperimentConfig;
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_workload::ScriptedWorkload;
+
+/// The per-run simulated-time cap shared by the harnesses (s).
+pub const MAX_DURATION: f64 = 110.0;
 
 /// Builds the standard experiment configuration used by the harnesses.
 pub fn experiment(
@@ -21,7 +30,7 @@ pub fn experiment(
     workload: ScriptedWorkload,
 ) -> ExperimentConfig {
     let mut config = ExperimentConfig::new(profile, bugs, workload);
-    config.max_duration = 110.0;
+    config.max_duration = MAX_DURATION;
     config
 }
 
@@ -33,8 +42,31 @@ pub fn campaign(
     workload: ScriptedWorkload,
     budget: Budget,
 ) -> CampaignResult {
-    let config = CheckerConfig::new(approach, experiment(profile, bugs, workload), budget);
-    Checker::new(config).run()
+    Campaign::builder()
+        .firmware(profile)
+        .bugs(bugs)
+        .workload(workload)
+        .max_duration(MAX_DURATION)
+        .approach(approach)
+        .budget(budget)
+        .build()
+        .run()
+}
+
+/// The firmware × workload × approach grid the Table II / III / IV
+/// harnesses share: every profile's "current code base" flown on the
+/// given workloads under one budget, one campaign per cell.
+pub fn evaluation_matrix(
+    approaches: impl IntoIterator<Item = Approach>,
+    workloads: impl IntoIterator<Item = ScriptedWorkload>,
+    budget: Budget,
+) -> ScenarioMatrix {
+    ScenarioMatrix::new()
+        .firmwares(FirmwareProfile::ALL)
+        .workloads(workloads)
+        .approaches(approaches)
+        .budget(budget)
+        .max_duration(MAX_DURATION)
 }
 
 /// Runs an Avis campaign against a firmware that contains only the given
@@ -126,7 +158,17 @@ mod tests {
             BugSet::none(),
             avis_workload::auto_box_mission(),
         );
-        assert_eq!(cfg.max_duration, 110.0);
+        assert_eq!(cfg.max_duration, MAX_DURATION);
         assert_eq!(cfg.profile, FirmwareProfile::ArduPilotLike);
+    }
+
+    #[test]
+    fn evaluation_matrix_spans_the_table_iii_grid() {
+        let matrix = evaluation_matrix(
+            Approach::ALL,
+            avis_workload::default_workloads(),
+            Budget::simulations(10),
+        );
+        assert_eq!(matrix.cell_count(), 4 * 2 * 2);
     }
 }

@@ -1,0 +1,531 @@
+//! The fluent campaign API: [`Campaign::builder`] configures a campaign
+//! (firmware, bug set, workload, budget, parallelism, monitor, strategy),
+//! and [`CampaignObserver`] streams [`CampaignEvent`]s from the engine in
+//! commit order, so long campaigns report live instead of only at the
+//! end.
+//!
+//! ```no_run
+//! use avis::campaign::Campaign;
+//! use avis::checker::{Approach, Budget};
+//! use avis_firmware::FirmwareProfile;
+//! use avis_workload::auto_box_mission;
+//!
+//! let result = Campaign::builder()
+//!     .firmware(FirmwareProfile::ArduPilotLike)
+//!     .workload(auto_box_mission())
+//!     .approach(Approach::Avis)
+//!     .budget(Budget::simulations(50))
+//!     .parallelism(4)
+//!     .build()
+//!     .run();
+//! println!("{} unsafe conditions", result.unsafe_count());
+//! ```
+//!
+//! The event stream is deterministic: because the parallel engine commits
+//! results in canonical round order, a campaign observed at
+//! `parallelism = 8` emits exactly the events of the same campaign at
+//! `parallelism = 1`, in the same order.
+
+use crate::checker::{
+    Approach, Budget, CampaignResult, CampaignState, Checker, CheckerConfig, UnsafeCondition,
+};
+use crate::engine::{self, EngineParams};
+use crate::monitor::{InvariantMonitor, MonitorConfig};
+use crate::runner::{ExperimentConfig, ExperimentRunner};
+use crate::sabre::SabreConfig;
+use crate::strategy::{Strategy, StrategyContext};
+use avis_firmware::{BugSet, FirmwareProfile};
+use avis_hinj::FaultPlan;
+use avis_sim::{SensorNoise, SensorSuiteConfig};
+use avis_workload::{auto_box_mission, ScriptedWorkload};
+use serde::{Deserialize, Serialize};
+
+/// One checkpoint in a campaign's life, streamed to the
+/// [`CampaignObserver`] in commit order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CampaignEvent {
+    /// The campaign is about to start its profiling runs.
+    CampaignStarted {
+        /// Display name of the strategy driving the campaign.
+        strategy: String,
+        /// The firmware profile under test.
+        profile: FirmwareProfile,
+        /// The workload name.
+        workload: String,
+        /// The test budget.
+        budget: Budget,
+    },
+    /// Profiling and monitor calibration finished; the search starts now.
+    ProfilingFinished {
+        /// Number of fault-free profiling runs executed.
+        runs: usize,
+        /// Cost consumed by profiling (s).
+        cost_seconds: f64,
+    },
+    /// One fault-injection run was committed.
+    RunFinished {
+        /// Total simulations so far (profiling included).
+        simulations: usize,
+        /// Total cost so far (s).
+        cost_seconds: f64,
+        /// The fault plan the run injected.
+        plan: FaultPlan,
+        /// Whether the invariant monitor flagged the run unsafe.
+        is_unsafe: bool,
+    },
+    /// The run just committed exposed an unsafe condition.
+    ViolationFound {
+        /// The full unsafe-condition record, as it will appear in the
+        /// final [`CampaignResult`].
+        condition: UnsafeCondition,
+    },
+    /// Budget consumption after a committed run.
+    BudgetProgress {
+        /// Total simulations so far (profiling included).
+        simulations: usize,
+        /// Total cost so far (s).
+        cost_seconds: f64,
+        /// Consumed share of the tighter budget axis, `0.0..=1.0`.
+        consumed_fraction: f64,
+    },
+    /// The campaign ended (budget or search space exhausted).
+    CampaignFinished {
+        /// Total simulations executed.
+        simulations: usize,
+        /// Total cost consumed (s).
+        cost_seconds: f64,
+        /// Number of unsafe conditions found.
+        unsafe_conditions: usize,
+    },
+}
+
+/// An event sink for a running campaign. Events arrive on the thread that
+/// called [`Campaign::run_with_observer`], in commit order, identically
+/// at every parallelism.
+pub trait CampaignObserver {
+    /// Receives the next event.
+    fn on_event(&mut self, event: &CampaignEvent);
+}
+
+/// The default observer: discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl CampaignObserver for NullObserver {
+    fn on_event(&mut self, _event: &CampaignEvent) {}
+}
+
+/// An observer that records the full event stream — useful for tests,
+/// for replaying progress into a UI, or for serialising a campaign log.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<CampaignEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// The recorded events, in arrival (= commit) order.
+    pub fn events(&self) -> &[CampaignEvent] {
+        &self.events
+    }
+
+    /// Consumes the log, returning the recorded events.
+    pub fn into_events(self) -> Vec<CampaignEvent> {
+        self.events
+    }
+}
+
+impl CampaignObserver for EventLog {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// The strategy a campaign runs: a built-in approach resolved through the
+/// [`Approach`] factory, or a user-supplied [`Strategy`].
+enum StrategyChoice {
+    Approach(Approach),
+    Custom(Box<dyn Strategy>),
+}
+
+/// A fully configured campaign, ready to run. Built by
+/// [`Campaign::builder`]; see the [module docs](self) for an example.
+pub struct Campaign {
+    config: CheckerConfig,
+    strategy: StrategyChoice,
+}
+
+impl Campaign {
+    /// Starts configuring a campaign.
+    pub fn builder() -> CampaignBuilder {
+        CampaignBuilder::default()
+    }
+
+    /// Runs the campaign to completion, discarding events.
+    pub fn run(self) -> CampaignResult {
+        self.run_with_observer(&mut NullObserver)
+    }
+
+    /// Runs the campaign to completion, streaming events to `observer`.
+    pub fn run_with_observer(self, observer: &mut dyn CampaignObserver) -> CampaignResult {
+        let cfg = self.config;
+        let (mut strategy, approach) = match self.strategy {
+            StrategyChoice::Approach(approach) => (approach.strategy(), Some(approach)),
+            StrategyChoice::Custom(strategy) => (strategy, None),
+        };
+        execute_campaign(
+            CampaignSpec {
+                experiment: &cfg.experiment,
+                budget: cfg.budget,
+                profiling_runs: cfg.profiling_runs,
+                monitor: &cfg.monitor,
+                sabre: cfg.sabre,
+                seed: cfg.seed,
+                parallelism: cfg.parallelism,
+            },
+            strategy.as_mut(),
+            approach,
+            observer,
+        )
+    }
+
+    /// The legacy [`Checker`] equivalent of this campaign, when it runs a
+    /// built-in approach (custom strategies have no legacy counterpart).
+    pub fn as_checker(&self) -> Option<Checker> {
+        match self.strategy {
+            StrategyChoice::Approach(_) => Some(Checker::from_config(self.config.clone())),
+            StrategyChoice::Custom(_) => None,
+        }
+    }
+}
+
+/// Fluent configuration for a [`Campaign`]. Every setter has a sensible
+/// default, so `Campaign::builder().build()` is already a runnable Avis
+/// campaign on the buggy ArduPilot-like code base.
+///
+/// Setter order never matters: `build` resolves precedence, not call
+/// order. [`CampaignBuilder::experiment`] replaces the
+/// firmware / bugs / workload trio wholesale;
+/// [`CampaignBuilder::max_duration`] and [`CampaignBuilder::noise`] apply
+/// on top of whichever experiment results.
+pub struct CampaignBuilder {
+    profile: FirmwareProfile,
+    bugs: Option<BugSet>,
+    workload: Option<ScriptedWorkload>,
+    experiment: Option<ExperimentConfig>,
+    max_duration: Option<f64>,
+    noise: Option<SensorNoise>,
+    budget: Budget,
+    profiling_runs: usize,
+    monitor: MonitorConfig,
+    sabre: SabreConfig,
+    seed: u64,
+    parallelism: usize,
+    strategy: StrategyChoice,
+}
+
+impl Default for CampaignBuilder {
+    fn default() -> Self {
+        CampaignBuilder {
+            profile: FirmwareProfile::ArduPilotLike,
+            bugs: None,
+            workload: None,
+            experiment: None,
+            max_duration: None,
+            noise: None,
+            budget: Budget::simulations(50),
+            profiling_runs: 3,
+            monitor: MonitorConfig::default(),
+            sabre: SabreConfig::default(),
+            seed: 17,
+            parallelism: engine::default_parallelism(),
+            strategy: StrategyChoice::Approach(Approach::Avis),
+        }
+    }
+}
+
+impl CampaignBuilder {
+    /// The firmware profile under test. Default: the ArduPilot-like stack.
+    pub fn firmware(mut self, profile: FirmwareProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The defects compiled into the firmware. Default: the profile's
+    /// "current code base" (every previously-unknown bug present).
+    pub fn bugs(mut self, bugs: BugSet) -> Self {
+        self.bugs = Some(bugs);
+        self
+    }
+
+    /// The workload to fly. Default: the paper's auto waypoint mission.
+    pub fn workload(mut self, workload: ScriptedWorkload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Replaces the firmware / bugs / workload trio with a fully built
+    /// [`ExperimentConfig`] (the escape hatch for non-default dt, sample
+    /// interval or experiment seed).
+    pub fn experiment(mut self, experiment: ExperimentConfig) -> Self {
+        self.experiment = Some(experiment);
+        self
+    }
+
+    /// Hard cap on simulated time per run (s), applied on top of the
+    /// experiment.
+    pub fn max_duration(mut self, seconds: f64) -> Self {
+        self.max_duration = Some(seconds);
+        self
+    }
+
+    /// Sensor-noise level, applied on top of the experiment.
+    pub fn noise(mut self, noise: SensorNoise) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// The test budget. Default: 50 simulations.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Number of fault-free profiling runs calibrating the monitor.
+    /// Default: 3.
+    pub fn profiling_runs(mut self, runs: usize) -> Self {
+        self.profiling_runs = runs;
+        self
+    }
+
+    /// Invariant-monitor configuration.
+    pub fn monitor(mut self, monitor: MonitorConfig) -> Self {
+        self.monitor = monitor;
+        self
+    }
+
+    /// SABRE scheduler configuration (transition-targeted strategies).
+    pub fn sabre(mut self, sabre: SabreConfig) -> Self {
+        self.sabre = sabre;
+        self
+    }
+
+    /// The deterministic campaign seed (drives the random baseline).
+    /// Default: 17.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker threads executing fault plans (`1` = fully serial).
+    /// Default: the number of available CPU cores. The result — and the
+    /// observer event stream — is bit-identical at every value.
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Runs one of the paper's built-in approaches. Default:
+    /// [`Approach::Avis`].
+    pub fn approach(mut self, approach: Approach) -> Self {
+        self.strategy = StrategyChoice::Approach(approach);
+        self
+    }
+
+    /// Runs a custom [`Strategy`] — the extension point for new search
+    /// orders, implemented entirely outside the core crate.
+    pub fn strategy<S: Strategy + 'static>(self, strategy: S) -> Self {
+        self.boxed_strategy(Box::new(strategy))
+    }
+
+    /// [`CampaignBuilder::strategy`] for an already boxed strategy (what
+    /// a [`crate::matrix::ScenarioMatrix`] factory produces).
+    pub fn boxed_strategy(mut self, strategy: Box<dyn Strategy>) -> Self {
+        self.strategy = StrategyChoice::Custom(strategy);
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(self) -> Campaign {
+        let approach = match &self.strategy {
+            StrategyChoice::Approach(approach) => *approach,
+            // The legacy config field is only read when the campaign runs
+            // a built-in approach; default it for custom strategies.
+            StrategyChoice::Custom(_) => Approach::Avis,
+        };
+        let mut experiment = self.experiment.unwrap_or_else(|| {
+            ExperimentConfig::new(
+                self.profile,
+                self.bugs
+                    .unwrap_or_else(|| BugSet::current_code_base(self.profile)),
+                self.workload.unwrap_or_else(auto_box_mission),
+            )
+        });
+        if let Some(max_duration) = self.max_duration {
+            experiment.max_duration = max_duration;
+        }
+        if let Some(noise) = self.noise {
+            experiment.noise = Some(noise);
+        }
+        Campaign {
+            config: CheckerConfig {
+                approach,
+                experiment,
+                budget: self.budget,
+                profiling_runs: self.profiling_runs,
+                monitor: self.monitor,
+                sabre: self.sabre,
+                seed: self.seed,
+                parallelism: self.parallelism,
+            },
+            strategy: self.strategy,
+        }
+    }
+}
+
+/// The resolved slice of configuration the campaign pipeline needs —
+/// shared by the fluent [`Campaign`] and the legacy [`Checker`] shim so
+/// both drive the byte-for-byte identical engine.
+pub(crate) struct CampaignSpec<'a> {
+    pub(crate) experiment: &'a ExperimentConfig,
+    pub(crate) budget: Budget,
+    pub(crate) profiling_runs: usize,
+    pub(crate) monitor: &'a MonitorConfig,
+    pub(crate) sabre: SabreConfig,
+    pub(crate) seed: u64,
+    pub(crate) parallelism: usize,
+}
+
+/// Runs one campaign end to end: profiling, monitor calibration, strategy
+/// initialisation, the engine's round loop, and result assembly.
+pub(crate) fn execute_campaign(
+    spec: CampaignSpec<'_>,
+    strategy: &mut dyn Strategy,
+    approach: Option<Approach>,
+    observer: &mut dyn CampaignObserver,
+) -> CampaignResult {
+    observer.on_event(&CampaignEvent::CampaignStarted {
+        strategy: strategy.name().to_string(),
+        profile: spec.experiment.profile,
+        workload: spec.experiment.workload.name().to_string(),
+        budget: spec.budget,
+    });
+
+    // Profiling runs: calibrate the invariant monitor and discover the
+    // mode transitions that anchor transition-targeted strategies.
+    let mut runner = ExperimentRunner::new(spec.experiment.clone());
+    let mut profiling = Vec::new();
+    let mut cost = 0.0;
+    for i in 0..spec.profiling_runs.max(1) {
+        let run = runner.run_profiling(i as u64);
+        cost += run.simulated_seconds;
+        profiling.push(run);
+    }
+    observer.on_event(&CampaignEvent::ProfilingFinished {
+        runs: profiling.len(),
+        cost_seconds: cost,
+    });
+    let monitor = InvariantMonitor::calibrate(
+        profiling.iter().map(|r| r.trace.clone()).collect(),
+        spec.monitor.clone(),
+    );
+    let golden = profiling[0].trace.clone();
+
+    let mut state = CampaignState {
+        runner,
+        monitor,
+        simulations: profiling.len(),
+        cost_seconds: cost,
+        labels: 0,
+        unsafe_conditions: Vec::new(),
+        golden,
+    };
+
+    strategy.initialize(&StrategyContext {
+        golden: &state.golden,
+        experiment: spec.experiment,
+        sabre: spec.sabre,
+        seed: spec.seed,
+        sensors: SensorSuiteConfig::iris(),
+    });
+
+    engine::run_campaign(
+        EngineParams {
+            experiment: spec.experiment,
+            budget: &spec.budget,
+            parallelism: spec.parallelism,
+        },
+        strategy,
+        &mut state,
+        observer,
+    );
+
+    observer.on_event(&CampaignEvent::CampaignFinished {
+        simulations: state.simulations,
+        cost_seconds: state.cost_seconds,
+        unsafe_conditions: state.unsafe_conditions.len(),
+    });
+
+    let pruning = strategy.pruning();
+    CampaignResult {
+        strategy: strategy.name().to_string(),
+        approach,
+        profile: spec.experiment.profile,
+        workload: spec.experiment.workload.name().to_string(),
+        unsafe_conditions: state.unsafe_conditions,
+        simulations: state.simulations,
+        cost_seconds: state.cost_seconds,
+        labels_evaluated: state.labels,
+        symmetry_pruned: pruning.symmetry_pruned,
+        found_bug_pruned: pruning.found_bug_pruned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_an_avis_campaign() {
+        let campaign = Campaign::builder().build();
+        let config = &campaign.config;
+        assert_eq!(config.approach, Approach::Avis);
+        assert_eq!(config.budget, Budget::simulations(50));
+        assert_eq!(config.profiling_runs, 3);
+        assert_eq!(config.experiment.profile, FirmwareProfile::ArduPilotLike);
+        assert_eq!(config.experiment.workload.name(), "auto-box-mission");
+        assert!(campaign.as_checker().is_some());
+    }
+
+    #[test]
+    fn builder_overrides_apply_on_top_of_an_explicit_experiment() {
+        let mut experiment =
+            ExperimentConfig::new(FirmwareProfile::Px4Like, BugSet::none(), auto_box_mission());
+        experiment.max_duration = 150.0;
+        let campaign = Campaign::builder()
+            // Ignored: the explicit experiment wins over the trio.
+            .firmware(FirmwareProfile::ArduPilotLike)
+            .experiment(experiment)
+            .max_duration(90.0)
+            .noise(SensorNoise::noiseless())
+            .parallelism(0)
+            .build();
+        let config = &campaign.config;
+        assert_eq!(config.experiment.profile, FirmwareProfile::Px4Like);
+        assert_eq!(config.experiment.max_duration, 90.0);
+        assert_eq!(config.experiment.noise, Some(SensorNoise::noiseless()));
+        assert_eq!(config.parallelism, 1, "parallelism is clamped to >= 1");
+    }
+
+    #[test]
+    fn custom_strategies_have_no_legacy_checker() {
+        let campaign = Campaign::builder()
+            .strategy(crate::strategy::RoundRobinMode::new())
+            .build();
+        assert!(campaign.as_checker().is_none());
+    }
+}

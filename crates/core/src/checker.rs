@@ -1,29 +1,34 @@
-//! The model-checking campaigns: Avis (SABRE) and the three competing
-//! approaches, run under a common test budget and evaluated by the same
-//! invariant monitor.
+//! Campaign configuration and results: budgets, the [`Approach`] factory
+//! for the paper's four built-in strategies, unsafe-condition records and
+//! the legacy [`Checker`] compatibility shim.
 //!
 //! A *campaign* corresponds to one row-cell of the paper's Table III: one
-//! approach, one firmware, one workload, a fixed budget. The paper budgets
+//! strategy, one firmware, one workload, a fixed budget. The paper budgets
 //! by wall-clock time (2 hours of SITL per approach and workload); this
 //! reproduction budgets by *simulated seconds* plus the modelled BFI
 //! labelling latency, which preserves the relative comparison while being
 //! independent of host speed.
+//!
+//! New code should configure campaigns through
+//! [`crate::campaign::Campaign::builder`]; the [`CheckerConfig`] /
+//! [`Checker`] pair remains as a deprecated shim over the same engine
+//! (see `MIGRATION.md` at the repository root).
 
-use crate::baselines::{BfiModel, DfsSiteIterator, RandomInjection};
 use crate::engine;
-use crate::monitor::{InvariantMonitor, MonitorConfig, Violation};
-use crate::pruning::candidate_failure_sets;
+use crate::monitor::{MonitorConfig, Violation};
 use crate::runner::{ExperimentConfig, ExperimentRunner, RunResult};
-use crate::sabre::{SabreConfig, SabreQueue};
+use crate::sabre::SabreConfig;
+use crate::strategy::{BfiStrategy, RandomStrategy, SabreStrategy, Strategy};
 use crate::trace::Trace;
 use avis_firmware::{BugId, FirmwareProfile, ModeCategory, OperatingMode};
-use avis_hinj::{FaultPlan, FaultSpec};
-use avis_sim::SensorSuiteConfig;
+use avis_hinj::FaultPlan;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// The fault-injection approaches compared in the paper (Table I).
+/// The fault-injection approaches compared in the paper (Table I), kept
+/// as a thin factory over the [`Strategy`] implementations in
+/// [`crate::strategy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Approach {
     /// Avis: SABRE ordering, no learned model, redundancy elimination.
@@ -55,6 +60,18 @@ impl Approach {
         }
     }
 
+    /// Builds the [`Strategy`] implementing this approach — the factory
+    /// the fluent [`crate::campaign::CampaignBuilder`] and the legacy
+    /// [`Checker`] shim both construct campaigns through.
+    pub fn strategy(self) -> Box<dyn Strategy> {
+        match self {
+            Approach::Avis => Box::new(SabreStrategy::avis()),
+            Approach::StratifiedBfi => Box::new(SabreStrategy::stratified_bfi()),
+            Approach::Bfi => Box::new(BfiStrategy::with_default_model()),
+            Approach::Random => Box::new(RandomStrategy::new()),
+        }
+    }
+
     /// Table I: does the approach target operating-mode transitions?
     pub fn targets_mode_transitions(self) -> bool {
         matches!(self, Approach::Avis | Approach::StratifiedBfi)
@@ -80,13 +97,25 @@ impl fmt::Display for Approach {
     }
 }
 
-/// The test budget shared by every approach in a comparison.
+/// The test budget shared by every strategy in a comparison.
+///
+/// Both limits are *inclusive*: the budget is exhausted only once
+/// consumption strictly exceeds it, so a campaign may execute exactly
+/// [`Budget::max_simulations`] runs, and the run whose cost lands exactly
+/// on [`Budget::max_cost_seconds`] still completes. Both engines (serial
+/// and parallel) stop at the identical boundary — pinned by
+/// `tests/budget_accounting.rs`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Budget {
-    /// Maximum number of simulated test runs.
+    /// Maximum number of simulated test runs (profiling included). The
+    /// campaign never starts an *injection* run that would exceed this
+    /// count; the monitor-calibration profiling runs always execute, so
+    /// a budget smaller than the profiling count is consumed entirely by
+    /// profiling.
     pub max_simulations: usize,
     /// Maximum accumulated cost in seconds: simulated flight time plus the
-    /// modelled BFI labelling latency.
+    /// modelled BFI labelling latency. The campaign stops once accumulated
+    /// cost strictly exceeds this.
     pub max_cost_seconds: f64,
 }
 
@@ -107,13 +136,43 @@ impl Budget {
         }
     }
 
-    /// Whether the budget is exhausted at the given consumption.
+    /// Whether the given consumption *strictly exceeds* the budget. A
+    /// consumption sitting exactly on either limit is still within
+    /// budget.
     pub fn exhausted(&self, simulations: usize, cost_seconds: f64) -> bool {
-        simulations >= self.max_simulations || cost_seconds >= self.max_cost_seconds
+        simulations > self.max_simulations || cost_seconds > self.max_cost_seconds
+    }
+
+    /// Whether one more simulation may start at the given consumption:
+    /// the run must not push the simulation count past the cap, and the
+    /// accumulated cost must not already exceed the cost cap.
+    pub fn allows_another(&self, simulations: usize, cost_seconds: f64) -> bool {
+        !self.exhausted(simulations.saturating_add(1), cost_seconds)
+    }
+
+    /// The consumed share of the tighter budget axis, in `0.0..=1.0`
+    /// (`0.0` when both axes are unbounded). Streamed to observers as
+    /// [`crate::campaign::CampaignEvent::BudgetProgress`].
+    pub fn consumed_fraction(&self, simulations: usize, cost_seconds: f64) -> f64 {
+        let sims = if self.max_simulations == usize::MAX {
+            0.0
+        } else {
+            simulations as f64 / self.max_simulations.max(1) as f64
+        };
+        let cost = if self.max_cost_seconds.is_finite() && self.max_cost_seconds > 0.0 {
+            cost_seconds / self.max_cost_seconds
+        } else {
+            0.0
+        };
+        sims.max(cost).min(1.0)
     }
 }
 
-/// Configuration for one campaign.
+/// Configuration for one campaign (legacy shape).
+///
+/// New code should use [`crate::campaign::Campaign::builder`], which
+/// produces the same configuration through a fluent API and also carries
+/// custom strategies and observers.
 #[derive(Debug, Clone)]
 pub struct CheckerConfig {
     /// Which approach to run.
@@ -130,16 +189,19 @@ pub struct CheckerConfig {
     pub sabre: SabreConfig,
     /// Seed for the random baseline.
     pub seed: u64,
-    /// Number of worker threads executing fault plans. `1` runs the exact
-    /// legacy serial loop; anything larger routes the campaign through the
-    /// deterministic parallel engine ([`crate::engine`]), which produces a
-    /// bit-identical [`CampaignResult`]. Defaults to the number of
-    /// available CPU cores.
+    /// Number of worker threads executing fault plans. `1` runs every
+    /// plan inline; anything larger routes speculative execution through
+    /// the worker pool ([`crate::engine`]) while producing a bit-identical
+    /// [`CampaignResult`]. Defaults to the number of available CPU cores.
     pub parallelism: usize,
 }
 
 impl CheckerConfig {
     /// A configuration with sensible defaults.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `avis::campaign::Campaign::builder()` — see MIGRATION.md"
+    )]
     pub fn new(approach: Approach, experiment: ExperimentConfig, budget: Budget) -> Self {
         CheckerConfig {
             approach,
@@ -154,6 +216,10 @@ impl CheckerConfig {
     }
 
     /// Sets the worker count (`1` = serial) and returns the configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Campaign::builder().parallelism(n)` — see MIGRATION.md"
+    )]
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism.max(1);
         self
@@ -185,8 +251,12 @@ pub struct UnsafeCondition {
 /// The outcome of one campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignResult {
-    /// The approach that was run.
-    pub approach: Approach,
+    /// Display name of the strategy that was run (an [`Approach`] name
+    /// for the built-ins, [`Strategy::name`] for custom strategies).
+    pub strategy: String,
+    /// The built-in approach, when the campaign ran one (`None` for
+    /// custom strategies plugged in through the builder).
+    pub approach: Option<Approach>,
     /// The firmware profile under test.
     pub profile: FirmwareProfile,
     /// The workload name.
@@ -239,7 +309,11 @@ impl CampaignResult {
     }
 }
 
-/// The model checker: runs one campaign according to its configuration.
+/// The legacy campaign entry point: runs one [`CheckerConfig`].
+///
+/// Kept as a compatibility shim over the strategy engine; new code should
+/// use [`crate::campaign::Campaign::builder`], which adds custom
+/// strategies and streaming observers.
 #[derive(Debug, Clone)]
 pub struct Checker {
     config: CheckerConfig,
@@ -247,7 +321,7 @@ pub struct Checker {
 
 pub(crate) struct CampaignState {
     pub(crate) runner: ExperimentRunner,
-    pub(crate) monitor: InvariantMonitor,
+    pub(crate) monitor: crate::monitor::InvariantMonitor,
     pub(crate) golden: Trace,
     pub(crate) simulations: usize,
     pub(crate) cost_seconds: f64,
@@ -256,14 +330,16 @@ pub(crate) struct CampaignState {
 }
 
 impl CampaignState {
-    pub(crate) fn budget_exhausted(&self, budget: &Budget) -> bool {
-        budget.exhausted(self.simulations, self.cost_seconds)
+    /// Whether the campaign must stop: the budget does not cover another
+    /// simulation at the current consumption.
+    pub(crate) fn out_of_budget(&self, budget: &Budget) -> bool {
+        !budget.allows_another(self.simulations, self.cost_seconds)
     }
 
     /// Charges a completed run against the budget and records any unsafe
-    /// condition. Returns whether the run was unsafe. Shared by the serial
-    /// loop (which produced the result itself) and the parallel engine
-    /// (which replays worker results in canonical order).
+    /// condition. Returns whether the run was unsafe. The engine commits
+    /// results through this in canonical round order, which is what makes
+    /// the accounting identical at every parallelism.
     pub(crate) fn absorb(&mut self, result: &RunResult) -> bool {
         self.simulations += 1;
         self.cost_seconds += result.simulated_seconds;
@@ -300,19 +376,19 @@ impl CampaignState {
         });
         true
     }
-
-    /// Executes one fault plan, charges its cost and records any unsafe
-    /// condition. Returns the run result and whether it was unsafe.
-    fn execute(&mut self, plan: FaultPlan) -> (RunResult, bool) {
-        let result = self.runner.run_with_plan(plan);
-        let is_unsafe = self.absorb(&result);
-        (result, is_unsafe)
-    }
 }
 
 impl Checker {
     /// Creates a checker for the given configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `avis::campaign::Campaign::builder()` — see MIGRATION.md"
+    )]
     pub fn new(config: CheckerConfig) -> Self {
+        Checker { config }
+    }
+
+    pub(crate) fn from_config(config: CheckerConfig) -> Self {
         Checker { config }
     }
 
@@ -325,156 +401,28 @@ impl Checker {
     /// exhaustion) and returns the result.
     pub fn run(&self) -> CampaignResult {
         let cfg = &self.config;
-        let mut runner = ExperimentRunner::new(cfg.experiment.clone());
-
-        // Profiling runs: calibrate the invariant monitor and discover the
-        // mode transitions that anchor the search.
-        let mut profiling = Vec::new();
-        let mut cost = 0.0;
-        for i in 0..cfg.profiling_runs.max(1) {
-            let run = runner.run_profiling(i as u64);
-            cost += run.simulated_seconds;
-            profiling.push(run);
-        }
-        let monitor = InvariantMonitor::calibrate(
-            profiling.iter().map(|r| r.trace.clone()).collect(),
-            cfg.monitor.clone(),
-        );
-        let golden = profiling[0].trace.clone();
-
-        let mut state = CampaignState {
-            runner,
-            monitor,
-            golden,
-            simulations: profiling.len(),
-            cost_seconds: cost,
-            labels: 0,
-            unsafe_conditions: Vec::new(),
-        };
-
-        let (symmetry_pruned, found_bug_pruned) = if cfg.parallelism > 1 {
-            engine::run_campaign_parallel(self, &mut state)
-        } else {
-            match cfg.approach {
-                Approach::Avis => self.run_sabre(&mut state, None),
-                Approach::StratifiedBfi => {
-                    self.run_sabre(&mut state, Some(BfiModel::with_default_training()))
-                }
-                Approach::Bfi => {
-                    self.run_bfi(&mut state, BfiModel::with_default_training());
-                    (0, 0)
-                }
-                Approach::Random => {
-                    self.run_random(&mut state);
-                    (0, 0)
-                }
-            }
-        };
-
-        CampaignResult {
-            approach: cfg.approach,
-            profile: cfg.experiment.profile,
-            workload: cfg.experiment.workload.name().to_string(),
-            unsafe_conditions: state.unsafe_conditions,
-            simulations: state.simulations,
-            cost_seconds: state.cost_seconds,
-            labels_evaluated: state.labels,
-            symmetry_pruned,
-            found_bug_pruned,
-        }
-    }
-
-    /// SABRE-driven exploration, optionally filtered by the BFI model
-    /// (`None` = Avis, `Some` = Stratified BFI).
-    fn run_sabre(&self, state: &mut CampaignState, model: Option<BfiModel>) -> (u64, u64) {
-        let cfg = &self.config;
-        let sensor_config = SensorSuiteConfig::iris();
-        let candidates = candidate_failure_sets(&sensor_config);
-        let sabre_config = SabreConfig {
-            horizon: state.golden.duration.min(cfg.sabre.horizon),
-            ..cfg.sabre
-        };
-        let mut queue = SabreQueue::new(&state.golden.transition_times(), sabre_config);
-
-        'outer: while !queue.is_empty() && !state.budget_exhausted(&cfg.budget) {
-            let Some(anchor) = queue.next_anchor() else {
-                break;
-            };
-            let anchor_mode = state.golden.mode_before(anchor.timestamp);
-            let anchor_category = anchor_mode
-                .map(|m| m.category())
-                .unwrap_or(ModeCategory::Manual);
-            for set in &candidates {
-                if state.budget_exhausted(&cfg.budget) {
-                    break 'outer;
-                }
-                if let Some(model) = &model {
-                    state.labels += 1;
-                    state.cost_seconds += model.label_cost_seconds;
-                    if !model.predicts_unsafe_set(set, anchor_category) {
-                        continue;
-                    }
-                }
-                let Some(plan) = queue.plan_for(&anchor, set) else {
-                    continue;
-                };
-                let (result, is_unsafe) = state.execute(plan);
-                if is_unsafe {
-                    queue.record_bug(&result.plan);
-                } else {
-                    queue.record_ok(&result.plan, &result.trace.transition_times());
-                }
-            }
-        }
-        (
-            queue.pruning().symmetry_pruned(),
-            queue.pruning().found_bug_pruned(),
+        let mut strategy = cfg.approach.strategy();
+        crate::campaign::execute_campaign(
+            crate::campaign::CampaignSpec {
+                experiment: &cfg.experiment,
+                budget: cfg.budget,
+                profiling_runs: cfg.profiling_runs,
+                monitor: &cfg.monitor,
+                sabre: cfg.sabre,
+                seed: cfg.seed,
+                parallelism: cfg.parallelism,
+            },
+            strategy.as_mut(),
+            Some(cfg.approach),
+            &mut crate::campaign::NullObserver,
         )
-    }
-
-    /// Vanilla BFI: depth-first enumeration of individual sensor-read
-    /// sites, each labelled by the model at the measured inference latency.
-    fn run_bfi(&self, state: &mut CampaignState, model: BfiModel) {
-        let cfg = &self.config;
-        let sensor_config = SensorSuiteConfig::iris();
-        let sites = DfsSiteIterator::new(&sensor_config, state.golden.duration, cfg.experiment.dt);
-        for (instance, time) in sites {
-            if state.budget_exhausted(&cfg.budget) {
-                break;
-            }
-            state.labels += 1;
-            state.cost_seconds += model.label_cost_seconds;
-            let category = state
-                .golden
-                .mode_before(time)
-                .map(|m| m.category())
-                .unwrap_or(ModeCategory::Manual);
-            if !model.predicts_unsafe(instance.kind, category) {
-                continue;
-            }
-            if state.budget_exhausted(&cfg.budget) {
-                break;
-            }
-            let plan = FaultPlan::from_specs(vec![FaultSpec::new(instance, time)]);
-            state.execute(plan);
-        }
-    }
-
-    /// Uniformly random fault injection.
-    fn run_random(&self, state: &mut CampaignState) {
-        let cfg = &self.config;
-        let sensor_config = SensorSuiteConfig::iris();
-        let mut random = RandomInjection::new(&sensor_config, state.golden.duration, cfg.seed);
-        while !state.budget_exhausted(&cfg.budget) {
-            let plan = random.next_plan();
-            state.execute(plan);
-        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::campaign::Campaign;
     use avis_firmware::BugSet;
     use avis_sim::SensorNoise;
     use avis_workload::auto_box_mission;
@@ -507,16 +455,43 @@ mod tests {
     }
 
     #[test]
-    fn budget_exhaustion_rules() {
+    fn approach_factory_names_match() {
+        for approach in Approach::ALL {
+            assert_eq!(approach.strategy().name(), approach.name());
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_strict() {
         let b = Budget {
             max_simulations: 10,
             max_cost_seconds: 100.0,
         };
-        assert!(!b.exhausted(5, 50.0));
-        assert!(b.exhausted(10, 50.0));
-        assert!(b.exhausted(5, 100.0));
-        assert!(!Budget::seconds(100.0).exhausted(1_000_000, 99.0));
-        assert!(Budget::simulations(3).exhausted(3, 0.0));
+        // Consumption on the boundary is still within budget...
+        assert!(!b.exhausted(10, 100.0));
+        // ...and only strictly exceeding it exhausts.
+        assert!(b.exhausted(11, 50.0));
+        assert!(b.exhausted(5, 100.1));
+        // `allows_another` is the engine-facing check: an 11th run would
+        // exceed the cap, and cost already past the cap blocks new runs.
+        assert!(b.allows_another(9, 100.0));
+        assert!(!b.allows_another(10, 50.0));
+        assert!(!b.allows_another(5, 100.5));
+        assert!(Budget::seconds(100.0).allows_another(1_000_000, 99.0));
+        assert!(!Budget::simulations(3).allows_another(3, 0.0));
+    }
+
+    #[test]
+    fn budget_fraction_tracks_the_tighter_axis() {
+        let b = Budget {
+            max_simulations: 10,
+            max_cost_seconds: 100.0,
+        };
+        assert_eq!(b.consumed_fraction(5, 20.0), 0.5);
+        assert_eq!(b.consumed_fraction(2, 90.0), 0.9);
+        assert_eq!(b.consumed_fraction(20, 0.0), 1.0);
+        assert_eq!(Budget::simulations(4).consumed_fraction(1, 1e9), 0.25);
+        assert_eq!(Budget::seconds(10.0).consumed_fraction(99, 5.0), 0.5);
     }
 
     // The end-to-end campaign comparisons live in the integration tests and
@@ -525,13 +500,12 @@ mod tests {
     #[test]
     fn tiny_avis_campaign_finds_a_bug_in_the_buggy_code_base() {
         let bugs = BugSet::current_code_base(FirmwareProfile::ArduPilotLike);
-        let mut config = CheckerConfig::new(
-            Approach::Avis,
-            small_experiment(bugs),
-            Budget::simulations(14),
-        );
-        config.profiling_runs = 2;
-        let result = Checker::new(config).run();
+        let result = Campaign::builder()
+            .experiment(small_experiment(bugs))
+            .budget(Budget::simulations(14))
+            .profiling_runs(2)
+            .build()
+            .run();
         assert!(result.simulations <= 14);
         assert!(
             !result.unsafe_conditions.is_empty(),
@@ -548,17 +522,40 @@ mod tests {
 
     #[test]
     fn fixed_code_base_yields_no_unsafe_conditions_in_a_small_campaign() {
-        let mut config = CheckerConfig::new(
-            Approach::Avis,
-            small_experiment(BugSet::none()),
-            Budget::simulations(10),
-        );
-        config.profiling_runs = 2;
-        let result = Checker::new(config).run();
+        let result = Campaign::builder()
+            .experiment(small_experiment(BugSet::none()))
+            .budget(Budget::simulations(10))
+            .profiling_runs(2)
+            .build()
+            .run();
         assert!(
             result.unsafe_conditions.is_empty(),
             "no false positives on the fixed code base: {:?}",
             result.unsafe_conditions
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_checker_shim_matches_the_builder() {
+        // The compatibility shim and the fluent builder must drive the
+        // identical engine — this is the contract MIGRATION.md documents.
+        let bugs = BugSet::current_code_base(FirmwareProfile::ArduPilotLike);
+        let mut config = CheckerConfig::new(
+            Approach::Avis,
+            small_experiment(bugs.clone()),
+            Budget::simulations(8),
+        );
+        config.profiling_runs = 2;
+        config.parallelism = 2;
+        let legacy = Checker::new(config).run();
+        let fluent = Campaign::builder()
+            .experiment(small_experiment(bugs))
+            .budget(Budget::simulations(8))
+            .profiling_runs(2)
+            .parallelism(2)
+            .build()
+            .run();
+        assert_eq!(legacy, fluent);
     }
 }

@@ -1,50 +1,51 @@
-//! The parallel campaign engine: executes a campaign's independent fault
-//! plans on a scoped worker pool while producing a
-//! [`crate::checker::CampaignResult`] **bit-identical** to the serial
-//! campaign loop.
+//! The campaign engine: drives any [`Strategy`] through its
+//! propose / decide / observe lifecycle, serially or on a scoped worker
+//! pool, while producing a [`crate::checker::CampaignResult`]
+//! **bit-identical** at every parallelism and streaming
+//! [`CampaignEvent`]s to the observer in commit order.
 //!
-//! # Why this is possible
+//! # Why parallelism cannot change the result
 //!
 //! A test run is a pure function of its [`FaultPlan`]: the runner
 //! provisions a fresh simulator + firmware + workload per run and seeds
 //! every noise source from the experiment configuration alone, so two
 //! executions of the same plan — on any thread, in any order — yield the
 //! same [`RunResult`]. What is *not* order-independent is the campaign
-//! bookkeeping around the runs: budget accounting, SABRE's pruning
-//! feedback (`record_bug` / `record_ok`) and the discovery order of
-//! unsafe conditions. The engine therefore splits each scheduling round
-//! into three phases:
+//! bookkeeping around the runs: budget accounting, pruning feedback and
+//! the discovery order of unsafe conditions. The engine therefore splits
+//! each strategy round into three phases:
 //!
-//! 1. **Speculative wavefront selection.** Against a *clone* of the
-//!    pruning state, the engine determines every plan the serial checker
-//!    could possibly execute in this round (all candidate failure sets of
-//!    the current SABRE anchor; a batch of BFI sites or random draws).
-//!    Pruning only ever removes additional work as results arrive —
-//!    `record_bug` adds bug signatures, it never un-prunes — so this
-//!    speculative set is a **superset** of the serial checker's choices.
-//! 2. **Parallel execution.** The wavefront's plans run concurrently on
-//!    the worker pool, one fresh [`ExperimentRunner`] per worker.
-//! 3. **Sequential commit.** Results are replayed in canonical plan order
-//!    against the *real* queue, budget and pruning state, applying
-//!    exactly the serial control flow. Speculative runs the serial path
-//!    would have pruned (because an earlier plan in the same wavefront
-//!    found a bug) or never reached (budget exhaustion) are discarded.
+//! 1. **Proposal.** [`Strategy::propose`] emits the round's candidates.
+//!    Rounds are the strategy's natural work units (a SABRE anchor's
+//!    candidate sets, a fixed batch of BFI sites) and never depend on the
+//!    worker count — see the determinism contract in [`crate::strategy`].
+//! 2. **Speculative execution.** Candidates carrying a speculative plan
+//!    are executed concurrently on the worker pool (skipped entirely in
+//!    the serial case), in *wavefronts* of a small multiple of the pool
+//!    size ([`BATCH_FACTOR`]) so that a bug committed mid-round cancels
+//!    its now-pruned siblings ([`Strategy::revalidate`]) instead of
+//!    wasting workers on them. Speculation past the remaining simulation
+//!    budget is capped; wrong or missing speculation is repaired at
+//!    commit by executing inline.
+//! 3. **Sequential commit.** For every candidate, in round order, the
+//!    engine applies the authoritative control flow: budget check,
+//!    [`Strategy::decide`] (label charges, pruning), post-charge budget
+//!    re-check, run execution (pool result or inline fallback),
+//!    absorption into the campaign state, observer events and
+//!    [`Strategy::observe`] feedback.
 //!
-//! The commit phase performs precisely the serial sequence of
-//! `plan_for` / `record_bug` / `record_ok` / budget mutations, so the
-//! pruning counters, cost accounting, unsafe-condition order and every
-//! other observable of the campaign match the serial engine exactly —
-//! the determinism suite in `tests/engine_determinism.rs` asserts
-//! structural equality of the full [`crate::checker::CampaignResult`].
+//! The commit phase performs precisely the serial sequence of decisions
+//! and mutations, so the pruning counters, cost accounting,
+//! unsafe-condition order, observer event stream and every other
+//! observable of the campaign match the serial engine exactly — the
+//! determinism suite in `tests/engine_determinism.rs` asserts structural
+//! equality of the full campaign result and of the event stream.
 
-use crate::baselines::{BfiModel, DfsSiteIterator, RandomInjection};
-use crate::checker::{Approach, CampaignState, Checker};
-use crate::pruning::candidate_failure_sets;
-use crate::runner::{ExperimentRunner, RunResult};
-use crate::sabre::{SabreConfig, SabreQueue};
-use avis_firmware::ModeCategory;
-use avis_hinj::{FaultPlan, FaultSpec};
-use avis_sim::SensorSuiteConfig;
+use crate::campaign::{CampaignEvent, CampaignObserver};
+use crate::checker::{Budget, CampaignState};
+use crate::runner::{ExperimentConfig, ExperimentRunner, RunResult};
+use crate::strategy::{Observation, Strategy};
+use avis_hinj::FaultPlan;
 use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -56,18 +57,19 @@ pub fn default_parallelism() -> usize {
         .unwrap_or(1)
 }
 
-/// How many jobs a driver schedules per wavefront, as a multiple of the
-/// worker count. Larger factors amortise channel traffic and keep workers
-/// busy across the sequential commit, but every speculative run the
-/// commit replay rejects (pruned by a bug found earlier in the same
-/// wavefront, or past the budget) is wasted work — so wavefronts are kept
-/// a small multiple of the pool size rather than, say, a whole anchor's
-/// candidate list at once.
-const BATCH_FACTOR: usize = 4;
+/// The engine-facing slice of a campaign configuration.
+pub(crate) struct EngineParams<'a> {
+    /// The experiment each worker provisions its runner from.
+    pub experiment: &'a ExperimentConfig,
+    /// The shared test budget.
+    pub budget: &'a Budget,
+    /// Worker count; `1` executes every run inline on the calling thread.
+    pub parallelism: usize,
+}
 
 /// Simulations left before the hard budget cap (`usize::MAX` for
 /// cost-only budgets). Speculating past this is guaranteed waste.
-fn remaining_simulations(budget: &crate::checker::Budget, state: &CampaignState) -> usize {
+fn remaining_simulations(budget: &Budget, state: &CampaignState) -> usize {
     if budget.max_simulations == usize::MAX {
         usize::MAX
     } else {
@@ -75,36 +77,34 @@ fn remaining_simulations(budget: &crate::checker::Budget, state: &CampaignState)
     }
 }
 
-/// Takes the speculative result for `slot`, or — when speculation was
-/// capped and the serial control flow reached a plan that was never
-/// dispatched — executes it inline. Runs are pure functions of their
-/// plan, so the fallback preserves bit-identical results.
+/// Takes the speculative result for `token`, or — when speculation was
+/// capped, filtered or wrong — executes the plan inline. Runs are pure
+/// functions of their plan, so the fallback preserves bit-identical
+/// results; a stale speculative result whose plan diverged from the
+/// committed plan is discarded rather than absorbed.
 fn take_or_run(
-    results: &mut BTreeMap<usize, RunResult>,
-    slot: usize,
+    results: &mut BTreeMap<u64, RunResult>,
+    token: u64,
     plan: FaultPlan,
     state: &mut CampaignState,
 ) -> RunResult {
-    match results.remove(&slot) {
-        Some(result) => {
-            debug_assert_eq!(result.plan, plan, "worker executed the committed plan");
-            result
-        }
-        None => state.runner.run_with_plan(plan),
+    match results.remove(&token) {
+        Some(result) if result.plan == plan => result,
+        _ => state.runner.run_with_plan(plan),
     }
 }
 
-/// A unit of speculative work: the wavefront-local slot the result must
-/// be committed under, plus the plan to execute.
-type Job = (usize, FaultPlan);
+/// A unit of speculative work: the candidate token the result must be
+/// committed under, plus the plan to execute.
+type Job = (u64, FaultPlan);
 
 /// What a worker sends back: a completed run, or the panic message of a
 /// run that blew up (so the campaign fails loudly instead of deadlocking
 /// the wavefront collector).
-type WorkerOutcome = Result<(usize, RunResult), String>;
+type WorkerOutcome = Result<(u64, RunResult), String>;
 
 /// Hands wavefronts of fault plans to the worker pool and collects the
-/// results keyed by wavefront slot.
+/// results keyed by candidate token.
 struct Wavefront {
     job_tx: Sender<Job>,
     result_rx: Receiver<WorkerOutcome>,
@@ -117,7 +117,7 @@ impl Wavefront {
     ///
     /// Re-raises any panic that occurred on a worker thread — the same
     /// observable behaviour the serial engine has when a run panics.
-    fn execute(&self, jobs: Vec<Job>) -> BTreeMap<usize, RunResult> {
+    fn execute(&self, jobs: Vec<Job>) -> BTreeMap<u64, RunResult> {
         let expected = jobs.len();
         for job in jobs {
             self.job_tx
@@ -131,8 +131,8 @@ impl Wavefront {
                 .recv()
                 .expect("worker pool alive while results are pending");
             match outcome {
-                Ok((slot, result)) => {
-                    results.insert(slot, result);
+                Ok((token, result)) => {
+                    results.insert(token, result);
                 }
                 Err(panic_message) => {
                     panic!("campaign worker thread panicked: {panic_message}")
@@ -154,13 +154,21 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs the campaign body (everything after profiling/calibration) on a
-/// scoped worker pool. Called by [`Checker::run`] when
-/// `config.parallelism > 1`. Returns the pruning counters
-/// `(symmetry_pruned, found_bug_pruned)`.
-pub(crate) fn run_campaign_parallel(checker: &Checker, state: &mut CampaignState) -> (u64, u64) {
-    let cfg = checker.config();
-    let workers = cfg.parallelism.max(1);
+/// Runs the campaign body (everything after profiling/calibration):
+/// drives `strategy` round by round until the budget or its search space
+/// is exhausted. Serial when `params.parallelism <= 1`, otherwise on a
+/// scoped worker pool.
+pub(crate) fn run_campaign(
+    params: EngineParams<'_>,
+    strategy: &mut dyn Strategy,
+    state: &mut CampaignState,
+    observer: &mut dyn CampaignObserver,
+) {
+    let workers = params.parallelism.max(1);
+    if workers == 1 {
+        run_rounds(&params, strategy, state, observer, None);
+        return;
+    }
     std::thread::scope(|scope| {
         let (job_tx, job_rx) = channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -168,7 +176,7 @@ pub(crate) fn run_campaign_parallel(checker: &Checker, state: &mut CampaignState
         for _ in 0..workers {
             let job_rx = Arc::clone(&job_rx);
             let result_tx = result_tx.clone();
-            let experiment = cfg.experiment.clone();
+            let experiment = params.experiment.clone();
             scope.spawn(move || {
                 // One fresh runner per worker: runners are stateless across
                 // runs apart from their run counter, which does not feed
@@ -177,7 +185,7 @@ pub(crate) fn run_campaign_parallel(checker: &Checker, state: &mut CampaignState
                 loop {
                     // Hold the receiver lock only while dequeueing.
                     let job = job_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
-                    let Ok((slot, plan)) = job else { break };
+                    let Ok((token, plan)) = job else { break };
                     // A panicking run must reach the collector as an error:
                     // swallowing it would leave the wavefront waiting for a
                     // result that never comes.
@@ -186,7 +194,7 @@ pub(crate) fn run_campaign_parallel(checker: &Checker, state: &mut CampaignState
                     }));
                     match outcome {
                         Ok(result) => {
-                            if result_tx.send(Ok((slot, result))).is_err() {
+                            if result_tx.send(Ok((token, result))).is_err() {
                                 break;
                             }
                         }
@@ -200,231 +208,119 @@ pub(crate) fn run_campaign_parallel(checker: &Checker, state: &mut CampaignState
         }
         drop(result_tx);
         let pool = Wavefront { job_tx, result_rx };
-
-        match cfg.approach {
-            Approach::Avis => run_sabre_parallel(checker, state, None, &pool),
-            Approach::StratifiedBfi => run_sabre_parallel(
-                checker,
-                state,
-                Some(BfiModel::with_default_training()),
-                &pool,
-            ),
-            Approach::Bfi => {
-                run_bfi_parallel(checker, state, BfiModel::with_default_training(), &pool);
-                (0, 0)
-            }
-            Approach::Random => {
-                run_random_parallel(checker, state, &pool);
-                (0, 0)
-            }
-        }
+        run_rounds(&params, strategy, state, observer, Some(&pool));
         // `pool` (and with it `job_tx`) drops here, the workers see a
         // disconnected channel and exit, and the scope joins them.
     })
 }
 
-/// SABRE-driven exploration (`None` = Avis, `Some` = Stratified BFI): the
-/// wavefront is every candidate failure set of the current anchor.
-fn run_sabre_parallel(
-    checker: &Checker,
+/// How many speculative jobs the engine dispatches per wavefront, as a
+/// multiple of the worker count. Larger factors amortise channel traffic
+/// and keep workers busy across the sequential commit, but every
+/// speculative run the commit rejects (pruned by a bug found earlier in
+/// the same round, or past the budget) is wasted work — so wavefronts
+/// are kept a small multiple of the pool size rather than, say, a whole
+/// SABRE anchor's candidate list at once. Between wavefronts the engine
+/// re-asks the strategy ([`Strategy::revalidate`]) whether each hint is
+/// still worth running, so a bug committed in one wavefront cancels its
+/// now-pruned siblings in the next.
+const BATCH_FACTOR: usize = 4;
+
+/// The round loop shared by the serial and parallel paths. The only
+/// difference between them is where speculative plans execute; the
+/// commit-order control flow — and with it every campaign observable —
+/// is byte-for-byte the same, because wavefront boundaries only decide
+/// which runs are *pre-executed*, never which runs commit.
+fn run_rounds(
+    params: &EngineParams<'_>,
+    strategy: &mut dyn Strategy,
     state: &mut CampaignState,
-    model: Option<BfiModel>,
-    pool: &Wavefront,
-) -> (u64, u64) {
-    let cfg = checker.config();
-    let sensor_config = SensorSuiteConfig::iris();
-    let candidates = candidate_failure_sets(&sensor_config);
-    let sabre_config = SabreConfig {
-        horizon: state.golden.duration.min(cfg.sabre.horizon),
-        ..cfg.sabre
-    };
-    let mut queue = SabreQueue::new(&state.golden.transition_times(), sabre_config);
-
-    let chunk_size = cfg.parallelism.max(1) * BATCH_FACTOR;
-
-    'outer: while !queue.is_empty() && !state.budget_exhausted(&cfg.budget) {
-        let Some(anchor) = queue.next_anchor() else {
-            break;
-        };
-        let anchor_mode = state.golden.mode_before(anchor.timestamp);
-        let anchor_category = anchor_mode
-            .map(|m| m.category())
-            .unwrap_or(ModeCategory::Manual);
-
-        // The anchor's candidate sets are processed in chunks: each chunk
-        // is speculated against the pruning state as of the previous
-        // chunk's commit, which bounds the work wasted when a bug found
-        // mid-wavefront prunes the sets after it.
-        let mut chunk_start = 0;
-        while chunk_start < candidates.len() {
-            let chunk_end = (chunk_start + chunk_size).min(candidates.len());
-
-            // Phase 1: speculative selection against a pruning-state
-            // clone. Assumes no set in this chunk finds a bug, which can
-            // only over-approve (found-bug pruning removes supersets),
-            // never under-approve — see the module docs for the
-            // containment argument. Speculation past the simulation
-            // budget is capped; the commit's inline fallback covers the
-            // rare case where pruning rebates reach past the cap.
-            let mut speculative_pruning = queue.pruning().clone();
-            let budget_cap = remaining_simulations(&cfg.budget, state);
-            let mut jobs: Vec<Job> = Vec::new();
-            for (slot, set) in candidates
-                .iter()
-                .enumerate()
-                .take(chunk_end)
-                .skip(chunk_start)
-            {
-                if jobs.len() >= budget_cap {
-                    break;
-                }
-                if let Some(model) = &model {
-                    if !model.predicts_unsafe_set(set, anchor_category) {
-                        continue;
-                    }
-                }
-                let plan = SabreQueue::assemble_plan(&anchor, set);
-                if speculative_pruning.should_prune(&plan) {
-                    continue;
-                }
-                speculative_pruning.record_explored(&plan);
-                jobs.push((slot, plan));
-            }
-
-            // Phase 2: parallel execution.
-            let mut results = pool.execute(jobs);
-
-            // Phase 3: sequential commit — the exact serial control flow.
-            for (slot, set) in candidates
-                .iter()
-                .enumerate()
-                .take(chunk_end)
-                .skip(chunk_start)
-            {
-                if state.budget_exhausted(&cfg.budget) {
-                    break 'outer;
-                }
-                if let Some(model) = &model {
-                    state.labels += 1;
-                    state.cost_seconds += model.label_cost_seconds;
-                    if !model.predicts_unsafe_set(set, anchor_category) {
-                        continue;
-                    }
-                }
-                let Some(plan) = queue.plan_for(&anchor, set) else {
-                    continue;
-                };
-                let result = take_or_run(&mut results, slot, plan, state);
-                if state.absorb(&result) {
-                    queue.record_bug(&result.plan);
-                } else {
-                    queue.record_ok(&result.plan, &result.trace.transition_times());
-                }
-            }
-            chunk_start = chunk_end;
-        }
-    }
-    (
-        queue.pruning().symmetry_pruned(),
-        queue.pruning().found_bug_pruned(),
-    )
-}
-
-/// Vanilla BFI: the deterministic depth-first site stream is consumed in
-/// batches; the model filter decides speculatively which sites become
-/// runs, and the commit replays the serial label/budget accounting.
-fn run_bfi_parallel(
-    checker: &Checker,
-    state: &mut CampaignState,
-    model: BfiModel,
-    pool: &Wavefront,
+    observer: &mut dyn CampaignObserver,
+    pool: Option<&Wavefront>,
 ) {
-    let cfg = checker.config();
-    let sensor_config = SensorSuiteConfig::iris();
-    let mut sites = DfsSiteIterator::new(&sensor_config, state.golden.duration, cfg.experiment.dt);
-    let batch_size = cfg.parallelism.max(1) * BATCH_FACTOR;
-
+    let wavefront_size = match pool {
+        Some(_) => params.parallelism.max(1) * BATCH_FACTOR,
+        // Serial: no speculation, one "wavefront" per round.
+        None => usize::MAX,
+    };
     loop {
-        if state.budget_exhausted(&cfg.budget) {
-            return;
+        if state.out_of_budget(params.budget) {
+            break;
         }
-        let batch: Vec<_> = sites.by_ref().take(batch_size).collect();
-        if batch.is_empty() {
-            return;
+        let round = strategy.propose();
+        if round.is_empty() {
+            break;
         }
 
-        // Speculative selection: the model filter is a pure function of
-        // the site, so it makes identical decisions here and at commit.
-        let budget_cap = remaining_simulations(&cfg.budget, state);
-        let mut jobs: Vec<Job> = Vec::new();
-        for (slot, &(instance, time)) in batch.iter().enumerate() {
-            if jobs.len() >= budget_cap {
-                break;
-            }
-            let category = state
-                .golden
-                .mode_before(time)
-                .map(|m| m.category())
-                .unwrap_or(ModeCategory::Manual);
-            if !model.predicts_unsafe(instance.kind, category) {
-                continue;
-            }
-            jobs.push((
-                slot,
-                FaultPlan::from_specs(vec![FaultSpec::new(instance, time)]),
-            ));
-        }
-        let mut results = pool.execute(jobs);
+        let mut start = 0;
+        while start < round.len() {
+            let end = round.len().min(start.saturating_add(wavefront_size));
+            let wavefront = &round[start..end];
 
-        // Commit: the serial per-site control flow.
-        for (slot, &(instance, time)) in batch.iter().enumerate() {
-            if state.budget_exhausted(&cfg.budget) {
-                return;
-            }
-            state.labels += 1;
-            state.cost_seconds += model.label_cost_seconds;
-            let category = state
-                .golden
-                .mode_before(time)
-                .map(|m| m.category())
-                .unwrap_or(ModeCategory::Manual);
-            if !model.predicts_unsafe(instance.kind, category) {
-                continue;
-            }
-            if state.budget_exhausted(&cfg.budget) {
-                return;
-            }
-            let plan = FaultPlan::from_specs(vec![FaultSpec::new(instance, time)]);
-            let result = take_or_run(&mut results, slot, plan, state);
-            state.absorb(&result);
-        }
-    }
-}
+            // Phase 2: speculative execution of the wavefront's hinted
+            // plans — skipping hints the strategy has since withdrawn
+            // (a bug committed in an earlier wavefront pruned them) and
+            // capping at the remaining simulation budget (running past
+            // it is guaranteed waste). The commit's inline fallback
+            // covers any plan these filters wrongly skip.
+            let mut results: BTreeMap<u64, RunResult> = match pool {
+                Some(pool) => {
+                    let cap = remaining_simulations(params.budget, state);
+                    let jobs: Vec<Job> = wavefront
+                        .iter()
+                        .filter(|c| strategy.revalidate(c))
+                        .filter_map(|c| c.speculative().map(|plan| (c.token(), plan.clone())))
+                        .take(cap)
+                        .collect();
+                    pool.execute(jobs)
+                }
+                None => BTreeMap::new(),
+            };
 
-/// Uniformly random injection: the plan stream is independent of run
-/// results, so whole batches execute in parallel and commit in draw
-/// order. Drawing a few plans past the budget advances only the RNG,
-/// which is not part of the campaign result.
-fn run_random_parallel(checker: &Checker, state: &mut CampaignState, pool: &Wavefront) {
-    let cfg = checker.config();
-    let sensor_config = SensorSuiteConfig::iris();
-    let mut random = RandomInjection::new(&sensor_config, state.golden.duration, cfg.seed);
-    let batch_size = cfg.parallelism.max(1) * BATCH_FACTOR;
-
-    while !state.budget_exhausted(&cfg.budget) {
-        let batch = batch_size
-            .min(remaining_simulations(&cfg.budget, state))
-            .max(1);
-        let jobs: Vec<Job> = (0..batch).map(|slot| (slot, random.next_plan())).collect();
-        let mut results = pool.execute(jobs);
-        for slot in 0..batch {
-            if state.budget_exhausted(&cfg.budget) {
-                return;
+            // Phase 3: sequential commit in round order.
+            for candidate in wavefront {
+                if state.out_of_budget(params.budget) {
+                    return;
+                }
+                let decision = strategy.decide(candidate);
+                state.labels += decision.labels;
+                state.cost_seconds += decision.cost_seconds;
+                let Some(plan) = decision.plan else { continue };
+                // Label charges may themselves exhaust a cost budget;
+                // never start a run the budget no longer covers.
+                if state.out_of_budget(params.budget) {
+                    return;
+                }
+                let result = take_or_run(&mut results, candidate.token(), plan, state);
+                let is_unsafe = state.absorb(&result);
+                observer.on_event(&CampaignEvent::RunFinished {
+                    simulations: state.simulations,
+                    cost_seconds: state.cost_seconds,
+                    plan: result.plan.clone(),
+                    is_unsafe,
+                });
+                if is_unsafe {
+                    let condition = state
+                        .unsafe_conditions
+                        .last()
+                        .expect("absorb recorded the condition")
+                        .clone();
+                    observer.on_event(&CampaignEvent::ViolationFound { condition });
+                }
+                observer.on_event(&CampaignEvent::BudgetProgress {
+                    simulations: state.simulations,
+                    cost_seconds: state.cost_seconds,
+                    consumed_fraction: params
+                        .budget
+                        .consumed_fraction(state.simulations, state.cost_seconds),
+                });
+                strategy.observe(&Observation {
+                    candidate,
+                    result: &result,
+                    is_unsafe,
+                });
             }
-            let result = results
-                .remove(&slot)
-                .expect("every random draw was executed");
-            state.absorb(&result);
+            start = end;
         }
     }
 }

@@ -20,24 +20,36 @@
 //!
 //! ## Quick start
 //!
+//! Campaigns are configured through the fluent [`campaign::Campaign`]
+//! builder; every knob has a sensible default:
+//!
 //! ```no_run
-//! use avis::checker::{Approach, Budget, Checker, CheckerConfig};
-//! use avis::runner::ExperimentConfig;
+//! use avis::campaign::Campaign;
+//! use avis::checker::{Approach, Budget};
 //! use avis_firmware::{BugSet, FirmwareProfile};
 //! use avis_workload::auto_box_mission;
 //!
 //! // Check the "current code base" (all unknown bugs present) with Avis.
-//! let experiment = ExperimentConfig::new(
-//!     FirmwareProfile::ArduPilotLike,
-//!     BugSet::current_code_base(FirmwareProfile::ArduPilotLike),
-//!     auto_box_mission(),
-//! );
-//! let config = CheckerConfig::new(Approach::Avis, experiment, Budget::simulations(50));
-//! let result = Checker::new(config).run();
+//! let result = Campaign::builder()
+//!     .firmware(FirmwareProfile::ArduPilotLike)
+//!     .bugs(BugSet::current_code_base(FirmwareProfile::ArduPilotLike))
+//!     .workload(auto_box_mission())
+//!     .approach(Approach::Avis)
+//!     .budget(Budget::simulations(50))
+//!     .build()
+//!     .run();
 //! for condition in &result.unsafe_conditions {
 //!     println!("unsafe: {} ({:?})", condition.plan, condition.triggered_bugs);
 //! }
 //! ```
+//!
+//! Long campaigns report live through a [`campaign::CampaignObserver`],
+//! custom search orders plug in through the [`strategy::Strategy`] trait,
+//! and firmware × workload × strategy grids run as one
+//! [`matrix::ScenarioMatrix`]. The legacy
+//! `CheckerConfig::new(approach, experiment, budget)` wiring still works
+//! but is deprecated — `MIGRATION.md` at the repository root maps every
+//! old call to the new API.
 //!
 //! ## Module map
 //!
@@ -48,59 +60,69 @@
 //! | [`monitor`] | §IV.C | safety + liveliness invariants, mode graph, τ calibration |
 //! | [`sabre`] | §IV.B, Alg. 1 | the stratified breadth-first transition queue |
 //! | [`pruning`] | §IV.B.1 | sensor-instance symmetry and found-bug pruning |
-//! | [`baselines`] | §VI | Random, BFI and the BFI model used by Stratified BFI |
-//! | [`checker`] | §VI | campaign loops, budgets, unsafe-condition records |
-//! | [`engine`] | — | the parallel campaign engine (deterministic wavefronts) |
+//! | [`baselines`] | §VI | the BFI model, random draws and DFS site enumeration |
+//! | [`strategy`] | §VI | the pluggable [`strategy::Strategy`] trait + built-ins |
+//! | [`campaign`] | §VI | the fluent campaign builder and streaming observers |
+//! | [`matrix`] | §VI | firmware × workload × strategy scenario matrices |
+//! | [`checker`] | §VI | budgets, unsafe-condition records, the legacy shim |
+//! | [`engine`] | — | the campaign engine (serial + deterministic parallel) |
 //! | [`metrics`] | Tables III/IV | aggregation into the paper's tables |
 //! | [`report`] | §IV.D | bug reports and replay |
 //! | [`study`] | §III, Fig. 3 | the sensor-bug impact study pipeline |
 //! | [`json`] | — | dependency-free JSON for the artefact formats |
 //!
-//! ## The parallel campaign engine
+//! ## The campaign engine
 //!
-//! [`engine`] executes a campaign's independent fault plans on a scoped
-//! worker pool while producing a [`CampaignResult`] *bit-identical* to the
-//! serial loop. The trick is speculative wavefront execution with a
-//! sequential commit replay:
+//! [`engine`] drives any [`strategy::Strategy`] through its
+//! propose / decide / observe lifecycle, serially or on a scoped worker
+//! pool, with a [`checker::CampaignResult`] — and an observer event
+//! stream — *bit-identical* at every parallelism. The trick is
+//! speculative round execution with a sequential commit replay:
 //!
-//! 1. **Wavefront selection** — for the current SABRE anchor (or the next
-//!    batch of BFI sites / random draws) the engine decides, against a
-//!    *clone* of the pruning state, which plans the serial checker could
-//!    possibly execute next. Pruning only ever removes more work as
-//!    results arrive, so this speculative set is a superset of what the
-//!    serial checker would run.
-//! 2. **Parallel execution** — the wavefront's plans run concurrently,
-//!    one fresh [`runner::ExperimentRunner`] per worker. Runs are pure
+//! 1. **Proposal** — the strategy emits its next natural unit of work
+//!    (a SABRE anchor's candidate failure sets, a batch of BFI sites),
+//!    hinting which plans it expects to run.
+//! 2. **Parallel execution** — the hinted plans run concurrently, one
+//!    fresh [`runner::ExperimentRunner`] per worker. Runs are pure
 //!    functions of their fault plan, so results are order-independent.
-//! 3. **Sequential commit** — results are replayed in canonical plan
-//!    order against the *real* queue, budget and pruning state, applying
-//!    exactly the serial control flow (`record_bug` / `record_ok`,
-//!    budget checks, label charges). Speculative runs the serial path
-//!    would have pruned or never reached are discarded.
+//! 3. **Sequential commit** — in round order, the strategy makes its
+//!    authoritative decisions against the *real* budget and pruning
+//!    state; speculative runs the strategy no longer admits are
+//!    discarded.
 //!
-//! [`CheckerConfig::parallelism`] selects the worker count; `1` takes the
-//! legacy serial path.
+//! [`checker::CheckerConfig::parallelism`] (or
+//! [`campaign::CampaignBuilder::parallelism`]) selects the worker count;
+//! `1` executes every run inline.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub mod campaign;
 pub mod checker;
 pub mod engine;
 pub mod json;
+pub mod matrix;
 pub mod metrics;
 pub mod monitor;
 pub mod pruning;
 pub mod report;
 pub mod runner;
 pub mod sabre;
+pub mod strategy;
 pub mod study;
 pub mod trace;
 
+pub use campaign::{Campaign, CampaignBuilder, CampaignEvent, CampaignObserver, EventLog};
 pub use checker::{Approach, Budget, CampaignResult, Checker, CheckerConfig, UnsafeCondition};
+pub use matrix::{MatrixReport, ScenarioMatrix};
 pub use monitor::{InvariantMonitor, ModeGraph, MonitorConfig, Violation, ViolationKind};
 pub use pruning::{PruningState, RoleSignature};
 pub use report::{replay, BugReport, ReplayOutcome};
 pub use runner::{ExperimentConfig, ExperimentRunner, RunResult};
 pub use sabre::{QueueEntry, SabreConfig, SabreQueue};
+pub use strategy::{
+    BfiStrategy, Candidate, Decision, Observation, PruningCounters, RandomStrategy, RoundRobinMode,
+    SabreStrategy, Strategy, StrategyContext,
+};
 pub use trace::{ModeTransition, StateSample, Trace};

@@ -33,7 +33,7 @@ pub fn unsafe_scenario_table(results: &[CampaignResult]) -> Vec<UnsafeScenarioRo
             let count = |profile: FirmwareProfile| {
                 results
                     .iter()
-                    .filter(|r| r.approach == approach && r.profile == profile)
+                    .filter(|r| r.approach == Some(approach) && r.profile == profile)
                     .map(|r| r.unsafe_count())
                     .sum()
             };
@@ -62,7 +62,7 @@ pub fn per_mode_table(results: &[CampaignResult]) -> Vec<PerModeRow> {
         .map(|&approach| {
             let mut counts: BTreeMap<ModeCategory, usize> =
                 ModeCategory::ALL.iter().map(|&c| (c, 0)).collect();
-            for result in results.iter().filter(|r| r.approach == approach) {
+            for result in results.iter().filter(|r| r.approach == Some(approach)) {
                 for (category, n) in result.per_category() {
                     *counts.entry(category).or_insert(0) += n;
                 }
@@ -126,7 +126,8 @@ mod tests {
         cost: f64,
     ) -> CampaignResult {
         CampaignResult {
-            approach,
+            strategy: approach.name().to_string(),
+            approach: Some(approach),
             profile,
             workload: "w".to_string(),
             unsafe_conditions: categories.iter().map(|&c| fake_condition(c)).collect(),

@@ -153,24 +153,41 @@ impl PruningState {
         PruningState::default()
     }
 
+    /// An equivalent (role-symmetric) plan was already explored.
+    fn symmetry_hit(&self, signature: &RoleSignature) -> bool {
+        self.explored.contains(signature)
+    }
+
+    /// A known bug-triggering plan is strictly contained in the plan.
+    fn found_bug_hit(&self, signature: &RoleSignature) -> bool {
+        self.bug_signatures
+            .iter()
+            .any(|bug| !bug.is_empty() && bug.is_subset_of(signature) && bug != signature)
+    }
+
     /// Returns `true` if the plan should be skipped, either because an
     /// equivalent (role-symmetric) plan was already explored or because a
     /// known bug-triggering plan is contained in it.
     pub fn should_prune(&mut self, plan: &FaultPlan) -> bool {
         let signature = RoleSignature::of(plan);
-        if self.explored.contains(&signature) {
+        if self.symmetry_hit(&signature) {
             self.pruned_symmetry += 1;
             return true;
         }
-        if self
-            .bug_signatures
-            .iter()
-            .any(|bug| !bug.is_empty() && bug.is_subset_of(&signature) && bug != &signature)
-        {
+        if self.found_bug_hit(&signature) {
             self.pruned_found_bug += 1;
             return true;
         }
         false
+    }
+
+    /// The non-mutating form of [`PruningState::should_prune`]: the same
+    /// two predicates, without touching the counters. Used to revalidate
+    /// speculative work — only the authoritative commit-time
+    /// `should_prune` call may count a pruned scenario.
+    pub fn is_pruned(&self, plan: &FaultPlan) -> bool {
+        let signature = RoleSignature::of(plan);
+        self.symmetry_hit(&signature) || self.found_bug_hit(&signature)
     }
 
     /// Records that a plan has been executed.
@@ -269,6 +286,23 @@ mod tests {
         // Different times are different signatures.
         let d = plan(&[(SensorKind::Compass, 1, 6.0)]);
         assert_ne!(RoleSignature::of(&a), RoleSignature::of(&d));
+    }
+
+    #[test]
+    fn is_pruned_matches_should_prune_without_counting() {
+        let mut state = PruningState::new();
+        let gps = plan(&[(SensorKind::Gps, 0, 10.0)]);
+        assert!(!state.is_pruned(&gps));
+        state.record_explored(&gps);
+        state.record_bug(&gps);
+        let superset = plan(&[(SensorKind::Gps, 0, 10.0), (SensorKind::Barometer, 0, 10.0)]);
+        // Both pruning reasons are visible through the non-mutating form...
+        assert!(state.is_pruned(&gps));
+        assert!(state.is_pruned(&superset));
+        assert!(!state.is_pruned(&plan(&[(SensorKind::Compass, 0, 10.0)])));
+        // ...and none of the checks above touched the counters.
+        assert_eq!(state.symmetry_pruned(), 0);
+        assert_eq!(state.found_bug_pruned(), 0);
     }
 
     #[test]

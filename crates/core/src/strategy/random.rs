@@ -1,0 +1,59 @@
+//! The uniformly random baseline as a [`Strategy`].
+
+use super::{Candidate, Decision, Observation, Strategy, StrategyContext};
+use crate::baselines::RandomInjection;
+use avis_hinj::FaultPlan;
+
+/// Plans drawn per round. A fixed constant — never derived from the
+/// engine's parallelism — so the draw sequence consumed by the campaign
+/// is identical at every worker count. Draws left over when the budget
+/// runs out only advance the RNG, which is not part of the result.
+const DRAW_BATCH: usize = 16;
+
+/// Uniformly random fault injection: uniformly random instances at
+/// uniformly random times, one or (with probability 0.3) two simultaneous
+/// failures per plan, as the paper's "Rnd" baseline.
+#[derive(Debug, Default)]
+pub struct RandomStrategy {
+    random: Option<RandomInjection>,
+    draws: Vec<FaultPlan>,
+}
+
+impl RandomStrategy {
+    /// A random strategy seeded by the campaign seed at initialisation.
+    pub fn new() -> Self {
+        RandomStrategy::default()
+    }
+}
+
+impl Strategy for RandomStrategy {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn initialize(&mut self, ctx: &StrategyContext<'_>) {
+        self.random = Some(RandomInjection::new(
+            &ctx.sensors,
+            ctx.golden.duration,
+            ctx.seed,
+        ));
+    }
+
+    fn propose(&mut self) -> Vec<Candidate> {
+        let random = self.random.as_mut().expect("strategy initialised");
+        self.draws = (0..DRAW_BATCH).map(|_| random.next_plan()).collect();
+        self.draws
+            .iter()
+            .enumerate()
+            .map(|(slot, plan)| Candidate::speculate(slot as u64, plan.clone()))
+            .collect()
+    }
+
+    fn decide(&mut self, candidate: &Candidate) -> Decision {
+        Decision::run(self.draws[candidate.token() as usize].clone())
+    }
+
+    fn observe(&mut self, _observation: &Observation<'_>) {
+        // Random injection ignores results.
+    }
+}

@@ -1,0 +1,123 @@
+//! A fifth built-in strategy — proof that the [`Strategy`](super::Strategy)
+//! extension point carries new search orders without touching the
+//! campaign engine, the checker or the pruning internals: everything this
+//! file uses is public API.
+
+use super::{Candidate, Decision, Observation, PruningCounters, Strategy, StrategyContext};
+use crate::pruning::PruningState;
+use avis_firmware::ModeCategory;
+use avis_hinj::{FaultPlan, FaultSpec};
+use avis_sim::SensorInstance;
+use std::collections::BTreeMap;
+
+/// Round-robin over operating-mode categories: visit the golden trace's
+/// mode transitions grouped by category (Takeoff, Manual, Waypoint,
+/// Land), cycling one anchor per category per round, and inject every
+/// single-instance failure at that anchor. Where SABRE dives deep into
+/// each transition before moving on, this strategy spreads the budget
+/// evenly across the flight phases — useful as a coverage-first
+/// comparison point, and as the template for custom strategies.
+#[derive(Debug, Default)]
+pub struct RoundRobinMode {
+    instances: Vec<SensorInstance>,
+    anchors: BTreeMap<ModeCategory, Vec<f64>>,
+    cursors: BTreeMap<ModeCategory, usize>,
+    rotation: usize,
+    pruning: PruningState,
+    round: Vec<FaultPlan>,
+}
+
+impl RoundRobinMode {
+    /// An empty strategy; anchors are derived from the golden trace at
+    /// campaign initialisation.
+    pub fn new() -> Self {
+        RoundRobinMode::default()
+    }
+
+    /// The next category, in [`ModeCategory::ALL`] rotation order, that
+    /// still has unvisited anchors.
+    fn next_category(&mut self) -> Option<(ModeCategory, f64)> {
+        for step in 0..ModeCategory::ALL.len() {
+            let category = ModeCategory::ALL[(self.rotation + step) % ModeCategory::ALL.len()];
+            let cursor = self.cursors.entry(category).or_insert(0);
+            if let Some(&time) = self.anchors.get(&category).and_then(|a| a.get(*cursor)) {
+                *cursor += 1;
+                self.rotation = (self.rotation + step + 1) % ModeCategory::ALL.len();
+                return Some((category, time));
+            }
+        }
+        None
+    }
+}
+
+impl Strategy for RoundRobinMode {
+    fn name(&self) -> &str {
+        "Round-robin mode"
+    }
+
+    fn initialize(&mut self, ctx: &StrategyContext<'_>) {
+        self.instances = ctx.sensors.instances();
+        for transition in &ctx.golden.mode_transitions {
+            self.anchors
+                .entry(transition.mode.category())
+                .or_default()
+                .push(transition.time);
+        }
+    }
+
+    fn propose(&mut self) -> Vec<Candidate> {
+        let Some((_, time)) = self.next_category() else {
+            return Vec::new();
+        };
+        // Speculate against a clone of the pruning state, exactly as the
+        // built-in SABRE strategy does: pruning only grows, so every plan
+        // `decide` admits was speculated here.
+        let mut speculative_pruning = self.pruning.clone();
+        self.round = self
+            .instances
+            .iter()
+            .map(|&instance| FaultPlan::from_specs(vec![FaultSpec::new(instance, time)]))
+            .collect();
+        self.round
+            .iter()
+            .enumerate()
+            .map(|(slot, plan)| {
+                if speculative_pruning.should_prune(plan) {
+                    Candidate::skip(slot as u64)
+                } else {
+                    speculative_pruning.record_explored(plan);
+                    Candidate::speculate(slot as u64, plan.clone())
+                }
+            })
+            .collect()
+    }
+
+    fn revalidate(&self, candidate: &Candidate) -> bool {
+        candidate
+            .speculative()
+            .map(|plan| !self.pruning.is_pruned(plan))
+            .unwrap_or(true)
+    }
+
+    fn decide(&mut self, candidate: &Candidate) -> Decision {
+        let plan = &self.round[candidate.token() as usize];
+        if self.pruning.should_prune(plan) {
+            return Decision::skip();
+        }
+        self.pruning.record_explored(plan);
+        Decision::run(plan.clone())
+    }
+
+    fn observe(&mut self, observation: &Observation<'_>) {
+        if observation.is_unsafe {
+            self.pruning.record_bug(&observation.result.plan);
+        }
+    }
+
+    fn pruning(&self) -> PruningCounters {
+        PruningCounters {
+            symmetry_pruned: self.pruning.symmetry_pruned(),
+            found_bug_pruned: self.pruning.found_bug_pruned(),
+        }
+    }
+}

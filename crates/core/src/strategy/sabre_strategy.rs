@@ -1,0 +1,159 @@
+//! SABRE-driven exploration as a [`Strategy`]: the Avis search order
+//! (optionally filtered by the BFI model, which turns it into the
+//! Stratified BFI baseline).
+
+use super::{Candidate, Decision, Observation, PruningCounters, Strategy, StrategyContext};
+use crate::baselines::BfiModel;
+use crate::pruning::candidate_failure_sets;
+use crate::sabre::{QueueEntry, SabreConfig, SabreQueue};
+use crate::trace::Trace;
+use avis_firmware::ModeCategory;
+use avis_sim::SensorInstance;
+
+/// Avis / Stratified BFI: anchor injection at the golden trace's
+/// operating-mode transitions via the [`SabreQueue`], explore each
+/// anchor's (symmetry-pruned) candidate failure sets, and layer further
+/// failures onto bug-free runs. One round = one SABRE anchor.
+#[derive(Debug)]
+pub struct SabreStrategy {
+    name: &'static str,
+    model: Option<BfiModel>,
+    candidates: Vec<Vec<SensorInstance>>,
+    queue: Option<SabreQueue>,
+    golden: Option<Trace>,
+    anchor: Option<QueueEntry>,
+    anchor_category: ModeCategory,
+}
+
+impl SabreStrategy {
+    /// The Avis configuration: SABRE ordering, no learned model.
+    pub fn avis() -> Self {
+        SabreStrategy {
+            name: "Avis",
+            model: None,
+            candidates: Vec::new(),
+            queue: None,
+            golden: None,
+            anchor: None,
+            anchor_category: ModeCategory::Manual,
+        }
+    }
+
+    /// The Stratified BFI configuration: SABRE ordering with injection
+    /// sites filtered (and budget charged) by the BFI model.
+    pub fn stratified_bfi() -> Self {
+        SabreStrategy {
+            name: "Stratified BFI",
+            model: Some(BfiModel::with_default_training()),
+            ..SabreStrategy::avis()
+        }
+    }
+
+    /// A Stratified BFI variant driven by a custom model.
+    pub fn with_model(model: BfiModel) -> Self {
+        SabreStrategy {
+            name: "Stratified BFI",
+            model: Some(model),
+            ..SabreStrategy::avis()
+        }
+    }
+
+    fn queue_mut(&mut self) -> &mut SabreQueue {
+        self.queue.as_mut().expect("strategy initialised")
+    }
+}
+
+impl Strategy for SabreStrategy {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn initialize(&mut self, ctx: &StrategyContext<'_>) {
+        self.candidates = candidate_failure_sets(&ctx.sensors);
+        let config = SabreConfig {
+            horizon: ctx.golden.duration.min(ctx.sabre.horizon),
+            ..ctx.sabre
+        };
+        self.queue = Some(SabreQueue::new(&ctx.golden.transition_times(), config));
+        self.golden = Some(ctx.golden.clone());
+    }
+
+    fn propose(&mut self) -> Vec<Candidate> {
+        let Some(anchor) = self.queue_mut().next_anchor() else {
+            return Vec::new();
+        };
+        let golden = self.golden.as_ref().expect("strategy initialised");
+        self.anchor_category = golden
+            .mode_before(anchor.timestamp)
+            .map(|m| m.category())
+            .unwrap_or(ModeCategory::Manual);
+
+        // Speculate against a clone of the pruning state: pruning only
+        // ever removes more work as results arrive (`record_bug` adds bug
+        // signatures, it never un-prunes), so the speculated set is a
+        // superset of what `decide` will admit.
+        let mut speculative_pruning = self.queue_mut().pruning().clone();
+        let round = self
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(slot, set)| {
+                if let Some(model) = &self.model {
+                    if !model.predicts_unsafe_set(set, self.anchor_category) {
+                        return Candidate::skip(slot as u64);
+                    }
+                }
+                let plan = SabreQueue::assemble_plan(&anchor, set);
+                if speculative_pruning.should_prune(&plan) {
+                    return Candidate::skip(slot as u64);
+                }
+                speculative_pruning.record_explored(&plan);
+                Candidate::speculate(slot as u64, plan)
+            })
+            .collect();
+        self.anchor = Some(anchor);
+        round
+    }
+
+    fn revalidate(&self, candidate: &Candidate) -> bool {
+        match (candidate.speculative(), &self.queue) {
+            (Some(plan), Some(queue)) => !queue.pruning().is_pruned(plan),
+            _ => true,
+        }
+    }
+
+    fn decide(&mut self, candidate: &Candidate) -> Decision {
+        let set = &self.candidates[candidate.token() as usize];
+        let mut decision = Decision::skip();
+        if let Some(model) = &self.model {
+            decision = decision.labelled(1, model.label_cost_seconds);
+            if !model.predicts_unsafe_set(set, self.anchor_category) {
+                return decision;
+            }
+        }
+        let anchor = self.anchor.as_ref().expect("decide follows propose");
+        let queue = self.queue.as_mut().expect("strategy initialised");
+        decision.plan = queue.plan_for(anchor, set);
+        decision
+    }
+
+    fn observe(&mut self, observation: &Observation<'_>) {
+        if observation.is_unsafe {
+            self.queue_mut().record_bug(&observation.result.plan);
+        } else {
+            let transitions = observation.result.trace.transition_times();
+            self.queue_mut()
+                .record_ok(&observation.result.plan, &transitions);
+        }
+    }
+
+    fn pruning(&self) -> PruningCounters {
+        match &self.queue {
+            Some(queue) => PruningCounters {
+                symmetry_pruned: queue.pruning().symmetry_pruned(),
+                found_bug_pruned: queue.pruning().found_bug_pruned(),
+            },
+            None => PruningCounters::default(),
+        }
+    }
+}

@@ -7,21 +7,22 @@
 //! cargo run --release --example auto_mission_check
 //! ```
 
-use avis::checker::{Approach, Budget, Checker, CheckerConfig};
+use avis::campaign::Campaign;
+use avis::checker::{Approach, Budget};
 use avis::report::BugReport;
-use avis::runner::ExperimentConfig;
 use avis_firmware::{BugId, BugSet, FirmwareProfile};
 use avis_workload::auto_box_mission;
 
 fn main() {
     let profile = FirmwareProfile::ArduPilotLike;
-    let experiment = ExperimentConfig::new(
-        profile,
-        BugSet::current_code_base(profile),
-        auto_box_mission(),
-    );
-    let config = CheckerConfig::new(Approach::Avis, experiment, Budget::simulations(100));
-    let result = Checker::new(config).run();
+    let result = Campaign::builder()
+        .firmware(profile)
+        .bugs(BugSet::current_code_base(profile))
+        .workload(auto_box_mission())
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(100))
+        .build()
+        .run();
 
     println!("== Avis on the ArduPilot-like auto mission ==");
     println!(

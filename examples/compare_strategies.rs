@@ -1,31 +1,32 @@
-//! Run all four fault-injection approaches with the same small budget and
-//! compare how many unsafe conditions each finds (a miniature Table III).
+//! Run all five built-in strategies with the same small budget as one
+//! [`ScenarioMatrix`] and compare how many unsafe conditions each finds
+//! (a miniature Table III with the round-robin strategy as a fifth row).
 //!
 //! ```bash
 //! cargo run --release --example compare_strategies
 //! ```
 
-use avis::checker::{Approach, Budget, Checker, CheckerConfig};
-use avis::runner::ExperimentConfig;
-use avis_firmware::{BugSet, FirmwareProfile};
+use avis::checker::{Approach, Budget};
+use avis::matrix::ScenarioMatrix;
+use avis::strategy::RoundRobinMode;
+use avis_firmware::FirmwareProfile;
 use avis_workload::auto_box_mission;
 
 fn main() {
-    let profile = FirmwareProfile::ArduPilotLike;
-    let budget = Budget::seconds(2500.0);
-    println!("approach          | runs | labels | unsafe found | bugs exposed");
+    let report = ScenarioMatrix::new()
+        .firmware(FirmwareProfile::ArduPilotLike)
+        .workload(auto_box_mission())
+        .approaches(Approach::ALL)
+        .strategy("Round-robin mode", || Box::new(RoundRobinMode::new()))
+        .budget(Budget::seconds(2500.0))
+        .run();
+
+    println!("strategy          | runs | labels | unsafe found | bugs exposed");
     println!("------------------+------+--------+--------------+-------------");
-    for approach in Approach::ALL {
-        let experiment = ExperimentConfig::new(
-            profile,
-            BugSet::current_code_base(profile),
-            auto_box_mission(),
-        );
-        let config = CheckerConfig::new(approach, experiment, budget);
-        let result = Checker::new(config).run();
+    for result in &report.results {
         println!(
             "{:<17} | {:>4} | {:>6} | {:>12} | {:?}",
-            approach.name(),
+            result.strategy,
             result.simulations,
             result.labels_evaluated,
             result.unsafe_count(),
@@ -35,4 +36,5 @@ fn main() {
     println!(
         "\n(The paper's Table III shows the same ordering: Avis > Stratified BFI >> BFI, Random.)"
     );
+    println!("\nAggregated matrix summary:\n{}", report.summary_table());
 }

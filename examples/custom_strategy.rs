@@ -1,0 +1,160 @@
+//! A custom injection strategy implemented entirely *outside* the core
+//! crate, plugged into a campaign through the public [`Strategy`] trait
+//! and the fluent builder, with events streamed live at `parallelism = 4`
+//! — the extension seam this API redesign exists for.
+//!
+//! The strategy here is a "landing blitz": the paper observes that
+//! landing-phase failure handling is where BFI's training bias is blind,
+//! so this strategy spends its whole budget failing each sensor instance
+//! in a sweep of injection times around the final descent.
+//!
+//! ```bash
+//! cargo run --release --example custom_strategy
+//! ```
+
+use avis::campaign::{Campaign, CampaignEvent, CampaignObserver};
+use avis::checker::Budget;
+use avis::strategy::{Candidate, Decision, Observation, Strategy, StrategyContext};
+use avis_firmware::{BugSet, FirmwareProfile, OperatingMode};
+use avis_hinj::{FaultPlan, FaultSpec};
+use avis_sim::SensorInstance;
+
+/// Sweep single-instance failures across a time window centred on the
+/// golden run's landing transition. One round = one injection time, one
+/// candidate per sensor instance.
+struct LandingBlitz {
+    /// Injection times remaining (s), derived from the golden trace.
+    times: Vec<f64>,
+    /// The vehicle's sensor complement.
+    instances: Vec<SensorInstance>,
+    /// The current round's plans, indexed by candidate token.
+    round: Vec<FaultPlan>,
+}
+
+impl LandingBlitz {
+    fn new() -> Self {
+        LandingBlitz {
+            times: Vec::new(),
+            instances: Vec::new(),
+            round: Vec::new(),
+        }
+    }
+}
+
+impl Strategy for LandingBlitz {
+    fn name(&self) -> &str {
+        "Landing blitz"
+    }
+
+    fn initialize(&mut self, ctx: &StrategyContext<'_>) {
+        self.instances = ctx.sensors.instances();
+        // Anchor on the landing transition of the golden run; fall back
+        // to the last fifth of the flight if the workload never lands.
+        let landing = ctx
+            .golden
+            .mode_transitions
+            .iter()
+            .find(|t| t.mode == OperatingMode::Land)
+            .map(|t| t.time)
+            .unwrap_or(ctx.golden.duration * 0.8);
+        // Sweep from 6 s before the transition to 6 s after, skipping
+        // times past the flight's end.
+        self.times = (-3..=3)
+            .map(|step| landing + 2.0 * step as f64)
+            .filter(|t| *t >= 0.0 && *t <= ctx.golden.duration)
+            .collect();
+        // Earliest sweep point first.
+        self.times.reverse();
+    }
+
+    fn propose(&mut self) -> Vec<Candidate> {
+        let Some(time) = self.times.pop() else {
+            return Vec::new();
+        };
+        self.round = self
+            .instances
+            .iter()
+            .map(|&instance| FaultPlan::from_specs(vec![FaultSpec::new(instance, time)]))
+            .collect();
+        self.round
+            .iter()
+            .enumerate()
+            .map(|(slot, plan)| Candidate::speculate(slot as u64, plan.clone()))
+            .collect()
+    }
+
+    fn decide(&mut self, candidate: &Candidate) -> Decision {
+        Decision::run(self.round[candidate.token() as usize].clone())
+    }
+
+    fn observe(&mut self, _observation: &Observation<'_>) {}
+}
+
+/// Streams every event as it is committed.
+struct LivePrinter;
+
+impl CampaignObserver for LivePrinter {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        match event {
+            CampaignEvent::CampaignStarted {
+                strategy,
+                profile,
+                workload,
+                ..
+            } => println!(">> {strategy} on {profile} / {workload}"),
+            CampaignEvent::ProfilingFinished { runs, cost_seconds } => {
+                println!(">> profiled in {runs} runs ({cost_seconds:.0} s)")
+            }
+            CampaignEvent::RunFinished {
+                simulations,
+                plan,
+                is_unsafe,
+                ..
+            } => println!(
+                "   run {simulations:>3} {} {plan}",
+                if *is_unsafe { "UNSAFE" } else { "ok    " }
+            ),
+            CampaignEvent::ViolationFound { condition } => println!(
+                "   !! {:?} violation in {:?}",
+                condition
+                    .violations
+                    .first()
+                    .map(|v| v.kind.to_string())
+                    .unwrap_or_default(),
+                condition.injection_category,
+            ),
+            CampaignEvent::BudgetProgress {
+                consumed_fraction, ..
+            } => println!("   budget {:.0}%", consumed_fraction * 100.0),
+            CampaignEvent::CampaignFinished {
+                simulations,
+                unsafe_conditions,
+                ..
+            } => println!(">> done: {unsafe_conditions} unsafe conditions in {simulations} runs"),
+        }
+    }
+}
+
+fn main() {
+    let profile = FirmwareProfile::ArduPilotLike;
+    let result = Campaign::builder()
+        .firmware(profile)
+        .bugs(BugSet::current_code_base(profile))
+        .strategy(LandingBlitz::new())
+        .budget(Budget::simulations(40))
+        .parallelism(4)
+        .build()
+        .run_with_observer(&mut LivePrinter);
+
+    println!(
+        "\nLanding blitz exposed {:?} ({} unsafe conditions, {} symmetry-pruned)",
+        result.bugs_found(),
+        result.unsafe_count(),
+        result.symmetry_pruned,
+    );
+    assert!(
+        result.approach.is_none(),
+        "custom strategies carry no Approach"
+    );
+    assert_eq!(result.strategy, "Landing blitz");
+}

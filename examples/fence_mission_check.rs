@@ -7,8 +7,8 @@
 //! cargo run --release --example fence_mission_check
 //! ```
 
-use avis::checker::{Approach, Budget, Checker, CheckerConfig};
-use avis::runner::ExperimentConfig;
+use avis::campaign::Campaign;
+use avis::checker::{Approach, Budget};
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_workload::fence_box_mission;
 
@@ -22,9 +22,14 @@ fn main() {
         workload.environment().fences().len()
     );
 
-    let experiment = ExperimentConfig::new(profile, BugSet::current_code_base(profile), workload);
-    let config = CheckerConfig::new(Approach::Avis, experiment, Budget::simulations(80));
-    let result = Checker::new(config).run();
+    let result = Campaign::builder()
+        .firmware(profile)
+        .bugs(BugSet::current_code_base(profile))
+        .workload(workload)
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(80))
+        .build()
+        .run();
 
     println!(
         "\nsimulations: {}   unsafe conditions: {}",

@@ -1,31 +1,59 @@
-//! Quickstart: check a buggy firmware with Avis and print what it finds.
+//! Quickstart: check a buggy firmware with Avis and print what it finds,
+//! streaming progress while the campaign runs.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
-use avis::checker::{Approach, Budget, Checker, CheckerConfig};
-use avis::runner::ExperimentConfig;
+use avis::campaign::{Campaign, CampaignEvent, CampaignObserver};
+use avis::checker::{Approach, Budget};
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_workload::auto_box_mission;
+
+/// A minimal streaming observer: one line per committed run.
+struct Progress;
+
+impl CampaignObserver for Progress {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        match event {
+            CampaignEvent::ProfilingFinished { runs, .. } => {
+                eprintln!("[profiling done: {runs} golden runs]")
+            }
+            CampaignEvent::RunFinished {
+                simulations,
+                plan,
+                is_unsafe,
+                ..
+            } => eprintln!(
+                "[run {simulations:>3}] {} {plan}",
+                if *is_unsafe { "UNSAFE" } else { "ok    " }
+            ),
+            _ => {}
+        }
+    }
+}
 
 fn main() {
     // 1. Pick a firmware profile and the set of defects compiled into it.
     //    `current_code_base` enables every previously-unknown bug the paper
     //    reports for that firmware.
     let profile = FirmwareProfile::ArduPilotLike;
-    let bugs = BugSet::current_code_base(profile);
 
-    // 2. Pick a workload (the paper's default auto waypoint mission).
-    let workload = auto_box_mission();
+    // 2. Configure the campaign fluently: workload, strategy, budget.
+    //    Every knob has a default, so only the interesting ones appear.
+    let campaign = Campaign::builder()
+        .firmware(profile)
+        .bugs(BugSet::current_code_base(profile))
+        .workload(auto_box_mission())
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(40))
+        .build();
 
-    // 3. Configure and run an Avis campaign with a small simulation budget.
-    let experiment = ExperimentConfig::new(profile, bugs, workload);
-    let config = CheckerConfig::new(Approach::Avis, experiment, Budget::simulations(40));
-    let result = Checker::new(config).run();
+    // 3. Run it, streaming per-run progress to stderr.
+    let result = campaign.run_with_observer(&mut Progress);
 
     println!(
-        "Avis ran {} simulations ({:.0} simulated seconds) and found {} unsafe conditions.",
+        "\nAvis ran {} simulations ({:.0} simulated seconds) and found {} unsafe conditions.",
         result.simulations,
         result.cost_seconds,
         result.unsafe_count()

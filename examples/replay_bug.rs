@@ -5,7 +5,8 @@
 //! cargo run --release --example replay_bug
 //! ```
 
-use avis::checker::{Approach, Budget, Checker, CheckerConfig};
+use avis::campaign::Campaign;
+use avis::checker::{Approach, Budget};
 use avis::monitor::{InvariantMonitor, MonitorConfig};
 use avis::report::{replay, BugReport};
 use avis::runner::{ExperimentConfig, ExperimentRunner};
@@ -18,8 +19,12 @@ fn main() {
 
     // Find an unsafe condition with a small Avis campaign.
     let experiment = ExperimentConfig::new(profile, bugs.clone(), auto_box_mission());
-    let config = CheckerConfig::new(Approach::Avis, experiment.clone(), Budget::simulations(40));
-    let result = Checker::new(config).run();
+    let result = Campaign::builder()
+        .experiment(experiment.clone())
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(40))
+        .build()
+        .run();
     let Some(condition) = result.unsafe_conditions.first() else {
         println!("No unsafe condition found within the budget; nothing to replay.");
         return;

@@ -1,0 +1,106 @@
+//! Regression suite for [`Budget`]'s strict-`>` exhaustion semantics: a
+//! campaign with `max_simulations = N` executes exactly `N` runs, a cost
+//! consumption sitting exactly on `max_cost_seconds` still admits one
+//! more run, and the serial and parallel engines account the budget
+//! identically at every boundary.
+
+use avis::campaign::Campaign;
+use avis::checker::{Approach, Budget, CampaignResult};
+use avis::runner::ExperimentConfig;
+use avis_firmware::{BugSet, FirmwareProfile};
+use avis_sim::SensorNoise;
+use avis_workload::auto_box_mission;
+
+fn experiment() -> ExperimentConfig {
+    let bugs = BugSet::current_code_base(FirmwareProfile::ArduPilotLike);
+    let mut experiment =
+        ExperimentConfig::new(FirmwareProfile::ArduPilotLike, bugs, auto_box_mission());
+    experiment.noise = Some(SensorNoise::default());
+    experiment.max_duration = 110.0;
+    experiment
+}
+
+fn campaign(budget: Budget, parallelism: usize) -> CampaignResult {
+    Campaign::builder()
+        .experiment(experiment())
+        .approach(Approach::Avis)
+        .budget(budget)
+        .profiling_runs(2)
+        .parallelism(parallelism)
+        .build()
+        .run()
+}
+
+#[test]
+fn simulation_budget_is_consumed_exactly() {
+    // `max_simulations = N` means exactly N runs (profiling included):
+    // the Nth queued plan executes, the N+1th never starts.
+    for n in [4usize, 7] {
+        let result = campaign(Budget::simulations(n), 1);
+        assert_eq!(
+            result.simulations, n,
+            "a {n}-simulation budget must fund exactly {n} runs"
+        );
+    }
+}
+
+#[test]
+fn profiling_runs_are_not_cut_short_by_the_budget() {
+    // Monitor calibration always completes: a budget smaller than the
+    // profiling count is consumed entirely by profiling, and no
+    // injection run ever starts.
+    let result = Campaign::builder()
+        .experiment(experiment())
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(1))
+        .profiling_runs(2)
+        .parallelism(1)
+        .build()
+        .run();
+    assert_eq!(result.simulations, 2, "both profiling runs executed");
+    assert!(result.unsafe_conditions.is_empty(), "no injection ran");
+}
+
+#[test]
+fn simulation_budget_accounting_is_identical_across_engines() {
+    let serial = campaign(Budget::simulations(7), 1);
+    let parallel = campaign(Budget::simulations(7), 4);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.simulations, 7);
+}
+
+#[test]
+fn cost_budget_boundary_is_inclusive_and_identical_across_engines() {
+    // Derive a cost cap that lands *exactly* on a run boundary: the cost
+    // consumed by a 6-simulation campaign. With strict-`>` semantics a
+    // consumption equal to the cap still admits one more run, so the same
+    // campaign under `Budget::seconds(cap)` executes exactly one
+    // simulation more — and both engines agree on that boundary.
+    let reference = campaign(Budget::simulations(6), 1);
+    let cap = reference.cost_seconds;
+
+    let serial = campaign(Budget::seconds(cap), 1);
+    let parallel = campaign(Budget::seconds(cap), 4);
+    assert_eq!(
+        serial, parallel,
+        "serial and parallel engines diverged at the cost-budget boundary"
+    );
+    assert_eq!(
+        serial.simulations,
+        reference.simulations + 1,
+        "a consumption sitting exactly on the cap must admit exactly one more run"
+    );
+    assert!(serial.cost_seconds > cap);
+}
+
+#[test]
+fn cost_budget_accounting_is_identical_across_engines_mid_run() {
+    // A cap that lands mid-run (not on a boundary) must stop both
+    // engines at the same simulation.
+    let reference = campaign(Budget::simulations(6), 1);
+    let cap = reference.cost_seconds - 1.0;
+    let serial = campaign(Budget::seconds(cap), 1);
+    let parallel = campaign(Budget::seconds(cap), 4);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.simulations, reference.simulations);
+}

@@ -1,0 +1,216 @@
+//! Acceptance suite for the fluent campaign API: a custom [`Strategy`]
+//! implemented entirely outside `crates/core` runs a full campaign
+//! through [`Campaign::builder`], streams [`CampaignObserver`] events in
+//! deterministic commit order at `parallelism = 4`, and a
+//! [`ScenarioMatrix`] over 2 firmwares × 3 workloads × 5 strategies
+//! produces one aggregated report.
+
+use avis::campaign::{Campaign, CampaignEvent, EventLog};
+use avis::checker::{Approach, Budget};
+use avis::matrix::ScenarioMatrix;
+use avis::strategy::{Candidate, Decision, Observation, RoundRobinMode, Strategy, StrategyContext};
+use avis_firmware::{BugSet, FirmwareProfile, OperatingMode};
+use avis_hinj::{FaultPlan, FaultSpec};
+use avis_sim::{SensorInstance, SensorNoise};
+use avis_workload::{auto_box_mission, fence_box_mission, manual_box_survey};
+
+/// A test-local strategy — defined outside the core crate, touching no
+/// core internals: fail each sensor instance once, a few seconds after
+/// the takeoff transition of the golden run.
+struct TakeoffSweep {
+    instances: Vec<SensorInstance>,
+    time: Option<f64>,
+    round: Vec<FaultPlan>,
+}
+
+impl TakeoffSweep {
+    fn new() -> Self {
+        TakeoffSweep {
+            instances: Vec::new(),
+            time: None,
+            round: Vec::new(),
+        }
+    }
+}
+
+impl Strategy for TakeoffSweep {
+    fn name(&self) -> &str {
+        "Takeoff sweep"
+    }
+
+    fn initialize(&mut self, ctx: &StrategyContext<'_>) {
+        self.instances = ctx.sensors.instances();
+        self.time = ctx
+            .golden
+            .mode_transitions
+            .iter()
+            .find(|t| t.mode == OperatingMode::Takeoff)
+            .map(|t| t.time + 4.0);
+    }
+
+    fn propose(&mut self) -> Vec<Candidate> {
+        let Some(time) = self.time.take() else {
+            return Vec::new();
+        };
+        self.round = self
+            .instances
+            .iter()
+            .map(|&instance| FaultPlan::from_specs(vec![FaultSpec::new(instance, time)]))
+            .collect();
+        self.round
+            .iter()
+            .enumerate()
+            .map(|(slot, plan)| Candidate::speculate(slot as u64, plan.clone()))
+            .collect()
+    }
+
+    fn decide(&mut self, candidate: &Candidate) -> Decision {
+        Decision::run(self.round[candidate.token() as usize].clone())
+    }
+
+    fn observe(&mut self, _observation: &Observation<'_>) {}
+}
+
+fn custom_campaign(parallelism: usize) -> Campaign {
+    Campaign::builder()
+        .firmware(FirmwareProfile::ArduPilotLike)
+        .bugs(BugSet::current_code_base(FirmwareProfile::ArduPilotLike))
+        .workload(auto_box_mission())
+        .strategy(TakeoffSweep::new())
+        .budget(Budget::simulations(8))
+        .profiling_runs(2)
+        .max_duration(110.0)
+        .noise(SensorNoise::default())
+        .parallelism(parallelism)
+        .build()
+}
+
+#[test]
+fn custom_strategy_runs_through_the_builder_with_streaming_events() {
+    let mut log = EventLog::new();
+    let result = custom_campaign(4).run_with_observer(&mut log);
+
+    assert_eq!(result.strategy, "Takeoff sweep");
+    assert!(result.approach.is_none());
+    assert!(result.simulations <= 8);
+    assert!(
+        result.simulations > 2,
+        "the sweep injected at least one run"
+    );
+
+    // The stream brackets the campaign and narrates every committed run.
+    let events = log.events();
+    assert!(matches!(
+        events.first(),
+        Some(CampaignEvent::CampaignStarted { strategy, .. }) if strategy == "Takeoff sweep"
+    ));
+    assert!(matches!(
+        events.last(),
+        Some(CampaignEvent::CampaignFinished { simulations, .. })
+            if *simulations == result.simulations
+    ));
+    let runs = events
+        .iter()
+        .filter(|e| matches!(e, CampaignEvent::RunFinished { .. }))
+        .count();
+    assert_eq!(
+        runs,
+        result.simulations - 2,
+        "one RunFinished per injected run"
+    );
+    let violations = events
+        .iter()
+        .filter(|e| matches!(e, CampaignEvent::ViolationFound { .. }))
+        .count();
+    assert_eq!(violations, result.unsafe_count());
+    // Simulation counters in RunFinished events increase monotonically
+    // (commit order), even though the runs executed on 4 workers.
+    let mut last = 0;
+    for event in events {
+        if let CampaignEvent::RunFinished { simulations, .. } = event {
+            assert!(*simulations > last, "commit order regressed");
+            last = *simulations;
+        }
+    }
+}
+
+#[test]
+fn observer_event_streams_are_deterministic_under_parallelism() {
+    let mut serial_log = EventLog::new();
+    let serial = custom_campaign(1).run_with_observer(&mut serial_log);
+    let mut parallel_log = EventLog::new();
+    let parallel = custom_campaign(4).run_with_observer(&mut parallel_log);
+
+    assert_eq!(serial, parallel);
+    assert_eq!(
+        serial_log.events(),
+        parallel_log.events(),
+        "the event stream must be bit-identical at every parallelism"
+    );
+
+    // Same property for a built-in approach.
+    let observed = |parallelism: usize| {
+        let mut log = EventLog::new();
+        Campaign::builder()
+            .bugs(BugSet::current_code_base(FirmwareProfile::ArduPilotLike))
+            .approach(Approach::Avis)
+            .budget(Budget::simulations(6))
+            .profiling_runs(2)
+            .max_duration(110.0)
+            .parallelism(parallelism)
+            .build()
+            .run_with_observer(&mut log);
+        log.into_events()
+    };
+    assert_eq!(observed(1), observed(4));
+}
+
+#[test]
+fn scenario_matrix_aggregates_firmwares_workloads_and_strategies() {
+    // 2 firmwares × 3 workloads × 5 strategies (the four approaches plus
+    // a custom strategy) — one aggregated report. The per-cell budget is
+    // tiny: this pins the grid plumbing, not the search quality.
+    let report = ScenarioMatrix::new()
+        .firmwares(FirmwareProfile::ALL)
+        .workloads([auto_box_mission(), manual_box_survey(), fence_box_mission()])
+        .approaches(Approach::ALL)
+        .strategy("Round-robin mode", || Box::new(RoundRobinMode::new()))
+        .budget(Budget::simulations(3))
+        .profiling_runs(2)
+        .parallelism(2)
+        .run();
+
+    assert_eq!(report.results.len(), 2 * 3 * 5);
+    assert_eq!(report.per_strategy().len(), 5);
+    for (profile, workload) in [
+        (FirmwareProfile::ArduPilotLike, "auto-box-mission"),
+        (FirmwareProfile::Px4Like, "fence-box-mission"),
+    ] {
+        assert!(
+            report
+                .results
+                .iter()
+                .any(|r| r.profile == profile && r.workload == workload),
+            "missing cell {profile} / {workload}"
+        );
+    }
+    for result in &report.results {
+        assert!(result.simulations <= 3, "per-cell budget honoured");
+    }
+    // The aggregate helpers and the rendered table agree on the totals.
+    assert_eq!(
+        report.total_unsafe(),
+        report.per_strategy().iter().map(|(_, n)| n).sum::<usize>()
+    );
+    let table = report.summary_table();
+    for strategy in [
+        "Avis",
+        "Stratified BFI",
+        "BFI",
+        "Random",
+        "Round-robin mode",
+    ] {
+        assert!(table.contains(strategy), "summary table misses {strategy}");
+    }
+    assert!(report.total_simulations() >= 2 * 3 * 5 * 3);
+}

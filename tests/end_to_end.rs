@@ -3,7 +3,8 @@
 //! scale — Avis finds the injected bugs, correct firmware yields no false
 //! positives, and found scenarios replay deterministically.
 
-use avis::checker::{Approach, Budget, Checker, CheckerConfig};
+use avis::campaign::Campaign;
+use avis::checker::{Approach, Budget};
 use avis::monitor::{InvariantMonitor, MonitorConfig};
 use avis::report::{replay, BugReport};
 use avis::runner::{ExperimentConfig, ExperimentRunner};
@@ -19,12 +20,12 @@ fn experiment(profile: FirmwareProfile, bugs: BugSet) -> ExperimentConfig {
 #[test]
 fn avis_finds_unsafe_conditions_on_the_buggy_code_base() {
     let profile = FirmwareProfile::ArduPilotLike;
-    let config = CheckerConfig::new(
-        Approach::Avis,
-        experiment(profile, BugSet::current_code_base(profile)),
-        Budget::simulations(25),
-    );
-    let result = Checker::new(config).run();
+    let result = Campaign::builder()
+        .experiment(experiment(profile, BugSet::current_code_base(profile)))
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(25))
+        .build()
+        .run();
     assert!(
         result.unsafe_count() >= 1,
         "Avis should expose unsafe conditions within 25 simulations"
@@ -42,13 +43,13 @@ fn avis_finds_unsafe_conditions_on_the_buggy_code_base() {
 #[test]
 fn fixed_firmware_produces_no_false_positives() {
     let profile = FirmwareProfile::ArduPilotLike;
-    let mut config = CheckerConfig::new(
-        Approach::Avis,
-        experiment(profile, BugSet::none()),
-        Budget::simulations(15),
-    );
-    config.profiling_runs = 3;
-    let result = Checker::new(config).run();
+    let result = Campaign::builder()
+        .experiment(experiment(profile, BugSet::none()))
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(15))
+        .profiling_runs(3)
+        .build()
+        .run();
     assert_eq!(
         result.unsafe_count(),
         0,
@@ -61,8 +62,12 @@ fn fixed_firmware_produces_no_false_positives() {
 fn found_scenarios_replay_deterministically() {
     let profile = FirmwareProfile::ArduPilotLike;
     let exp = experiment(profile, BugSet::current_code_base(profile));
-    let config = CheckerConfig::new(Approach::Avis, exp.clone(), Budget::simulations(25));
-    let result = Checker::new(config).run();
+    let result = Campaign::builder()
+        .experiment(exp.clone())
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(25))
+        .build()
+        .run();
     let condition = result
         .unsafe_conditions
         .first()
@@ -84,12 +89,12 @@ fn reinserted_known_bug_is_detected_by_avis() {
     // Table V-style single-bug reinsertion: APM-4679 (accelerometer failure
     // between waypoints).
     let bug = BugId::Apm4679;
-    let config = CheckerConfig::new(
-        Approach::Avis,
-        experiment(bug.info().firmware, BugSet::only(bug)),
-        Budget::simulations(40),
-    );
-    let result = Checker::new(config).run();
+    let result = Campaign::builder()
+        .experiment(experiment(bug.info().firmware, BugSet::only(bug)))
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(40))
+        .build()
+        .run();
     let sims = result.simulations_to_find(bug);
     assert!(
         sims.is_some(),

@@ -1,27 +1,38 @@
-//! Determinism suite for the parallel campaign engine: for every
-//! [`Approach`] the parallel engine must produce a [`CampaignResult`]
-//! structurally identical to the serial engine — same unsafe conditions
-//! in the same order, same simulation/cost accounting, same pruning
-//! counters — and the simulator's buffer-reusing `step_into` must match
-//! the allocating `step` sample-for-sample.
+//! Determinism suite for the campaign engine: for every built-in
+//! strategy — the four [`Approach`]es plus [`RoundRobinMode`] — the
+//! parallel engine must produce a [`CampaignResult`] structurally
+//! identical to the serial engine — same unsafe conditions in the same
+//! order, same simulation/cost accounting, same pruning counters — and
+//! the simulator's buffer-reusing `step_into` must match the allocating
+//! `step` sample-for-sample.
 
-use avis::checker::{Approach, Budget, CampaignResult, Checker, CheckerConfig};
+use avis::campaign::Campaign;
+use avis::checker::{Approach, Budget, CampaignResult};
 use avis::runner::ExperimentConfig;
+use avis::strategy::RoundRobinMode;
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_sim::simulator::{SimConfig, Simulator, StepOutput};
 use avis_sim::{Environment, MotorCommands, SensorNoise};
 use avis_workload::auto_box_mission;
 
-fn campaign(approach: Approach, parallelism: usize) -> CampaignResult {
+fn experiment() -> ExperimentConfig {
     let bugs = BugSet::current_code_base(FirmwareProfile::ArduPilotLike);
     let mut experiment =
         ExperimentConfig::new(FirmwareProfile::ArduPilotLike, bugs, auto_box_mission());
     experiment.noise = Some(SensorNoise::default());
     experiment.max_duration = 110.0;
-    let mut config = CheckerConfig::new(approach, experiment, Budget::simulations(6))
-        .with_parallelism(parallelism);
-    config.profiling_runs = 1;
-    Checker::new(config).run()
+    experiment
+}
+
+fn campaign(approach: Approach, parallelism: usize) -> CampaignResult {
+    Campaign::builder()
+        .experiment(experiment())
+        .approach(approach)
+        .budget(Budget::simulations(6))
+        .profiling_runs(1)
+        .parallelism(parallelism)
+        .build()
+        .run()
 }
 
 fn assert_identical(approach: Approach) {
@@ -58,6 +69,31 @@ fn bfi_campaign_is_deterministic_across_engines() {
 #[test]
 fn random_campaign_is_deterministic_across_engines() {
     assert_identical(Approach::Random);
+}
+
+#[test]
+fn round_robin_campaign_is_deterministic_across_engines() {
+    // The fifth built-in strategy goes through the custom-strategy path
+    // (no Approach), so this also pins determinism for the extension
+    // seam itself.
+    let run = |parallelism: usize| {
+        Campaign::builder()
+            .experiment(experiment())
+            .strategy(RoundRobinMode::new())
+            .budget(Budget::simulations(6))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .build()
+            .run()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "round-robin: parallel campaign diverged from the serial engine"
+    );
+    assert!(serial.approach.is_none());
+    assert_eq!(serial.strategy, "Round-robin mode");
 }
 
 #[test]

@@ -1,12 +1,14 @@
 //! Property-based tests over the core data structures and invariants,
-//! spanning the simulator math, the wire codec, fault plans and the
-//! pruning signatures.
+//! spanning the simulator math, the wire codec, fault plans, the pruning
+//! signatures and the fluent campaign builder.
 //!
 //! The build environment has no crates.io access, so instead of
 //! `proptest` these use a seeded [`SimRng`] to draw a few hundred random
 //! cases per property — fully deterministic across runs, with the case
 //! data included in assertion messages for shrink-free debugging.
 
+use avis::campaign::{Campaign, CampaignBuilder};
+use avis::checker::{Approach, Budget};
 use avis::pruning::RoleSignature;
 use avis_hinj::{FaultPlan, FaultSpec};
 use avis_mavlite::{
@@ -269,5 +271,76 @@ fn role_signature_symmetry_and_subsets() {
                 "specs={specs:?} extra={extra:?}"
             );
         }
+    }
+}
+
+/// Builder setters applied in any order produce the same campaign as the
+/// equivalent legacy `CheckerConfig` construction: the fluent API is a
+/// pure re-spelling of the deprecated one, not a different engine.
+#[test]
+#[allow(deprecated)] // the property under test IS the legacy-shim equivalence
+fn builder_permutations_match_legacy_checker_config() {
+    use avis::checker::{Checker, CheckerConfig};
+    use avis::runner::ExperimentConfig;
+    use avis_firmware::{BugSet, FirmwareProfile};
+    use avis_workload::{auto_box_mission, manual_box_survey};
+
+    let mut rng = SimRng::seed_from_u64(0xB1);
+    for case in 0..3 {
+        // Draw one random campaign configuration...
+        let approach = Approach::ALL[rng.index(Approach::ALL.len())];
+        let budget = Budget::simulations(4 + rng.index(3));
+        let profiling_runs = 1 + rng.index(2);
+        let parallelism = 1 + rng.index(3);
+        let seed = 11 + rng.index(50) as u64;
+        let workload = if rng.chance(0.5) {
+            auto_box_mission()
+        } else {
+            manual_box_survey()
+        };
+        let profile = FirmwareProfile::ArduPilotLike;
+        let bugs = BugSet::current_code_base(profile);
+
+        // ...spell it the legacy way...
+        let mut experiment = ExperimentConfig::new(profile, bugs.clone(), workload.clone());
+        experiment.max_duration = 110.0;
+        let mut config = CheckerConfig::new(approach, experiment, budget);
+        config.profiling_runs = profiling_runs;
+        config.parallelism = parallelism;
+        config.seed = seed;
+        let legacy = Checker::new(config).run();
+
+        // ...and the fluent way, with the setters applied in a random
+        // order (Fisher–Yates over the setter list).
+        type Setter = Box<dyn FnOnce(CampaignBuilder) -> CampaignBuilder>;
+        let wl = workload.clone();
+        let bg = bugs.clone();
+        let mut setters: Vec<Setter> = vec![
+            Box::new(move |b| b.firmware(profile)),
+            Box::new(move |b| b.bugs(bg)),
+            Box::new(move |b| b.workload(wl)),
+            Box::new(move |b| b.max_duration(110.0)),
+            Box::new(move |b| b.approach(approach)),
+            Box::new(move |b| b.budget(budget)),
+            Box::new(move |b| b.profiling_runs(profiling_runs)),
+            Box::new(move |b| b.parallelism(parallelism)),
+            Box::new(move |b| b.seed(seed)),
+        ];
+        for i in (1..setters.len()).rev() {
+            let j = rng.index(i + 1);
+            setters.swap(i, j);
+        }
+        let mut builder = Campaign::builder();
+        for setter in setters {
+            builder = setter(builder);
+        }
+        let fluent = builder.build().run();
+
+        assert_eq!(
+            legacy, fluent,
+            "case {case}: {approach} budget={budget:?} profiling={profiling_runs} \
+             parallelism={parallelism} seed={seed} diverged between the legacy \
+             config and a permuted builder"
+        );
     }
 }

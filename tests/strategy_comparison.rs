@@ -3,23 +3,24 @@
 //! Avis finds at least as many unsafe conditions as Stratified BFI, which
 //! finds more than vanilla BFI.
 
-use avis::checker::{Approach, Budget, Checker, CheckerConfig};
+use avis::campaign::Campaign;
+use avis::checker::{Approach, Budget};
 use avis::metrics::unsafe_scenario_table;
-use avis::runner::ExperimentConfig;
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_workload::auto_box_mission;
 
 fn run(approach: Approach, budget: Budget) -> avis::checker::CampaignResult {
     let profile = FirmwareProfile::ArduPilotLike;
-    let mut experiment = ExperimentConfig::new(
-        profile,
-        BugSet::current_code_base(profile),
-        auto_box_mission(),
-    );
-    experiment.max_duration = 110.0;
-    let mut config = CheckerConfig::new(approach, experiment, budget);
-    config.profiling_runs = 2;
-    Checker::new(config).run()
+    Campaign::builder()
+        .firmware(profile)
+        .bugs(BugSet::current_code_base(profile))
+        .workload(auto_box_mission())
+        .max_duration(110.0)
+        .approach(approach)
+        .budget(budget)
+        .profiling_runs(2)
+        .build()
+        .run()
 }
 
 #[test]
