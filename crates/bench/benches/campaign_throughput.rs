@@ -14,24 +14,51 @@
 //!   useful parallelism is bounded by the commit-accept ratio. This is
 //!   the engine's worst case and is reported for honesty.
 //!
+//! A third scenario measures the **checkpoint tree** (`avis::snapshot`):
+//! a *late-injection* sweep — single sensor failures injected in the last
+//! ~40% of the mission, the regime SABRE's deeper anchors live in — run
+//! once with checkpointing disabled (every scenario cold-starts from
+//! t = 0) and once with a bounded snapshot-cache budget (scenarios fork
+//! from the deepest cached prefix). The two campaigns must be
+//! bit-identical; the report records cold vs checkpointed scenarios/sec.
+//!
 //! Unlike the Criterion-style micro-benches this harness owns its `main`
 //! (`harness = false`): one campaign is seconds of work, so it runs each
 //! configuration once and reports wall-clock plus speedup directly, and
-//! it emits the machine-readable `bench_campaign.json` consumed by CI as
-//! the perf-trajectory artefact.
+//! it emits the machine-readable `BENCH_campaign.json` consumed by CI as
+//! the perf-trajectory artefact. With `AVIS_BENCH_BASELINE` set, the
+//! harness compares the measured checkpoint speedup against the
+//! committed baseline and exits non-zero on a >20% regression —
+//! the speedup is a ratio of two runs on the same host, so the gate is
+//! robust to slow CI machines.
 //!
 //! Environment knobs:
 //! - `AVIS_BENCH_SIMS` — simulation budget per campaign (default 64)
 //! - `AVIS_BENCH_PARALLELISM` — comma-separated worker counts to measure
 //!   (default `2,4`; `1` is always measured first as the baseline)
-//! - `AVIS_BENCH_OUT` — output path (default `bench_campaign.json`)
+//! - `AVIS_BENCH_OUT` — output path (default `BENCH_campaign.json`)
+//! - `AVIS_BENCH_BASELINE` — committed baseline JSON to gate against
 
 use avis::campaign::Campaign;
 use avis::checker::{Approach, Budget, CampaignResult};
 use avis::json::{self, Json};
+use avis::snapshot::CheckpointConfig;
+use avis::strategy::{Candidate, Decision, Observation, Strategy, StrategyContext};
 use avis_firmware::{BugSet, FirmwareProfile};
+use avis_hinj::{FaultPlan, FaultSpec};
+use avis_sim::{SensorInstance, SensorKind};
 use avis_workload::auto_box_mission;
 use std::time::Instant;
+
+/// Snapshot-cache budget for the checkpointed measurement (bytes): small
+/// enough to prove the memory bound is honoured, large enough to hold the
+/// fault-free chain plus a few branches.
+const CHECKPOINT_BUDGET_BYTES: usize = 48 * 1024 * 1024;
+
+/// Profiling runs funding the late-injection sweep's monitor calibration
+/// (shared by the campaign configuration and the scenarios/s
+/// denominator).
+const LATE_SWEEP_PROFILING_RUNS: usize = 2;
 
 fn run_campaign(bugs: &BugSet, simulations: usize, parallelism: usize) -> (CampaignResult, f64) {
     let campaign = Campaign::builder()
@@ -113,6 +140,189 @@ fn bench_scenario(name: &str, bugs: &BugSet, simulations: usize, worker_counts: 
     ])
 }
 
+/// The late-injection sweep: one round of single sensor failures stepped
+/// across the last ~40% of the golden run — every scenario shares a long
+/// fault-free prefix, which is exactly what the checkpoint tree caches.
+struct LateSweep {
+    plans: Vec<FaultPlan>,
+    proposed: bool,
+}
+
+impl LateSweep {
+    fn new() -> Self {
+        LateSweep {
+            plans: Vec::new(),
+            proposed: false,
+        }
+    }
+}
+
+impl Strategy for LateSweep {
+    fn name(&self) -> &str {
+        "Late-injection sweep"
+    }
+
+    fn initialize(&mut self, ctx: &StrategyContext<'_>) {
+        let instances = [
+            SensorInstance::new(SensorKind::Accelerometer, 0),
+            SensorInstance::new(SensorKind::Gps, 0),
+            SensorInstance::new(SensorKind::Gps, 1),
+            SensorInstance::new(SensorKind::Barometer, 0),
+            SensorInstance::new(SensorKind::Compass, 0),
+            SensorInstance::new(SensorKind::Gyroscope, 0),
+        ];
+        let start = ctx.golden.duration * 0.6;
+        let end = ctx.golden.duration * 0.95;
+        let slots = 8;
+        for slot in 0..slots {
+            let time = start + (end - start) * slot as f64 / slots as f64;
+            for instance in instances {
+                self.plans
+                    .push(FaultPlan::from_specs(vec![FaultSpec::new(instance, time)]));
+            }
+        }
+    }
+
+    fn propose(&mut self) -> Vec<Candidate> {
+        if std::mem::replace(&mut self.proposed, true) {
+            return Vec::new();
+        }
+        self.plans
+            .iter()
+            .enumerate()
+            .map(|(slot, plan)| Candidate::speculate(slot as u64, plan.clone()))
+            .collect()
+    }
+
+    fn decide(&mut self, candidate: &Candidate) -> Decision {
+        Decision::run(self.plans[candidate.token() as usize].clone())
+    }
+
+    fn observe(&mut self, _observation: &Observation<'_>) {}
+}
+
+/// Stamps the moment profiling/calibration ends, so the measurement
+/// covers only the scenario-search phase (profiling runs execute once
+/// and are never checkpointed — including them would dilute the
+/// comparison at small budgets).
+struct SearchPhaseClock {
+    search_started: Option<Instant>,
+}
+
+impl avis::campaign::CampaignObserver for SearchPhaseClock {
+    fn on_event(&mut self, event: &avis::campaign::CampaignEvent) {
+        if matches!(
+            event,
+            avis::campaign::CampaignEvent::ProfilingFinished { .. }
+        ) {
+            self.search_started = Some(Instant::now());
+        }
+    }
+}
+
+/// Runs the late-injection sweep, returning the result and the wall time
+/// of the search phase alone.
+fn run_late_injection(simulations: usize, checkpoints: CheckpointConfig) -> (CampaignResult, f64) {
+    let campaign = Campaign::builder()
+        .firmware(FirmwareProfile::ArduPilotLike)
+        .bugs(BugSet::none())
+        .workload(auto_box_mission())
+        .strategy(LateSweep::new())
+        .budget(Budget::simulations(simulations))
+        .parallelism(1)
+        .max_duration(110.0)
+        .profiling_runs(LATE_SWEEP_PROFILING_RUNS)
+        .checkpoints(checkpoints)
+        .build();
+    let mut clock = SearchPhaseClock {
+        search_started: None,
+    };
+    let result = campaign.run_with_observer(&mut clock);
+    let search_seconds = clock
+        .search_started
+        .expect("campaign emitted ProfilingFinished")
+        .elapsed()
+        .as_secs_f64();
+    (result, search_seconds)
+}
+
+/// Cold vs checkpointed execution of the late-injection sweep. Returns
+/// the JSON section and the measured speedup.
+fn bench_checkpointing(simulations: usize) -> (Json, f64) {
+    println!("scenario `late-injection`: {simulations}-simulation checkpoint-tree sweep");
+    let (cold_result, cold_seconds) = run_late_injection(simulations, CheckpointConfig::disabled());
+    let scenarios = cold_result
+        .simulations
+        .saturating_sub(LATE_SWEEP_PROFILING_RUNS);
+    let cold_sps = scenarios as f64 / cold_seconds;
+    println!("  cold:          {cold_seconds:.2}s wall, {scenarios} scenarios, {cold_sps:.2} scenarios/s");
+
+    let (checkpointed_result, checkpointed_seconds) = run_late_injection(
+        simulations,
+        CheckpointConfig::with_max_bytes(CHECKPOINT_BUDGET_BYTES),
+    );
+    let checkpointed_sps = scenarios as f64 / checkpointed_seconds;
+    let speedup = checkpointed_sps / cold_sps;
+    let identical = checkpointed_result == cold_result;
+    println!(
+        "  checkpointed:  {checkpointed_seconds:.2}s wall, {checkpointed_sps:.2} scenarios/s, speedup {speedup:.2}x, result {}",
+        if identical {
+            "bit-identical to cold"
+        } else {
+            "DIVERGED FROM COLD"
+        }
+    );
+    assert!(
+        identical,
+        "checkpointed campaign diverged from cold execution"
+    );
+
+    let section = json::object(vec![
+        ("scenario", Json::String("late-injection".to_string())),
+        ("simulations", Json::Number(scenarios as f64)),
+        (
+            "cache_budget_bytes",
+            Json::Number(CHECKPOINT_BUDGET_BYTES as f64),
+        ),
+        ("cold_wall_seconds", Json::Number(cold_seconds)),
+        ("cold_scenarios_per_sec", Json::Number(cold_sps)),
+        (
+            "checkpointed_wall_seconds",
+            Json::Number(checkpointed_seconds),
+        ),
+        (
+            "checkpointed_scenarios_per_sec",
+            Json::Number(checkpointed_sps),
+        ),
+        ("speedup", Json::Number(speedup)),
+        ("result_identical", Json::Bool(true)),
+    ]);
+    (section, speedup)
+}
+
+/// Gates the measured checkpoint speedup against the committed baseline:
+/// a >20% drop fails the run. The speedup is a same-host ratio, so the
+/// gate holds on hosts of any speed.
+fn check_baseline(baseline_path: &str, measured_speedup: f64) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = Json::parse(&text).expect("baseline is valid JSON");
+    let expected = baseline
+        .get("checkpoint_speedup")
+        .and_then(|v| v.as_f64())
+        .expect("baseline has a numeric `checkpoint_speedup`");
+    let floor = expected * 0.8;
+    println!(
+        "baseline gate: measured {measured_speedup:.2}x vs committed {expected:.2}x (floor {floor:.2}x)"
+    );
+    if measured_speedup < floor {
+        eprintln!(
+            "REGRESSION: checkpoint speedup {measured_speedup:.2}x fell more than 20% below the committed baseline {expected:.2}x"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let simulations: usize = std::env::var("AVIS_BENCH_SIMS")
         .ok()
@@ -123,7 +333,7 @@ fn main() {
         .map(|s| s.split(',').filter_map(|p| p.trim().parse().ok()).collect())
         .unwrap_or_else(|| vec![2, 4]);
     let out_path =
-        std::env::var("AVIS_BENCH_OUT").unwrap_or_else(|_| "bench_campaign.json".to_string());
+        std::env::var("AVIS_BENCH_OUT").unwrap_or_else(|_| "BENCH_campaign.json".to_string());
 
     let scenarios = [
         ("fixed", BugSet::none()),
@@ -136,6 +346,7 @@ fn main() {
         .iter()
         .map(|(name, bugs)| bench_scenario(name, bugs, simulations, &worker_counts))
         .collect();
+    let (checkpoint_report, checkpoint_speedup) = bench_checkpointing(simulations);
 
     let doc = json::object(vec![
         ("bench", Json::String("campaign_throughput".to_string())),
@@ -146,7 +357,12 @@ fn main() {
             Json::Number(avis::engine::default_parallelism() as f64),
         ),
         ("scenarios", Json::Array(reports)),
+        ("checkpoint", checkpoint_report),
     ]);
-    std::fs::write(&out_path, doc.to_pretty()).expect("write bench_campaign.json");
+    std::fs::write(&out_path, doc.to_pretty()).expect("write BENCH_campaign.json");
     println!("wrote {out_path}");
+
+    if let Ok(baseline_path) = std::env::var("AVIS_BENCH_BASELINE") {
+        check_baseline(&baseline_path, checkpoint_speedup);
+    }
 }

@@ -33,6 +33,7 @@ use crate::engine::{self, EngineParams};
 use crate::monitor::{InvariantMonitor, MonitorConfig};
 use crate::runner::{ExperimentConfig, ExperimentRunner};
 use crate::sabre::SabreConfig;
+use crate::snapshot::CheckpointConfig;
 use crate::strategy::{Strategy, StrategyContext};
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_hinj::FaultPlan;
@@ -219,6 +220,7 @@ pub struct CampaignBuilder {
     experiment: Option<ExperimentConfig>,
     max_duration: Option<f64>,
     noise: Option<SensorNoise>,
+    checkpoints: Option<CheckpointConfig>,
     budget: Budget,
     profiling_runs: usize,
     monitor: MonitorConfig,
@@ -237,6 +239,7 @@ impl Default for CampaignBuilder {
             experiment: None,
             max_duration: None,
             noise: None,
+            checkpoints: None,
             budget: Budget::simulations(50),
             profiling_runs: 3,
             monitor: MonitorConfig::default(),
@@ -286,6 +289,19 @@ impl CampaignBuilder {
     /// Sensor-noise level, applied on top of the experiment.
     pub fn noise(mut self, noise: SensorNoise) -> Self {
         self.noise = Some(noise);
+        self
+    }
+
+    /// Checkpoint-tree configuration (snapshot interval and memory
+    /// budget, or [`CheckpointConfig::disabled`] to cold-start every
+    /// run), applied on top of the experiment. Checkpointing is purely a
+    /// speed/memory trade-off: the campaign result is bit-identical
+    /// either way. The memory budget applies *per engine worker* (each
+    /// owns a lock-free cache), so a campaign holds up to
+    /// `parallelism × max_bytes`. Default: enabled with the
+    /// [`CheckpointConfig::default`] budget.
+    pub fn checkpoints(mut self, checkpoints: CheckpointConfig) -> Self {
+        self.checkpoints = Some(checkpoints);
         self
     }
 
@@ -370,6 +386,9 @@ impl CampaignBuilder {
         }
         if let Some(noise) = self.noise {
             experiment.noise = Some(noise);
+        }
+        if let Some(checkpoints) = self.checkpoints {
+            experiment.checkpoints = checkpoints;
         }
         Campaign {
             config: CheckerConfig {

@@ -98,6 +98,24 @@ fn take_or_run(
 /// committed under, plus the plan to execute.
 type Job = (u64, FaultPlan);
 
+/// Dispatch-order key grouping plans that share an injection prefix:
+/// earliest failure time first, then failure count, then the canonical
+/// plan key. Sorting a wavefront's speculative jobs this way hands
+/// prefix-sharing siblings to the pool back-to-back, so the workers'
+/// per-runner snapshot caches ([`crate::snapshot`]) fork consecutive
+/// jobs off their hottest checkpoint chain instead of interleaving
+/// unrelated prefixes. Results are keyed by candidate token and
+/// committed strictly in round order, so dispatch order can never change
+/// a campaign observable.
+fn prefix_dispatch_key(plan: &FaultPlan) -> (i64, usize, String) {
+    let earliest = plan
+        .specs()
+        .map(|s| (s.time * 1000.0).round() as i64)
+        .min()
+        .unwrap_or(i64::MAX);
+    (earliest, plan.len(), plan.canonical_key())
+}
+
 /// What a worker sends back: a completed run, or the panic message of a
 /// run that blew up (so the campaign fails loudly instead of deadlocking
 /// the wavefront collector).
@@ -178,9 +196,12 @@ pub(crate) fn run_campaign(
             let result_tx = result_tx.clone();
             let experiment = params.experiment.clone();
             scope.spawn(move || {
-                // One fresh runner per worker: runners are stateless across
-                // runs apart from their run counter, which does not feed
-                // into run behaviour.
+                // One fresh runner per worker, kept alive across jobs on
+                // purpose: each runner owns a snapshot cache
+                // (`crate::snapshot`) that its later jobs fork from.
+                // Cache state affects only run *timing* — a forked run is
+                // bit-identical to a cold one — so results stay pure
+                // functions of their plan.
                 let mut runner = ExperimentRunner::new(experiment);
                 loop {
                     // Hold the receiver lock only while dequeueing.
@@ -266,12 +287,17 @@ fn run_rounds(
             let mut results: BTreeMap<u64, RunResult> = match pool {
                 Some(pool) => {
                     let cap = remaining_simulations(params.budget, state);
-                    let jobs: Vec<Job> = wavefront
+                    let mut jobs: Vec<Job> = wavefront
                         .iter()
                         .filter(|c| strategy.revalidate(c))
                         .filter_map(|c| c.speculative().map(|plan| (c.token(), plan.clone())))
                         .take(cap)
                         .collect();
+                    // Order the wavefront by shared injection prefix so
+                    // sibling scenarios hit the workers' snapshot caches
+                    // (sorted after the budget cap so the *set* of
+                    // speculated plans is unchanged).
+                    jobs.sort_by_cached_key(|(_, plan)| prefix_dispatch_key(plan));
                     pool.execute(jobs)
                 }
                 None => BTreeMap::new(),

@@ -56,6 +56,7 @@
 //! | Module | Paper section | Contents |
 //! |---|---|---|
 //! | [`runner`] | Fig. 7 | provisioning + lock-step execution of one test run |
+//! | [`snapshot`] | — | the checkpoint tree: fork-from-snapshot scenario replay |
 //! | [`trace`] | §IV.C | the `(P, α, M)` state traces the monitor consumes |
 //! | [`monitor`] | §IV.C | safety + liveliness invariants, mode graph, τ calibration |
 //! | [`sabre`] | §IV.B, Alg. 1 | the stratified breadth-first transition queue |
@@ -109,6 +110,7 @@ pub mod pruning;
 pub mod report;
 pub mod runner;
 pub mod sabre;
+pub mod snapshot;
 pub mod strategy;
 pub mod study;
 pub mod trace;
@@ -116,11 +118,15 @@ pub mod trace;
 pub use campaign::{Campaign, CampaignBuilder, CampaignEvent, CampaignObserver, EventLog};
 pub use checker::{Approach, Budget, CampaignResult, Checker, CheckerConfig, UnsafeCondition};
 pub use matrix::{MatrixReport, ScenarioMatrix};
-pub use monitor::{InvariantMonitor, ModeGraph, MonitorConfig, Violation, ViolationKind};
+pub use monitor::{
+    InvariantMonitor, LivelinessEnvelope, ModeDistanceTable, ModeGraph, MonitorConfig, Violation,
+    ViolationKind,
+};
 pub use pruning::{PruningState, RoleSignature};
 pub use report::{replay, BugReport, ReplayOutcome};
 pub use runner::{ExperimentConfig, ExperimentRunner, RunResult};
 pub use sabre::{QueueEntry, SabreConfig, SabreQueue};
+pub use snapshot::{CheckpointConfig, CheckpointStats};
 pub use strategy::{
     BfiStrategy, Candidate, Decision, Observation, PruningCounters, RandomStrategy, RoundRobinMode,
     SabreStrategy, Strategy, StrategyContext,

@@ -127,6 +127,79 @@ impl ModeGraph {
         }
         best as f64
     }
+
+    /// Memoizes every pairwise distance into a [`ModeDistanceTable`].
+    pub fn distance_table(&self) -> ModeDistanceTable {
+        ModeDistanceTable::new(self)
+    }
+}
+
+/// All-pairs memoization of [`ModeGraph::distance`]: built once per
+/// campaign (at monitor calibration), consulted in O(1) per state-tuple
+/// comparison. The per-sample liveliness check calls `distance` once per
+/// candidate reference sample, so the repeated BFS it replaces used to
+/// dominate [`InvariantMonitor::check`].
+///
+/// The table reproduces [`ModeGraph::distance`] exactly — including the
+/// directed-then-undirected fallback and the `diameter + 1` answer for
+/// unknown modes — because it is *built from* that function.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ModeDistanceTable {
+    /// Sorted mode codes (row/column order of `distances`).
+    codes: Vec<ModeCode>,
+    /// Row-major `codes.len() × codes.len()` distance matrix.
+    distances: Vec<f64>,
+    /// The distance reported for modes outside the graph.
+    fallback: f64,
+    /// The graph diameter (`D` in the paper's normalization).
+    diameter: f64,
+}
+
+impl ModeDistanceTable {
+    /// Builds the table by evaluating [`ModeGraph::distance`] for every
+    /// pair of known modes.
+    pub fn new(graph: &ModeGraph) -> Self {
+        let codes: Vec<ModeCode> = graph.nodes.iter().copied().collect();
+        let diameter = graph.diameter();
+        let n = codes.len();
+        let mut distances = vec![0.0; n * n];
+        for (i, &a) in codes.iter().enumerate() {
+            for (j, &b) in codes.iter().enumerate() {
+                distances[i * n + j] = graph.distance(a, b);
+            }
+        }
+        ModeDistanceTable {
+            codes,
+            distances,
+            fallback: diameter + 1.0,
+            diameter,
+        }
+    }
+
+    /// Number of modes in the table.
+    pub fn mode_count(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// The memoized graph diameter.
+    pub fn diameter(&self) -> f64 {
+        self.diameter
+    }
+
+    /// O(1) lookup of [`ModeGraph::distance`] for the pair.
+    pub fn distance(&self, from: ModeCode, to: ModeCode) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        match (self.index(from), self.index(to)) {
+            (Some(i), Some(j)) => self.distances[i * self.codes.len() + j],
+            _ => self.fallback,
+        }
+    }
+
+    fn index(&self, code: ModeCode) -> Option<usize> {
+        self.codes.binary_search(&code).ok()
+    }
 }
 
 /// Why a run was flagged as unsafe.
@@ -223,12 +296,138 @@ impl Default for MonitorConfig {
     }
 }
 
+/// One time-step's aggregate over every profiling sample a test sample at
+/// that step may be compared against (the step's ± window, padded by one
+/// step to absorb `f64` rounding at the window edges).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct EnvelopeCell {
+    pos_min: Vec3,
+    pos_max: Vec3,
+    acc_min: Vec3,
+    acc_max: Vec3,
+    /// Distinct operating-mode codes within the window.
+    modes: Vec<ModeCode>,
+}
+
+/// The per-timestep liveliness envelope: axis-aligned bounds (and mode
+/// sets) over the profiling samples each test sample is compared against
+/// in Equation 1. Precomputed once at calibration; at check time it
+/// yields an O(1) *lower bound* on the min-distance of Eq. 1, which
+/// together with an outward-from-zero upper-bound probe resolves almost
+/// every sample without scanning the full `runs × window` reference set.
+///
+/// The envelope is deliberately a *superset* bound (window padded by one
+/// step, indices clamped like [`Trace::sample_at`] clamps), so its lower
+/// bound can never exceed the true minimum: quick paths only shortcut
+/// when the exact scan would provably reach the same verdict, keeping
+/// [`InvariantMonitor::check`] bit-identical to the brute-force check.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LivelinessEnvelope {
+    /// Profiling sample interval (s); cell `k` covers time `k × interval`.
+    interval: f64,
+    cells: Vec<EnvelopeCell>,
+}
+
+impl LivelinessEnvelope {
+    fn build(profiling: &[Trace], config: &MonitorConfig, duration: f64) -> Self {
+        let interval = profiling[0].sample_interval.max(1e-6);
+        let steps = (duration / interval).ceil() as i64;
+        let window = (config.time_window / interval).round() as i64;
+        let mut cells = Vec::with_capacity(steps as usize + 1);
+        for k in 0..=steps {
+            let mut cell: Option<EnvelopeCell> = None;
+            let mut modes = BTreeSet::new();
+            for run in profiling {
+                if run.samples.is_empty() {
+                    continue;
+                }
+                let last = run.samples.len() as i64 - 1;
+                // Window padded by one step either side; indices clamped
+                // exactly like `sample_at` clamps times past the end.
+                for idx in (k - window - 1).max(0)..=(k + window + 1) {
+                    let sample = &run.samples[idx.min(last) as usize];
+                    modes.insert(sample.mode.code());
+                    match &mut cell {
+                        None => {
+                            cell = Some(EnvelopeCell {
+                                pos_min: sample.position,
+                                pos_max: sample.position,
+                                acc_min: sample.acceleration,
+                                acc_max: sample.acceleration,
+                                modes: Vec::new(),
+                            })
+                        }
+                        Some(cell) => {
+                            cell.pos_min = component_min(cell.pos_min, sample.position);
+                            cell.pos_max = component_max(cell.pos_max, sample.position);
+                            cell.acc_min = component_min(cell.acc_min, sample.acceleration);
+                            cell.acc_max = component_max(cell.acc_max, sample.acceleration);
+                        }
+                    }
+                }
+            }
+            // Every profiling trace empty: no references exist at any
+            // step, so leave the envelope empty — `cell_at` then yields
+            // no bound and the check falls through to the exact scan,
+            // which finds nothing to compare against (the pre-envelope
+            // behaviour for sample-less profiling runs).
+            let Some(mut cell) = cell else {
+                return LivelinessEnvelope {
+                    interval,
+                    cells: Vec::new(),
+                };
+            };
+            cell.modes = modes.into_iter().collect();
+            cells.push(cell);
+        }
+        LivelinessEnvelope { interval, cells }
+    }
+
+    /// Number of per-timestep cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the envelope holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn cell_at(&self, time: f64) -> Option<&EnvelopeCell> {
+        if self.cells.is_empty() {
+            return None;
+        }
+        let idx = (time / self.interval).round() as usize;
+        self.cells.get(idx.min(self.cells.len() - 1))
+    }
+}
+
+fn component_min(a: Vec3, b: Vec3) -> Vec3 {
+    Vec3::new(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z))
+}
+
+fn component_max(a: Vec3, b: Vec3) -> Vec3 {
+    Vec3::new(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z))
+}
+
+/// Distance from a point to an axis-aligned box (0 inside).
+fn aabb_distance(point: Vec3, lo: Vec3, hi: Vec3) -> f64 {
+    let dx = (lo.x - point.x).max(0.0).max(point.x - hi.x);
+    let dy = (lo.y - point.y).max(0.0).max(point.y - hi.y);
+    let dz = (lo.z - point.z).max(0.0).max(point.z - hi.z);
+    (dx * dx + dy * dy + dz * dz).sqrt()
+}
+
 /// The invariant monitor, calibrated from fault-free profiling runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InvariantMonitor {
     config: MonitorConfig,
     profiling: Vec<Trace>,
     mode_graph: ModeGraph,
+    /// Memoized all-pairs mode distances (built once per campaign).
+    distances: ModeDistanceTable,
+    /// Per-timestep bounds accelerating the Eq. 1 check.
+    envelope: LivelinessEnvelope,
     diameter: f64,
     position_scale: f64,
     acceleration_scale: f64,
@@ -251,9 +450,14 @@ impl InvariantMonitor {
             "at least one profiling run is required"
         );
         let mode_graph = ModeGraph::from_traces(profiling.iter());
-        let diameter = mode_graph.diameter();
+        // All-pairs mode distances, memoized once: every state-tuple
+        // comparison below (and every per-sample check afterwards) is an
+        // O(1) lookup instead of a BFS.
+        let distances = mode_graph.distance_table();
+        let diameter = distances.diameter();
         let duration = profiling.iter().map(|t| t.duration).fold(0.0, f64::max);
         let sample_interval = profiling[0].sample_interval;
+        let envelope = LivelinessEnvelope::build(&profiling, &config, duration);
 
         // Normalization constants P̄ and Ā: the largest pairwise distance at
         // the same time offset between any two profiling runs.
@@ -285,6 +489,8 @@ impl InvariantMonitor {
             config,
             profiling,
             mode_graph,
+            distances,
+            envelope,
             diameter,
             position_scale,
             acceleration_scale,
@@ -327,6 +533,21 @@ impl InvariantMonitor {
         &self.mode_graph
     }
 
+    /// The memoized all-pairs mode-distance table.
+    pub fn distance_table(&self) -> &ModeDistanceTable {
+        &self.distances
+    }
+
+    /// The per-timestep liveliness envelope.
+    pub fn envelope(&self) -> &LivelinessEnvelope {
+        &self.envelope
+    }
+
+    /// The fault-free profiling runs the monitor was calibrated from.
+    pub fn profiling(&self) -> &[Trace] {
+        &self.profiling
+    }
+
     /// The normalization constants `(P̄, Ā, D)`.
     pub fn normalization(&self) -> (f64, f64, f64) {
         (self.position_scale, self.acceleration_scale, self.diameter)
@@ -337,8 +558,89 @@ impl InvariantMonitor {
     pub fn state_distance(&self, a: &StateSample, b: &StateSample) -> f64 {
         let dp = a.position.distance(b.position) * self.diameter / self.position_scale;
         let da = a.acceleration.distance(b.acceleration) * self.diameter / self.acceleration_scale;
-        let dm = self.mode_graph.distance(a.mode.code(), b.mode.code());
+        let dm = self.distances.distance(a.mode.code(), b.mode.code());
         (dp * dp + da * da + dm * dm).sqrt()
+    }
+
+    /// A lower bound on the Eq. 1 minimum for `sample`: the distance to
+    /// the envelope cell's bounds can only under-estimate the distance to
+    /// any actual profiling sample in the window.
+    fn envelope_lower_bound(&self, sample: &StateSample) -> Option<f64> {
+        let cell = self.envelope.cell_at(sample.time)?;
+        let dp = aabb_distance(sample.position, cell.pos_min, cell.pos_max) * self.diameter
+            / self.position_scale;
+        let da = aabb_distance(sample.acceleration, cell.acc_min, cell.acc_max) * self.diameter
+            / self.acceleration_scale;
+        let dm = cell
+            .modes
+            .iter()
+            .map(|&m| self.distances.distance(sample.mode.code(), m))
+            .fold(f64::INFINITY, f64::min);
+        if dm.is_finite() {
+            Some((dp * dp + da * da + dm * dm).sqrt())
+        } else {
+            None
+        }
+    }
+
+    /// The exact Eq. 1 minimum: the smallest normalized distance between
+    /// `sample` and any profiling sample within the configured time
+    /// window (infinite when no reference exists).
+    fn min_profiling_distance(&self, sample: &StateSample, interval: f64, window: i64) -> f64 {
+        let mut min_distance = f64::INFINITY;
+        for reference_run in &self.profiling {
+            for offset in -window..=window {
+                let t = sample.time + offset as f64 * interval;
+                if t < 0.0 {
+                    continue;
+                }
+                if let Some(reference) = reference_run.sample_at(t) {
+                    min_distance = min_distance.min(self.state_distance(sample, reference));
+                }
+            }
+        }
+        min_distance
+    }
+
+    /// Amortised-O(1) resolution of "is some reference within the
+    /// threshold?" — the envelope lower bound proves divergence without
+    /// scanning, and an outward-from-zero probe proves conformance after
+    /// computing only a handful of real distances (the nearest reference
+    /// is almost always at, or a benign timing shift away from, the same
+    /// time offset). Returns `true` only when an actual in-window
+    /// reference sits within the threshold, so the verdict always equals
+    /// the brute-force scan's.
+    fn within_threshold(
+        &self,
+        sample: &StateSample,
+        threshold: f64,
+        interval: f64,
+        window: i64,
+    ) -> bool {
+        if let Some(lower_bound) = self.envelope_lower_bound(sample) {
+            if lower_bound > threshold {
+                return false;
+            }
+        }
+        for step in 0..=window {
+            for offset in [step, -step] {
+                let t = sample.time + offset as f64 * interval;
+                if t < 0.0 {
+                    continue;
+                }
+                for reference_run in &self.profiling {
+                    if let Some(reference) = reference_run.sample_at(t) {
+                        if self.state_distance(sample, reference) <= threshold {
+                            return true;
+                        }
+                    }
+                }
+                if step == 0 {
+                    break; // +0 and -0 are the same probe
+                }
+            }
+        }
+        false
     }
 
     /// Checks a test run against the calibrated invariants and returns the
@@ -364,8 +666,14 @@ impl InvariantMonitor {
         }
 
         // Liveliness (Equation 1) for non-safe modes; progress invariants
-        // for safe modes.
+        // for safe modes. The per-sample Eq. 1 check is resolved through
+        // the precomputed envelope + outward probe in amortised O(1); the
+        // full `runs × window` scan only runs to compute the exact
+        // distance of an actual violation (at most once — the check stops
+        // at the first one).
         let threshold = self.tau * self.config.tolerance_factor;
+        let interval = self.profiling[0].sample_interval.max(1e-6);
+        let window_steps = (self.config.time_window / interval).round() as i64;
         let mut safe_mode_entry: Option<(OperatingMode, f64)> = None;
         for sample in &trace.samples {
             if sample.time > self.duration {
@@ -387,20 +695,10 @@ impl InvariantMonitor {
                 continue;
             }
             safe_mode_entry = None;
-            let interval = self.profiling[0].sample_interval.max(1e-6);
-            let window_steps = (self.config.time_window / interval).round() as i64;
-            let mut min_distance = f64::INFINITY;
-            for reference_run in &self.profiling {
-                for offset in -window_steps..=window_steps {
-                    let t = sample.time + offset as f64 * interval;
-                    if t < 0.0 {
-                        continue;
-                    }
-                    if let Some(reference) = reference_run.sample_at(t) {
-                        min_distance = min_distance.min(self.state_distance(sample, reference));
-                    }
-                }
+            if self.within_threshold(sample, threshold, interval, window_steps) {
+                continue;
             }
+            let min_distance = self.min_profiling_distance(sample, interval, window_steps);
             if min_distance.is_finite() && min_distance > threshold {
                 violations.push(Violation {
                     kind: ViolationKind::LivelinessDivergence {
@@ -699,6 +997,179 @@ mod tests {
     #[should_panic(expected = "at least one profiling run")]
     fn calibrate_requires_profiling_runs() {
         let _ = InvariantMonitor::calibrate(Vec::new(), MonitorConfig::default());
+    }
+
+    #[test]
+    fn calibrate_tolerates_sample_less_profiling_runs() {
+        // A degenerate but previously-accepted input: profiling traces
+        // with no samples. The envelope must stay empty (not panic) and
+        // the check must keep reporting nothing, reference-free.
+        let empty = Trace {
+            sample_interval: 0.5,
+            samples: Vec::new(),
+            mode_transitions: Vec::new(),
+            collision: None,
+            fence_violations: 0,
+            workload_status: WorkloadStatus::Passed,
+            duration: 10.0,
+        };
+        let monitor = InvariantMonitor::calibrate(vec![empty], MonitorConfig::default());
+        assert!(monitor.envelope().is_empty());
+        let run = synthetic_run(0.0);
+        assert_eq!(monitor.check(&run), brute_force_check(&monitor, &run));
+        assert!(monitor.check(&run).is_empty());
+    }
+
+    /// The pre-envelope check, kept verbatim as the oracle: a straight
+    /// `runs × window` scan per sample with no quick paths.
+    fn brute_force_check(monitor: &InvariantMonitor, trace: &Trace) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        if let Some(collision) = trace.collision {
+            let time = trace
+                .samples
+                .iter()
+                .find(|s| s.position.distance(collision.position) < 1.0)
+                .map(|s| s.time)
+                .unwrap_or(trace.duration);
+            violations.push(Violation {
+                kind: ViolationKind::Collision {
+                    impact_speed: collision.impact_speed,
+                },
+                time,
+                mode: trace.mode_at(time).unwrap_or(OperatingMode::Crashed),
+            });
+        }
+        let threshold = monitor.tau * monitor.config.tolerance_factor;
+        let mut safe_mode_entry: Option<(OperatingMode, f64)> = None;
+        for sample in &trace.samples {
+            if sample.time > monitor.duration {
+                break;
+            }
+            let mode = sample.mode;
+            if mode.is_safe_mode() {
+                let entry = match safe_mode_entry {
+                    Some((m, t)) if m == mode => t,
+                    _ => {
+                        safe_mode_entry = Some((mode, sample.time));
+                        sample.time
+                    }
+                };
+                if let Some(v) = monitor.check_safe_mode_progress(trace, mode, entry, sample) {
+                    violations.push(v);
+                    break;
+                }
+                continue;
+            }
+            safe_mode_entry = None;
+            let interval = monitor.profiling[0].sample_interval.max(1e-6);
+            let window_steps = (monitor.config.time_window / interval).round() as i64;
+            let mut min_distance = f64::INFINITY;
+            for reference_run in &monitor.profiling {
+                for offset in -window_steps..=window_steps {
+                    let t = sample.time + offset as f64 * interval;
+                    if t < 0.0 {
+                        continue;
+                    }
+                    if let Some(reference) = reference_run.sample_at(t) {
+                        min_distance = min_distance.min(monitor.state_distance(sample, reference));
+                    }
+                }
+            }
+            if min_distance.is_finite() && min_distance > threshold {
+                violations.push(Violation {
+                    kind: ViolationKind::LivelinessDivergence {
+                        distance: min_distance,
+                        threshold,
+                    },
+                    time: sample.time,
+                    mode,
+                });
+                break;
+            }
+        }
+        violations
+    }
+
+    #[test]
+    fn distance_table_memoizes_the_graph_exactly() {
+        let traces = [synthetic_run(0.0), synthetic_run(0.4)];
+        let graph = ModeGraph::from_traces(traces.iter());
+        let table = graph.distance_table();
+        assert_eq!(table.mode_count(), graph.node_count());
+        assert_eq!(table.diameter(), graph.diameter());
+        // Every known pair, plus unknown modes on both sides.
+        let mut codes: Vec<ModeCode> = graph.nodes.iter().copied().collect();
+        codes.push(OperatingMode::PosHold.code());
+        codes.push(OperatingMode::Stabilize.code());
+        for &a in &codes {
+            for &b in &codes {
+                assert_eq!(
+                    table.distance(a, b),
+                    graph.distance(a, b),
+                    "table diverged from BFS at ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_check_matches_brute_force_on_perturbed_runs() {
+        use avis_sim::SimRng;
+        let monitor = calibrated_monitor();
+        assert!(!monitor.envelope().is_empty());
+        let mut rng = SimRng::seed_from_u64(2024);
+        for case in 0..40 {
+            let mut run = synthetic_run(rng.uniform_range(-0.5, 0.5));
+            // Random perturbations covering conforming runs, timing
+            // shifts, marginal drifts and outright fly-aways.
+            let drift = rng.uniform_range(0.0, 8.0);
+            let start = rng.uniform_range(5.0, 60.0);
+            let wrong_mode = rng.chance(0.3);
+            for s in run.samples.iter_mut().filter(|s| s.time >= start) {
+                s.position.y += (s.time - start) * drift / 10.0;
+                if rng.chance(0.1) {
+                    s.acceleration.x += rng.uniform_range(-2.0, 2.0);
+                }
+                if wrong_mode {
+                    s.mode = OperatingMode::Guided;
+                }
+            }
+            if wrong_mode {
+                run.mode_transitions.retain(|t| t.time < start);
+            }
+            assert_eq!(
+                monitor.check(&run),
+                brute_force_check(&monitor, &run),
+                "case {case}: envelope-accelerated check diverged (drift {drift}, start {start}, wrong_mode {wrong_mode})"
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_check_matches_brute_force_on_existing_scenarios() {
+        let monitor = calibrated_monitor();
+        // The named scenarios the other tests exercise, pinned one-by-one
+        // against the oracle.
+        let mut fly_away = synthetic_run(0.0);
+        for s in fly_away.samples.iter_mut().filter(|s| s.time >= 20.0) {
+            s.position.y = (s.time - 20.0) * 5.0;
+            s.mode = OperatingMode::Auto { leg: 1 };
+        }
+        fly_away.mode_transitions.retain(|t| t.time < 20.0);
+        let mut stalled = synthetic_run(0.0);
+        for s in stalled.samples.iter_mut().filter(|s| s.time >= 20.0) {
+            s.position = Vec3::new(40.0, 10.0, 20.0);
+            s.mode = OperatingMode::Land;
+        }
+        let mut crashed = synthetic_run(0.1);
+        crashed.collision = Some(avis_sim::Collision {
+            kind: avis_sim::CollisionKind::Ground,
+            impact_speed: 4.2,
+            position: Vec3::new(10.0, 0.0, 0.0),
+        });
+        for run in [synthetic_run(0.2), fly_away, stalled, crashed] {
+            assert_eq!(monitor.check(&run), brute_force_check(&monitor, &run));
+        }
     }
 
     #[test]

@@ -51,15 +51,27 @@ impl RoleSignature {
 
     /// Whether `self` is a sub-multiset of `other` (every failure in `self`
     /// appears in `other`, respecting multiplicity).
+    ///
+    /// Both signatures are kept sorted by construction, so this is a
+    /// single two-pointer merge walk — no allocation, O(len) — instead of
+    /// cloning `other` and position-scanning it per element.
     pub fn is_subset_of(&self, other: &RoleSignature) -> bool {
-        let mut remaining = other.0.clone();
-        for f in &self.0 {
-            match remaining.iter().position(|r| r == f) {
-                Some(idx) => {
-                    remaining.swap_remove(idx);
+        if self.0.len() > other.0.len() {
+            return false;
+        }
+        let mut candidates = other.0.iter();
+        'next_failure: for failure in &self.0 {
+            for candidate in candidates.by_ref() {
+                if candidate == failure {
+                    continue 'next_failure;
                 }
-                None => return false,
+                if candidate > failure {
+                    // Both vecs are sorted: once `other` has advanced past
+                    // `failure`, no later element can match it.
+                    return false;
+                }
             }
+            return false;
         }
         true
     }
@@ -337,6 +349,53 @@ mod tests {
         // (it is pruned as already-explored instead).
         assert!(state.should_prune(&single));
         assert_eq!(state.symmetry_pruned(), 1);
+    }
+
+    #[test]
+    fn two_pointer_subset_matches_naive_reference() {
+        use avis_sim::SimRng;
+
+        /// The replaced clone + position-scan implementation, kept as the
+        /// oracle.
+        fn naive_is_subset_of(a: &RoleSignature, b: &RoleSignature) -> bool {
+            let mut remaining = b.0.clone();
+            for f in &a.0 {
+                match remaining.iter().position(|r| r == f) {
+                    Some(idx) => {
+                        remaining.swap_remove(idx);
+                    }
+                    None => return false,
+                }
+            }
+            true
+        }
+
+        let mut rng = SimRng::seed_from_u64(77);
+        let arb_signature = |rng: &mut SimRng| {
+            let len = rng.index(6);
+            let specs: Vec<FaultSpec> = (0..len)
+                .map(|_| {
+                    // A tiny domain so subsets, equalities and
+                    // multiplicities all actually occur.
+                    let kind = [SensorKind::Gps, SensorKind::Compass][rng.index(2)];
+                    let index = rng.index(3) as u8;
+                    let time = [5.0, 10.0][rng.index(2)];
+                    FaultSpec::new(SensorInstance::new(kind, index), time)
+                })
+                .collect();
+            RoleSignature::of(&FaultPlan::from_specs(specs))
+        };
+        for case in 0..500 {
+            let a = arb_signature(&mut rng);
+            let b = arb_signature(&mut rng);
+            assert_eq!(
+                a.is_subset_of(&b),
+                naive_is_subset_of(&a, &b),
+                "case {case}: {a:?} ⊆ {b:?} disagreed with the oracle"
+            );
+            // A signature is always a subset of itself.
+            assert!(a.is_subset_of(&a));
+        }
     }
 
     #[test]

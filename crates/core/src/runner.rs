@@ -3,6 +3,9 @@
 //! and records the [`Trace`] (the `RunExperiment` procedure of
 //! Algorithm 1, and the step loop of Figure 7).
 
+use crate::snapshot::{
+    injection_prefix, CheckpointConfig, CheckpointStats, RunSnapshot, SnapshotCache,
+};
 use crate::trace::{transition_from_code, ModeTransition, StateSample, Trace};
 use avis_firmware::{BugId, BugSet, Firmware, FirmwareProfile};
 use avis_hinj::{FaultInjector, FaultPlan, SharedInjector};
@@ -37,6 +40,13 @@ pub struct ExperimentConfig {
     /// Extra simulated seconds to keep running after the workload reaches a
     /// terminal state (so post-landing behaviour is captured).
     pub grace_period: f64,
+    /// Checkpoint-tree configuration: whether (and how densely) the
+    /// runner snapshots injection runs so later scenarios can fork from a
+    /// shared prefix instead of cold-starting (see [`crate::snapshot`]).
+    /// Checkpointing never changes a run's result — a forked run is
+    /// bit-identical to a cold one — so this is purely a speed/memory
+    /// trade-off.
+    pub checkpoints: CheckpointConfig,
 }
 
 impl ExperimentConfig {
@@ -53,6 +63,7 @@ impl ExperimentConfig {
             seed: 7,
             noise: None,
             grace_period: 2.0,
+            checkpoints: CheckpointConfig::default(),
         }
     }
 }
@@ -84,6 +95,12 @@ impl RunResult {
 pub struct ExperimentRunner {
     config: ExperimentConfig,
     runs: u64,
+    /// The checkpoint tree (see [`crate::snapshot`]): snapshots of
+    /// injection runs keyed by quantised injection prefix, so later
+    /// scenarios fork from the deepest shared prefix. Owned per runner —
+    /// each engine worker holds its own runner, which keeps the parallel
+    /// path lock-free.
+    cache: SnapshotCache,
 }
 
 impl ExperimentRunner {
@@ -94,7 +111,16 @@ impl ExperimentRunner {
             config.sample_interval >= config.dt,
             "sample interval must be >= dt"
         );
-        ExperimentRunner { config, runs: 0 }
+        assert!(
+            config.checkpoints.interval > 0.0,
+            "checkpoint interval must be positive"
+        );
+        let cache = SnapshotCache::new(config.checkpoints.max_bytes);
+        ExperimentRunner {
+            config,
+            runs: 0,
+            cache,
+        }
     }
 
     /// The runner's configuration.
@@ -105,6 +131,12 @@ impl ExperimentRunner {
     /// Number of runs executed so far.
     pub fn runs_executed(&self) -> u64 {
         self.runs
+    }
+
+    /// Checkpoint-cache statistics (forked vs cold runs, memory held,
+    /// simulated seconds skipped by forking).
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.cache.stats()
     }
 
     /// Executes the workload with no injected faults (a golden / profiling
@@ -122,37 +154,134 @@ impl ExperimentRunner {
     fn execute(&mut self, plan: FaultPlan, seed_offset: u64) -> RunResult {
         self.runs += 1;
         let cfg = &self.config;
+        // Only injection runs (seed offset 0) go through the checkpoint
+        // tree: profiling runs each use a distinct sensor-noise seed and
+        // execute exactly once, so snapshotting them is pure overhead.
+        let checkpointing = cfg.checkpoints.enabled && seed_offset == 0;
 
-        let mut sim_config = SimConfig {
-            dt: cfg.dt,
-            seed: cfg.seed.wrapping_add(seed_offset),
-            ..SimConfig::default()
+        // Fork from the deepest cached snapshot whose injection prefix
+        // matches the plan, or provision a cold run from t = 0. A forked
+        // run is bit-identical to a cold one: the restored state is the
+        // exact state a cold run of this plan would reach at the fork
+        // time, because the two plans agree on every failure scheduled
+        // before it (see `crate::snapshot` for the argument).
+        let resumed = if checkpointing {
+            self.cache.deepest_match(seed_offset, &plan)
+        } else {
+            None
         };
-        if let Some(noise) = &cfg.noise {
-            sim_config.sensors.noise = noise.clone();
-        }
-        let mut sim = Simulator::new(sim_config, cfg.workload.environment().clone());
-        let injector = SharedInjector::new(FaultInjector::new(plan));
-        let mut firmware = Firmware::new(cfg.profile, cfg.bugs.clone(), injector.clone());
-        let mut workload = cfg.workload.fresh();
 
-        // Pre-size the trace for the full run and reuse the step/telemetry
-        // buffers across iterations: the lock-step loop below performs no
-        // per-step heap allocations in steady state.
-        let mut samples: Vec<StateSample> =
-            Vec::with_capacity((cfg.max_duration / cfg.sample_interval) as usize + 2);
         let mut telemetry: Vec<Message> = Vec::new();
-        let mut fence_violations = 0usize;
-        let mut next_sample_time = 0.0;
-        let mut workload_status = WorkloadStatus::Running;
-        let mut terminal_since: Option<f64> = None;
+        let (
+            mut sim,
+            injector,
+            mut firmware,
+            mut workload,
+            mut samples,
+            mut output,
+            mut fence_violations,
+            mut next_sample_time,
+            mut workload_status,
+            mut terminal_since,
+        );
+        match resumed {
+            Some(snapshot) => {
+                let RunSnapshot {
+                    sim: sim_snap,
+                    firmware: firmware_snap,
+                    injector: injector_snap,
+                    workload: workload_snap,
+                    samples: samples_snap,
+                    output: output_snap,
+                    fence_violations: fences_snap,
+                    next_sample_time: sample_time_snap,
+                    workload_status: status_snap,
+                    terminal_since: terminal_snap,
+                    ..
+                } = snapshot;
+                injector = SharedInjector::new(injector_snap.into_restored_with_plan(plan));
+                firmware = firmware_snap.into_restored(injector.clone());
+                sim = sim_snap.into_restored();
+                workload = workload_snap;
+                samples = samples_snap;
+                output = output_snap;
+                fence_violations = fences_snap;
+                next_sample_time = sample_time_snap;
+                workload_status = status_snap;
+                terminal_since = terminal_snap;
+            }
+            None => {
+                if checkpointing {
+                    self.cache.note_cold_run();
+                }
+                let mut sim_config = SimConfig {
+                    dt: cfg.dt,
+                    seed: cfg.seed.wrapping_add(seed_offset),
+                    ..SimConfig::default()
+                };
+                if let Some(noise) = &cfg.noise {
+                    sim_config.sensors.noise = noise.clone();
+                }
+                sim = Simulator::new(sim_config, cfg.workload.environment().clone());
+                injector = SharedInjector::new(FaultInjector::new(plan));
+                firmware = Firmware::new(cfg.profile, cfg.bugs.clone(), injector.clone());
+                workload = cfg.workload.fresh();
 
-        // Prime the loop with one idle simulator step to obtain readings.
-        let mut output = StepOutput::empty();
-        sim.step_into(&MotorCommands::IDLE, &mut output);
+                // Pre-size the trace for the full run and reuse the
+                // step/telemetry buffers across iterations: the lock-step
+                // loop below performs no per-step heap allocations in
+                // steady state.
+                samples = Vec::with_capacity((cfg.max_duration / cfg.sample_interval) as usize + 2);
+                fence_violations = 0usize;
+                next_sample_time = 0.0;
+                workload_status = WorkloadStatus::Running;
+                terminal_since = None;
+
+                // Prime the loop with one idle simulator step to obtain
+                // readings.
+                output = StepOutput::empty();
+                sim.step_into(&MotorCommands::IDLE, &mut output);
+            }
+        }
+
+        // The next snapshot boundary: the first multiple of the
+        // checkpoint interval strictly after the current (cold or fork)
+        // time, so a forked run extends the tree instead of re-recording
+        // the chain it resumed from.
+        let checkpoint_interval = cfg.checkpoints.interval;
+        let mut next_checkpoint = if checkpointing {
+            (sim.time() / checkpoint_interval).floor() * checkpoint_interval + checkpoint_interval
+        } else {
+            f64::INFINITY
+        };
 
         while sim.time() < cfg.max_duration {
             let time = sim.time();
+            // Checkpoint recording, cut at the top of the loop body: the
+            // snapshot captures the state *before* this step's
+            // ground-station exchange, firmware step and physics step.
+            if time >= next_checkpoint {
+                self.cache.record(
+                    seed_offset,
+                    RunSnapshot {
+                        sim: sim.snapshot(),
+                        firmware: firmware.snapshot(),
+                        injector: injector.snapshot(),
+                        workload: workload.clone(),
+                        samples: samples.clone(),
+                        output: output.clone(),
+                        fence_violations,
+                        next_sample_time,
+                        workload_status: workload_status.clone(),
+                        terminal_since,
+                        time,
+                        prefix: injection_prefix(&injector.plan(), time),
+                    },
+                );
+                while time >= next_checkpoint {
+                    next_checkpoint += checkpoint_interval;
+                }
+            }
             // Ground-station side: deliver telemetry, collect commands.
             firmware.drain_outbox_into(&mut telemetry);
             let (commands, status) = workload.tick(&telemetry, time);
@@ -222,6 +351,7 @@ impl ExperimentRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::CheckpointStats;
     use avis_firmware::{BugId, OperatingMode};
     use avis_hinj::FaultSpec;
     use avis_sim::{SensorInstance, SensorKind};
@@ -288,6 +418,63 @@ mod tests {
             a.trace.samples, b.trace.samples,
             "replay must be deterministic"
         );
+    }
+
+    #[test]
+    fn forked_replay_is_bit_identical_to_cold_execution() {
+        let gps1 = SensorInstance::new(SensorKind::Gps, 1);
+        let plan_a = FaultPlan::from_specs(vec![FaultSpec::new(gps1, 40.0)]);
+        let plan_b = FaultPlan::from_specs(vec![FaultSpec::new(gps1, 50.0)]);
+
+        // Reference results from a checkpoint-disabled runner.
+        let mut cold_cfg = quiet_config(BugSet::none());
+        cold_cfg.checkpoints = CheckpointConfig::disabled();
+        let mut cold_runner = ExperimentRunner::new(cold_cfg);
+        let cold_a = cold_runner.run_with_plan(plan_a.clone());
+        let cold_b = cold_runner.run_with_plan(plan_b.clone());
+        assert_eq!(cold_runner.checkpoint_stats(), CheckpointStats::default());
+
+        // The checkpointing runner cold-starts the first plan and forks
+        // the second off the shared fault-free prefix (< 40 s).
+        let mut runner = ExperimentRunner::new(quiet_config(BugSet::none()));
+        let a = runner.run_with_plan(plan_a);
+        let b = runner.run_with_plan(plan_b);
+        assert_eq!(a, cold_a, "cold-started checkpointing run diverged");
+        assert_eq!(b, cold_b, "forked run diverged from cold execution");
+
+        let stats = runner.checkpoint_stats();
+        assert_eq!(stats.cold_runs, 1);
+        assert_eq!(stats.forked_runs, 1);
+        assert!(
+            stats.simulated_seconds_skipped >= 35.0,
+            "the fork should resume close to the 40 s injection: {stats:?}"
+        );
+        assert!(stats.snapshots_recorded as usize >= stats.snapshots_cached);
+        assert!(stats.cached_bytes > 0);
+    }
+
+    #[test]
+    fn tiny_memory_budget_evicts_but_stays_correct() {
+        let gps1 = SensorInstance::new(SensorKind::Gps, 1);
+        let mut cfg = quiet_config(BugSet::none());
+        // Room for roughly one snapshot: almost every record evicts.
+        cfg.checkpoints = CheckpointConfig::with_max_bytes(64 * 1024);
+        let mut runner = ExperimentRunner::new(cfg);
+        let mut cold_cfg = quiet_config(BugSet::none());
+        cold_cfg.checkpoints = CheckpointConfig::disabled();
+        let mut cold_runner = ExperimentRunner::new(cold_cfg);
+        for time in [30.0, 45.0, 60.0] {
+            let plan = FaultPlan::from_specs(vec![FaultSpec::new(gps1, time)]);
+            let budgeted = runner.run_with_plan(plan.clone());
+            let cold = cold_runner.run_with_plan(plan);
+            assert_eq!(budgeted, cold, "eviction must never change results");
+        }
+        let stats = runner.checkpoint_stats();
+        assert!(
+            stats.snapshots_evicted > 0,
+            "budget should evict: {stats:?}"
+        );
+        assert!(stats.cached_bytes <= 64 * 1024);
     }
 
     #[test]

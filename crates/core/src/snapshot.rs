@@ -1,0 +1,403 @@
+//! The checkpoint tree: memory-budgeted, LRU-evicted caching of mid-run
+//! snapshots so a scenario can fork from the deepest cached state whose
+//! *injection prefix* matches, instead of replaying the shared prefix
+//! from `t = 0`.
+//!
+//! # Why this is sound
+//!
+//! A test run is a pure function of its [`FaultPlan`]: the simulator, the
+//! firmware, the injector and the workload are all deterministic given
+//! the experiment seed, and the *only* way the plan influences the run is
+//! through `should_fail(instance, time)` queries, whose answers depend
+//! solely on the failures scheduled at or before the query time. Two
+//! plans whose failures scheduled before time `T` are identical therefore
+//! drive bit-identical executions up to `T` — everything before the first
+//! divergent injection is shared work.
+//!
+//! The cache exploits exactly that: while a run executes, the runner
+//! records a [`RunSnapshot`] (simulator + firmware + injector +
+//! workload + trace bookkeeping) every [`CheckpointConfig::interval`]
+//! simulated seconds, keyed by the quantised injection prefix at the snapshot
+//! time. A later run looks up the deepest snapshot whose key matches one
+//! of its own prefixes, *verifies the un-quantised prefixes match
+//! exactly* (quantisation is a hash key, never a correctness argument)
+//! and resumes from there with its own plan swapped in. Runs that fork
+//! mid-scenario extend the tree with deeper, prefix-specific branches —
+//! hence checkpoint *tree*, not checkpoint list.
+//!
+//! Snapshots are recorded only for injection runs (`seed_offset == 0`):
+//! profiling runs each use a distinct sensor-noise seed and execute once,
+//! so caching them would only consume budget.
+
+use crate::trace::StateSample;
+use avis_firmware::FirmwareSnapshot;
+use avis_hinj::{FaultPlan, FaultSpec, InjectorSnapshot};
+use avis_sim::simulator::StepOutput;
+use avis_sim::{SensorReading, SimSnapshot};
+use avis_workload::{ScriptedWorkload, WorkloadStatus};
+use std::collections::BTreeMap;
+
+/// Configuration of the runner's checkpoint cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// Whether the runner records and reuses snapshots at all. Disabled,
+    /// every run cold-starts from `t = 0` (the pre-checkpoint behaviour).
+    pub enabled: bool,
+    /// Simulated seconds between snapshots along a run. Smaller intervals
+    /// give forks a deeper resume point but cost more recording time and
+    /// memory.
+    pub interval: f64,
+    /// Memory budget for the cache (approximate bytes). When an insert
+    /// pushes the total past this, the least-recently-used snapshots are
+    /// evicted until it fits again.
+    ///
+    /// The budget is **per runner**: every engine worker owns its own
+    /// lock-free cache, so a campaign at parallelism `N` may hold up to
+    /// `N × max_bytes` of snapshots in total. Size the budget against
+    /// the worker count on memory-constrained hosts.
+    pub max_bytes: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            enabled: true,
+            interval: 5.0,
+            max_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// A configuration that disables checkpointing entirely.
+    pub fn disabled() -> Self {
+        CheckpointConfig {
+            enabled: false,
+            ..CheckpointConfig::default()
+        }
+    }
+
+    /// A configuration with the given memory budget (bytes).
+    pub fn with_max_bytes(max_bytes: usize) -> Self {
+        CheckpointConfig {
+            max_bytes,
+            ..CheckpointConfig::default()
+        }
+    }
+}
+
+/// The failures of `plan` scheduled strictly before `t` — the *injection
+/// prefix* that fully determines the run's behaviour on `[0, t)`.
+/// (A failure scheduled exactly at `t` first fires at the firmware step
+/// at `t`, which happens after a snapshot taken at loop-top time `t`.)
+pub(crate) fn injection_prefix(plan: &FaultPlan, t: f64) -> Vec<FaultSpec> {
+    plan.specs().filter(|s| s.time < t).collect()
+}
+
+/// The millisecond-quantised cache key of an injection prefix. Purely a
+/// lookup key: before a snapshot is reused, the exact (`f64`) prefixes
+/// are compared, so two plans that collide in quantised space can never
+/// contaminate each other's results.
+pub(crate) fn prefix_cache_key(prefix: &[FaultSpec]) -> String {
+    let mut parts: Vec<String> = prefix
+        .iter()
+        .map(|s| {
+            format!(
+                "{}:{}:{}",
+                s.instance.kind.name(),
+                s.instance.index,
+                (s.time * 1000.0).round() as i64
+            )
+        })
+        .collect();
+    parts.sort();
+    parts.join("|")
+}
+
+/// Everything the runner needs to resume a run mid-flight: the three
+/// substrate snapshots plus the runner's own loop bookkeeping at the cut
+/// point (the top of the lock-step loop, before ground-station traffic
+/// for that step is exchanged).
+#[derive(Debug, Clone)]
+pub struct RunSnapshot {
+    /// Simulator state (vehicle, environment, sensor RNG stream, time).
+    pub(crate) sim: SimSnapshot,
+    /// Firmware state (estimator, navigator, failsafes, mission, modes).
+    pub(crate) firmware: FirmwareSnapshot,
+    /// Injector state (records + read counters; plan swapped at restore).
+    pub(crate) injector: InjectorSnapshot,
+    /// Workload runtime state (script progress, seen telemetry).
+    pub(crate) workload: ScriptedWorkload,
+    /// Trace samples recorded so far.
+    pub(crate) samples: Vec<StateSample>,
+    /// The step/telemetry output buffer as of the last simulator step.
+    pub(crate) output: StepOutput,
+    /// Fence-violation count so far.
+    pub(crate) fence_violations: usize,
+    /// Next trace-sample time.
+    pub(crate) next_sample_time: f64,
+    /// Workload status at the cut point.
+    pub(crate) workload_status: WorkloadStatus,
+    /// When the workload reached a terminal state, if it has.
+    pub(crate) terminal_since: Option<f64>,
+    /// Simulation time of the cut (s); equals the captured simulator's
+    /// clock.
+    pub(crate) time: f64,
+    /// The exact injection prefix of the recording run at `time`.
+    pub(crate) prefix: Vec<FaultSpec>,
+}
+
+impl RunSnapshot {
+    /// Simulation time of the cut (s).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The exact injection prefix the snapshot was recorded under.
+    pub fn prefix(&self) -> &[FaultSpec] {
+        &self.prefix
+    }
+
+    /// Approximate heap footprint (bytes) for the cache's memory budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.sim.approx_bytes()
+            + self.firmware.approx_bytes()
+            + self.injector.approx_bytes()
+            + self.samples.len() * std::mem::size_of::<StateSample>()
+            + self.output.readings.len() * std::mem::size_of::<SensorReading>()
+            + self.prefix.len() * std::mem::size_of::<FaultSpec>()
+            // Workload runtime state plus per-snapshot bookkeeping. The
+            // script itself (steps, environment) is Arc-shared, not copied.
+            + 1024
+    }
+}
+
+/// Composite cache key: experiment seed offset, quantised injection
+/// prefix, quantised snapshot time. Ordered so one prefix's snapshots
+/// ("a chain of the checkpoint tree") are contiguous and time-sorted,
+/// which makes deepest-first scans a reverse range iteration.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SnapshotKey {
+    seed_offset: u64,
+    prefix: String,
+    time_ms: i64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    snapshot: RunSnapshot,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Counters describing how the checkpoint cache behaved, surfaced through
+/// [`crate::runner::ExperimentRunner::checkpoint_stats`] and reported by
+/// the campaign-throughput bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CheckpointStats {
+    /// Injection runs that resumed from a snapshot.
+    pub forked_runs: u64,
+    /// Injection runs that cold-started from `t = 0`.
+    pub cold_runs: u64,
+    /// Snapshots currently held.
+    pub snapshots_cached: usize,
+    /// Approximate bytes currently held.
+    pub cached_bytes: usize,
+    /// Snapshots recorded over the runner's lifetime.
+    pub snapshots_recorded: u64,
+    /// Snapshots evicted by the memory budget.
+    pub snapshots_evicted: u64,
+    /// Total simulated seconds *not* re-executed thanks to forking (the
+    /// sum of fork-point times).
+    pub simulated_seconds_skipped: f64,
+}
+
+/// The memory-budgeted, LRU-evicted snapshot store.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotCache {
+    entries: BTreeMap<SnapshotKey, CacheEntry>,
+    total_bytes: usize,
+    max_bytes: usize,
+    clock: u64,
+    stats: CheckpointStats,
+}
+
+impl SnapshotCache {
+    /// An empty cache with the given memory budget (bytes).
+    pub fn new(max_bytes: usize) -> Self {
+        SnapshotCache {
+            max_bytes,
+            ..SnapshotCache::default()
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CheckpointStats {
+        CheckpointStats {
+            snapshots_cached: self.entries.len(),
+            cached_bytes: self.total_bytes,
+            ..self.stats
+        }
+    }
+
+    /// Notes that a run executed without forking.
+    pub(crate) fn note_cold_run(&mut self) {
+        self.stats.cold_runs += 1;
+    }
+
+    /// Returns (a clone of) the deepest cached snapshot a run of `plan`
+    /// may resume from: among every snapshot whose quantised key matches
+    /// one of the plan's own injection prefixes *and* whose exact prefix
+    /// equals the plan's exact prefix at the snapshot time, the one with
+    /// the latest cut time.
+    pub(crate) fn deepest_match(
+        &mut self,
+        seed_offset: u64,
+        plan: &FaultPlan,
+    ) -> Option<RunSnapshot> {
+        // The plan's prefix only changes at its own failure times, so
+        // there are at most `plan.len() + 1` distinct prefixes to probe;
+        // probe each one's chain from its deepest snapshot down.
+        let mut boundaries: Vec<f64> = plan.specs().map(|s| s.time).collect();
+        boundaries.sort_by(|a, b| a.partial_cmp(b).expect("fault times are finite"));
+        boundaries.dedup();
+        // `injection_prefix` is strict (`time < probe`), so probing at
+        // boundary `k` selects the prefix *excluding* that boundary's
+        // failures — i.e. the failures before it — and f64::INFINITY
+        // probes the full-plan prefix. Together the probes enumerate
+        // every distinct prefix of the plan.
+        let mut best: Option<(f64, SnapshotKey)> = None;
+        for k in 0..=boundaries.len() {
+            let probe = if k == boundaries.len() {
+                f64::INFINITY
+            } else {
+                boundaries[k]
+            };
+            let prefix = injection_prefix(plan, probe);
+            let key = prefix_cache_key(&prefix);
+            let lo = SnapshotKey {
+                seed_offset,
+                prefix: key.clone(),
+                time_ms: i64::MIN,
+            };
+            let hi = SnapshotKey {
+                seed_offset,
+                prefix: key,
+                time_ms: i64::MAX,
+            };
+            for (entry_key, entry) in self.entries.range(lo..=hi).rev() {
+                let snapshot = &entry.snapshot;
+                // Exact validity guard: the plan's exact prefix at the
+                // snapshot's cut time must equal the recorded prefix.
+                // This rejects both quantisation collisions and
+                // snapshots cut *after* one of the plan's failures that
+                // the recording run did not inject.
+                if injection_prefix(plan, snapshot.time) == snapshot.prefix {
+                    if best.as_ref().is_none_or(|(t, _)| snapshot.time > *t) {
+                        best = Some((snapshot.time, entry_key.clone()));
+                    }
+                    break; // deeper entries of this chain are shallower in time
+                }
+            }
+        }
+        let (time, key) = best?;
+        self.clock += 1;
+        let entry = self.entries.get_mut(&key).expect("matched key present");
+        entry.last_used = self.clock;
+        self.stats.forked_runs += 1;
+        self.stats.simulated_seconds_skipped += time;
+        Some(entry.snapshot.clone())
+    }
+
+    /// Records a snapshot, keeping the earliest recording when the same
+    /// `(seed offset, prefix, time)` cell is already occupied, then
+    /// evicts least-recently-used snapshots until the memory budget is
+    /// respected again.
+    pub(crate) fn record(&mut self, seed_offset: u64, snapshot: RunSnapshot) {
+        let key = SnapshotKey {
+            seed_offset,
+            prefix: prefix_cache_key(&snapshot.prefix),
+            time_ms: (snapshot.time * 1000.0).round() as i64,
+        };
+        if self.entries.contains_key(&key) {
+            return;
+        }
+        let bytes = snapshot.approx_bytes();
+        self.clock += 1;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                snapshot,
+                bytes,
+                last_used: self.clock,
+            },
+        );
+        self.total_bytes += bytes;
+        self.stats.snapshots_recorded += 1;
+        while self.total_bytes > self.max_bytes && !self.entries.is_empty() {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty cache has an LRU entry");
+            let evicted = self.entries.remove(&lru).expect("LRU key present");
+            self.total_bytes -= evicted.bytes;
+            self.stats.snapshots_evicted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avis_sim::{SensorInstance, SensorKind};
+
+    fn spec(kind: SensorKind, index: u8, time: f64) -> FaultSpec {
+        FaultSpec::new(SensorInstance::new(kind, index), time)
+    }
+
+    #[test]
+    fn injection_prefix_is_strictly_before_the_cut() {
+        let plan = FaultPlan::from_specs(vec![
+            spec(SensorKind::Gps, 0, 10.0),
+            spec(SensorKind::Barometer, 0, 20.0),
+        ]);
+        assert!(injection_prefix(&plan, 5.0).is_empty());
+        // A failure scheduled exactly at the cut has not fired yet.
+        assert!(injection_prefix(&plan, 10.0).is_empty());
+        assert_eq!(injection_prefix(&plan, 10.001).len(), 1);
+        assert_eq!(injection_prefix(&plan, 30.0).len(), 2);
+    }
+
+    #[test]
+    fn prefix_cache_key_is_order_independent_and_quantised() {
+        let a = vec![
+            spec(SensorKind::Gps, 0, 10.0),
+            spec(SensorKind::Barometer, 1, 20.0),
+        ];
+        let b = vec![
+            spec(SensorKind::Barometer, 1, 20.0),
+            spec(SensorKind::Gps, 0, 10.0),
+        ];
+        assert_eq!(prefix_cache_key(&a), prefix_cache_key(&b));
+        assert_eq!(prefix_cache_key(&[]), "");
+        let c = vec![spec(SensorKind::Gps, 0, 10.0001)];
+        let d = vec![spec(SensorKind::Gps, 0, 10.0004)];
+        // Sub-millisecond times collide in key space by design…
+        assert_eq!(prefix_cache_key(&c), prefix_cache_key(&d));
+        // …and differ at millisecond granularity.
+        let e = vec![spec(SensorKind::Gps, 0, 10.001)];
+        assert_ne!(prefix_cache_key(&c), prefix_cache_key(&e));
+    }
+
+    #[test]
+    fn checkpoint_config_defaults_and_disabled() {
+        let cfg = CheckpointConfig::default();
+        assert!(cfg.enabled);
+        assert!(cfg.interval > 0.0);
+        assert!(cfg.max_bytes > 0);
+        assert!(!CheckpointConfig::disabled().enabled);
+        assert_eq!(CheckpointConfig::with_max_bytes(123).max_bytes, 123);
+    }
+}

@@ -51,6 +51,57 @@ enum RtlPhase {
     Landing,
 }
 
+/// A point-in-time capture of a [`Firmware`], taken mid-run by
+/// [`Firmware::snapshot`]. The whole control stack is captured —
+/// estimator, navigator PIDs, failsafe engine, mission progress, mode
+/// state machines, outbox and defect bookkeeping — so a restored firmware
+/// continues bit-identically to the original given the same sensor
+/// readings.
+///
+/// Restoring requires a [`SharedInjector`] handle because the captured
+/// firmware's handle points at the injector of the *recording* run; a
+/// forked run owns a fresh injector (same prefix records, possibly a
+/// different remaining plan) and the restore rebinds both the firmware's
+/// own handle and its sensor frontend's.
+#[derive(Debug, Clone)]
+pub struct FirmwareSnapshot {
+    firmware: Firmware,
+}
+
+impl FirmwareSnapshot {
+    /// Simulation time of the capture (s) — the time of the last
+    /// [`Firmware::step`] before the snapshot.
+    pub fn time(&self) -> f64 {
+        self.firmware.time
+    }
+
+    /// Rebuilds the captured firmware, pointing it at `injector`.
+    pub fn restore(&self, injector: SharedInjector) -> Firmware {
+        self.clone().into_restored(injector)
+    }
+
+    /// Consuming form of [`FirmwareSnapshot::restore`], for callers that
+    /// own the snapshot and want to avoid the extra clone.
+    pub fn into_restored(self, injector: SharedInjector) -> Firmware {
+        let mut firmware = self.firmware;
+        firmware.injector = injector.clone();
+        firmware.frontend.rebind_injector(injector);
+        firmware
+    }
+
+    /// Approximate heap footprint of the captured state (bytes), used by
+    /// checkpoint caches to enforce their memory budget.
+    pub fn approx_bytes(&self) -> usize {
+        let fw = &self.firmware;
+        std::mem::size_of::<Firmware>()
+            + fw.mode_history.len() * std::mem::size_of::<(f64, OperatingMode)>()
+            + fw.outbox.len() * std::mem::size_of::<Message>()
+            + fw.defect_log.len() * std::mem::size_of::<(f64, DefectOverrides)>()
+            + std::mem::size_of_val(fw.failsafes.events())
+            + fw.mission.items().len() * 64
+    }
+}
+
 /// The UAV control firmware.
 #[derive(Debug, Clone)]
 pub struct Firmware {
@@ -196,6 +247,14 @@ impl Firmware {
             position: est.position,
             mission_index: self.mission.current_index(),
             landed: !self.armed || (est.altitude < 0.3 && est.climb_rate.abs() < 0.3),
+        }
+    }
+
+    /// Captures the firmware's complete state so a later run can resume
+    /// from this exact point (see [`FirmwareSnapshot`]).
+    pub fn snapshot(&self) -> FirmwareSnapshot {
+        FirmwareSnapshot {
+            firmware: self.clone(),
         }
     }
 

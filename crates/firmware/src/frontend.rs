@@ -127,6 +127,14 @@ impl SensorFrontend {
         }
     }
 
+    /// Points the frontend at a different injector handle, keeping the
+    /// health bookkeeping intact. Used when a firmware restored from a
+    /// snapshot must report its reads to the forked run's own injector
+    /// instead of the one the snapshot was recorded against.
+    pub fn rebind_injector(&mut self, injector: SharedInjector) {
+        self.injector = injector;
+    }
+
     /// The current health summary.
     pub fn health(&self) -> &SensorHealth {
         &self.health

@@ -49,7 +49,7 @@ pub use bugs::{BugId, BugInfo, BugSet, BugSymptom};
 pub use defects::{DefectContext, DefectEngine, DefectOverrides};
 pub use estimator::{EstimatorState, StateEstimator};
 pub use failsafe::{FailsafeCause, FailsafeEngine, FailsafeEvent};
-pub use firmware::{Firmware, Telemetry};
+pub use firmware::{Firmware, FirmwareSnapshot, Telemetry};
 pub use frontend::{SelectedSensors, SensorFrontend, SensorHealth};
 pub use mission::MissionManager;
 pub use modes::{ModeCategory, OperatingMode};

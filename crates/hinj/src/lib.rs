@@ -259,6 +259,24 @@ impl FaultInjector {
         std::mem::take(&mut self.plan)
     }
 
+    /// Replaces the plan being executed, keeping every record (delivered
+    /// injections, mode transitions, read counters) intact. This is the
+    /// fork primitive of checkpointed replay: a run restored from a
+    /// snapshot keeps the injector bookkeeping of the shared prefix and
+    /// swaps in the new scenario's plan for the remainder of the run.
+    pub fn set_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+    }
+
+    /// Captures the injector's complete state — plan, delivered
+    /// injections, mode transitions and read counters — so a later run
+    /// can resume from this exact point (see [`InjectorSnapshot`]).
+    pub fn snapshot(&self) -> InjectorSnapshot {
+        InjectorSnapshot {
+            injector: self.clone(),
+        }
+    }
+
     /// Called from an instrumented sensor-driver read. Returns `true` if
     /// the read must be reported as failed, and records the first failed
     /// read per instance for the replay log.
@@ -324,6 +342,57 @@ impl FaultInjector {
     }
 }
 
+/// A point-in-time capture of a [`FaultInjector`], taken mid-run by
+/// [`FaultInjector::snapshot`]. Restoring yields an injector that behaves
+/// bit-identically to the captured one;
+/// [`InjectorSnapshot::restore_with_plan`] additionally swaps the fault
+/// plan, which is how a checkpointed runner forks a new scenario off a
+/// shared injection prefix.
+#[derive(Debug, Clone)]
+pub struct InjectorSnapshot {
+    injector: FaultInjector,
+}
+
+impl InjectorSnapshot {
+    /// Rebuilds the captured injector exactly.
+    pub fn restore(&self) -> FaultInjector {
+        self.injector.clone()
+    }
+
+    /// Rebuilds the captured injector with `plan` substituted for the
+    /// captured plan. Only valid when `plan` agrees with the captured
+    /// plan on every failure that starts before the capture time — the
+    /// caller (the runner's snapshot cache) guarantees this by keying
+    /// snapshots on the quantised injection prefix.
+    pub fn restore_with_plan(&self, plan: FaultPlan) -> FaultInjector {
+        let mut injector = self.injector.clone();
+        injector.set_plan(plan);
+        injector
+    }
+
+    /// Consuming form of [`InjectorSnapshot::restore_with_plan`], for
+    /// callers that own the snapshot and want to avoid the extra clone.
+    pub fn into_restored_with_plan(self, plan: FaultPlan) -> FaultInjector {
+        let mut injector = self.injector;
+        injector.set_plan(plan);
+        injector
+    }
+
+    /// The plan that was active when the snapshot was taken.
+    pub fn plan(&self) -> &FaultPlan {
+        self.injector.plan()
+    }
+
+    /// Approximate heap footprint of the captured state (bytes), used by
+    /// the snapshot cache's memory budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.injector.plan.len() * std::mem::size_of::<(SensorInstance, f64)>()
+            + self.injector.injections.len() * std::mem::size_of::<InjectionRecord>()
+            + self.injector.transitions.len() * std::mem::size_of::<ModeTransitionRecord>()
+            + std::mem::size_of::<FaultInjector>()
+    }
+}
+
 /// A cloneable, thread-safe handle to a [`FaultInjector`], shared between
 /// the firmware's sensor frontend and the experiment runner.
 #[derive(Debug, Clone, Default)]
@@ -377,6 +446,12 @@ impl SharedInjector {
     /// Removes and returns the plan (see [`FaultInjector::take_plan`]).
     pub fn take_plan(&self) -> FaultPlan {
         self.inner.lock().take_plan()
+    }
+
+    /// Captures the underlying injector's state (see
+    /// [`FaultInjector::snapshot`]).
+    pub fn snapshot(&self) -> InjectorSnapshot {
+        self.inner.lock().snapshot()
     }
 }
 

@@ -96,6 +96,45 @@ impl Default for StepOutput {
     }
 }
 
+/// A point-in-time capture of a [`Simulator`], taken mid-run by
+/// [`Simulator::snapshot`]. Everything that feeds the simulation forward
+/// — vehicle rigid-body state, environment, sensor-noise RNG stream,
+/// accumulated time and collision bookkeeping — is captured, so a
+/// restored simulator continues bit-identically to the original: the same
+/// motor-command sequence produces the same [`StepOutput`]s.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    sim: Simulator,
+}
+
+impl SimSnapshot {
+    /// Simulation time at which the snapshot was taken (s).
+    pub fn time(&self) -> f64 {
+        self.sim.time
+    }
+
+    /// Rebuilds the captured simulator.
+    pub fn restore(&self) -> Simulator {
+        self.sim.clone()
+    }
+
+    /// Consuming form of [`SimSnapshot::restore`], for callers that own
+    /// the snapshot and want to avoid the extra clone.
+    pub fn into_restored(self) -> Simulator {
+        self.sim
+    }
+
+    /// Approximate heap footprint of the captured state (bytes), used by
+    /// checkpoint caches to enforce their memory budget. The environment
+    /// geometry and sensor suite dominate; both are bounded per
+    /// configuration, so a flat estimate plus the fence count suffices.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Simulator>()
+            + self.sim.env.fences().len() * 128
+            + self.sim.config.sensors.total_instances() * 192
+    }
+}
+
 /// The software-in-the-loop simulator.
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -183,6 +222,12 @@ impl Simulator {
             heading: s.attitude.yaw(),
             on_ground: self.quad.on_ground(),
         }
+    }
+
+    /// Captures the simulator's complete state so a later run can resume
+    /// from this exact point (see [`SimSnapshot`]).
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot { sim: self.clone() }
     }
 
     /// Repositions the vehicle (scenario setup / tests only).

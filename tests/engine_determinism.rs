@@ -9,6 +9,7 @@
 use avis::campaign::Campaign;
 use avis::checker::{Approach, Budget, CampaignResult};
 use avis::runner::ExperimentConfig;
+use avis::snapshot::CheckpointConfig;
 use avis::strategy::RoundRobinMode;
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_sim::simulator::{SimConfig, Simulator, StepOutput};
@@ -94,6 +95,45 @@ fn round_robin_campaign_is_deterministic_across_engines() {
     );
     assert!(serial.approach.is_none());
     assert_eq!(serial.strategy, "Round-robin mode");
+}
+
+#[test]
+fn checkpointed_campaign_is_bit_identical_to_cold_execution() {
+    // The checkpoint tree must be invisible in every campaign observable:
+    // a campaign whose runs fork from cached snapshots produces the same
+    // `CampaignResult` as one that cold-starts every run from t = 0 —
+    // at parallelism 1 (one shared runner cache) and at parallelism 4
+    // (independent per-worker caches, each in a different fill state).
+    let run = |checkpoints: CheckpointConfig, parallelism: usize| {
+        Campaign::builder()
+            .experiment(experiment())
+            .approach(Approach::Avis)
+            .budget(Budget::simulations(8))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .checkpoints(checkpoints)
+            .build()
+            .run()
+    };
+    let cold = run(CheckpointConfig::disabled(), 1);
+    for parallelism in [1, 4] {
+        let checkpointed = run(CheckpointConfig::default(), parallelism);
+        assert_eq!(
+            cold, checkpointed,
+            "checkpointed campaign (parallelism {parallelism}) diverged from cold execution"
+        );
+        // A constrained memory budget (eviction on nearly every record)
+        // must be equally invisible.
+        let budgeted = run(CheckpointConfig::with_max_bytes(96 * 1024), parallelism);
+        assert_eq!(
+            cold, budgeted,
+            "memory-budgeted campaign (parallelism {parallelism}) diverged from cold execution"
+        );
+    }
+    assert!(
+        !cold.unsafe_conditions.is_empty(),
+        "the comparison should cover unsafe-condition bookkeeping too"
+    );
 }
 
 #[test]

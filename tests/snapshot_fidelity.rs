@@ -1,0 +1,272 @@
+//! Snapshot-fidelity property suite: for every layer that participates in
+//! the checkpoint tree — the simulator, the firmware, the fault injector
+//! and the full experiment runner — `snapshot → restore → step N` must be
+//! bit-identical to `step N` straight through. Like the rest of the
+//! property tests, randomness comes from a seeded [`SimRng`], so every
+//! case is deterministic across runs.
+
+use avis::runner::{ExperimentConfig, ExperimentRunner};
+use avis::snapshot::CheckpointConfig;
+use avis_firmware::{BugSet, Firmware, FirmwareProfile};
+use avis_hinj::{FaultInjector, FaultPlan, FaultSpec, SharedInjector};
+use avis_sim::simulator::{SimConfig, Simulator, StepOutput};
+use avis_sim::{Environment, MotorCommands, SensorInstance, SensorKind, SensorNoise, SimRng};
+use avis_workload::auto_box_mission;
+
+const DT: f64 = 0.0025;
+
+fn arb_instance(rng: &mut SimRng) -> SensorInstance {
+    let kind = SensorKind::ALL[rng.index(SensorKind::ALL.len())];
+    SensorInstance::new(kind, rng.index(3) as u8)
+}
+
+fn arb_plan(rng: &mut SimRng, lo: f64, hi: f64) -> FaultPlan {
+    let specs: Vec<FaultSpec> = (0..rng.index(3) + 1)
+        .map(|_| FaultSpec::new(arb_instance(rng), rng.uniform_range(lo, hi)))
+        .collect();
+    FaultPlan::from_specs(specs)
+}
+
+#[test]
+fn simulator_snapshot_restore_continues_bit_identically() {
+    let mut rng = SimRng::seed_from_u64(41);
+    for case in 0..5 {
+        let seed = rng.index(1000) as u64;
+        let cut = 200 + rng.index(1500);
+        let total = cut + 500 + rng.index(1500);
+        let throttles: Vec<f64> = (0..total).map(|_| rng.uniform_range(0.0, 0.9)).collect();
+
+        let make = || {
+            Simulator::new(
+                SimConfig {
+                    dt: DT,
+                    seed,
+                    ..SimConfig::default()
+                },
+                Environment::open_field(),
+            )
+        };
+        // Straight-through reference.
+        let mut straight = make();
+        let mut reference = StepOutput::empty();
+        for &t in &throttles {
+            straight.step_into(&MotorCommands::uniform(t), &mut reference);
+        }
+        // Snapshot at `cut`, restore, continue.
+        let mut recording = make();
+        let mut output = StepOutput::empty();
+        for &t in &throttles[..cut] {
+            recording.step_into(&MotorCommands::uniform(t), &mut output);
+        }
+        let snapshot = recording.snapshot();
+        assert_eq!(snapshot.time(), recording.time());
+        assert!(snapshot.approx_bytes() > 0);
+        let mut restored = snapshot.restore();
+        for &t in &throttles[cut..] {
+            restored.step_into(&MotorCommands::uniform(t), &mut output);
+        }
+        assert_eq!(output, reference, "case {case}: restored sim diverged");
+        assert_eq!(restored.time(), straight.time());
+        assert_eq!(restored.steps(), straight.steps());
+        assert_eq!(restored.first_collision(), straight.first_collision());
+    }
+}
+
+#[test]
+fn injector_snapshot_restore_preserves_prefix_and_swaps_plan() {
+    let mut rng = SimRng::seed_from_u64(43);
+    for case in 0..50 {
+        let prefix_fault = FaultSpec::new(arb_instance(&mut rng), rng.uniform_range(0.0, 5.0));
+        let original = FaultPlan::from_specs(vec![prefix_fault]);
+        let mut injector = FaultInjector::new(original);
+        // Drive some reads and mode reports past the prefix fault.
+        for i in 0..40 {
+            let t = i as f64 * 0.25;
+            injector.should_fail(prefix_fault.instance, t);
+            injector.should_fail(arb_instance(&mut rng), t);
+            if i % 10 == 0 {
+                injector.report_mode(t, avis_hinj::ModeCode(i as u32 / 10));
+            }
+        }
+        let snapshot = injector.snapshot();
+        assert_eq!(snapshot.plan().len(), 1);
+        assert!(snapshot.approx_bytes() > 0);
+
+        // Restoring with a new plan keeps all bookkeeping and the prefix
+        // failure (it fired; clean failures are permanent), while the new
+        // plan governs future reads.
+        let new_fault = FaultSpec::new(arb_instance(&mut rng), 20.0);
+        let new_plan = FaultPlan::from_specs(vec![prefix_fault, new_fault]);
+        let mut restored = snapshot.restore_with_plan(new_plan.clone());
+        assert_eq!(restored.plan(), &new_plan);
+        assert_eq!(
+            restored.mode_transitions(),
+            injector.mode_transitions(),
+            "case {case}: prefix transitions lost"
+        );
+        assert_eq!(restored.injections(), injector.injections());
+        assert_eq!(restored.total_reads(), injector.total_reads());
+        assert!(restored.should_fail(prefix_fault.instance, 10.0));
+        assert_eq!(
+            restored.should_fail(new_fault.instance, 25.0),
+            new_plan.is_failed(new_fault.instance, 25.0)
+        );
+
+        // The exact restore keeps the original plan.
+        assert_eq!(snapshot.restore().plan(), injector.plan());
+    }
+}
+
+#[test]
+fn firmware_snapshot_restore_continues_bit_identically() {
+    let mut rng = SimRng::seed_from_u64(47);
+    for case in 0..3 {
+        let plan = arb_plan(&mut rng, 5.0, 25.0);
+        let cut_steps = (rng.uniform_range(8.0, 30.0) / DT) as usize;
+        let total_steps = cut_steps + (20.0 / DT) as usize;
+
+        let run_reference = |plan: FaultPlan| {
+            let injector = SharedInjector::new(FaultInjector::new(plan));
+            let mut fw = Firmware::new(
+                FirmwareProfile::ArduPilotLike,
+                BugSet::none(),
+                injector.clone(),
+            );
+            let mut sim = make_sim(case as u64);
+            let mut output = StepOutput::empty();
+            sim.step_into(&MotorCommands::IDLE, &mut output);
+            let mut commands = Vec::new();
+            for step in 0..total_steps {
+                drive_ground_station(&mut fw, step);
+                let cmd = fw.step(&output.readings, sim.time(), DT);
+                commands.push(cmd);
+                sim.step_into(&cmd, &mut output);
+            }
+            (fw, sim, commands)
+        };
+        let (ref_fw, ref_sim, ref_commands) = run_reference(plan.clone());
+
+        // Same lock-step loop, but snapshot firmware + sim + injector at
+        // the cut and continue from the restored copies.
+        let injector = SharedInjector::new(FaultInjector::new(plan));
+        let mut fw = Firmware::new(
+            FirmwareProfile::ArduPilotLike,
+            BugSet::none(),
+            injector.clone(),
+        );
+        let mut sim = make_sim(case as u64);
+        let mut output = StepOutput::empty();
+        sim.step_into(&MotorCommands::IDLE, &mut output);
+        let mut commands = Vec::new();
+        for step in 0..cut_steps {
+            drive_ground_station(&mut fw, step);
+            let cmd = fw.step(&output.readings, sim.time(), DT);
+            commands.push(cmd);
+            sim.step_into(&cmd, &mut output);
+        }
+        let fw_snapshot = fw.snapshot();
+        assert!((fw_snapshot.time() - (sim.time() - DT)).abs() < 1e-9);
+        assert!(fw_snapshot.approx_bytes() > 0);
+        let restored_injector = SharedInjector::new(injector.snapshot().restore());
+        let mut restored_fw = fw_snapshot.restore(restored_injector.clone());
+        let mut restored_sim = sim.snapshot().into_restored();
+        let mut restored_output = output.clone();
+        for step in cut_steps..total_steps {
+            drive_ground_station(&mut restored_fw, step);
+            let cmd = restored_fw.step(&restored_output.readings, restored_sim.time(), DT);
+            commands.push(cmd);
+            restored_sim.step_into(&cmd, &mut restored_output);
+        }
+
+        assert_eq!(
+            commands, ref_commands,
+            "case {case}: motor commands diverged"
+        );
+        assert_eq!(restored_fw.mode(), ref_fw.mode());
+        assert_eq!(restored_fw.mode_history(), ref_fw.mode_history());
+        assert_eq!(restored_fw.estimate(), ref_fw.estimate());
+        assert_eq!(restored_sim.physical_state(), ref_sim.physical_state());
+        // The restored firmware reports to the *forked* injector, not the
+        // recording one.
+        assert_eq!(
+            restored_injector.mode_transitions(),
+            ref_sim_transitions(&ref_fw)
+        );
+    }
+}
+
+/// The reference run's transitions as recorded by its injector-facing
+/// mode reports (mode history and injector reports coincide for these
+/// runs).
+fn ref_sim_transitions(fw: &Firmware) -> Vec<avis_hinj::ModeTransitionRecord> {
+    let mut out = Vec::new();
+    let mut prev: Option<avis_hinj::ModeCode> = None;
+    for &(time, mode) in fw.mode_history() {
+        let code = mode.code();
+        if prev != Some(code) {
+            out.push(avis_hinj::ModeTransitionRecord {
+                time,
+                from: prev,
+                to: code,
+            });
+            prev = Some(code);
+        }
+    }
+    out
+}
+
+fn make_sim(seed: u64) -> Simulator {
+    let mut config = SimConfig {
+        dt: DT,
+        seed,
+        ..SimConfig::default()
+    };
+    config.sensors.noise = SensorNoise::noiseless();
+    Simulator::new(config, Environment::open_field())
+}
+
+/// A deterministic stand-in for the workload: arm, request takeoff, then
+/// leave the firmware flying on its own.
+fn drive_ground_station(fw: &mut Firmware, step: usize) {
+    use avis_mavlite::Message;
+    fw.drain_outbox();
+    if step == (1.0 / DT) as usize {
+        fw.handle_message(&Message::ArmDisarm { arm: true });
+        fw.handle_message(&Message::CommandTakeoff { altitude: 18.0 });
+    }
+}
+
+#[test]
+fn runner_forks_are_bit_identical_across_random_plans() {
+    let mut rng = SimRng::seed_from_u64(53);
+    let mut experiment = ExperimentConfig::new(
+        FirmwareProfile::ArduPilotLike,
+        BugSet::current_code_base(FirmwareProfile::ArduPilotLike),
+        auto_box_mission(),
+    );
+    experiment.noise = Some(SensorNoise::noiseless());
+    experiment.max_duration = 100.0;
+
+    let mut cold_experiment = experiment.clone();
+    cold_experiment.checkpoints = CheckpointConfig::disabled();
+
+    let mut checkpointed = ExperimentRunner::new(experiment);
+    let mut cold = ExperimentRunner::new(cold_experiment);
+    for case in 0..6 {
+        // Plans biased late so most of them share long prefixes (and the
+        // first iterations populate the tree the later ones fork from).
+        let plan = arb_plan(&mut rng, 30.0, 90.0);
+        let forked_result = checkpointed.run_with_plan(plan.clone());
+        let cold_result = cold.run_with_plan(plan);
+        assert_eq!(
+            forked_result, cold_result,
+            "case {case}: forked run diverged from cold execution"
+        );
+    }
+    let stats = checkpointed.checkpoint_stats();
+    assert!(
+        stats.forked_runs >= 3,
+        "late plans should fork off the shared prefix: {stats:?}"
+    );
+    assert!(stats.simulated_seconds_skipped > 0.0);
+}
