@@ -42,11 +42,13 @@
 use avis::campaign::Campaign;
 use avis::checker::{Approach, Budget, CampaignResult};
 use avis::json::{self, Json};
+use avis::matrix::ScenarioMatrix;
+use avis::runner::{ExperimentConfig, ExperimentRunner};
 use avis::snapshot::CheckpointConfig;
 use avis::strategy::{Candidate, Decision, Observation, Strategy, StrategyContext};
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_hinj::{FaultPlan, FaultSpec};
-use avis_sim::{SensorInstance, SensorKind};
+use avis_sim::{SensorInstance, SensorKind, SensorNoise};
 use avis_workload::auto_box_mission;
 use std::time::Instant;
 
@@ -222,14 +224,18 @@ impl avis::campaign::CampaignObserver for SearchPhaseClock {
 
 /// Runs the late-injection sweep, returning the result and the wall time
 /// of the search phase alone.
-fn run_late_injection(simulations: usize, checkpoints: CheckpointConfig) -> (CampaignResult, f64) {
+fn run_late_injection(
+    simulations: usize,
+    checkpoints: CheckpointConfig,
+    parallelism: usize,
+) -> (CampaignResult, f64) {
     let campaign = Campaign::builder()
         .firmware(FirmwareProfile::ArduPilotLike)
         .bugs(BugSet::none())
         .workload(auto_box_mission())
         .strategy(LateSweep::new())
         .budget(Budget::simulations(simulations))
-        .parallelism(1)
+        .parallelism(parallelism)
         .max_duration(110.0)
         .profiling_runs(LATE_SWEEP_PROFILING_RUNS)
         .checkpoints(checkpoints)
@@ -250,7 +256,8 @@ fn run_late_injection(simulations: usize, checkpoints: CheckpointConfig) -> (Cam
 /// the JSON section and the measured speedup.
 fn bench_checkpointing(simulations: usize) -> (Json, f64) {
     println!("scenario `late-injection`: {simulations}-simulation checkpoint-tree sweep");
-    let (cold_result, cold_seconds) = run_late_injection(simulations, CheckpointConfig::disabled());
+    let (cold_result, cold_seconds) =
+        run_late_injection(simulations, CheckpointConfig::disabled(), 1);
     let scenarios = cold_result
         .simulations
         .saturating_sub(LATE_SWEEP_PROFILING_RUNS);
@@ -260,6 +267,7 @@ fn bench_checkpointing(simulations: usize) -> (Json, f64) {
     let (checkpointed_result, checkpointed_seconds) = run_late_injection(
         simulations,
         CheckpointConfig::with_max_bytes(CHECKPOINT_BUDGET_BYTES),
+        1,
     );
     let checkpointed_sps = scenarios as f64 / checkpointed_seconds;
     let speedup = checkpointed_sps / cold_sps;
@@ -275,6 +283,26 @@ fn bench_checkpointing(simulations: usize) -> (Json, f64) {
     assert!(
         identical,
         "checkpointed campaign diverged from cold execution"
+    );
+
+    // The parallel-4 checkpointed sweep: per-worker caches warmed
+    // through the shared tier (one worker's cold chain serves every
+    // sibling after the next wavefront republish).
+    let (par4_cold_result, par4_cold_seconds) =
+        run_late_injection(simulations, CheckpointConfig::disabled(), 4);
+    let (par4_result, par4_seconds) = run_late_injection(
+        simulations,
+        CheckpointConfig::with_max_bytes(CHECKPOINT_BUDGET_BYTES),
+        4,
+    );
+    let par4_sps = scenarios as f64 / par4_seconds;
+    let par4_speedup = (scenarios as f64 / par4_seconds) / (scenarios as f64 / par4_cold_seconds);
+    assert!(
+        par4_result == cold_result && par4_cold_result == cold_result,
+        "parallel-4 sweep diverged from the serial cold result"
+    );
+    println!(
+        "  parallel-4:    cold {par4_cold_seconds:.2}s, checkpointed {par4_seconds:.2}s ({par4_sps:.2} scenarios/s, {par4_speedup:.2}x vs cold-4), results bit-identical"
     );
 
     let section = json::object(vec![
@@ -295,9 +323,163 @@ fn bench_checkpointing(simulations: usize) -> (Json, f64) {
             Json::Number(checkpointed_sps),
         ),
         ("speedup", Json::Number(speedup)),
+        (
+            "parallel4_cold_wall_seconds",
+            Json::Number(par4_cold_seconds),
+        ),
+        (
+            "parallel4_checkpointed_wall_seconds",
+            Json::Number(par4_seconds),
+        ),
+        (
+            "parallel4_checkpointed_scenarios_per_sec",
+            Json::Number(par4_sps),
+        ),
+        ("parallel4_speedup_vs_cold", Json::Number(par4_speedup)),
         ("result_identical", Json::Bool(true)),
     ]);
     (section, speedup)
+}
+
+/// The matrix-reuse scenario: two strategies over one firmware ×
+/// workload pair, run as a `ScenarioMatrix` whose cells share a snapshot
+/// tier. The second strategy's campaign warm-starts from the first one's
+/// checkpoint tree — measured as per-campaign search time with sharing
+/// on vs off, with bit-identical reports asserted.
+fn bench_matrix_reuse(simulations: usize) -> Json {
+    println!("scenario `matrix-reuse`: 2 strategies x shared firmware/workload");
+    struct CellClock {
+        started: Vec<Instant>,
+        durations: Vec<f64>,
+    }
+    impl avis::campaign::CampaignObserver for CellClock {
+        fn on_event(&mut self, event: &avis::campaign::CampaignEvent) {
+            match event {
+                avis::campaign::CampaignEvent::CampaignStarted { .. } => {
+                    self.started.push(Instant::now());
+                }
+                avis::campaign::CampaignEvent::CampaignFinished { .. } => {
+                    let start = self.started.last().expect("started before finished");
+                    self.durations.push(start.elapsed().as_secs_f64());
+                }
+                _ => {}
+            }
+        }
+    }
+    let run = |share: bool| {
+        let matrix = ScenarioMatrix::new()
+            .firmware(FirmwareProfile::ArduPilotLike)
+            .workload(auto_box_mission())
+            .bugs(BugSet::none())
+            .strategy("Late sweep A", || Box::new(LateSweep::new()))
+            .strategy("Late sweep B", || Box::new(LateSweep::new()))
+            .budget(Budget::simulations(simulations))
+            .profiling_runs(LATE_SWEEP_PROFILING_RUNS)
+            .parallelism(1)
+            .max_duration(110.0)
+            .noise(SensorNoise::default())
+            .share_snapshots(share);
+        let mut clock = CellClock {
+            started: Vec::new(),
+            durations: Vec::new(),
+        };
+        let report = matrix.run_with_observer(&mut clock);
+        (report, clock.durations)
+    };
+    let (shared_report, shared_durations) = run(true);
+    let (unshared_report, unshared_durations) = run(false);
+    assert_eq!(
+        shared_report, unshared_report,
+        "matrix-level snapshot sharing changed a cell result"
+    );
+    let warm_speedup = unshared_durations[1] / shared_durations[1].max(1e-9);
+    println!(
+        "  first campaign:  shared {:.2}s vs unshared {:.2}s",
+        shared_durations[0], unshared_durations[0]
+    );
+    println!(
+        "  second campaign: shared {:.2}s vs unshared {:.2}s -> warm-start speedup {warm_speedup:.2}x, reports bit-identical",
+        shared_durations[1], unshared_durations[1]
+    );
+    json::object(vec![
+        ("scenario", Json::String("matrix-reuse".to_string())),
+        ("strategies", Json::Number(2.0)),
+        (
+            "first_campaign_shared_seconds",
+            Json::Number(shared_durations[0]),
+        ),
+        (
+            "second_campaign_shared_seconds",
+            Json::Number(shared_durations[1]),
+        ),
+        (
+            "second_campaign_unshared_seconds",
+            Json::Number(unshared_durations[1]),
+        ),
+        ("warm_start_speedup", Json::Number(warm_speedup)),
+        ("report_identical", Json::Bool(true)),
+    ])
+}
+
+/// The snapshot-record microbenchmark: per-record overhead at growing
+/// run depth. With copy-on-write recording the cost per snapshot is flat
+/// in the run length (the sample history is sealed and `Arc`-shared, not
+/// cloned) — the pre-CoW implementation grew linearly with depth.
+fn bench_record_cost() -> Json {
+    println!("microbench `snapshot-record`: per-record cost vs run depth");
+    let experiment = |max_duration: f64, checkpoints: CheckpointConfig| {
+        let mut experiment = ExperimentConfig::new(
+            FirmwareProfile::ArduPilotLike,
+            BugSet::none(),
+            auto_box_mission(),
+        );
+        experiment.max_duration = max_duration;
+        experiment.checkpoints = checkpoints;
+        experiment
+    };
+    let mut rows = Vec::new();
+    for depth in [30.0, 60.0, 105.0] {
+        // Dense 1 s cuts so the record path dominates the delta.
+        let dense = CheckpointConfig {
+            interval: 1.0,
+            anchor_placement: false,
+            ..CheckpointConfig::default()
+        };
+        let repetitions = 3;
+        let mut cold_seconds = 0.0;
+        let mut recording_seconds = 0.0;
+        let mut records = 0u64;
+        for _ in 0..repetitions {
+            let mut cold = ExperimentRunner::new(experiment(depth, CheckpointConfig::disabled()));
+            let start = Instant::now();
+            let _ = cold.run_with_plan(FaultPlan::empty());
+            cold_seconds += start.elapsed().as_secs_f64();
+
+            let mut recording = ExperimentRunner::new(experiment(depth, dense.clone()));
+            let start = Instant::now();
+            let _ = recording.run_with_plan(FaultPlan::empty());
+            recording_seconds += start.elapsed().as_secs_f64();
+            records += recording.checkpoint_stats().snapshots_recorded;
+        }
+        let per_record_us =
+            ((recording_seconds - cold_seconds).max(0.0) / records.max(1) as f64) * 1e6;
+        println!(
+            "  depth {depth:>5.0}s: {:>3} records/run, ~{per_record_us:.0}us per record",
+            records / repetitions
+        );
+        rows.push(json::object(vec![
+            ("depth_seconds", Json::Number(depth)),
+            (
+                "records_per_run",
+                Json::Number((records / repetitions) as f64),
+            ),
+            ("per_record_micros", Json::Number(per_record_us)),
+        ]));
+    }
+    json::object(vec![
+        ("microbench", Json::String("snapshot-record".to_string())),
+        ("depths", Json::Array(rows)),
+    ])
 }
 
 /// Gates the measured checkpoint speedup against the committed baseline:
@@ -347,6 +529,8 @@ fn main() {
         .map(|(name, bugs)| bench_scenario(name, bugs, simulations, &worker_counts))
         .collect();
     let (checkpoint_report, checkpoint_speedup) = bench_checkpointing(simulations);
+    let matrix_report = bench_matrix_reuse(simulations);
+    let record_report = bench_record_cost();
 
     let doc = json::object(vec![
         ("bench", Json::String("campaign_throughput".to_string())),
@@ -358,6 +542,8 @@ fn main() {
         ),
         ("scenarios", Json::Array(reports)),
         ("checkpoint", checkpoint_report),
+        ("matrix_reuse", matrix_report),
+        ("record_microbench", record_report),
     ]);
     std::fs::write(&out_path, doc.to_pretty()).expect("write BENCH_campaign.json");
     println!("wrote {out_path}");

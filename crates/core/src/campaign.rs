@@ -33,13 +33,14 @@ use crate::engine::{self, EngineParams};
 use crate::monitor::{InvariantMonitor, MonitorConfig};
 use crate::runner::{ExperimentConfig, ExperimentRunner};
 use crate::sabre::SabreConfig;
-use crate::snapshot::CheckpointConfig;
+use crate::snapshot::{CheckpointConfig, SharedSnapshotTier};
 use crate::strategy::{Strategy, StrategyContext};
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_hinj::FaultPlan;
 use avis_sim::{SensorNoise, SensorSuiteConfig};
 use avis_workload::{auto_box_mission, ScriptedWorkload};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One checkpoint in a campaign's life, streamed to the
 /// [`CampaignObserver`] in commit order.
@@ -158,6 +159,7 @@ enum StrategyChoice {
 pub struct Campaign {
     config: CheckerConfig,
     strategy: StrategyChoice,
+    shared: Option<Arc<SharedSnapshotTier>>,
 }
 
 impl Campaign {
@@ -187,6 +189,7 @@ impl Campaign {
                 sabre: cfg.sabre,
                 seed: cfg.seed,
                 parallelism: cfg.parallelism,
+                shared: self.shared,
             },
             strategy.as_mut(),
             approach,
@@ -228,6 +231,7 @@ pub struct CampaignBuilder {
     seed: u64,
     parallelism: usize,
     strategy: StrategyChoice,
+    shared: Option<Arc<SharedSnapshotTier>>,
 }
 
 impl Default for CampaignBuilder {
@@ -247,6 +251,7 @@ impl Default for CampaignBuilder {
             seed: 17,
             parallelism: engine::default_parallelism(),
             strategy: StrategyChoice::Approach(Approach::Avis),
+            shared: None,
         }
     }
 }
@@ -302,6 +307,22 @@ impl CampaignBuilder {
     /// [`CheckpointConfig::default`] budget.
     pub fn checkpoints(mut self, checkpoints: CheckpointConfig) -> Self {
         self.checkpoints = Some(checkpoints);
+        self
+    }
+
+    /// Attaches a cross-campaign [`SharedSnapshotTier`]: campaigns over
+    /// the *same experiment* (firmware, bugs, workload, simulation
+    /// parameters, seed) handed the same tier share one checkpoint tree
+    /// — the second campaign warm-starts from the first one's snapshots
+    /// instead of re-recording the fault-free chain. This is how a
+    /// [`crate::matrix::ScenarioMatrix`] reuses trees across strategies.
+    /// Sharing never changes results (a forked run is bit-identical to a
+    /// cold one). The tier is claimed by the first experiment that
+    /// attaches; a campaign over a *different* experiment handed the
+    /// same tier simply runs without it rather than forking from foreign
+    /// state — keep one tier per experiment.
+    pub fn shared_snapshots(mut self, tier: Arc<SharedSnapshotTier>) -> Self {
+        self.shared = Some(tier);
         self
     }
 
@@ -402,6 +423,7 @@ impl CampaignBuilder {
                 parallelism: self.parallelism,
             },
             strategy: self.strategy,
+            shared: self.shared,
         }
     }
 }
@@ -417,6 +439,9 @@ pub(crate) struct CampaignSpec<'a> {
     pub(crate) sabre: SabreConfig,
     pub(crate) seed: u64,
     pub(crate) parallelism: usize,
+    /// A caller-supplied cross-campaign snapshot tier, if any (see
+    /// [`CampaignBuilder::shared_snapshots`]).
+    pub(crate) shared: Option<Arc<SharedSnapshotTier>>,
 }
 
 /// Runs one campaign end to end: profiling, monitor calibration, strategy
@@ -454,6 +479,41 @@ pub(crate) fn execute_campaign(
     );
     let golden = profiling[0].trace.clone();
 
+    // Adaptive checkpoint placement: cut snapshots at the golden run's
+    // mode transitions — where SABRE anchors its injections, so forks
+    // resume right at the injection instead of up to one interval
+    // before it. Placement never changes results, only fork depth.
+    let checkpoints = &spec.experiment.checkpoints;
+    let mut engine_experiment = spec.experiment.clone();
+    if checkpoints.enabled && checkpoints.anchor_placement && checkpoints.anchors.is_empty() {
+        let anchors: Vec<f64> = golden
+            .transition_times()
+            .into_iter()
+            .filter(|&t| t > 0.0 && t < spec.experiment.max_duration)
+            .collect();
+        runner.set_checkpoint_anchors(anchors.clone());
+        // Workers normalise (sort + dedup) the list in
+        // `ExperimentRunner::new`, same as `set_checkpoint_anchors` just
+        // did for the main runner.
+        engine_experiment.checkpoints.anchors = anchors;
+    }
+
+    // The shared snapshot tier: the caller's cross-campaign tier when
+    // one was supplied, otherwise a campaign-local tier as soon as more
+    // than one worker would re-record the same chains. At parallelism 1
+    // with no caller tier, the per-runner cache alone is strictly
+    // better (a second tier would only duplicate memory).
+    let tier: Option<Arc<SharedSnapshotTier>> = if checkpoints.enabled {
+        spec.shared.clone().or_else(|| {
+            (spec.parallelism > 1).then(|| Arc::new(SharedSnapshotTier::new(checkpoints.max_bytes)))
+        })
+    } else {
+        None
+    };
+    if let Some(tier) = &tier {
+        runner.set_shared_tier(Arc::clone(tier));
+    }
+
     let mut state = CampaignState {
         runner,
         monitor,
@@ -474,14 +534,21 @@ pub(crate) fn execute_campaign(
 
     engine::run_campaign(
         EngineParams {
-            experiment: spec.experiment,
+            experiment: &engine_experiment,
             budget: &spec.budget,
             parallelism: spec.parallelism,
+            shared: tier.clone(),
         },
         strategy,
         &mut state,
         observer,
     );
+
+    // Final publish: snapshots recorded after the last wavefront become
+    // visible to the next campaign sharing this tier.
+    if let Some(tier) = &tier {
+        tier.republish();
+    }
 
     observer.on_event(&CampaignEvent::CampaignFinished {
         simulations: state.simulations,

@@ -411,6 +411,7 @@ impl Checker {
                 sabre: cfg.sabre,
                 seed: cfg.seed,
                 parallelism: cfg.parallelism,
+                shared: None,
             },
             strategy.as_mut(),
             Some(cfg.approach),

@@ -44,6 +44,7 @@
 use crate::campaign::{CampaignEvent, CampaignObserver};
 use crate::checker::{Budget, CampaignState};
 use crate::runner::{ExperimentConfig, ExperimentRunner, RunResult};
+use crate::snapshot::SharedSnapshotTier;
 use crate::strategy::{Observation, Strategy};
 use avis_hinj::FaultPlan;
 use std::collections::BTreeMap;
@@ -65,6 +66,10 @@ pub(crate) struct EngineParams<'a> {
     pub budget: &'a Budget,
     /// Worker count; `1` executes every run inline on the calling thread.
     pub parallelism: usize,
+    /// The read-mostly shared snapshot tier, attached to every worker's
+    /// runner and republished by the engine between speculative
+    /// wavefronts so one worker's cold run warms every worker's cache.
+    pub shared: Option<Arc<SharedSnapshotTier>>,
 }
 
 /// Simulations left before the hard budget cap (`usize::MAX` for
@@ -195,14 +200,19 @@ pub(crate) fn run_campaign(
             let job_rx = Arc::clone(&job_rx);
             let result_tx = result_tx.clone();
             let experiment = params.experiment.clone();
+            let shared = params.shared.clone();
             scope.spawn(move || {
                 // One fresh runner per worker, kept alive across jobs on
                 // purpose: each runner owns a snapshot cache
-                // (`crate::snapshot`) that its later jobs fork from.
+                // (`crate::snapshot`) that its later jobs fork from, and
+                // shares the campaign-wide tier with its siblings.
                 // Cache state affects only run *timing* — a forked run is
                 // bit-identical to a cold one — so results stay pure
                 // functions of their plan.
                 let mut runner = ExperimentRunner::new(experiment);
+                if let Some(tier) = shared {
+                    runner.set_shared_tier(tier);
+                }
                 loop {
                     // Hold the receiver lock only while dequeueing.
                     let job = job_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
@@ -247,6 +257,73 @@ pub(crate) fn run_campaign(
 /// now-pruned siblings in the next.
 const BATCH_FACTOR: usize = 4;
 
+/// Pruning-aware wavefront sizing. Speculation only pays off when the
+/// speculated runs actually commit; every unsafe commit triggers
+/// found-bug pruning that invalidates speculated siblings, turning them
+/// into pure waste (painfully visible on one core, where wasted runs
+/// steal cycles from useful ones). The sizer tracks an exponentially
+/// weighted unsafe-commit rate and
+///
+/// * **withdraws speculation entirely** while the rate is high — the
+///   commit then executes runs inline, which *is* the serial engine, so
+///   a bug-dense campaign degrades to serial cost instead of paying for
+///   doomed wavefronts;
+/// * **shrinks the wavefront** (quartering, regrowing by doubling)
+///   around isolated bug findings, so a mixed regime speculates
+///   shallowly instead of `BATCH_FACTOR × workers` deep.
+///
+/// The rate decays with every clean commit, so the engine re-enters the
+/// speculative regime a handful of clean commits after a bug-dense
+/// stretch ends. Sizing and gating only decide which runs are
+/// *pre-executed*, never which runs commit, so they cannot change a
+/// campaign observable.
+#[derive(Debug, Clone, Copy)]
+struct WavefrontSizer {
+    max: usize,
+    size: usize,
+    /// Exponentially weighted rate of unsafe commits (decay 0.9).
+    bug_rate: f64,
+}
+
+/// Unsafe-commit rate above which speculation is withdrawn: at one bug
+/// per four commits, a full wavefront loses more to pruned siblings
+/// than it gains from overlap.
+const SPECULATION_BUG_RATE_CEILING: f64 = 0.25;
+
+impl WavefrontSizer {
+    fn new(workers: usize) -> Self {
+        let max = workers.max(1) * BATCH_FACTOR;
+        WavefrontSizer {
+            max,
+            size: max,
+            bug_rate: 0.0,
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the next wavefront is worth dispatching to the pool at
+    /// all.
+    fn speculate(&self) -> bool {
+        self.bug_rate < SPECULATION_BUG_RATE_CEILING
+    }
+
+    /// Feeds one committed run's verdict into the rate estimate.
+    fn observe_commit(&mut self, is_unsafe: bool) {
+        self.bug_rate = 0.9 * self.bug_rate + if is_unsafe { 0.1 } else { 0.0 };
+    }
+
+    fn observe_wavefront(&mut self, found_bug: bool) {
+        self.size = if found_bug {
+            (self.size / 4).max(1)
+        } else {
+            (self.size * 2).min(self.max)
+        };
+    }
+}
+
 /// The round loop shared by the serial and parallel paths. The only
 /// difference between them is where speculative plans execute; the
 /// commit-order control flow — and with it every campaign observable —
@@ -259,11 +336,7 @@ fn run_rounds(
     observer: &mut dyn CampaignObserver,
     pool: Option<&Wavefront>,
 ) {
-    let wavefront_size = match pool {
-        Some(_) => params.parallelism.max(1) * BATCH_FACTOR,
-        // Serial: no speculation, one "wavefront" per round.
-        None => usize::MAX,
-    };
+    let mut sizer = WavefrontSizer::new(params.parallelism.max(1));
     loop {
         if state.out_of_budget(params.budget) {
             break;
@@ -275,6 +348,11 @@ fn run_rounds(
 
         let mut start = 0;
         while start < round.len() {
+            let wavefront_size = match pool {
+                Some(_) => sizer.size(),
+                // Serial: no speculation, one "wavefront" per round.
+                None => usize::MAX,
+            };
             let end = round.len().min(start.saturating_add(wavefront_size));
             let wavefront = &round[start..end];
 
@@ -283,9 +361,22 @@ fn run_rounds(
             // (a bug committed in an earlier wavefront pruned them) and
             // capping at the remaining simulation budget (running past
             // it is guaranteed waste). The commit's inline fallback
-            // covers any plan these filters wrongly skip.
+            // covers any plan these filters wrongly skip. In a
+            // bug-dense stretch the sizer withdraws speculation
+            // entirely (`speculate()` false) and the commit runs
+            // inline, exactly like the serial engine.
             let mut results: BTreeMap<u64, RunResult> = match pool {
-                Some(pool) => {
+                Some(pool) if sizer.speculate() => {
+                    // Republish the shared snapshot tier before
+                    // dispatching: snapshots recorded since the last
+                    // wavefront (on any worker, or inline) become
+                    // visible to every worker's lock-free lookups.
+                    // Inline wavefronts skip this — republishing is an
+                    // O(published-map) rebuild, and the inline runner's
+                    // own cache already holds what it recorded.
+                    if let Some(tier) = &params.shared {
+                        tier.republish();
+                    }
                     let cap = remaining_simulations(params.budget, state);
                     let mut jobs: Vec<Job> = wavefront
                         .iter()
@@ -300,10 +391,11 @@ fn run_rounds(
                     jobs.sort_by_cached_key(|(_, plan)| prefix_dispatch_key(plan));
                     pool.execute(jobs)
                 }
-                None => BTreeMap::new(),
+                _ => BTreeMap::new(),
             };
 
             // Phase 3: sequential commit in round order.
+            let mut wavefront_found_bug = false;
             for candidate in wavefront {
                 if state.out_of_budget(params.budget) {
                     return;
@@ -319,6 +411,8 @@ fn run_rounds(
                 }
                 let result = take_or_run(&mut results, candidate.token(), plan, state);
                 let is_unsafe = state.absorb(&result);
+                wavefront_found_bug |= is_unsafe;
+                sizer.observe_commit(is_unsafe);
                 observer.on_event(&CampaignEvent::RunFinished {
                     simulations: state.simulations,
                     cost_seconds: state.cost_seconds,
@@ -346,6 +440,7 @@ fn run_rounds(
                     is_unsafe,
                 });
             }
+            sizer.observe_wavefront(wavefront_found_bug);
             start = end;
         }
     }

@@ -56,7 +56,7 @@
 //! | Module | Paper section | Contents |
 //! |---|---|---|
 //! | [`runner`] | Fig. 7 | provisioning + lock-step execution of one test run |
-//! | [`snapshot`] | — | the checkpoint tree: fork-from-snapshot scenario replay |
+//! | [`snapshot`] | — | the CoW checkpoint store: fork-from-snapshot replay, shared tier |
 //! | [`trace`] | §IV.C | the `(P, α, M)` state traces the monitor consumes |
 //! | [`monitor`] | §IV.C | safety + liveliness invariants, mode graph, τ calibration |
 //! | [`sabre`] | §IV.B, Alg. 1 | the stratified breadth-first transition queue |
@@ -126,7 +126,7 @@ pub use pruning::{PruningState, RoleSignature};
 pub use report::{replay, BugReport, ReplayOutcome};
 pub use runner::{ExperimentConfig, ExperimentRunner, RunResult};
 pub use sabre::{QueueEntry, SabreConfig, SabreQueue};
-pub use snapshot::{CheckpointConfig, CheckpointStats};
+pub use snapshot::{CheckpointConfig, CheckpointStats, SharedSnapshotTier, SharedTierStats};
 pub use strategy::{
     BfiStrategy, Candidate, Decision, Observation, PruningCounters, RandomStrategy, RoundRobinMode,
     SabreStrategy, Strategy, StrategyContext,

@@ -6,6 +6,13 @@
 //! [`ScenarioMatrix`] run produces the raw material for a Table III — and
 //! the seam future workload and strategy sweeps plug into.
 //!
+//! Cells that share a firmware × workload pair (differing only by
+//! strategy) share one checkpoint tree through a [`SharedSnapshotTier`],
+//! so later strategies warm-start from the snapshots earlier ones
+//! recorded instead of rebuilding the tree per campaign — disable with
+//! [`ScenarioMatrix::share_snapshots`]`(false)`. Sharing never changes a
+//! cell result.
+//!
 //! ```no_run
 //! use avis::checker::{Approach, Budget};
 //! use avis::matrix::ScenarioMatrix;
@@ -25,12 +32,14 @@
 
 use crate::campaign::{Campaign, CampaignObserver, NullObserver};
 use crate::checker::{Approach, Budget, CampaignResult};
+use crate::snapshot::{CheckpointConfig, SharedSnapshotTier};
 use crate::strategy::Strategy;
 use avis_firmware::{BugId, BugSet, FirmwareProfile};
 use avis_sim::SensorNoise;
 use avis_workload::ScriptedWorkload;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A strategy column of the matrix: a display name plus a factory that
 /// mints a fresh strategy instance for every cell (campaigns consume
@@ -54,6 +63,7 @@ pub struct ScenarioMatrix {
     max_duration: Option<f64>,
     noise: Option<SensorNoise>,
     seed: u64,
+    share_snapshots: bool,
 }
 
 impl Default for ScenarioMatrix {
@@ -69,6 +79,7 @@ impl Default for ScenarioMatrix {
             max_duration: None,
             noise: None,
             seed: 17,
+            share_snapshots: true,
         }
     }
 }
@@ -182,6 +193,18 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Whether cells that share a firmware × workload pair (differing
+    /// only by strategy) share one checkpoint tree through a
+    /// [`SharedSnapshotTier`], so the second strategy's campaign
+    /// warm-starts from snapshots the first one recorded instead of
+    /// rebuilding the tree per campaign. Sharing never changes any cell
+    /// result — a forked run is bit-identical to a cold one. Default:
+    /// `true`.
+    pub fn share_snapshots(mut self, share: bool) -> Self {
+        self.share_snapshots = share;
+        self
+    }
+
     /// Number of campaigns the matrix expands to (empty axes counted at
     /// their [`ScenarioMatrix::run`] fallback sizes).
     pub fn cell_count(&self) -> usize {
@@ -211,10 +234,17 @@ impl ScenarioMatrix {
         if self.strategies.is_empty() {
             self = self.approaches(Approach::ALL);
         }
+        // One shared snapshot tier per firmware × workload pair: the
+        // outer loop iterates strategies, so by the time the second
+        // strategy reaches a cell, the tier already holds the first
+        // strategy's checkpoint tree and its campaign warm-starts
+        // instead of re-recording the fault-free chain.
+        let mut tiers: BTreeMap<(usize, usize), Arc<SharedSnapshotTier>> = BTreeMap::new();
+        let tier_budget = CheckpointConfig::default().max_bytes;
         let mut results = Vec::new();
         for slot in &self.strategies {
-            for &profile in &self.profiles {
-                for workload in &self.workloads {
+            for (profile_idx, &profile) in self.profiles.iter().enumerate() {
+                for (workload_idx, workload) in self.workloads.iter().enumerate() {
                     let bugs = self
                         .bugs
                         .clone()
@@ -226,6 +256,12 @@ impl ScenarioMatrix {
                         .budget(self.budget)
                         .profiling_runs(self.profiling_runs)
                         .seed(self.seed);
+                    if self.share_snapshots {
+                        let tier = tiers
+                            .entry((profile_idx, workload_idx))
+                            .or_insert_with(|| Arc::new(SharedSnapshotTier::new(tier_budget)));
+                        builder = builder.shared_snapshots(Arc::clone(tier));
+                    }
                     if let Some(parallelism) = self.parallelism {
                         builder = builder.parallelism(parallelism);
                     }
@@ -364,6 +400,33 @@ mod tests {
         assert_eq!(
             ScenarioMatrix::new().approach(Approach::Avis).cell_count(),
             1
+        );
+    }
+
+    #[test]
+    fn shared_snapshot_tiers_do_not_change_matrix_results() {
+        // Cells sharing a firmware × workload pair share one checkpoint
+        // tree; the aggregated report must be identical with sharing on
+        // and off (a forked run is bit-identical to a cold one).
+        let run = |share: bool| {
+            ScenarioMatrix::new()
+                .firmware(FirmwareProfile::ArduPilotLike)
+                .workload(avis_workload::auto_box_mission())
+                .approach(Approach::Avis)
+                .approach(Approach::Random)
+                .budget(Budget::simulations(5))
+                .profiling_runs(1)
+                .parallelism(1)
+                .max_duration(110.0)
+                .noise(SensorNoise::default())
+                .share_snapshots(share)
+                .run()
+        };
+        let shared = run(true);
+        let unshared = run(false);
+        assert_eq!(
+            shared, unshared,
+            "matrix-level snapshot sharing changed a cell result"
         );
     }
 

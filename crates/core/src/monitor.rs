@@ -402,6 +402,58 @@ impl LivelinessEnvelope {
     }
 }
 
+/// Per-sample progress envelope over a *test* trace, built lazily (once
+/// per checked trace, on the first safe-mode sample) and consulted in
+/// O(1) per sample — the same quick-accept/quick-reject shape as
+/// [`LivelinessEnvelope`], applied to the safe-mode progress invariant.
+///
+/// The exact check walks `sample_at` and recomputes two horizontal home
+/// distances and an altitude delta per safe-mode sample; in long landing
+/// tails that walk *is* the monitor's remaining hot spot. The envelope
+/// precomputes the per-sample altitude, home-distance and time arrays in
+/// one pass, plus the index of the landed tail (every later sample on
+/// the ground), so almost every safe-mode sample resolves through a
+/// single bounds check and the rest through pure array arithmetic. The
+/// verdict is byte-identical to the exact walk — pinned by the
+/// oracle-equivalence tests below.
+#[derive(Debug, Clone)]
+struct ProgressEnvelope {
+    /// `samples[i].position.z`.
+    alt: Vec<f64>,
+    /// `samples[i].position.horizontal_distance(home)`.
+    home_dist: Vec<f64>,
+    /// `samples[i].time`.
+    time: Vec<f64>,
+    /// First index from which every later sample is on the ground
+    /// (`alt < 0.5`) — the quick-accept for long landing tails: every
+    /// progress invariant short-circuits on `on_ground`.
+    landed_from: usize,
+}
+
+impl ProgressEnvelope {
+    fn build(trace: &Trace, home: Vec3) -> Self {
+        let n = trace.samples.len();
+        let mut alt = Vec::with_capacity(n);
+        let mut home_dist = Vec::with_capacity(n);
+        let mut time = Vec::with_capacity(n);
+        for s in &trace.samples {
+            alt.push(s.position.z);
+            home_dist.push(s.position.horizontal_distance(home));
+            time.push(s.time);
+        }
+        let mut landed_from = n;
+        while landed_from > 0 && alt[landed_from - 1] < 0.5 {
+            landed_from -= 1;
+        }
+        ProgressEnvelope {
+            alt,
+            home_dist,
+            time,
+            landed_from,
+        }
+    }
+}
+
 fn component_min(a: Vec3, b: Vec3) -> Vec3 {
     Vec3::new(a.x.min(b.x), a.y.min(b.y), a.z.min(b.z))
 }
@@ -675,7 +727,10 @@ impl InvariantMonitor {
         let interval = self.profiling[0].sample_interval.max(1e-6);
         let window_steps = (self.config.time_window / interval).round() as i64;
         let mut safe_mode_entry: Option<(OperatingMode, f64)> = None;
-        for sample in &trace.samples {
+        // Built lazily on the first safe-mode sample; traces that never
+        // enter a safe mode pay nothing.
+        let mut progress: Option<ProgressEnvelope> = None;
+        for (index, sample) in trace.samples.iter().enumerate() {
             if sample.time > self.duration {
                 break;
             }
@@ -688,7 +743,16 @@ impl InvariantMonitor {
                         sample.time
                     }
                 };
-                if let Some(v) = self.check_safe_mode_progress(trace, mode, entry, sample) {
+                let envelope =
+                    progress.get_or_insert_with(|| ProgressEnvelope::build(trace, self.home));
+                if let Some(v) = self.check_safe_mode_progress(
+                    envelope,
+                    trace.sample_interval,
+                    mode,
+                    entry,
+                    index,
+                    sample,
+                ) {
                     violations.push(v);
                     break;
                 }
@@ -715,10 +779,78 @@ impl InvariantMonitor {
         violations
     }
 
-    /// Progress invariant for safe modes: landing must keep descending,
+    /// Progress invariant for safe modes — landing must keep descending,
     /// return-to-launch must keep approaching home (or descending once
-    /// above it).
+    /// above it) — evaluated against the precomputed [`ProgressEnvelope`]
+    /// in O(1) per sample: a landed-tail quick-accept, then pure array
+    /// arithmetic. Byte-identical to the exact per-sample walk (kept
+    /// below as the test oracle).
     fn check_safe_mode_progress(
+        &self,
+        envelope: &ProgressEnvelope,
+        sample_interval: f64,
+        mode: OperatingMode,
+        entered_at: f64,
+        index: usize,
+        sample: &StateSample,
+    ) -> Option<Violation> {
+        let cfg = &self.config;
+        if sample.time - entered_at < cfg.safe_mode_grace {
+            return None;
+        }
+        // Quick-accept: inside the landed tail `on_ground` holds, and
+        // every safe mode's invariant short-circuits on it (modes
+        // without an invariant answer `None` regardless).
+        if index >= envelope.landed_from {
+            return None;
+        }
+        // The exact walk's `trace.sample_at(t)` lookup, replayed on the
+        // precomputed arrays: same rounding, same clamping.
+        let earlier = (((sample.time - cfg.progress_window) / sample_interval).round() as usize)
+            .min(envelope.time.len() - 1);
+        // Only compare windows fully inside the same safe-mode stretch.
+        if envelope.time[earlier] < entered_at {
+            return None;
+        }
+        let descended = envelope.alt[earlier] - envelope.alt[index];
+        let on_ground = envelope.alt[index] < 0.5;
+        match mode {
+            OperatingMode::Land | OperatingMode::Brake => {
+                if on_ground || descended >= cfg.min_progress {
+                    None
+                } else {
+                    Some(Violation {
+                        kind: ViolationKind::SafeModeStalled { mode: mode.name() },
+                        time: sample.time,
+                        mode,
+                    })
+                }
+            }
+            OperatingMode::ReturnToLaunch => {
+                let approach = envelope.home_dist[earlier] - envelope.home_dist[index];
+                let near_home = envelope.home_dist[index] < 3.0;
+                if on_ground
+                    || near_home
+                    || approach >= cfg.min_progress
+                    || descended >= cfg.min_progress
+                {
+                    None
+                } else {
+                    Some(Violation {
+                        kind: ViolationKind::SafeModeStalled { mode: mode.name() },
+                        time: sample.time,
+                        mode,
+                    })
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The pre-envelope progress invariant, verbatim: the oracle the
+    /// equivalence tests compare [`InvariantMonitor::check`] against.
+    #[cfg(test)]
+    fn check_safe_mode_progress_exact(
         &self,
         trace: &Trace,
         mode: OperatingMode,
@@ -1054,7 +1186,8 @@ mod tests {
                         sample.time
                     }
                 };
-                if let Some(v) = monitor.check_safe_mode_progress(trace, mode, entry, sample) {
+                if let Some(v) = monitor.check_safe_mode_progress_exact(trace, mode, entry, sample)
+                {
                     violations.push(v);
                     break;
                 }
@@ -1169,6 +1302,49 @@ mod tests {
         });
         for run in [synthetic_run(0.2), fly_away, stalled, crashed] {
             assert_eq!(monitor.check(&run), brute_force_check(&monitor, &run));
+        }
+    }
+
+    #[test]
+    fn progress_envelope_matches_exact_walk_on_safe_mode_stretches() {
+        use avis_sim::SimRng;
+        // Randomised safe-mode behaviour — clean landings, stalls,
+        // hovering RTLs, approaches, late descents, landed tails — must
+        // produce byte-identical violations through the amortised
+        // envelope path and the exact per-sample walk.
+        let monitor = calibrated_monitor();
+        let mut rng = SimRng::seed_from_u64(77);
+        for case in 0..60 {
+            let mut run = synthetic_run(rng.uniform_range(-0.4, 0.4));
+            let start = rng.uniform_range(10.0, 50.0);
+            let mode = match rng.index(3) {
+                0 => OperatingMode::Land,
+                1 => OperatingMode::Brake,
+                _ => OperatingMode::ReturnToLaunch,
+            };
+            // 0: stall (hover), 1: descend, 2: approach home, 3: descend
+            // then hold just above ground, 4: land fully (long landed tail).
+            let behaviour = rng.index(5);
+            let rate = rng.uniform_range(0.05, 1.2);
+            for s in run.samples.iter_mut().filter(|s| s.time >= start) {
+                let dt = s.time - start;
+                s.mode = mode;
+                match behaviour {
+                    0 => s.position = Vec3::new(25.0, 8.0, 18.0),
+                    1 => s.position = Vec3::new(25.0, 8.0, (18.0 - dt * rate).max(0.0)),
+                    2 => {
+                        s.position = Vec3::new((25.0 - dt * rate).max(0.0), 0.0, 18.0);
+                    }
+                    3 => s.position = Vec3::new(25.0, 8.0, (18.0 - dt * rate).max(0.6)),
+                    _ => s.position = Vec3::new(25.0, 8.0, (18.0 - dt * 2.0).max(0.0)),
+                }
+            }
+            run.mode_transitions.retain(|t| t.time < start);
+            assert_eq!(
+                monitor.check(&run),
+                brute_force_check(&monitor, &run),
+                "case {case}: progress envelope diverged (mode {mode:?}, behaviour {behaviour}, start {start}, rate {rate})"
+            );
         }
     }
 

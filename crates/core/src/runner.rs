@@ -4,16 +4,18 @@
 //! Algorithm 1, and the step loop of Figure 7).
 
 use crate::snapshot::{
-    injection_prefix, CheckpointConfig, CheckpointStats, RunSnapshot, SnapshotCache,
+    injection_prefix, CheckpointConfig, CheckpointStats, RunSnapshot, SharedSnapshotTier,
+    SnapshotCache,
 };
 use crate::trace::{transition_from_code, ModeTransition, StateSample, Trace};
 use avis_firmware::{BugId, BugSet, Firmware, FirmwareProfile};
 use avis_hinj::{FaultInjector, FaultPlan, SharedInjector};
 use avis_mavlite::Message;
 use avis_sim::simulator::{SimConfig, Simulator, StepOutput};
-use avis_sim::{MotorCommands, SensorNoise};
+use avis_sim::{CowVec, MotorCommands, SensorNoise};
 use avis_workload::{ScriptedWorkload, WorkloadStatus};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of an experiment: which firmware, which injected defects,
 /// which workload, and the simulation parameters shared by every run.
@@ -50,6 +52,28 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// A stable identity of everything that determines a run's state
+    /// evolution — used by [`SharedSnapshotTier`] to refuse cross-
+    /// experiment snapshot reuse. Checkpoint placement is deliberately
+    /// excluded: it changes which snapshots exist, never what state they
+    /// capture.
+    pub(crate) fn fingerprint(&self) -> String {
+        format!(
+            "{:?}|{:?}|{}|{:?}|{:?}|{}|{}|{}|{}|{:?}|{}",
+            self.profile,
+            self.bugs,
+            self.workload.name(),
+            self.workload.steps(),
+            self.workload.environment(),
+            self.dt,
+            self.max_duration,
+            self.sample_interval,
+            self.seed,
+            self.noise,
+            self.grace_period
+        )
+    }
+
     /// A configuration with sensible defaults for the given profile,
     /// defects and workload.
     pub fn new(profile: FirmwareProfile, bugs: BugSet, workload: ScriptedWorkload) -> Self {
@@ -101,11 +125,16 @@ pub struct ExperimentRunner {
     /// each engine worker holds its own runner, which keeps the parallel
     /// path lock-free.
     cache: SnapshotCache,
+    /// The optional cross-worker / cross-campaign second tier: lookups
+    /// probe it lock-free alongside the local cache and take whichever
+    /// snapshot is deeper; newly recorded snapshots are offered to it
+    /// for the engine to republish between wavefronts.
+    shared: Option<Arc<SharedSnapshotTier>>,
 }
 
 impl ExperimentRunner {
     /// Creates a runner for the given configuration.
-    pub fn new(config: ExperimentConfig) -> Self {
+    pub fn new(mut config: ExperimentConfig) -> Self {
         assert!(config.dt > 0.0, "dt must be positive");
         assert!(
             config.sample_interval >= config.dt,
@@ -115,12 +144,36 @@ impl ExperimentRunner {
             config.checkpoints.interval > 0.0,
             "checkpoint interval must be positive"
         );
+        config.checkpoints.normalize_anchors();
         let cache = SnapshotCache::new(config.checkpoints.max_bytes);
         ExperimentRunner {
             config,
             runs: 0,
             cache,
+            shared: None,
         }
+    }
+
+    /// Attaches the shared snapshot tier this runner publishes to and
+    /// forks from (see [`crate::snapshot::SharedSnapshotTier`]). Sharing
+    /// never changes a run's result — a forked run is bit-identical to a
+    /// cold one whichever tier served the snapshot. The tier is claimed
+    /// for this runner's experiment on first attach; a runner whose
+    /// experiment differs from the claim leaves the tier unattached
+    /// (snapshot keys encode only the injection prefix, so cross-
+    /// experiment reuse would resume foreign state).
+    pub fn set_shared_tier(&mut self, tier: Arc<SharedSnapshotTier>) {
+        if tier.claim(&self.config.fingerprint()) {
+            self.shared = Some(tier);
+        }
+    }
+
+    /// Replaces the checkpoint anchor times (sorted, de-duplicated). The
+    /// campaign calls this after profiling with the golden run's mode
+    /// transitions when [`CheckpointConfig::anchor_placement`] is on.
+    pub fn set_checkpoint_anchors(&mut self, anchors: Vec<f64>) {
+        self.config.checkpoints.anchors = anchors;
+        self.config.checkpoints.normalize_anchors();
     }
 
     /// The runner's configuration.
@@ -160,13 +213,37 @@ impl ExperimentRunner {
         let checkpointing = cfg.checkpoints.enabled && seed_offset == 0;
 
         // Fork from the deepest cached snapshot whose injection prefix
-        // matches the plan, or provision a cold run from t = 0. A forked
-        // run is bit-identical to a cold one: the restored state is the
-        // exact state a cold run of this plan would reach at the fork
-        // time, because the two plans agree on every failure scheduled
-        // before it (see `crate::snapshot` for the argument).
+        // matches the plan — probing both the local cache and the shared
+        // tier and taking whichever is deeper — or provision a cold run
+        // from t = 0. A forked run is bit-identical to a cold one: the
+        // restored state is the exact state a cold run of this plan would
+        // reach at the fork time, because the two plans agree on every
+        // failure scheduled before it (see `crate::snapshot` for the
+        // argument).
         let resumed = if checkpointing {
-            self.cache.deepest_match(seed_offset, &plan)
+            // Probe both tiers for depth first; only the winner is
+            // cloned (snapshot clones are cheap but not free — the
+            // fixed substrate state is copied even under CoW).
+            let local = self.cache.peek_deepest(seed_offset, &plan);
+            let local_depth = local.as_ref().map(|(t, _)| *t);
+            let shared_depth = self
+                .shared
+                .as_ref()
+                .and_then(|tier| tier.peek_depth(seed_offset, &plan));
+            if shared_depth > local_depth {
+                let tier = self.shared.as_ref().expect("shared depth implies tier");
+                match tier.take_deepest(seed_offset, &plan) {
+                    Some((depth, snapshot)) => {
+                        self.cache.note_shared_fork(depth);
+                        Some(snapshot)
+                    }
+                    // A republish evicted the entry between probe and
+                    // take: fall back to the local candidate, if any.
+                    None => local.map(|(time, key)| self.cache.take(&key, time)),
+                }
+            } else {
+                local.map(|(time, key)| self.cache.take(&key, time))
+            }
         } else {
             None
         };
@@ -222,7 +299,7 @@ impl ExperimentRunner {
                 if let Some(noise) = &cfg.noise {
                     sim_config.sensors.noise = noise.clone();
                 }
-                sim = Simulator::new(sim_config, cfg.workload.environment().clone());
+                sim = Simulator::new_shared(sim_config, cfg.workload.shared_environment());
                 injector = SharedInjector::new(FaultInjector::new(plan));
                 firmware = Firmware::new(cfg.profile, cfg.bugs.clone(), injector.clone());
                 workload = cfg.workload.fresh();
@@ -231,7 +308,8 @@ impl ExperimentRunner {
                 // step/telemetry buffers across iterations: the lock-step
                 // loop below performs no per-step heap allocations in
                 // steady state.
-                samples = Vec::with_capacity((cfg.max_duration / cfg.sample_interval) as usize + 2);
+                samples =
+                    CowVec::with_capacity((cfg.max_duration / cfg.sample_interval) as usize + 2);
                 fence_violations = 0usize;
                 next_sample_time = 0.0;
                 workload_status = WorkloadStatus::Running;
@@ -247,39 +325,60 @@ impl ExperimentRunner {
         // The next snapshot boundary: the first multiple of the
         // checkpoint interval strictly after the current (cold or fork)
         // time, so a forked run extends the tree instead of re-recording
-        // the chain it resumed from.
+        // the chain it resumed from. Anchor cuts fire at the *last*
+        // loop-top at or before each anchor time (`time + dt > anchor`),
+        // so a plan injecting exactly at the anchor can fork from the cut
+        // — a failure scheduled at `t` first fires at the firmware step
+        // at `t`, after a snapshot taken at loop-top time `t`.
         let checkpoint_interval = cfg.checkpoints.interval;
         let mut next_checkpoint = if checkpointing {
             (sim.time() / checkpoint_interval).floor() * checkpoint_interval + checkpoint_interval
         } else {
             f64::INFINITY
         };
+        let anchors: &[f64] = if checkpointing {
+            &cfg.checkpoints.anchors
+        } else {
+            &[]
+        };
+        // Skip anchors whose cut already lies at or before the resume
+        // point (the chain we forked from recorded them).
+        let mut anchor_idx = anchors.partition_point(|&a| a < sim.time() + cfg.dt);
 
         while sim.time() < cfg.max_duration {
             let time = sim.time();
             // Checkpoint recording, cut at the top of the loop body: the
             // snapshot captures the state *before* this step's
             // ground-station exchange, firmware step and physics step.
-            if time >= next_checkpoint {
-                self.cache.record(
-                    seed_offset,
-                    RunSnapshot {
-                        sim: sim.snapshot(),
-                        firmware: firmware.snapshot(),
-                        injector: injector.snapshot(),
-                        workload: workload.clone(),
-                        samples: samples.clone(),
-                        output: output.clone(),
-                        fence_violations,
-                        next_sample_time,
-                        workload_status: workload_status.clone(),
-                        terminal_since,
-                        time,
-                        prefix: injection_prefix(&injector.plan(), time),
-                    },
-                );
+            let anchor_due = anchor_idx < anchors.len() && time + cfg.dt > anchors[anchor_idx];
+            if time >= next_checkpoint || anchor_due {
+                let snapshot = RunSnapshot {
+                    sim: sim.snapshot(),
+                    firmware: firmware.snapshot(),
+                    injector: injector.snapshot(),
+                    workload: workload.clone(),
+                    // Seal the sample tail into a shared chunk: the
+                    // snapshot (and every later one along this chain)
+                    // shares the history structurally — recording is
+                    // O(1) in the run length.
+                    samples: samples.sealed_clone(),
+                    output: output.clone(),
+                    fence_violations,
+                    next_sample_time,
+                    workload_status: workload_status.clone(),
+                    terminal_since,
+                    time,
+                    prefix: injection_prefix(&injector.plan(), time),
+                };
+                if let Some(tier) = &self.shared {
+                    tier.offer(seed_offset, &snapshot);
+                }
+                self.cache.record(seed_offset, snapshot);
                 while time >= next_checkpoint {
                     next_checkpoint += checkpoint_interval;
+                }
+                while anchor_idx < anchors.len() && time + cfg.dt > anchors[anchor_idx] {
+                    anchor_idx += 1;
                 }
             }
             // Ground-station side: deliver telemetry, collect commands.
@@ -322,7 +421,7 @@ impl ExperimentRunner {
         let duration = sim.time();
         let trace = Trace {
             sample_interval: cfg.sample_interval,
-            samples,
+            samples: samples.into_vec(),
             mode_transitions,
             collision: sim.first_collision(),
             fence_violations,

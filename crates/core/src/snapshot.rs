@@ -1,7 +1,7 @@
-//! The checkpoint tree: memory-budgeted, LRU-evicted caching of mid-run
-//! snapshots so a scenario can fork from the deepest cached state whose
-//! *injection prefix* matches, instead of replaying the shared prefix
-//! from `t = 0`.
+//! The checkpoint store: copy-on-write snapshots of mid-run state, held
+//! in a per-runner LRU tree plus an optional cross-worker shared tier, so
+//! a scenario can fork from the deepest cached state whose *injection
+//! prefix* matches instead of replaying the shared prefix from `t = 0`.
 //!
 //! # Why this is sound
 //!
@@ -14,16 +14,47 @@
 //! drive bit-identical executions up to `T` — everything before the first
 //! divergent injection is shared work.
 //!
-//! The cache exploits exactly that: while a run executes, the runner
+//! The store exploits exactly that: while a run executes, the runner
 //! records a [`RunSnapshot`] (simulator + firmware + injector +
 //! workload + trace bookkeeping) every [`CheckpointConfig::interval`]
-//! simulated seconds, keyed by the quantised injection prefix at the snapshot
-//! time. A later run looks up the deepest snapshot whose key matches one
-//! of its own prefixes, *verifies the un-quantised prefixes match
-//! exactly* (quantisation is a hash key, never a correctness argument)
-//! and resumes from there with its own plan swapped in. Runs that fork
-//! mid-scenario extend the tree with deeper, prefix-specific branches —
-//! hence checkpoint *tree*, not checkpoint list.
+//! simulated seconds — and at each configured anchor time (see
+//! [`CheckpointConfig::anchors`]) — keyed by the quantised injection
+//! prefix at the snapshot time. A later run looks up the deepest snapshot
+//! whose key matches one of its own prefixes, *verifies the un-quantised
+//! prefixes match exactly* (quantisation is a hash key, never a
+//! correctness argument) and resumes from there with its own plan swapped
+//! in. Runs that fork mid-scenario extend the tree with deeper,
+//! prefix-specific branches — hence checkpoint *tree*, not checkpoint
+//! list.
+//!
+//! # Copy-on-write recording
+//!
+//! Recording is O(1) in the run length. Every growing history that a
+//! snapshot captures — the trace samples (runner), the defect log
+//! (firmware), the injection/transition records (injector) — is backed
+//! by an [`avis_sim::CowVec`]: at snapshot time the mutable tail is
+//! sealed into an immutable `Arc`-shared chunk and the snapshot clones
+//! the chunk *list*, not the elements. Snapshots along one run (and forks
+//! off it) share the sealed prefix structurally; the memory budget
+//! charges each distinct chunk exactly once (a chunk ledger tracks
+//! chunk identities), so dense checkpoint intervals no longer multiply
+//! the sample history.
+//!
+//! # The shared tier
+//!
+//! Checkpoint caches are per runner (lock-free by construction), so
+//! without sharing each parallel worker re-records the same fault-free
+//! chain. The [`SharedSnapshotTier`] is a read-mostly second tier: an
+//! `Arc`-swapped immutable snapshot map that the engine republishes
+//! between speculative wavefronts. Workers push newly recorded snapshots
+//! into a pending buffer (a brief mutex on the rare record path); lookups
+//! clone the current `Arc` and probe the immutable map without taking
+//! any lock that a writer can hold — one worker's cold run warms every
+//! worker's cache. A [`crate::matrix::ScenarioMatrix`] keys tiers by
+//! (firmware, workload), so cells differing only by strategy share one
+//! checkpoint tree across campaigns instead of rebuilding it per
+//! campaign. Sharing never changes a result: a forked run is
+//! bit-identical to a cold one, whichever tier the snapshot came from.
 //!
 //! Snapshots are recorded only for injection runs (`seed_offset == 0`):
 //! profiling runs each use a distinct sensor-noise seed and execute once,
@@ -33,11 +64,13 @@ use crate::trace::StateSample;
 use avis_firmware::FirmwareSnapshot;
 use avis_hinj::{FaultPlan, FaultSpec, InjectorSnapshot};
 use avis_sim::simulator::StepOutput;
-use avis_sim::{SensorReading, SimSnapshot};
+use avis_sim::{CowVec, SensorReading, SimSnapshot};
 use avis_workload::{ScriptedWorkload, WorkloadStatus};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Configuration of the runner's checkpoint cache.
+/// Configuration of the runner's checkpoint store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointConfig {
     /// Whether the runner records and reuses snapshots at all. Disabled,
@@ -47,15 +80,30 @@ pub struct CheckpointConfig {
     /// give forks a deeper resume point but cost more recording time and
     /// memory.
     pub interval: f64,
-    /// Memory budget for the cache (approximate bytes). When an insert
-    /// pushes the total past this, the least-recently-used snapshots are
-    /// evicted until it fits again.
+    /// Memory budget for the per-runner cache (approximate bytes). When
+    /// an insert pushes the total past this, the least-recently-used
+    /// snapshots are evicted until it fits again. `Arc`-shared history
+    /// chunks are charged once per distinct chunk, not once per snapshot.
     ///
     /// The budget is **per runner**: every engine worker owns its own
     /// lock-free cache, so a campaign at parallelism `N` may hold up to
-    /// `N × max_bytes` of snapshots in total. Size the budget against
-    /// the worker count on memory-constrained hosts.
+    /// `N × max_bytes` of snapshots in total (plus one shared tier of the
+    /// same budget). Size the budget against the worker count on
+    /// memory-constrained hosts.
     pub max_bytes: usize,
+    /// Extra cut times (simulated seconds), sorted ascending: the runner
+    /// snapshots at the *last loop-top at or before* each anchor, in
+    /// addition to the fixed interval. Campaigns populate this with the
+    /// golden run's mode-transition times (where SABRE actually anchors
+    /// injections, see [`CheckpointConfig::anchor_placement`]), which
+    /// raises fork depth at equal memory budget: a fork resumes right at
+    /// the injection instead of up to one interval before it.
+    pub anchors: Vec<f64>,
+    /// Whether a campaign should auto-populate [`CheckpointConfig::anchors`]
+    /// from the golden trace's mode transitions after profiling (only
+    /// when `anchors` was left empty). Placement is purely a speed/memory
+    /// trade-off — results are bit-identical either way.
+    pub anchor_placement: bool,
 }
 
 impl Default for CheckpointConfig {
@@ -64,6 +112,8 @@ impl Default for CheckpointConfig {
             enabled: true,
             interval: 5.0,
             max_bytes: 64 * 1024 * 1024,
+            anchors: Vec::new(),
+            anchor_placement: true,
         }
     }
 }
@@ -82,6 +132,39 @@ impl CheckpointConfig {
         CheckpointConfig {
             max_bytes,
             ..CheckpointConfig::default()
+        }
+    }
+
+    /// A configuration with explicit anchor cut times (disables the
+    /// campaign's automatic golden-transition placement).
+    pub fn with_anchors(anchors: Vec<f64>) -> Self {
+        let mut config = CheckpointConfig {
+            anchors,
+            anchor_placement: false,
+            ..CheckpointConfig::default()
+        };
+        config.normalize_anchors();
+        config
+    }
+
+    /// Sorts and de-duplicates the anchor list — the single
+    /// normalization chokepoint every anchor-accepting entry point
+    /// funnels through, so runners and engine workers always key
+    /// snapshots off the identical cut list.
+    pub fn normalize_anchors(&mut self) {
+        self.anchors
+            .sort_by(|a, b| a.partial_cmp(b).expect("anchor times are finite"));
+        self.anchors.dedup();
+    }
+
+    /// A configuration recording only at anchors (no interval cadence):
+    /// the interval is pushed past any realistic run duration, isolating
+    /// anchor placement for comparisons at equal memory budget.
+    pub fn anchors_only(anchors: Vec<f64>, max_bytes: usize) -> Self {
+        CheckpointConfig {
+            interval: 1e9,
+            max_bytes,
+            ..CheckpointConfig::with_anchors(anchors)
         }
     }
 }
@@ -118,6 +201,10 @@ pub(crate) fn prefix_cache_key(prefix: &[FaultSpec]) -> String {
 /// substrate snapshots plus the runner's own loop bookkeeping at the cut
 /// point (the top of the lock-step loop, before ground-station traffic
 /// for that step is exchanged).
+///
+/// Cloning a `RunSnapshot` is O(1) in the run length: every growing
+/// history inside it is an `Arc`-chunked [`CowVec`] (see the
+/// [module docs](self)).
 #[derive(Debug, Clone)]
 pub struct RunSnapshot {
     /// Simulator state (vehicle, environment, sensor RNG stream, time).
@@ -128,8 +215,9 @@ pub struct RunSnapshot {
     pub(crate) injector: InjectorSnapshot,
     /// Workload runtime state (script progress, seen telemetry).
     pub(crate) workload: ScriptedWorkload,
-    /// Trace samples recorded so far.
-    pub(crate) samples: Vec<StateSample>,
+    /// Trace samples recorded so far (chunk-shared with the recording
+    /// run and with every other snapshot along the same chain).
+    pub(crate) samples: CowVec<StateSample>,
     /// The step/telemetry output buffer as of the last simulator step.
     pub(crate) output: StepOutput,
     /// Fence-violation count so far.
@@ -158,17 +246,30 @@ impl RunSnapshot {
         &self.prefix
     }
 
-    /// Approximate heap footprint (bytes) for the cache's memory budget.
+    /// Approximate heap bytes *exclusively owned* by this snapshot (the
+    /// fixed-size substrate state and unsealed tails). `Arc`-shared
+    /// history chunks are visited through [`RunSnapshot::for_each_chunk`]
+    /// and charged once per distinct chunk by the stores.
     pub fn approx_bytes(&self) -> usize {
         self.sim.approx_bytes()
             + self.firmware.approx_bytes()
             + self.injector.approx_bytes()
-            + self.samples.len() * std::mem::size_of::<StateSample>()
+            + self.samples.exclusive_bytes()
             + self.output.readings.len() * std::mem::size_of::<SensorReading>()
             + self.prefix.len() * std::mem::size_of::<FaultSpec>()
             // Workload runtime state plus per-snapshot bookkeeping. The
             // script itself (steps, environment) is Arc-shared, not copied.
             + 1024
+    }
+
+    /// Visits every `Arc`-shared block the snapshot references —
+    /// sample-history chunks, firmware defect-log chunks, injector
+    /// record chunks and the environment — as `(identity, bytes)` pairs.
+    pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
+        self.samples.for_each_chunk(f);
+        self.firmware.for_each_chunk(f);
+        self.injector.for_each_chunk(f);
+        self.sim.for_each_chunk(f);
     }
 }
 
@@ -177,10 +278,120 @@ impl RunSnapshot {
 /// ("a chain of the checkpoint tree") are contiguous and time-sorted,
 /// which makes deepest-first scans a reverse range iteration.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct SnapshotKey {
+pub(crate) struct SnapshotKey {
     seed_offset: u64,
     prefix: String,
     time_ms: i64,
+}
+
+impl SnapshotKey {
+    fn for_snapshot(seed_offset: u64, snapshot: &RunSnapshot) -> Self {
+        SnapshotKey {
+            seed_offset,
+            prefix: prefix_cache_key(&snapshot.prefix),
+            time_ms: (snapshot.time * 1000.0).round() as i64,
+        }
+    }
+}
+
+/// Reference-counted accounting of the distinct `Arc`-shared chunks a
+/// store's snapshots reference, so the memory budget charges each chunk's
+/// bytes exactly once however many snapshots share it — the accounting
+/// side of copy-on-write.
+#[derive(Debug, Clone, Default)]
+struct ChunkLedger {
+    chunks: BTreeMap<usize, (usize, usize)>, // identity -> (bytes, refs)
+    bytes: usize,
+}
+
+impl ChunkLedger {
+    /// References one chunk, charging its bytes on the first reference.
+    fn add_chunk(&mut self, id: usize, bytes: usize) {
+        let entry = self.chunks.entry(id).or_insert((bytes, 0));
+        if entry.1 == 0 {
+            self.bytes += bytes;
+        }
+        entry.1 += 1;
+    }
+
+    /// Releases one reference to a chunk, refunding its bytes when the
+    /// last referent goes away.
+    fn remove_chunk(&mut self, id: usize) {
+        if let Some(entry) = self.chunks.get_mut(&id) {
+            entry.1 -= 1;
+            if entry.1 == 0 {
+                self.bytes -= entry.0;
+                self.chunks.remove(&id);
+            }
+        }
+    }
+
+    fn add(&mut self, snapshot: &RunSnapshot) {
+        snapshot.for_each_chunk(&mut |id, bytes| self.add_chunk(id, bytes));
+    }
+
+    fn remove(&mut self, snapshot: &RunSnapshot) {
+        snapshot.for_each_chunk(&mut |id, _| self.remove_chunk(id));
+    }
+}
+
+/// Probes for the deepest snapshot in `entries` a run of `plan` may
+/// resume from: among every snapshot whose quantised key matches one of
+/// the plan's own injection prefixes *and* whose exact prefix equals the
+/// plan's exact prefix at the snapshot time, the one with the latest cut
+/// time. Shared by the per-runner cache and the shared tier.
+fn deepest_entry<'a, V>(
+    entries: &'a BTreeMap<SnapshotKey, V>,
+    snapshot_of: impl Fn(&V) -> &RunSnapshot,
+    seed_offset: u64,
+    plan: &FaultPlan,
+) -> Option<(f64, &'a SnapshotKey)> {
+    // The plan's prefix only changes at its own failure times, so there
+    // are at most `plan.len() + 1` distinct prefixes to probe; probe each
+    // one's chain from its deepest snapshot down.
+    let mut boundaries: Vec<f64> = plan.specs().map(|s| s.time).collect();
+    boundaries.sort_by(|a, b| a.partial_cmp(b).expect("fault times are finite"));
+    boundaries.dedup();
+    // `injection_prefix` is strict (`time < probe`), so probing at
+    // boundary `k` selects the prefix *excluding* that boundary's
+    // failures — i.e. the failures before it — and f64::INFINITY probes
+    // the full-plan prefix. Together the probes enumerate every distinct
+    // prefix of the plan.
+    let mut best: Option<(f64, &SnapshotKey)> = None;
+    for k in 0..=boundaries.len() {
+        let probe = if k == boundaries.len() {
+            f64::INFINITY
+        } else {
+            boundaries[k]
+        };
+        let prefix = injection_prefix(plan, probe);
+        let key = prefix_cache_key(&prefix);
+        let lo = SnapshotKey {
+            seed_offset,
+            prefix: key.clone(),
+            time_ms: i64::MIN,
+        };
+        let hi = SnapshotKey {
+            seed_offset,
+            prefix: key,
+            time_ms: i64::MAX,
+        };
+        for (entry_key, entry) in entries.range(lo..=hi).rev() {
+            let snapshot = snapshot_of(entry);
+            // Exact validity guard: the plan's exact prefix at the
+            // snapshot's cut time must equal the recorded prefix. This
+            // rejects both quantisation collisions and snapshots cut
+            // *after* one of the plan's failures that the recording run
+            // did not inject.
+            if injection_prefix(plan, snapshot.time) == snapshot.prefix {
+                if best.is_none_or(|(t, _)| snapshot.time > t) {
+                    best = Some((snapshot.time, entry_key));
+                }
+                break; // deeper entries of this chain are shallower in time
+            }
+        }
+    }
+    best
 }
 
 #[derive(Debug, Clone)]
@@ -190,19 +401,27 @@ struct CacheEntry {
     last_used: u64,
 }
 
-/// Counters describing how the checkpoint cache behaved, surfaced through
+/// Counters describing how the checkpoint store behaved, surfaced through
 /// [`crate::runner::ExperimentRunner::checkpoint_stats`] and reported by
 /// the campaign-throughput bench.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CheckpointStats {
-    /// Injection runs that resumed from a snapshot.
+    /// Injection runs that resumed from a snapshot (either tier).
     pub forked_runs: u64,
     /// Injection runs that cold-started from `t = 0`.
     pub cold_runs: u64,
-    /// Snapshots currently held.
+    /// Forks served by the cross-worker [`SharedSnapshotTier`] (a subset
+    /// of [`CheckpointStats::forked_runs`]).
+    pub shared_hits: u64,
+    /// Snapshots currently held in the per-runner cache.
     pub snapshots_cached: usize,
-    /// Approximate bytes currently held.
+    /// Approximate bytes currently held (exclusive state plus each
+    /// distinct shared chunk counted once).
     pub cached_bytes: usize,
+    /// Of [`CheckpointStats::cached_bytes`], the bytes in `Arc`-shared
+    /// history chunks — the part copy-on-write de-duplicates across the
+    /// snapshots of a chain.
+    pub chunk_bytes: usize,
     /// Snapshots recorded over the runner's lifetime.
     pub snapshots_recorded: u64,
     /// Snapshots evicted by the memory budget.
@@ -212,11 +431,12 @@ pub struct CheckpointStats {
     pub simulated_seconds_skipped: f64,
 }
 
-/// The memory-budgeted, LRU-evicted snapshot store.
+/// The per-runner, memory-budgeted, LRU-evicted snapshot store.
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotCache {
     entries: BTreeMap<SnapshotKey, CacheEntry>,
-    total_bytes: usize,
+    exclusive_bytes: usize,
+    ledger: ChunkLedger,
     max_bytes: usize,
     clock: u64,
     stats: CheckpointStats,
@@ -231,11 +451,16 @@ impl SnapshotCache {
         }
     }
 
+    fn total_bytes(&self) -> usize {
+        self.exclusive_bytes + self.ledger.bytes
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> CheckpointStats {
         CheckpointStats {
             snapshots_cached: self.entries.len(),
-            cached_bytes: self.total_bytes,
+            cached_bytes: self.total_bytes(),
+            chunk_bytes: self.ledger.bytes,
             ..self.stats
         }
     }
@@ -245,68 +470,35 @@ impl SnapshotCache {
         self.stats.cold_runs += 1;
     }
 
-    /// Returns (a clone of) the deepest cached snapshot a run of `plan`
-    /// may resume from: among every snapshot whose quantised key matches
-    /// one of the plan's own injection prefixes *and* whose exact prefix
-    /// equals the plan's exact prefix at the snapshot time, the one with
-    /// the latest cut time.
-    pub(crate) fn deepest_match(
-        &mut self,
+    /// Notes a fork served by the shared tier at depth `time`.
+    pub(crate) fn note_shared_fork(&mut self, time: f64) {
+        self.stats.forked_runs += 1;
+        self.stats.shared_hits += 1;
+        self.stats.simulated_seconds_skipped += time;
+    }
+
+    /// The deepest local snapshot a run of `plan` may resume from, as
+    /// `(cut time, key)` — a probe only, touching neither LRU state nor
+    /// statistics, so the runner can compare depths across tiers before
+    /// committing to (and cloning) either.
+    pub(crate) fn peek_deepest(
+        &self,
         seed_offset: u64,
         plan: &FaultPlan,
-    ) -> Option<RunSnapshot> {
-        // The plan's prefix only changes at its own failure times, so
-        // there are at most `plan.len() + 1` distinct prefixes to probe;
-        // probe each one's chain from its deepest snapshot down.
-        let mut boundaries: Vec<f64> = plan.specs().map(|s| s.time).collect();
-        boundaries.sort_by(|a, b| a.partial_cmp(b).expect("fault times are finite"));
-        boundaries.dedup();
-        // `injection_prefix` is strict (`time < probe`), so probing at
-        // boundary `k` selects the prefix *excluding* that boundary's
-        // failures — i.e. the failures before it — and f64::INFINITY
-        // probes the full-plan prefix. Together the probes enumerate
-        // every distinct prefix of the plan.
-        let mut best: Option<(f64, SnapshotKey)> = None;
-        for k in 0..=boundaries.len() {
-            let probe = if k == boundaries.len() {
-                f64::INFINITY
-            } else {
-                boundaries[k]
-            };
-            let prefix = injection_prefix(plan, probe);
-            let key = prefix_cache_key(&prefix);
-            let lo = SnapshotKey {
-                seed_offset,
-                prefix: key.clone(),
-                time_ms: i64::MIN,
-            };
-            let hi = SnapshotKey {
-                seed_offset,
-                prefix: key,
-                time_ms: i64::MAX,
-            };
-            for (entry_key, entry) in self.entries.range(lo..=hi).rev() {
-                let snapshot = &entry.snapshot;
-                // Exact validity guard: the plan's exact prefix at the
-                // snapshot's cut time must equal the recorded prefix.
-                // This rejects both quantisation collisions and
-                // snapshots cut *after* one of the plan's failures that
-                // the recording run did not inject.
-                if injection_prefix(plan, snapshot.time) == snapshot.prefix {
-                    if best.as_ref().is_none_or(|(t, _)| snapshot.time > *t) {
-                        best = Some((snapshot.time, entry_key.clone()));
-                    }
-                    break; // deeper entries of this chain are shallower in time
-                }
-            }
-        }
-        let (time, key) = best?;
+    ) -> Option<(f64, SnapshotKey)> {
+        deepest_entry(&self.entries, |e| &e.snapshot, seed_offset, plan)
+            .map(|(t, k)| (t, k.clone()))
+    }
+
+    /// Takes (a clone of) the snapshot a [`SnapshotCache::peek_deepest`]
+    /// probe selected, updating LRU state and fork statistics.
+    pub(crate) fn take(&mut self, key: &SnapshotKey, time: f64) -> RunSnapshot {
         self.clock += 1;
-        let entry = self.entries.get_mut(&key).expect("matched key present");
+        let entry = self.entries.get_mut(key).expect("peeked key present");
         entry.last_used = self.clock;
         self.stats.forked_runs += 1;
         self.stats.simulated_seconds_skipped += time;
-        Some(entry.snapshot.clone())
+        entry.snapshot.clone()
     }
 
     /// Records a snapshot, keeping the earliest recording when the same
@@ -314,16 +506,13 @@ impl SnapshotCache {
     /// evicts least-recently-used snapshots until the memory budget is
     /// respected again.
     pub(crate) fn record(&mut self, seed_offset: u64, snapshot: RunSnapshot) {
-        let key = SnapshotKey {
-            seed_offset,
-            prefix: prefix_cache_key(&snapshot.prefix),
-            time_ms: (snapshot.time * 1000.0).round() as i64,
-        };
+        let key = SnapshotKey::for_snapshot(seed_offset, &snapshot);
         if self.entries.contains_key(&key) {
             return;
         }
         let bytes = snapshot.approx_bytes();
         self.clock += 1;
+        self.ledger.add(&snapshot);
         self.entries.insert(
             key,
             CacheEntry {
@@ -332,9 +521,9 @@ impl SnapshotCache {
                 last_used: self.clock,
             },
         );
-        self.total_bytes += bytes;
+        self.exclusive_bytes += bytes;
         self.stats.snapshots_recorded += 1;
-        while self.total_bytes > self.max_bytes && !self.entries.is_empty() {
+        while self.total_bytes() > self.max_bytes && !self.entries.is_empty() {
             let lru = self
                 .entries
                 .iter()
@@ -342,9 +531,190 @@ impl SnapshotCache {
                 .map(|(k, _)| k.clone())
                 .expect("non-empty cache has an LRU entry");
             let evicted = self.entries.remove(&lru).expect("LRU key present");
-            self.total_bytes -= evicted.bytes;
+            self.exclusive_bytes -= evicted.bytes;
+            self.ledger.remove(&evicted.snapshot);
             self.stats.snapshots_evicted += 1;
         }
+    }
+}
+
+/// Aggregate statistics of a [`SharedSnapshotTier`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SharedTierStats {
+    /// Snapshots currently published (visible to lock-free readers).
+    pub published_snapshots: usize,
+    /// Approximate bytes currently published (exclusive state plus each
+    /// distinct shared chunk counted once).
+    pub published_bytes: usize,
+    /// Times the engine republished the map.
+    pub publishes: u64,
+    /// Snapshots accepted into the tier over its lifetime.
+    pub recorded: u64,
+    /// Snapshots evicted by the tier's memory budget.
+    pub evicted: u64,
+    /// Forks served to runners from this tier.
+    pub hits: u64,
+}
+
+/// The canonical (writer-side) state of a shared tier, behind one mutex
+/// that only the rare record/republish paths touch.
+#[derive(Debug, Default)]
+struct TierState {
+    pending: Vec<(SnapshotKey, Arc<RunSnapshot>)>,
+    map: BTreeMap<SnapshotKey, Arc<RunSnapshot>>,
+    exclusive: BTreeMap<SnapshotKey, usize>,
+    order: VecDeque<SnapshotKey>,
+    ledger: ChunkLedger,
+    exclusive_bytes: usize,
+    publishes: u64,
+    recorded: u64,
+    evicted: u64,
+}
+
+/// The read-mostly cross-worker (and cross-campaign) snapshot tier: an
+/// `Arc`-swapped immutable snapshot map (see the [module docs](self)).
+///
+/// *Reads* (`peek_deepest`) clone the published `Arc` and probe the
+/// immutable map — no lock a writer can hold. *Writes* (`offer`) append
+/// to a pending buffer under a brief mutex; nothing becomes visible until
+/// the engine calls [`SharedSnapshotTier::republish`] between speculative
+/// wavefronts, which merges the pending snapshots into a fresh map,
+/// enforces the memory budget (FIFO eviction, chunk-aware accounting)
+/// and swaps the `Arc`.
+#[derive(Debug)]
+pub struct SharedSnapshotTier {
+    max_bytes: usize,
+    /// Fingerprint of the experiment whose snapshots this tier holds,
+    /// claimed by the first runner that attaches. Snapshot keys encode
+    /// only the injection prefix — state equivalence additionally needs
+    /// the *same experiment* (firmware, bugs, workload, simulation
+    /// parameters, seed) — so a runner whose experiment fingerprint
+    /// differs from the claim refuses to attach.
+    fingerprint: parking_lot::Mutex<Option<String>>,
+    state: parking_lot::Mutex<TierState>,
+    published: std::sync::RwLock<Arc<BTreeMap<SnapshotKey, Arc<RunSnapshot>>>>,
+    hits: AtomicU64,
+}
+
+impl SharedSnapshotTier {
+    /// An empty tier with the given memory budget (bytes).
+    pub fn new(max_bytes: usize) -> Self {
+        SharedSnapshotTier {
+            max_bytes,
+            fingerprint: parking_lot::Mutex::new(None),
+            state: parking_lot::Mutex::new(TierState::default()),
+            published: std::sync::RwLock::new(Arc::new(BTreeMap::new())),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims the tier for an experiment: the first caller's fingerprint
+    /// sticks, later callers get `true` only when theirs matches. A
+    /// mismatch means the caller must not attach (its runs would fork
+    /// from another experiment's state).
+    pub(crate) fn claim(&self, fingerprint: &str) -> bool {
+        let mut claimed = self.fingerprint.lock();
+        match claimed.as_deref() {
+            Some(existing) => existing == fingerprint,
+            None => {
+                *claimed = Some(fingerprint.to_string());
+                true
+            }
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SharedTierStats {
+        let state = self.state.lock();
+        SharedTierStats {
+            published_snapshots: state.map.len(),
+            published_bytes: state.exclusive_bytes + state.ledger.bytes,
+            publishes: state.publishes,
+            recorded: state.recorded,
+            evicted: state.evicted,
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The published `Arc` (cheap clone; the read path's only shared
+    /// access).
+    fn current(&self) -> Arc<BTreeMap<SnapshotKey, Arc<RunSnapshot>>> {
+        Arc::clone(&self.published.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The cut time of the deepest published snapshot a run of `plan`
+    /// may resume from — a probe only (no clone, no hit counted), so the
+    /// runner can compare against its local cache first.
+    pub(crate) fn peek_depth(&self, seed_offset: u64, plan: &FaultPlan) -> Option<f64> {
+        let map = self.current();
+        deepest_entry(&map, |e| e.as_ref(), seed_offset, plan).map(|(t, _)| t)
+    }
+
+    /// Takes (a clone of) the deepest published snapshot for `plan`,
+    /// counting a served fork. Re-probes the current map — a concurrent
+    /// republish between probe and take can only yield an equal or
+    /// deeper snapshot, never an invalid one.
+    pub(crate) fn take_deepest(
+        &self,
+        seed_offset: u64,
+        plan: &FaultPlan,
+    ) -> Option<(f64, RunSnapshot)> {
+        let map = self.current();
+        let (time, key) = deepest_entry(&map, |e| e.as_ref(), seed_offset, plan)?;
+        let snapshot = map.get(key).expect("matched key present").as_ref().clone();
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some((time, snapshot))
+    }
+
+    /// Offers a freshly recorded snapshot to the tier. Cheap: an `Arc`
+    /// bump plus a short mutex on the pending buffer; duplicates of
+    /// already-published or already-pending cells are dropped here.
+    pub(crate) fn offer(&self, seed_offset: u64, snapshot: &RunSnapshot) {
+        let key = SnapshotKey::for_snapshot(seed_offset, snapshot);
+        if self.current().contains_key(&key) {
+            return;
+        }
+        let mut state = self.state.lock();
+        if state.map.contains_key(&key) || state.pending.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        state.pending.push((key, Arc::new(snapshot.clone())));
+    }
+
+    /// Merges every pending snapshot into the published map, evicts
+    /// oldest-first past the memory budget and swaps the `Arc` readers
+    /// see. Called by the engine between speculative wavefronts and at
+    /// campaign end; a no-op when nothing is pending.
+    pub fn republish(&self) {
+        let mut state = self.state.lock();
+        if state.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut state.pending);
+        for (key, snapshot) in pending {
+            if state.map.contains_key(&key) {
+                continue;
+            }
+            let bytes = snapshot.approx_bytes();
+            state.ledger.add(&snapshot);
+            state.exclusive_bytes += bytes;
+            state.exclusive.insert(key.clone(), bytes);
+            state.order.push_back(key.clone());
+            state.map.insert(key, snapshot);
+            state.recorded += 1;
+        }
+        while state.exclusive_bytes + state.ledger.bytes > self.max_bytes && !state.map.is_empty() {
+            let oldest = state.order.pop_front().expect("non-empty tier has order");
+            if let Some(evicted) = state.map.remove(&oldest) {
+                let bytes = state.exclusive.remove(&oldest).unwrap_or(0);
+                state.exclusive_bytes -= bytes;
+                state.ledger.remove(&evicted);
+                state.evicted += 1;
+            }
+        }
+        state.publishes += 1;
+        let next = Arc::new(state.map.clone());
+        *self.published.write().unwrap_or_else(|e| e.into_inner()) = next;
     }
 }
 
@@ -392,12 +762,49 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_config_defaults_and_disabled() {
+    fn checkpoint_config_defaults_and_constructors() {
         let cfg = CheckpointConfig::default();
         assert!(cfg.enabled);
         assert!(cfg.interval > 0.0);
         assert!(cfg.max_bytes > 0);
+        assert!(cfg.anchors.is_empty());
+        assert!(cfg.anchor_placement);
         assert!(!CheckpointConfig::disabled().enabled);
         assert_eq!(CheckpointConfig::with_max_bytes(123).max_bytes, 123);
+        let anchored = CheckpointConfig::with_anchors(vec![8.0, 2.0, 8.0]);
+        assert_eq!(anchored.anchors, vec![2.0, 8.0]);
+        assert!(!anchored.anchor_placement);
+        let only = CheckpointConfig::anchors_only(vec![5.0], 1024);
+        assert!(only.interval > 1e8);
+        assert_eq!(only.max_bytes, 1024);
+    }
+
+    #[test]
+    fn chunk_ledger_counts_each_chunk_once() {
+        // Two "snapshots" sharing chunk 1: its bytes are charged once,
+        // stay charged while either referent lives, and are refunded
+        // only when the last referent is removed.
+        let mut ledger = ChunkLedger::default();
+        for &(id, bytes) in &[(1, 100), (2, 50)] {
+            ledger.add_chunk(id, bytes);
+        }
+        for &(id, bytes) in &[(1, 100), (3, 25)] {
+            ledger.add_chunk(id, bytes);
+        }
+        assert_eq!(ledger.bytes, 175);
+        // Removing one referent of chunk 1 keeps its bytes charged…
+        ledger.remove_chunk(1);
+        assert_eq!(ledger.bytes, 175);
+        // …and removing the last one refunds exactly its bytes.
+        ledger.remove_chunk(1);
+        assert_eq!(ledger.bytes, 75);
+        // Unknown ids are ignored (snapshots evicted twice cannot
+        // corrupt the accounting).
+        ledger.remove_chunk(99);
+        assert_eq!(ledger.bytes, 75);
+        ledger.remove_chunk(2);
+        ledger.remove_chunk(3);
+        assert_eq!(ledger.bytes, 0);
+        assert!(ledger.chunks.is_empty());
     }
 }

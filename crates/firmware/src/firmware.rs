@@ -20,7 +20,7 @@ use crate::nav::{Navigator, Setpoint};
 use crate::params::{FirmwareParams, FirmwareProfile};
 use avis_hinj::SharedInjector;
 use avis_mavlite::{AckResult, CommandKind, Message, MissionCommand, ProtocolMode};
-use avis_sim::{MotorCommands, SensorKind, SensorReading, Vec3};
+use avis_sim::{CowVec, MotorCommands, SensorKind, SensorReading, Vec3};
 use serde::{Deserialize, Serialize};
 
 /// Compact telemetry snapshot (also broadcast as MAVLite status messages).
@@ -63,6 +63,11 @@ enum RtlPhase {
 /// forked run owns a fresh injector (same prefix records, possibly a
 /// different remaining plan) and the restore rebinds both the firmware's
 /// own handle and its sensor frontend's.
+///
+/// Capture is O(1) in the run length: the growing defect log is backed
+/// by a [`CowVec`], so [`Firmware::snapshot`] seals the log's tail into
+/// an `Arc`-shared chunk and the capture shares the history structurally
+/// instead of deep-cloning it.
 #[derive(Debug, Clone)]
 pub struct FirmwareSnapshot {
     firmware: Firmware,
@@ -89,16 +94,24 @@ impl FirmwareSnapshot {
         firmware
     }
 
-    /// Approximate heap footprint of the captured state (bytes), used by
-    /// checkpoint caches to enforce their memory budget.
+    /// Approximate heap footprint *exclusively owned* by the captured
+    /// state (bytes), used by checkpoint caches to enforce their memory
+    /// budget. The `Arc`-shared defect-log chunks are accounted once per
+    /// distinct chunk through [`FirmwareSnapshot::for_each_chunk`].
     pub fn approx_bytes(&self) -> usize {
         let fw = &self.firmware;
         std::mem::size_of::<Firmware>()
             + fw.mode_history.len() * std::mem::size_of::<(f64, OperatingMode)>()
             + fw.outbox.len() * std::mem::size_of::<Message>()
-            + fw.defect_log.len() * std::mem::size_of::<(f64, DefectOverrides)>()
+            + fw.defect_log.exclusive_bytes()
             + std::mem::size_of_val(fw.failsafes.events())
             + fw.mission.items().len() * 64
+    }
+
+    /// Visits the `Arc`-shared defect-log chunks as `(identity, bytes)`
+    /// pairs (see [`CowVec::for_each_chunk`]).
+    pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
+        self.firmware.defect_log.for_each_chunk(f);
     }
 }
 
@@ -130,7 +143,7 @@ pub struct Firmware {
     last_heartbeat: f64,
     last_status: f64,
     last_selected: SelectedSensors,
-    defect_log: Vec<(f64, DefectOverrides)>,
+    defect_log: CowVec<(f64, DefectOverrides)>,
 }
 
 impl Firmware {
@@ -166,7 +179,7 @@ impl Firmware {
             last_heartbeat: -10.0,
             last_status: -10.0,
             last_selected: SelectedSensors::default(),
-            defect_log: Vec::new(),
+            defect_log: CowVec::new(),
         };
         fw.record_mode(0.0);
         fw
@@ -225,8 +238,9 @@ impl Firmware {
         self.failsafes.events()
     }
 
-    /// Steps at which injected defects were active (diagnostics).
-    pub fn defect_log(&self) -> &[(f64, DefectOverrides)] {
+    /// Steps at which injected defects were active (diagnostics). Backed
+    /// by a copy-on-write vector so snapshots share the history.
+    pub fn defect_log(&self) -> &CowVec<(f64, DefectOverrides)> {
         &self.defect_log
     }
 
@@ -251,8 +265,11 @@ impl Firmware {
     }
 
     /// Captures the firmware's complete state so a later run can resume
-    /// from this exact point (see [`FirmwareSnapshot`]).
-    pub fn snapshot(&self) -> FirmwareSnapshot {
+    /// from this exact point (see [`FirmwareSnapshot`]). Seals the
+    /// defect log's tail so the capture shares the history structurally
+    /// (O(1) in the run length) rather than deep-cloning it.
+    pub fn snapshot(&mut self) -> FirmwareSnapshot {
+        self.defect_log.seal();
         FirmwareSnapshot {
             firmware: self.clone(),
         }

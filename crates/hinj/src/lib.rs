@@ -41,7 +41,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use avis_sim::SensorInstance;
+use avis_sim::{CowVec, SensorInstance};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -226,8 +226,8 @@ pub struct ModeTransitionRecord {
 #[derive(Debug, Clone, Default)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    injections: Vec<InjectionRecord>,
-    transitions: Vec<ModeTransitionRecord>,
+    injections: CowVec<InjectionRecord>,
+    transitions: CowVec<ModeTransitionRecord>,
     current_mode: Option<ModeCode>,
     reads: u64,
     failed_reads: u64,
@@ -271,7 +271,12 @@ impl FaultInjector {
     /// Captures the injector's complete state — plan, delivered
     /// injections, mode transitions and read counters — so a later run
     /// can resume from this exact point (see [`InjectorSnapshot`]).
-    pub fn snapshot(&self) -> InjectorSnapshot {
+    /// Seals the record logs' tails first, so the capture shares the
+    /// history structurally (O(1) in the record count) instead of
+    /// deep-cloning it.
+    pub fn snapshot(&mut self) -> InjectorSnapshot {
+        self.injections.seal();
+        self.transitions.seal();
         InjectorSnapshot {
             injector: self.clone(),
         }
@@ -321,13 +326,16 @@ impl FaultInjector {
         self.current_mode
     }
 
-    /// Injections actually delivered so far (first failed read per instance).
-    pub fn injections(&self) -> &[InjectionRecord] {
+    /// Injections actually delivered so far (first failed read per
+    /// instance). Backed by a copy-on-write vector so snapshots share
+    /// the records.
+    pub fn injections(&self) -> &CowVec<InjectionRecord> {
         &self.injections
     }
 
-    /// Mode transitions reported so far.
-    pub fn mode_transitions(&self) -> &[ModeTransitionRecord] {
+    /// Mode transitions reported so far. Backed by a copy-on-write
+    /// vector so snapshots share the records.
+    pub fn mode_transitions(&self) -> &CowVec<ModeTransitionRecord> {
         &self.transitions
     }
 
@@ -383,13 +391,22 @@ impl InjectorSnapshot {
         self.injector.plan()
     }
 
-    /// Approximate heap footprint of the captured state (bytes), used by
-    /// the snapshot cache's memory budget.
+    /// Approximate heap footprint *exclusively owned* by the captured
+    /// state (bytes), used by the snapshot cache's memory budget. The
+    /// `Arc`-shared record chunks are accounted once per distinct chunk
+    /// through [`InjectorSnapshot::for_each_chunk`].
     pub fn approx_bytes(&self) -> usize {
         self.injector.plan.len() * std::mem::size_of::<(SensorInstance, f64)>()
-            + self.injector.injections.len() * std::mem::size_of::<InjectionRecord>()
-            + self.injector.transitions.len() * std::mem::size_of::<ModeTransitionRecord>()
+            + self.injector.injections.exclusive_bytes()
+            + self.injector.transitions.exclusive_bytes()
             + std::mem::size_of::<FaultInjector>()
+    }
+
+    /// Visits the `Arc`-shared record chunks as `(identity, bytes)`
+    /// pairs (see [`CowVec::for_each_chunk`]).
+    pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
+        self.injector.injections.for_each_chunk(f);
+        self.injector.transitions.for_each_chunk(f);
     }
 }
 

@@ -1,0 +1,320 @@
+//! A copy-on-write, chunked append-only vector for O(1) snapshotting.
+//!
+//! [`CowVec`] is the persistent-vector-style backbone of the checkpoint
+//! tree: a run's growing history (trace samples, firmware logs, injector
+//! records) appends to a plain mutable *tail*, and at snapshot time the
+//! tail is *sealed* into an immutable `Arc`-shared prefix chunk. A
+//! snapshot is then just a clone of the chunk list — O(chunks), not
+//! O(elements) — and every snapshot along a run shares the sealed chunks
+//! structurally instead of deep-copying the history.
+//!
+//! The aliasing contract is the whole point: once a chunk is sealed it is
+//! never mutated, so a forked run appending to *its* tail (and sealing
+//! *its own* later chunks) can never perturb the prefix another snapshot
+//! holds. `tests/snapshot_fidelity.rs` pins this property.
+
+use std::fmt;
+use std::ops::Index;
+use std::sync::Arc;
+
+/// An append-only vector whose history is shared between clones as
+/// immutable `Arc` chunks (see the [module docs](self)).
+#[derive(Clone)]
+pub struct CowVec<T> {
+    /// Sealed, immutable prefix chunks, in order. Shared between clones.
+    chunks: Vec<Arc<[T]>>,
+    /// Elements in the sealed prefix (sum of chunk lengths).
+    prefix_len: usize,
+    /// The mutable tail: appends land here until the next seal.
+    tail: Vec<T>,
+}
+
+impl<T: Clone> CowVec<T> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        CowVec {
+            chunks: Vec::new(),
+            prefix_len: 0,
+            tail: Vec::new(),
+        }
+    }
+
+    /// An empty vector whose tail is pre-sized for `capacity` appends, so
+    /// a hot loop that pushes into it performs no steady-state
+    /// reallocations between seals.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CowVec {
+            chunks: Vec::new(),
+            prefix_len: 0,
+            tail: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Builds a vector from existing elements (all in the tail).
+    pub fn from_vec(items: Vec<T>) -> Self {
+        CowVec {
+            chunks: Vec::new(),
+            prefix_len: 0,
+            tail: items,
+        }
+    }
+
+    /// Total number of elements (sealed prefix + tail).
+    pub fn len(&self) -> usize {
+        self.prefix_len + self.tail.len()
+    }
+
+    /// Whether the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an element to the tail. Amortised O(1); never touches the
+    /// sealed prefix.
+    pub fn push(&mut self, item: T) {
+        self.tail.push(item);
+    }
+
+    /// The element at `index`, if in bounds.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index < self.prefix_len {
+            let mut offset = index;
+            for chunk in &self.chunks {
+                if offset < chunk.len() {
+                    return Some(&chunk[offset]);
+                }
+                offset -= chunk.len();
+            }
+            unreachable!("prefix_len covers every chunk")
+        } else {
+            self.tail.get(index - self.prefix_len)
+        }
+    }
+
+    /// The last element, if any.
+    pub fn last(&self) -> Option<&T> {
+        self.tail
+            .last()
+            .or_else(|| self.chunks.last().and_then(|c| c.last()))
+    }
+
+    /// Iterates over every element, prefix first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks
+            .iter()
+            .flat_map(|c| c.iter())
+            .chain(self.tail.iter())
+    }
+
+    /// Seals the tail into a shared immutable chunk. After this, clones
+    /// share the entire history structurally. O(tail length) — the tail
+    /// is *moved* into the chunk, the existing prefix is untouched.
+    pub fn seal(&mut self) {
+        if self.tail.is_empty() {
+            return;
+        }
+        let capacity = self.tail.capacity();
+        let sealed: Arc<[T]> = std::mem::take(&mut self.tail).into();
+        self.prefix_len += sealed.len();
+        self.chunks.push(sealed);
+        // Keep the tail at its steady-state capacity so the hot append
+        // loop does not re-grow from zero after every checkpoint.
+        self.tail.reserve(capacity);
+    }
+
+    /// Seals the tail, then returns a structural-sharing clone: the
+    /// snapshot primitive. O(chunks), independent of element count. The
+    /// clone's tail carries the original's capacity, so a run resumed
+    /// from the snapshot appends without regrowing from zero (the same
+    /// steady-state-allocation property cold runs get from
+    /// [`CowVec::with_capacity`]).
+    pub fn sealed_clone(&mut self) -> CowVec<T> {
+        self.seal();
+        CowVec {
+            chunks: self.chunks.clone(),
+            prefix_len: self.prefix_len,
+            tail: Vec::with_capacity(self.tail.capacity()),
+        }
+    }
+
+    /// Copies every element into a plain `Vec` (prefix first).
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.iter().cloned());
+        out
+    }
+
+    /// Consumes the vector into a plain `Vec`, avoiding the copy when the
+    /// history was never sealed (the common cold-run case).
+    pub fn into_vec(self) -> Vec<T> {
+        if self.chunks.is_empty() {
+            self.tail
+        } else {
+            self.to_vec()
+        }
+    }
+
+    /// Heap bytes exclusively owned by this instance (the unsealed tail).
+    /// Sealed chunks are shared and accounted separately through
+    /// [`CowVec::for_each_chunk`].
+    pub fn exclusive_bytes(&self) -> usize {
+        self.tail.len() * std::mem::size_of::<T>()
+            + self.chunks.len() * std::mem::size_of::<Arc<[T]>>()
+    }
+
+    /// Visits every sealed chunk as `(identity, bytes)`. The identity is
+    /// stable for the chunk's lifetime and equal across clones sharing
+    /// it, so a store can charge each distinct chunk's bytes exactly once
+    /// however many snapshots reference it.
+    pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
+        for chunk in &self.chunks {
+            f(
+                Arc::as_ptr(chunk) as *const T as usize,
+                chunk.len() * std::mem::size_of::<T>(),
+            );
+        }
+    }
+}
+
+impl<T> Default for CowVec<T> {
+    fn default() -> Self {
+        CowVec {
+            chunks: Vec::new(),
+            prefix_len: 0,
+            tail: Vec::new(),
+        }
+    }
+}
+
+impl<T: Clone> Index<usize> for CowVec<T> {
+    type Output = T;
+
+    fn index(&self, index: usize) -> &T {
+        self.get(index)
+            .unwrap_or_else(|| panic!("CowVec index {index} out of bounds (len {})", self.len()))
+    }
+}
+
+impl<T: Clone> FromIterator<T> for CowVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        CowVec::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl<T: Clone + PartialEq> PartialEq for CowVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for CowVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_len_get_index_iter() {
+        let mut v = CowVec::new();
+        assert!(v.is_empty());
+        for i in 0..10 {
+            v.push(i);
+        }
+        v.seal();
+        for i in 10..25 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 25);
+        assert!(!v.is_empty());
+        assert_eq!(v.get(0), Some(&0));
+        assert_eq!(v.get(9), Some(&9));
+        assert_eq!(v.get(10), Some(&10));
+        assert_eq!(v[24], 24);
+        assert_eq!(v.get(25), None);
+        assert_eq!(v.last(), Some(&24));
+        let collected: Vec<i32> = v.iter().copied().collect();
+        assert_eq!(collected, (0..25).collect::<Vec<_>>());
+        assert_eq!(v.to_vec(), collected);
+    }
+
+    #[test]
+    fn sealed_clone_is_structural_sharing_and_aliasing_safe() {
+        let mut original = CowVec::with_capacity(8);
+        for i in 0..100 {
+            original.push(i);
+        }
+        let snapshot = original.sealed_clone();
+        assert_eq!(snapshot.len(), 100);
+        // The fork keeps appending and sealing; the snapshot must never
+        // observe any of it.
+        for i in 100..200 {
+            original.push(i * 10);
+            if i % 17 == 0 {
+                original.seal();
+            }
+        }
+        assert_eq!(snapshot.len(), 100);
+        assert_eq!(snapshot.to_vec(), (0..100).collect::<Vec<_>>());
+        assert_eq!(original.len(), 200);
+        // And the chunks really are shared: identities overlap.
+        let mut snap_ids = Vec::new();
+        snapshot.for_each_chunk(&mut |id, _| snap_ids.push(id));
+        let mut orig_ids = Vec::new();
+        original.for_each_chunk(&mut |id, _| orig_ids.push(id));
+        assert!(snap_ids.iter().all(|id| orig_ids.contains(id)));
+        assert!(orig_ids.len() > snap_ids.len());
+    }
+
+    #[test]
+    fn seal_of_empty_tail_is_a_no_op() {
+        let mut v: CowVec<u8> = CowVec::new();
+        v.seal();
+        v.seal();
+        assert!(v.is_empty());
+        v.push(1);
+        v.seal();
+        let chunks_before = v.chunks.len();
+        v.seal();
+        assert_eq!(v.chunks.len(), chunks_before);
+    }
+
+    #[test]
+    fn into_vec_avoids_copy_when_unsealed() {
+        let v = CowVec::from_vec(vec![1, 2, 3]);
+        assert_eq!(v.into_vec(), vec![1, 2, 3]);
+        let mut sealed = CowVec::from_vec(vec![1, 2, 3]);
+        sealed.seal();
+        sealed.push(4);
+        assert_eq!(sealed.into_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn exclusive_bytes_counts_only_the_tail_elements() {
+        let mut v = CowVec::new();
+        for i in 0..8u64 {
+            v.push(i);
+        }
+        let unsealed = v.exclusive_bytes();
+        assert!(unsealed >= 8 * std::mem::size_of::<u64>());
+        v.seal();
+        assert!(v.exclusive_bytes() < unsealed);
+        let mut bytes = 0;
+        v.for_each_chunk(&mut |_, b| bytes += b);
+        assert_eq!(bytes, 8 * std::mem::size_of::<u64>());
+    }
+
+    #[test]
+    fn equality_is_elementwise_across_chunk_layouts() {
+        let mut a = CowVec::from_vec(vec![1, 2, 3, 4]);
+        a.seal();
+        a.push(5);
+        let b = CowVec::from_vec(vec![1, 2, 3, 4, 5]);
+        assert_eq!(a, b);
+        let c = CowVec::from_vec(vec![1, 2, 3, 4, 6]);
+        assert_ne!(a, c);
+    }
+}

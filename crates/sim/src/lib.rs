@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cow;
 pub mod environment;
 pub mod math;
 pub mod rng;
@@ -41,6 +42,7 @@ pub mod sensors;
 pub mod simulator;
 pub mod vehicle;
 
+pub use cow::CowVec;
 pub use environment::{
     BoxObstacle, Collision, CollisionKind, Environment, Fence, FenceRegion, Wind,
 };

@@ -12,6 +12,7 @@ use crate::math::Vec3;
 use crate::sensors::{SensorReading, SensorSuite, SensorSuiteConfig};
 use crate::vehicle::{MotorCommands, Quadcopter, RigidBodyState, VehicleParams};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration for a simulation instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,6 +103,11 @@ impl Default for StepOutput {
 /// accumulated time and collision bookkeeping — is captured, so a
 /// restored simulator continues bit-identically to the original: the same
 /// motor-command sequence produces the same [`StepOutput`]s.
+///
+/// Capture is O(1) in the environment: the simulator holds its
+/// environment behind an `Arc`, so every snapshot along a run (and every
+/// fork) shares one copy of the fence/obstacle geometry instead of
+/// cloning it.
 #[derive(Debug, Clone)]
 pub struct SimSnapshot {
     sim: Simulator,
@@ -124,14 +130,24 @@ impl SimSnapshot {
         self.sim
     }
 
-    /// Approximate heap footprint of the captured state (bytes), used by
-    /// checkpoint caches to enforce their memory budget. The environment
-    /// geometry and sensor suite dominate; both are bounded per
-    /// configuration, so a flat estimate plus the fence count suffices.
+    /// Approximate heap footprint *exclusively owned* by the captured
+    /// state (bytes), used by checkpoint caches to enforce their memory
+    /// budget. The sensor suite dominates; it is bounded per
+    /// configuration, so a flat estimate suffices. The environment is
+    /// `Arc`-shared across every snapshot of a run and accounted once
+    /// through [`SimSnapshot::for_each_chunk`].
     pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<Simulator>()
-            + self.sim.env.fences().len() * 128
-            + self.sim.config.sensors.total_instances() * 192
+        std::mem::size_of::<Simulator>() + self.sim.config.sensors.total_instances() * 192
+    }
+
+    /// Visits the `Arc`-shared parts of the capture as `(identity,
+    /// bytes)` pairs, so a snapshot store can charge each shared block
+    /// exactly once however many snapshots reference it.
+    pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
+        f(
+            Arc::as_ptr(&self.sim.env) as usize,
+            std::mem::size_of::<Environment>() + self.sim.env.fences().len() * 128,
+        );
     }
 }
 
@@ -140,7 +156,7 @@ impl SimSnapshot {
 pub struct Simulator {
     config: SimConfig,
     quad: Quadcopter,
-    env: Environment,
+    env: Arc<Environment>,
     sensors: SensorSuite,
     time: f64,
     steps: u64,
@@ -152,6 +168,13 @@ impl Simulator {
     /// Creates a simulator with the vehicle at rest at the environment's
     /// home position.
     pub fn new(config: SimConfig, env: Environment) -> Self {
+        Simulator::new_shared(config, Arc::new(env))
+    }
+
+    /// [`Simulator::new`] over an already-shared environment: the
+    /// simulator keeps the `Arc`, so repeated runs of the same workload
+    /// (and every snapshot they record) share one copy of the geometry.
+    pub fn new_shared(config: SimConfig, env: Arc<Environment>) -> Self {
         assert!(
             config.dt > 0.0 && config.dt <= 0.1,
             "dt must be in (0, 0.1]"
@@ -184,6 +207,11 @@ impl Simulator {
     /// The environment model.
     pub fn environment(&self) -> &Environment {
         &self.env
+    }
+
+    /// The shared environment handle (cloning it is O(1)).
+    pub fn shared_environment(&self) -> Arc<Environment> {
+        Arc::clone(&self.env)
     }
 
     /// Current simulation time in seconds.

@@ -163,6 +163,13 @@ impl ScriptedWorkload {
         &self.environment
     }
 
+    /// The shared environment handle (cloning it is O(1)); the runner
+    /// hands this straight to the simulator so every run — and every
+    /// snapshot a run records — shares one copy of the geometry.
+    pub fn shared_environment(&self) -> Arc<Environment> {
+        Arc::clone(&self.environment)
+    }
+
     /// The scripted steps.
     pub fn steps(&self) -> &[WorkloadStep] {
         &self.steps

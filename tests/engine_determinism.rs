@@ -9,12 +9,13 @@
 use avis::campaign::Campaign;
 use avis::checker::{Approach, Budget, CampaignResult};
 use avis::runner::ExperimentConfig;
-use avis::snapshot::CheckpointConfig;
+use avis::snapshot::{CheckpointConfig, SharedSnapshotTier};
 use avis::strategy::RoundRobinMode;
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_sim::simulator::{SimConfig, Simulator, StepOutput};
 use avis_sim::{Environment, MotorCommands, SensorNoise};
 use avis_workload::auto_box_mission;
+use std::sync::Arc;
 
 fn experiment() -> ExperimentConfig {
     let bugs = BugSet::current_code_base(FirmwareProfile::ArduPilotLike);
@@ -99,40 +100,123 @@ fn round_robin_campaign_is_deterministic_across_engines() {
 
 #[test]
 fn checkpointed_campaign_is_bit_identical_to_cold_execution() {
-    // The checkpoint tree must be invisible in every campaign observable:
-    // a campaign whose runs fork from cached snapshots produces the same
-    // `CampaignResult` as one that cold-starts every run from t = 0 —
-    // at parallelism 1 (one shared runner cache) and at parallelism 4
-    // (independent per-worker caches, each in a different fill state).
-    let run = |checkpoints: CheckpointConfig, parallelism: usize| {
-        Campaign::builder()
+    // The two-tier checkpoint store must be invisible in every campaign
+    // observable: a campaign whose runs fork from cached snapshots —
+    // per-runner tree, cross-worker shared tier, anchor-placed or
+    // interval-placed cuts — produces the same `CampaignResult` as one
+    // that cold-starts every run from t = 0, at parallelism 1 (one
+    // runner cache) and at parallelism 4 (independent per-worker caches
+    // in different fill states, warmed through the shared tier).
+    let run = |checkpoints: CheckpointConfig,
+               parallelism: usize,
+               tier: Option<Arc<SharedSnapshotTier>>| {
+        let mut builder = Campaign::builder()
             .experiment(experiment())
             .approach(Approach::Avis)
             .budget(Budget::simulations(8))
             .profiling_runs(1)
             .parallelism(parallelism)
-            .checkpoints(checkpoints)
-            .build()
-            .run()
+            .checkpoints(checkpoints);
+        if let Some(tier) = tier {
+            builder = builder.shared_snapshots(tier);
+        }
+        builder.build().run()
     };
-    let cold = run(CheckpointConfig::disabled(), 1);
+    let cold = run(CheckpointConfig::disabled(), 1, None);
     for parallelism in [1, 4] {
-        let checkpointed = run(CheckpointConfig::default(), parallelism);
+        let checkpointed = run(CheckpointConfig::default(), parallelism, None);
         assert_eq!(
             cold, checkpointed,
             "checkpointed campaign (parallelism {parallelism}) diverged from cold execution"
         );
         // A constrained memory budget (eviction on nearly every record)
         // must be equally invisible.
-        let budgeted = run(CheckpointConfig::with_max_bytes(96 * 1024), parallelism);
+        let budgeted = run(
+            CheckpointConfig::with_max_bytes(96 * 1024),
+            parallelism,
+            None,
+        );
         assert_eq!(
             cold, budgeted,
             "memory-budgeted campaign (parallelism {parallelism}) diverged from cold execution"
+        );
+        // An explicit shared tier — including one pre-warmed by an
+        // earlier campaign over the same experiment — must be equally
+        // invisible: the second campaign forks from the first one's
+        // published snapshots and still reproduces the cold result.
+        let tier = Arc::new(SharedSnapshotTier::new(48 * 1024 * 1024));
+        let first = run(
+            CheckpointConfig::default(),
+            parallelism,
+            Some(Arc::clone(&tier)),
+        );
+        assert_eq!(
+            cold, first,
+            "shared-tier campaign (parallelism {parallelism}) diverged from cold execution"
+        );
+        let warmed = run(
+            CheckpointConfig::default(),
+            parallelism,
+            Some(Arc::clone(&tier)),
+        );
+        assert_eq!(
+            cold, warmed,
+            "tier-warmed campaign (parallelism {parallelism}) diverged from cold execution"
+        );
+        assert!(
+            tier.stats().published_snapshots > 0,
+            "the shared tier should have published snapshots (parallelism {parallelism}): {:?}",
+            tier.stats()
+        );
+        // An interval-only placement (anchor placement off) must match too.
+        let interval_only = run(
+            CheckpointConfig {
+                anchor_placement: false,
+                ..CheckpointConfig::default()
+            },
+            parallelism,
+            None,
+        );
+        assert_eq!(
+            cold, interval_only,
+            "interval-only campaign (parallelism {parallelism}) diverged from cold execution"
         );
     }
     assert!(
         !cold.unsafe_conditions.is_empty(),
         "the comparison should cover unsafe-condition bookkeeping too"
+    );
+}
+
+#[test]
+fn bug_dense_campaign_with_pruning_aware_wavefronts_is_deterministic() {
+    // The bug-dense regime: most commits find bugs, so the engine keeps
+    // shrinking speculation (pruning-aware wavefront sizing) and
+    // regrowing it after bug-free wavefronts. Sizing decides only which
+    // runs are *pre-executed*, never which commit — the parallel result
+    // must stay bit-identical to the serial engine while actually
+    // exercising the shrink/regrow path (the budget spans several
+    // wavefronts with unsafe commits in between).
+    let run = |parallelism: usize| {
+        Campaign::builder()
+            .experiment(experiment())
+            .approach(Approach::Avis)
+            .budget(Budget::simulations(12))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .build()
+            .run()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "bug-dense parallel campaign diverged from the serial engine"
+    );
+    assert!(
+        serial.unsafe_conditions.len() >= 2,
+        "the bug-dense scenario should commit several unsafe runs: {}",
+        serial.unsafe_conditions.len()
     );
 }
 

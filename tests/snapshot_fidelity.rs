@@ -6,12 +6,13 @@
 //! case is deterministic across runs.
 
 use avis::runner::{ExperimentConfig, ExperimentRunner};
-use avis::snapshot::CheckpointConfig;
+use avis::snapshot::{CheckpointConfig, SharedSnapshotTier};
 use avis_firmware::{BugSet, Firmware, FirmwareProfile};
 use avis_hinj::{FaultInjector, FaultPlan, FaultSpec, SharedInjector};
 use avis_sim::simulator::{SimConfig, Simulator, StepOutput};
 use avis_sim::{Environment, MotorCommands, SensorInstance, SensorKind, SensorNoise, SimRng};
 use avis_workload::auto_box_mission;
+use std::sync::Arc;
 
 const DT: f64 = 0.0025;
 
@@ -269,4 +270,228 @@ fn runner_forks_are_bit_identical_across_random_plans() {
         "late plans should fork off the shared prefix: {stats:?}"
     );
     assert!(stats.simulated_seconds_skipped > 0.0);
+}
+
+#[test]
+fn forked_tail_mutation_never_perturbs_a_shared_prefix() {
+    // The structural-sharing aliasing property, per CoW-backed layer:
+    // a fork that keeps appending to (and sealing) its own history must
+    // never change what an earlier snapshot observes.
+    let mut rng = SimRng::seed_from_u64(59);
+    for case in 0..30 {
+        // Injector layer: records are CowVec-backed.
+        let fault = FaultSpec::new(arb_instance(&mut rng), rng.uniform_range(0.0, 3.0));
+        let mut injector = FaultInjector::new(FaultPlan::from_specs(vec![fault]));
+        for i in 0..30 {
+            let t = i as f64 * 0.5;
+            injector.should_fail(fault.instance, t);
+            if i % 7 == 0 {
+                injector.report_mode(t, avis_hinj::ModeCode(i as u32));
+            }
+        }
+        let snapshot = injector.snapshot();
+        let injections_at_cut = snapshot.restore().injections().to_vec();
+        let transitions_at_cut = snapshot.restore().mode_transitions().to_vec();
+        // The original keeps running (its tail grows and reseals)…
+        for i in 30..200 {
+            let t = i as f64 * 0.5;
+            injector.should_fail(arb_instance(&mut rng), t);
+            injector.report_mode(t, avis_hinj::ModeCode(i as u32));
+            if i % 13 == 0 {
+                let _ = injector.snapshot(); // reseals the shared chain
+            }
+        }
+        // …and the earlier snapshot must be byte-for-byte unchanged.
+        assert_eq!(
+            snapshot.restore().injections().to_vec(),
+            injections_at_cut,
+            "case {case}: injector prefix perturbed"
+        );
+        assert_eq!(
+            snapshot.restore().mode_transitions().to_vec(),
+            transitions_at_cut,
+            "case {case}: transition prefix perturbed"
+        );
+    }
+}
+
+#[test]
+fn firmware_defect_log_prefix_is_immutable_under_forks() {
+    // Firmware layer: the defect log is CowVec-backed; a snapshot taken
+    // mid-run must keep its log prefix while the recording run keeps
+    // appending (the buggy code base logs an entry per active-defect
+    // step, so the log actually grows).
+    let bugs = BugSet::current_code_base(FirmwareProfile::ArduPilotLike);
+    // Fail the primary accelerometer mid-climb (altitude > 2 m, still in
+    // Takeoff): APM-16021 triggers and stays latched, so the defect log
+    // grows every step from the trigger on.
+    let fault = FaultSpec::new(SensorInstance::new(SensorKind::Accelerometer, 0), 5.0);
+    let injector = SharedInjector::new(FaultInjector::new(FaultPlan::from_specs(vec![fault])));
+    let mut fw = Firmware::new(FirmwareProfile::ArduPilotLike, bugs, injector.clone());
+    let mut sim = make_sim(3);
+    let mut output = StepOutput::empty();
+    sim.step_into(&MotorCommands::IDLE, &mut output);
+    for step in 0..(20.0 / DT) as usize {
+        drive_ground_station(&mut fw, step);
+        let cmd = fw.step(&output.readings, sim.time(), DT);
+        sim.step_into(&cmd, &mut output);
+    }
+    let snapshot = fw.snapshot();
+    let restored_injector = SharedInjector::new(injector.snapshot().restore());
+    let log_at_cut = snapshot
+        .restore(restored_injector.clone())
+        .defect_log()
+        .to_vec();
+    // Continue the original for another 20 simulated seconds.
+    for step in 0..(20.0 / DT) as usize {
+        drive_ground_station(&mut fw, step + (20.0 / DT) as usize);
+        let cmd = fw.step(&output.readings, sim.time(), DT);
+        sim.step_into(&cmd, &mut output);
+        if step % 4000 == 0 {
+            let _ = fw.snapshot(); // reseals the shared chain
+        }
+    }
+    assert!(
+        fw.defect_log().len() > log_at_cut.len(),
+        "the continued run should keep logging defects"
+    );
+    assert_eq!(
+        snapshot.restore(restored_injector).defect_log().to_vec(),
+        log_at_cut,
+        "defect-log prefix perturbed by the continued run"
+    );
+}
+
+#[test]
+fn anchor_placement_raises_fork_depth_at_equal_memory_budget() {
+    // Adaptive checkpoint placement: cuts at the golden run's mode
+    // transitions (where SABRE anchors injections) must serve deeper
+    // forks than the fixed 5 s interval alone, at the same memory
+    // budget — measured through `checkpoint_stats()` as simulated
+    // seconds skipped per fork — while every result stays bit-identical
+    // to cold execution.
+    let budget = 16 * 1024 * 1024;
+    let mut base = ExperimentConfig::new(
+        FirmwareProfile::ArduPilotLike,
+        BugSet::none(),
+        auto_box_mission(),
+    );
+    base.noise = Some(SensorNoise::noiseless());
+    base.max_duration = 100.0;
+
+    // Golden transitions from a profiling run (what a campaign feeds
+    // `set_checkpoint_anchors` after calibration).
+    let mut profiler = ExperimentRunner::new(base.clone());
+    let golden = profiler.run_profiling(0);
+    let anchors: Vec<f64> = golden
+        .trace
+        .transition_times()
+        .into_iter()
+        .filter(|&t| t > 0.0 && t < base.max_duration)
+        .collect();
+    assert!(anchors.len() >= 4, "the golden run has several transitions");
+
+    // SABRE-style plans: single failures injected exactly at (a subset
+    // of) the anchors — the regime anchor placement is built for.
+    let instances = [
+        SensorInstance::new(SensorKind::Gps, 1),
+        SensorInstance::new(SensorKind::Barometer, 1),
+    ];
+    let mut plans = Vec::new();
+    for &t in anchors.iter().skip(1) {
+        for instance in instances {
+            plans.push(FaultPlan::from_specs(vec![FaultSpec::new(instance, t)]));
+        }
+    }
+
+    let run_all = |checkpoints: CheckpointConfig| {
+        let mut experiment = base.clone();
+        experiment.checkpoints = checkpoints;
+        let mut runner = ExperimentRunner::new(experiment);
+        let results: Vec<_> = plans
+            .iter()
+            .map(|p| runner.run_with_plan(p.clone()))
+            .collect();
+        (results, runner.checkpoint_stats())
+    };
+
+    let mut interval_only = CheckpointConfig::with_max_bytes(budget);
+    interval_only.anchor_placement = false;
+    let (interval_results, interval_stats) = run_all(interval_only);
+
+    let mut anchored = CheckpointConfig::with_max_bytes(budget);
+    anchored.anchors = anchors.clone();
+    anchored.anchor_placement = false;
+    let (anchored_results, anchored_stats) = run_all(anchored);
+
+    assert_eq!(
+        interval_results, anchored_results,
+        "checkpoint placement must never change results"
+    );
+    assert!(interval_stats.forked_runs > 0 && anchored_stats.forked_runs > 0);
+    let interval_depth =
+        interval_stats.simulated_seconds_skipped / interval_stats.forked_runs as f64;
+    let anchored_depth =
+        anchored_stats.simulated_seconds_skipped / anchored_stats.forked_runs as f64;
+    assert!(
+        anchored_depth > interval_depth,
+        "anchor placement should raise mean fork depth: anchored {anchored_depth:.2}s vs interval {interval_depth:.2}s \
+         (anchored {anchored_stats:?}, interval {interval_stats:?})"
+    );
+}
+
+#[test]
+fn two_tier_eviction_under_tiny_budgets_stays_correct() {
+    // Eviction correctness under the two-tier store: local caches and
+    // the shared tier both squeezed to a budget that evicts on nearly
+    // every publish must never change a result — a fork from whatever
+    // survives is still bit-identical to a cold run.
+    let gps1 = SensorInstance::new(SensorKind::Gps, 1);
+    let mut experiment = ExperimentConfig::new(
+        FirmwareProfile::ArduPilotLike,
+        BugSet::none(),
+        auto_box_mission(),
+    );
+    experiment.noise = Some(SensorNoise::noiseless());
+    experiment.max_duration = 100.0;
+    experiment.checkpoints = CheckpointConfig::with_max_bytes(96 * 1024);
+
+    let mut cold_experiment = experiment.clone();
+    cold_experiment.checkpoints = CheckpointConfig::disabled();
+    let mut cold = ExperimentRunner::new(cold_experiment);
+
+    let tier = Arc::new(SharedSnapshotTier::new(96 * 1024));
+    // Two runners sharing the tiny tier, alternating runs: each records
+    // into its own tiny cache and publishes into the shared tier.
+    let mut a = ExperimentRunner::new(experiment.clone());
+    a.set_shared_tier(Arc::clone(&tier));
+    let mut b = ExperimentRunner::new(experiment);
+    b.set_shared_tier(Arc::clone(&tier));
+
+    for (i, time) in [30.0, 42.0, 55.0, 67.0, 80.0, 30.5].into_iter().enumerate() {
+        let plan = FaultPlan::from_specs(vec![FaultSpec::new(gps1, time)]);
+        tier.republish();
+        let runner = if i % 2 == 0 { &mut a } else { &mut b };
+        let result = runner.run_with_plan(plan.clone());
+        let reference = cold.run_with_plan(plan);
+        assert_eq!(
+            result, reference,
+            "run {i}: two-tier eviction changed the result"
+        );
+    }
+    tier.republish();
+    let stats = tier.stats();
+    assert!(
+        stats.evicted > 0,
+        "the tiny tier budget should evict: {stats:?}"
+    );
+    assert!(
+        stats.published_bytes <= 96 * 1024,
+        "tier bytes over budget: {stats:?}"
+    );
+    let local = a.checkpoint_stats();
+    assert!(
+        local.snapshots_evicted > 0,
+        "the tiny local budget should evict: {local:?}"
+    );
 }
