@@ -22,6 +22,15 @@
 //! from the deepest cached prefix). The two campaigns must be
 //! bit-identical; the report records cold vs checkpointed scenarios/sec.
 //!
+//! Two further scenarios measure the PR-5 store and engine work: the
+//! **delta-density** sweep compares full snapshots (keyframe stride 1)
+//! against delta chains (stride 16) under one dense-anchor, tight-budget
+//! configuration — resident cuts and mean fork depth must come out ≥ 3×
+//! ahead for delta chains — and the **sharded-dispatch** scenario runs a
+//! four-family branch sweep at parallelism 4 under round-robin vs
+//! prefix-sharded placement, reporting each mode's local-cache hit share
+//! (per-worker stats via `WorkerStatsCollector`).
+//!
 //! Unlike the Criterion-style micro-benches this harness owns its `main`
 //! (`harness = false`): one campaign is seconds of work, so it runs each
 //! configuration once and reports wall-clock plus speedup directly, and
@@ -203,6 +212,74 @@ impl Strategy for LateSweep {
     fn observe(&mut self, _observation: &Observation<'_>) {}
 }
 
+/// The branching sweep the sharded-dispatch scenario runs: four distinct
+/// *first* failures fork four prefix branches off the golden chain, and
+/// a late second failure is swept across each branch — 48 two-fault
+/// plans in four prefix families, proposed interleaved (consecutive
+/// candidates alternate branches, the way SABRE's queue mixes anchors).
+/// Under a cache budget that cannot hold every branch, placement decides
+/// whether a worker's local cache keeps *its* branches hot (sharded) or
+/// all four branches keep evicting each other on every worker
+/// (round-robin).
+struct BranchSweep {
+    plans: Vec<FaultPlan>,
+    proposed: bool,
+}
+
+impl BranchSweep {
+    fn new() -> Self {
+        BranchSweep {
+            plans: Vec::new(),
+            proposed: false,
+        }
+    }
+}
+
+impl Strategy for BranchSweep {
+    fn name(&self) -> &str {
+        "Branch sweep"
+    }
+
+    fn initialize(&mut self, ctx: &StrategyContext<'_>) {
+        let branch_time = ctx.golden.duration * 0.35;
+        let firsts = [
+            SensorInstance::new(SensorKind::Accelerometer, 0),
+            SensorInstance::new(SensorKind::Gps, 0),
+            SensorInstance::new(SensorKind::Barometer, 0),
+            SensorInstance::new(SensorKind::Compass, 0),
+        ];
+        let second = SensorInstance::new(SensorKind::Gps, 1);
+        let start = ctx.golden.duration * 0.6;
+        let end = ctx.golden.duration * 0.95;
+        for slot in [11usize, 3, 7, 0, 9, 5, 1, 10, 4, 8, 2, 6] {
+            let time = start + (end - start) * slot as f64 / 12.0;
+            for first in firsts {
+                self.plans.push(FaultPlan::from_specs(vec![
+                    FaultSpec::new(first, branch_time),
+                    FaultSpec::new(second, time),
+                ]));
+            }
+        }
+    }
+
+    fn propose(&mut self) -> Vec<Candidate> {
+        if std::mem::replace(&mut self.proposed, true) {
+            return Vec::new();
+        }
+        self.plans
+            .iter()
+            .enumerate()
+            .map(|(slot, plan)| Candidate::speculate(slot as u64, plan.clone()))
+            .collect()
+    }
+
+    fn decide(&mut self, candidate: &Candidate) -> Decision {
+        Decision::run(self.plans[candidate.token() as usize].clone())
+    }
+
+    fn observe(&mut self, _observation: &Observation<'_>) {}
+}
+
 /// Stamps the moment profiling/calibration ends, so the measurement
 /// covers only the scenario-search phase (profiling runs execute once
 /// and are never checkpointed — including them would dilute the
@@ -229,17 +306,60 @@ fn run_late_injection(
     checkpoints: CheckpointConfig,
     parallelism: usize,
 ) -> (CampaignResult, f64) {
-    let campaign = Campaign::builder()
+    run_sweep_dispatched(
+        simulations,
+        checkpoints,
+        parallelism,
+        LateSweep::new(),
+        avis::DispatchMode::default(),
+        None,
+    )
+}
+
+/// [`run_branch_sweep_dispatched`] over the [`BranchSweep`] strategy.
+fn run_branch_sweep_dispatched(
+    simulations: usize,
+    checkpoints: CheckpointConfig,
+    parallelism: usize,
+    dispatch: avis::DispatchMode,
+    worker_stats: Option<std::sync::Arc<avis::WorkerStatsCollector>>,
+) -> (CampaignResult, f64) {
+    run_sweep_dispatched(
+        simulations,
+        checkpoints,
+        parallelism,
+        BranchSweep::new(),
+        dispatch,
+        worker_stats,
+    )
+}
+
+/// Runs a one-round sweep strategy with an explicit dispatch mode and an
+/// optional per-worker statistics collector (the sharded-dispatch
+/// scenario's instrumentation).
+fn run_sweep_dispatched(
+    simulations: usize,
+    checkpoints: CheckpointConfig,
+    parallelism: usize,
+    sweep: impl Strategy + 'static,
+    dispatch: avis::DispatchMode,
+    worker_stats: Option<std::sync::Arc<avis::WorkerStatsCollector>>,
+) -> (CampaignResult, f64) {
+    let mut builder = Campaign::builder()
         .firmware(FirmwareProfile::ArduPilotLike)
         .bugs(BugSet::none())
         .workload(auto_box_mission())
-        .strategy(LateSweep::new())
+        .strategy(sweep)
         .budget(Budget::simulations(simulations))
         .parallelism(parallelism)
         .max_duration(110.0)
         .profiling_runs(LATE_SWEEP_PROFILING_RUNS)
         .checkpoints(checkpoints)
-        .build();
+        .dispatch(dispatch);
+    if let Some(collector) = worker_stats {
+        builder = builder.worker_stats(collector);
+    }
+    let campaign = builder.build();
     let mut clock = SearchPhaseClock {
         search_started: None,
     };
@@ -339,6 +459,194 @@ fn bench_checkpointing(simulations: usize) -> (Json, f64) {
         ("result_identical", Json::Bool(true)),
     ]);
     (section, speedup)
+}
+
+/// The delta-chain density sweep: a *dense-anchor* configuration — cuts
+/// every simulated second, a memory budget far too small for them all —
+/// executed once with full snapshots (keyframe stride 1) and once with
+/// delta chains (stride 16), over the same late-injection plans on one
+/// runner each. At the shared budget, delta chains must keep ≥ 3× more
+/// cuts resident (equivalently, serve ≥ 3× deeper mean forks when full
+/// snapshots evict the deep cuts a late injection needs), with every
+/// result bit-identical to cold execution.
+fn bench_delta_density() -> Json {
+    use avis::snapshot::CheckpointStats;
+    println!("scenario `delta-density`: dense-anchor sweep, full vs delta chains at equal budget");
+    const DENSE_BUDGET_BYTES: usize = 128 * 1024;
+    let experiment = |checkpoints: CheckpointConfig| {
+        let mut experiment = ExperimentConfig::new(
+            FirmwareProfile::ArduPilotLike,
+            BugSet::none(),
+            auto_box_mission(),
+        );
+        experiment.max_duration = 110.0;
+        experiment.checkpoints = checkpoints;
+        experiment
+    };
+    // The late-injection plan set (the prefix-sharing regime SABRE's
+    // deep anchors live in), taken from a golden run like LateSweep's.
+    let mut profiler = ExperimentRunner::new(experiment(CheckpointConfig::disabled()));
+    let golden = profiler.run_profiling(0);
+    let duration = golden.trace.duration;
+    let instances = [
+        SensorInstance::new(SensorKind::Accelerometer, 0),
+        SensorInstance::new(SensorKind::Gps, 0),
+        SensorInstance::new(SensorKind::Barometer, 0),
+        SensorInstance::new(SensorKind::Compass, 0),
+    ];
+    // Slots are visited in SABRE's actual order — anchors are *not*
+    // swept monotonically, the queue jumps between transition depths —
+    // so a store whose residency window only covers the most recent
+    // depth keeps thrashing while a delta store's several-times-wider
+    // window keeps serving deep forks.
+    let mut plans = Vec::new();
+    for slot in [7usize, 2, 5, 0, 6, 3, 1, 4] {
+        let time = duration * 0.6 + duration * 0.35 * slot as f64 / 8.0;
+        for instance in instances {
+            plans.push(FaultPlan::from_specs(vec![FaultSpec::new(instance, time)]));
+        }
+    }
+
+    let mut cold = ExperimentRunner::new(experiment(CheckpointConfig::disabled()));
+    let cold_results: Vec<_> = plans
+        .iter()
+        .map(|p| cold.run_with_plan(p.clone()))
+        .collect();
+    let sweep = |keyframe_stride: usize| -> (CheckpointStats, f64) {
+        let mut runner = ExperimentRunner::new(experiment(CheckpointConfig {
+            interval: 1.0,
+            max_bytes: DENSE_BUDGET_BYTES,
+            anchor_placement: false,
+            keyframe_stride,
+            ..CheckpointConfig::default()
+        }));
+        let start = Instant::now();
+        for (plan, reference) in plans.iter().zip(&cold_results) {
+            let result = runner.run_with_plan(plan.clone());
+            assert!(
+                result == *reference,
+                "stride {keyframe_stride}: dense-anchor run diverged from cold execution"
+            );
+        }
+        (runner.checkpoint_stats(), start.elapsed().as_secs_f64())
+    };
+    let (full, full_seconds) = sweep(1);
+    let (delta, delta_seconds) = sweep(16);
+    let mean_depth = |s: &CheckpointStats| {
+        let runs = s.forked_runs + s.cold_runs;
+        if runs == 0 {
+            0.0
+        } else {
+            s.simulated_seconds_skipped / runs as f64
+        }
+    };
+    let cuts_ratio = delta.snapshots_cached as f64 / full.snapshots_cached.max(1) as f64;
+    let depth_ratio = mean_depth(&delta) / mean_depth(&full).max(1e-9);
+    println!(
+        "  full  (stride 1):  {:>3} resident cuts, {:>4} KiB, mean fork depth {:>5.1}s/run, {full_seconds:.2}s wall",
+        full.snapshots_cached,
+        full.cached_bytes / 1024,
+        mean_depth(&full)
+    );
+    println!(
+        "  delta (stride 16): {:>3} resident cuts ({} delta-encoded, {} KiB of deltas), {:>4} KiB, mean fork depth {:>5.1}s/run, {delta_seconds:.2}s wall",
+        delta.snapshots_cached,
+        delta.delta_snapshots,
+        delta.delta_bytes / 1024,
+        delta.cached_bytes / 1024,
+        mean_depth(&delta)
+    );
+    println!(
+        "  at equal {} KiB budget: {cuts_ratio:.1}x resident cuts, {depth_ratio:.1}x mean fork depth",
+        DENSE_BUDGET_BYTES / 1024
+    );
+    assert!(
+        cuts_ratio >= 3.0 || depth_ratio >= 3.0,
+        "delta chains should keep >=3x more cuts (or serve >=3x deeper forks) at equal budget: \
+         cuts {cuts_ratio:.2}x, depth {depth_ratio:.2}x (full {full:?}, delta {delta:?})"
+    );
+    json::object(vec![
+        ("scenario", Json::String("delta-density".to_string())),
+        ("budget_bytes", Json::Number(DENSE_BUDGET_BYTES as f64)),
+        ("plans", Json::Number(plans.len() as f64)),
+        (
+            "full_resident_cuts",
+            Json::Number(full.snapshots_cached as f64),
+        ),
+        (
+            "delta_resident_cuts",
+            Json::Number(delta.snapshots_cached as f64),
+        ),
+        (
+            "delta_encoded_cuts",
+            Json::Number(delta.delta_snapshots as f64),
+        ),
+        ("delta_bytes", Json::Number(delta.delta_bytes as f64)),
+        ("full_mean_fork_depth_s", Json::Number(mean_depth(&full))),
+        ("delta_mean_fork_depth_s", Json::Number(mean_depth(&delta))),
+        ("resident_cuts_ratio", Json::Number(cuts_ratio)),
+        ("mean_fork_depth_ratio", Json::Number(depth_ratio)),
+        ("full_wall_seconds", Json::Number(full_seconds)),
+        ("delta_wall_seconds", Json::Number(delta_seconds)),
+        ("result_identical", Json::Bool(true)),
+    ])
+}
+
+/// The sharded-dispatch scenario: the parallel-4 late-injection sweep
+/// under round-robin vs prefix-sharded placement, with per-worker cache
+/// statistics collected. Sharding pins each prefix family to one worker,
+/// so the local-cache share of served forks (vs shared-tier pulls) rises
+/// and the tier traffic shrinks; results are bit-identical either way.
+fn bench_sharded_dispatch(simulations: usize) -> Json {
+    use avis::{DispatchMode, WorkerStatsCollector};
+    use std::sync::Arc;
+    println!("scenario `sharded-dispatch`: parallel-4 branch sweep, round-robin vs prefix-sharded");
+    // Dispatch locality only differentiates across wavefront boundaries
+    // (the tier republishes between wavefronts); a budget that fits the
+    // whole sweep into one wavefront measures nothing, so this scenario
+    // runs the full 48-plan sweep even under the reduced CI smoke
+    // budget. The snapshot budget is deliberately too small for every
+    // branch: locality only matters when caches cannot hold everything.
+    let simulations = simulations.max(LATE_SWEEP_PROFILING_RUNS + 48);
+    const BRANCH_BUDGET_BYTES: usize = 256 * 1024;
+    let measure = |dispatch: DispatchMode| {
+        let collector = Arc::new(WorkerStatsCollector::new());
+        let (result, seconds) = run_branch_sweep_dispatched(
+            simulations,
+            CheckpointConfig::with_max_bytes(BRANCH_BUDGET_BYTES),
+            4,
+            dispatch,
+            Some(Arc::clone(&collector)),
+        );
+        let share = collector.local_hit_share().unwrap_or(0.0);
+        let depth = collector.mean_fork_depth().unwrap_or(0.0);
+        println!(
+            "  {dispatch:?}: {seconds:.2}s wall, local-cache hit share {:.0}%, mean fork depth {depth:.1}s",
+            share * 100.0
+        );
+        (result, seconds, share, depth)
+    };
+    let (rr_result, rr_seconds, rr_share, rr_depth) = measure(DispatchMode::RoundRobin);
+    let (sh_result, sh_seconds, sh_share, sh_depth) = measure(DispatchMode::PrefixSharded);
+    assert!(
+        rr_result == sh_result,
+        "dispatch mode changed a campaign observable"
+    );
+    println!(
+        "  prefix sharding raises the local share by {:+.0} points, results bit-identical",
+        (sh_share - rr_share) * 100.0
+    );
+    json::object(vec![
+        ("scenario", Json::String("sharded-dispatch".to_string())),
+        ("parallelism", Json::Number(4.0)),
+        ("round_robin_wall_seconds", Json::Number(rr_seconds)),
+        ("sharded_wall_seconds", Json::Number(sh_seconds)),
+        ("round_robin_local_hit_share", Json::Number(rr_share)),
+        ("sharded_local_hit_share", Json::Number(sh_share)),
+        ("round_robin_mean_fork_depth_s", Json::Number(rr_depth)),
+        ("sharded_mean_fork_depth_s", Json::Number(sh_depth)),
+        ("result_identical", Json::Bool(true)),
+    ])
 }
 
 /// The matrix-reuse scenario: two strategies over one firmware ×
@@ -529,6 +837,8 @@ fn main() {
         .map(|(name, bugs)| bench_scenario(name, bugs, simulations, &worker_counts))
         .collect();
     let (checkpoint_report, checkpoint_speedup) = bench_checkpointing(simulations);
+    let delta_report = bench_delta_density();
+    let sharded_report = bench_sharded_dispatch(simulations);
     let matrix_report = bench_matrix_reuse(simulations);
     let record_report = bench_record_cost();
 
@@ -542,6 +852,8 @@ fn main() {
         ),
         ("scenarios", Json::Array(reports)),
         ("checkpoint", checkpoint_report),
+        ("delta_chain", delta_report),
+        ("sharded_dispatch", sharded_report),
         ("matrix_reuse", matrix_report),
         ("record_microbench", record_report),
     ]);

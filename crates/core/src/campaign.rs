@@ -29,7 +29,7 @@
 use crate::checker::{
     Approach, Budget, CampaignResult, CampaignState, Checker, CheckerConfig, UnsafeCondition,
 };
-use crate::engine::{self, EngineParams};
+use crate::engine::{self, DispatchMode, EngineParams, WorkerStatsCollector};
 use crate::monitor::{InvariantMonitor, MonitorConfig};
 use crate::runner::{ExperimentConfig, ExperimentRunner};
 use crate::sabre::SabreConfig;
@@ -160,6 +160,8 @@ pub struct Campaign {
     config: CheckerConfig,
     strategy: StrategyChoice,
     shared: Option<Arc<SharedSnapshotTier>>,
+    dispatch: DispatchMode,
+    worker_stats: Option<Arc<WorkerStatsCollector>>,
 }
 
 impl Campaign {
@@ -190,6 +192,8 @@ impl Campaign {
                 seed: cfg.seed,
                 parallelism: cfg.parallelism,
                 shared: self.shared,
+                dispatch: self.dispatch,
+                worker_stats: self.worker_stats,
             },
             strategy.as_mut(),
             approach,
@@ -232,6 +236,8 @@ pub struct CampaignBuilder {
     parallelism: usize,
     strategy: StrategyChoice,
     shared: Option<Arc<SharedSnapshotTier>>,
+    dispatch: DispatchMode,
+    worker_stats: Option<Arc<WorkerStatsCollector>>,
 }
 
 impl Default for CampaignBuilder {
@@ -252,6 +258,8 @@ impl Default for CampaignBuilder {
             parallelism: engine::default_parallelism(),
             strategy: StrategyChoice::Approach(Approach::Avis),
             shared: None,
+            dispatch: DispatchMode::default(),
+            worker_stats: None,
         }
     }
 }
@@ -366,6 +374,25 @@ impl CampaignBuilder {
         self
     }
 
+    /// How speculative jobs are placed onto workers (see
+    /// [`DispatchMode`]). Placement is purely a cache-locality /
+    /// wall-clock knob: results are bit-identical in every mode. Default:
+    /// [`DispatchMode::PrefixSharded`].
+    pub fn dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Attaches a [`WorkerStatsCollector`] that receives every engine
+    /// worker's checkpoint statistics (plus the campaign's inline
+    /// runner's) when the campaign finishes — the observability hook for
+    /// cache-locality measurements that the deterministic
+    /// [`crate::checker::CampaignResult`] deliberately excludes.
+    pub fn worker_stats(mut self, collector: Arc<WorkerStatsCollector>) -> Self {
+        self.worker_stats = Some(collector);
+        self
+    }
+
     /// Runs one of the paper's built-in approaches. Default:
     /// [`Approach::Avis`].
     pub fn approach(mut self, approach: Approach) -> Self {
@@ -424,6 +451,8 @@ impl CampaignBuilder {
             },
             strategy: self.strategy,
             shared: self.shared,
+            dispatch: self.dispatch,
+            worker_stats: self.worker_stats,
         }
     }
 }
@@ -442,6 +471,11 @@ pub(crate) struct CampaignSpec<'a> {
     /// A caller-supplied cross-campaign snapshot tier, if any (see
     /// [`CampaignBuilder::shared_snapshots`]).
     pub(crate) shared: Option<Arc<SharedSnapshotTier>>,
+    /// Speculative-job placement policy (see [`DispatchMode`]).
+    pub(crate) dispatch: DispatchMode,
+    /// Sink for per-runner checkpoint statistics, if any (see
+    /// [`CampaignBuilder::worker_stats`]).
+    pub(crate) worker_stats: Option<Arc<WorkerStatsCollector>>,
 }
 
 /// Runs one campaign end to end: profiling, monitor calibration, strategy
@@ -538,6 +572,8 @@ pub(crate) fn execute_campaign(
             budget: &spec.budget,
             parallelism: spec.parallelism,
             shared: tier.clone(),
+            dispatch: spec.dispatch,
+            worker_stats: spec.worker_stats.clone(),
         },
         strategy,
         &mut state,
@@ -548,6 +584,12 @@ pub(crate) fn execute_campaign(
     // visible to the next campaign sharing this tier.
     if let Some(tier) = &tier {
         tier.republish();
+    }
+
+    // The campaign's inline runner (profiling + serial / fallback
+    // commits) reports its cache statistics alongside the pool workers'.
+    if let Some(collector) = &spec.worker_stats {
+        collector.push(state.runner.checkpoint_stats());
     }
 
     observer.on_event(&CampaignEvent::CampaignFinished {

@@ -412,6 +412,8 @@ impl Checker {
                 seed: cfg.seed,
                 parallelism: cfg.parallelism,
                 shared: None,
+                dispatch: crate::engine::DispatchMode::default(),
+                worker_stats: None,
             },
             strategy.as_mut(),
             Some(cfg.approach),

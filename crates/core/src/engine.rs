@@ -44,18 +44,90 @@
 use crate::campaign::{CampaignEvent, CampaignObserver};
 use crate::checker::{Budget, CampaignState};
 use crate::runner::{ExperimentConfig, ExperimentRunner, RunResult};
-use crate::snapshot::SharedSnapshotTier;
+use crate::snapshot::{injection_prefix, prefix_cache_key, CheckpointStats, SharedSnapshotTier};
 use crate::strategy::{Observation, Strategy};
 use avis_hinj::FaultPlan;
-use std::collections::BTreeMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The default worker count: the number of available CPU cores.
 pub fn default_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// How the engine places a wavefront's speculative jobs onto workers.
+/// Placement only decides which worker *pre-executes* a run — results are
+/// committed strictly in round order — so the mode can never change a
+/// campaign observable, only cache locality and wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Jobs are dealt one at a time across the workers in wavefront
+    /// order, with idle workers stealing — placement ignores which worker
+    /// already holds a job's ancestor snapshots (the pre-sharding
+    /// behaviour, kept as the locality baseline).
+    RoundRobin,
+    /// Jobs are grouped into *prefix families* — plans that share an
+    /// injection prefix and fork near the same depth — and each family is
+    /// pinned to one worker across the whole campaign, so consecutive
+    /// siblings fork from that worker's hottest local checkpoint chain
+    /// instead of re-pulling ancestors through the shared tier. Idle
+    /// workers steal whole families (never single jobs), preserving
+    /// within-family locality.
+    #[default]
+    PrefixSharded,
+}
+
+/// Collects each engine worker's [`CheckpointStats`] when a campaign
+/// finishes, so callers (benches, tuning tools) can observe cache-tier
+/// behaviour — local-cache vs shared-tier fork shares, fork depths — that
+/// the deterministic [`crate::checker::CampaignResult`] deliberately
+/// excludes (the numbers vary with scheduling; results never do).
+#[derive(Debug, Default)]
+pub struct WorkerStatsCollector {
+    stats: Mutex<Vec<CheckpointStats>>,
+}
+
+impl WorkerStatsCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        WorkerStatsCollector::default()
+    }
+
+    /// The per-runner statistics pushed so far (engine workers at pool
+    /// shutdown, plus the campaign's inline runner at campaign end).
+    pub fn collected(&self) -> Vec<CheckpointStats> {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Of all forks served across the collected runners, the share served
+    /// by a runner's *local* cache rather than the shared tier — the
+    /// locality figure prefix-sharded dispatch raises. `None` when no
+    /// forks were served.
+    pub fn local_hit_share(&self) -> Option<f64> {
+        let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let forked: u64 = stats.iter().map(|s| s.forked_runs).sum();
+        let shared: u64 = stats.iter().map(|s| s.shared_hits).sum();
+        (forked > 0).then(|| (forked - shared) as f64 / forked as f64)
+    }
+
+    /// Mean fork depth (simulated seconds skipped per forked run) across
+    /// the collected runners. `None` when no forks were served.
+    pub fn mean_fork_depth(&self) -> Option<f64> {
+        let stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let forked: u64 = stats.iter().map(|s| s.forked_runs).sum();
+        let skipped: f64 = stats.iter().map(|s| s.simulated_seconds_skipped).sum();
+        (forked > 0).then(|| skipped / forked as f64)
+    }
+
+    pub(crate) fn push(&self, stats: CheckpointStats) {
+        self.stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(stats);
+    }
 }
 
 /// The engine-facing slice of a campaign configuration.
@@ -70,6 +142,11 @@ pub(crate) struct EngineParams<'a> {
     /// runner and republished by the engine between speculative
     /// wavefronts so one worker's cold run warms every worker's cache.
     pub shared: Option<Arc<SharedSnapshotTier>>,
+    /// Speculative-job placement policy (see [`DispatchMode`]).
+    pub dispatch: DispatchMode,
+    /// Sink for per-worker checkpoint statistics, filled at pool
+    /// shutdown.
+    pub worker_stats: Option<Arc<WorkerStatsCollector>>,
 }
 
 /// Simulations left before the hard budget cap (`usize::MAX` for
@@ -105,13 +182,12 @@ type Job = (u64, FaultPlan);
 
 /// Dispatch-order key grouping plans that share an injection prefix:
 /// earliest failure time first, then failure count, then the canonical
-/// plan key. Sorting a wavefront's speculative jobs this way hands
-/// prefix-sharing siblings to the pool back-to-back, so the workers'
-/// per-runner snapshot caches ([`crate::snapshot`]) fork consecutive
-/// jobs off their hottest checkpoint chain instead of interleaving
-/// unrelated prefixes. Results are keyed by candidate token and
-/// committed strictly in round order, so dispatch order can never change
-/// a campaign observable.
+/// plan key. Sorting a family's speculative jobs this way hands
+/// prefix-sharing siblings to a worker back-to-back, so its per-runner
+/// snapshot cache ([`crate::snapshot`]) forks consecutive jobs off its
+/// hottest checkpoint chain instead of interleaving unrelated prefixes.
+/// Results are keyed by candidate token and committed strictly in round
+/// order, so dispatch order can never change a campaign observable.
 fn prefix_dispatch_key(plan: &FaultPlan) -> (i64, usize, String) {
     let earliest = plan
         .specs()
@@ -121,20 +197,138 @@ fn prefix_dispatch_key(plan: &FaultPlan) -> (i64, usize, String) {
     (earliest, plan.len(), plan.canonical_key())
 }
 
+/// The *prefix family* of a plan: the injection prefix shared with its
+/// siblings (every failure except the deepest one). Two plans of one
+/// family fork from the same chain, so pinning a family to one worker
+/// turns that worker's local cache into the family's private checkpoint
+/// tree — under memory pressure, workers cycling through each other's
+/// families evict each other's chains instead.
+///
+/// Single-failure plans all share the *empty* parent prefix; one family
+/// would starve the pool, so the empty prefix is split by the checkpoint
+/// bucket the failure falls in (plans forking at nearby depths reuse the
+/// same stretch of the fault-free chain). The bucket width is the
+/// checkpoint interval — the resolution at which forks actually differ.
+fn family_key(plan: &FaultPlan, bucket_seconds: f64) -> String {
+    let Some(deepest) = plan
+        .specs()
+        .map(|s| s.time)
+        .fold(None, |acc: Option<f64>, t| {
+            Some(acc.map_or(t, |a| a.max(t)))
+        })
+    else {
+        return String::new();
+    };
+    let parent = injection_prefix(plan, deepest);
+    if parent.is_empty() {
+        let bucket = (deepest / bucket_seconds.max(1e-3)).floor() as i64;
+        format!("#{bucket}")
+    } else {
+        prefix_cache_key(&parent)
+    }
+}
+
 /// What a worker sends back: a completed run, or the panic message of a
 /// run that blew up (so the campaign fails loudly instead of deadlocking
 /// the wavefront collector).
 type WorkerOutcome = Result<(u64, RunResult), String>;
 
+/// The worker-visible placement state: one family-batch deque per
+/// worker, plus the sticky family→worker map and per-worker load
+/// counters the placement policy balances with.
+#[derive(Debug, Default)]
+struct ShardState {
+    shards: Vec<VecDeque<Vec<Job>>>,
+    /// Sticky assignment: a family keeps hitting the same worker across
+    /// wavefronts (and rounds), which is what builds the worker's local
+    /// chain depth for that family.
+    family_worker: BTreeMap<String, usize>,
+    /// Total jobs ever placed per worker — the balance criterion for
+    /// first-seen families.
+    placed: Vec<u64>,
+    shutdown: bool,
+}
+
+/// The sharded job queue shared by the engine and its workers. Workers
+/// drain their own shard front-to-back and steal whole *families* from
+/// the richest other shard when idle, so stolen work keeps its internal
+/// prefix locality.
+#[derive(Debug)]
+struct Dispatcher {
+    state: Mutex<ShardState>,
+    ready: Condvar,
+}
+
+impl Dispatcher {
+    fn new(workers: usize) -> Self {
+        Dispatcher {
+            state: Mutex::new(ShardState {
+                shards: (0..workers).map(|_| VecDeque::new()).collect(),
+                family_worker: BTreeMap::new(),
+                placed: vec![0; workers],
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// The next batch for worker `me`: own shard first, then a steal
+    /// from the back (coldest family) of the fullest other shard, else
+    /// block until work arrives or the pool shuts down.
+    fn next_batch(&self, me: usize) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(batch) = state.shards[me].pop_front() {
+                return Some(batch);
+            }
+            let richest = (0..state.shards.len())
+                .filter(|&j| j != me && !state.shards[j].is_empty())
+                .max_by_key(|&j| state.shards[j].len());
+            if let Some(victim) = richest {
+                return state.shards[victim].pop_back();
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Wakes every worker and lets them drain out. Idempotent; also runs
+    /// on unwind (see the guard in [`run_campaign`]) so a panicking
+    /// wavefront can never leave workers parked on the condvar.
+    fn shutdown(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shutdown = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Unparks the worker pool on drop, so a panic unwinding through
+/// [`run_rounds`] still releases the scope's joins.
+struct ShutdownGuard(Arc<Dispatcher>);
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
 /// Hands wavefronts of fault plans to the worker pool and collects the
 /// results keyed by candidate token.
 struct Wavefront {
-    job_tx: Sender<Job>,
+    dispatcher: Arc<Dispatcher>,
     result_rx: Receiver<WorkerOutcome>,
+    mode: DispatchMode,
+    /// Family bucket width (s): the experiment's checkpoint interval.
+    family_bucket: f64,
 }
 
 impl Wavefront {
-    /// Executes one wavefront of plans, blocking until every result is in.
+    /// Places one wavefront of plans onto the worker shards and blocks
+    /// until every result is in.
     ///
     /// # Panics
     ///
@@ -142,11 +336,59 @@ impl Wavefront {
     /// observable behaviour the serial engine has when a run panics.
     fn execute(&self, jobs: Vec<Job>) -> BTreeMap<u64, RunResult> {
         let expected = jobs.len();
-        for job in jobs {
-            self.job_tx
-                .send(job)
-                .expect("worker pool alive while jobs are pending");
+        {
+            let mut state = self
+                .dispatcher
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let workers = state.shards.len();
+            match self.mode {
+                DispatchMode::RoundRobin => {
+                    // The pre-sharding baseline kept: the wavefront is
+                    // sorted by shared injection prefix (as the old
+                    // shared-queue engine sorted it) before the jobs are
+                    // dealt out, so prefix-sharing siblings still land
+                    // temporally close — only the family pinning is off.
+                    let mut jobs = jobs;
+                    jobs.sort_by_cached_key(|(_, plan)| prefix_dispatch_key(plan));
+                    for (index, job) in jobs.into_iter().enumerate() {
+                        state.shards[index % workers].push_back(vec![job]);
+                    }
+                }
+                DispatchMode::PrefixSharded => {
+                    // Group into prefix families; iteration over the
+                    // BTreeMap keeps placement deterministic for a given
+                    // wavefront composition.
+                    let mut families: BTreeMap<String, Vec<Job>> = BTreeMap::new();
+                    for job in jobs {
+                        families
+                            .entry(family_key(&job.1, self.family_bucket))
+                            .or_default()
+                            .push(job);
+                    }
+                    for (family, mut batch) in families {
+                        batch.sort_by_cached_key(|(_, plan)| prefix_dispatch_key(plan));
+                        let worker = match state.family_worker.get(&family) {
+                            Some(&worker) => worker,
+                            None => {
+                                // First sighting: pin the family to the
+                                // least-loaded worker (ties to the lowest
+                                // index).
+                                let worker = (0..workers)
+                                    .min_by_key(|&w| (state.placed[w], w))
+                                    .expect("pool has workers");
+                                state.family_worker.insert(family, worker);
+                                worker
+                            }
+                        };
+                        state.placed[worker] += batch.len() as u64;
+                        state.shards[worker].push_back(batch);
+                    }
+                }
+            }
         }
+        self.dispatcher.ready.notify_all();
         let mut results = BTreeMap::new();
         while results.len() < expected {
             let outcome = self
@@ -193,14 +435,14 @@ pub(crate) fn run_campaign(
         return;
     }
     std::thread::scope(|scope| {
-        let (job_tx, job_rx) = channel::<Job>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
+        let dispatcher = Arc::new(Dispatcher::new(workers));
         let (result_tx, result_rx) = channel::<WorkerOutcome>();
-        for _ in 0..workers {
-            let job_rx = Arc::clone(&job_rx);
+        for me in 0..workers {
+            let dispatcher = Arc::clone(&dispatcher);
             let result_tx = result_tx.clone();
             let experiment = params.experiment.clone();
             let shared = params.shared.clone();
+            let collector = params.worker_stats.clone();
             scope.spawn(move || {
                 // One fresh runner per worker, kept alive across jobs on
                 // purpose: each runner owns a snapshot cache
@@ -208,40 +450,58 @@ pub(crate) fn run_campaign(
                 // shares the campaign-wide tier with its siblings.
                 // Cache state affects only run *timing* — a forked run is
                 // bit-identical to a cold one — so results stay pure
-                // functions of their plan.
+                // functions of their plan. Prefix-sharded dispatch keeps
+                // handing one family to the same worker precisely so this
+                // cache accumulates that family's chain.
                 let mut runner = ExperimentRunner::new(experiment);
                 if let Some(tier) = shared {
                     runner.set_shared_tier(tier);
                 }
-                loop {
-                    // Hold the receiver lock only while dequeueing.
-                    let job = job_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
-                    let Ok((token, plan)) = job else { break };
-                    // A panicking run must reach the collector as an error:
-                    // swallowing it would leave the wavefront waiting for a
-                    // result that never comes.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        runner.run_with_plan(plan)
-                    }));
-                    match outcome {
-                        Ok(result) => {
-                            if result_tx.send(Ok((token, result))).is_err() {
-                                break;
+                'drain: while let Some(batch) = dispatcher.next_batch(me) {
+                    for (token, plan) in batch {
+                        // A panicking run must reach the collector as an
+                        // error: swallowing it would leave the wavefront
+                        // waiting for a result that never comes.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                runner.run_with_plan(plan)
+                            }));
+                        match outcome {
+                            Ok(result) => {
+                                if result_tx.send(Ok((token, result))).is_err() {
+                                    break 'drain;
+                                }
+                            }
+                            Err(payload) => {
+                                let _ = result_tx.send(Err(panic_message(payload.as_ref())));
+                                break 'drain;
                             }
                         }
-                        Err(payload) => {
-                            let _ = result_tx.send(Err(panic_message(payload.as_ref())));
-                            break;
-                        }
                     }
+                }
+                if let Some(collector) = collector {
+                    collector.push(runner.checkpoint_stats());
                 }
             });
         }
         drop(result_tx);
-        let pool = Wavefront { job_tx, result_rx };
+        // Unparks the workers even when a wavefront panics mid-collect,
+        // so the scope's implicit joins can never deadlock.
+        let _guard = ShutdownGuard(Arc::clone(&dispatcher));
+        let pool = Wavefront {
+            dispatcher: Arc::clone(&dispatcher),
+            result_rx,
+            mode: params.dispatch,
+            family_bucket: if params.experiment.checkpoints.enabled {
+                params.experiment.checkpoints.interval
+            } else {
+                5.0
+            },
+        };
         run_rounds(&params, strategy, state, observer, Some(&pool));
-        // `pool` (and with it `job_tx`) drops here, the workers see a
-        // disconnected channel and exit, and the scope joins them.
+        // The guard (and the normal return path) wake the workers; they
+        // drain any leftover speculative batches and exit, and the scope
+        // joins them.
     })
 }
 
@@ -289,6 +549,15 @@ struct WavefrontSizer {
 /// per four commits, a full wavefront loses more to pruned siblings
 /// than it gains from overlap.
 const SPECULATION_BUG_RATE_CEILING: f64 = 0.25;
+
+/// Per-candidate admission ceiling: a speculative job whose
+/// [`Strategy::prune_probability`] estimate reaches this is not
+/// dispatched at all — the strategy's own pruning state considers it
+/// likely doomed (a sibling bug at the same injection site tends to
+/// prune it before commit), so pre-executing it is expected waste. The
+/// commit's inline fallback covers any candidate the estimate wrongly
+/// withholds, so admission can never change a campaign observable.
+const SPECULATION_ADMISSION_CEILING: f64 = 0.75;
 
 impl WavefrontSizer {
     fn new(workers: usize) -> Self {
@@ -378,17 +647,22 @@ fn run_rounds(
                         tier.republish();
                     }
                     let cap = remaining_simulations(params.budget, state);
-                    let mut jobs: Vec<Job> = wavefront
+                    // Admission: drop hints the strategy has withdrawn
+                    // (`revalidate`) and hints its pruning state rates as
+                    // probably doomed (`prune_probability`) — skipping a
+                    // doomed job entirely beats merely shrinking the
+                    // wavefront around it.
+                    let jobs: Vec<Job> = wavefront
                         .iter()
                         .filter(|c| strategy.revalidate(c))
+                        .filter(|c| strategy.prune_probability(c) < SPECULATION_ADMISSION_CEILING)
                         .filter_map(|c| c.speculative().map(|plan| (c.token(), plan.clone())))
                         .take(cap)
                         .collect();
-                    // Order the wavefront by shared injection prefix so
-                    // sibling scenarios hit the workers' snapshot caches
-                    // (sorted after the budget cap so the *set* of
-                    // speculated plans is unchanged).
-                    jobs.sort_by_cached_key(|(_, plan)| prefix_dispatch_key(plan));
+                    // The dispatcher groups the jobs into prefix families
+                    // (or deals them round-robin) — either way the *set*
+                    // of speculated plans is fixed here, after the budget
+                    // cap.
                     pool.execute(jobs)
                 }
                 _ => BTreeMap::new(),

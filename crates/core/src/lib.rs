@@ -117,6 +117,7 @@ pub mod trace;
 
 pub use campaign::{Campaign, CampaignBuilder, CampaignEvent, CampaignObserver, EventLog};
 pub use checker::{Approach, Budget, CampaignResult, Checker, CheckerConfig, UnsafeCondition};
+pub use engine::{DispatchMode, WorkerStatsCollector};
 pub use matrix::{MatrixReport, ScenarioMatrix};
 pub use monitor::{
     InvariantMonitor, LivelinessEnvelope, ModeDistanceTable, ModeGraph, MonitorConfig, Violation,

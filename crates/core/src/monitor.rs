@@ -462,6 +462,98 @@ fn component_max(a: Vec3, b: Vec3) -> Vec3 {
     Vec3::new(a.x.max(b.x), a.y.max(b.y), a.z.max(b.z))
 }
 
+/// Steps per calibration block (see [`CalibrationBlocks`]).
+const CALIBRATION_BLOCK: usize = 32;
+
+/// Axis-aligned bounds (and mode set) over one block of one profiling
+/// run's step-aligned samples — the calibration-side analogue of the
+/// check-side [`LivelinessEnvelope`] cell.
+#[derive(Debug, Clone)]
+struct CalibrationBlock {
+    pos_min: Vec3,
+    pos_max: Vec3,
+    acc_min: Vec3,
+    acc_max: Vec3,
+    modes: Vec<ModeCode>,
+}
+
+/// Per-run, per-block envelope bounds over the step-aligned samples the
+/// calibration loops compare, built in one O(runs × steps) pass. τ
+/// calibration (and the P̄/Ā normalization pass before it) is a max over
+/// all run pairs at every step — O(runs² × steps) state-tuple distances
+/// brute force, which dominates campaign start-up once profiling counts
+/// grow past a handful. The block bounds give an upper bound on every
+/// pairwise value inside a block pair, so blocks that provably cannot
+/// raise the running maximum are skipped without computing a single
+/// distance; the result is *exactly* the brute-force maximum (skipped
+/// blocks contain no new maximum — pinned by the oracle-equivalence
+/// test).
+#[derive(Debug)]
+struct CalibrationBlocks {
+    /// Step-aligned (clamped, like [`Trace::sample_at`]) samples per run;
+    /// `None` for sample-less runs, which the pairwise loops skip.
+    samples: Vec<Option<Vec<StateSample>>>,
+    blocks: Vec<Vec<CalibrationBlock>>,
+}
+
+impl CalibrationBlocks {
+    fn build(profiling: &[Trace], sample_interval: f64, steps: usize) -> Self {
+        let mut samples = Vec::with_capacity(profiling.len());
+        let mut blocks = Vec::with_capacity(profiling.len());
+        for run in profiling {
+            if run.samples.is_empty() {
+                samples.push(None);
+                blocks.push(Vec::new());
+                continue;
+            }
+            let stepped: Vec<StateSample> = (0..=steps)
+                .map(|k| {
+                    *run.sample_at(k as f64 * sample_interval)
+                        .expect("non-empty run yields clamped samples")
+                })
+                .collect();
+            let run_blocks = stepped
+                .chunks(CALIBRATION_BLOCK)
+                .map(|chunk| {
+                    let first = &chunk[0];
+                    let mut block = CalibrationBlock {
+                        pos_min: first.position,
+                        pos_max: first.position,
+                        acc_min: first.acceleration,
+                        acc_max: first.acceleration,
+                        modes: Vec::new(),
+                    };
+                    let mut modes = BTreeSet::new();
+                    for sample in chunk {
+                        block.pos_min = component_min(block.pos_min, sample.position);
+                        block.pos_max = component_max(block.pos_max, sample.position);
+                        block.acc_min = component_min(block.acc_min, sample.acceleration);
+                        block.acc_max = component_max(block.acc_max, sample.acceleration);
+                        modes.insert(sample.mode.code());
+                    }
+                    block.modes = modes.into_iter().collect();
+                    block
+                })
+                .collect();
+            samples.push(Some(stepped));
+            blocks.push(run_blocks);
+        }
+        CalibrationBlocks { samples, blocks }
+    }
+}
+
+/// The largest per-axis separation between two axis-aligned boxes — an
+/// upper bound on the distance between any point of one and any point of
+/// the other. Componentwise `max(a_max − b_min, b_max − a_min)` is
+/// non-negative and at least the true `|Δ|` on that axis, so the norm
+/// bounds every pairwise distance in the block pair.
+fn aabb_max_distance(a_min: Vec3, a_max: Vec3, b_min: Vec3, b_max: Vec3) -> f64 {
+    let dx = (a_max.x - b_min.x).max(b_max.x - a_min.x);
+    let dy = (a_max.y - b_min.y).max(b_max.y - a_min.y);
+    let dz = (a_max.z - b_min.z).max(b_max.z - a_min.z);
+    (dx * dx + dy * dy + dz * dz).sqrt()
+}
+
 /// Distance from a point to an axis-aligned box (0 inside).
 fn aabb_distance(point: Vec3, lo: Vec3, hi: Vec3) -> f64 {
     let dx = (lo.x - point.x).max(0.0).max(point.x - hi.x);
@@ -512,21 +604,44 @@ impl InvariantMonitor {
         let envelope = LivelinessEnvelope::build(&profiling, &config, duration);
 
         // Normalization constants P̄ and Ā: the largest pairwise distance at
-        // the same time offset between any two profiling runs.
+        // the same time offset between any two profiling runs — block-
+        // bounded so pairs whose envelopes cannot raise either maximum
+        // are skipped without sampling (see [`CalibrationBlocks`]).
         let mut position_scale = config.min_position_scale;
         let mut acceleration_scale = config.min_acceleration_scale;
         let steps = (duration / sample_interval).ceil() as usize;
+        let cal = CalibrationBlocks::build(&profiling, sample_interval, steps);
         for i in 0..profiling.len() {
             for j in (i + 1)..profiling.len() {
-                for k in 0..=steps {
-                    let t = k as f64 * sample_interval;
-                    let (Some(a), Some(b)) = (profiling[i].sample_at(t), profiling[j].sample_at(t))
-                    else {
-                        continue;
-                    };
-                    position_scale = position_scale.max(a.position.distance(b.position));
-                    acceleration_scale =
-                        acceleration_scale.max(a.acceleration.distance(b.acceleration));
+                let (Some(a_samples), Some(b_samples)) = (&cal.samples[i], &cal.samples[j]) else {
+                    continue;
+                };
+                for (block_index, (a_block, b_block)) in
+                    cal.blocks[i].iter().zip(cal.blocks[j].iter()).enumerate()
+                {
+                    let pos_bound = aabb_max_distance(
+                        a_block.pos_min,
+                        a_block.pos_max,
+                        b_block.pos_min,
+                        b_block.pos_max,
+                    );
+                    let acc_bound = aabb_max_distance(
+                        a_block.acc_min,
+                        a_block.acc_max,
+                        b_block.acc_min,
+                        b_block.acc_max,
+                    );
+                    if pos_bound <= position_scale && acc_bound <= acceleration_scale {
+                        continue; // cannot raise either maximum
+                    }
+                    let lo = block_index * CALIBRATION_BLOCK;
+                    let hi = (lo + CALIBRATION_BLOCK).min(a_samples.len());
+                    for k in lo..hi {
+                        let (a, b) = (&a_samples[k], &b_samples[k]);
+                        position_scale = position_scale.max(a.position.distance(b.position));
+                        acceleration_scale =
+                            acceleration_scale.max(a.acceleration.distance(b.acceleration));
+                    }
                 }
             }
         }
@@ -551,20 +666,52 @@ impl InvariantMonitor {
             home,
         };
 
-        // τ: the largest distance between any two profiling runs at the same
-        // time offset.
+        // τ: the largest distance between any two profiling runs at the
+        // same time offset. Same block-bounded skip as the scales above,
+        // with the mode term bounded by the worst mode pair across the
+        // two blocks' mode sets: a block pair whose distance bound cannot
+        // exceed the running τ is provably maximum-free, so the loop
+        // computes exact state distances only where the envelopes
+        // overlap least — the result equals the brute-force τ bit for
+        // bit (the oracle-equivalence test below pins this).
         let mut tau: f64 = 0.0;
         for i in 0..monitor.profiling.len() {
             for j in (i + 1)..monitor.profiling.len() {
-                for k in 0..=steps {
-                    let t = k as f64 * sample_interval;
-                    let (Some(a), Some(b)) = (
-                        monitor.profiling[i].sample_at(t),
-                        monitor.profiling[j].sample_at(t),
-                    ) else {
-                        continue;
-                    };
-                    tau = tau.max(monitor.state_distance(a, b));
+                let (Some(a_samples), Some(b_samples)) = (&cal.samples[i], &cal.samples[j]) else {
+                    continue;
+                };
+                for (block_index, (a_block, b_block)) in
+                    cal.blocks[i].iter().zip(cal.blocks[j].iter()).enumerate()
+                {
+                    let dp = aabb_max_distance(
+                        a_block.pos_min,
+                        a_block.pos_max,
+                        b_block.pos_min,
+                        b_block.pos_max,
+                    ) * monitor.diameter
+                        / monitor.position_scale;
+                    let da = aabb_max_distance(
+                        a_block.acc_min,
+                        a_block.acc_max,
+                        b_block.acc_min,
+                        b_block.acc_max,
+                    ) * monitor.diameter
+                        / monitor.acceleration_scale;
+                    let mut dm: f64 = 0.0;
+                    for &ma in &a_block.modes {
+                        for &mb in &b_block.modes {
+                            dm = dm.max(monitor.distances.distance(ma, mb));
+                        }
+                    }
+                    let bound = (dp * dp + da * da + dm * dm).sqrt();
+                    if bound <= tau {
+                        continue; // cannot raise τ
+                    }
+                    let lo = block_index * CALIBRATION_BLOCK;
+                    let hi = (lo + CALIBRATION_BLOCK).min(a_samples.len());
+                    for k in lo..hi {
+                        tau = tau.max(monitor.state_distance(&a_samples[k], &b_samples[k]));
+                    }
                 }
             }
         }
@@ -1344,6 +1491,91 @@ mod tests {
                 monitor.check(&run),
                 brute_force_check(&monitor, &run),
                 "case {case}: progress envelope diverged (mode {mode:?}, behaviour {behaviour}, start {start}, rate {rate})"
+            );
+        }
+    }
+
+    /// The pre-envelope calibration maxima, verbatim: the oracle the
+    /// block-bounded calibration must reproduce bit for bit.
+    fn brute_force_calibration(
+        monitor: &InvariantMonitor,
+        profiling: &[Trace],
+        config: &MonitorConfig,
+    ) -> (f64, f64, f64) {
+        let interval = profiling[0].sample_interval;
+        let steps = (monitor.duration / interval).ceil() as usize;
+        let mut position_scale = config.min_position_scale;
+        let mut acceleration_scale = config.min_acceleration_scale;
+        for i in 0..profiling.len() {
+            for j in (i + 1)..profiling.len() {
+                for k in 0..=steps {
+                    let t = k as f64 * interval;
+                    let (Some(a), Some(b)) = (profiling[i].sample_at(t), profiling[j].sample_at(t))
+                    else {
+                        continue;
+                    };
+                    position_scale = position_scale.max(a.position.distance(b.position));
+                    acceleration_scale =
+                        acceleration_scale.max(a.acceleration.distance(b.acceleration));
+                }
+            }
+        }
+        let mut tau: f64 = 0.0;
+        for i in 0..profiling.len() {
+            for j in (i + 1)..profiling.len() {
+                for k in 0..=steps {
+                    let t = k as f64 * interval;
+                    let (Some(a), Some(b)) = (profiling[i].sample_at(t), profiling[j].sample_at(t))
+                    else {
+                        continue;
+                    };
+                    tau = tau.max(monitor.state_distance(a, b));
+                }
+            }
+        }
+        let tau = if tau > 1e-9 { tau } else { 1.0 };
+        (position_scale, acceleration_scale, tau)
+    }
+
+    #[test]
+    fn block_bounded_calibration_matches_brute_force_exactly() {
+        use avis_sim::SimRng;
+        let mut rng = SimRng::seed_from_u64(404);
+        for case in 0..6 {
+            // A mixed population: clustered runs, spread runs, a run with
+            // a divergent stretch (mode + trajectory), and — in half the
+            // cases — a sample-less degenerate run.
+            let mut profiling: Vec<Trace> = (0..5)
+                .map(|_| synthetic_run(rng.uniform_range(-1.5, 1.5)))
+                .collect();
+            let mut divergent = synthetic_run(rng.uniform_range(-0.5, 0.5));
+            let start = rng.uniform_range(10.0, 60.0);
+            for s in divergent.samples.iter_mut().filter(|s| s.time >= start) {
+                s.position.y += (s.time - start) * rng.uniform_range(0.2, 1.5);
+                s.acceleration.x += rng.uniform_range(-1.0, 1.0);
+            }
+            profiling.push(divergent);
+            if case % 2 == 0 {
+                profiling.push(Trace {
+                    sample_interval: 0.5,
+                    samples: Vec::new(),
+                    mode_transitions: Vec::new(),
+                    collision: None,
+                    fence_violations: 0,
+                    workload_status: WorkloadStatus::Passed,
+                    duration: 100.0,
+                });
+            }
+            let config = MonitorConfig::default();
+            let monitor = InvariantMonitor::calibrate(profiling.clone(), config.clone());
+            let (p, a, tau) = brute_force_calibration(&monitor, &profiling, &config);
+            let (mp, ma, _) = monitor.normalization();
+            assert_eq!(mp, p, "case {case}: P̄ diverged from the brute force");
+            assert_eq!(ma, a, "case {case}: Ā diverged from the brute force");
+            assert_eq!(
+                monitor.tau(),
+                tau,
+                "case {case}: τ diverged from the brute force"
             );
         }
     }

@@ -202,6 +202,37 @@ impl PruningState {
         self.symmetry_hit(&signature) || self.found_bug_hit(&signature)
     }
 
+    /// An estimate, in `0.0..=1.0`, that `plan` will be pruned by commit
+    /// time. A plan pruned *now* scores `1.0`. Otherwise the estimate is
+    /// the share of the plan's failure timestamps at which some bug has
+    /// already triggered: found-bug pruning rejects supersets of bug
+    /// signatures at the same timestamps, and sites that have yielded one
+    /// bug tend to yield the sibling bugs that complete such supersets —
+    /// so plans concentrated on bug-yielding timestamps are the ones
+    /// speculation loses on. Deliberately cheap and non-mutating; used by
+    /// the engine's speculation admission gate, never by commit-time
+    /// control flow.
+    pub fn prune_probability(&self, plan: &FaultPlan) -> f64 {
+        let signature = RoleSignature::of(plan);
+        if self.symmetry_hit(&signature) || self.found_bug_hit(&signature) {
+            return 1.0;
+        }
+        if signature.is_empty() || self.bug_signatures.is_empty() {
+            return 0.0;
+        }
+        let bug_times: BTreeSet<i64> = self
+            .bug_signatures
+            .iter()
+            .flat_map(|bug| bug.0.iter().map(|f| f.time_ms))
+            .collect();
+        let at_bug_sites = signature
+            .0
+            .iter()
+            .filter(|f| bug_times.contains(&f.time_ms))
+            .count();
+        at_bug_sites as f64 / signature.0.len() as f64
+    }
+
     /// Records that a plan has been executed.
     pub fn record_explored(&mut self, plan: &FaultPlan) {
         self.explored.insert(RoleSignature::of(plan));
@@ -313,6 +344,38 @@ mod tests {
         assert!(state.is_pruned(&superset));
         assert!(!state.is_pruned(&plan(&[(SensorKind::Compass, 0, 10.0)])));
         // ...and none of the checks above touched the counters.
+        assert_eq!(state.symmetry_pruned(), 0);
+        assert_eq!(state.found_bug_pruned(), 0);
+    }
+
+    #[test]
+    fn prune_probability_ranks_doomed_plans_highest() {
+        let mut state = PruningState::new();
+        let gps10 = plan(&[(SensorKind::Gps, 0, 10.0)]);
+        // No pruning knowledge: everything scores zero.
+        assert_eq!(state.prune_probability(&gps10), 0.0);
+        state.record_explored(&gps10);
+        state.record_bug(&gps10);
+        // A plan pruned right now scores 1.0 (replay → symmetry hit;
+        // superset at the bug's timestamp → found-bug hit).
+        assert_eq!(state.prune_probability(&gps10), 1.0);
+        let superset = plan(&[(SensorKind::Gps, 0, 10.0), (SensorKind::Barometer, 0, 10.0)]);
+        assert_eq!(state.prune_probability(&superset), 1.0);
+        // A different sensor at the bug-yielding timestamp: fully
+        // concentrated on a bug site, maximal (but not certain) risk.
+        let same_site = plan(&[(SensorKind::Compass, 0, 10.0)]);
+        assert_eq!(state.prune_probability(&same_site), 1.0);
+        assert!(!state.is_pruned(&same_site), "risky is not pruned");
+        // Half the failures at a bug site: intermediate.
+        let half = plan(&[
+            (SensorKind::Compass, 0, 10.0),
+            (SensorKind::Compass, 1, 20.0),
+        ]);
+        assert_eq!(state.prune_probability(&half), 0.5);
+        // Nowhere near a bug site: zero.
+        let elsewhere = plan(&[(SensorKind::Compass, 0, 20.0)]);
+        assert_eq!(state.prune_probability(&elsewhere), 0.0);
+        // Probability checks never touch the counters.
         assert_eq!(state.symmetry_pruned(), 0);
         assert_eq!(state.found_bug_pruned(), 0);
     }

@@ -4,8 +4,8 @@
 //! Algorithm 1, and the step loop of Figure 7).
 
 use crate::snapshot::{
-    injection_prefix, CheckpointConfig, CheckpointStats, RunSnapshot, SharedSnapshotTier,
-    SnapshotCache,
+    injection_prefix, ChainParent, CheckpointConfig, CheckpointStats, RunSnapshot,
+    SharedSnapshotTier, SnapshotCache,
 };
 use crate::trace::{transition_from_code, ModeTransition, StateSample, Trace};
 use avis_firmware::{BugId, BugSet, Firmware, FirmwareProfile};
@@ -145,7 +145,9 @@ impl ExperimentRunner {
             "checkpoint interval must be positive"
         );
         config.checkpoints.normalize_anchors();
-        let cache = SnapshotCache::new(config.checkpoints.max_bytes);
+        config.checkpoints.keyframe_stride = config.checkpoints.keyframe_stride.max(1);
+        let mut cache = SnapshotCache::new(config.checkpoints.max_bytes);
+        cache.set_keyframe_stride(config.checkpoints.keyframe_stride);
         ExperimentRunner {
             config,
             runs: 0,
@@ -220,9 +222,19 @@ impl ExperimentRunner {
         // reach at the fork time, because the two plans agree on every
         // failure scheduled before it (see `crate::snapshot` for the
         // argument).
+        // The delta-chain context: the key + exact snapshot of the last
+        // cut this run stored into (or took from) the local cache. The
+        // next recorded cut is diffed against it (see
+        // [`SnapshotCache::record`]); forks served by the shared tier
+        // start a fresh chain (their snapshot has no local entry). At
+        // stride 1 (keyframes only) no cut can ever be delta-encoded, so
+        // the context — and the snapshot clone it would keep resident —
+        // is skipped entirely.
+        let chains_enabled = cfg.checkpoints.keyframe_stride > 1;
+        let mut chain_parent: Option<ChainParent> = None;
         let resumed = if checkpointing {
             // Probe both tiers for depth first; only the winner is
-            // cloned (snapshot clones are cheap but not free — the
+            // materialised (snapshot clones are cheap but not free — the
             // fixed substrate state is copied even under CoW).
             let local = self.cache.peek_deepest(seed_offset, &plan);
             let local_depth = local.as_ref().map(|(t, _)| *t);
@@ -230,6 +242,18 @@ impl ExperimentRunner {
                 .shared
                 .as_ref()
                 .and_then(|tier| tier.peek_depth(seed_offset, &plan));
+            let take_local = |cache: &mut SnapshotCache, chain_parent: &mut Option<ChainParent>| {
+                local.clone().map(|(time, key)| {
+                    let snapshot = cache.take(&key, time);
+                    if chains_enabled {
+                        *chain_parent = Some(ChainParent {
+                            key,
+                            snapshot: snapshot.clone(),
+                        });
+                    }
+                    snapshot
+                })
+            };
             if shared_depth > local_depth {
                 let tier = self.shared.as_ref().expect("shared depth implies tier");
                 match tier.take_deepest(seed_offset, &plan) {
@@ -239,10 +263,10 @@ impl ExperimentRunner {
                     }
                     // A republish evicted the entry between probe and
                     // take: fall back to the local candidate, if any.
-                    None => local.map(|(time, key)| self.cache.take(&key, time)),
+                    None => take_local(&mut self.cache, &mut chain_parent),
                 }
             } else {
-                local.map(|(time, key)| self.cache.take(&key, time))
+                take_local(&mut self.cache, &mut chain_parent)
             }
         } else {
             None
@@ -371,9 +395,23 @@ impl ExperimentRunner {
                     prefix: injection_prefix(&injector.plan(), time),
                 };
                 if let Some(tier) = &self.shared {
+                    // The tier always receives the full snapshot: its
+                    // entries cross worker (and campaign) boundaries, so
+                    // they must be independently restorable.
                     tier.offer(seed_offset, &snapshot);
                 }
-                self.cache.record(seed_offset, snapshot);
+                // The local cache stores the cut as a delta against the
+                // previous cut of this run where the keyframe stride
+                // allows, otherwise as a full keyframe; either way the
+                // stored cut becomes the next cut's chain parent. A
+                // duplicate cell keeps the previous chain context.
+                let parent_candidate = chains_enabled.then(|| snapshot.clone());
+                let stored = self
+                    .cache
+                    .record(seed_offset, snapshot, chain_parent.as_ref());
+                if let (Some(key), Some(snapshot)) = (stored, parent_candidate) {
+                    chain_parent = Some(ChainParent { key, snapshot });
+                }
                 while time >= next_checkpoint {
                     next_checkpoint += checkpoint_interval;
                 }

@@ -40,6 +40,27 @@
 //! chunk identities), so dense checkpoint intervals no longer multiply
 //! the sample history.
 //!
+//! # Delta-encoded chains
+//!
+//! Copy-on-write removes the *history* cost of dense checkpointing, but
+//! every snapshot still cloned the full fixed-size substrate state
+//! (vehicle + sensors + firmware control stack). The per-runner cache
+//! therefore stores each chain as **one full keyframe plus per-cut
+//! deltas**: every [`CheckpointConfig::keyframe_stride`]-th cut of a run
+//! is held whole, and the cuts between are held as the per-layer dynamic
+//! slice ([`SimSnapshot::diff`], [`avis_firmware::FirmwareSnapshot::diff`],
+//! [`avis_hinj::InjectorSnapshot::diff`]) against the previous cut —
+//! static structure (configuration, parameters, environment, seed-time
+//! biases, unchanged mission/failsafe/defect state) lives once per
+//! keyframe. Restoring a delta cut walks the chain from its keyframe and
+//! applies each delta in order (bounded by the stride); eviction is
+//! chain-aware (evicting an entry also evicts the deltas diffed against
+//! it) and the ledger charges delta bytes exactly like full-snapshot
+//! bytes. Encoding never changes a result: re-materialisation is
+//! bit-exact, so a fork from a delta cut is bit-identical to a fork from
+//! a full snapshot — and memory budgets admit several times more
+//! resident cuts per MiB.
+//!
 //! # The shared tier
 //!
 //! Checkpoint caches are per runner (lock-free by construction), so
@@ -61,12 +82,12 @@
 //! so caching them would only consume budget.
 
 use crate::trace::StateSample;
-use avis_firmware::FirmwareSnapshot;
-use avis_hinj::{FaultPlan, FaultSpec, InjectorSnapshot};
+use avis_firmware::{FirmwareDelta, FirmwareSnapshot};
+use avis_hinj::{FaultPlan, FaultSpec, InjectorDelta, InjectorSnapshot};
 use avis_sim::simulator::StepOutput;
-use avis_sim::{CowVec, SensorReading, SimSnapshot};
+use avis_sim::{CowDelta, CowVec, PackedStepOutput, SensorReading, SimDelta, SimSnapshot};
 use avis_workload::{ScriptedWorkload, WorkloadStatus};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -104,6 +125,16 @@ pub struct CheckpointConfig {
     /// when `anchors` was left empty). Placement is purely a speed/memory
     /// trade-off — results are bit-identical either way.
     pub anchor_placement: bool,
+    /// Delta-chain keyframe stride: along one recording run, every
+    /// `keyframe_stride`-th cut stores a *full* snapshot (a keyframe) and
+    /// the cuts between them store per-layer deltas against the previous
+    /// cut (see [`RunSnapshot::diff`]). Restoring a delta cut walks the
+    /// chain from its keyframe, so larger strides trade a little restore
+    /// work for far more resident cuts per MiB of budget. `1` stores only
+    /// full snapshots (the pre-delta behaviour). Encoding never changes a
+    /// result — a run forked from a re-materialised delta cut is
+    /// bit-identical to one forked from a full snapshot.
+    pub keyframe_stride: usize,
 }
 
 impl Default for CheckpointConfig {
@@ -114,6 +145,7 @@ impl Default for CheckpointConfig {
             max_bytes: 64 * 1024 * 1024,
             anchors: Vec::new(),
             anchor_placement: true,
+            keyframe_stride: 8,
         }
     }
 }
@@ -165,6 +197,15 @@ impl CheckpointConfig {
             interval: 1e9,
             max_bytes,
             ..CheckpointConfig::with_anchors(anchors)
+        }
+    }
+
+    /// A configuration with the given delta-chain keyframe stride
+    /// (`1` = full snapshots only, the pre-delta behaviour).
+    pub fn with_keyframe_stride(keyframe_stride: usize) -> Self {
+        CheckpointConfig {
+            keyframe_stride,
+            ..CheckpointConfig::default()
         }
     }
 }
@@ -271,6 +312,104 @@ impl RunSnapshot {
         self.injector.for_each_chunk(f);
         self.sim.for_each_chunk(f);
     }
+
+    /// The delta from `prev` (an earlier cut of the same run, or the cut
+    /// this run forked from) to this snapshot: each substrate layer
+    /// contributes its own delta (see [`SimSnapshot::diff`],
+    /// [`FirmwareSnapshot::diff`], [`InjectorSnapshot::diff`]) and the
+    /// runner-level bookkeeping rides along — the sample history as an
+    /// `Arc`-chunk-shared list, everything else by value. A delta is a
+    /// fraction of a full snapshot's exclusive bytes, which is what lets
+    /// dense chains stay resident under a fixed memory budget.
+    pub fn diff(&self, prev: &RunSnapshot) -> RunDelta {
+        RunDelta {
+            sim: self.sim.diff(&prev.sim),
+            firmware: self.firmware.diff(&prev.firmware),
+            injector: self.injector.diff(&prev.injector),
+            workload: self.workload.clone(),
+            samples: self.samples.delta_from(&prev.samples),
+            output: PackedStepOutput::pack(&self.output),
+            fence_violations: self.fence_violations,
+            next_sample_time: self.next_sample_time,
+            workload_status: self.workload_status.clone(),
+            terminal_since: self.terminal_since,
+            time: self.time,
+            prefix: self.prefix.clone(),
+        }
+    }
+
+    /// Re-materialises the snapshot `delta` was diffed *to*, using `self`
+    /// as the base it was diffed *from* — the restore step of a delta
+    /// chain walk. Bit-exact: `base.apply(&cut.diff(&base)) == cut` for
+    /// every pair of cuts along one run.
+    pub fn apply(&self, delta: &RunDelta) -> RunSnapshot {
+        RunSnapshot {
+            sim: self.sim.apply(&delta.sim),
+            firmware: self.firmware.apply(&delta.firmware),
+            injector: self.injector.apply(&delta.injector),
+            workload: delta.workload.clone(),
+            samples: CowVec::apply_delta(&self.samples, &delta.samples),
+            output: delta.output.unpack(),
+            fence_violations: delta.fence_violations,
+            next_sample_time: delta.next_sample_time,
+            workload_status: delta.workload_status.clone(),
+            terminal_since: delta.terminal_since,
+            time: delta.time,
+            prefix: delta.prefix.clone(),
+        }
+    }
+}
+
+/// The delta-encoded form of a [`RunSnapshot`]: the dynamic slice of
+/// every substrate layer relative to the previous cut of the same chain
+/// (see [`RunSnapshot::diff`]). The static structure — configuration,
+/// parameters, environment, seed-time biases — lives once in the chain's
+/// base keyframe.
+#[derive(Debug, Clone)]
+pub struct RunDelta {
+    sim: SimDelta,
+    firmware: FirmwareDelta,
+    injector: InjectorDelta,
+    workload: ScriptedWorkload,
+    samples: CowDelta<StateSample>,
+    output: PackedStepOutput,
+    fence_violations: usize,
+    next_sample_time: f64,
+    workload_status: WorkloadStatus,
+    terminal_since: Option<f64>,
+    time: f64,
+    prefix: Vec<FaultSpec>,
+}
+
+impl RunDelta {
+    /// Simulation time of the encoded cut (s).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Approximate heap + inline bytes *exclusively owned* by the delta.
+    /// `Arc`-shared history chunks are visited through
+    /// [`RunDelta::for_each_chunk`] and charged once per distinct chunk
+    /// by the stores.
+    pub fn approx_bytes(&self) -> usize {
+        self.sim.approx_bytes()
+            + self.firmware.approx_bytes()
+            + self.injector.approx_bytes()
+            + self.samples.exclusive_bytes()
+            + self.output.approx_bytes()
+            + self.prefix.len() * std::mem::size_of::<FaultSpec>()
+            // Workload runtime state plus per-delta bookkeeping (the
+            // script itself is Arc-shared, not copied).
+            + 256
+    }
+
+    /// Visits every `Arc`-shared block the delta references as
+    /// `(identity, bytes)` pairs (see [`RunSnapshot::for_each_chunk`]).
+    pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
+        self.samples.for_each_chunk(f);
+        self.firmware.for_each_chunk(f);
+        self.injector.for_each_chunk(f);
+    }
 }
 
 /// Composite cache key: experiment seed offset, quantised injection
@@ -339,10 +478,12 @@ impl ChunkLedger {
 /// resume from: among every snapshot whose quantised key matches one of
 /// the plan's own injection prefixes *and* whose exact prefix equals the
 /// plan's exact prefix at the snapshot time, the one with the latest cut
-/// time. Shared by the per-runner cache and the shared tier.
+/// time. Shared by the per-runner cache and the shared tier; the
+/// `meta_of` accessor yields `(cut time, exact prefix)` without
+/// materialising delta-encoded entries.
 fn deepest_entry<'a, V>(
     entries: &'a BTreeMap<SnapshotKey, V>,
-    snapshot_of: impl Fn(&V) -> &RunSnapshot,
+    meta_of: impl for<'v> Fn(&'v V) -> (f64, &'v [FaultSpec]),
     seed_offset: u64,
     plan: &FaultPlan,
 ) -> Option<(f64, &'a SnapshotKey)> {
@@ -377,15 +518,15 @@ fn deepest_entry<'a, V>(
             time_ms: i64::MAX,
         };
         for (entry_key, entry) in entries.range(lo..=hi).rev() {
-            let snapshot = snapshot_of(entry);
+            let (time, recorded_prefix) = meta_of(entry);
             // Exact validity guard: the plan's exact prefix at the
             // snapshot's cut time must equal the recorded prefix. This
             // rejects both quantisation collisions and snapshots cut
             // *after* one of the plan's failures that the recording run
             // did not inject.
-            if injection_prefix(plan, snapshot.time) == snapshot.prefix {
-                if best.is_none_or(|(t, _)| snapshot.time > t) {
-                    best = Some((snapshot.time, entry_key));
+            if injection_prefix(plan, time) == recorded_prefix {
+                if best.is_none_or(|(t, _)| time > t) {
+                    best = Some((time, entry_key));
                 }
                 break; // deeper entries of this chain are shallower in time
             }
@@ -394,9 +535,46 @@ fn deepest_entry<'a, V>(
     best
 }
 
+/// How one cut is physically held by the per-runner cache: a full
+/// snapshot (a chain keyframe) or a delta against its parent cut.
+#[derive(Debug, Clone)]
+enum StoredRun {
+    Full(Box<RunSnapshot>),
+    Delta {
+        /// The cut this delta was diffed against. Materialising walks
+        /// parent links until it reaches a [`StoredRun::Full`] keyframe;
+        /// the walk is bounded by [`CheckpointConfig::keyframe_stride`].
+        parent: SnapshotKey,
+        delta: Box<RunDelta>,
+    },
+}
+
+impl StoredRun {
+    fn approx_bytes(&self) -> usize {
+        match self {
+            StoredRun::Full(snapshot) => snapshot.approx_bytes(),
+            StoredRun::Delta { delta, .. } => delta.approx_bytes(),
+        }
+    }
+
+    fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
+        match self {
+            StoredRun::Full(snapshot) => snapshot.for_each_chunk(f),
+            StoredRun::Delta { delta, .. } => delta.for_each_chunk(f),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct CacheEntry {
-    snapshot: RunSnapshot,
+    payload: StoredRun,
+    /// Cut time (s) — duplicated out of the payload so probes never
+    /// materialise a delta chain.
+    time: f64,
+    /// Exact injection prefix at the cut — the probe's validity guard.
+    prefix: Vec<FaultSpec>,
+    /// Chain depth: 0 for a keyframe, parent depth + 1 for a delta.
+    depth: usize,
     bytes: usize,
     last_used: u64,
 }
@@ -422,6 +600,13 @@ pub struct CheckpointStats {
     /// history chunks — the part copy-on-write de-duplicates across the
     /// snapshots of a chain.
     pub chunk_bytes: usize,
+    /// Of [`CheckpointStats::snapshots_cached`], the cuts held as
+    /// per-layer deltas against their chain parent rather than as full
+    /// keyframes (see [`CheckpointConfig::keyframe_stride`]).
+    pub delta_snapshots: usize,
+    /// Exclusive bytes held by the delta-encoded cuts alone — the part of
+    /// [`CheckpointStats::cached_bytes`] that delta encoding shrinks.
+    pub delta_bytes: usize,
     /// Snapshots recorded over the runner's lifetime.
     pub snapshots_recorded: u64,
     /// Snapshots evicted by the memory budget.
@@ -431,24 +616,49 @@ pub struct CheckpointStats {
     pub simulated_seconds_skipped: f64,
 }
 
-/// The per-runner, memory-budgeted, LRU-evicted snapshot store.
+/// The chain context a runner carries between cuts: the key of the last
+/// cut it stored (or forked from) plus that cut's exact snapshot, which
+/// the next cut's delta is diffed against.
+#[derive(Debug, Clone)]
+pub(crate) struct ChainParent {
+    pub(crate) key: SnapshotKey,
+    pub(crate) snapshot: RunSnapshot,
+}
+
+/// The per-runner, memory-budgeted, LRU-evicted snapshot store. Cuts
+/// along one run are held as delta chains — one full keyframe every
+/// [`CheckpointConfig::keyframe_stride`] cuts, per-layer deltas in
+/// between — so a fixed budget keeps several times more cuts resident
+/// (see the module docs).
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotCache {
     entries: BTreeMap<SnapshotKey, CacheEntry>,
+    /// Reverse dependency index: keyframe/delta key -> the delta entries
+    /// diffed directly against it. Evicting an entry must also evict its
+    /// transitive dependents (their chains can no longer materialise).
+    dependents: BTreeMap<SnapshotKey, Vec<SnapshotKey>>,
     exclusive_bytes: usize,
     ledger: ChunkLedger,
     max_bytes: usize,
+    keyframe_stride: usize,
     clock: u64,
     stats: CheckpointStats,
 }
 
 impl SnapshotCache {
-    /// An empty cache with the given memory budget (bytes).
+    /// An empty cache with the given memory budget (bytes) holding only
+    /// full snapshots (keyframe stride 1).
     pub fn new(max_bytes: usize) -> Self {
         SnapshotCache {
             max_bytes,
+            keyframe_stride: 1,
             ..SnapshotCache::default()
         }
+    }
+
+    /// Sets the delta-chain keyframe stride (clamped to at least 1).
+    pub(crate) fn set_keyframe_stride(&mut self, keyframe_stride: usize) {
+        self.keyframe_stride = keyframe_stride.max(1);
     }
 
     fn total_bytes(&self) -> usize {
@@ -457,10 +667,17 @@ impl SnapshotCache {
 
     /// Current statistics.
     pub fn stats(&self) -> CheckpointStats {
+        let (delta_snapshots, delta_bytes) = self
+            .entries
+            .values()
+            .filter(|e| matches!(e.payload, StoredRun::Delta { .. }))
+            .fold((0usize, 0usize), |(n, b), e| (n + 1, b + e.bytes));
         CheckpointStats {
             snapshots_cached: self.entries.len(),
             cached_bytes: self.total_bytes(),
             chunk_bytes: self.ledger.bytes,
+            delta_snapshots,
+            delta_bytes,
             ..self.stats
         }
     }
@@ -480,43 +697,128 @@ impl SnapshotCache {
     /// The deepest local snapshot a run of `plan` may resume from, as
     /// `(cut time, key)` — a probe only, touching neither LRU state nor
     /// statistics, so the runner can compare depths across tiers before
-    /// committing to (and cloning) either.
+    /// committing to (and materialising) either.
     pub(crate) fn peek_deepest(
         &self,
         seed_offset: u64,
         plan: &FaultPlan,
     ) -> Option<(f64, SnapshotKey)> {
-        deepest_entry(&self.entries, |e| &e.snapshot, seed_offset, plan)
-            .map(|(t, k)| (t, k.clone()))
+        deepest_entry(
+            &self.entries,
+            |e| (e.time, e.prefix.as_slice()),
+            seed_offset,
+            plan,
+        )
+        .map(|(t, k)| (t, k.clone()))
     }
 
-    /// Takes (a clone of) the snapshot a [`SnapshotCache::peek_deepest`]
-    /// probe selected, updating LRU state and fork statistics.
+    /// The chain of keys from `key` down to (and including) its keyframe.
+    fn chain_of(&self, key: &SnapshotKey) -> Vec<SnapshotKey> {
+        let mut chain = vec![key.clone()];
+        loop {
+            let entry = self
+                .entries
+                .get(chain.last().expect("chain is non-empty"))
+                .expect("chain links are kept resident by cascade eviction");
+            match &entry.payload {
+                StoredRun::Full(_) => break,
+                StoredRun::Delta { parent, .. } => chain.push(parent.clone()),
+            }
+        }
+        chain
+    }
+
+    /// Takes (a re-materialised copy of) the snapshot a
+    /// [`SnapshotCache::peek_deepest`] probe selected, updating LRU state
+    /// and fork statistics. A keyframe is a plain clone; a delta cut is
+    /// rebuilt by walking its chain from the keyframe and applying each
+    /// delta in order. The whole chain's LRU stamps are refreshed —
+    /// materialisation *uses* every link, so a hot cut keeps its keyframe
+    /// alive.
     pub(crate) fn take(&mut self, key: &SnapshotKey, time: f64) -> RunSnapshot {
         self.clock += 1;
-        let entry = self.entries.get_mut(key).expect("peeked key present");
-        entry.last_used = self.clock;
+        let chain = self.chain_of(key);
+        for link in &chain {
+            self.entries
+                .get_mut(link)
+                .expect("chain link present")
+                .last_used = self.clock;
+        }
+        let mut snapshot = match &self
+            .entries
+            .get(chain.last().expect("chain is non-empty"))
+            .expect("chain link present")
+            .payload
+        {
+            StoredRun::Full(keyframe) => (**keyframe).clone(),
+            StoredRun::Delta { .. } => unreachable!("chain_of terminates at a keyframe"),
+        };
+        for link in chain.iter().rev().skip(1) {
+            let StoredRun::Delta { delta, .. } =
+                &self.entries.get(link).expect("chain link present").payload
+            else {
+                unreachable!("inner chain links are deltas")
+            };
+            snapshot = snapshot.apply(delta);
+        }
         self.stats.forked_runs += 1;
         self.stats.simulated_seconds_skipped += time;
-        entry.snapshot.clone()
+        snapshot
     }
 
     /// Records a snapshot, keeping the earliest recording when the same
     /// `(seed offset, prefix, time)` cell is already occupied, then
-    /// evicts least-recently-used snapshots until the memory budget is
+    /// evicts least-recently-used chains until the memory budget is
     /// respected again.
-    pub(crate) fn record(&mut self, seed_offset: u64, snapshot: RunSnapshot) {
+    ///
+    /// When `chain_parent` names a still-resident entry whose chain depth
+    /// leaves room under the keyframe stride, the cut is stored as a
+    /// delta against it; otherwise it is stored as a full keyframe.
+    /// Returns the stored key, or `None` when the cell was already
+    /// occupied (the runner then keeps its previous chain context).
+    pub(crate) fn record(
+        &mut self,
+        seed_offset: u64,
+        snapshot: RunSnapshot,
+        chain_parent: Option<&ChainParent>,
+    ) -> Option<SnapshotKey> {
         let key = SnapshotKey::for_snapshot(seed_offset, &snapshot);
         if self.entries.contains_key(&key) {
-            return;
+            return None;
         }
-        let bytes = snapshot.approx_bytes();
+        let time = snapshot.time;
+        let prefix = snapshot.prefix.clone();
+        let delta_parent = chain_parent.and_then(|parent| {
+            let entry = self.entries.get(&parent.key)?;
+            (entry.depth + 1 < self.keyframe_stride).then_some((parent, entry.depth + 1))
+        });
+        let (payload, depth) = match delta_parent {
+            Some((parent, depth)) => (
+                StoredRun::Delta {
+                    parent: parent.key.clone(),
+                    delta: Box::new(snapshot.diff(&parent.snapshot)),
+                },
+                depth,
+            ),
+            None => (StoredRun::Full(Box::new(snapshot)), 0),
+        };
+        if let StoredRun::Delta { parent, .. } = &payload {
+            self.dependents
+                .entry(parent.clone())
+                .or_default()
+                .push(key.clone());
+        }
+        let bytes = payload.approx_bytes();
         self.clock += 1;
-        self.ledger.add(&snapshot);
+        let ledger = &mut self.ledger;
+        payload.for_each_chunk(&mut |id, chunk_bytes| ledger.add_chunk(id, chunk_bytes));
         self.entries.insert(
-            key,
+            key.clone(),
             CacheEntry {
-                snapshot,
+                payload,
+                time,
+                prefix,
+                depth,
                 bytes,
                 last_used: self.clock,
             },
@@ -530,9 +832,40 @@ impl SnapshotCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
                 .expect("non-empty cache has an LRU entry");
-            let evicted = self.entries.remove(&lru).expect("LRU key present");
+            self.evict_with_dependents(&lru);
+        }
+        // The memory budget is enforced unconditionally: with a budget too
+        // small for even one chain, the freshly inserted entry itself is
+        // evicted above, so the key may already be gone again.
+        self.entries.contains_key(&key).then_some(key)
+    }
+
+    /// Evicts `key` together with every transitive dependent (delta cuts
+    /// diffed against it — their chains could no longer materialise).
+    fn evict_with_dependents(&mut self, key: &SnapshotKey) {
+        let mut pending = vec![key.clone()];
+        while let Some(victim) = pending.pop() {
+            if let Some(children) = self.dependents.remove(&victim) {
+                pending.extend(children);
+            }
+            let Some(evicted) = self.entries.remove(&victim) else {
+                continue;
+            };
             self.exclusive_bytes -= evicted.bytes;
-            self.ledger.remove(&evicted.snapshot);
+            let ledger = &mut self.ledger;
+            evicted
+                .payload
+                .for_each_chunk(&mut |id, _| ledger.remove_chunk(id));
+            // Unlink from the parent's dependent list so the reverse
+            // index cannot accumulate stale keys.
+            if let StoredRun::Delta { parent, .. } = &evicted.payload {
+                if let Some(children) = self.dependents.get_mut(parent) {
+                    children.retain(|k| k != &victim);
+                    if children.is_empty() {
+                        self.dependents.remove(parent);
+                    }
+                }
+            }
             self.stats.snapshots_evicted += 1;
         }
     }
@@ -556,16 +889,28 @@ pub struct SharedTierStats {
     pub hits: u64,
 }
 
+/// One published tier entry: the snapshot plus its lock-free hit counter
+/// (bumped by readers on every served fork) and its insertion sequence
+/// number (the eviction tie-break). The `Arc` is shared between the
+/// writer-side map and every published map generation, so hits survive
+/// republishing.
+#[derive(Debug)]
+struct TierEntry {
+    snapshot: RunSnapshot,
+    hits: AtomicU64,
+    seq: u64,
+}
+
 /// The canonical (writer-side) state of a shared tier, behind one mutex
 /// that only the rare record/republish paths touch.
 #[derive(Debug, Default)]
 struct TierState {
-    pending: Vec<(SnapshotKey, Arc<RunSnapshot>)>,
-    map: BTreeMap<SnapshotKey, Arc<RunSnapshot>>,
+    pending: Vec<(SnapshotKey, Arc<TierEntry>)>,
+    map: BTreeMap<SnapshotKey, Arc<TierEntry>>,
     exclusive: BTreeMap<SnapshotKey, usize>,
-    order: VecDeque<SnapshotKey>,
     ledger: ChunkLedger,
     exclusive_bytes: usize,
+    next_seq: u64,
     publishes: u64,
     recorded: u64,
     evicted: u64,
@@ -579,8 +924,17 @@ struct TierState {
 /// to a pending buffer under a brief mutex; nothing becomes visible until
 /// the engine calls [`SharedSnapshotTier::republish`] between speculative
 /// wavefronts, which merges the pending snapshots into a fresh map,
-/// enforces the memory budget (FIFO eviction, chunk-aware accounting)
-/// and swaps the `Arc`.
+/// enforces the memory budget (hit-weighted eviction, chunk-aware
+/// accounting) and swaps the `Arc`.
+///
+/// # Hit-weighted eviction
+///
+/// Readers bump a per-entry atomic on every fork the entry serves; when
+/// the budget forces eviction at republish time, the *least-hit* entry
+/// goes first (ties broken oldest-first, which degrades to FIFO while no
+/// hits have accrued). Under a tight budget this keeps the hot fault-free
+/// chain — the snapshots every sibling forks from — alive while one-off
+/// deep branches cycle out.
 #[derive(Debug)]
 pub struct SharedSnapshotTier {
     max_bytes: usize,
@@ -592,7 +946,7 @@ pub struct SharedSnapshotTier {
     /// differs from the claim refuses to attach.
     fingerprint: parking_lot::Mutex<Option<String>>,
     state: parking_lot::Mutex<TierState>,
-    published: std::sync::RwLock<Arc<BTreeMap<SnapshotKey, Arc<RunSnapshot>>>>,
+    published: std::sync::RwLock<Arc<BTreeMap<SnapshotKey, Arc<TierEntry>>>>,
     hits: AtomicU64,
 }
 
@@ -638,7 +992,7 @@ impl SharedSnapshotTier {
 
     /// The published `Arc` (cheap clone; the read path's only shared
     /// access).
-    fn current(&self) -> Arc<BTreeMap<SnapshotKey, Arc<RunSnapshot>>> {
+    fn current(&self) -> Arc<BTreeMap<SnapshotKey, Arc<TierEntry>>> {
         Arc::clone(&self.published.read().unwrap_or_else(|e| e.into_inner()))
     }
 
@@ -647,23 +1001,36 @@ impl SharedSnapshotTier {
     /// runner can compare against its local cache first.
     pub(crate) fn peek_depth(&self, seed_offset: u64, plan: &FaultPlan) -> Option<f64> {
         let map = self.current();
-        deepest_entry(&map, |e| e.as_ref(), seed_offset, plan).map(|(t, _)| t)
+        deepest_entry(
+            &map,
+            |e| (e.snapshot.time, e.snapshot.prefix.as_slice()),
+            seed_offset,
+            plan,
+        )
+        .map(|(t, _)| t)
     }
 
     /// Takes (a clone of) the deepest published snapshot for `plan`,
-    /// counting a served fork. Re-probes the current map — a concurrent
-    /// republish between probe and take can only yield an equal or
-    /// deeper snapshot, never an invalid one.
+    /// counting a served fork — globally and on the entry itself, which
+    /// is what hit-weighted eviction ranks by. Re-probes the current map
+    /// — a concurrent republish between probe and take can only yield an
+    /// equal or deeper snapshot, never an invalid one.
     pub(crate) fn take_deepest(
         &self,
         seed_offset: u64,
         plan: &FaultPlan,
     ) -> Option<(f64, RunSnapshot)> {
         let map = self.current();
-        let (time, key) = deepest_entry(&map, |e| e.as_ref(), seed_offset, plan)?;
-        let snapshot = map.get(key).expect("matched key present").as_ref().clone();
+        let (time, key) = deepest_entry(
+            &map,
+            |e| (e.snapshot.time, e.snapshot.prefix.as_slice()),
+            seed_offset,
+            plan,
+        )?;
+        let entry = map.get(key).expect("matched key present");
+        entry.hits.fetch_add(1, Ordering::Relaxed);
         self.hits.fetch_add(1, Ordering::Relaxed);
-        Some((time, snapshot))
+        Some((time, entry.snapshot.clone()))
     }
 
     /// Offers a freshly recorded snapshot to the tier. Cheap: an `Arc`
@@ -678,37 +1045,55 @@ impl SharedSnapshotTier {
         if state.map.contains_key(&key) || state.pending.iter().any(|(k, _)| *k == key) {
             return;
         }
-        state.pending.push((key, Arc::new(snapshot.clone())));
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.pending.push((
+            key,
+            Arc::new(TierEntry {
+                snapshot: snapshot.clone(),
+                hits: AtomicU64::new(0),
+                seq,
+            }),
+        ));
     }
 
     /// Merges every pending snapshot into the published map, evicts
-    /// oldest-first past the memory budget and swaps the `Arc` readers
-    /// see. Called by the engine between speculative wavefronts and at
-    /// campaign end; a no-op when nothing is pending.
+    /// lowest-hit-first (ties oldest-first) past the memory budget and
+    /// swaps the `Arc` readers see. Called by the engine between
+    /// speculative wavefronts and at campaign end; a no-op when nothing
+    /// is pending.
     pub fn republish(&self) {
         let mut state = self.state.lock();
         if state.pending.is_empty() {
             return;
         }
         let pending = std::mem::take(&mut state.pending);
-        for (key, snapshot) in pending {
+        for (key, entry) in pending {
             if state.map.contains_key(&key) {
                 continue;
             }
-            let bytes = snapshot.approx_bytes();
-            state.ledger.add(&snapshot);
+            let bytes = entry.snapshot.approx_bytes();
+            state.ledger.add(&entry.snapshot);
             state.exclusive_bytes += bytes;
             state.exclusive.insert(key.clone(), bytes);
-            state.order.push_back(key.clone());
-            state.map.insert(key, snapshot);
+            state.map.insert(key, entry);
             state.recorded += 1;
         }
         while state.exclusive_bytes + state.ledger.bytes > self.max_bytes && !state.map.is_empty() {
-            let oldest = state.order.pop_front().expect("non-empty tier has order");
-            if let Some(evicted) = state.map.remove(&oldest) {
-                let bytes = state.exclusive.remove(&oldest).unwrap_or(0);
+            // Hit-weighted victim: the entry that served the fewest forks,
+            // oldest first among equals. Fresh fault-free-chain entries
+            // accumulate hits quickly, so under pressure the tier sheds
+            // one-off deep branches instead of the chain everyone shares.
+            let victim = state
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (e.hits.load(Ordering::Relaxed), e.seq))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty tier has a least-hit entry");
+            if let Some(evicted) = state.map.remove(&victim) {
+                let bytes = state.exclusive.remove(&victim).unwrap_or(0);
                 state.exclusive_bytes -= bytes;
-                state.ledger.remove(&evicted);
+                state.ledger.remove(&evicted.snapshot);
                 state.evicted += 1;
             }
         }
@@ -777,6 +1162,80 @@ mod tests {
         let only = CheckpointConfig::anchors_only(vec![5.0], 1024);
         assert!(only.interval > 1e8);
         assert_eq!(only.max_bytes, 1024);
+    }
+
+    #[test]
+    fn hit_weighted_tier_eviction_keeps_hot_entries_alive() {
+        use crate::runner::{ExperimentConfig, ExperimentRunner};
+        use avis_firmware::{BugSet, FirmwareProfile};
+        use avis_workload::auto_box_mission;
+
+        let mut experiment = ExperimentConfig::new(
+            FirmwareProfile::ArduPilotLike,
+            BugSet::none(),
+            auto_box_mission(),
+        );
+        experiment.noise = Some(avis_sim::SensorNoise::noiseless());
+        experiment.max_duration = 40.0;
+        experiment.checkpoints = CheckpointConfig {
+            anchor_placement: false,
+            ..CheckpointConfig::default()
+        };
+
+        // A tier sized to hold the first run's full chain but only part
+        // of what the later runs offer, so the final republish must
+        // evict.
+        let tier = Arc::new(SharedSnapshotTier::new(96 * 1024));
+        let gps = avis_sim::SensorInstance::new(avis_sim::SensorKind::Gps, 1);
+        let plan = |t: f64| FaultPlan::from_specs(vec![FaultSpec::new(gps, t)]);
+
+        // Populate: one run's fault-free chain (cuts at 5, 10, …).
+        let mut warmer = ExperimentRunner::new(experiment.clone());
+        warmer.set_shared_tier(Arc::clone(&tier));
+        let _ = warmer.run_with_plan(plan(35.0));
+        tier.republish();
+
+        // Make the *oldest-but-one* entry hot: two fresh runners (cold
+        // local caches) fork from the deepest published cut at or before
+        // their injection, bumping the t = 10 entry's hit counter. Under
+        // the previous FIFO policy its age would make it an early victim.
+        for probe in [12.0, 11.0] {
+            let mut reader = ExperimentRunner::new(experiment.clone());
+            reader.set_shared_tier(Arc::clone(&tier));
+            let _ = reader.run_with_plan(plan(probe));
+        }
+        assert!(
+            tier.stats().hits >= 2,
+            "tier forks served: {:?}",
+            tier.stats()
+        );
+
+        // Flood the tier with fresh zero-hit branch entries (plans that
+        // diverge mid-chain record whole new prefix branches) until the
+        // budget forces eviction.
+        for t in [17.0, 18.0] {
+            let mut flooder = ExperimentRunner::new(experiment.clone());
+            flooder.set_shared_tier(Arc::clone(&tier));
+            let _ = flooder.run_with_plan(plan(t));
+        }
+        tier.republish();
+
+        let stats = tier.stats();
+        assert!(stats.evicted > 0, "the tiny tier should evict: {stats:?}");
+        assert!(stats.published_bytes <= 96 * 1024);
+        // The hot entry survived the squeeze…
+        let hot_depth = tier.peek_depth(0, &plan(10.5));
+        assert!(
+            hot_depth.is_some_and(|t| t >= 9.9),
+            "the twice-hit t = 10 entry should survive hit-weighted \
+             eviction: {hot_depth:?} ({stats:?})"
+        );
+        // …while the zero-hit t = 5 entry (the oldest) was shed first.
+        assert_eq!(
+            tier.peek_depth(0, &plan(6.0)),
+            None,
+            "the cold t = 5 entry should be the first victim ({stats:?})"
+        );
     }
 
     #[test]

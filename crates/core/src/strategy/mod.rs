@@ -207,6 +207,20 @@ pub trait Strategy: Send {
         true
     }
 
+    /// The strategy's estimate, in `0.0..=1.0`, that its own commit-time
+    /// pruning will reject this candidate — `1.0` for a plan it would
+    /// prune right now, intermediate values for plans that *tend to
+    /// become* pruned as sibling results commit (e.g. supersets forming
+    /// at an injection site where bugs are already accumulating). The
+    /// parallel engine skips speculating candidates above its admission
+    /// ceiling instead of merely shrinking the wavefront around them.
+    /// Non-mutating and purely an optimisation hook: wrong estimates
+    /// cost time (a skipped run executes inline at commit), never
+    /// correctness. The default — `0.0` — admits everything.
+    fn prune_probability(&self, _candidate: &Candidate) -> f64 {
+        0.0
+    }
+
     /// The authoritative commit-time decision for `candidate`. Called in
     /// round order; this is where the strategy mutates pruning state and
     /// charges model labels.

@@ -122,6 +122,13 @@ impl Strategy for SabreStrategy {
         }
     }
 
+    fn prune_probability(&self, candidate: &Candidate) -> f64 {
+        match (candidate.speculative(), &self.queue) {
+            (Some(plan), Some(queue)) => queue.pruning().prune_probability(plan),
+            _ => 0.0,
+        }
+    }
+
     fn decide(&mut self, candidate: &Candidate) -> Decision {
         let set = &self.candidates[candidate.token() as usize];
         let mut decision = Decision::skip();

@@ -123,6 +123,14 @@ impl Default for StateEstimator {
     }
 }
 
+/// The per-run mutable slice of a [`StateEstimator`] (see
+/// [`StateEstimator::dynamics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorDynamics {
+    state: EstimatorState,
+    baro_reference: Option<f64>,
+}
+
 impl StateEstimator {
     /// Creates an estimator with the given gains, at rest at the origin.
     pub fn new(gains: EstimatorGains) -> Self {
@@ -141,6 +149,23 @@ impl StateEstimator {
     /// The captured barometer ground reference, if initialised.
     pub fn baro_reference(&self) -> Option<f64> {
         self.baro_reference
+    }
+
+    /// Captures the per-run dynamic state — the estimate itself and the
+    /// barometer ground reference. The gains are static per run, so a
+    /// delta-encoded snapshot chain stores them once in its keyframe.
+    pub fn dynamics(&self) -> EstimatorDynamics {
+        EstimatorDynamics {
+            state: self.state,
+            baro_reference: self.baro_reference,
+        }
+    }
+
+    /// Overwrites the per-run dynamic state captured by
+    /// [`StateEstimator::dynamics`].
+    pub fn restore_dynamics(&mut self, dynamics: &EstimatorDynamics) {
+        self.state = dynamics.state;
+        self.baro_reference = dynamics.baro_reference;
     }
 
     /// Advances the estimate by `dt` seconds using the selected sensors.

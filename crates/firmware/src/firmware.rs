@@ -113,6 +113,172 @@ impl FirmwareSnapshot {
     pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
         self.firmware.defect_log.for_each_chunk(f);
     }
+
+    /// The delta from `prev` to this capture. The always-moving control
+    /// state (estimator, navigator, mode bookkeeping, outbox) is stored
+    /// whole; the rarely-moving components — sensor health, failsafe
+    /// latches, defect triggers, mission progress — are stored only when
+    /// they actually changed since `prev` (boxed, so an unchanged
+    /// component costs one null pointer); the static components (profile,
+    /// parameters) are never stored and the append-only histories are
+    /// stored as suffixes / `Arc`-shared chunk lists. Only valid between
+    /// captures of the same run.
+    pub fn diff(&self, prev: &FirmwareSnapshot) -> FirmwareDelta {
+        let fw = &self.firmware;
+        let base = &prev.firmware;
+        debug_assert!(
+            fw.profile == base.profile && fw.params == base.params,
+            "firmware deltas only exist within one run"
+        );
+        let (mode_history_base, mode_history_suffix) = if base.mode_history.len()
+            <= fw.mode_history.len()
+            && base.mode_history == fw.mode_history[..base.mode_history.len()]
+        {
+            (
+                base.mode_history.len(),
+                fw.mode_history[base.mode_history.len()..].to_vec(),
+            )
+        } else {
+            // Defensive fallback: the history is append-only along a run,
+            // but an unexpected base still yields a correct (just larger)
+            // delta.
+            (0, fw.mode_history.clone())
+        };
+        FirmwareDelta {
+            estimator: fw.estimator.dynamics(),
+            navigator: fw.navigator.dynamics(),
+            health: (fw.frontend.health() != base.frontend.health())
+                .then(|| Box::new(fw.frontend.health().clone())),
+            failsafes: (fw.failsafes != base.failsafes).then(|| Box::new(fw.failsafes.clone())),
+            defects: (fw.defects != base.defects).then(|| Box::new(fw.defects.clone())),
+            mission: (fw.mission != base.mission).then(|| Box::new(fw.mission.clone())),
+            mode: fw.mode,
+            armed: fw.armed,
+            home: fw.home,
+            time: fw.time,
+            takeoff_target: fw.takeoff_target,
+            after_takeoff: fw.after_takeoff,
+            guided_target: fw.guided_target,
+            hold_position: fw.hold_position,
+            rtl_phase: fw.rtl_phase,
+            touchdown_timer: fw.touchdown_timer,
+            last_heartbeat: fw.last_heartbeat,
+            last_status: fw.last_status,
+            last_selected: fw.last_selected,
+            mode_history_base,
+            mode_history_suffix,
+            outbox: fw.outbox.clone(),
+            defect_log: fw.defect_log.delta_from(&base.defect_log),
+        }
+    }
+
+    /// Re-materialises the capture `delta` was diffed *to*, using `self`
+    /// as the capture it was diffed *from*.
+    pub fn apply(&self, delta: &FirmwareDelta) -> FirmwareSnapshot {
+        let mut fw = self.firmware.clone();
+        fw.estimator.restore_dynamics(&delta.estimator);
+        fw.navigator.restore_dynamics(&delta.navigator);
+        if let Some(health) = &delta.health {
+            fw.frontend.restore_health((**health).clone());
+        }
+        if let Some(failsafes) = &delta.failsafes {
+            fw.failsafes = (**failsafes).clone();
+        }
+        if let Some(defects) = &delta.defects {
+            fw.defects = (**defects).clone();
+        }
+        if let Some(mission) = &delta.mission {
+            fw.mission = (**mission).clone();
+        }
+        fw.mode = delta.mode;
+        fw.armed = delta.armed;
+        fw.home = delta.home;
+        fw.time = delta.time;
+        fw.takeoff_target = delta.takeoff_target;
+        fw.after_takeoff = delta.after_takeoff;
+        fw.guided_target = delta.guided_target;
+        fw.hold_position = delta.hold_position;
+        fw.rtl_phase = delta.rtl_phase;
+        fw.touchdown_timer = delta.touchdown_timer;
+        fw.last_heartbeat = delta.last_heartbeat;
+        fw.last_status = delta.last_status;
+        fw.last_selected = delta.last_selected;
+        fw.mode_history.truncate(delta.mode_history_base);
+        fw.mode_history
+            .extend_from_slice(&delta.mode_history_suffix);
+        fw.outbox.clone_from(&delta.outbox);
+        fw.defect_log = CowVec::apply_delta(&self.firmware.defect_log, &delta.defect_log);
+        FirmwareSnapshot { firmware: fw }
+    }
+}
+
+/// The dynamic slice of a [`FirmwareSnapshot`] relative to an earlier
+/// capture of the same run (see [`FirmwareSnapshot::diff`]). The static
+/// control-stack structure — profile, parameters, mission items while
+/// unchanged, defect catalog — lives once in the chain's base keyframe.
+#[derive(Debug, Clone)]
+pub struct FirmwareDelta {
+    estimator: crate::estimator::EstimatorDynamics,
+    navigator: crate::nav::NavDynamics,
+    health: Option<Box<crate::frontend::SensorHealth>>,
+    failsafes: Option<Box<FailsafeEngine>>,
+    defects: Option<Box<DefectEngine>>,
+    mission: Option<Box<MissionManager>>,
+    mode: OperatingMode,
+    armed: bool,
+    home: Vec3,
+    time: f64,
+    takeoff_target: f64,
+    after_takeoff: OperatingMode,
+    guided_target: Option<Vec3>,
+    hold_position: Vec3,
+    rtl_phase: RtlPhase,
+    touchdown_timer: f64,
+    last_heartbeat: f64,
+    last_status: f64,
+    last_selected: SelectedSensors,
+    mode_history_base: usize,
+    mode_history_suffix: Vec<(f64, OperatingMode)>,
+    outbox: Vec<Message>,
+    defect_log: avis_sim::CowDelta<(f64, DefectOverrides)>,
+}
+
+impl FirmwareDelta {
+    /// Simulation time of the captured cut (s).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Approximate heap + inline bytes exclusively owned by the delta
+    /// (the `Arc`-shared defect-log chunks are accounted once per
+    /// distinct chunk through [`FirmwareDelta::for_each_chunk`]).
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>()
+            + self.mode_history_suffix.len() * std::mem::size_of::<(f64, OperatingMode)>()
+            + self.outbox.len() * std::mem::size_of::<Message>()
+            + self.defect_log.exclusive_bytes();
+        if let Some(health) = &self.health {
+            bytes += std::mem::size_of::<crate::frontend::SensorHealth>()
+                + health.failed_instances().count() * 16
+                + 128;
+        }
+        if self.failsafes.is_some() {
+            bytes += std::mem::size_of::<FailsafeEngine>() + 64;
+        }
+        if self.defects.is_some() {
+            bytes += std::mem::size_of::<DefectEngine>() + 64;
+        }
+        if let Some(mission) = &self.mission {
+            bytes += std::mem::size_of::<MissionManager>() + mission.items().len() * 64;
+        }
+        bytes
+    }
+
+    /// Visits the `Arc`-shared defect-log chunks as `(identity, bytes)`
+    /// pairs (see [`CowVec::for_each_chunk`]).
+    pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
+        self.defect_log.for_each_chunk(f);
+    }
 }
 
 /// The UAV control firmware.

@@ -140,6 +140,13 @@ impl SensorFrontend {
         &self.health
     }
 
+    /// Overwrites the health bookkeeping (the frontend's only mutable
+    /// state). Used when a firmware is re-materialised from a delta
+    /// snapshot whose health diverged from the chain's base keyframe.
+    pub fn restore_health(&mut self, health: SensorHealth) {
+        self.health = health;
+    }
+
     /// Processes one step's raw readings: every read consults the fault
     /// injector (the instrumented driver path); surviving readings are
     /// reduced to one selected measurement per kind, preferring the lowest

@@ -111,6 +111,14 @@ impl Default for NavGains {
     }
 }
 
+/// The per-run mutable slice of a [`Navigator`] (see
+/// [`Navigator::dynamics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NavDynamics {
+    hover_trim: f64,
+    yaw_hold: f64,
+}
+
 /// The navigation controller.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Navigator {
@@ -150,6 +158,23 @@ impl Navigator {
     pub fn reset(&mut self, yaw: f64) {
         self.hover_trim = 0.0;
         self.yaw_hold = yaw;
+    }
+
+    /// Captures the per-run dynamic state — the hover-trim integrator and
+    /// the held heading. Gains and limits are static per run, so a
+    /// delta-encoded snapshot chain stores them once in its keyframe.
+    pub fn dynamics(&self) -> NavDynamics {
+        NavDynamics {
+            hover_trim: self.hover_trim,
+            yaw_hold: self.yaw_hold,
+        }
+    }
+
+    /// Overwrites the per-run dynamic state captured by
+    /// [`Navigator::dynamics`].
+    pub fn restore_dynamics(&mut self, dynamics: &NavDynamics) {
+        self.hover_trim = dynamics.hover_trim;
+        self.yaw_hold = dynamics.yaw_hold;
     }
 
     /// Computes motor commands for the given setpoint.

@@ -408,6 +408,82 @@ impl InjectorSnapshot {
         self.injector.injections.for_each_chunk(f);
         self.injector.transitions.for_each_chunk(f);
     }
+
+    /// The delta from `prev` to this capture. The record histories are
+    /// `Arc`-chunk-shared (cloning them is O(chunks)); the plan is stored
+    /// only when it differs from `prev`'s — along one recording run it
+    /// never does.
+    pub fn diff(&self, prev: &InjectorSnapshot) -> InjectorDelta {
+        InjectorDelta {
+            plan: (self.injector.plan != prev.injector.plan).then(|| self.injector.plan.clone()),
+            injections: self
+                .injector
+                .injections
+                .delta_from(&prev.injector.injections),
+            transitions: self
+                .injector
+                .transitions
+                .delta_from(&prev.injector.transitions),
+            current_mode: self.injector.current_mode,
+            reads: self.injector.reads,
+            failed_reads: self.injector.failed_reads,
+        }
+    }
+
+    /// Re-materialises the capture `delta` was diffed *to*, using `self`
+    /// as the capture it was diffed *from*.
+    pub fn apply(&self, delta: &InjectorDelta) -> InjectorSnapshot {
+        InjectorSnapshot {
+            injector: FaultInjector {
+                plan: delta
+                    .plan
+                    .clone()
+                    .unwrap_or_else(|| self.injector.plan.clone()),
+                injections: CowVec::apply_delta(&self.injector.injections, &delta.injections),
+                transitions: CowVec::apply_delta(&self.injector.transitions, &delta.transitions),
+                current_mode: delta.current_mode,
+                reads: delta.reads,
+                failed_reads: delta.failed_reads,
+            },
+        }
+    }
+}
+
+/// The dynamic slice of an [`InjectorSnapshot`] relative to an earlier
+/// capture of the same run (see [`InjectorSnapshot::diff`]).
+#[derive(Debug, Clone)]
+pub struct InjectorDelta {
+    /// `None` when the plan equals the base capture's (the common case —
+    /// a run's plan never changes mid-run).
+    plan: Option<FaultPlan>,
+    injections: avis_sim::CowDelta<InjectionRecord>,
+    transitions: avis_sim::CowDelta<ModeTransitionRecord>,
+    current_mode: Option<ModeCode>,
+    reads: u64,
+    failed_reads: u64,
+}
+
+impl InjectorDelta {
+    /// Approximate heap + inline bytes exclusively owned by the delta
+    /// (the `Arc`-shared record chunks are accounted once per distinct
+    /// chunk through [`InjectorDelta::for_each_chunk`]).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .plan
+                .as_ref()
+                .map(|p| p.len() * std::mem::size_of::<(SensorInstance, f64)>())
+                .unwrap_or(0)
+            + self.injections.exclusive_bytes()
+            + self.transitions.exclusive_bytes()
+    }
+
+    /// Visits the `Arc`-shared record chunks as `(identity, bytes)`
+    /// pairs (see [`CowVec::for_each_chunk`]).
+    pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
+        self.injections.for_each_chunk(f);
+        self.transitions.for_each_chunk(f);
+    }
 }
 
 /// A cloneable, thread-safe handle to a [`FaultInjector`], shared between

@@ -174,6 +174,114 @@ impl<T: Clone> CowVec<T> {
             );
         }
     }
+
+    /// The delta from `prev` to `self` for a delta-encoded snapshot
+    /// chain. When `prev`'s chunk list is a shared prefix of `self`'s
+    /// (the normal case along one run: both are sealed captures and the
+    /// later one only appended), the delta stores just the *new* chunk
+    /// handles — without it, every cut of an `n`-cut chain would own its
+    /// own `O(n)` chunk-handle list, `O(n²)` across the chain. Falls back
+    /// to a full structural clone when the histories diverged.
+    pub fn delta_from(&self, prev: &CowVec<T>) -> CowDelta<T> {
+        let shares_prefix = self.tail.is_empty()
+            && prev.tail.is_empty()
+            && self.chunks.len() >= prev.chunks.len()
+            && self
+                .chunks
+                .iter()
+                .zip(prev.chunks.iter())
+                .all(|(a, b)| Arc::ptr_eq(a, b));
+        if shares_prefix {
+            CowDelta::Suffix(self.chunks[prev.chunks.len()..].to_vec())
+        } else {
+            CowDelta::Full(self.clone())
+        }
+    }
+
+    /// Re-materialises the vector `delta` was diffed *to*, using `prev`
+    /// as the vector it was diffed *from*. Exact inverse of
+    /// [`CowVec::delta_from`] over the same `prev`.
+    pub fn apply_delta(prev: &CowVec<T>, delta: &CowDelta<T>) -> CowVec<T> {
+        match delta {
+            CowDelta::Full(full) => full.clone(),
+            CowDelta::Suffix(suffix) => {
+                let mut chunks = prev.chunks.clone();
+                let mut prefix_len = prev.prefix_len + prev.tail.len();
+                debug_assert!(prev.tail.is_empty(), "delta bases are sealed");
+                for chunk in suffix {
+                    prefix_len += chunk.len();
+                    chunks.push(Arc::clone(chunk));
+                }
+                CowVec {
+                    chunks,
+                    prefix_len,
+                    tail: Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+/// The chunk-list delta of a [`CowVec`] relative to an earlier sealed
+/// capture of the same history (see [`CowVec::delta_from`]).
+pub enum CowDelta<T> {
+    /// `prev` is a shared prefix; only the newly sealed chunk handles are
+    /// stored. The chunks *contents* are `Arc`-shared as always.
+    Suffix(Vec<Arc<[T]>>),
+    /// The histories diverged; a full structural clone is stored.
+    Full(CowVec<T>),
+}
+
+impl<T: Clone> Clone for CowDelta<T> {
+    fn clone(&self) -> Self {
+        match self {
+            CowDelta::Suffix(suffix) => CowDelta::Suffix(suffix.clone()),
+            CowDelta::Full(full) => CowDelta::Full(full.clone()),
+        }
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for CowDelta<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CowDelta::Suffix(suffix) => f
+                .debug_tuple("Suffix")
+                .field(&suffix.iter().map(|c| c.len()).sum::<usize>())
+                .finish(),
+            CowDelta::Full(full) => f.debug_tuple("Full").field(full).finish(),
+        }
+    }
+}
+
+impl<T: Clone> CowDelta<T> {
+    /// Heap bytes exclusively owned by the delta (chunk handles; the
+    /// chunk contents are shared and accounted through
+    /// [`CowDelta::for_each_chunk`]).
+    pub fn exclusive_bytes(&self) -> usize {
+        match self {
+            CowDelta::Suffix(suffix) => suffix.len() * std::mem::size_of::<Arc<[T]>>(),
+            CowDelta::Full(full) => full.exclusive_bytes(),
+        }
+    }
+
+    /// Visits the `Arc`-shared chunks the delta itself holds handles to
+    /// (the suffix chunks, or every chunk of a full fallback). The base
+    /// capture's prefix chunks are *not* visited for a suffix delta: a
+    /// delta entry can only exist while its chain parent is resident
+    /// (chain-aware eviction), and the parent already charges them.
+    pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
+        match self {
+            CowDelta::Suffix(suffix) => {
+                for chunk in suffix {
+                    f(
+                        Arc::as_ptr(chunk) as *const T as usize,
+                        chunk.len() * std::mem::size_of::<T>(),
+                    );
+                }
+            }
+            CowDelta::Full(full) => full.for_each_chunk(f),
+        }
+    }
 }
 
 impl<T> Default for CowVec<T> {
@@ -305,6 +413,43 @@ mod tests {
         let mut bytes = 0;
         v.for_each_chunk(&mut |_, b| bytes += b);
         assert_eq!(bytes, 8 * std::mem::size_of::<u64>());
+    }
+
+    #[test]
+    fn delta_from_stores_only_the_suffix_and_applies_exactly() {
+        let mut v = CowVec::from_vec((0..20).collect::<Vec<i32>>());
+        v.seal();
+        let base = v.sealed_clone();
+        for i in 20..35 {
+            v.push(i);
+        }
+        v.seal();
+        for i in 35..40 {
+            v.push(i);
+        }
+        let cut = v.sealed_clone();
+        let delta = cut.delta_from(&base);
+        // Two new chunks' handles, nothing else.
+        assert!(matches!(&delta, CowDelta::Suffix(s) if s.len() == 2));
+        assert!(delta.exclusive_bytes() < base.exclusive_bytes() + cut.exclusive_bytes());
+        let rebuilt = CowVec::apply_delta(&base, &delta);
+        assert_eq!(rebuilt, cut);
+        assert_eq!(rebuilt.to_vec(), (0..40).collect::<Vec<i32>>());
+        // The suffix chunks are charged by the delta; the shared prefix
+        // chunk is not (the chain parent charges it).
+        let mut delta_ids = Vec::new();
+        delta.for_each_chunk(&mut |id, _| delta_ids.push(id));
+        let mut base_ids = Vec::new();
+        base.for_each_chunk(&mut |id, _| base_ids.push(id));
+        assert!(delta_ids.iter().all(|id| !base_ids.contains(id)));
+
+        // Divergent histories fall back to a full clone.
+        let mut other = CowVec::from_vec((0..20).collect::<Vec<i32>>());
+        other.seal();
+        let foreign = other.sealed_clone();
+        let fallback = cut.delta_from(&foreign);
+        assert!(matches!(fallback, CowDelta::Full(_)));
+        assert_eq!(CowVec::apply_delta(&foreign, &fallback), cut);
     }
 
     #[test]

@@ -42,15 +42,19 @@ pub mod sensors;
 pub mod simulator;
 pub mod vehicle;
 
-pub use cow::CowVec;
+pub use cow::{CowDelta, CowVec};
 pub use environment::{
     BoxObstacle, Collision, CollisionKind, Environment, Fence, FenceRegion, Wind,
 };
 pub use math::{Quat, Vec3};
 pub use rng::SimRng;
 pub use sensors::{
-    SensorInstance, SensorKind, SensorNoise, SensorReading, SensorRole, SensorSuite,
-    SensorSuiteConfig, SensorValue,
+    SensorDynamics, SensorInstance, SensorKind, SensorNoise, SensorReading, SensorRole,
+    SensorSuite, SensorSuiteConfig, SensorValue,
 };
-pub use simulator::{PhysicalState, SimConfig, SimSnapshot, Simulator, StepOutput};
-pub use vehicle::{MotorCommands, Quadcopter, RigidBodyState, VehicleParams, GRAVITY, MOTOR_COUNT};
+pub use simulator::{
+    PackedStepOutput, PhysicalState, SimConfig, SimDelta, SimSnapshot, Simulator, StepOutput,
+};
+pub use vehicle::{
+    MotorCommands, QuadDynamics, Quadcopter, RigidBodyState, VehicleParams, GRAVITY, MOTOR_COUNT,
+};

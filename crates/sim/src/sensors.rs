@@ -319,6 +319,29 @@ pub struct SensorSuite {
     battery_remaining: f64,
 }
 
+/// The per-run *mutable* slice of a [`SensorSuite`]: the noise RNG
+/// stream, the GPS fixes held between epochs, the epoch clock and the
+/// battery charge. The static complement — the configuration and the
+/// per-instance biases drawn once at seed time — is excluded, which is
+/// what makes a delta-encoded snapshot chain cheap: consecutive cuts of
+/// one run differ only in this dynamic slice.
+#[derive(Debug, Clone)]
+pub struct SensorDynamics {
+    rng: SimRng,
+    last_gps: Vec<Option<SensorValue>>,
+    last_gps_time: f64,
+    battery_remaining: f64,
+}
+
+impl SensorDynamics {
+    /// Approximate heap + inline bytes of the captured dynamic state,
+    /// used by the checkpoint stores' memory budgets.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.last_gps.len() * std::mem::size_of::<Option<SensorValue>>()
+    }
+}
+
 impl SensorSuite {
     /// Creates a suite with per-instance biases drawn from `seed`.
     pub fn new(config: SensorSuiteConfig, seed: u64) -> Self {
@@ -368,6 +391,28 @@ impl SensorSuite {
     /// experiments that need a low-battery precondition, e.g. PX4-13291).
     pub fn set_battery_remaining(&mut self, remaining: f64) {
         self.battery_remaining = remaining.clamp(0.0, 1.0);
+    }
+
+    /// Captures the per-run dynamic state (see [`SensorDynamics`]). The
+    /// configuration and the seed-time biases are *not* captured: a
+    /// delta-encoded snapshot takes them from its chain's base keyframe.
+    pub fn dynamics(&self) -> SensorDynamics {
+        SensorDynamics {
+            rng: self.rng.clone(),
+            last_gps: self.last_gps.clone(),
+            last_gps_time: self.last_gps_time,
+            battery_remaining: self.battery_remaining,
+        }
+    }
+
+    /// Overwrites the per-run dynamic state captured by
+    /// [`SensorSuite::dynamics`]. Only valid between suites of the same
+    /// run (identical configuration and seed-time biases).
+    pub fn restore_dynamics(&mut self, dynamics: &SensorDynamics) {
+        self.rng = dynamics.rng.clone();
+        self.last_gps.clone_from(&dynamics.last_gps);
+        self.last_gps_time = dynamics.last_gps_time;
+        self.battery_remaining = dynamics.battery_remaining;
     }
 
     /// Samples every sensor instance at simulation time `time` given the

@@ -97,6 +97,127 @@ impl Default for StepOutput {
     }
 }
 
+/// A [`StepOutput`] packed for delta-encoded snapshot storage: the
+/// sensor readings are flattened into one float array plus a compact
+/// instance list instead of a `Vec` of tagged [`SensorValue`] enums —
+/// roughly a third of the memory, bit-exactly reversible. A snapshot
+/// chain holds one of these per delta cut, so the saving multiplies by
+/// the chain length.
+#[derive(Debug, Clone)]
+pub struct PackedStepOutput {
+    state: PhysicalState,
+    collision: Option<Collision>,
+    violated_fences: Vec<usize>,
+    /// Sample time shared by every reading of the step (readings are
+    /// produced by one [`SensorSuite::sample_into`] call).
+    time: f64,
+    instances: Vec<crate::sensors::SensorInstance>,
+    /// Per-reading float payload, concatenated in instance order (the
+    /// per-kind layout is fixed: accelerometer/gyroscope 3, GPS 6,
+    /// barometer/compass 1, battery 2).
+    floats: Vec<f64>,
+    /// Per-GPS-reading satellite counts, in instance order.
+    satellites: Vec<u8>,
+}
+
+impl PackedStepOutput {
+    /// Packs a step output. Readings are assumed to come from one
+    /// [`Simulator::step_into`] call (one shared sample time).
+    pub fn pack(output: &StepOutput) -> Self {
+        use crate::sensors::SensorValue;
+        let time = output.readings.first().map(|r| r.time).unwrap_or(0.0);
+        debug_assert!(
+            output.readings.iter().all(|r| r.time == time),
+            "step readings share one sample time"
+        );
+        let mut packed = PackedStepOutput {
+            state: output.state,
+            collision: output.collision,
+            violated_fences: output.violated_fences.clone(),
+            time,
+            instances: Vec::with_capacity(output.readings.len()),
+            floats: Vec::with_capacity(output.readings.len() * 3),
+            satellites: Vec::new(),
+        };
+        for reading in &output.readings {
+            packed.instances.push(reading.instance);
+            match reading.value {
+                SensorValue::Acceleration(v) | SensorValue::AngularRate(v) => {
+                    packed.floats.extend([v.x, v.y, v.z]);
+                }
+                SensorValue::GpsFix {
+                    position,
+                    velocity,
+                    satellites,
+                } => {
+                    packed.floats.extend([
+                        position.x, position.y, position.z, velocity.x, velocity.y, velocity.z,
+                    ]);
+                    packed.satellites.push(satellites);
+                }
+                SensorValue::PressureAltitude(v) | SensorValue::MagneticHeading(v) => {
+                    packed.floats.push(v);
+                }
+                SensorValue::BatteryStatus { voltage, remaining } => {
+                    packed.floats.extend([voltage, remaining]);
+                }
+            }
+        }
+        packed
+    }
+
+    /// Rebuilds the exact [`StepOutput`] that was packed.
+    pub fn unpack(&self) -> StepOutput {
+        use crate::sensors::{SensorKind, SensorValue};
+        let mut readings = Vec::with_capacity(self.instances.len());
+        let mut floats = self.floats.iter().copied();
+        let mut next = || floats.next().expect("packed float count matches layout");
+        let mut satellites = self.satellites.iter().copied();
+        for &instance in &self.instances {
+            let value = match instance.kind {
+                SensorKind::Accelerometer => {
+                    SensorValue::Acceleration(Vec3::new(next(), next(), next()))
+                }
+                SensorKind::Gyroscope => {
+                    SensorValue::AngularRate(Vec3::new(next(), next(), next()))
+                }
+                SensorKind::Gps => SensorValue::GpsFix {
+                    position: Vec3::new(next(), next(), next()),
+                    velocity: Vec3::new(next(), next(), next()),
+                    satellites: satellites.next().expect("one count per GPS reading"),
+                },
+                SensorKind::Barometer => SensorValue::PressureAltitude(next()),
+                SensorKind::Compass => SensorValue::MagneticHeading(next()),
+                SensorKind::Battery => SensorValue::BatteryStatus {
+                    voltage: next(),
+                    remaining: next(),
+                },
+            };
+            readings.push(SensorReading {
+                instance,
+                time: self.time,
+                value,
+            });
+        }
+        StepOutput {
+            state: self.state,
+            readings,
+            collision: self.collision,
+            violated_fences: self.violated_fences.clone(),
+        }
+    }
+
+    /// Approximate heap + inline bytes exclusively owned by the packed
+    /// form.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.violated_fences.len() * std::mem::size_of::<usize>()
+            + self.instances.len() * std::mem::size_of::<crate::sensors::SensorInstance>()
+            + self.floats.len() * std::mem::size_of::<f64>()
+            + self.satellites.len()
+    }
+}
+
 /// A point-in-time capture of a [`Simulator`], taken mid-run by
 /// [`Simulator::snapshot`]. Everything that feeds the simulation forward
 /// — vehicle rigid-body state, environment, sensor-noise RNG stream,
@@ -148,6 +269,74 @@ impl SimSnapshot {
             Arc::as_ptr(&self.sim.env) as usize,
             std::mem::size_of::<Environment>() + self.sim.env.fences().len() * 128,
         );
+    }
+
+    /// The delta from `prev` to this capture: everything that evolves
+    /// while a run executes (vehicle dynamics, sensor noise stream, time
+    /// and collision bookkeeping). The static complement — configuration,
+    /// seed-time sensor biases, the `Arc`-shared environment — is *not*
+    /// stored; [`SimSnapshot::apply`] takes it from the base capture, so
+    /// a chain of snapshots stores it exactly once.
+    ///
+    /// Only valid between captures of the same run: both must share the
+    /// configuration (and therefore the biases) of `prev`.
+    pub fn diff(&self, prev: &SimSnapshot) -> SimDelta {
+        debug_assert!(
+            self.sim.config == prev.sim.config,
+            "sim deltas only exist within one run"
+        );
+        SimDelta {
+            quad: self.sim.quad.dynamics(),
+            sensors: self.sim.sensors.dynamics(),
+            time: self.sim.time,
+            steps: self.sim.steps,
+            first_collision: self.sim.first_collision,
+            was_airborne: self.sim.was_airborne,
+        }
+    }
+
+    /// Re-materialises the capture `delta` was diffed *to*, using `self`
+    /// as the base capture `delta` was diffed *from* (or any earlier
+    /// capture of the same run — the delta stores the complete dynamic
+    /// state, so any same-run base yields the identical result).
+    pub fn apply(&self, delta: &SimDelta) -> SimSnapshot {
+        let mut sim = self.sim.clone();
+        sim.quad.restore_dynamics(&delta.quad);
+        sim.sensors.restore_dynamics(&delta.sensors);
+        sim.time = delta.time;
+        sim.steps = delta.steps;
+        sim.first_collision = delta.first_collision;
+        sim.was_airborne = delta.was_airborne;
+        SimSnapshot { sim }
+    }
+}
+
+/// The dynamic slice of a [`SimSnapshot`] relative to an earlier capture
+/// of the same run (see [`SimSnapshot::diff`]). Far smaller than a full
+/// capture: the configuration, the seed-time sensor biases and the
+/// environment are all taken from the chain's base keyframe at
+/// [`SimSnapshot::apply`] time.
+#[derive(Debug, Clone)]
+pub struct SimDelta {
+    quad: crate::vehicle::QuadDynamics,
+    sensors: crate::sensors::SensorDynamics,
+    time: f64,
+    steps: u64,
+    first_collision: Option<Collision>,
+    was_airborne: bool,
+}
+
+impl SimDelta {
+    /// Simulation time of the captured cut (s).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Approximate heap + inline bytes exclusively owned by the delta,
+    /// used by the checkpoint stores' memory budgets.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<crate::sensors::SensorDynamics>()
+            + self.sensors.approx_bytes()
     }
 }
 

@@ -221,6 +221,17 @@ pub struct Quadcopter {
     on_ground: bool,
 }
 
+/// The per-run *mutable* slice of a [`Quadcopter`]: motor spool-up state,
+/// rigid-body state and ground contact. The physical parameters are
+/// static per run and excluded, so a delta-encoded snapshot chain stores
+/// them once in its base keyframe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuadDynamics {
+    motors: MotorBank,
+    state: RigidBodyState,
+    on_ground: bool,
+}
+
 impl Quadcopter {
     /// Creates a quadcopter resting on the ground at the origin.
     pub fn new(params: VehicleParams) -> Self {
@@ -252,6 +263,24 @@ impl Quadcopter {
     pub fn set_state(&mut self, state: RigidBodyState) {
         self.on_ground = state.position.z <= 1e-6;
         self.state = state;
+    }
+
+    /// Captures the per-run dynamic state (see [`QuadDynamics`]).
+    pub fn dynamics(&self) -> QuadDynamics {
+        QuadDynamics {
+            motors: self.motors.clone(),
+            state: self.state,
+            on_ground: self.on_ground,
+        }
+    }
+
+    /// Overwrites the per-run dynamic state captured by
+    /// [`Quadcopter::dynamics`]. Only valid between vehicles of the same
+    /// run (identical parameters).
+    pub fn restore_dynamics(&mut self, dynamics: &QuadDynamics) {
+        self.motors = dynamics.motors.clone();
+        self.state = dynamics.state;
+        self.on_ground = dynamics.on_ground;
     }
 
     /// Advances the dynamics by `dt` seconds with the given motor commands

@@ -181,6 +181,26 @@ fn checkpointed_campaign_is_bit_identical_to_cold_execution() {
             cold, interval_only,
             "interval-only campaign (parallelism {parallelism}) diverged from cold execution"
         );
+        // Delta-chain encoding at either extreme — keyframes only
+        // (stride 1) and delta-encoding nearly every cut under budget
+        // pressure (stride 16, tight budget) — must be equally
+        // invisible: re-materialised cuts are bit-exact.
+        for stride in [1, 16] {
+            let encoded = run(
+                CheckpointConfig {
+                    keyframe_stride: stride,
+                    max_bytes: 512 * 1024,
+                    ..CheckpointConfig::default()
+                },
+                parallelism,
+                None,
+            );
+            assert_eq!(
+                cold, encoded,
+                "delta-chain campaign (stride {stride}, parallelism {parallelism}) \
+                 diverged from cold execution"
+            );
+        }
     }
     assert!(
         !cold.unsafe_conditions.is_empty(),
@@ -216,6 +236,74 @@ fn bug_dense_campaign_with_pruning_aware_wavefronts_is_deterministic() {
     assert!(
         serial.unsafe_conditions.len() >= 2,
         "the bug-dense scenario should commit several unsafe runs: {}",
+        serial.unsafe_conditions.len()
+    );
+}
+
+#[test]
+fn dispatch_modes_are_bit_identical_at_every_parallelism() {
+    // Prefix-sharded dispatch pins whole prefix families to workers and
+    // steals across families; round-robin deals jobs out one at a time.
+    // Placement decides only which worker *pre-executes* a run — the
+    // commit path is byte-for-byte shared — so both modes must reproduce
+    // the serial result exactly, on the fixed and the buggy code base.
+    use avis::DispatchMode;
+    let run = |bugs: BugSet, parallelism: usize, dispatch: DispatchMode| {
+        let mut experiment = experiment();
+        experiment.bugs = bugs;
+        Campaign::builder()
+            .experiment(experiment)
+            .approach(Approach::Avis)
+            .budget(Budget::simulations(8))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .dispatch(dispatch)
+            .build()
+            .run()
+    };
+    for bugs in [
+        BugSet::none(),
+        BugSet::current_code_base(FirmwareProfile::ArduPilotLike),
+    ] {
+        let serial = run(bugs.clone(), 1, DispatchMode::PrefixSharded);
+        for dispatch in [DispatchMode::PrefixSharded, DispatchMode::RoundRobin] {
+            let parallel = run(bugs.clone(), 4, dispatch);
+            assert_eq!(
+                serial, parallel,
+                "{dispatch:?} at parallelism 4 diverged from the serial engine"
+            );
+        }
+    }
+}
+
+#[test]
+fn speculation_admission_is_bit_identical_at_parallelism_4() {
+    // The admission gate (`Strategy::prune_probability`) withholds
+    // likely-doomed speculative jobs on the buggy code base, where bug
+    // findings concentrate at shared injection sites. Withheld jobs
+    // execute inline at commit, so the result must stay bit-identical to
+    // the serial engine — this pins the regression at a budget large
+    // enough that admission actually engages (bugs accumulate across
+    // several wavefronts).
+    let run = |parallelism: usize| {
+        Campaign::builder()
+            .experiment(experiment())
+            .approach(Approach::Avis)
+            .budget(Budget::simulations(16))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .build()
+            .run()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "speculation admission changed a campaign observable"
+    );
+    assert!(
+        serial.unsafe_conditions.len() >= 2,
+        "the scenario should accumulate bug sites for the admission gate: {}",
         serial.unsafe_conditions.len()
     );
 }

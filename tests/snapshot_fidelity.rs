@@ -441,6 +441,285 @@ fn anchor_placement_raises_fork_depth_at_equal_memory_budget() {
 }
 
 #[test]
+fn sim_delta_restore_is_bit_identical_to_full_restore() {
+    // Layer property: `base.apply(&cut.diff(&base))` must rebuild the
+    // exact capture, so a run resumed from the re-materialised snapshot
+    // is bit-identical to one resumed from the full snapshot.
+    let mut rng = SimRng::seed_from_u64(61);
+    for case in 0..5 {
+        let seed = rng.index(1000) as u64;
+        let base_cut = 200 + rng.index(800);
+        let delta_cut = base_cut + 100 + rng.index(800);
+        let total = delta_cut + 400 + rng.index(800);
+        let throttles: Vec<f64> = (0..total).map(|_| rng.uniform_range(0.0, 0.9)).collect();
+
+        let mut sim = make_sim(seed);
+        let mut output = StepOutput::empty();
+        for &t in &throttles[..base_cut] {
+            sim.step_into(&MotorCommands::uniform(t), &mut output);
+        }
+        let base = sim.snapshot();
+        for &t in &throttles[base_cut..delta_cut] {
+            sim.step_into(&MotorCommands::uniform(t), &mut output);
+        }
+        let cut = sim.snapshot();
+        let delta = cut.diff(&base);
+        assert!(
+            delta.approx_bytes() < cut.approx_bytes() / 2,
+            "case {case}: a sim delta should be a fraction of a full capture \
+             ({} vs {})",
+            delta.approx_bytes(),
+            cut.approx_bytes()
+        );
+        assert_eq!(delta.time(), cut.time());
+
+        let drive = |mut restored: Simulator| {
+            let mut out = output.clone();
+            for &t in &throttles[delta_cut..] {
+                restored.step_into(&MotorCommands::uniform(t), &mut out);
+            }
+            (restored.physical_state(), restored.steps(), out)
+        };
+        let from_full = drive(cut.restore());
+        let from_delta = drive(base.apply(&delta).into_restored());
+        assert_eq!(
+            from_delta, from_full,
+            "case {case}: delta-restored sim diverged from the full restore"
+        );
+    }
+}
+
+#[test]
+fn injector_delta_restore_is_bit_identical_to_full_restore() {
+    let mut rng = SimRng::seed_from_u64(67);
+    for case in 0..40 {
+        let fault = FaultSpec::new(arb_instance(&mut rng), rng.uniform_range(0.0, 4.0));
+        let mut injector = FaultInjector::new(FaultPlan::from_specs(vec![fault]));
+        for i in 0..25 {
+            let t = i as f64 * 0.4;
+            injector.should_fail(fault.instance, t);
+            if i % 6 == 0 {
+                injector.report_mode(t, avis_hinj::ModeCode(i as u32));
+            }
+        }
+        let base = injector.snapshot();
+        for i in 25..60 {
+            let t = i as f64 * 0.4;
+            injector.should_fail(arb_instance(&mut rng), t);
+            injector.report_mode(t, avis_hinj::ModeCode(i as u32));
+        }
+        let cut = injector.snapshot();
+        let delta = cut.diff(&base);
+        let rebuilt = base.apply(&delta);
+        let (a, b) = (rebuilt.restore(), cut.restore());
+        assert_eq!(a.plan(), b.plan(), "case {case}: plan diverged");
+        assert_eq!(a.injections(), b.injections(), "case {case}");
+        assert_eq!(a.mode_transitions(), b.mode_transitions(), "case {case}");
+        assert_eq!(a.total_reads(), b.total_reads(), "case {case}");
+        assert_eq!(a.failed_reads(), b.failed_reads(), "case {case}");
+        assert_eq!(a.current_mode(), b.current_mode(), "case {case}");
+    }
+}
+
+#[test]
+fn firmware_delta_restore_is_bit_identical_to_full_restore() {
+    let mut rng = SimRng::seed_from_u64(71);
+    for case in 0..3 {
+        let plan = arb_plan(&mut rng, 5.0, 25.0);
+        let base_steps = (rng.uniform_range(6.0, 15.0) / DT) as usize;
+        let delta_steps = base_steps + (rng.uniform_range(4.0, 12.0) / DT) as usize;
+        let total_steps = delta_steps + (15.0 / DT) as usize;
+
+        let injector = SharedInjector::new(FaultInjector::new(plan));
+        let mut fw = Firmware::new(
+            FirmwareProfile::ArduPilotLike,
+            BugSet::current_code_base(FirmwareProfile::ArduPilotLike),
+            injector.clone(),
+        );
+        let mut sim = make_sim(case as u64);
+        let mut output = StepOutput::empty();
+        sim.step_into(&MotorCommands::IDLE, &mut output);
+        let mut base = None;
+        let mut base_injector = None;
+        for step in 0..delta_steps {
+            if step == base_steps {
+                base = Some(fw.snapshot());
+                base_injector = Some(injector.snapshot());
+            }
+            drive_ground_station(&mut fw, step);
+            let cmd = fw.step(&output.readings, sim.time(), DT);
+            sim.step_into(&cmd, &mut output);
+        }
+        let base = base.expect("base cut recorded");
+        let base_injector = base_injector.expect("base injector recorded");
+        let cut = fw.snapshot();
+        let cut_injector = injector.snapshot();
+        let delta = cut.diff(&base);
+        assert_eq!(delta.time(), cut.time());
+        let injector_delta = cut_injector.diff(&base_injector);
+
+        // Drive both restores through the identical tail and compare
+        // every observable.
+        let drive = |firmware_snapshot: &avis_firmware::FirmwareSnapshot,
+                     injector_snapshot: &avis_hinj::InjectorSnapshot| {
+            let shared = SharedInjector::new(injector_snapshot.restore());
+            let mut fw = firmware_snapshot.restore(shared.clone());
+            let mut sim = sim.snapshot().into_restored();
+            let mut out = output.clone();
+            let mut commands = Vec::new();
+            for step in delta_steps..total_steps {
+                drive_ground_station(&mut fw, step);
+                let cmd = fw.step(&out.readings, sim.time(), DT);
+                commands.push(cmd);
+                sim.step_into(&cmd, &mut out);
+            }
+            (
+                commands,
+                fw.mode(),
+                fw.mode_history().to_vec(),
+                *fw.estimate(),
+                fw.defect_log().to_vec(),
+                shared.mode_transitions(),
+            )
+        };
+        let from_full = drive(&cut, &cut_injector);
+        let from_delta = drive(&base.apply(&delta), &base_injector.apply(&injector_delta));
+        assert_eq!(
+            from_delta, from_full,
+            "case {case}: delta-restored firmware diverged from the full restore"
+        );
+    }
+}
+
+#[test]
+fn keyframe_stride_never_changes_results() {
+    // The runner-level property: cold execution, full-snapshot chains
+    // (stride 1), delta chains (stride 3) and a stride far beyond any
+    // chain length must all produce bit-identical results — and the
+    // stride governs how cuts are *stored*: deltas appear exactly when
+    // the stride leaves room for them.
+    let gps1 = SensorInstance::new(SensorKind::Gps, 1);
+    let baro1 = SensorInstance::new(SensorKind::Barometer, 1);
+    let mut base = ExperimentConfig::new(
+        FirmwareProfile::ArduPilotLike,
+        BugSet::none(),
+        auto_box_mission(),
+    );
+    base.noise = Some(SensorNoise::noiseless());
+    base.max_duration = 100.0;
+
+    let plans: Vec<FaultPlan> = [35.0, 50.0, 65.0, 80.0]
+        .into_iter()
+        .flat_map(|t| {
+            [
+                FaultPlan::from_specs(vec![FaultSpec::new(gps1, t)]),
+                FaultPlan::from_specs(vec![FaultSpec::new(baro1, t + 2.0)]),
+            ]
+        })
+        .collect();
+    let run_all = |checkpoints: CheckpointConfig| {
+        let mut experiment = base.clone();
+        experiment.checkpoints = checkpoints;
+        let mut runner = ExperimentRunner::new(experiment);
+        let results: Vec<_> = plans
+            .iter()
+            .map(|p| runner.run_with_plan(p.clone()))
+            .collect();
+        (results, runner.checkpoint_stats())
+    };
+
+    let (cold, _) = run_all(CheckpointConfig::disabled());
+    let (full, full_stats) = run_all(CheckpointConfig::with_keyframe_stride(1));
+    let (delta, delta_stats) = run_all(CheckpointConfig::with_keyframe_stride(3));
+    let (sparse, sparse_stats) = run_all(CheckpointConfig::with_keyframe_stride(1000));
+
+    assert_eq!(full, cold, "stride-1 chains diverged from cold execution");
+    assert_eq!(
+        delta, cold,
+        "stride-3 delta chains diverged from cold execution"
+    );
+    assert_eq!(
+        sparse, cold,
+        "stride > chain length diverged from cold execution"
+    );
+    assert_eq!(
+        full_stats.delta_snapshots, 0,
+        "stride 1 must store only keyframes: {full_stats:?}"
+    );
+    assert!(
+        delta_stats.delta_snapshots > 0 && delta_stats.delta_bytes > 0,
+        "stride 3 should store delta cuts: {delta_stats:?}"
+    );
+    // Stride 1000 exceeds every chain this workload records, so all but
+    // each run's first recorded cut are deltas.
+    assert!(
+        sparse_stats.delta_snapshots > delta_stats.delta_snapshots,
+        "an unbounded stride should delta-encode nearly every cut \
+         (sparse {sparse_stats:?} vs stride-3 {delta_stats:?})"
+    );
+    // And the encoded stores hold the same number of cuts for less
+    // memory.
+    assert!(
+        delta_stats.cached_bytes < full_stats.cached_bytes,
+        "delta chains should be smaller at equal cut count: \
+         {delta_stats:?} vs {full_stats:?}"
+    );
+}
+
+#[test]
+fn delta_chains_keep_more_cuts_resident_at_equal_budget() {
+    // The memory-density property the dense-anchor bench measures at
+    // full scale: under one tight budget, delta chains must keep several
+    // times more cuts resident than full snapshots — here gated
+    // conservatively at 2× (the bench asserts 3× with its denser anchor
+    // set) — while results stay bit-identical to cold execution.
+    let gps1 = SensorInstance::new(SensorKind::Gps, 1);
+    let budget = 192 * 1024;
+    let mut base = ExperimentConfig::new(
+        FirmwareProfile::ArduPilotLike,
+        BugSet::none(),
+        auto_box_mission(),
+    );
+    base.noise = Some(SensorNoise::noiseless());
+    base.max_duration = 100.0;
+
+    let mut cold = ExperimentRunner::new({
+        let mut e = base.clone();
+        e.checkpoints = CheckpointConfig::disabled();
+        e
+    });
+    let run_all = |keyframe_stride: usize, cold: &mut ExperimentRunner| {
+        let mut experiment = base.clone();
+        experiment.checkpoints = CheckpointConfig {
+            interval: 1.0,
+            max_bytes: budget,
+            anchor_placement: false,
+            keyframe_stride,
+            ..CheckpointConfig::default()
+        };
+        let mut runner = ExperimentRunner::new(experiment);
+        for time in [85.0, 90.0, 95.0] {
+            let plan = FaultPlan::from_specs(vec![FaultSpec::new(gps1, time)]);
+            let result = runner.run_with_plan(plan.clone());
+            assert_eq!(
+                result,
+                cold.run_with_plan(plan),
+                "stride {keyframe_stride}: budgeted run diverged from cold"
+            );
+        }
+        runner.checkpoint_stats()
+    };
+    let full = run_all(1, &mut cold);
+    let delta = run_all(16, &mut cold);
+    assert!(full.cached_bytes <= budget && delta.cached_bytes <= budget);
+    assert!(
+        delta.snapshots_cached >= 2 * full.snapshots_cached,
+        "delta chains should keep ≥2× more cuts resident at equal budget: \
+         delta {delta:?} vs full {full:?}"
+    );
+}
+
+#[test]
 fn two_tier_eviction_under_tiny_budgets_stays_correct() {
     // Eviction correctness under the two-tier store: local caches and
     // the shared tier both squeezed to a budget that evicts on nearly
