@@ -31,6 +31,13 @@
 //! prefix-sharded placement, reporting each mode's local-cache hit share
 //! (per-worker stats via `WorkerStatsCollector`).
 //!
+//! Finally, two PR-6 sections cover the protocol layer: a **codec
+//! microbench** (per-message encode/decode cost plus the `Link` burst
+//! drain rate, guarding the linear-time `recv` path) and a
+//! **link-fault smoke** (a tiny clean-vs-arm-storm matrix sweep that
+//! must reproduce the seeded protocol defect bit-identically at
+//! parallelism 1 and 2).
+//!
 //! Unlike the Criterion-style micro-benches this harness owns its `main`
 //! (`harness = false`): one campaign is seconds of work, so it runs each
 //! configuration once and reports wall-clock plus speedup directly, and
@@ -55,8 +62,11 @@ use avis::matrix::ScenarioMatrix;
 use avis::runner::{ExperimentConfig, ExperimentRunner};
 use avis::snapshot::CheckpointConfig;
 use avis::strategy::{Candidate, Decision, Observation, Strategy, StrategyContext};
-use avis_firmware::{BugSet, FirmwareProfile};
-use avis_hinj::{FaultPlan, FaultSpec};
+use avis_firmware::{BugId, BugSet, FirmwareProfile};
+use avis_hinj::{
+    FaultPlan, FaultSpec, LinkDirection, LinkFaultKind, LinkFaultPlan, LinkFaultSpec, StormCommand,
+};
+use avis_mavlite::{decode_frame, encode_frame, Endpoint, Link, Message, ProtocolMode};
 use avis_sim::{SensorInstance, SensorKind, SensorNoise};
 use avis_workload::auto_box_mission;
 use std::time::Instant;
@@ -790,6 +800,137 @@ fn bench_record_cost() -> Json {
     ])
 }
 
+/// The codec microbenchmark: per-message encode/decode cost and the
+/// `Link` stream-drain rate. The drain measurement covers the `recv`
+/// hot path, which now pops decoded frames off a contiguous buffer —
+/// the pre-fix implementation re-shifted the queue per frame, so long
+/// bursts (e.g. a command storm) decoded in quadratic time.
+fn bench_codec_cost() -> Json {
+    println!("microbench `mavlite-codec`: encode/decode and stream-drain cost");
+    let messages = [
+        Message::Heartbeat {
+            mode: ProtocolMode::Auto,
+            armed: true,
+        },
+        Message::Status {
+            x: 12.5,
+            y: -3.25,
+            altitude: 30.0,
+            climb_rate: 0.5,
+            mission_seq: 3,
+            landed: false,
+        },
+        Message::ArmDisarm { arm: true },
+    ];
+
+    let iterations = 20_000usize;
+    let start = Instant::now();
+    for i in 0..iterations {
+        let msg = &messages[i % messages.len()];
+        let frame = encode_frame(msg, i as u8);
+        let (decoded, seq, consumed) = decode_frame(&frame).expect("round-trip decodes");
+        assert_eq!(&decoded, msg);
+        assert_eq!(seq, i as u8);
+        assert_eq!(consumed, frame.len());
+    }
+    let round_trip_ns = start.elapsed().as_secs_f64() / iterations as f64 * 1e9;
+    println!("  encode+decode round-trip: ~{round_trip_ns:.0}ns per message");
+
+    // Stream drain: a long single-direction burst queued before any recv,
+    // the shape a command storm produces on the wire.
+    let burst = 5_000usize;
+    let mut link = Link::new();
+    for i in 0..burst {
+        link.send(Endpoint::GroundStation, &messages[i % messages.len()]);
+    }
+    let start = Instant::now();
+    let drained = link.drain(Endpoint::Vehicle);
+    let drain_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(drained.len(), burst, "burst drained losslessly");
+    assert_eq!(link.pending_bytes(Endpoint::Vehicle), 0);
+    let drain_rate = burst as f64 / drain_seconds.max(1e-9);
+    println!("  {burst}-message burst drained in {drain_seconds:.4}s (~{drain_rate:.0} msgs/s)");
+
+    json::object(vec![
+        ("microbench", Json::String("mavlite-codec".to_string())),
+        ("round_trip_nanos", Json::Number(round_trip_ns)),
+        ("burst_messages", Json::Number(burst as f64)),
+        ("burst_drain_seconds", Json::Number(drain_seconds)),
+        ("burst_messages_per_second", Json::Number(drain_rate)),
+    ])
+}
+
+/// The link-fault smoke scenario: a tiny matrix sweep over a clean link
+/// and an arm-storm link scenario against the seeded protocol defect.
+/// The storm cell must reproduce `ProtoDoubleArm`, the clean cell must
+/// not, and the sweep must be bit-identical at parallelism 1 and 2 —
+/// a fast end-to-end check that protocol fault injection stays both
+/// effective and deterministic.
+fn bench_link_fault_smoke() -> Json {
+    println!("scenario `link-fault-smoke`: clean vs arm-storm matrix sweep");
+    let storm = LinkFaultPlan::from_specs(vec![LinkFaultSpec::new(
+        LinkFaultKind::Storm {
+            command: StormCommand::Arm,
+            count: 8,
+        },
+        LinkDirection::ToVehicle,
+        40.0,
+    )]);
+    let run = |parallelism: usize| {
+        let matrix = ScenarioMatrix::new()
+            .firmware(FirmwareProfile::ArduPilotLike)
+            .workload(auto_box_mission())
+            .bugs(BugSet::only(BugId::ProtoDoubleArm))
+            .approach(Approach::Avis)
+            .link_scenario("clean", LinkFaultPlan::empty())
+            .link_scenario("arm-storm", storm.clone())
+            .budget(Budget::simulations(5))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .max_duration(110.0)
+            .noise(SensorNoise::default());
+        let start = Instant::now();
+        let report = matrix.run();
+        (report, start.elapsed().as_secs_f64())
+    };
+    let (serial_report, serial_seconds) = run(1);
+    let (parallel_report, parallel_seconds) = run(2);
+    assert_eq!(
+        serial_report, parallel_report,
+        "link-fault sweep diverged between parallelism 1 and 2"
+    );
+    let storm_cell = serial_report
+        .results
+        .iter()
+        .find(|r| r.link_scenario.as_deref() == Some("arm-storm"))
+        .expect("storm cell present");
+    let clean_cell = serial_report
+        .results
+        .iter()
+        .find(|r| r.link_scenario.as_deref() == Some("clean"))
+        .expect("clean cell present");
+    assert!(
+        storm_cell.bugs_found().contains(&BugId::ProtoDoubleArm),
+        "arm-storm scenario failed to reproduce the protocol defect"
+    );
+    assert!(
+        clean_cell.bugs_found().is_empty(),
+        "clean link scenario unexpectedly exposed a defect"
+    );
+    println!(
+        "  serial {serial_seconds:.2}s / parallel {parallel_seconds:.2}s, \
+         storm cell reproduces PROTO-101, clean cell finds nothing, reports bit-identical"
+    );
+    json::object(vec![
+        ("scenario", Json::String("link-fault-smoke".to_string())),
+        ("serial_wall_seconds", Json::Number(serial_seconds)),
+        ("parallel_wall_seconds", Json::Number(parallel_seconds)),
+        ("defect_reproduced", Json::Bool(true)),
+        ("clean_cell_silent", Json::Bool(true)),
+        ("result_identical", Json::Bool(true)),
+    ])
+}
+
 /// Gates the measured checkpoint speedup against the committed baseline:
 /// a >20% drop fails the run. The speedup is a same-host ratio, so the
 /// gate holds on hosts of any speed.
@@ -841,6 +982,8 @@ fn main() {
     let sharded_report = bench_sharded_dispatch(simulations);
     let matrix_report = bench_matrix_reuse(simulations);
     let record_report = bench_record_cost();
+    let codec_report = bench_codec_cost();
+    let link_fault_report = bench_link_fault_smoke();
 
     let doc = json::object(vec![
         ("bench", Json::String("campaign_throughput".to_string())),
@@ -856,6 +999,8 @@ fn main() {
         ("sharded_dispatch", sharded_report),
         ("matrix_reuse", matrix_report),
         ("record_microbench", record_report),
+        ("codec_microbench", codec_report),
+        ("link_fault_smoke", link_fault_report),
     ]);
     std::fs::write(&out_path, doc.to_pretty()).expect("write BENCH_campaign.json");
     println!("wrote {out_path}");

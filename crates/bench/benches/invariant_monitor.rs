@@ -57,6 +57,7 @@ fn synthetic_run(offset: f64) -> Trace {
         collision: None,
         fence_violations: 0,
         workload_status: WorkloadStatus::Passed,
+        protocol: Vec::new(),
         duration: 90.0,
     }
 }

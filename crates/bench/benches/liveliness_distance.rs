@@ -47,6 +47,7 @@ fn flat_trace() -> Trace {
         collision: None,
         fence_violations: 0,
         workload_status: WorkloadStatus::Passed,
+        protocol: Vec::new(),
         duration: 60.0,
     }
 }

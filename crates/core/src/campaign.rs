@@ -34,9 +34,9 @@ use crate::monitor::{InvariantMonitor, MonitorConfig};
 use crate::runner::{ExperimentConfig, ExperimentRunner};
 use crate::sabre::SabreConfig;
 use crate::snapshot::{CheckpointConfig, SharedSnapshotTier};
-use crate::strategy::{Strategy, StrategyContext};
+use crate::strategy::{LinkScenarioStrategy, Strategy, StrategyContext};
 use avis_firmware::{BugSet, FirmwareProfile};
-use avis_hinj::FaultPlan;
+use avis_hinj::{FaultPlan, LinkFaultPlan};
 use avis_sim::{SensorNoise, SensorSuiteConfig};
 use avis_workload::{auto_box_mission, ScriptedWorkload};
 use serde::{Deserialize, Serialize};
@@ -159,6 +159,7 @@ enum StrategyChoice {
 pub struct Campaign {
     config: CheckerConfig,
     strategy: StrategyChoice,
+    link: LinkFaultPlan,
     shared: Option<Arc<SharedSnapshotTier>>,
     dispatch: DispatchMode,
     worker_stats: Option<Arc<WorkerStatsCollector>>,
@@ -182,6 +183,13 @@ impl Campaign {
             StrategyChoice::Approach(approach) => (approach.strategy(), Some(approach)),
             StrategyChoice::Custom(strategy) => (strategy, None),
         };
+        if !self.link.is_empty() {
+            // Pin the campaign's link-fault environment under whatever
+            // sensor-fault strategy runs: every proposed and decided plan
+            // carries the same link part, so speculative reuse and the
+            // determinism contract are untouched.
+            strategy = Box::new(LinkScenarioStrategy::new(strategy, self.link));
+        }
         execute_campaign(
             CampaignSpec {
                 experiment: &cfg.experiment,
@@ -235,6 +243,7 @@ pub struct CampaignBuilder {
     seed: u64,
     parallelism: usize,
     strategy: StrategyChoice,
+    link: LinkFaultPlan,
     shared: Option<Arc<SharedSnapshotTier>>,
     dispatch: DispatchMode,
     worker_stats: Option<Arc<WorkerStatsCollector>>,
@@ -257,6 +266,7 @@ impl Default for CampaignBuilder {
             seed: 17,
             parallelism: engine::default_parallelism(),
             strategy: StrategyChoice::Approach(Approach::Avis),
+            link: LinkFaultPlan::empty(),
             shared: None,
             dispatch: DispatchMode::default(),
             worker_stats: None,
@@ -413,6 +423,18 @@ impl CampaignBuilder {
         self
     }
 
+    /// Pins a protocol-fault environment under the campaign: every plan
+    /// the strategy runs — sensor-fault or fault-free — additionally
+    /// carries these link faults, so the campaign explores its search
+    /// space *under* a degraded MAVLink link. Link faults are applied by
+    /// a deterministic shim seeded from the campaign seed; the result
+    /// stays bit-identical at every parallelism and with checkpointing
+    /// on or off. Default: no link faults.
+    pub fn link_faults(mut self, link: LinkFaultPlan) -> Self {
+        self.link = link;
+        self
+    }
+
     /// Finalises the configuration.
     pub fn build(self) -> Campaign {
         let approach = match &self.strategy {
@@ -450,6 +472,7 @@ impl CampaignBuilder {
                 parallelism: self.parallelism,
             },
             strategy: self.strategy,
+            link: self.link,
             shared: self.shared,
             dispatch: self.dispatch,
             worker_stats: self.worker_stats,
@@ -610,6 +633,7 @@ pub(crate) fn execute_campaign(
         labels_evaluated: state.labels,
         symmetry_pruned: pruning.symmetry_pruned,
         found_bug_pruned: pruning.found_bug_pruned,
+        link_scenario: None,
     }
 }
 

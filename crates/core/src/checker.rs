@@ -273,6 +273,12 @@ pub struct CampaignResult {
     pub symmetry_pruned: u64,
     /// Scenarios skipped by found-bug pruning.
     pub found_bug_pruned: u64,
+    /// The link-fault scenario this campaign ran under, when it was a
+    /// cell of a [`crate::matrix::ScenarioMatrix`] link-fault sweep
+    /// (`None` for standalone campaigns, including ones configured
+    /// through [`crate::campaign::CampaignBuilder::link_faults`]).
+    #[serde(default)]
+    pub link_scenario: Option<String>,
 }
 
 impl CampaignResult {

@@ -191,7 +191,9 @@ type Job = (u64, FaultPlan);
 fn prefix_dispatch_key(plan: &FaultPlan) -> (i64, usize, String) {
     let earliest = plan
         .specs()
-        .map(|s| (s.time * 1000.0).round() as i64)
+        .map(|s| s.time)
+        .chain(plan.link_plan().fault_times())
+        .map(|t| (t * 1000.0).round() as i64)
         .min()
         .unwrap_or(i64::MAX);
     (earliest, plan.len(), plan.canonical_key())
@@ -213,6 +215,7 @@ fn family_key(plan: &FaultPlan, bucket_seconds: f64) -> String {
     let Some(deepest) = plan
         .specs()
         .map(|s| s.time)
+        .chain(plan.link_plan().fault_times())
         .fold(None, |acc: Option<f64>, t| {
             Some(acc.map_or(t, |a| a.max(t)))
         })

@@ -106,6 +106,7 @@ pub mod json;
 pub mod matrix;
 pub mod metrics;
 pub mod monitor;
+pub mod protocol;
 pub mod pruning;
 pub mod report;
 pub mod runner;
@@ -123,13 +124,14 @@ pub use monitor::{
     InvariantMonitor, LivelinessEnvelope, ModeDistanceTable, ModeGraph, MonitorConfig, Violation,
     ViolationKind,
 };
+pub use protocol::ProtocolTracker;
 pub use pruning::{PruningState, RoleSignature};
 pub use report::{replay, BugReport, ReplayOutcome};
 pub use runner::{ExperimentConfig, ExperimentRunner, RunResult};
 pub use sabre::{QueueEntry, SabreConfig, SabreQueue};
 pub use snapshot::{CheckpointConfig, CheckpointStats, SharedSnapshotTier, SharedTierStats};
 pub use strategy::{
-    BfiStrategy, Candidate, Decision, Observation, PruningCounters, RandomStrategy, RoundRobinMode,
-    SabreStrategy, Strategy, StrategyContext,
+    BfiStrategy, Candidate, Decision, LinkProbeStrategy, LinkScenarioStrategy, Observation,
+    PruningCounters, RandomStrategy, RoundRobinMode, SabreStrategy, Strategy, StrategyContext,
 };
-pub use trace::{ModeTransition, StateSample, Trace};
+pub use trace::{ModeTransition, ProtocolEvent, ProtocolEventKind, StateSample, Trace};

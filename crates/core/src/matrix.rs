@@ -35,6 +35,7 @@ use crate::checker::{Approach, Budget, CampaignResult};
 use crate::snapshot::{CheckpointConfig, SharedSnapshotTier};
 use crate::strategy::Strategy;
 use avis_firmware::{BugId, BugSet, FirmwareProfile};
+use avis_hinj::LinkFaultPlan;
 use avis_sim::SensorNoise;
 use avis_workload::ScriptedWorkload;
 use serde::{Deserialize, Serialize};
@@ -50,12 +51,16 @@ struct StrategySlot {
     factory: Box<dyn Fn() -> Box<dyn Strategy> + Send>,
 }
 
-/// A firmware × workload × strategy grid of campaigns sharing one budget
-/// and engine configuration. See the [module docs](self) for an example.
+/// A firmware × workload × strategy × link-fault grid of campaigns
+/// sharing one budget and engine configuration. See the [module
+/// docs](self) for an example. The link-fault axis is optional: a matrix
+/// with no [`ScenarioMatrix::link_scenario`] runs every cell over a
+/// clean MAVLink link, exactly as before the axis existed.
 pub struct ScenarioMatrix {
     profiles: Vec<FirmwareProfile>,
     workloads: Vec<ScriptedWorkload>,
     strategies: Vec<StrategySlot>,
+    link_scenarios: Vec<(String, LinkFaultPlan)>,
     bugs: Option<BugSet>,
     budget: Budget,
     profiling_runs: usize,
@@ -72,6 +77,7 @@ impl Default for ScenarioMatrix {
             profiles: Vec::new(),
             workloads: Vec::new(),
             strategies: Vec::new(),
+            link_scenarios: Vec::new(),
             bugs: None,
             budget: Budget::simulations(50),
             profiling_runs: 3,
@@ -149,6 +155,27 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Adds one named link-fault scenario to the protocol-fault axis:
+    /// every firmware × workload × strategy cell is additionally run
+    /// with `plan` pinned under its search (see
+    /// [`crate::campaign::CampaignBuilder::link_faults`]), and the
+    /// cell's [`CampaignResult::link_scenario`] records the name. An
+    /// empty axis runs each cell once over a clean link.
+    pub fn link_scenario(mut self, name: impl Into<String>, plan: LinkFaultPlan) -> Self {
+        self.link_scenarios.push((name.into(), plan));
+        self
+    }
+
+    /// Adds several named link-fault scenarios to the protocol-fault
+    /// axis.
+    pub fn link_scenarios(
+        mut self,
+        scenarios: impl IntoIterator<Item = (String, LinkFaultPlan)>,
+    ) -> Self {
+        self.link_scenarios.extend(scenarios);
+        self
+    }
+
     /// The defects compiled into every cell's firmware. Default: each
     /// profile's "current code base".
     pub fn bugs(mut self, bugs: BugSet) -> Self {
@@ -213,7 +240,10 @@ impl ScenarioMatrix {
         } else {
             self.strategies.len()
         };
-        self.profiles.len().max(1) * self.workloads.len().max(1) * strategies
+        self.profiles.len().max(1)
+            * self.workloads.len().max(1)
+            * strategies
+            * self.link_scenarios.len().max(1)
     }
 
     /// Executes every cell and aggregates the results, discarding events.
@@ -223,7 +253,8 @@ impl ScenarioMatrix {
 
     /// Executes every cell, streaming each campaign's events to
     /// `observer` (cells run sequentially, in strategy → firmware →
-    /// workload order; within a cell events arrive in commit order).
+    /// workload → link-scenario order; within a cell events arrive in
+    /// commit order).
     pub fn run_with_observer(mut self, observer: &mut dyn CampaignObserver) -> MatrixReport {
         if self.profiles.is_empty() {
             self.profiles.push(FirmwareProfile::ArduPilotLike);
@@ -241,45 +272,65 @@ impl ScenarioMatrix {
         // instead of re-recording the fault-free chain.
         let mut tiers: BTreeMap<(usize, usize), Arc<SharedSnapshotTier>> = BTreeMap::new();
         let tier_budget = CheckpointConfig::default().max_bytes;
+        // An empty protocol-fault axis is one unnamed clean-link cell.
+        let link_scenarios: Vec<(Option<String>, LinkFaultPlan)> = if self.link_scenarios.is_empty()
+        {
+            vec![(None, LinkFaultPlan::empty())]
+        } else {
+            self.link_scenarios
+                .iter()
+                .map(|(name, plan)| (Some(name.clone()), plan.clone()))
+                .collect()
+        };
         let mut results = Vec::new();
         for slot in &self.strategies {
             for (profile_idx, &profile) in self.profiles.iter().enumerate() {
                 for (workload_idx, workload) in self.workloads.iter().enumerate() {
-                    let bugs = self
-                        .bugs
-                        .clone()
-                        .unwrap_or_else(|| BugSet::current_code_base(profile));
-                    let mut builder = Campaign::builder()
-                        .firmware(profile)
-                        .bugs(bugs)
-                        .workload(workload.clone())
-                        .budget(self.budget)
-                        .profiling_runs(self.profiling_runs)
-                        .seed(self.seed);
-                    if self.share_snapshots {
-                        let tier = tiers
-                            .entry((profile_idx, workload_idx))
-                            .or_insert_with(|| Arc::new(SharedSnapshotTier::new(tier_budget)));
-                        builder = builder.shared_snapshots(Arc::clone(tier));
+                    for (scenario_name, link_plan) in &link_scenarios {
+                        let bugs = self
+                            .bugs
+                            .clone()
+                            .unwrap_or_else(|| BugSet::current_code_base(profile));
+                        let mut builder = Campaign::builder()
+                            .firmware(profile)
+                            .bugs(bugs)
+                            .workload(workload.clone())
+                            .budget(self.budget)
+                            .profiling_runs(self.profiling_runs)
+                            .seed(self.seed)
+                            .link_faults(link_plan.clone());
+                        if self.share_snapshots {
+                            // Cells over the same firmware × workload pair
+                            // share one tier even across link scenarios:
+                            // combined injection prefixes keep foreign
+                            // snapshots from ever being misapplied, and
+                            // the fault-free chain is reusable up to each
+                            // scenario's first link fault.
+                            let tier = tiers
+                                .entry((profile_idx, workload_idx))
+                                .or_insert_with(|| Arc::new(SharedSnapshotTier::new(tier_budget)));
+                            builder = builder.shared_snapshots(Arc::clone(tier));
+                        }
+                        if let Some(parallelism) = self.parallelism {
+                            builder = builder.parallelism(parallelism);
+                        }
+                        if let Some(max_duration) = self.max_duration {
+                            builder = builder.max_duration(max_duration);
+                        }
+                        if let Some(noise) = self.noise.clone() {
+                            builder = builder.noise(noise);
+                        }
+                        builder = match slot.approach {
+                            Some(approach) => builder.approach(approach),
+                            None => builder.boxed_strategy((slot.factory)()),
+                        };
+                        let mut result = builder.build().run_with_observer(observer);
+                        // Custom strategies may report a different internal
+                        // name; the matrix column name wins in the report.
+                        result.strategy = slot.name.clone();
+                        result.link_scenario = scenario_name.clone();
+                        results.push(result);
                     }
-                    if let Some(parallelism) = self.parallelism {
-                        builder = builder.parallelism(parallelism);
-                    }
-                    if let Some(max_duration) = self.max_duration {
-                        builder = builder.max_duration(max_duration);
-                    }
-                    if let Some(noise) = self.noise.clone() {
-                        builder = builder.noise(noise);
-                    }
-                    builder = match slot.approach {
-                        Some(approach) => builder.approach(approach),
-                        None => builder.boxed_strategy((slot.factory)()),
-                    };
-                    let mut result = builder.build().run_with_observer(observer);
-                    // Custom strategies may report a different internal
-                    // name; the matrix column name wins in the report.
-                    result.strategy = slot.name.clone();
-                    results.push(result);
                 }
             }
         }
@@ -291,7 +342,8 @@ impl ScenarioMatrix {
 /// [`CampaignResult`], plus summary helpers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MatrixReport {
-    /// One result per cell, in strategy → firmware → workload order.
+    /// One result per cell, in strategy → firmware → workload →
+    /// link-scenario order.
     pub results: Vec<CampaignResult>,
 }
 
@@ -401,6 +453,15 @@ mod tests {
             ScenarioMatrix::new().approach(Approach::Avis).cell_count(),
             1
         );
+        // The protocol-fault axis multiplies in like the others.
+        assert_eq!(
+            ScenarioMatrix::new()
+                .approach(Approach::Avis)
+                .link_scenario("clean-ish", LinkFaultPlan::empty())
+                .link_scenario("lossy", LinkFaultPlan::empty())
+                .cell_count(),
+            2
+        );
     }
 
     #[test]
@@ -444,6 +505,7 @@ mod tests {
             labels_evaluated: 0,
             symmetry_pruned: 0,
             found_bug_pruned: 0,
+            link_scenario: None,
         };
         let report = MatrixReport {
             results: vec![

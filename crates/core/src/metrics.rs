@@ -136,6 +136,7 @@ mod tests {
             labels_evaluated: 0,
             symmetry_pruned: 0,
             found_bug_pruned: 0,
+            link_scenario: None,
         }
     }
 

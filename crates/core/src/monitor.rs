@@ -223,6 +223,27 @@ pub enum ViolationKind {
         /// The safe mode that stalled.
         mode: String,
     },
+    /// Protocol violation: the vehicle disarmed (or rebooted) in the air.
+    InAirDisarm {
+        /// Last telemetered altitude before the disarm (m).
+        altitude: f64,
+    },
+    /// Protocol violation: a GCS command was never acknowledged within
+    /// the liveness window.
+    CommandAckTimeout {
+        /// Display name of the unacknowledged command.
+        command: String,
+        /// The liveness window that elapsed (s).
+        window: f64,
+    },
+    /// Protocol violation: after an accepted upload, the mission stored
+    /// on the vehicle differs from the one the workload sent.
+    MissionAliasing {
+        /// Items the workload sent.
+        expected_items: usize,
+        /// Items that match on the vehicle.
+        matching_items: usize,
+    },
 }
 
 impl fmt::Display for ViolationKind {
@@ -241,6 +262,21 @@ impl fmt::Display for ViolationKind {
                 )
             }
             ViolationKind::SafeModeStalled { mode } => write!(f, "safe mode {mode} stalled"),
+            ViolationKind::InAirDisarm { altitude } => {
+                write!(f, "in-air disarm at {altitude:.1} m")
+            }
+            ViolationKind::CommandAckTimeout { command, window } => {
+                write!(f, "{command} unacknowledged for {window:.1} s")
+            }
+            ViolationKind::MissionAliasing {
+                expected_items,
+                matching_items,
+            } => {
+                write!(
+                    f,
+                    "mission aliasing: {matching_items}/{expected_items} items match after accepted upload"
+                )
+            }
         }
     }
 }
@@ -923,6 +959,40 @@ impl InvariantMonitor {
             }
         }
 
+        // Protocol invariants: anomalies the runner's link tracker
+        // recorded map one-to-one onto violations. Appended after the
+        // physical checks so sensor-only campaigns (whose traces carry no
+        // protocol events) see byte-identical output.
+        for event in &trace.protocol {
+            let kind = match &event.kind {
+                crate::trace::ProtocolEventKind::InAirDisarm { altitude } => {
+                    ViolationKind::InAirDisarm {
+                        altitude: *altitude,
+                    }
+                }
+                crate::trace::ProtocolEventKind::AckTimeout {
+                    command, window, ..
+                } => ViolationKind::CommandAckTimeout {
+                    command: command.clone(),
+                    window: *window,
+                },
+                crate::trace::ProtocolEventKind::MissionAliasing {
+                    expected_items,
+                    matching_items,
+                } => ViolationKind::MissionAliasing {
+                    expected_items: *expected_items,
+                    matching_items: *matching_items,
+                },
+            };
+            violations.push(Violation {
+                kind,
+                time: event.time,
+                mode: trace
+                    .mode_at(event.time)
+                    .unwrap_or(OperatingMode::PreFlight),
+            });
+        }
+
         violations
     }
 
@@ -1113,6 +1183,7 @@ mod tests {
             fence_violations: 0,
             workload_status: WorkloadStatus::Passed,
             duration: 100.0,
+            protocol: Vec::new(),
         }
     }
 
@@ -1291,6 +1362,7 @@ mod tests {
             fence_violations: 0,
             workload_status: WorkloadStatus::Passed,
             duration: 10.0,
+            protocol: Vec::new(),
         };
         let monitor = InvariantMonitor::calibrate(vec![empty], MonitorConfig::default());
         assert!(monitor.envelope().is_empty());
@@ -1564,6 +1636,7 @@ mod tests {
                     fence_violations: 0,
                     workload_status: WorkloadStatus::Passed,
                     duration: 100.0,
+                    protocol: Vec::new(),
                 });
             }
             let config = MonitorConfig::default();
@@ -1593,5 +1666,69 @@ mod tests {
             mode: "rtl".to_string(),
         };
         assert!(s.to_string().contains("rtl"));
+        let d = ViolationKind::InAirDisarm { altitude: 12.5 };
+        assert!(d.to_string().contains("12.5"));
+        let a = ViolationKind::CommandAckTimeout {
+            command: "Arm".to_string(),
+            window: 5.0,
+        };
+        assert!(a.to_string().contains("Arm"));
+        let m = ViolationKind::MissionAliasing {
+            expected_items: 6,
+            matching_items: 4,
+        };
+        assert!(m.to_string().contains("4/6"));
+    }
+
+    #[test]
+    fn protocol_events_map_to_violations() {
+        use crate::trace::{ProtocolEvent, ProtocolEventKind};
+        let monitor = calibrated_monitor();
+        let mut run = synthetic_run(0.0);
+        assert!(
+            monitor.check(&run).is_empty(),
+            "the protocol-free run is clean"
+        );
+        run.protocol = vec![
+            ProtocolEvent {
+                time: 30.0,
+                kind: ProtocolEventKind::InAirDisarm { altitude: 12.0 },
+            },
+            ProtocolEvent {
+                time: 40.0,
+                kind: ProtocolEventKind::AckTimeout {
+                    command: "Arm".to_string(),
+                    sent_at: 35.0,
+                    window: 5.0,
+                },
+            },
+            ProtocolEvent {
+                time: 5.0,
+                kind: ProtocolEventKind::MissionAliasing {
+                    expected_items: 6,
+                    matching_items: 4,
+                },
+            },
+        ];
+        let violations = monitor.check(&run);
+        assert_eq!(violations.len(), 3);
+        assert!(matches!(
+            violations[0].kind,
+            ViolationKind::InAirDisarm { altitude } if altitude == 12.0
+        ));
+        assert_eq!(violations[0].time, 30.0);
+        assert!(matches!(
+            violations[1].kind,
+            ViolationKind::CommandAckTimeout { ref command, .. } if command == "Arm"
+        ));
+        assert!(matches!(
+            violations[2].kind,
+            ViolationKind::MissionAliasing {
+                expected_items: 6,
+                matching_items: 4
+            }
+        ));
+        // The mode is looked up from the transition log at the event time.
+        assert_eq!(violations[0].mode, run.mode_at(30.0).unwrap());
     }
 }

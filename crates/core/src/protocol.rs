@@ -1,0 +1,313 @@
+//! Protocol-level invariant tracking on the GCS ↔ vehicle link.
+//!
+//! The [`ProtocolTracker`] rides along with the runner's lock-step loop
+//! and observes the link from the ground station's perspective: the
+//! commands the workload sends (before the fault shim touches them) and
+//! the telemetry that actually arrives. From those two streams it derives
+//! the protocol anomalies of [`crate::trace::ProtocolEventKind`]:
+//!
+//! - **in-air disarm** — the heartbeat's armed flag drops while the last
+//!   telemetered state shows the vehicle airborne (a mid-air reboot or a
+//!   mishandled duplicated arm command),
+//! - **command-ack liveness** — a sent `ArmDisarm` / `SetMode` /
+//!   `CommandTakeoff` that is never acknowledged (accepted *or* rejected)
+//!   within a bounded window,
+//! - **mission aliasing** — after an *accepted* mission upload, the
+//!   mission stored on the vehicle differs from the one the workload
+//!   sent (corrupted or duplicated upload frames silently reshaping the
+//!   flight plan).
+//!
+//! The tracker is deterministic state carried by value inside
+//! [`crate::snapshot::RunSnapshot`], so checkpointed runs observe exactly
+//! what a cold run would.
+
+use crate::trace::{ProtocolEvent, ProtocolEventKind};
+use avis_mavlite::{CommandKind, Message, MissionItem};
+
+/// Altitude (m) above which a disarm observed over telemetry counts as
+/// an in-air disarm rather than a normal post-landing shutdown.
+const IN_AIR_ALTITUDE: f64 = 2.0;
+
+/// Default command-ack liveness window (simulated seconds).
+const DEFAULT_ACK_WINDOW: f64 = 5.0;
+
+/// GCS-side protocol observer: feeds on sent commands and delivered
+/// telemetry, emits [`ProtocolEvent`]s (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct ProtocolTracker {
+    /// Liveness window for command acknowledgements (s).
+    ack_window: f64,
+    /// The armed flag of the last heartbeat the GCS received.
+    armed_seen: Option<bool>,
+    /// Altitude of the last `Status` the GCS received (m).
+    last_altitude: f64,
+    /// Landed flag of the last `Status` the GCS received.
+    last_landed: bool,
+    /// Commands sent but not yet acknowledged, in send order.
+    pending_acks: Vec<(CommandKind, f64)>,
+    /// Mission items of the upload currently in flight, as the workload
+    /// sent them (before any link fault touched the frames).
+    upload: Vec<MissionItem>,
+    /// Anomalies observed so far, in time order.
+    events: Vec<ProtocolEvent>,
+}
+
+impl Default for ProtocolTracker {
+    fn default() -> Self {
+        ProtocolTracker::new()
+    }
+}
+
+impl ProtocolTracker {
+    /// A fresh tracker with the default ack-liveness window.
+    pub fn new() -> Self {
+        ProtocolTracker {
+            ack_window: DEFAULT_ACK_WINDOW,
+            armed_seen: None,
+            last_altitude: 0.0,
+            last_landed: true,
+            pending_acks: Vec::new(),
+            upload: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Observes one command the workload is about to send (called before
+    /// the fault shim, so the tracker records *intent*, not what survives
+    /// the link).
+    pub fn note_sent(&mut self, msg: &Message, now: f64) {
+        match *msg {
+            Message::ArmDisarm { .. } => self.pending_acks.push((CommandKind::Arm, now)),
+            Message::SetMode { .. } => self.pending_acks.push((CommandKind::SetMode, now)),
+            Message::CommandTakeoff { .. } => {
+                self.pending_acks.push((CommandKind::Takeoff, now));
+            }
+            // A new upload handshake supersedes any previous recording.
+            Message::MissionCount { .. } => self.upload.clear(),
+            Message::MissionItemMsg { item } => self.upload.push(item),
+            _ => {}
+        }
+    }
+
+    /// Observes the telemetry delivered to the GCS this step.
+    /// `vehicle_items` is the mission currently stored on the vehicle —
+    /// the ground truth an accepted upload is compared against.
+    pub fn note_delivered(&mut self, msgs: &[Message], now: f64, vehicle_items: &[MissionItem]) {
+        self.expire_pending(now);
+        for msg in msgs {
+            match *msg {
+                Message::Heartbeat { armed, .. } => {
+                    let airborne = !self.last_landed && self.last_altitude > IN_AIR_ALTITUDE;
+                    if self.armed_seen == Some(true) && !armed && airborne {
+                        self.events.push(ProtocolEvent {
+                            time: now,
+                            kind: ProtocolEventKind::InAirDisarm {
+                                altitude: self.last_altitude,
+                            },
+                        });
+                    }
+                    self.armed_seen = Some(armed);
+                }
+                Message::Status {
+                    altitude, landed, ..
+                } => {
+                    self.last_altitude = altitude;
+                    self.last_landed = landed;
+                }
+                // Any ack — accepted or rejected — satisfies liveness for
+                // the oldest matching pending command.
+                Message::CommandAck { command, .. } => {
+                    if let Some(idx) = self.pending_acks.iter().position(|(k, _)| *k == command) {
+                        self.pending_acks.remove(idx);
+                    }
+                }
+                Message::MissionAck { accepted: true } if !self.upload.is_empty() => {
+                    let matching = vehicle_items
+                        .iter()
+                        .zip(self.upload.iter())
+                        .filter(|(a, b)| a == b)
+                        .count();
+                    if vehicle_items.len() != self.upload.len() || matching != self.upload.len() {
+                        self.events.push(ProtocolEvent {
+                            time: now,
+                            kind: ProtocolEventKind::MissionAliasing {
+                                expected_items: self.upload.len(),
+                                matching_items: matching,
+                            },
+                        });
+                    }
+                    self.upload.clear();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Expires pending commands whose ack window has elapsed, recording
+    /// one [`ProtocolEventKind::AckTimeout`] per expired command in send
+    /// order.
+    fn expire_pending(&mut self, now: f64) {
+        let window = self.ack_window;
+        let mut expired = Vec::new();
+        self.pending_acks.retain(|&(kind, sent_at)| {
+            if now - sent_at >= window {
+                expired.push((kind, sent_at));
+                false
+            } else {
+                true
+            }
+        });
+        for (kind, sent_at) in expired {
+            self.events.push(ProtocolEvent {
+                time: now,
+                kind: ProtocolEventKind::AckTimeout {
+                    command: format!("{kind:?}"),
+                    sent_at,
+                    window,
+                },
+            });
+        }
+    }
+
+    /// The anomalies observed so far, in time order.
+    pub fn events(&self) -> &[ProtocolEvent] {
+        &self.events
+    }
+
+    /// Consumes the tracker, yielding the recorded events (the runner
+    /// moves them into the run's [`crate::trace::Trace`]).
+    pub fn into_events(self) -> Vec<ProtocolEvent> {
+        self.events
+    }
+
+    /// Approximate heap bytes held (snapshot accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.pending_acks.len() * std::mem::size_of::<(CommandKind, f64)>()
+            + self.upload.len() * std::mem::size_of::<MissionItem>()
+            + self.events.len() * std::mem::size_of::<ProtocolEvent>()
+            + 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avis_mavlite::{AckResult, MissionCommand, ProtocolMode};
+
+    fn status(altitude: f64, landed: bool) -> Message {
+        Message::Status {
+            x: 0.0,
+            y: 0.0,
+            altitude,
+            climb_rate: 0.0,
+            mission_seq: 0,
+            landed,
+        }
+    }
+
+    fn heartbeat(armed: bool) -> Message {
+        Message::Heartbeat {
+            mode: ProtocolMode::Auto,
+            armed,
+        }
+    }
+
+    #[test]
+    fn in_air_disarm_is_detected_from_telemetry() {
+        let mut tracker = ProtocolTracker::new();
+        tracker.note_delivered(&[heartbeat(true), status(18.0, false)], 10.0, &[]);
+        tracker.note_delivered(&[heartbeat(false)], 10.1, &[]);
+        assert_eq!(tracker.events().len(), 1);
+        assert!(matches!(
+            tracker.events()[0].kind,
+            ProtocolEventKind::InAirDisarm { altitude } if altitude == 18.0
+        ));
+    }
+
+    #[test]
+    fn post_landing_disarm_is_not_an_anomaly() {
+        let mut tracker = ProtocolTracker::new();
+        tracker.note_delivered(&[heartbeat(true), status(0.1, true)], 50.0, &[]);
+        tracker.note_delivered(&[heartbeat(false)], 50.1, &[]);
+        assert!(tracker.events().is_empty());
+    }
+
+    #[test]
+    fn unacknowledged_command_times_out() {
+        let mut tracker = ProtocolTracker::new();
+        tracker.note_sent(&Message::ArmDisarm { arm: true }, 1.0);
+        tracker.note_delivered(&[], 3.0, &[]);
+        assert!(tracker.events().is_empty(), "window not yet elapsed");
+        tracker.note_delivered(&[], 6.5, &[]);
+        assert_eq!(tracker.events().len(), 1);
+        assert!(matches!(
+            &tracker.events()[0].kind,
+            ProtocolEventKind::AckTimeout { command, sent_at, .. }
+                if command == "Arm" && *sent_at == 1.0
+        ));
+    }
+
+    #[test]
+    fn any_ack_satisfies_liveness() {
+        let mut tracker = ProtocolTracker::new();
+        tracker.note_sent(
+            &Message::SetMode {
+                mode: ProtocolMode::Auto,
+            },
+            1.0,
+        );
+        tracker.note_delivered(
+            &[Message::CommandAck {
+                command: CommandKind::SetMode,
+                result: AckResult::Rejected,
+            }],
+            1.1,
+            &[],
+        );
+        tracker.note_delivered(&[], 20.0, &[]);
+        assert!(tracker.events().is_empty());
+    }
+
+    #[test]
+    fn mission_aliasing_fires_when_stored_mission_differs() {
+        let sent = vec![
+            MissionItem {
+                seq: 0,
+                command: MissionCommand::Takeoff { altitude: 20.0 },
+            },
+            MissionItem {
+                seq: 1,
+                command: MissionCommand::Land,
+            },
+        ];
+        let mut tracker = ProtocolTracker::new();
+        tracker.note_sent(&Message::MissionCount { count: 2 }, 1.0);
+        for item in &sent {
+            tracker.note_sent(&Message::MissionItemMsg { item: *item }, 1.0);
+        }
+        // The vehicle stored a duplicated first item: one of two matches.
+        let stored = vec![sent[0], sent[0]];
+        tracker.note_delivered(&[Message::MissionAck { accepted: true }], 2.0, &stored);
+        assert_eq!(tracker.events().len(), 1);
+        assert!(matches!(
+            tracker.events()[0].kind,
+            ProtocolEventKind::MissionAliasing {
+                expected_items: 2,
+                matching_items: 1,
+            }
+        ));
+    }
+
+    #[test]
+    fn faithful_upload_is_silent() {
+        let sent = vec![MissionItem {
+            seq: 0,
+            command: MissionCommand::Land,
+        }];
+        let mut tracker = ProtocolTracker::new();
+        tracker.note_sent(&Message::MissionCount { count: 1 }, 1.0);
+        tracker.note_sent(&Message::MissionItemMsg { item: sent[0] }, 1.0);
+        tracker.note_delivered(&[Message::MissionAck { accepted: true }], 2.0, &sent);
+        assert!(tracker.events().is_empty());
+    }
+}

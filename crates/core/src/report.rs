@@ -189,6 +189,23 @@ fn violation_to_json(v: &Violation) -> Json {
             ("type", Json::String("safe_mode_stalled".to_string())),
             ("mode", Json::String(mode.clone())),
         ]),
+        ViolationKind::InAirDisarm { altitude } => json::object(vec![
+            ("type", Json::String("in_air_disarm".to_string())),
+            ("altitude", Json::Number(*altitude)),
+        ]),
+        ViolationKind::CommandAckTimeout { command, window } => json::object(vec![
+            ("type", Json::String("command_ack_timeout".to_string())),
+            ("command", Json::String(command.clone())),
+            ("window", Json::Number(*window)),
+        ]),
+        ViolationKind::MissionAliasing {
+            expected_items,
+            matching_items,
+        } => json::object(vec![
+            ("type", Json::String("mission_aliasing".to_string())),
+            ("expected_items", Json::Number(*expected_items as f64)),
+            ("matching_items", Json::Number(*matching_items as f64)),
+        ]),
     };
     json::object(vec![
         ("kind", kind),
@@ -209,6 +226,17 @@ fn violation_from_json(doc: &Json) -> Result<Violation, JsonError> {
         },
         "safe_mode_stalled" => ViolationKind::SafeModeStalled {
             mode: require_str(kind_doc, "mode")?.to_string(),
+        },
+        "in_air_disarm" => ViolationKind::InAirDisarm {
+            altitude: require_f64(kind_doc, "altitude")?,
+        },
+        "command_ack_timeout" => ViolationKind::CommandAckTimeout {
+            command: require_str(kind_doc, "command")?.to_string(),
+            window: require_f64(kind_doc, "window")?,
+        },
+        "mission_aliasing" => ViolationKind::MissionAliasing {
+            expected_items: require_f64(kind_doc, "expected_items")? as usize,
+            matching_items: require_f64(kind_doc, "matching_items")? as usize,
         },
         other => return Err(schema_error(format!("unknown violation type `{other}`"))),
     };

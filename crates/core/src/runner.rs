@@ -3,19 +3,28 @@
 //! and records the [`Trace`] (the `RunExperiment` procedure of
 //! Algorithm 1, and the step loop of Figure 7).
 
+use crate::protocol::ProtocolTracker;
 use crate::snapshot::{
     injection_prefix, ChainParent, CheckpointConfig, CheckpointStats, RunSnapshot,
     SharedSnapshotTier, SnapshotCache,
 };
 use crate::trace::{transition_from_code, ModeTransition, StateSample, Trace};
 use avis_firmware::{BugId, BugSet, Firmware, FirmwareProfile};
-use avis_hinj::{FaultInjector, FaultPlan, SharedInjector};
-use avis_mavlite::Message;
+use avis_hinj::{FaultInjector, FaultPlan, FaultyLink, LinkSnapshot, SharedInjector};
+use avis_mavlite::{Endpoint, Message};
 use avis_sim::simulator::{SimConfig, Simulator, StepOutput};
-use avis_sim::{CowVec, MotorCommands, SensorNoise};
+use avis_sim::{CowVec, MotorCommands, SensorNoise, SimRng};
 use avis_workload::{ScriptedWorkload, WorkloadStatus};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Salt folded into the link fault shim's RNG seed so its stream is
+/// independent of the simulator's sensor-noise stream derived from the
+/// same experiment seed. Never derived from the fault plan: two plans
+/// sharing an injection prefix must consume identical link-RNG streams
+/// up to the first divergent fault, which is what makes checkpointed
+/// link-fault runs bit-identical to cold ones.
+const LINK_RNG_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Configuration of an experiment: which firmware, which injected defects,
 /// which workload, and the simulation parameters shared by every run.
@@ -272,11 +281,18 @@ impl ExperimentRunner {
             None
         };
 
-        let mut telemetry: Vec<Message> = Vec::new();
+        // The workload's commands and the firmware's telemetry cross a
+        // fault shim around the MAVLite link; its plan travels inside the
+        // [`FaultPlan`] and is swapped at restore exactly like the sensor
+        // injector's.
+        let link_plan = plan.link_plan().clone();
+        let mut outbox: Vec<Message> = Vec::new();
         let (
             mut sim,
             injector,
             mut firmware,
+            mut link,
+            mut tracker,
             mut workload,
             mut samples,
             mut output,
@@ -291,6 +307,8 @@ impl ExperimentRunner {
                     sim: sim_snap,
                     firmware: firmware_snap,
                     injector: injector_snap,
+                    link: link_snap,
+                    tracker: tracker_snap,
                     workload: workload_snap,
                     samples: samples_snap,
                     output: output_snap,
@@ -303,6 +321,8 @@ impl ExperimentRunner {
                 injector = SharedInjector::new(injector_snap.into_restored_with_plan(plan));
                 firmware = firmware_snap.into_restored(injector.clone());
                 sim = sim_snap.into_restored();
+                link = link_snap.into_restored_with_plan(link_plan);
+                tracker = tracker_snap;
                 workload = workload_snap;
                 samples = samples_snap;
                 output = output_snap;
@@ -326,6 +346,11 @@ impl ExperimentRunner {
                 sim = Simulator::new_shared(sim_config, cfg.workload.shared_environment());
                 injector = SharedInjector::new(FaultInjector::new(plan));
                 firmware = Firmware::new(cfg.profile, cfg.bugs.clone(), injector.clone());
+                link = FaultyLink::new(
+                    link_plan,
+                    SimRng::seed_from_u64(cfg.seed.wrapping_add(seed_offset) ^ LINK_RNG_SALT),
+                );
+                tracker = ProtocolTracker::new();
                 workload = cfg.workload.fresh();
 
                 // Pre-size the trace for the full run and reuse the
@@ -380,6 +405,8 @@ impl ExperimentRunner {
                     sim: sim.snapshot(),
                     firmware: firmware.snapshot(),
                     injector: injector.snapshot(),
+                    link: LinkSnapshot::capture(&link),
+                    tracker: tracker.clone(),
                     workload: workload.clone(),
                     // Seal the sample tail into a shared chunk: the
                     // snapshot (and every later one along this chain)
@@ -419,10 +446,26 @@ impl ExperimentRunner {
                     anchor_idx += 1;
                 }
             }
-            // Ground-station side: deliver telemetry, collect commands.
-            firmware.drain_outbox_into(&mut telemetry);
+            // Ground-station exchange, both legs crossing the fault shim:
+            // vehicle telemetry travels to the GCS, workload commands
+            // travel back — dropped, duplicated, reordered, corrupted,
+            // delayed or stormed as the link plan dictates. With no link
+            // faults the shim is a lossless wire round-trip.
+            firmware.drain_outbox_into(&mut outbox);
+            for msg in &outbox {
+                link.send(Endpoint::Vehicle, msg, time);
+            }
+            let telemetry = link.deliver(Endpoint::GroundStation, time);
+            tracker.note_delivered(&telemetry, time, firmware.mission().items());
             let (commands, status) = workload.tick(&telemetry, time);
-            firmware.handle_messages(commands.iter());
+            for msg in &commands {
+                // The tracker records *intent* — what the workload sent —
+                // before the shim decides what survives the link.
+                tracker.note_sent(msg, time);
+                link.send(Endpoint::GroundStation, msg, time);
+            }
+            let inbound = link.deliver(Endpoint::Vehicle, time);
+            firmware.handle_messages(inbound.iter());
             workload_status = status;
             if workload_status.is_terminal() {
                 let since = *terminal_since.get_or_insert(time);
@@ -465,6 +508,7 @@ impl ExperimentRunner {
             fence_violations,
             workload_status,
             duration,
+            protocol: tracker.into_events(),
         };
         let mut triggered_defects: Vec<BugId> = firmware
             .defect_log()

@@ -81,9 +81,12 @@
 //! profiling runs each use a distinct sensor-noise seed and execute once,
 //! so caching them would only consume budget.
 
+use crate::protocol::ProtocolTracker;
 use crate::trace::StateSample;
 use avis_firmware::{FirmwareDelta, FirmwareSnapshot};
-use avis_hinj::{FaultPlan, FaultSpec, InjectorDelta, InjectorSnapshot};
+use avis_hinj::{
+    FaultPlan, FaultSpec, InjectorDelta, InjectorSnapshot, LinkDelta, LinkFaultSpec, LinkSnapshot,
+};
 use avis_sim::simulator::StepOutput;
 use avis_sim::{CowDelta, CowVec, PackedStepOutput, SensorReading, SimDelta, SimSnapshot};
 use avis_workload::{ScriptedWorkload, WorkloadStatus};
@@ -210,20 +213,55 @@ impl CheckpointConfig {
     }
 }
 
+/// The failures of a plan scheduled strictly before a cut time, across
+/// *both* injection surfaces: sensor failures and protocol-level link
+/// faults. Two plans with equal prefixes at `t` drive bit-identical
+/// executions on `[0, t)` — the link fault shim, like the sensor
+/// injector, only consults faults scheduled before the current step.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InjectionPrefix {
+    pub(crate) sensor: Vec<FaultSpec>,
+    pub(crate) link: Vec<LinkFaultSpec>,
+}
+
+impl InjectionPrefix {
+    /// Whether no failure of either surface precedes the cut.
+    pub fn is_empty(&self) -> bool {
+        self.sensor.is_empty() && self.link.is_empty()
+    }
+
+    /// Total number of failures in the prefix (both surfaces).
+    pub fn len(&self) -> usize {
+        self.sensor.len() + self.link.len()
+    }
+}
+
 /// The failures of `plan` scheduled strictly before `t` — the *injection
 /// prefix* that fully determines the run's behaviour on `[0, t)`.
 /// (A failure scheduled exactly at `t` first fires at the firmware step
 /// at `t`, which happens after a snapshot taken at loop-top time `t`.)
-pub(crate) fn injection_prefix(plan: &FaultPlan, t: f64) -> Vec<FaultSpec> {
-    plan.specs().filter(|s| s.time < t).collect()
+pub(crate) fn injection_prefix(plan: &FaultPlan, t: f64) -> InjectionPrefix {
+    InjectionPrefix {
+        sensor: plan.specs().filter(|s| s.time < t).collect(),
+        link: plan
+            .link_plan()
+            .specs()
+            .iter()
+            .filter(|s| s.time < t)
+            .copied()
+            .collect(),
+    }
 }
 
 /// The millisecond-quantised cache key of an injection prefix. Purely a
 /// lookup key: before a snapshot is reused, the exact (`f64`) prefixes
 /// are compared, so two plans that collide in quantised space can never
-/// contaminate each other's results.
-pub(crate) fn prefix_cache_key(prefix: &[FaultSpec]) -> String {
+/// contaminate each other's results. Link faults contribute their
+/// canonical parts, so a link-fault plan's snapshots can never collide
+/// with a sensor-only sibling's.
+pub(crate) fn prefix_cache_key(prefix: &InjectionPrefix) -> String {
     let mut parts: Vec<String> = prefix
+        .sensor
         .iter()
         .map(|s| {
             format!(
@@ -234,6 +272,7 @@ pub(crate) fn prefix_cache_key(prefix: &[FaultSpec]) -> String {
             )
         })
         .collect();
+    parts.extend(prefix.link.iter().map(|s| s.canonical_part()));
     parts.sort();
     parts.join("|")
 }
@@ -254,6 +293,11 @@ pub struct RunSnapshot {
     pub(crate) firmware: FirmwareSnapshot,
     /// Injector state (records + read counters; plan swapped at restore).
     pub(crate) injector: InjectorSnapshot,
+    /// Link fault-shim state (queues, seq counters, RNG stream, storm
+    /// dedup; link plan swapped at restore exactly like the injector's).
+    pub(crate) link: LinkSnapshot,
+    /// GCS-side protocol-invariant tracker state.
+    pub(crate) tracker: ProtocolTracker,
     /// Workload runtime state (script progress, seen telemetry).
     pub(crate) workload: ScriptedWorkload,
     /// Trace samples recorded so far (chunk-shared with the recording
@@ -273,7 +317,7 @@ pub struct RunSnapshot {
     /// clock.
     pub(crate) time: f64,
     /// The exact injection prefix of the recording run at `time`.
-    pub(crate) prefix: Vec<FaultSpec>,
+    pub(crate) prefix: InjectionPrefix,
 }
 
 impl RunSnapshot {
@@ -283,7 +327,7 @@ impl RunSnapshot {
     }
 
     /// The exact injection prefix the snapshot was recorded under.
-    pub fn prefix(&self) -> &[FaultSpec] {
+    pub fn prefix(&self) -> &InjectionPrefix {
         &self.prefix
     }
 
@@ -295,9 +339,12 @@ impl RunSnapshot {
         self.sim.approx_bytes()
             + self.firmware.approx_bytes()
             + self.injector.approx_bytes()
+            + self.link.approx_bytes()
+            + self.tracker.approx_bytes()
             + self.samples.exclusive_bytes()
             + self.output.readings.len() * std::mem::size_of::<SensorReading>()
-            + self.prefix.len() * std::mem::size_of::<FaultSpec>()
+            + self.prefix.sensor.len() * std::mem::size_of::<FaultSpec>()
+            + self.prefix.link.len() * std::mem::size_of::<LinkFaultSpec>()
             // Workload runtime state plus per-snapshot bookkeeping. The
             // script itself (steps, environment) is Arc-shared, not copied.
             + 1024
@@ -326,6 +373,8 @@ impl RunSnapshot {
             sim: self.sim.diff(&prev.sim),
             firmware: self.firmware.diff(&prev.firmware),
             injector: self.injector.diff(&prev.injector),
+            link: self.link.diff(&prev.link),
+            tracker: self.tracker.clone(),
             workload: self.workload.clone(),
             samples: self.samples.delta_from(&prev.samples),
             output: PackedStepOutput::pack(&self.output),
@@ -347,6 +396,8 @@ impl RunSnapshot {
             sim: self.sim.apply(&delta.sim),
             firmware: self.firmware.apply(&delta.firmware),
             injector: self.injector.apply(&delta.injector),
+            link: self.link.apply(&delta.link),
+            tracker: delta.tracker.clone(),
             workload: delta.workload.clone(),
             samples: CowVec::apply_delta(&self.samples, &delta.samples),
             output: delta.output.unpack(),
@@ -370,6 +421,8 @@ pub struct RunDelta {
     sim: SimDelta,
     firmware: FirmwareDelta,
     injector: InjectorDelta,
+    link: LinkDelta,
+    tracker: ProtocolTracker,
     workload: ScriptedWorkload,
     samples: CowDelta<StateSample>,
     output: PackedStepOutput,
@@ -378,7 +431,7 @@ pub struct RunDelta {
     workload_status: WorkloadStatus,
     terminal_since: Option<f64>,
     time: f64,
-    prefix: Vec<FaultSpec>,
+    prefix: InjectionPrefix,
 }
 
 impl RunDelta {
@@ -395,9 +448,12 @@ impl RunDelta {
         self.sim.approx_bytes()
             + self.firmware.approx_bytes()
             + self.injector.approx_bytes()
+            + self.link.approx_bytes()
+            + self.tracker.approx_bytes()
             + self.samples.exclusive_bytes()
             + self.output.approx_bytes()
-            + self.prefix.len() * std::mem::size_of::<FaultSpec>()
+            + self.prefix.sensor.len() * std::mem::size_of::<FaultSpec>()
+            + self.prefix.link.len() * std::mem::size_of::<LinkFaultSpec>()
             // Workload runtime state plus per-delta bookkeeping (the
             // script itself is Arc-shared, not copied).
             + 256
@@ -483,14 +539,18 @@ impl ChunkLedger {
 /// materialising delta-encoded entries.
 fn deepest_entry<'a, V>(
     entries: &'a BTreeMap<SnapshotKey, V>,
-    meta_of: impl for<'v> Fn(&'v V) -> (f64, &'v [FaultSpec]),
+    meta_of: impl for<'v> Fn(&'v V) -> (f64, &'v InjectionPrefix),
     seed_offset: u64,
     plan: &FaultPlan,
 ) -> Option<(f64, &'a SnapshotKey)> {
-    // The plan's prefix only changes at its own failure times, so there
-    // are at most `plan.len() + 1` distinct prefixes to probe; probe each
-    // one's chain from its deepest snapshot down.
-    let mut boundaries: Vec<f64> = plan.specs().map(|s| s.time).collect();
+    // The plan's prefix only changes at its own failure times — sensor
+    // *or* link — so there are at most `plan.len() + 1` distinct prefixes
+    // to probe; probe each one's chain from its deepest snapshot down.
+    let mut boundaries: Vec<f64> = plan
+        .specs()
+        .map(|s| s.time)
+        .chain(plan.link_plan().fault_times())
+        .collect();
     boundaries.sort_by(|a, b| a.partial_cmp(b).expect("fault times are finite"));
     boundaries.dedup();
     // `injection_prefix` is strict (`time < probe`), so probing at
@@ -524,7 +584,7 @@ fn deepest_entry<'a, V>(
             // rejects both quantisation collisions and snapshots cut
             // *after* one of the plan's failures that the recording run
             // did not inject.
-            if injection_prefix(plan, time) == recorded_prefix {
+            if injection_prefix(plan, time) == *recorded_prefix {
                 if best.is_none_or(|(t, _)| time > t) {
                     best = Some((time, entry_key));
                 }
@@ -572,7 +632,7 @@ struct CacheEntry {
     /// materialise a delta chain.
     time: f64,
     /// Exact injection prefix at the cut — the probe's validity guard.
-    prefix: Vec<FaultSpec>,
+    prefix: InjectionPrefix,
     /// Chain depth: 0 for a keyframe, parent depth + 1 for a delta.
     depth: usize,
     bytes: usize,
@@ -703,13 +763,8 @@ impl SnapshotCache {
         seed_offset: u64,
         plan: &FaultPlan,
     ) -> Option<(f64, SnapshotKey)> {
-        deepest_entry(
-            &self.entries,
-            |e| (e.time, e.prefix.as_slice()),
-            seed_offset,
-            plan,
-        )
-        .map(|(t, k)| (t, k.clone()))
+        deepest_entry(&self.entries, |e| (e.time, &e.prefix), seed_offset, plan)
+            .map(|(t, k)| (t, k.clone()))
     }
 
     /// The chain of keys from `key` down to (and including) its keyframe.
@@ -1003,7 +1058,7 @@ impl SharedSnapshotTier {
         let map = self.current();
         deepest_entry(
             &map,
-            |e| (e.snapshot.time, e.snapshot.prefix.as_slice()),
+            |e| (e.snapshot.time, &e.snapshot.prefix),
             seed_offset,
             plan,
         )
@@ -1023,7 +1078,7 @@ impl SharedSnapshotTier {
         let map = self.current();
         let (time, key) = deepest_entry(
             &map,
-            |e| (e.snapshot.time, e.snapshot.prefix.as_slice()),
+            |e| (e.snapshot.time, &e.snapshot.prefix),
             seed_offset,
             plan,
         )?;
@@ -1112,6 +1167,13 @@ mod tests {
         FaultSpec::new(SensorInstance::new(kind, index), time)
     }
 
+    fn sensor_prefix(sensor: Vec<FaultSpec>) -> InjectionPrefix {
+        InjectionPrefix {
+            sensor,
+            link: Vec::new(),
+        }
+    }
+
     #[test]
     fn injection_prefix_is_strictly_before_the_cut() {
         let plan = FaultPlan::from_specs(vec![
@@ -1126,23 +1188,49 @@ mod tests {
     }
 
     #[test]
+    fn injection_prefix_covers_link_faults() {
+        use avis_hinj::{LinkDirection, LinkFaultKind, LinkFaultSpec};
+        let plan = FaultPlan::from_specs(vec![spec(SensorKind::Gps, 0, 25.0)]).with_link(
+            LinkFaultSpec::new(
+                LinkFaultKind::Drop {
+                    duration: 2.0,
+                    probability: 1.0,
+                },
+                LinkDirection::ToVehicle,
+                15.0,
+            ),
+        );
+        assert!(injection_prefix(&plan, 10.0).is_empty());
+        // The link fault at 15 s enters the prefix before the sensor one.
+        assert_eq!(injection_prefix(&plan, 15.0).len(), 0);
+        assert_eq!(injection_prefix(&plan, 20.0).len(), 1);
+        assert_eq!(injection_prefix(&plan, 30.0).len(), 2);
+        // Link faults change the cache key: a link-fault plan's snapshots
+        // can never be served to a sensor-only sibling.
+        let with_link = injection_prefix(&plan, 20.0);
+        let without = sensor_prefix(Vec::new());
+        assert_ne!(prefix_cache_key(&with_link), prefix_cache_key(&without));
+        assert!(prefix_cache_key(&with_link).contains("link:drop:tv"));
+    }
+
+    #[test]
     fn prefix_cache_key_is_order_independent_and_quantised() {
-        let a = vec![
+        let a = sensor_prefix(vec![
             spec(SensorKind::Gps, 0, 10.0),
             spec(SensorKind::Barometer, 1, 20.0),
-        ];
-        let b = vec![
+        ]);
+        let b = sensor_prefix(vec![
             spec(SensorKind::Barometer, 1, 20.0),
             spec(SensorKind::Gps, 0, 10.0),
-        ];
+        ]);
         assert_eq!(prefix_cache_key(&a), prefix_cache_key(&b));
-        assert_eq!(prefix_cache_key(&[]), "");
-        let c = vec![spec(SensorKind::Gps, 0, 10.0001)];
-        let d = vec![spec(SensorKind::Gps, 0, 10.0004)];
+        assert_eq!(prefix_cache_key(&InjectionPrefix::default()), "");
+        let c = sensor_prefix(vec![spec(SensorKind::Gps, 0, 10.0001)]);
+        let d = sensor_prefix(vec![spec(SensorKind::Gps, 0, 10.0004)]);
         // Sub-millisecond times collide in key space by design…
         assert_eq!(prefix_cache_key(&c), prefix_cache_key(&d));
         // …and differ at millisecond granularity.
-        let e = vec![spec(SensorKind::Gps, 0, 10.001)];
+        let e = sensor_prefix(vec![spec(SensorKind::Gps, 0, 10.001)]);
         assert_ne!(prefix_cache_key(&c), prefix_cache_key(&e));
     }
 

@@ -43,11 +43,13 @@
 //!   a wrong hint costs time, not correctness.
 
 mod bfi;
+mod link;
 mod random;
 mod round_robin;
 mod sabre_strategy;
 
 pub use bfi::BfiStrategy;
+pub use link::{LinkProbeStrategy, LinkScenarioStrategy};
 pub use random::RandomStrategy;
 pub use round_robin::RoundRobinMode;
 pub use sabre_strategy::SabreStrategy;

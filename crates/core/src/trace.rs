@@ -35,6 +35,47 @@ pub struct ModeTransition {
     pub mode: OperatingMode,
 }
 
+/// A protocol-level anomaly observed on the GCS ↔ vehicle link during a
+/// run, recorded by the runner's protocol tracker and mapped to
+/// violations by the invariant monitor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolEvent {
+    /// Time of the observation (s).
+    pub time: f64,
+    /// What was observed.
+    pub kind: ProtocolEventKind,
+}
+
+/// The kinds of protocol anomalies the runner tracks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProtocolEventKind {
+    /// The GCS observed the vehicle disarm (heartbeat armed → disarmed)
+    /// while telemetry showed it airborne — an in-air reboot/disarm.
+    InAirDisarm {
+        /// Last telemetered altitude before the disarm (m).
+        altitude: f64,
+    },
+    /// A command the workload sent was never acknowledged within the
+    /// liveness window.
+    AckTimeout {
+        /// Display name of the unacknowledged command.
+        command: String,
+        /// Time the command was sent (s).
+        sent_at: f64,
+        /// The liveness window that elapsed without an ack (s).
+        window: f64,
+    },
+    /// After an accepted mission upload, the mission stored on the
+    /// vehicle differs from the one the workload sent (item aliasing
+    /// from corrupted or duplicated upload frames).
+    MissionAliasing {
+        /// Items the workload sent.
+        expected_items: usize,
+        /// Items (of those comparable) that match on the vehicle.
+        matching_items: usize,
+    },
+}
+
 /// The complete record of one simulated test run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
@@ -52,6 +93,10 @@ pub struct Trace {
     pub workload_status: WorkloadStatus,
     /// Total simulated duration (s).
     pub duration: f64,
+    /// Protocol anomalies observed on the link, in time order (empty for
+    /// runs without link-fault instrumentation).
+    #[serde(default)]
+    pub protocol: Vec<ProtocolEvent>,
 }
 
 impl Trace {
@@ -174,6 +219,7 @@ mod tests {
             fence_violations: 0,
             workload_status: WorkloadStatus::Passed,
             duration: 1.5,
+            protocol: Vec::new(),
         }
     }
 
@@ -199,6 +245,7 @@ mod tests {
             fence_violations: 0,
             workload_status: WorkloadStatus::Running,
             duration: 0.0,
+            protocol: Vec::new(),
         };
         assert!(trace.sample_at(0.0).is_none());
         assert!(trace.is_empty());

@@ -65,6 +65,11 @@ pub enum BugId {
     Apm5428,
     Apm9349,
     Px413291,
+    // Seeded protocol-level defects (PR 6). Not part of the paper's
+    // sensor-bug catalog — deliberately excluded from `UNKNOWN`, `KNOWN`
+    // and `all()` so the Table II/V accounting stays exact — and only
+    // reachable through link-fault campaigns.
+    ProtoDoubleArm,
 }
 
 impl BugId {
@@ -116,6 +121,7 @@ impl BugId {
             BugId::Apm5428 => "APM-5428",
             BugId::Apm9349 => "APM-9349",
             BugId::Px413291 => "PX4-13291",
+            BugId::ProtoDoubleArm => "PROTO-101",
         }
     }
 
@@ -303,6 +309,25 @@ impl BugId {
                  without a position estimate and the vehicle departs (requires a \
                  GPS failure followed by a battery failure).",
                 true,
+            ),
+            BugId::ProtoDoubleArm => BugInfo::new(
+                self,
+                ArduPilotLike,
+                Crash,
+                // Not a sensor bug: the trigger is a duplicated ArmDisarm
+                // on the command link, which the sensor-fault model cannot
+                // express. The sensor field is a placeholder required by
+                // the table schema.
+                Gps,
+                Waypoint,
+                "Duplicated ArmDisarm while armed",
+                "The arm-command handler does not treat an arm request as \
+                 idempotent: a duplicated (or storm-replayed) ArmDisarm{arm} \
+                 received while already armed toggles the motors off and drops \
+                 the firmware back to pre-flight mid-air, acknowledging the \
+                 command as accepted. Only reachable by duplicating or \
+                 storming GCS commands on the link.",
+                false,
             ),
         }
     }

@@ -175,6 +175,10 @@ impl DefectEngine {
                 // failsafe engages.
                 primary(K::Gps) && ctx.health.kind_failed(K::Battery) && ctx.battery_failsafe_fired
             }
+            // Protocol defects never trigger through the per-step sensor
+            // evaluation; they live in the message handlers (see
+            // `Firmware::handle_arm`).
+            BugId::ProtoDoubleArm => false,
         }
     }
 
@@ -330,6 +334,8 @@ impl DefectEngine {
                     altitude: est.altitude.max(10.0),
                 });
             }
+            // Handled in the message path, not the control loop.
+            BugId::ProtoDoubleArm => {}
         }
     }
 }

@@ -9,7 +9,7 @@
 //! and the mixer produces motor outputs that are handed back to the
 //! simulator.
 
-use crate::bugs::BugSet;
+use crate::bugs::{BugId, BugSet};
 use crate::defects::{DefectContext, DefectEngine, DefectOverrides};
 use crate::estimator::{EstimatorState, StateEstimator};
 use crate::failsafe::{FailsafeCause, FailsafeEngine, FailsafeEvent};
@@ -483,6 +483,29 @@ impl Firmware {
         if !arm {
             self.armed = false;
             self.transition_to(OperatingMode::PreFlight);
+            self.outbox.push(Message::CommandAck {
+                command: CommandKind::Arm,
+                result: AckResult::Accepted,
+            });
+            return;
+        }
+        // Seeded protocol defect (PROTO-101): the arm handler is not
+        // idempotent. A correct firmware re-acknowledges an arm request
+        // received while armed and changes nothing; the buggy one treats
+        // it as a toggle, disarming the motors mid-air. The stock path
+        // below is safe — `prearm_checks_pass` rejects arm-while-armed —
+        // so this branch is only reachable when the defect is enabled
+        // *and* a link fault duplicates or storms the arm command.
+        if self.armed && self.defects.bugs().is_enabled(BugId::ProtoDoubleArm) {
+            self.armed = false;
+            self.transition_to(OperatingMode::PreFlight);
+            self.defect_log.push((
+                self.time,
+                DefectOverrides {
+                    active: vec![BugId::ProtoDoubleArm],
+                    ..Default::default()
+                },
+            ));
             self.outbox.push(Message::CommandAck {
                 command: CommandKind::Arm,
                 result: AckResult::Accepted,
@@ -1016,6 +1039,54 @@ mod tests {
         );
         assert!((sim.physical_state().position.z - 15.0).abs() < 3.0);
         assert!(sim.first_collision().is_none());
+    }
+
+    #[test]
+    fn duplicated_arm_is_idempotent_on_stock_firmware() {
+        let (mut fw, _) = make_firmware(BugSet::none());
+        let mut sim = make_sim();
+        run(&mut fw, &mut sim, 1.0);
+        fw.handle_message(&Message::ArmDisarm { arm: true });
+        assert!(fw.armed());
+        fw.handle_message(&Message::SetMode {
+            mode: ProtocolMode::Guided,
+        });
+        fw.handle_message(&Message::CommandTakeoff { altitude: 15.0 });
+        run(&mut fw, &mut sim, 12.0);
+        // A duplicated arm request mid-air is rejected and changes nothing.
+        fw.handle_message(&Message::ArmDisarm { arm: true });
+        assert!(fw.armed(), "stock firmware treats arm as idempotent");
+        run(&mut fw, &mut sim, 5.0);
+        assert!(sim.first_collision().is_none());
+        assert!(fw.defect_log().is_empty());
+    }
+
+    #[test]
+    fn proto_double_arm_defect_disarms_mid_air() {
+        let (mut fw, _) = make_firmware(BugSet::only(BugId::ProtoDoubleArm));
+        let mut sim = make_sim();
+        run(&mut fw, &mut sim, 1.0);
+        fw.handle_message(&Message::ArmDisarm { arm: true });
+        assert!(fw.armed());
+        fw.handle_message(&Message::SetMode {
+            mode: ProtocolMode::Guided,
+        });
+        fw.handle_message(&Message::CommandTakeoff { altitude: 15.0 });
+        run(&mut fw, &mut sim, 12.0);
+        assert!(sim.physical_state().position.z > 5.0, "vehicle is airborne");
+        // The duplicated arm toggles the buggy handler: motors off mid-air.
+        fw.handle_message(&Message::ArmDisarm { arm: true });
+        assert!(!fw.armed(), "PROTO-101 disarms on a duplicated arm");
+        assert_eq!(fw.mode(), OperatingMode::PreFlight);
+        assert!(fw
+            .defect_log()
+            .iter()
+            .any(|(_, o)| o.active.contains(&BugId::ProtoDoubleArm)));
+        run(&mut fw, &mut sim, 6.0);
+        assert!(
+            sim.first_collision().is_some(),
+            "the unpowered vehicle falls out of the sky"
+        );
     }
 
     #[test]

@@ -41,6 +41,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod link;
+
+pub use link::{
+    FaultyLink, LinkDelta, LinkDirection, LinkFaultKind, LinkFaultPlan, LinkFaultSpec,
+    LinkFaultStats, LinkSnapshot, StormCommand,
+};
+
 use avis_sim::{CowVec, SensorInstance};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -92,12 +99,67 @@ impl fmt::Display for FaultSpec {
 /// is meaningful (the fault model is permanent clean failure), so the plan
 /// keeps the earliest start time per instance.
 ///
+/// Since PR 6 a plan also carries an optional [`LinkFaultPlan`]: protocol
+/// faults on the GCS ↔ vehicle link, injected by the same scenario. The
+/// two surfaces are orthogonal — sensor faults go through the injector's
+/// `should_fail` path, link faults through the [`FaultyLink`] shim — but
+/// they travel in one plan so the campaign engine's de-duplication,
+/// prefix dispatch and snapshot forking treat a scenario as one unit.
+///
 /// Plans serialise as a list of [`FaultSpec`]s (so they can be embedded in
-/// JSON bug reports) and deserialise back through [`FaultPlan::from_specs`].
+/// JSON bug reports) and deserialise back through [`FaultPlan::from_specs`];
+/// when link faults are present the serialised form is a struct carrying
+/// both lists, and both forms deserialise.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-#[serde(from = "Vec<FaultSpec>", into = "Vec<FaultSpec>")]
+#[serde(from = "PlanRepr", into = "PlanRepr")]
 pub struct FaultPlan {
     faults: BTreeMap<SensorInstance, f64>,
+    link: LinkFaultPlan,
+}
+
+/// The serialised shape of a [`FaultPlan`]: the historical bare list of
+/// sensor specs, or (once link faults are involved) a struct with both
+/// fault surfaces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+enum PlanRepr {
+    /// Pre-PR-6 form: a bare list of sensor fault specs.
+    Specs(Vec<FaultSpec>),
+    /// Full form: sensor and link fault specs.
+    Full {
+        #[serde(default)]
+        faults: Vec<FaultSpec>,
+        #[serde(default)]
+        link: Vec<LinkFaultSpec>,
+    },
+}
+
+impl From<PlanRepr> for FaultPlan {
+    fn from(repr: PlanRepr) -> Self {
+        match repr {
+            PlanRepr::Specs(specs) => FaultPlan::from_specs(specs),
+            PlanRepr::Full { faults, link } => {
+                let mut plan = FaultPlan::from_specs(faults);
+                plan.link = LinkFaultPlan::from_specs(link);
+                plan
+            }
+        }
+    }
+}
+
+impl From<FaultPlan> for PlanRepr {
+    fn from(plan: FaultPlan) -> Self {
+        if plan.link.is_empty() {
+            // Keep the historical wire form when no link faults are set,
+            // so sensor-only reports stay byte-compatible.
+            PlanRepr::Specs(plan.specs().collect())
+        } else {
+            PlanRepr::Full {
+                faults: plan.specs().collect(),
+                link: plan.link.specs().to_vec(),
+            }
+        }
+    }
 }
 
 impl From<Vec<FaultSpec>> for FaultPlan {
@@ -144,14 +206,43 @@ impl FaultPlan {
         next
     }
 
-    /// Returns `true` if no failures are scheduled.
+    /// Returns `true` if no failures are scheduled on either surface —
+    /// neither sensor faults nor link faults.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.link.is_empty()
     }
 
-    /// Number of scheduled failures.
+    /// Number of scheduled sensor failures (link faults are counted by
+    /// [`LinkFaultPlan::len`] on [`FaultPlan::link_plan`]).
     pub fn len(&self) -> usize {
         self.faults.len()
+    }
+
+    /// The protocol faults carried by this plan (empty by default).
+    pub fn link_plan(&self) -> &LinkFaultPlan {
+        &self.link
+    }
+
+    /// Adds a protocol fault to the plan.
+    pub fn add_link(&mut self, spec: LinkFaultSpec) {
+        self.link.add(spec);
+    }
+
+    /// Returns a new plan equal to `self` plus the given protocol fault.
+    pub fn with_link(&self, spec: LinkFaultSpec) -> Self {
+        let mut next = self.clone();
+        next.add_link(spec);
+        next
+    }
+
+    /// Replaces the plan's protocol faults wholesale.
+    pub fn set_link_plan(&mut self, link: LinkFaultPlan) {
+        self.link = link;
+    }
+
+    /// Merges every protocol fault of `link` into this plan's link plan.
+    pub fn merge_link(&mut self, link: &LinkFaultPlan) {
+        self.link.merge(link);
     }
 
     /// The scheduled failure start time for an instance, if any.
@@ -186,6 +277,7 @@ impl FaultPlan {
                 )
             })
             .collect();
+        parts.extend(self.link.specs().iter().map(|s| s.canonical_part()));
         parts.sort();
         parts.join("|")
     }
@@ -196,7 +288,8 @@ impl fmt::Display for FaultPlan {
         if self.is_empty() {
             return f.write_str("(no faults)");
         }
-        let parts: Vec<String> = self.specs().map(|s| s.to_string()).collect();
+        let mut parts: Vec<String> = self.specs().map(|s| s.to_string()).collect();
+        parts.extend(self.link.specs().iter().map(|s| s.to_string()));
         f.write_str(&parts.join(", "))
     }
 }
@@ -668,6 +761,58 @@ mod tests {
         assert!(inj.would_fail(gps(0), 2.0));
         assert_eq!(inj.total_reads(), 0);
         assert!(inj.injections().is_empty());
+    }
+
+    #[test]
+    fn link_faults_extend_the_canonical_key() {
+        let sensor_only = FaultPlan::from_specs(vec![FaultSpec::new(gps(0), 1.0)]);
+        let storm = LinkFaultSpec::new(
+            LinkFaultKind::Storm {
+                command: StormCommand::Arm,
+                count: 4,
+            },
+            LinkDirection::ToVehicle,
+            2.0,
+        );
+        let with_link = sensor_only.with_link(storm);
+        assert_ne!(sensor_only, with_link);
+        assert_ne!(sensor_only.canonical_key(), with_link.canonical_key());
+        assert!(with_link.canonical_key().contains("link:storm"));
+        assert!(with_link.canonical_key().contains("gps"));
+        // The sensor-side view is unchanged.
+        assert_eq!(with_link.len(), 1);
+        assert_eq!(with_link.specs().count(), 1);
+        assert_eq!(with_link.link_plan().len(), 1);
+        // A link-only plan is not empty.
+        let link_only = FaultPlan::empty().with_link(storm);
+        assert!(!link_only.is_empty());
+        assert_eq!(link_only.len(), 0);
+        assert!(link_only.to_string().contains("link:storm"));
+    }
+
+    #[test]
+    fn merge_link_combines_protocol_faults() {
+        let a = LinkFaultSpec::new(
+            LinkFaultKind::Drop {
+                duration: 1.0,
+                probability: 1.0,
+            },
+            LinkDirection::ToGcs,
+            5.0,
+        );
+        let b = LinkFaultSpec::new(
+            LinkFaultKind::Delay {
+                duration: 1.0,
+                seconds: 0.5,
+            },
+            LinkDirection::ToVehicle,
+            2.0,
+        );
+        let mut plan = FaultPlan::empty().with_link(a);
+        plan.merge_link(&LinkFaultPlan::from_specs(vec![b]));
+        assert_eq!(plan.link_plan().len(), 2);
+        // Canonical ordering: the earlier fault comes first.
+        assert_eq!(plan.link_plan().specs()[0].time, 2.0);
     }
 
     #[test]

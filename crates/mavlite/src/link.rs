@@ -10,6 +10,7 @@
 
 use crate::codec::{decode_frame, encode_frame, CodecError};
 use crate::message::Message;
+use bytes::Bytes;
 use std::collections::VecDeque;
 
 /// Which side of the link an endpoint represents.
@@ -26,12 +27,19 @@ pub enum Endpoint {
 /// The link owns two byte streams (GCS → vehicle and vehicle → GCS); each
 /// `send_*` call appends an encoded frame and each `recv_*` call decodes
 /// and removes one frame.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Link {
     to_vehicle: VecDeque<u8>,
     to_gcs: VecDeque<u8>,
     seq_gcs: u8,
     seq_vehicle: u8,
+    /// Next sequence number each receiving endpoint expects, once it has
+    /// decoded at least one frame.
+    expected_at_vehicle: Option<u8>,
+    expected_at_gcs: Option<u8>,
+    /// Per-endpoint count of sequence numbers skipped on the wire.
+    seq_gaps_at_vehicle: u64,
+    seq_gaps_at_gcs: u64,
     /// Count of frames dropped due to decode errors.
     decode_errors: u64,
 }
@@ -42,20 +50,48 @@ impl Link {
         Link::default()
     }
 
-    /// Sends a message from the given endpoint.
-    pub fn send(&mut self, from: Endpoint, msg: &Message) {
-        match from {
+    /// Encodes `msg` with the sender's next sequence number *without*
+    /// queueing the frame.
+    ///
+    /// The sequence counter advances even if the frame is never injected,
+    /// so a dropped frame leaves an observable gap at the receiver (see
+    /// [`Link::seq_gaps`]). Pair with [`Link::inject_frame`] to deliver.
+    pub fn encode_next(&mut self, from: Endpoint, msg: &Message) -> Bytes {
+        let seq = match from {
             Endpoint::GroundStation => {
-                let frame = encode_frame(msg, self.seq_gcs);
+                let s = self.seq_gcs;
                 self.seq_gcs = self.seq_gcs.wrapping_add(1);
-                self.to_vehicle.extend(frame.iter());
+                s
             }
             Endpoint::Vehicle => {
-                let frame = encode_frame(msg, self.seq_vehicle);
+                let s = self.seq_vehicle;
                 self.seq_vehicle = self.seq_vehicle.wrapping_add(1);
-                self.to_gcs.extend(frame.iter());
+                s
             }
+        };
+        encode_frame(msg, seq)
+    }
+
+    /// Appends raw frame bytes to the stream flowing toward `toward`.
+    ///
+    /// The bytes are taken verbatim — duplicated, corrupted or reordered
+    /// frames go on the wire exactly as given, which is what the protocol
+    /// fault injector relies on.
+    pub fn inject_frame(&mut self, toward: Endpoint, frame: &[u8]) {
+        match toward {
+            Endpoint::GroundStation => self.to_gcs.extend(frame.iter().copied()),
+            Endpoint::Vehicle => self.to_vehicle.extend(frame.iter().copied()),
         }
+    }
+
+    /// Sends a message from the given endpoint.
+    pub fn send(&mut self, from: Endpoint, msg: &Message) {
+        let frame = self.encode_next(from, msg);
+        let toward = match from {
+            Endpoint::GroundStation => Endpoint::Vehicle,
+            Endpoint::Vehicle => Endpoint::GroundStation,
+        };
+        self.inject_frame(toward, &frame);
     }
 
     /// Receives the next message addressed to the given endpoint, if any.
@@ -72,10 +108,24 @@ impl Link {
             if queue.is_empty() {
                 return None;
             }
-            let contiguous: Vec<u8> = queue.iter().copied().collect();
-            match decode_frame(&contiguous) {
-                Ok((msg, _seq, used)) => {
+            // Decoding borrows the queue's contiguous slice directly; the
+            // borrow ends once `decode_frame` returns an owned result, so
+            // no per-call copy of the whole stream is needed.
+            match decode_frame(queue.make_contiguous()) {
+                Ok((msg, seq, used)) => {
                     queue.drain(..used);
+                    let (expected, gaps) = match at {
+                        Endpoint::GroundStation => {
+                            (&mut self.expected_at_gcs, &mut self.seq_gaps_at_gcs)
+                        }
+                        Endpoint::Vehicle => {
+                            (&mut self.expected_at_vehicle, &mut self.seq_gaps_at_vehicle)
+                        }
+                    };
+                    if let Some(e) = *expected {
+                        *gaps += u64::from(seq.wrapping_sub(e));
+                    }
+                    *expected = Some(seq.wrapping_add(1));
                     return Some(msg);
                 }
                 Err(CodecError::Truncated) => return None,
@@ -92,6 +142,20 @@ impl Link {
                     }
                 }
             }
+        }
+    }
+
+    /// Number of sequence numbers the given endpoint has observed to be
+    /// skipped on its incoming stream.
+    ///
+    /// A dropped frame advances the sender's counter without a matching
+    /// decode, so the receiver sees the next frame arrive `gap` numbers
+    /// early; duplicated frames show up as wrap-around gaps of 255 per
+    /// extra copy. Zero on a clean stream.
+    pub fn seq_gaps(&self, at: Endpoint) -> u64 {
+        match at {
+            Endpoint::GroundStation => self.seq_gaps_at_gcs,
+            Endpoint::Vehicle => self.seq_gaps_at_vehicle,
         }
     }
 
@@ -236,5 +300,67 @@ mod tests {
         assert_eq!(link.pending_bytes(Endpoint::GroundStation), 0);
         link.recv(Endpoint::Vehicle);
         assert_eq!(link.pending_bytes(Endpoint::Vehicle), 0);
+    }
+
+    #[test]
+    fn clean_stream_has_no_seq_gaps() {
+        let mut link = Link::new();
+        for _ in 0..300 {
+            link.send(Endpoint::GroundStation, &Message::ArmDisarm { arm: true });
+            assert!(link.recv(Endpoint::Vehicle).is_some());
+        }
+        // The sequence byte wraps twice without ever registering a gap.
+        assert_eq!(link.seq_gaps(Endpoint::Vehicle), 0);
+        assert_eq!(link.seq_gaps(Endpoint::GroundStation), 0);
+    }
+
+    #[test]
+    fn dropped_frame_is_observable_as_a_seq_gap() {
+        let mut link = Link::new();
+        link.send(Endpoint::GroundStation, &Message::MissionCount { count: 1 });
+        assert!(link.recv(Endpoint::Vehicle).is_some());
+        // Encode-but-never-inject models a dropped frame: the sender's
+        // counter advances with nothing on the wire.
+        let _dropped =
+            link.encode_next(Endpoint::GroundStation, &Message::MissionCount { count: 2 });
+        link.send(Endpoint::GroundStation, &Message::MissionCount { count: 3 });
+        assert_eq!(
+            link.recv(Endpoint::Vehicle),
+            Some(Message::MissionCount { count: 3 })
+        );
+        assert_eq!(link.seq_gaps(Endpoint::Vehicle), 1);
+        // The reverse direction is unaffected.
+        assert_eq!(link.seq_gaps(Endpoint::GroundStation), 0);
+    }
+
+    #[test]
+    fn multiple_drops_accumulate_gaps() {
+        let heartbeat = Message::Heartbeat {
+            mode: ProtocolMode::Auto,
+            armed: true,
+        };
+        let mut link = Link::new();
+        link.send(Endpoint::Vehicle, &heartbeat);
+        assert!(link.recv(Endpoint::GroundStation).is_some());
+        for _ in 0..3 {
+            let _ = link.encode_next(Endpoint::Vehicle, &heartbeat);
+        }
+        link.send(Endpoint::Vehicle, &heartbeat);
+        assert!(link.recv(Endpoint::GroundStation).is_some());
+        assert_eq!(link.seq_gaps(Endpoint::GroundStation), 3);
+    }
+
+    #[test]
+    fn inject_frame_delivers_raw_bytes() {
+        let mut link = Link::new();
+        let frame = link.encode_next(Endpoint::GroundStation, &Message::ArmDisarm { arm: true });
+        // Inject the same frame twice: a duplicated command.
+        link.inject_frame(Endpoint::Vehicle, &frame);
+        link.inject_frame(Endpoint::Vehicle, &frame);
+        let got = link.drain(Endpoint::Vehicle);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|m| *m == Message::ArmDisarm { arm: true }));
+        // The duplicate registers as a wrap-around gap at the receiver.
+        assert_eq!(link.seq_gaps(Endpoint::Vehicle), 255);
     }
 }

@@ -8,10 +8,12 @@
 
 use avis::campaign::Campaign;
 use avis::checker::{Approach, Budget, CampaignResult};
+use avis::matrix::ScenarioMatrix;
 use avis::runner::ExperimentConfig;
 use avis::snapshot::{CheckpointConfig, SharedSnapshotTier};
-use avis::strategy::RoundRobinMode;
-use avis_firmware::{BugSet, FirmwareProfile};
+use avis::strategy::{LinkProbeStrategy, RoundRobinMode};
+use avis_firmware::{BugId, BugSet, FirmwareProfile};
+use avis_hinj::{LinkDirection, LinkFaultKind, LinkFaultPlan, LinkFaultSpec, StormCommand};
 use avis_sim::simulator::{SimConfig, Simulator, StepOutput};
 use avis_sim::{Environment, MotorCommands, SensorNoise};
 use avis_workload::auto_box_mission;
@@ -317,6 +319,185 @@ fn parallel_avis_campaign_still_finds_bugs() {
     assert!(
         !result.unsafe_conditions.is_empty(),
         "the parallel engine should find the same unsafe conditions the serial one does"
+    );
+}
+
+/// The firmware with only the seeded protocol defect (PROTO-101)
+/// compiled in: unreachable by any sensor-fault plan, exposed only when
+/// a link fault duplicates or storms the arm command.
+fn proto_experiment() -> ExperimentConfig {
+    let mut experiment = ExperimentConfig::new(
+        FirmwareProfile::ArduPilotLike,
+        BugSet::only(BugId::ProtoDoubleArm),
+        auto_box_mission(),
+    );
+    experiment.noise = Some(SensorNoise::default());
+    experiment.max_duration = 110.0;
+    experiment
+}
+
+/// An arm-command storm injected mid-mission, while the vehicle is
+/// airborne: the duplicated `ArmDisarm` toggles the buggy handler and
+/// the motors cut out in the air.
+fn arm_storm() -> LinkFaultPlan {
+    LinkFaultPlan::from_specs(vec![LinkFaultSpec::new(
+        LinkFaultKind::Storm {
+            command: StormCommand::Arm,
+            count: 8,
+        },
+        LinkDirection::ToVehicle,
+        40.0,
+    )])
+}
+
+#[test]
+fn link_fault_campaign_is_deterministic_across_engines() {
+    // A campaign with a pinned link-fault environment must satisfy the
+    // same determinism contract as a sensor-only campaign: bit-identical
+    // results at every parallelism. It must also actually reproduce the
+    // seeded protocol defect, which no sensor-fault plan can reach.
+    let run = |parallelism: usize| {
+        Campaign::builder()
+            .experiment(proto_experiment())
+            .approach(Approach::Avis)
+            .link_faults(arm_storm())
+            .budget(Budget::simulations(6))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .build()
+            .run()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "link-fault campaign diverged between serial and parallel engines"
+    );
+    assert!(
+        serial.bugs_found().contains(&BugId::ProtoDoubleArm),
+        "the arm storm should reproduce PROTO-101: {:?}",
+        serial.bugs_found()
+    );
+}
+
+#[test]
+fn link_fault_campaign_checkpointed_matches_cold_execution() {
+    // Checkpointing must stay invisible when plans carry link faults:
+    // combined (sensor ∪ link) injection prefixes guarantee a forked run
+    // replays the link shim's rng stream exactly, so cold, checkpointed
+    // and delta-chain execution agree bit-for-bit at every parallelism.
+    let run = |checkpoints: CheckpointConfig, parallelism: usize| {
+        Campaign::builder()
+            .experiment(proto_experiment())
+            .approach(Approach::Avis)
+            .link_faults(arm_storm())
+            .budget(Budget::simulations(8))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .checkpoints(checkpoints)
+            .build()
+            .run()
+    };
+    let cold = run(CheckpointConfig::disabled(), 1);
+    assert!(
+        !cold.unsafe_conditions.is_empty(),
+        "the comparison should cover unsafe-condition bookkeeping"
+    );
+    for parallelism in [1, 4] {
+        let checkpointed = run(CheckpointConfig::default(), parallelism);
+        assert_eq!(
+            cold, checkpointed,
+            "checkpointed link-fault campaign (parallelism {parallelism}) \
+             diverged from cold execution"
+        );
+        let delta_chain = run(
+            CheckpointConfig {
+                keyframe_stride: 16,
+                max_bytes: 512 * 1024,
+                ..CheckpointConfig::default()
+            },
+            parallelism,
+        );
+        assert_eq!(
+            cold, delta_chain,
+            "delta-chain link-fault campaign (parallelism {parallelism}) \
+             diverged from cold execution"
+        );
+    }
+}
+
+#[test]
+fn matrix_link_fault_sweep_reproduces_the_protocol_defect() {
+    // The acceptance scenario: a `ScenarioMatrix` sweeping link-fault
+    // scenarios as a fourth dimension deterministically reproduces the
+    // seeded protocol defect in the faulty-link cell — and only there —
+    // with a bit-identical report at parallelism 1 and 4.
+    let run = |parallelism: usize| {
+        ScenarioMatrix::new()
+            .firmware(FirmwareProfile::ArduPilotLike)
+            .workload(auto_box_mission())
+            .bugs(BugSet::only(BugId::ProtoDoubleArm))
+            .approach(Approach::Avis)
+            .link_scenario("clean", LinkFaultPlan::empty())
+            .link_scenario("arm-storm", arm_storm())
+            .budget(Budget::simulations(5))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .max_duration(110.0)
+            .noise(SensorNoise::default())
+            .run()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "link-fault matrix sweep diverged between parallelism 1 and 4"
+    );
+    assert_eq!(serial.results.len(), 2);
+    for cell in &serial.results {
+        match cell.link_scenario.as_deref() {
+            Some("clean") => assert!(
+                cell.bugs_found().is_empty(),
+                "the protocol defect must be unreachable over a clean link"
+            ),
+            Some("arm-storm") => assert!(
+                cell.bugs_found().contains(&BugId::ProtoDoubleArm),
+                "the faulty-link cell should reproduce PROTO-101: {:?}",
+                cell.bugs_found()
+            ),
+            other => panic!("unexpected link scenario {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn link_probe_strategy_finds_the_protocol_defect() {
+    // The link-fault *search* dimension: the probe enumerates drop /
+    // duplicate / corrupt / reorder / delay windows and command storms at
+    // the golden run's mode transitions, with no prior knowledge of
+    // which scenario matters — and must still reach the arm-storm probe
+    // that exposes PROTO-101, identically at every parallelism.
+    let run = |parallelism: usize| {
+        Campaign::builder()
+            .experiment(proto_experiment())
+            .strategy(LinkProbeStrategy::new())
+            .budget(Budget::simulations(40))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .build()
+            .run()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "link-probe campaign diverged between serial and parallel engines"
+    );
+    assert_eq!(serial.strategy, "Link probe");
+    assert!(
+        serial.bugs_found().contains(&BugId::ProtoDoubleArm),
+        "the probe sweep should reproduce PROTO-101: {:?}",
+        serial.bugs_found()
     );
 }
 
