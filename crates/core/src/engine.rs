@@ -380,6 +380,7 @@ impl Wavefront {
                                 // index).
                                 let worker = (0..workers)
                                     .min_by_key(|&w| (state.placed[w], w))
+                                    // avis-lint: allow(p1, reason = "pool construction clamps workers >= 1, so the range is never empty")
                                     .expect("pool has workers");
                                 state.family_worker.insert(family, worker);
                                 worker
@@ -397,6 +398,7 @@ impl Wavefront {
             let outcome = self
                 .result_rx
                 .recv()
+                // avis-lint: allow(p1, reason = "workers hold the sender for the pool's lifetime; a closed channel means a worker died outside the panic protocol and the campaign cannot continue")
                 .expect("worker pool alive while results are pending");
             match outcome {
                 Ok((token, result)) => {
@@ -700,6 +702,7 @@ fn run_rounds(
                     let condition = state
                         .unsafe_conditions
                         .last()
+                        // avis-lint: allow(p1, reason = "absorb just returned is_unsafe = true, which always pushes a condition; losing the event would silently drop a found bug")
                         .expect("absorb recorded the condition")
                         .clone();
                     observer.on_event(&CampaignEvent::ViolationFound { condition });

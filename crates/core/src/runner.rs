@@ -247,10 +247,12 @@ impl ExperimentRunner {
             // fixed substrate state is copied even under CoW).
             let local = self.cache.peek_deepest(seed_offset, &plan);
             let local_depth = local.as_ref().map(|(t, _)| *t);
-            let shared_depth = self
+            // Carry the tier handle with its probed depth, so the
+            // take-from-shared arm below cannot exist without a tier.
+            let shared_probe = self
                 .shared
                 .as_ref()
-                .and_then(|tier| tier.peek_depth(seed_offset, &plan));
+                .and_then(|tier| tier.peek_depth(seed_offset, &plan).map(|d| (d, tier)));
             let take_local = |cache: &mut SnapshotCache, chain_parent: &mut Option<ChainParent>| {
                 local.clone().map(|(time, key)| {
                     let snapshot = cache.take(&key, time);
@@ -263,19 +265,19 @@ impl ExperimentRunner {
                     snapshot
                 })
             };
-            if shared_depth > local_depth {
-                let tier = self.shared.as_ref().expect("shared depth implies tier");
-                match tier.take_deepest(seed_offset, &plan) {
-                    Some((depth, snapshot)) => {
-                        self.cache.note_shared_fork(depth);
-                        Some(snapshot)
+            match shared_probe {
+                Some((probed, tier)) if Some(probed) > local_depth => {
+                    match tier.take_deepest(seed_offset, &plan) {
+                        Some((depth, snapshot)) => {
+                            self.cache.note_shared_fork(depth);
+                            Some(snapshot)
+                        }
+                        // A republish evicted the entry between probe and
+                        // take: fall back to the local candidate, if any.
+                        None => take_local(&mut self.cache, &mut chain_parent),
                     }
-                    // A republish evicted the entry between probe and
-                    // take: fall back to the local candidate, if any.
-                    None => take_local(&mut self.cache, &mut chain_parent),
                 }
-            } else {
-                take_local(&mut self.cache, &mut chain_parent)
+                _ => take_local(&mut self.cache, &mut chain_parent),
             }
         } else {
             None

@@ -376,6 +376,7 @@ pub struct LinkFaultStats {
 pub struct FaultyLink {
     link: Link,
     plan: LinkFaultPlan,
+    // snapshot: skip(inline Copy state carried whole by LinkSnapshot::capture's FaultyLink clone; no heap to account)
     rng: SimRng,
     /// Frames held back by a `Delay` fault: `(release_time, stream,
     /// bytes)`, in send order.
@@ -387,6 +388,7 @@ pub struct FaultyLink {
     /// not by plan index — so the set stays valid across the snapshot
     /// fork's plan substitution.
     storms_fired: BTreeSet<String>,
+    // snapshot: skip(inline Copy counters carried whole by LinkSnapshot::capture's FaultyLink clone; no heap to account)
     stats: LinkFaultStats,
 }
 

@@ -1,0 +1,150 @@
+//! The `avis-lint` CLI.
+//!
+//! ```text
+//! avis-lint --workspace [--root DIR] [--config FILE] [--json FILE] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage/config error.
+
+#![forbid(unsafe_code)]
+
+use avis_lint::config::LintConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: avis-lint --workspace [--root DIR] [--config FILE] [--json FILE] [--quiet]\n\
+     \n\
+     Lints the Avis workspace for determinism hazards (rules d1/d2/s1/u1/p1).\n\
+     Configuration is read from lint.toml at the workspace root (or --config).\n\
+     --json writes the machine-readable report to FILE.\n"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: None,
+        quiet: false,
+    };
+    let mut saw_workspace = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--workspace" => saw_workspace = true,
+            "--quiet" => args.quiet = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    argv.next()
+                        .ok_or_else(|| "--root needs a value".to_string())?,
+                )
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(
+                    argv.next()
+                        .ok_or_else(|| "--config needs a value".to_string())?,
+                ))
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    argv.next()
+                        .ok_or_else(|| "--json needs a value".to_string())?,
+                ))
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !saw_workspace {
+        return Err("the only supported mode is --workspace".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("avis-lint: {message}");
+            }
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    // Walk up from --root to the directory holding lint.toml, so the
+    // binary works from any workspace subdirectory (as `cargo run -p`
+    // does from crate dirs).
+    let (root, config_path) = match &args.config {
+        Some(path) => (args.root.clone(), path.clone()),
+        None => {
+            let mut dir = match args.root.canonicalize() {
+                Ok(dir) => dir,
+                Err(err) => {
+                    eprintln!("avis-lint: --root {}: {err}", args.root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            loop {
+                let candidate = dir.join("lint.toml");
+                if candidate.is_file() {
+                    break (dir.clone(), candidate);
+                }
+                if !dir.pop() {
+                    eprintln!(
+                        "avis-lint: no lint.toml found walking up from {}",
+                        args.root.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("avis-lint: {}: {err}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match LintConfig::parse(&config_text) {
+        Ok(config) => config,
+        Err(err) => {
+            eprintln!("avis-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match avis_lint::run(&root, &config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("avis-lint: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(json_path) = &args.json {
+        let doc = report.to_json().to_pretty();
+        if let Err(err) = std::fs::write(json_path, doc) {
+            eprintln!("avis-lint: writing {}: {err}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !args.quiet || report.has_violations() {
+        print!("{}", report.render_text());
+    }
+    if report.has_violations() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

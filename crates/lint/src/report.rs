@@ -1,0 +1,126 @@
+//! Diagnostics and report rendering: human-readable `file:line` output
+//! plus a machine-readable JSON document built on the workspace's own
+//! dependency-free [`avis::json`].
+
+use avis::json::{object, Json};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule id (`d1`, `d2`, `s1`, `u1`, `p1`, or `lint` for problems
+    /// with the lint's own inputs — malformed suppressions, config
+    /// drift).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+/// One suppressed finding (kept for the report so reviewers can audit
+/// every active `allow`).
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The finding that would have fired.
+    pub diagnostic: Diagnostic,
+    /// The justification given in the allow directive.
+    pub reason: String,
+}
+
+/// The result of a full lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations, in (file, line, rule) order.
+    pub violations: Vec<Diagnostic>,
+    /// Findings silenced by an `avis-lint: allow(...)` directive.
+    pub suppressed: Vec<Suppressed>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Snapshot-pair fields accepted via `// snapshot: skip(...)`.
+    pub snapshot_skips: Vec<(String, String, String)>, // (file, field, reason)
+}
+
+impl LintReport {
+    /// Sorts findings into a stable presentation order.
+    pub fn finalize(&mut self) {
+        let key = |d: &Diagnostic| (d.file.clone(), d.line, d.rule);
+        self.violations.sort_by_key(key);
+        self.suppressed.sort_by_key(|s| key(&s.diagnostic));
+    }
+
+    /// Whether the run should exit non-zero.
+    pub fn has_violations(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// Renders the human-readable diagnostics.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                d.file, d.line, d.rule, d.message
+            ));
+        }
+        out.push_str(&format!(
+            "avis-lint: {} file(s) scanned, {} violation(s), {} suppression(s) in effect\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed.len()
+        ));
+        out
+    }
+
+    /// Builds the machine-readable report document.
+    pub fn to_json(&self) -> Json {
+        let diag = |d: &Diagnostic| {
+            object(vec![
+                ("rule", Json::String(d.rule.to_string())),
+                ("file", Json::String(d.file.clone())),
+                ("line", Json::Number(d.line as f64)),
+                ("message", Json::String(d.message.clone())),
+            ])
+        };
+        object(vec![
+            ("tool", Json::String("avis-lint".to_string())),
+            ("files_scanned", Json::Number(self.files_scanned as f64)),
+            (
+                "violations",
+                Json::Array(self.violations.iter().map(diag).collect()),
+            ),
+            (
+                "suppressed",
+                Json::Array(
+                    self.suppressed
+                        .iter()
+                        .map(|s| {
+                            let mut fields = match diag(&s.diagnostic) {
+                                Json::Object(fields) => fields,
+                                _ => unreachable!("diag builds an object"),
+                            };
+                            fields.push(("reason".to_string(), Json::String(s.reason.clone())));
+                            Json::Object(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "snapshot_skips",
+                Json::Array(
+                    self.snapshot_skips
+                        .iter()
+                        .map(|(file, field, reason)| {
+                            object(vec![
+                                ("file", Json::String(file.clone())),
+                                ("field", Json::String(field.clone())),
+                                ("reason", Json::String(reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}

@@ -1,0 +1,462 @@
+//! Per-file analysis context built on top of the lexer: the significant
+//! (non-comment) token stream, per-line comments, `#[cfg(test)]` /
+//! `#[test]` region detection, suppression directives and the struct /
+//! function extraction primitives the rules share.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A suppression parsed from `// avis-lint: allow(<rules>, reason = "...")`.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rule ids named by the directive (lower-cased).
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// 1-based line the directive is written on. It suppresses findings
+    /// on its own line and on the following line (for directives placed
+    /// on their own line above the code they annotate).
+    pub line: u32,
+}
+
+/// A `// avis-lint:` comment that could not be parsed. Reported as a
+/// violation: a suppression that silently fails to suppress is worse
+/// than a loud one.
+#[derive(Debug, Clone)]
+pub struct MalformedDirective {
+    /// 1-based line of the broken comment.
+    pub line: u32,
+    /// Parse failure description.
+    pub message: String,
+}
+
+/// One scanned source file.
+pub struct SourceFile {
+    /// Workspace-relative path (`/`-separated).
+    pub rel_path: String,
+    /// Significant (non-comment) tokens.
+    pub sig: Vec<Token>,
+    /// All comment tokens keyed by starting line.
+    pub comments: BTreeMap<u32, Vec<String>>,
+    /// Lines covered by `#[cfg(test)]` items or `#[test]` functions.
+    pub test_lines: BTreeSet<u32>,
+    /// Parsed suppression directives.
+    pub allows: Vec<AllowDirective>,
+    /// `avis-lint:` comments that failed to parse.
+    pub malformed: Vec<MalformedDirective>,
+    /// Last line of the file (for region bookkeeping).
+    pub last_line: u32,
+}
+
+impl SourceFile {
+    /// Lexes `text` and builds the analysis context.
+    pub fn new(rel_path: &str, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let mut sig = Vec::new();
+        let mut comments: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        let mut allows = Vec::new();
+        let mut malformed = Vec::new();
+        let mut last_line = 1;
+        for token in tokens {
+            last_line = last_line.max(token.line);
+            if token.is_comment() {
+                match parse_allow(&token) {
+                    Ok(Some(allow)) => allows.push(allow),
+                    Ok(None) => {}
+                    Err(message) => malformed.push(MalformedDirective {
+                        line: token.line,
+                        message,
+                    }),
+                }
+                comments.entry(token.line).or_default().push(token.text);
+            } else {
+                sig.push(token);
+            }
+        }
+        let test_lines = find_test_lines(&sig);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            sig,
+            comments,
+            test_lines,
+            allows,
+            malformed,
+            last_line,
+        }
+    }
+
+    /// Whether `line` lies in test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines.contains(&line)
+    }
+
+    /// Whether a finding of `rule` at `line` is suppressed by an allow
+    /// directive, returning its reason.
+    pub fn suppression(&self, rule: &str, line: u32) -> Option<&AllowDirective> {
+        self.allows
+            .iter()
+            .find(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule))
+    }
+
+    /// All comment text attached to `line`: trailing comments on the
+    /// line itself plus the contiguous comment block directly above.
+    pub fn comments_around(&self, line: u32) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        let mut probe = line;
+        // Walk the contiguous comment block upward.
+        while probe > 0 {
+            probe -= 1;
+            match self.comments.get(&probe) {
+                Some(texts) => out.extend(texts.iter().map(String::as_str)),
+                None => break,
+            }
+        }
+        if let Some(texts) = self.comments.get(&line) {
+            out.extend(texts.iter().map(String::as_str));
+        }
+        out
+    }
+
+    /// Extracts the named fields of `struct name { ... }`, with lines.
+    /// Returns `None` if the struct is missing or not brace-style.
+    pub fn struct_fields(&self, name: &str) -> Option<Vec<(String, u32)>> {
+        let sig = &self.sig;
+        let mut i = 0;
+        while i + 1 < sig.len() {
+            if sig[i].is_ident("struct") && sig[i + 1].is_ident(name) {
+                // Skip generics / where clause up to the body brace; a
+                // `;` first means a tuple/unit struct.
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                while j < sig.len() {
+                    let t = &sig[j];
+                    if t.is_punct('<') {
+                        angle += 1;
+                    } else if t.is_punct('>') {
+                        angle -= 1;
+                    } else if t.is_punct(';') && angle == 0 {
+                        return Some(Vec::new());
+                    } else if t.is_punct('{') && angle == 0 {
+                        return Some(collect_fields(sig, j));
+                    }
+                    j += 1;
+                }
+                return None;
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// The index ranges (into `sig`) of the bodies of every function
+    /// named `name` in this file.
+    pub fn fn_bodies(&self, name: &str) -> Vec<(usize, usize)> {
+        let sig = &self.sig;
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i + 1 < sig.len() {
+            if sig[i].is_ident("fn") && sig[i + 1].is_ident(name) {
+                if let Some((open, close)) = next_brace_block(sig, i + 2) {
+                    out.push((open, close));
+                    i = close;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Whether identifier `ident` occurs anywhere inside any of the
+    /// given `sig` ranges.
+    pub fn ranges_reference_ident(&self, ranges: &[(usize, usize)], ident: &str) -> bool {
+        ranges.iter().any(|&(start, end)| {
+            self.sig[start..=end]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text == ident)
+        })
+    }
+}
+
+/// Collects `name: Type` fields from a struct body opening at `sig[open]`.
+fn collect_fields(sig: &[Token], open: usize) -> Vec<(String, u32)> {
+    let mut fields = Vec::new();
+    let mut depth = 0i32; // (), [], {} nesting inside the body
+    let mut angle = 0i32;
+    let mut at_field_start = true;
+    let mut i = open + 1;
+    while i < sig.len() {
+        let t = &sig[i];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('}') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if t.is_punct(',') && angle <= 0 {
+                at_field_start = true;
+                angle = 0;
+                i += 1;
+                continue;
+            } else if at_field_start && t.kind == TokenKind::Ident {
+                // `pub` / `pub(crate)` and attributes ride ahead of the
+                // name; the name is the ident directly followed by `:`
+                // (but not `::`).
+                if !matches!(t.text.as_str(), "pub" | "crate" | "in")
+                    && i + 1 < sig.len()
+                    && sig[i + 1].is_punct(':')
+                    && !(i + 2 < sig.len() && sig[i + 2].is_punct(':'))
+                {
+                    fields.push((t.text.clone(), t.line));
+                    at_field_start = false;
+                }
+            }
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Finds the first `{ ... }` block at paren/bracket depth 0 starting at
+/// `sig[from]`, returning (open, close) indices. Stops at a top-level
+/// `;` (no body, e.g. a trait method signature).
+fn next_brace_block(sig: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < sig.len() {
+        let t = &sig[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return None;
+        } else if t.is_punct('{') && depth == 0 {
+            let mut braces = 1i32;
+            let open = i;
+            i += 1;
+            while i < sig.len() {
+                let u = &sig[i];
+                if u.is_punct('{') {
+                    braces += 1;
+                } else if u.is_punct('}') {
+                    braces -= 1;
+                    if braces == 0 {
+                        return Some((open, i));
+                    }
+                }
+                i += 1;
+            }
+            return Some((open, sig.len() - 1));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Marks the line spans of `#[cfg(test)]` items and `#[test]` functions.
+fn find_test_lines(sig: &[Token]) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].is_punct('#') && i + 1 < sig.len() && sig[i + 1].is_punct('[') {
+            let (attr_end, is_test_attr) = scan_attribute(sig, i + 1);
+            if is_test_attr {
+                let start_line = sig[i].line;
+                // Skip any further attributes between this one and the
+                // item it decorates.
+                let mut j = attr_end + 1;
+                while j + 1 < sig.len() && sig[j].is_punct('#') && sig[j + 1].is_punct('[') {
+                    let (end, _) = scan_attribute(sig, j + 1);
+                    j = end + 1;
+                }
+                let end_line = match next_brace_block(sig, j) {
+                    Some((_, close)) => sig[close].line,
+                    // Item without a body (`#[cfg(test)] use ...;`):
+                    // mark through the terminating `;`.
+                    None => {
+                        let mut k = j;
+                        while k < sig.len() && !sig[k].is_punct(';') {
+                            k += 1;
+                        }
+                        sig.get(k).map_or(start_line, |t| t.line)
+                    }
+                };
+                lines.extend(start_line..=end_line);
+                i = attr_end;
+            } else {
+                i = attr_end;
+            }
+        }
+        i += 1;
+    }
+    lines
+}
+
+/// Scans the `[...]` attribute group opening at `sig[open_bracket]`;
+/// returns (index of closing `]`, whether it is `test` / `cfg(test)`).
+fn scan_attribute(sig: &[Token], open_bracket: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut idents = Vec::new();
+    let mut i = open_bracket;
+    while i < sig.len() {
+        let t = &sig[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokenKind::Ident {
+            idents.push(t.text.as_str());
+        }
+        i += 1;
+    }
+    let is_test = idents == ["test"] || (idents.len() == 2 && idents == ["cfg", "test"]);
+    (i, is_test)
+}
+
+/// Parses an `avis-lint:` comment. `Ok(None)` when the comment is not a
+/// directive at all. Only plain `//` line comments carry directives —
+/// doc comments (`///`, `//!`) and block comments merely *describe* the
+/// syntax, so they are never parsed as directives.
+fn parse_allow(token: &Token) -> Result<Option<AllowDirective>, String> {
+    if token.kind != TokenKind::LineComment {
+        return Ok(None);
+    }
+    let text = &token.text;
+    if text.starts_with("///") || text.starts_with("//!") {
+        return Ok(None);
+    }
+    let Some(at) = text.find("avis-lint:") else {
+        return Ok(None);
+    };
+    let rest = text[at + "avis-lint:".len()..].trim();
+    let Some(body) = rest.strip_prefix("allow") else {
+        return Err(format!(
+            "expected `allow(...)` after `avis-lint:`, found `{rest}`"
+        ));
+    };
+    let body = body.trim_start();
+    let Some(open) = body.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = open.rfind(')') else {
+        return Err("unterminated `allow(`".to_string());
+    };
+    let inner = &open[..close];
+    // The reason is free text (commas included), so split the rule list
+    // off at the `reason` key rather than naively on commas.
+    let (rules_part, reason_part) = match inner.find("reason") {
+        Some(pos) => (&inner[..pos], Some(&inner[pos + "reason".len()..])),
+        None => (inner, None),
+    };
+    let mut rules = Vec::new();
+    for part in rules_part.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if !part
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!("`{part}` is not a rule id"));
+        }
+        rules.push(part.to_ascii_lowercase());
+    }
+    if rules.is_empty() {
+        return Err("allow() names no rule".to_string());
+    }
+    let Some(reason_part) = reason_part else {
+        return Err("allow() without a `reason = \"...\"` justification".to_string());
+    };
+    let r = reason_part.trim_start();
+    let Some(r) = r.strip_prefix('=') else {
+        return Err("expected `reason = \"...\"`".to_string());
+    };
+    let r = r.trim();
+    let unquoted = r
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a quoted string".to_string())?;
+    if unquoted.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    let reason = unquoted.to_string();
+    Ok(Some(AllowDirective {
+        rules,
+        reason,
+        line: token.line,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_directive_roundtrip() {
+        let f = SourceFile::new(
+            "x.rs",
+            "// avis-lint: allow(p1, reason = \"invariant: pool non-empty\")\nlet x = v.unwrap();\n",
+        );
+        assert_eq!(f.allows.len(), 1);
+        assert!(f.suppression("p1", 2).is_some());
+        assert!(f.suppression("d1", 2).is_none());
+        assert!(f.suppression("p1", 3).is_none());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let f = SourceFile::new("x.rs", "// avis-lint: allow(p1)\n");
+        assert!(f.allows.is_empty());
+        assert_eq!(f.malformed.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn live2() {}\n";
+        let f = SourceFile::new("x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attributes_is_marked() {
+        let src = "#[test]\n#[should_panic]\nfn boom() {\n    panic!();\n}\nfn live() {}\n";
+        let f = SourceFile::new("x.rs", src);
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn struct_fields_skip_attributes_and_generic_types() {
+        let src = "pub struct S<T> {\n    /// doc\n    pub a: BTreeMap<String, Vec<T>>,\n    #[serde(default)]\n    pub(crate) b: (u8, u8),\n    c: f64,\n}\n";
+        let f = SourceFile::new("x.rs", src);
+        let fields = f.struct_fields("S").unwrap();
+        let names: Vec<_> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fn_bodies_match_braces() {
+        let src = "impl S {\n    fn diff(&self) -> D {\n        D { x: self.x }\n    }\n    fn other(&self) {}\n}\n";
+        let f = SourceFile::new("x.rs", src);
+        let bodies = f.fn_bodies("diff");
+        assert_eq!(bodies.len(), 1);
+        assert!(f.ranges_reference_ident(&bodies, "x"));
+        assert!(!f.ranges_reference_ident(&bodies, "other"));
+    }
+}

@@ -1,0 +1,36 @@
+//! D1 fixture: every banned-API construct, one per line. This file is
+//! never compiled — it exists to be scanned by the integration tests.
+
+use std::collections::HashMap;
+
+pub fn now_ms() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}
+
+pub fn host_home() -> Option<String> {
+    std::env::var("HOME").ok()
+}
+
+pub fn allowed_env() -> Option<String> {
+    // avis-lint: allow(d1, reason = "diagnostic banner only; never affects replay")
+    std::env::var("CI").ok()
+}
+
+pub fn extra() -> u32 {
+    Extra::tick()
+}
+
+pub fn named_after_a_banned_api() -> &'static str {
+    "HashMap is fine inside a string literal"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hashmap_is_fine_in_tests() {
+        let _ = HashMap::<u8, u8>::new();
+    }
+}

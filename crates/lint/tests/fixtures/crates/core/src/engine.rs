@@ -1,0 +1,22 @@
+//! P1 fixture: bare panics in a configured hot-path module.
+
+pub fn pop(stack: &mut Vec<u32>) -> u32 {
+    stack.pop().unwrap()
+}
+
+pub fn front(queue: &[u32]) -> u32 {
+    *queue.first().expect("queue is non-empty")
+}
+
+pub fn checked(stack: &mut Vec<u32>) -> u32 {
+    // avis-lint: allow(p1, reason = "callers push before popping; an empty stack is a driver bug")
+    stack.pop().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let _ = Some(1).unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+//! D2 fixture: non-SimRng RNGs and pointer-to-integer casts.
+
+pub fn seed_from_os() -> u64 {
+    let _rng = OsRng;
+    0
+}
+
+pub fn chunk_key(buf: &[u8]) -> usize {
+    buf.as_ptr() as usize
+}
+
+pub fn budget_key(buf: &[u8]) -> usize {
+    // avis-lint: allow(d2, reason = "memory accounting only; never feeds replay")
+    buf.as_ptr() as usize
+}

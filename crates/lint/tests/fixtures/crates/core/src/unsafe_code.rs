@@ -1,0 +1,15 @@
+//! U1 fixture: `unsafe` with and without a SAFETY justification.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn read_checked(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p points at a live byte
+    unsafe { *p }
+}
+
+pub fn read_allowed(p: *const u8) -> u8 {
+    // avis-lint: allow(u1, reason = "fixture exercising the suppression path")
+    unsafe { *p }
+}

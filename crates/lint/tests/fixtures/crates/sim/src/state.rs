@@ -1,0 +1,30 @@
+//! S1 fixture: a state ↔ snapshot pair with one uncovered field and
+//! one skip-annotated field.
+
+pub struct State {
+    pub position: f64,
+    pub velocity: f64,
+    /// Never snapshotted — S1 must fire here.
+    pub heading: f64,
+    // snapshot: skip(derived lookup table, rebuilt from position on restore)
+    pub cache: Vec<f64>,
+}
+
+pub struct StateSnapshot {
+    pub position: f64,
+    pub velocity: f64,
+}
+
+impl State {
+    pub fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot {
+            position: self.position,
+            velocity: self.velocity,
+        }
+    }
+
+    pub fn apply(&mut self, snap: &StateSnapshot) {
+        self.position = snap.position;
+        self.velocity = snap.velocity;
+    }
+}

@@ -1,0 +1,7 @@
+//! A directive without a reason is itself a violation (`lint` rule) —
+//! silent, unexplained allows must not pass review.
+
+pub fn f() -> u32 {
+    // avis-lint: allow(d1)
+    1
+}

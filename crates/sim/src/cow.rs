@@ -169,6 +169,7 @@ impl<T: Clone> CowVec<T> {
     pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
         for chunk in &self.chunks {
             f(
+                // avis-lint: allow(d2, reason = "chunk identity for memory-budget dedup only; never feeds replay, hashing or ordering")
                 Arc::as_ptr(chunk) as *const T as usize,
                 chunk.len() * std::mem::size_of::<T>(),
             );
@@ -274,6 +275,7 @@ impl<T: Clone> CowDelta<T> {
             CowDelta::Suffix(suffix) => {
                 for chunk in suffix {
                     f(
+                        // avis-lint: allow(d2, reason = "chunk identity for memory-budget dedup only; never feeds replay, hashing or ordering")
                         Arc::as_ptr(chunk) as *const T as usize,
                         chunk.len() * std::mem::size_of::<T>(),
                     );

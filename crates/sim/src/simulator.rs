@@ -266,6 +266,7 @@ impl SimSnapshot {
     /// exactly once however many snapshots reference it.
     pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
         f(
+            // avis-lint: allow(d2, reason = "environment identity for memory-budget dedup only; never feeds replay, hashing or ordering")
             Arc::as_ptr(&self.sim.env) as usize,
             std::mem::size_of::<Environment>() + self.sim.env.fences().len() * 128,
         );

@@ -7,6 +7,10 @@
 //! a warm-up phase, snapshot the allocation counter, run the measured
 //! phase and compare.
 
+// The workspace denies `unsafe_code`; a `GlobalAlloc` impl is the one
+// place this test harness genuinely needs it.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -16,18 +20,28 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
 // Tracking only allocation events (not frees) is enough: the property
 // under test is "no new allocations per step".
+//
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter update is a lock-free side effect
+// with no memory-safety impact.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: delegates to `System.alloc` with the caller's layout.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as ours; layout passed through unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: delegates to `System.dealloc` with the caller's pointer/layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr was produced by `System.alloc` via our `alloc`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: delegates to `System.realloc` with the caller's arguments.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: ptr/layout come from a prior `System` allocation.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
