@@ -90,6 +90,14 @@ pub enum CampaignEvent {
         /// Consumed share of the tighter budget axis, `0.0..=1.0`.
         consumed_fraction: f64,
     },
+    /// Checkpointing was disabled for the rest of the campaign after
+    /// repeated snapshot-integrity failures; remaining runs cold-start.
+    /// Degradation is a wall-clock event, not a result event: the final
+    /// [`CampaignResult`] is bit-identical with or without it.
+    DegradedMode {
+        /// Human-readable explanation of why checkpointing was disabled.
+        reason: String,
+    },
     /// The campaign ended (budget or search space exhausted).
     CampaignFinished {
         /// Total simulations executed.
@@ -578,6 +586,7 @@ pub(crate) fn execute_campaign(
         cost_seconds: cost,
         labels: 0,
         unsafe_conditions: Vec::new(),
+        crashes: Vec::new(),
         golden,
     };
 
@@ -634,6 +643,7 @@ pub(crate) fn execute_campaign(
         symmetry_pruned: pruning.symmetry_pruned,
         found_bug_pruned: pruning.found_bug_pruned,
         link_scenario: None,
+        crashes: state.crashes,
     }
 }
 

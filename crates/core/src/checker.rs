@@ -16,7 +16,7 @@
 
 use crate::engine;
 use crate::monitor::{MonitorConfig, Violation};
-use crate::runner::{ExperimentConfig, ExperimentRunner, RunResult};
+use crate::runner::{ExperimentConfig, ExperimentRunner, RunResult, RunVerdict};
 use crate::sabre::SabreConfig;
 use crate::strategy::{BfiStrategy, RandomStrategy, SabreStrategy, Strategy};
 use crate::trace::Trace;
@@ -248,6 +248,25 @@ pub struct UnsafeCondition {
     pub cost_seconds_used: f64,
 }
 
+/// One contained crash observed by a campaign: a run whose simulated
+/// firmware (or another substrate layer) panicked. Contained at the
+/// runner boundary and reported here — the paper's `Serious` symptom
+/// class — instead of aborting the campaign. Deterministic: the same
+/// (seed, plan) produces the identical record at any parallelism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashRecord {
+    /// The fault plan whose run crashed.
+    pub plan: FaultPlan,
+    /// The rendered panic payload, tagged with the experiment
+    /// fingerprint (seed + canonical plan key).
+    pub message: String,
+    /// The simulated lock-step index at which the panic unwound.
+    pub step: u64,
+    /// Number of simulations executed when the crash was observed
+    /// (including this one).
+    pub simulations_used: usize,
+}
+
 /// The outcome of one campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignResult {
@@ -279,6 +298,13 @@ pub struct CampaignResult {
     /// through [`crate::campaign::CampaignBuilder::link_faults`]).
     #[serde(default)]
     pub link_scenario: Option<String>,
+    /// Contained crashes, in discovery order: runs whose simulated
+    /// firmware panicked, reported as first-class
+    /// [`crate::runner::RunVerdict::Crashed`] outcomes instead of
+    /// aborting the campaign. Serde-defaulted so results serialised
+    /// before this field existed deserialise as crash-free.
+    #[serde(default)]
+    pub crashes: Vec<CrashRecord>,
 }
 
 impl CampaignResult {
@@ -333,6 +359,7 @@ pub(crate) struct CampaignState {
     pub(crate) cost_seconds: f64,
     pub(crate) labels: usize,
     pub(crate) unsafe_conditions: Vec<UnsafeCondition>,
+    pub(crate) crashes: Vec<CrashRecord>,
 }
 
 impl CampaignState {
@@ -349,6 +376,21 @@ impl CampaignState {
     pub(crate) fn absorb(&mut self, result: &RunResult) -> bool {
         self.simulations += 1;
         self.cost_seconds += result.simulated_seconds;
+        // A contained crash is a first-class outcome: record it and keep
+        // the campaign running. The crashed run carries no trace (its
+        // state died with the unwind), so the monitor has nothing to
+        // check; it is reported through `CampaignResult::crashes`, not as
+        // an unsafe condition. `Diverged` runs (watchdog) fall through —
+        // their partial trace is checked like any other.
+        if let RunVerdict::Crashed { message, step } = &result.verdict {
+            self.crashes.push(CrashRecord {
+                plan: result.plan.clone(),
+                message: message.clone(),
+                step: *step,
+                simulations_used: self.simulations,
+            });
+            return false;
+        }
         let violations = self.monitor.check(&result.trace);
         if violations.is_empty() {
             return false;

@@ -43,6 +43,7 @@
 
 use crate::campaign::{CampaignEvent, CampaignObserver};
 use crate::checker::{Budget, CampaignState};
+use crate::contain;
 use crate::runner::{ExperimentConfig, ExperimentRunner, RunResult};
 use crate::snapshot::{injection_prefix, prefix_cache_key, CheckpointStats, SharedSnapshotTier};
 use crate::strategy::{Observation, Strategy};
@@ -172,7 +173,11 @@ fn take_or_run(
 ) -> RunResult {
     match results.remove(&token) {
         Some(result) if result.plan == plan => result,
-        _ => state.runner.run_with_plan(plan),
+        // Contained: a panicking run comes back as a first-class
+        // `RunVerdict::Crashed` result instead of unwinding through the
+        // commit loop — the inline path is the repair of last resort, so
+        // it must be exactly as fault-tolerant as the workers.
+        _ => state.runner.run_contained(plan),
     }
 }
 
@@ -231,10 +236,13 @@ fn family_key(plan: &FaultPlan, bucket_seconds: f64) -> String {
     }
 }
 
-/// What a worker sends back: a completed run, or the panic message of a
-/// run that blew up (so the campaign fails loudly instead of deadlocking
-/// the wavefront collector).
-type WorkerOutcome = Result<(u64, RunResult), String>;
+/// What a worker sends back: a completed run (with the worker runner's
+/// checkpoint-breaker flag riding along, so the engine can announce
+/// degraded mode), or the rendered panic of a worker that died *outside*
+/// the per-run containment — a harness fault, not a scenario crash; the
+/// collector then stops waiting and the commit's inline fallback covers
+/// the lost jobs instead of deadlocking the wavefront.
+type WorkerOutcome = Result<(u64, RunResult, bool), String>;
 
 /// The worker-visible placement state: one family-batch deque per
 /// worker, plus the sticky family→worker map and per-worker load
@@ -331,13 +339,19 @@ struct Wavefront {
 
 impl Wavefront {
     /// Places one wavefront of plans onto the worker shards and blocks
-    /// until every result is in.
+    /// until every result is in, returning the results plus whether any
+    /// worker's checkpoint breaker has tripped (degraded mode).
     ///
-    /// # Panics
-    ///
-    /// Re-raises any panic that occurred on a worker thread — the same
-    /// observable behaviour the serial engine has when a run panics.
-    fn execute(&self, jobs: Vec<Job>) -> BTreeMap<u64, RunResult> {
+    /// Scenario crashes never surface here — they come back as ordinary
+    /// results carrying [`crate::runner::RunVerdict::Crashed`]. A worker
+    /// that dies *outside* the per-run containment (a harness fault)
+    /// sends one final `Err`; the collector then stops waiting — its
+    /// in-flight batch is unrecoverable, and results from still-healthy
+    /// workers keep arriving into later collections, where stale tokens
+    /// are ignored by the commit's plan-equality check. Every job whose
+    /// speculative result is missing is re-executed inline at commit
+    /// (see [`take_or_run`]), so no proposed job is ever leaked.
+    fn execute(&self, jobs: Vec<Job>) -> (BTreeMap<u64, RunResult>, bool) {
         let expected = jobs.len();
         {
             let mut state = self
@@ -394,33 +408,34 @@ impl Wavefront {
         }
         self.dispatcher.ready.notify_all();
         let mut results = BTreeMap::new();
+        let mut degraded = false;
         while results.len() < expected {
-            let outcome = self
-                .result_rx
-                .recv()
-                // avis-lint: allow(p1, reason = "workers hold the sender for the pool's lifetime; a closed channel means a worker died outside the panic protocol and the campaign cannot continue")
-                .expect("worker pool alive while results are pending");
+            // A closed channel means every worker exited — nothing more
+            // can arrive; stop collecting and let the commit repair the
+            // missing results inline.
+            let Ok(outcome) = self.result_rx.recv() else {
+                break;
+            };
             match outcome {
-                Ok((token, result)) => {
+                Ok((token, result, worker_degraded)) => {
+                    degraded |= worker_degraded;
                     results.insert(token, result);
                 }
-                Err(panic_message) => {
-                    panic!("campaign worker thread panicked: {panic_message}")
+                Err(harness_panic) => {
+                    // A worker died outside the per-run containment. Its
+                    // in-flight batch is gone and its queued families
+                    // will be stolen by surviving workers — but waiting
+                    // for the lost batch would hang forever, so stop
+                    // here and let the inline fallback account for every
+                    // undelivered job. The message carries the scenario
+                    // fingerprint (see `run_campaign`), so the surviving
+                    // log identifies which scenario took the worker down.
+                    eprintln!("avis: campaign worker died: {harness_panic}");
+                    break;
                 }
             }
         }
-        results
-    }
-}
-
-/// Renders a `catch_unwind` payload for re-raising on the main thread.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        (results, degraded)
     }
 }
 
@@ -462,27 +477,35 @@ pub(crate) fn run_campaign(
                 if let Some(tier) = shared {
                     runner.set_shared_tier(tier);
                 }
-                'drain: while let Some(batch) = dispatcher.next_batch(me) {
-                    for (token, plan) in batch {
-                        // A panicking run must reach the collector as an
-                        // error: swallowing it would leave the wavefront
-                        // waiting for a result that never comes.
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                runner.run_with_plan(plan)
-                            }));
-                        match outcome {
-                            Ok(result) => {
-                                if result_tx.send(Ok((token, result))).is_err() {
-                                    break 'drain;
-                                }
-                            }
-                            Err(payload) => {
-                                let _ = result_tx.send(Err(panic_message(payload.as_ref())));
+                let seed = runner.config().seed;
+                // The plan currently executing, tracked so a panic that
+                // escapes the per-run containment still renders with the
+                // scenario fingerprint (seed + canonical plan key).
+                let in_flight = std::cell::RefCell::new(String::new());
+                // Scenario crashes are contained *inside* `run_contained`
+                // and come back as `RunVerdict::Crashed` results. This
+                // outer boundary is belt-and-braces for harness faults
+                // (dispatcher, channel, stats code): the worker sends one
+                // final `Err` instead of silently dying with the result
+                // channel open, which would hang the wavefront collector.
+                let body = contain::catch(|| {
+                    'drain: while let Some(batch) = dispatcher.next_batch(me) {
+                        for (token, plan) in batch {
+                            *in_flight.borrow_mut() = plan.canonical_key();
+                            let result = runner.run_contained(plan);
+                            let degraded = runner.checkpointing_degraded();
+                            if result_tx.send(Ok((token, result, degraded))).is_err() {
                                 break 'drain;
                             }
                         }
                     }
+                });
+                if let Err(payload) = body {
+                    let context = format!(
+                        "worker {me}, experiment seed {seed}, plan {}",
+                        in_flight.borrow()
+                    );
+                    let _ = result_tx.send(Err(contain::render_panic(payload.as_ref(), &context)));
                 }
                 if let Some(collector) = collector {
                     collector.push(runner.checkpoint_stats());
@@ -611,6 +634,9 @@ fn run_rounds(
     pool: Option<&Wavefront>,
 ) {
     let mut sizer = WavefrontSizer::new(params.parallelism.max(1));
+    // Degraded mode is announced at most once per campaign: the first
+    // time any runner's checkpoint breaker trips (worker or inline).
+    let mut degraded_announced = false;
     loop {
         if state.out_of_budget(params.budget) {
             break;
@@ -639,7 +665,7 @@ fn run_rounds(
             // bug-dense stretch the sizer withdraws speculation
             // entirely (`speculate()` false) and the commit runs
             // inline, exactly like the serial engine.
-            let mut results: BTreeMap<u64, RunResult> = match pool {
+            let (mut results, workers_degraded): (BTreeMap<u64, RunResult>, bool) = match pool {
                 Some(pool) if sizer.speculate() => {
                     // Republish the shared snapshot tier before
                     // dispatching: snapshots recorded since the last
@@ -670,8 +696,17 @@ fn run_rounds(
                     // cap.
                     pool.execute(jobs)
                 }
-                _ => BTreeMap::new(),
+                _ => (BTreeMap::new(), false),
             };
+            if (workers_degraded || state.runner.checkpointing_degraded()) && !degraded_announced {
+                degraded_announced = true;
+                observer.on_event(&CampaignEvent::DegradedMode {
+                    reason: "repeated snapshot checksum failures tripped the checkpoint \
+                             breaker; checkpointing is disabled and remaining runs \
+                             cold-start"
+                        .to_string(),
+                });
+            }
 
             // Phase 3: sequential commit in round order.
             let mut wavefront_found_bug = false;
@@ -718,6 +753,19 @@ fn run_rounds(
                     candidate,
                     result: &result,
                     is_unsafe,
+                });
+            }
+            // Re-check after the commits: the inline runner may have
+            // tripped its breaker while repairing this very wavefront
+            // (relevant on the serial path, where this is the only
+            // runner there is).
+            if state.runner.checkpointing_degraded() && !degraded_announced {
+                degraded_announced = true;
+                observer.on_event(&CampaignEvent::DegradedMode {
+                    reason: "repeated snapshot checksum failures tripped the checkpoint \
+                             breaker; checkpointing is disabled and remaining runs \
+                             cold-start"
+                        .to_string(),
                 });
             }
             sizer.observe_wavefront(wavefront_found_bug);

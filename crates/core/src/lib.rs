@@ -101,6 +101,7 @@
 pub mod baselines;
 pub mod campaign;
 pub mod checker;
+pub(crate) mod contain;
 pub mod engine;
 pub mod json;
 pub mod matrix;
@@ -117,7 +118,9 @@ pub mod study;
 pub mod trace;
 
 pub use campaign::{Campaign, CampaignBuilder, CampaignEvent, CampaignObserver, EventLog};
-pub use checker::{Approach, Budget, CampaignResult, Checker, CheckerConfig, UnsafeCondition};
+pub use checker::{
+    Approach, Budget, CampaignResult, Checker, CheckerConfig, CrashRecord, UnsafeCondition,
+};
 pub use engine::{DispatchMode, WorkerStatsCollector};
 pub use matrix::{MatrixReport, ScenarioMatrix};
 pub use monitor::{
@@ -127,7 +130,7 @@ pub use monitor::{
 pub use protocol::ProtocolTracker;
 pub use pruning::{PruningState, RoleSignature};
 pub use report::{replay, BugReport, ReplayOutcome};
-pub use runner::{ExperimentConfig, ExperimentRunner, RunResult};
+pub use runner::{ExperimentConfig, ExperimentRunner, RunResult, RunVerdict, WatchdogConfig};
 pub use sabre::{QueueEntry, SabreConfig, SabreQueue};
 pub use snapshot::{CheckpointConfig, CheckpointStats, SharedSnapshotTier, SharedTierStats};
 pub use strategy::{

@@ -506,6 +506,7 @@ mod tests {
             symmetry_pruned: 0,
             found_bug_pruned: 0,
             link_scenario: None,
+            crashes: Vec::new(),
         };
         let report = MatrixReport {
             results: vec![

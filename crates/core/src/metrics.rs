@@ -137,6 +137,7 @@ mod tests {
             symmetry_pruned: 0,
             found_bug_pruned: 0,
             link_scenario: None,
+            crashes: Vec::new(),
         }
     }
 

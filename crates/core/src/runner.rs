@@ -3,10 +3,11 @@
 //! and records the [`Trace`] (the `RunExperiment` procedure of
 //! Algorithm 1, and the step loop of Figure 7).
 
+use crate::contain;
 use crate::protocol::ProtocolTracker;
 use crate::snapshot::{
     injection_prefix, ChainParent, CheckpointConfig, CheckpointStats, RunSnapshot,
-    SharedSnapshotTier, SnapshotCache,
+    SharedSnapshotTier, SnapshotCache, SnapshotKey,
 };
 use crate::trace::{transition_from_code, ModeTransition, StateSample, Trace};
 use avis_firmware::{BugId, BugSet, Firmware, FirmwareProfile};
@@ -58,6 +59,29 @@ pub struct ExperimentConfig {
     /// bit-identical to a cold one — so this is purely a speed/memory
     /// trade-off.
     pub checkpoints: CheckpointConfig,
+    /// Scenario watchdog budgets, so a non-terminating scenario cannot
+    /// starve a worker forever (see [`WatchdogConfig`]).
+    pub watchdog: WatchdogConfig,
+}
+
+/// Per-experiment watchdog budgets. The *step* budget is the canonical
+/// limit: it counts simulated lock-step iterations, so it trips at the
+/// identical simulated state cold or forked, at any parallelism, and a
+/// tripped run carries the deterministic [`RunVerdict::Diverged`]. The
+/// *wall-clock* budget is a deliberately nondeterministic backstop for a
+/// hung substrate (an infinite loop inside one simulated step, which the
+/// step budget can never observe); it is lint-exempted, checked coarsely,
+/// and should be set far above any plausible honest run time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WatchdogConfig {
+    /// Maximum simulated lock-step iterations per run (`None` = no step
+    /// budget). Deterministic: part of the experiment fingerprint.
+    pub max_steps: Option<u64>,
+    /// Maximum wall-clock seconds per run (`None` = no wall-clock
+    /// backstop). Nondeterministic by nature; excluded from the
+    /// experiment fingerprint because it can only convert a *hang* into
+    /// a [`RunVerdict::Diverged`], never alter a run that terminates.
+    pub wall_clock_seconds: Option<f64>,
 }
 
 impl ExperimentConfig {
@@ -67,8 +91,12 @@ impl ExperimentConfig {
     /// excluded: it changes which snapshots exist, never what state they
     /// capture.
     pub(crate) fn fingerprint(&self) -> String {
+        // The watchdog *step* budget joins the fingerprint (it changes
+        // where a run can end); the wall-clock backstop does not (it can
+        // only convert a hang into `Diverged`, never alter a terminating
+        // run's state evolution).
         format!(
-            "{:?}|{:?}|{}|{:?}|{:?}|{}|{}|{}|{}|{:?}|{}",
+            "{:?}|{:?}|{}|{:?}|{:?}|{}|{}|{}|{}|{:?}|{}|{:?}",
             self.profile,
             self.bugs,
             self.workload.name(),
@@ -79,7 +107,8 @@ impl ExperimentConfig {
             self.sample_interval,
             self.seed,
             self.noise,
-            self.grace_period
+            self.grace_period,
+            self.watchdog.max_steps
         )
     }
 
@@ -97,8 +126,35 @@ impl ExperimentConfig {
             noise: None,
             grace_period: 2.0,
             checkpoints: CheckpointConfig::default(),
+            watchdog: WatchdogConfig::default(),
         }
     }
+}
+
+/// How a run ended, beyond what the trace itself records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum RunVerdict {
+    /// The run executed to its natural end (workload terminal state,
+    /// grace period, or the simulated-duration cap).
+    #[default]
+    Completed,
+    /// The firmware (or another substrate layer) panicked while
+    /// executing the plan. Contained at the runner boundary (see
+    /// [`crate::contain`]) and reported as a first-class outcome — the
+    /// paper's `Serious` symptom class — instead of aborting the
+    /// campaign. Deterministic: the same (seed, plan) crashes at the
+    /// same step with the same message at any parallelism.
+    Crashed {
+        /// The rendered panic payload, tagged with the experiment
+        /// fingerprint (seed + canonical plan key).
+        message: String,
+        /// The simulated lock-step index at which the panic unwound.
+        step: u64,
+    },
+    /// A scenario watchdog tripped before the run reached a natural end
+    /// (see [`WatchdogConfig`]). The step budget trips deterministically;
+    /// the wall-clock backstop only fires on a hung substrate.
+    Diverged,
 }
 
 /// The outcome of one simulated test run.
@@ -114,6 +170,11 @@ pub struct RunResult {
     /// Injected defects that activated during the run (used to map unsafe
     /// conditions back to the bugs of Tables II and V).
     pub triggered_defects: Vec<BugId>,
+    /// How the run ended: completed, crashed (contained panic) or
+    /// diverged (watchdog). Serde-defaulted so records serialised before
+    /// this field existed deserialise as [`RunVerdict::Completed`].
+    #[serde(default)]
+    pub verdict: RunVerdict,
 }
 
 impl RunResult {
@@ -139,6 +200,13 @@ pub struct ExperimentRunner {
     /// snapshot is deeper; newly recorded snapshots are offered to it
     /// for the engine to republish between wavefronts.
     shared: Option<Arc<SharedSnapshotTier>>,
+    /// The simulated lock-step index the in-flight run last reached —
+    /// read by [`ExperimentRunner::run_contained`] after a contained
+    /// panic, when the run's locals are gone with the unwind.
+    step_cursor: u64,
+    /// Local-cache keys the in-flight run recorded, so a contained panic
+    /// can quarantine exactly the chain the panicked run tainted.
+    fresh_keys: Vec<SnapshotKey>,
 }
 
 impl ExperimentRunner {
@@ -162,6 +230,8 @@ impl ExperimentRunner {
             runs: 0,
             cache,
             shared: None,
+            step_cursor: 0,
+            fresh_keys: Vec::new(),
         }
     }
 
@@ -203,6 +273,14 @@ impl ExperimentRunner {
         self.cache.stats()
     }
 
+    /// Test hook: silently corrupts every cached chain entry, as a stuck
+    /// bit in the store would. The next fork attempt must detect the
+    /// mismatch, quarantine the chain and fall back to cold execution.
+    #[doc(hidden)]
+    pub fn corrupt_cached_chains_for_test(&mut self) {
+        self.cache.corrupt_entries_for_test();
+    }
+
     /// Executes the workload with no injected faults (a golden / profiling
     /// run). `profiling_index` varies the sensor-noise seed so profiling
     /// runs differ the way real repeated flights do.
@@ -215,13 +293,80 @@ impl ExperimentRunner {
         self.execute(plan, 0)
     }
 
+    /// Executes one fault-injection scenario with panic containment: a
+    /// panic raised anywhere inside the run — simulated firmware, the
+    /// substrate, the workload — is caught at this boundary and reported
+    /// as [`RunVerdict::Crashed`] instead of unwinding into the engine.
+    /// Any snapshots the panicked run recorded are quarantined from the
+    /// local cache and retracted from the shared tier's pending buffer
+    /// (the panicked run's chain is never served to a later fork), so a
+    /// crashing (seed, plan) crashes bit-identically cold, checkpointed
+    /// or sharded.
+    pub fn run_contained(&mut self, plan: FaultPlan) -> RunResult {
+        let retained = plan.clone();
+        match contain::catch(|| self.execute(plan, 0)) {
+            Ok(result) => result,
+            Err(payload) => {
+                let tainted = std::mem::take(&mut self.fresh_keys);
+                self.cache.quarantine(&tainted);
+                if let Some(tier) = &self.shared {
+                    tier.retract(&tainted);
+                }
+                let context = format!(
+                    "experiment seed {}, plan {}",
+                    self.config.seed,
+                    retained.canonical_key()
+                );
+                let message = contain::render_panic(payload.as_ref(), &context);
+                let step = self.step_cursor;
+                RunResult {
+                    plan: retained,
+                    trace: Trace {
+                        sample_interval: self.config.sample_interval,
+                        samples: Vec::new(),
+                        mode_transitions: Vec::new(),
+                        collision: None,
+                        fence_violations: 0,
+                        workload_status: WorkloadStatus::Running,
+                        duration: 0.0,
+                        protocol: Vec::new(),
+                    },
+                    simulated_seconds: 0.0,
+                    triggered_defects: Vec::new(),
+                    verdict: RunVerdict::Crashed { message, step },
+                }
+            }
+        }
+    }
+
+    /// Whether the checkpoint breaker has tripped: repeated checksum
+    /// failures disabled checkpointing for this runner, and every
+    /// subsequent run cold-starts (see [`crate::snapshot`]).
+    pub fn checkpointing_degraded(&self) -> bool {
+        self.cache.degraded()
+    }
+
     fn execute(&mut self, plan: FaultPlan, seed_offset: u64) -> RunResult {
         self.runs += 1;
+        self.step_cursor = 0;
+        self.fresh_keys.clear();
+        // The wall-clock watchdog baseline. Sampled once per run and
+        // compared coarsely (every `WALL_CLOCK_STRIDE` iterations); see
+        // [`WatchdogConfig::wall_clock_seconds`] for why this cannot
+        // perturb a deterministic run.
+        let started = self
+            .config
+            .watchdog
+            .wall_clock_seconds
+            // avis-lint: allow(d1, reason = "wall-clock watchdog backstop: only ever converts a hung substrate into RunVerdict::Diverged, never observed by a terminating run")
+            .map(|_| std::time::Instant::now());
         let cfg = &self.config;
         // Only injection runs (seed offset 0) go through the checkpoint
         // tree: profiling runs each use a distinct sensor-noise seed and
         // execute exactly once, so snapshotting them is pure overhead.
-        let checkpointing = cfg.checkpoints.enabled && seed_offset == 0;
+        // A tripped checksum breaker (`SnapshotCache::degraded`) forces
+        // cold execution for the rest of the runner's life.
+        let checkpointing = cfg.checkpoints.enabled && seed_offset == 0 && !self.cache.degraded();
 
         // Fork from the deepest cached snapshot whose injection prefix
         // matches the plan — probing both the local cache and the shared
@@ -254,15 +399,21 @@ impl ExperimentRunner {
                 .as_ref()
                 .and_then(|tier| tier.peek_depth(seed_offset, &plan).map(|d| (d, tier)));
             let take_local = |cache: &mut SnapshotCache, chain_parent: &mut Option<ChainParent>| {
-                local.clone().map(|(time, key)| {
-                    let snapshot = cache.take(&key, time);
+                local.clone().and_then(|(time, key)| {
+                    // `take` re-validates the chain's record-time
+                    // checksums while materialising. A corrupt chain is
+                    // quarantined inside the cache (counted in
+                    // `CheckpointStats::{quarantined, checksum_failures}`)
+                    // and `None` comes back — the run then transparently
+                    // cold-starts, which is always correct, just slower.
+                    let snapshot = cache.take(&key, time)?;
                     if chains_enabled {
                         *chain_parent = Some(ChainParent {
                             key,
                             snapshot: snapshot.clone(),
                         });
                     }
-                    snapshot
+                    Some(snapshot)
                 })
             };
             match shared_probe {
@@ -396,8 +547,34 @@ impl ExperimentRunner {
         // point (the chain we forked from recorded them).
         let mut anchor_idx = anchors.partition_point(|&a| a < sim.time() + cfg.dt);
 
+        // How often (in lock-step iterations) the wall-clock backstop is
+        // actually consulted — coarse on purpose, so the hot loop never
+        // syscalls per step.
+        const WALL_CLOCK_STRIDE: u64 = 4096;
+        let mut verdict = RunVerdict::Completed;
         while sim.time() < cfg.max_duration {
             let time = sim.time();
+            // Scenario watchdogs, checked at the top of the loop. The
+            // step cursor is derived from *simulated* time, so it is
+            // identical cold or forked — the step budget trips at the
+            // same simulated state at any parallelism. It also survives
+            // on the runner across a panic unwind, which is how
+            // `run_contained` learns the crash step.
+            self.step_cursor = (time / cfg.dt).round() as u64;
+            if let Some(max_steps) = cfg.watchdog.max_steps {
+                if self.step_cursor >= max_steps {
+                    verdict = RunVerdict::Diverged;
+                    break;
+                }
+            }
+            if let (Some(limit), Some(started)) = (cfg.watchdog.wall_clock_seconds, started) {
+                if self.step_cursor.is_multiple_of(WALL_CLOCK_STRIDE)
+                    && started.elapsed().as_secs_f64() > limit
+                {
+                    verdict = RunVerdict::Diverged;
+                    break;
+                }
+            }
             // Checkpoint recording, cut at the top of the loop body: the
             // snapshot captures the state *before* this step's
             // ground-station exchange, firmware step and physics step.
@@ -423,6 +600,12 @@ impl ExperimentRunner {
                     time,
                     prefix: injection_prefix(&injector.plan(), time),
                 };
+                // Remember the cut's key before the snapshot moves: a
+                // contained panic quarantines exactly these keys from
+                // the local cache and retracts them from the shared
+                // tier's pending buffer.
+                self.fresh_keys
+                    .push(SnapshotKey::for_snapshot(seed_offset, &snapshot));
                 if let Some(tier) = &self.shared {
                     // The tier always receives the full snapshot: its
                     // entries cross worker (and campaign) boundaries, so
@@ -527,6 +710,7 @@ impl ExperimentRunner {
             trace,
             simulated_seconds: duration,
             triggered_defects,
+            verdict,
         }
     }
 }

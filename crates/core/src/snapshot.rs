@@ -479,7 +479,7 @@ pub(crate) struct SnapshotKey {
 }
 
 impl SnapshotKey {
-    fn for_snapshot(seed_offset: u64, snapshot: &RunSnapshot) -> Self {
+    pub(crate) fn for_snapshot(seed_offset: u64, snapshot: &RunSnapshot) -> Self {
         SnapshotKey {
             seed_offset,
             prefix: prefix_cache_key(&snapshot.prefix),
@@ -635,7 +635,48 @@ struct CacheEntry {
     /// Chain depth: 0 for a keyframe, parent depth + 1 for a delta.
     depth: usize,
     bytes: usize,
+    /// Record-time checksum over the entry's identity and payload shape
+    /// (see [`entry_checksum`]), re-validated on every materialisation.
+    /// A mismatch quarantines the whole chain instead of serving it.
+    checksum: u64,
     last_used: u64,
+}
+
+/// FNV-1a over `bytes`, continuing from `hash` (seed with
+/// [`FNV_OFFSET_BASIS`]).
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The record-time checksum of one cache entry: cut time, quantised
+/// prefix key, payload form (keyframe vs delta, and the delta's parent
+/// key) and the payload's approximate exclusive size. Computed when the
+/// entry is stored and re-validated link by link when a chain is
+/// materialised, so silent store corruption — a flipped byte in the
+/// bookkeeping a chain walk depends on — is detected and quarantined
+/// instead of resuming a wrong state.
+fn entry_checksum(time: f64, prefix: &InjectionPrefix, payload: &StoredRun) -> u64 {
+    let mut hash = fnv1a(FNV_OFFSET_BASIS, &time.to_bits().to_le_bytes());
+    hash = fnv1a(hash, prefix_cache_key(prefix).as_bytes());
+    match payload {
+        StoredRun::Full(snapshot) => {
+            hash = fnv1a(hash, &[1]);
+            hash = fnv1a(hash, &snapshot.time.to_bits().to_le_bytes());
+        }
+        StoredRun::Delta { parent, delta } => {
+            hash = fnv1a(hash, &[2]);
+            hash = fnv1a(hash, parent.prefix.as_bytes());
+            hash = fnv1a(hash, &parent.time_ms.to_le_bytes());
+            hash = fnv1a(hash, &delta.time.to_bits().to_le_bytes());
+        }
+    }
+    fnv1a(hash, &(payload.approx_bytes() as u64).to_le_bytes())
 }
 
 /// Counters describing how the checkpoint store behaved, surfaced through
@@ -670,6 +711,20 @@ pub struct CheckpointStats {
     pub snapshots_recorded: u64,
     /// Snapshots evicted by the memory budget.
     pub snapshots_evicted: u64,
+    /// Snapshots removed by quarantine: chain links whose record-time
+    /// checksum no longer matched at materialisation, plus entries
+    /// recorded by a run that later panicked (the panic-tainted chain).
+    /// Quarantined entries are never served again; the affected runs
+    /// transparently cold-start instead.
+    pub quarantined: u64,
+    /// Checksum-validation failures observed while materialising chains
+    /// (one per failed fork attempt, however many links the quarantine
+    /// then removed). Reaching the breaker threshold disables
+    /// checkpointing for the rest of the runner's life — the campaign is
+    /// notified through `CampaignEvent::DegradedMode`. Panic-taint
+    /// quarantines do *not* count here: a seeded crash is deterministic
+    /// and expected, not evidence of store corruption.
+    pub checksum_failures: u64,
     /// Total simulated seconds *not* re-executed thanks to forking (the
     /// sum of fork-point times).
     pub simulated_seconds_skipped: f64,
@@ -702,7 +757,18 @@ pub struct SnapshotCache {
     keyframe_stride: usize,
     clock: u64,
     stats: CheckpointStats,
+    /// The checksum breaker: set once
+    /// [`CheckpointStats::checksum_failures`] reaches
+    /// [`CHECKSUM_BREAKER_THRESHOLD`]. A tripped breaker disables
+    /// checkpointing for the rest of the runner's life (every run
+    /// cold-starts) — repeated validation failures mean the store cannot
+    /// be trusted, and correctness must not depend on it.
+    disabled: bool,
 }
+
+/// Checksum failures tolerated before the breaker disables checkpointing
+/// (see [`SnapshotCache::degraded`]).
+const CHECKSUM_BREAKER_THRESHOLD: u64 = 3;
 
 impl SnapshotCache {
     /// An empty cache with the given memory budget (bytes) holding only
@@ -784,14 +850,65 @@ impl SnapshotCache {
         chain
     }
 
+    /// Whether the checksum breaker has tripped (see
+    /// [`CheckpointStats::checksum_failures`]).
+    pub(crate) fn degraded(&self) -> bool {
+        self.disabled
+    }
+
+    /// Quarantines the entries at `keys` (plus their dependent delta
+    /// cuts): the panic-taint path, called by the runner after a
+    /// contained crash for every snapshot the panicked run recorded.
+    /// Counts [`CheckpointStats::quarantined`] but *not*
+    /// [`CheckpointStats::checksum_failures`] — a deterministic seeded
+    /// crash is an expected outcome, not store corruption, so it must
+    /// never trip the breaker.
+    pub(crate) fn quarantine(&mut self, keys: &[SnapshotKey]) {
+        for key in keys {
+            let removed = self.remove_with_dependents(key);
+            self.stats.quarantined += removed as u64;
+        }
+    }
+
+    /// Validates every link of `key`'s chain against its record-time
+    /// checksum. On the first mismatch the whole chain is quarantined
+    /// (counted in [`CheckpointStats::quarantined`]), one
+    /// [`CheckpointStats::checksum_failures`] is charged, the breaker is
+    /// advanced, and `false` comes back — the caller falls back to cold
+    /// execution.
+    fn validate_chain(&mut self, key: &SnapshotKey) -> bool {
+        let chain = self.chain_of(key);
+        let corrupt = chain.iter().any(|link| {
+            let entry = &self.entries[link];
+            entry_checksum(entry.time, &entry.prefix, &entry.payload) != entry.checksum
+        });
+        if corrupt {
+            // Quarantine from the chain's root (the keyframe) so every
+            // dependent delta — including `key` itself — goes with it.
+            // avis-lint: allow(p1, reason = "chain_of starts from `key`, never empty")
+            let root = chain.last().expect("chain is non-empty").clone();
+            let removed = self.remove_with_dependents(&root);
+            self.stats.quarantined += removed as u64;
+            self.stats.checksum_failures += 1;
+            if self.stats.checksum_failures >= CHECKSUM_BREAKER_THRESHOLD {
+                self.disabled = true;
+            }
+        }
+        !corrupt
+    }
+
     /// Takes (a re-materialised copy of) the snapshot a
     /// [`SnapshotCache::peek_deepest`] probe selected, updating LRU state
     /// and fork statistics. A keyframe is a plain clone; a delta cut is
     /// rebuilt by walking its chain from the keyframe and applying each
     /// delta in order. The whole chain's LRU stamps are refreshed —
     /// materialisation *uses* every link, so a hot cut keeps its keyframe
-    /// alive.
-    pub(crate) fn take(&mut self, key: &SnapshotKey, time: f64) -> RunSnapshot {
+    /// alive. Every link is checksum-validated first: a corrupt chain is
+    /// quarantined and `None` comes back, and the caller cold-starts.
+    pub(crate) fn take(&mut self, key: &SnapshotKey, time: f64) -> Option<RunSnapshot> {
+        if !self.validate_chain(key) {
+            return None;
+        }
         self.clock += 1;
         let chain = self.chain_of(key);
         for link in &chain {
@@ -823,7 +940,7 @@ impl SnapshotCache {
         }
         self.stats.forked_runs += 1;
         self.stats.simulated_seconds_skipped += time;
-        snapshot
+        Some(snapshot)
     }
 
     /// Records a snapshot, keeping the earliest recording when the same
@@ -872,6 +989,7 @@ impl SnapshotCache {
         self.clock += 1;
         let ledger = &mut self.ledger;
         payload.for_each_chunk(&mut |id, chunk_bytes| ledger.add_chunk(id, chunk_bytes));
+        let checksum = entry_checksum(time, &prefix, &payload);
         self.entries.insert(
             key.clone(),
             CacheEntry {
@@ -880,6 +998,7 @@ impl SnapshotCache {
                 prefix,
                 depth,
                 bytes,
+                checksum,
                 last_used: self.clock,
             },
         );
@@ -905,6 +1024,16 @@ impl SnapshotCache {
     /// Evicts `key` together with every transitive dependent (delta cuts
     /// diffed against it — their chains could no longer materialise).
     fn evict_with_dependents(&mut self, key: &SnapshotKey) {
+        let removed = self.remove_with_dependents(key);
+        self.stats.snapshots_evicted += removed as u64;
+    }
+
+    /// Removes `key` and every transitive dependent from the store,
+    /// returning how many entries went. The statistics-neutral core
+    /// shared by budget eviction ([`CheckpointStats::snapshots_evicted`])
+    /// and quarantine ([`CheckpointStats::quarantined`]).
+    fn remove_with_dependents(&mut self, key: &SnapshotKey) -> usize {
+        let mut removed = 0usize;
         let mut pending = vec![key.clone()];
         while let Some(victim) = pending.pop() {
             if let Some(children) = self.dependents.remove(&victim) {
@@ -928,7 +1057,18 @@ impl SnapshotCache {
                     }
                 }
             }
-            self.stats.snapshots_evicted += 1;
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Test hook: flips the stored cut time of every entry (a silent
+    /// single-byte store corruption), leaving the record-time checksums
+    /// untouched — the next materialisation must detect the mismatch.
+    #[doc(hidden)]
+    pub(crate) fn corrupt_entries_for_test(&mut self) {
+        for entry in self.entries.values_mut() {
+            entry.time = f64::from_bits(entry.time.to_bits() ^ 1);
         }
     }
 }
@@ -1119,6 +1259,22 @@ impl SharedSnapshotTier {
                 seq,
             }),
         ));
+    }
+
+    /// Withdraws still-pending offers whose keys are in `keys` — the
+    /// panic-taint path: a contained crash retracts everything the
+    /// panicked run offered before the engine's next republish could
+    /// make it visible to other workers. (Offers become visible only at
+    /// [`SharedSnapshotTier::republish`], which the engine calls between
+    /// wavefronts — after every contained crash of the wavefront has
+    /// already retracted its offers — so a tainted chain never crosses a
+    /// worker boundary.)
+    pub(crate) fn retract(&self, keys: &[SnapshotKey]) {
+        if keys.is_empty() {
+            return;
+        }
+        let mut state = self.state.lock();
+        state.pending.retain(|(k, _)| !keys.contains(k));
     }
 
     /// Merges every pending snapshot into the published map, evicts

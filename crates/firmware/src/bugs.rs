@@ -70,6 +70,11 @@ pub enum BugId {
     // and `all()` so the Table II/V accounting stays exact — and only
     // reachable through link-fault campaigns.
     ProtoDoubleArm,
+    // Seeded crash defect (PR 8): a firmware panic on a takeoff command
+    // accepted against a stale position estimate. Same exclusion rules as
+    // `ProtoDoubleArm`; exercises the checker's panic containment and is
+    // only reachable through a sensor fault combined with a link fault.
+    ProtoPanicOnStaleEkf,
 }
 
 impl BugId {
@@ -122,6 +127,7 @@ impl BugId {
             BugId::Apm9349 => "APM-9349",
             BugId::Px413291 => "PX4-13291",
             BugId::ProtoDoubleArm => "PROTO-101",
+            BugId::ProtoPanicOnStaleEkf => "PROTO-102",
         }
     }
 
@@ -328,6 +334,23 @@ impl BugId {
                  command as accepted. Only reachable by duplicating or \
                  storming GCS commands on the link.",
                 false,
+            ),
+            BugId::ProtoPanicOnStaleEkf => BugInfo::new(
+                self,
+                ArduPilotLike,
+                Crash,
+                Gps,
+                Takeoff,
+                "Takeoff commanded on a stale position estimate",
+                "The takeoff-command handler asserts (and aborts) instead of \
+                 rejecting when the command arrives while the position \
+                 estimate is already stale. Reaching the handler in that \
+                 state needs a GPS failure that lands between arming and \
+                 the mode change — only a delayed command link opens that \
+                 window, so the defect is invisible to pure sensor-fault \
+                 campaigns and manifests as a firmware crash (process \
+                 abort), not a flight symptom.",
+                true,
             ),
         }
     }

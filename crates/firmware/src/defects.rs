@@ -178,7 +178,7 @@ impl DefectEngine {
             // Protocol defects never trigger through the per-step sensor
             // evaluation; they live in the message handlers (see
             // `Firmware::handle_arm`).
-            BugId::ProtoDoubleArm => false,
+            BugId::ProtoDoubleArm | BugId::ProtoPanicOnStaleEkf => false,
         }
     }
 
@@ -335,7 +335,7 @@ impl DefectEngine {
                 });
             }
             // Handled in the message path, not the control loop.
-            BugId::ProtoDoubleArm => {}
+            BugId::ProtoDoubleArm | BugId::ProtoPanicOnStaleEkf => {}
         }
     }
 }

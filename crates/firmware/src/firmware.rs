@@ -564,6 +564,31 @@ impl Firmware {
         let accepted = self.armed
             && matches!(self.mode, OperatingMode::Guided | OperatingMode::PreFlight)
             && altitude > 0.0;
+        // Seeded crash defect (PROTO-102): the takeoff handler asserts
+        // instead of rejecting when the command is accepted against a
+        // position estimate that already went stale. A correct firmware
+        // would refuse the climb; the buggy one aborts the process. The
+        // state is only reachable when a GPS failure lands *between*
+        // arming and the mode change — i.e. a delayed command link — so
+        // pure sensor-fault campaigns never see it, and the checker must
+        // contain the unwind to keep the campaign alive.
+        if accepted
+            && self.defects.bugs().is_enabled(BugId::ProtoPanicOnStaleEkf)
+            && !self.estimator.state().position_ok
+        {
+            self.defect_log.push((
+                self.time,
+                DefectOverrides {
+                    active: vec![BugId::ProtoPanicOnStaleEkf],
+                    ..Default::default()
+                },
+            ));
+            panic!(
+                "PROTO-102: takeoff commanded on a stale position estimate \
+                 ({:.3}s since last GPS fix)",
+                self.estimator.state().gps_loss_seconds
+            );
+        }
         if accepted {
             self.takeoff_target = altitude;
             self.after_takeoff = OperatingMode::Guided;

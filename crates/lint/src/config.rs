@@ -40,6 +40,10 @@ pub struct LintConfig {
     /// Workspace-relative hot-path files where P1 denies bare
     /// `unwrap()` / `expect()`.
     pub hot_path_files: Vec<String>,
+    /// Workspace-relative files sanctioned to call `catch_unwind` —
+    /// everywhere else P2 flags it (panic containment must stay behind
+    /// the audited boundary).
+    pub containment_files: Vec<String>,
     /// State ↔ snapshot pairs for S1.
     pub pairs: Vec<SnapshotPair>,
 }
@@ -87,6 +91,9 @@ impl LintConfig {
         }
         if let Some(t) = tables.get("rules.p1") {
             config.hot_path_files = take_array(t, "files")?.unwrap_or_default();
+        }
+        if let Some(t) = tables.get("rules.p2") {
+            config.containment_files = take_array(t, "files")?.unwrap_or_default();
         }
         for (table, line) in arrays.get("snapshot_pair").into_iter().flatten() {
             let field = |key: &str| -> Result<String, ConfigError> {
@@ -311,6 +318,9 @@ files = [
     "crates/core/src/runner.rs",
 ]
 
+[rules.p2]
+files = ["crates/core/src/contain.rs"]
+
 [[snapshot_pair]]
 state = "Simulator"
 snapshot = "SimSnapshot"
@@ -327,6 +337,7 @@ functions = ["diff", "apply"]
         assert_eq!(config.exclude, vec!["vendor", "target"]);
         assert_eq!(config.determinism_crates, vec!["core", "sim"]);
         assert_eq!(config.hot_path_files.len(), 2);
+        assert_eq!(config.containment_files, vec!["crates/core/src/contain.rs"]);
         assert_eq!(config.pairs.len(), 2);
         assert_eq!(config.pairs[0].state, "Simulator");
         assert_eq!(config.pairs[1].functions, vec!["diff", "apply"]);

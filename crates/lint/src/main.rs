@@ -22,7 +22,7 @@ struct Args {
 fn usage() -> &'static str {
     "usage: avis-lint --workspace [--root DIR] [--config FILE] [--json FILE] [--quiet]\n\
      \n\
-     Lints the Avis workspace for determinism hazards (rules d1/d2/s1/u1/p1).\n\
+     Lints the Avis workspace for determinism hazards (rules d1/d2/s1/u1/p1/p2).\n\
      Configuration is read from lint.toml at the workspace root (or --config).\n\
      --json writes the machine-readable report to FILE.\n"
 }

@@ -7,6 +7,7 @@
 //! | `s1` | snapshot-field coverage for configured state ↔ snapshot pairs |
 //! | `u1` | every `unsafe` needs a `// SAFETY:` justification |
 //! | `p1` | no bare `unwrap()` / `expect()` in hot-path modules |
+//! | `p2` | `catch_unwind` only inside the sanctioned containment module |
 //! | `lint` | the lint's own inputs are broken (malformed suppression, config drift) |
 //!
 //! Every rule except `lint` honours inline suppressions of the form
@@ -74,6 +75,9 @@ pub struct FileScope {
     pub determinism: bool,
     /// P1 (hot-path module).
     pub hot_path: bool,
+    /// P2 exemption: this file is a sanctioned panic-containment
+    /// boundary, allowed to call `catch_unwind`.
+    pub containment: bool,
 }
 
 impl FileScope {
@@ -84,9 +88,11 @@ impl FileScope {
             .iter()
             .any(|c| rel_path.starts_with(&format!("crates/{c}/src/")));
         let hot_path = config.hot_path_files.iter().any(|f| f == rel_path);
+        let containment = config.containment_files.iter().any(|f| f == rel_path);
         FileScope {
             determinism,
             hot_path,
+            containment,
         }
     }
 }
@@ -136,6 +142,9 @@ pub fn check_file(
     check_u1(file, report);
     if scope.hot_path {
         check_p1(file, report);
+    }
+    if !scope.containment {
+        check_p2(file, report);
     }
 }
 
@@ -299,6 +308,29 @@ fn check_p1(file: &SourceFile, report: &mut LintReport) {
     }
 }
 
+/// P2 — `catch_unwind` outside the sanctioned containment module
+/// (non-test code). Ad-hoc unwinding swallows panics without the
+/// cache-quarantine and hook-suppression discipline the containment
+/// boundary provides; route panic isolation through it instead.
+fn check_p2(file: &SourceFile, report: &mut LintReport) {
+    for t in &file.sig {
+        if !t.is_ident("catch_unwind") || file.is_test_line(t.line) {
+            continue;
+        }
+        emit(
+            report,
+            file,
+            "p2",
+            t.line,
+            "`catch_unwind` outside the sanctioned containment module: \
+             swallowing a panic here skips snapshot quarantine and panic-hook \
+             suppression; route it through the containment boundary (lint.toml \
+             [rules.p2] files)"
+                .to_string(),
+        );
+    }
+}
+
 /// S1 — snapshot-field coverage over the configured state ↔ snapshot
 /// pairs. Config drift (missing file/struct/function) is itself a
 /// violation: a silently skipped pair would defeat the rule.
@@ -425,6 +457,7 @@ mod tests {
     const DET: FileScope = FileScope {
         determinism: true,
         hot_path: false,
+        containment: false,
     };
 
     #[test]
@@ -473,14 +506,41 @@ mod tests {
         let src =
             "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n#[test]\nfn t() { Some(1).unwrap(); }\n";
         let hot = FileScope {
-            determinism: false,
             hot_path: true,
+            ..FileScope::default()
         };
         let report = lint_one("crates/core/src/engine.rs", src, hot);
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].line, 1);
         let report = lint_one("crates/core/src/engine.rs", src, FileScope::default());
         assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn p2_fires_everywhere_except_the_containment_scope_and_tests() {
+        let src = "fn f() { let _ = std::panic::catch_unwind(|| {}); }\n\
+                   #[test]\nfn t() { let _ = std::panic::catch_unwind(|| {}); }\n";
+        let report = lint_one("crates/core/src/x.rs", src, FileScope::default());
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, "p2");
+        assert_eq!(report.violations[0].line, 1);
+
+        let sanctioned = FileScope {
+            containment: true,
+            ..FileScope::default()
+        };
+        let report = lint_one("crates/core/src/contain.rs", src, sanctioned);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn p2_scope_derives_from_the_config() {
+        let mut config = LintConfig::default();
+        config
+            .containment_files
+            .push("crates/core/src/contain.rs".to_string());
+        assert!(FileScope::for_path("crates/core/src/contain.rs", &config).containment);
+        assert!(!FileScope::for_path("crates/core/src/engine.rs", &config).containment);
     }
 
     #[test]

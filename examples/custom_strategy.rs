@@ -131,6 +131,7 @@ impl CampaignObserver for LivePrinter {
                 unsafe_conditions,
                 ..
             } => println!(">> done: {unsafe_conditions} unsafe conditions in {simulations} runs"),
+            CampaignEvent::DegradedMode { reason } => println!("   ** degraded: {reason}"),
         }
     }
 }

@@ -9,14 +9,18 @@
 use avis::campaign::Campaign;
 use avis::checker::{Approach, Budget, CampaignResult};
 use avis::matrix::ScenarioMatrix;
-use avis::runner::ExperimentConfig;
+use avis::runner::{ExperimentConfig, ExperimentRunner, RunVerdict};
 use avis::snapshot::{CheckpointConfig, SharedSnapshotTier};
-use avis::strategy::{LinkProbeStrategy, RoundRobinMode};
+use avis::strategy::{
+    Candidate, Decision, LinkProbeStrategy, Observation, RoundRobinMode, Strategy, StrategyContext,
+};
 use avis_firmware::{BugId, BugSet, FirmwareProfile};
-use avis_hinj::{LinkDirection, LinkFaultKind, LinkFaultPlan, LinkFaultSpec, StormCommand};
+use avis_hinj::{
+    FaultPlan, FaultSpec, LinkDirection, LinkFaultKind, LinkFaultPlan, LinkFaultSpec, StormCommand,
+};
 use avis_sim::simulator::{SimConfig, Simulator, StepOutput};
-use avis_sim::{Environment, MotorCommands, SensorNoise};
-use avis_workload::auto_box_mission;
+use avis_sim::{Environment, MotorCommands, SensorInstance, SensorKind, SensorNoise};
+use avis_workload::{auto_box_mission, manual_box_survey};
 use std::sync::Arc;
 
 fn experiment() -> ExperimentConfig {
@@ -499,6 +503,338 @@ fn link_probe_strategy_finds_the_protocol_defect() {
         "the probe sweep should reproduce PROTO-101: {:?}",
         serial.bugs_found()
     );
+}
+
+/// A minimal deterministic strategy that proposes a fixed list of plans
+/// as one round — the harness for seeding a known crashing plan into a
+/// campaign without depending on any search heuristic finding it.
+struct ScriptedPlans {
+    plans: Vec<FaultPlan>,
+    proposed: bool,
+}
+
+impl ScriptedPlans {
+    fn new(plans: Vec<FaultPlan>) -> Self {
+        ScriptedPlans {
+            plans,
+            proposed: false,
+        }
+    }
+}
+
+impl Strategy for ScriptedPlans {
+    fn name(&self) -> &str {
+        "Scripted plans"
+    }
+
+    fn initialize(&mut self, _ctx: &StrategyContext<'_>) {}
+
+    fn propose(&mut self) -> Vec<Candidate> {
+        if self.proposed {
+            return Vec::new();
+        }
+        self.proposed = true;
+        self.plans
+            .iter()
+            .enumerate()
+            .map(|(i, plan)| Candidate::speculate(i as u64, plan.clone()))
+            .collect()
+    }
+
+    fn decide(&mut self, candidate: &Candidate) -> Decision {
+        Decision::run(self.plans[candidate.token() as usize].clone())
+    }
+
+    fn observe(&mut self, _observation: &Observation<'_>) {}
+}
+
+/// The firmware with only the seeded crash defect (PROTO-102) compiled
+/// in: a takeoff command accepted against a stale position estimate
+/// aborts the firmware instead of rejecting the climb.
+fn panic_experiment() -> ExperimentConfig {
+    let mut experiment = ExperimentConfig::new(
+        FirmwareProfile::ArduPilotLike,
+        BugSet::only(BugId::ProtoPanicOnStaleEkf),
+        manual_box_survey(),
+    );
+    experiment.noise = Some(SensorNoise::default());
+    experiment.max_duration = 110.0;
+    experiment
+}
+
+/// The sensor half of the PROTO-102 trigger: both GPS units fail at
+/// t = 3.6 s — after the (delayed) arm command lands at ~3.5 s but
+/// before the mode change arrives, so the position estimate is stale by
+/// the time the takeoff command reaches the firmware.
+fn stale_ekf_gps() -> FaultPlan {
+    FaultPlan::from_specs(vec![
+        FaultSpec::new(SensorInstance::new(SensorKind::Gps, 0), 3.6),
+        FaultSpec::new(SensorInstance::new(SensorKind::Gps, 1), 3.6),
+    ])
+}
+
+/// The link half of the trigger: GCS → vehicle commands are delayed by
+/// 1.5 s during the launch sequence, opening the arm-to-mode-change
+/// window the GPS failure must land in. Without this delay the same GPS
+/// plan completes normally (the defect is invisible to pure sensor-fault
+/// campaigns).
+fn command_delay() -> LinkFaultPlan {
+    LinkFaultPlan::from_specs(vec![LinkFaultSpec::new(
+        LinkFaultKind::Delay {
+            duration: 5.0,
+            seconds: 1.5,
+        },
+        LinkDirection::ToVehicle,
+        1.0,
+    )])
+}
+
+#[test]
+fn crashing_run_is_contained_and_bit_identical_across_engines() {
+    // The crash-containment acceptance scenario: a campaign whose
+    // wavefront contains a run that panics the firmware must (a) survive
+    // — the panic is converted into a `Crashed` verdict and reported in
+    // `CampaignResult::crashes`, (b) keep executing every other proposed
+    // job (a panicking worker must not leak its shard family), and
+    // (c) stay bit-identical at parallelism 1 and 4, with checkpointing
+    // on or off.
+    let plans = vec![
+        FaultPlan::from_specs(vec![FaultSpec::new(
+            SensorInstance::new(SensorKind::Compass, 0),
+            40.0,
+        )]),
+        stale_ekf_gps(),
+        FaultPlan::from_specs(vec![FaultSpec::new(
+            SensorInstance::new(SensorKind::Barometer, 0),
+            50.0,
+        )]),
+        FaultPlan::from_specs(vec![FaultSpec::new(
+            SensorInstance::new(SensorKind::Gyroscope, 0),
+            60.0,
+        )]),
+    ];
+    let run = |parallelism: usize, checkpoints: CheckpointConfig| {
+        Campaign::builder()
+            .experiment(panic_experiment())
+            .strategy(ScriptedPlans::new(plans.clone()))
+            .link_faults(command_delay())
+            .budget(Budget::simulations(10))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .checkpoints(checkpoints)
+            .build()
+            .run()
+    };
+    let cold = run(1, CheckpointConfig::disabled());
+    for parallelism in [1, 4] {
+        for checkpoints in [CheckpointConfig::disabled(), CheckpointConfig::default()] {
+            let other = run(parallelism, checkpoints);
+            assert_eq!(
+                cold, other,
+                "crash-contained campaign (parallelism {parallelism}) \
+                 diverged from the serial cold engine"
+            );
+        }
+    }
+    assert_eq!(
+        cold.crashes.len(),
+        1,
+        "exactly the seeded plan should crash: {:?}",
+        cold.crashes
+    );
+    let crash = &cold.crashes[0];
+    assert!(
+        crash.message.contains("PROTO-102"),
+        "the crash report should carry the firmware's panic message: {}",
+        crash.message
+    );
+    assert!(crash.step > 0, "the crash step should be recorded");
+    assert!(
+        crash
+            .plan
+            .specs()
+            .any(|s| s.instance.kind == SensorKind::Gps),
+        "the crash report should carry the injected plan: {}",
+        crash.plan
+    );
+    // Job accounting: the crashing run must not swallow its wavefront —
+    // every proposed plan was decided and executed (1 profiling run +
+    // all 4 scripted plans).
+    assert_eq!(
+        cold.simulations,
+        1 + plans.len(),
+        "a crashed run leaked other proposed jobs"
+    );
+}
+
+#[test]
+fn crash_is_unreachable_without_the_link_fault() {
+    // Sanity check on the seeded defect itself: the same GPS plan over a
+    // healthy link completes normally — PROTO-102 needs the delayed
+    // command window, so pure sensor-fault campaigns never abort.
+    let result = Campaign::builder()
+        .experiment(panic_experiment())
+        .strategy(ScriptedPlans::new(vec![stale_ekf_gps()]))
+        .budget(Budget::simulations(4))
+        .profiling_runs(1)
+        .parallelism(1)
+        .build()
+        .run();
+    assert!(
+        result.crashes.is_empty(),
+        "PROTO-102 should be unreachable over a clean link: {:?}",
+        result.crashes
+    );
+}
+
+#[test]
+fn matrix_crash_cell_reports_exactly_one_crashed_verdict() {
+    // The CI crash-containment smoke: a matrix sweeping a clean link
+    // against the delayed-command scenario reports the seeded firmware
+    // crash in the faulty-link cell — and only there — identically at
+    // parallelism 1 and 4.
+    let plans = vec![stale_ekf_gps()];
+    let run = |parallelism: usize| {
+        let plans = plans.clone();
+        ScenarioMatrix::new()
+            .firmware(FirmwareProfile::ArduPilotLike)
+            .workload(manual_box_survey())
+            .bugs(BugSet::only(BugId::ProtoPanicOnStaleEkf))
+            .strategy("stale-ekf probe", move || {
+                Box::new(ScriptedPlans::new(plans.clone()))
+            })
+            .link_scenario("clean", LinkFaultPlan::empty())
+            .link_scenario("delayed-commands", command_delay())
+            .budget(Budget::simulations(4))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .max_duration(110.0)
+            .noise(SensorNoise::default())
+            .run()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "crash-containment matrix diverged between parallelism 1 and 4"
+    );
+    assert_eq!(serial.results.len(), 2);
+    for cell in &serial.results {
+        match cell.link_scenario.as_deref() {
+            Some("clean") => assert!(
+                cell.crashes.is_empty(),
+                "the crash must be unreachable over a clean link"
+            ),
+            Some("delayed-commands") => {
+                assert_eq!(
+                    cell.crashes.len(),
+                    1,
+                    "the faulty-link cell should report exactly one crashed \
+                     verdict: {:?}",
+                    cell.crashes
+                );
+                assert!(cell.crashes[0].message.contains("PROTO-102"));
+            }
+            other => panic!("unexpected link scenario {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn step_budget_watchdog_marks_runs_diverged() {
+    // The deterministic watchdog: a run exceeding its step budget is cut
+    // off and marked `Diverged` — identically wherever it executes, since
+    // the step cursor derives from simulated time, not wall clock.
+    let mut experiment = experiment();
+    experiment.watchdog.max_steps = Some(400);
+    let mut runner = ExperimentRunner::new(experiment.clone());
+    let result = runner.run_contained(FaultPlan::empty());
+    assert_eq!(result.verdict, RunVerdict::Diverged);
+    // The budget bounds the trace: dt = 0.005 → 400 steps = 2 s.
+    let last = result.trace.samples.last().expect("truncated trace");
+    assert!(
+        last.time <= 400.0 * experiment.dt + 1e-9,
+        "the watchdog should have cut the run at its step budget: {}",
+        last.time
+    );
+    // A budget-less runner completes the same plan normally.
+    let mut unbounded = experiment;
+    unbounded.watchdog.max_steps = None;
+    let mut runner = ExperimentRunner::new(unbounded);
+    assert_eq!(
+        runner.run_contained(FaultPlan::empty()).verdict,
+        RunVerdict::Completed
+    );
+}
+
+#[test]
+fn corrupted_snapshot_chain_is_quarantined_with_cold_fallback() {
+    // Snapshot quarantine: corrupting a cached delta chain must be
+    // detected at materialisation time (checksum mismatch), the chain
+    // quarantined, and the run transparently re-executed from t = 0 with
+    // a bit-identical result — corruption costs time, never correctness.
+    let forked = FaultPlan::from_specs(vec![
+        FaultSpec::new(SensorInstance::new(SensorKind::Gps, 0), 30.0),
+        FaultSpec::new(SensorInstance::new(SensorKind::Compass, 0), 60.0),
+    ]);
+    let base = FaultPlan::from_specs(vec![FaultSpec::new(
+        SensorInstance::new(SensorKind::Gps, 0),
+        30.0,
+    )]);
+
+    let mut cold_experiment = experiment();
+    cold_experiment.checkpoints = CheckpointConfig::disabled();
+    let mut cold_runner = ExperimentRunner::new(cold_experiment);
+    let cold = cold_runner.run_contained(forked.clone());
+
+    let mut warm_runner = ExperimentRunner::new(experiment());
+    // Record the base chain, then flip a byte in every cached entry.
+    let _ = warm_runner.run_contained(base);
+    warm_runner.corrupt_cached_chains_for_test();
+    let recovered = warm_runner.run_contained(forked);
+    assert_eq!(
+        cold, recovered,
+        "the quarantine fallback diverged from cold execution"
+    );
+    let stats = warm_runner.checkpoint_stats();
+    assert!(
+        stats.checksum_failures >= 1,
+        "the corruption should have been detected: {stats:?}"
+    );
+    assert!(
+        stats.quarantined >= 1,
+        "the corrupt chain should have been quarantined: {stats:?}"
+    );
+}
+
+#[test]
+fn repeated_checksum_failures_trip_the_checkpoint_breaker() {
+    // Graceful degradation: after repeated integrity failures the
+    // per-cache breaker disables checkpointing for the rest of the
+    // campaign; runs keep completing (cold) instead of thrashing on a
+    // corrupt store.
+    let plan = FaultPlan::from_specs(vec![FaultSpec::new(
+        SensorInstance::new(SensorKind::Gps, 0),
+        30.0,
+    )]);
+    let mut runner = ExperimentRunner::new(experiment());
+    let reference = runner.run_contained(plan.clone());
+    for _ in 0..3 {
+        runner.corrupt_cached_chains_for_test();
+        let rerun = runner.run_contained(plan.clone());
+        assert_eq!(
+            reference, rerun,
+            "a corrupted store changed a run result before degrading"
+        );
+    }
+    assert!(
+        runner.checkpointing_degraded(),
+        "three checksum failures should trip the breaker: {:?}",
+        runner.checkpoint_stats()
+    );
+    // Runs still execute (cold) after degradation.
+    let after = runner.run_contained(plan);
+    assert_eq!(reference, after, "degraded mode changed a run result");
 }
 
 #[test]
