@@ -365,6 +365,12 @@ fn run_sweep_dispatched(
         .max_duration(110.0)
         .profiling_runs(LATE_SWEEP_PROFILING_RUNS)
         .checkpoints(checkpoints)
+        // Scalar lanes: these scenarios isolate the checkpoint store
+        // (cold-vs-checkpointed ratio, fork depth, local-hit share),
+        // which lockstep batching would partly absorb — the batched
+        // path has its own scenario, `batched-lockstep`, including its
+        // checkpointed and combined variants.
+        .lockstep_lanes(1)
         .dispatch(dispatch);
     if let Some(collector) = worker_stats {
         builder = builder.worker_stats(collector);
@@ -380,6 +386,150 @@ fn run_sweep_dispatched(
         .elapsed()
         .as_secs_f64();
     (result, search_seconds)
+}
+
+/// Runs the late-injection sweep with an explicit lockstep lane count
+/// and defect set (the batched-lockstep scenario's runner).
+fn run_lockstep_sweep(
+    simulations: usize,
+    bugs: &BugSet,
+    checkpoints: CheckpointConfig,
+    parallelism: usize,
+    lanes: usize,
+) -> (CampaignResult, f64) {
+    let campaign = Campaign::builder()
+        .firmware(FirmwareProfile::ArduPilotLike)
+        .bugs(bugs.clone())
+        .workload(auto_box_mission())
+        .strategy(LateSweep::new())
+        .budget(Budget::simulations(simulations))
+        .parallelism(parallelism)
+        .max_duration(110.0)
+        .profiling_runs(LATE_SWEEP_PROFILING_RUNS)
+        .checkpoints(checkpoints)
+        .lockstep_lanes(lanes)
+        .build();
+    let mut clock = SearchPhaseClock {
+        search_started: None,
+    };
+    let result = campaign.run_with_observer(&mut clock);
+    let search_seconds = clock
+        .search_started
+        .expect("campaign emitted ProfilingFinished")
+        .elapsed()
+        .as_secs_f64();
+    (result, search_seconds)
+}
+
+/// The batched-lockstep scenario: the late-injection sweep at equal
+/// budget, scalar (`lockstep_lanes(1)`) vs SoA lockstep batches of 4 and
+/// 8 lanes (`avis::batch`), on the fixed and buggy firmware. The
+/// fixed-sweep cold comparison is the headline step-throughput number —
+/// the sweep's same-slot siblings share a 60–95% injection prefix that
+/// lockstep advances once instead of `lanes` times — and carries a
+/// hard gate of >= 1.5x. Every batched variant (cold, checkpointed,
+/// parallelism 1 and 4) must be bit-identical to the scalar cold
+/// reference.
+fn bench_batched_lockstep(simulations: usize) -> (Json, f64) {
+    println!(
+        "scenario `batched-lockstep`: {simulations}-simulation sweeps, scalar vs SoA lockstep lanes"
+    );
+    let fixed = BugSet::none();
+    let buggy = BugSet::current_code_base(FirmwareProfile::ArduPilotLike);
+    let cold = CheckpointConfig::disabled;
+    let budgeted = || CheckpointConfig::with_max_bytes(CHECKPOINT_BUDGET_BYTES);
+
+    // Fixed sweep, cold, parallelism 1: scalar vs 4 and 8 lanes.
+    let (scalar_result, scalar_seconds) = run_lockstep_sweep(simulations, &fixed, cold(), 1, 1);
+    let scenarios = scalar_result
+        .simulations
+        .saturating_sub(LATE_SWEEP_PROFILING_RUNS);
+    let scalar_sps = scenarios as f64 / scalar_seconds;
+    println!("  fixed scalar:     {scalar_seconds:.2}s wall, {scenarios} scenarios, {scalar_sps:.2} scenarios/s");
+    let (lanes4_result, lanes4_seconds) = run_lockstep_sweep(simulations, &fixed, cold(), 1, 4);
+    let lanes4_sps = scenarios as f64 / lanes4_seconds;
+    let speedup4 = lanes4_sps / scalar_sps;
+    let (lanes8_result, lanes8_seconds) = run_lockstep_sweep(simulations, &fixed, cold(), 1, 8);
+    let lanes8_sps = scenarios as f64 / lanes8_seconds;
+    let speedup8 = lanes8_sps / scalar_sps;
+    let cold_identical = lanes4_result == scalar_result && lanes8_result == scalar_result;
+    println!(
+        "  fixed lanes=4:    {lanes4_seconds:.2}s wall, {lanes4_sps:.2} scenarios/s, speedup {speedup4:.2}x, result {}",
+        if cold_identical { "bit-identical to scalar" } else { "DIVERGED FROM SCALAR" }
+    );
+    println!(
+        "  fixed lanes=8:    {lanes8_seconds:.2}s wall, {lanes8_sps:.2} scenarios/s, speedup {speedup8:.2}x"
+    );
+    assert!(
+        cold_identical,
+        "batched lockstep sweep diverged from the scalar result"
+    );
+    assert!(
+        speedup4 >= 1.5,
+        "batched lockstep fixed-sweep speedup {speedup4:.2}x fell below the 1.5x gate \
+         (scalar {scalar_sps:.2} vs lanes=4 {lanes4_sps:.2} scenarios/s at equal budget)"
+    );
+
+    // Result identity across the remaining execution modes: batched +
+    // checkpointed, and both batched variants at parallelism 4.
+    let (ckpt_result, _) = run_lockstep_sweep(simulations, &fixed, budgeted(), 1, 4);
+    assert!(
+        ckpt_result == scalar_result,
+        "batched+checkpointed sweep diverged from the scalar cold result"
+    );
+    let (par4_cold_result, _) = run_lockstep_sweep(simulations, &fixed, cold(), 4, 4);
+    let (par4_ckpt_result, _) = run_lockstep_sweep(simulations, &fixed, budgeted(), 4, 4);
+    assert!(
+        par4_cold_result == scalar_result && par4_ckpt_result == scalar_result,
+        "parallel-4 batched sweep diverged from the scalar cold result"
+    );
+    println!("  fixed variants:   checkpointed and parallel-4 (cold + checkpointed) bit-identical");
+
+    // Buggy sweep: unsafe commits raise the sizer's bug rate, which
+    // withdraws speculative batching mid-campaign (the documented
+    // bypass) — identity must hold regardless; the speedup is reported,
+    // not gated.
+    let (buggy_scalar_result, buggy_scalar_seconds) =
+        run_lockstep_sweep(simulations, &buggy, cold(), 1, 1);
+    let (buggy_lanes4_result, buggy_lanes4_seconds) =
+        run_lockstep_sweep(simulations, &buggy, cold(), 1, 4);
+    let buggy_speedup = buggy_scalar_seconds / buggy_lanes4_seconds;
+    assert!(
+        buggy_lanes4_result == buggy_scalar_result,
+        "buggy batched sweep diverged from its scalar result"
+    );
+    println!(
+        "  buggy lanes=4:    {buggy_lanes4_seconds:.2}s vs scalar {buggy_scalar_seconds:.2}s ({buggy_speedup:.2}x), {} unsafe conditions, bit-identical",
+        buggy_scalar_result.unsafe_count()
+    );
+
+    let section = json::object(vec![
+        ("scenario", Json::String("batched-lockstep".to_string())),
+        ("simulations", Json::Number(scenarios as f64)),
+        ("scalar_wall_seconds", Json::Number(scalar_seconds)),
+        ("scalar_scenarios_per_sec", Json::Number(scalar_sps)),
+        ("lanes4_wall_seconds", Json::Number(lanes4_seconds)),
+        ("lanes4_scenarios_per_sec", Json::Number(lanes4_sps)),
+        ("lanes4_speedup", Json::Number(speedup4)),
+        ("lanes8_wall_seconds", Json::Number(lanes8_seconds)),
+        ("lanes8_scenarios_per_sec", Json::Number(lanes8_sps)),
+        ("lanes8_speedup", Json::Number(speedup8)),
+        (
+            "buggy_scalar_wall_seconds",
+            Json::Number(buggy_scalar_seconds),
+        ),
+        (
+            "buggy_lanes4_wall_seconds",
+            Json::Number(buggy_lanes4_seconds),
+        ),
+        ("buggy_lanes4_speedup", Json::Number(buggy_speedup)),
+        (
+            "buggy_unsafe_conditions",
+            Json::Number(buggy_scalar_result.unsafe_count() as f64),
+        ),
+        ("result_identical", Json::Bool(true)),
+    ]);
+    (section, speedup4)
 }
 
 /// Cold vs checkpointed execution of the late-injection sweep. Returns
@@ -934,7 +1084,7 @@ fn bench_link_fault_smoke() -> Json {
 /// Gates the measured checkpoint speedup against the committed baseline:
 /// a >20% drop fails the run. The speedup is a same-host ratio, so the
 /// gate holds on hosts of any speed.
-fn check_baseline(baseline_path: &str, measured_speedup: f64) {
+fn check_baseline(baseline_path: &str, measured_speedup: f64, measured_batched_speedup: f64) {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
     let baseline = Json::parse(&text).expect("baseline is valid JSON");
@@ -952,6 +1102,41 @@ fn check_baseline(baseline_path: &str, measured_speedup: f64) {
         );
         std::process::exit(1);
     }
+    // The batched-lockstep gate: same 20%-regression contract against
+    // the committed ratio, on top of the absolute >= 1.5x floor the
+    // scenario itself asserts.
+    if let Some(expected) = baseline
+        .get("batched_lockstep_speedup")
+        .and_then(|v| v.as_f64())
+    {
+        let floor = expected * 0.8;
+        println!(
+            "baseline gate: batched lockstep {measured_batched_speedup:.2}x vs committed {expected:.2}x (floor {floor:.2}x)"
+        );
+        if measured_batched_speedup < floor {
+            eprintln!(
+                "REGRESSION: batched lockstep speedup {measured_batched_speedup:.2}x fell more than 20% below the committed baseline {expected:.2}x"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Physical processor count of the host, from `/proc/cpuinfo` where it
+/// exists. [`avis::engine::default_parallelism`] reflects
+/// cgroup/affinity limits (`available_parallelism`), which undercounts
+/// containerised CI hosts — the report records both, and the cpuinfo
+/// count is the `host_cores` of record.
+fn host_cpu_count() -> usize {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .map(|text| {
+            text.lines()
+                .filter(|line| line.starts_with("processor"))
+                .count()
+        })
+        .ok()
+        .filter(|&count| count > 0)
+        .unwrap_or_else(avis::engine::default_parallelism)
 }
 
 fn main() {
@@ -978,6 +1163,7 @@ fn main() {
         .map(|(name, bugs)| bench_scenario(name, bugs, simulations, &worker_counts))
         .collect();
     let (checkpoint_report, checkpoint_speedup) = bench_checkpointing(simulations);
+    let (batched_report, batched_speedup) = bench_batched_lockstep(simulations);
     let delta_report = bench_delta_density();
     let sharded_report = bench_sharded_dispatch(simulations);
     let matrix_report = bench_matrix_reuse(simulations);
@@ -989,12 +1175,14 @@ fn main() {
         ("bench", Json::String("campaign_throughput".to_string())),
         ("approach", Json::String("Avis".to_string())),
         ("budget_simulations", Json::Number(simulations as f64)),
+        ("host_cores", Json::Number(host_cpu_count() as f64)),
         (
-            "host_cores",
+            "host_available_parallelism",
             Json::Number(avis::engine::default_parallelism() as f64),
         ),
         ("scenarios", Json::Array(reports)),
         ("checkpoint", checkpoint_report),
+        ("batched_lockstep", batched_report),
         ("delta_chain", delta_report),
         ("sharded_dispatch", sharded_report),
         ("matrix_reuse", matrix_report),
@@ -1006,6 +1194,6 @@ fn main() {
     println!("wrote {out_path}");
 
     if let Ok(baseline_path) = std::env::var("AVIS_BENCH_BASELINE") {
-        check_baseline(&baseline_path, checkpoint_speedup);
+        check_baseline(&baseline_path, checkpoint_speedup, batched_speedup);
     }
 }

@@ -244,6 +244,7 @@ pub struct CampaignBuilder {
     max_duration: Option<f64>,
     noise: Option<SensorNoise>,
     checkpoints: Option<CheckpointConfig>,
+    lockstep_lanes: Option<usize>,
     budget: Budget,
     profiling_runs: usize,
     monitor: MonitorConfig,
@@ -267,6 +268,7 @@ impl Default for CampaignBuilder {
             max_duration: None,
             noise: None,
             checkpoints: None,
+            lockstep_lanes: None,
             budget: Budget::simulations(50),
             profiling_runs: 3,
             monitor: MonitorConfig::default(),
@@ -333,6 +335,19 @@ impl CampaignBuilder {
     /// [`CheckpointConfig::default`] budget.
     pub fn checkpoints(mut self, checkpoints: CheckpointConfig) -> Self {
         self.checkpoints = Some(checkpoints);
+        self
+    }
+
+    /// Number of sibling scenarios a worker advances in lockstep through
+    /// one SoA [`avis_sim::LaneBatch`] when the dispatcher hands it a
+    /// prefix-sharded batch (see [`crate::batch`]); `1` disables
+    /// batching. Active wherever [`DispatchMode::PrefixSharded`] dispatch
+    /// is (the default), on workers and on the serial path alike. Purely
+    /// a speed knob — a batched run is bit-identical to a scalar one —
+    /// so it joins neither the experiment fingerprint nor any campaign
+    /// observable. Default: 4.
+    pub fn lockstep_lanes(mut self, lanes: usize) -> Self {
+        self.lockstep_lanes = Some(lanes);
         self
     }
 
@@ -467,6 +482,9 @@ impl CampaignBuilder {
         }
         if let Some(checkpoints) = self.checkpoints {
             experiment.checkpoints = checkpoints;
+        }
+        if let Some(lanes) = self.lockstep_lanes {
+            experiment.lockstep_lanes = lanes.max(1);
         }
         Campaign {
             config: CheckerConfig {

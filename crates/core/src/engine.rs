@@ -463,6 +463,7 @@ pub(crate) fn run_campaign(
             let experiment = params.experiment.clone();
             let shared = params.shared.clone();
             let collector = params.worker_stats.clone();
+            let dispatch = params.dispatch;
             scope.spawn(move || {
                 // One fresh runner per worker, kept alive across jobs on
                 // purpose: each runner owns a snapshot cache
@@ -489,13 +490,48 @@ pub(crate) fn run_campaign(
                 // final `Err` instead of silently dying with the result
                 // channel open, which would hang the wavefront collector.
                 let body = contain::catch(|| {
+                    // Batched lockstep: under prefix-sharded dispatch a
+                    // worker's batch is one *family* of prefix-sharing
+                    // siblings sorted by dispatch key, so consecutive
+                    // chunks are exactly the plans whose shared prefix a
+                    // `LaneBatch` advances once instead of N times (see
+                    // `crate::batch`). Round-robin deals single-job
+                    // batches with no prefix affinity, so batching is
+                    // only engaged where the dispatcher actually forms
+                    // families. Bit-identical either way — lockstep,
+                    // like checkpointing, is purely a speed knob.
+                    let lanes = runner.config().lockstep_lanes.max(1);
+                    let chunk_len = if dispatch == DispatchMode::PrefixSharded {
+                        lanes
+                    } else {
+                        1
+                    };
                     'drain: while let Some(batch) = dispatcher.next_batch(me) {
-                        for (token, plan) in batch {
-                            *in_flight.borrow_mut() = plan.canonical_key();
-                            let result = runner.run_contained(plan);
-                            let degraded = runner.checkpointing_degraded();
-                            if result_tx.send(Ok((token, result, degraded))).is_err() {
-                                break 'drain;
+                        for chunk in batch.chunks(chunk_len) {
+                            if chunk.len() >= 2 {
+                                let (tokens, plans): (Vec<u64>, Vec<FaultPlan>) =
+                                    chunk.iter().cloned().unzip();
+                                *in_flight.borrow_mut() = plans
+                                    .iter()
+                                    .map(|p| p.canonical_key())
+                                    .collect::<Vec<_>>()
+                                    .join(" | ");
+                                let results = runner.run_batch_contained(plans);
+                                let degraded = runner.checkpointing_degraded();
+                                for (token, result) in tokens.into_iter().zip(results) {
+                                    if result_tx.send(Ok((token, result, degraded))).is_err() {
+                                        break 'drain;
+                                    }
+                                }
+                            } else {
+                                for (token, plan) in chunk.iter().cloned() {
+                                    *in_flight.borrow_mut() = plan.canonical_key();
+                                    let result = runner.run_contained(plan);
+                                    let degraded = runner.checkpointing_degraded();
+                                    if result_tx.send(Ok((token, result, degraded))).is_err() {
+                                        break 'drain;
+                                    }
+                                }
                             }
                         }
                     }
@@ -634,6 +670,21 @@ fn run_rounds(
     pool: Option<&Wavefront>,
 ) {
     let mut sizer = WavefrontSizer::new(params.parallelism.max(1));
+    // Serial lockstep: with no pool, prefix-sharded dispatch and more
+    // than one configured lane, the inline runner pre-executes each
+    // wavefront's admitted plans in lockstep batches — the serial
+    // engine's version of speculative execution, identical in admission
+    // and repair semantics to the pool path, and bit-identical in every
+    // campaign observable (batched results equal scalar results, and a
+    // stale or missing one is re-run inline at commit).
+    let serial_lanes = params.experiment.lockstep_lanes.max(1);
+    let serial_batching =
+        pool.is_none() && serial_lanes > 1 && params.dispatch == DispatchMode::PrefixSharded;
+    let family_bucket = if params.experiment.checkpoints.enabled {
+        params.experiment.checkpoints.interval
+    } else {
+        5.0
+    };
     // Degraded mode is announced at most once per campaign: the first
     // time any runner's checkpoint breaker trips (worker or inline).
     let mut degraded_announced = false;
@@ -650,7 +701,12 @@ fn run_rounds(
         while start < round.len() {
             let wavefront_size = match pool {
                 Some(_) => sizer.size(),
-                // Serial: no speculation, one "wavefront" per round.
+                // Serial lockstep: bounded wavefronts, so a bug found at
+                // commit cancels the speculative batches of the *next*
+                // wavefront instead of the whole round's.
+                None if serial_batching => serial_lanes * BATCH_FACTOR,
+                // Serial scalar: no speculation, one "wavefront" per
+                // round.
                 None => usize::MAX,
             };
             let end = round.len().min(start.saturating_add(wavefront_size));
@@ -695,6 +751,48 @@ fn run_rounds(
                     // of speculated plans is fixed here, after the budget
                     // cap.
                     pool.execute(jobs)
+                }
+                None if serial_batching && sizer.speculate() => {
+                    // Same admission filters as the pool path: withdrawn
+                    // or probably-doomed hints are skipped, speculation
+                    // past the remaining budget is capped.
+                    let cap = remaining_simulations(params.budget, state);
+                    let jobs: Vec<Job> = wavefront
+                        .iter()
+                        .filter(|c| strategy.revalidate(c))
+                        .filter(|c| strategy.prune_probability(c) < SPECULATION_ADMISSION_CEILING)
+                        .filter_map(|c| c.speculative().map(|plan| (c.token(), plan.clone())))
+                        .take(cap)
+                        .collect();
+                    // Group into prefix families and chunk each into
+                    // lockstep batches, exactly how the sharded
+                    // dispatcher would lay the jobs onto a worker.
+                    let mut families: BTreeMap<String, Vec<Job>> = BTreeMap::new();
+                    for job in jobs {
+                        families
+                            .entry(family_key(&job.1, family_bucket))
+                            .or_default()
+                            .push(job);
+                    }
+                    let mut results = BTreeMap::new();
+                    for (_, mut batch) in families {
+                        batch.sort_by_cached_key(|(_, plan)| prefix_dispatch_key(plan));
+                        for chunk in batch.chunks(serial_lanes) {
+                            // Singletons gain nothing from lockstep;
+                            // the commit runs them inline as the serial
+                            // engine always has.
+                            if chunk.len() < 2 {
+                                continue;
+                            }
+                            let (tokens, plans): (Vec<u64>, Vec<FaultPlan>) =
+                                chunk.iter().cloned().unzip();
+                            let chunk_results = state.runner.run_batch_contained(plans);
+                            for (token, result) in tokens.into_iter().zip(chunk_results) {
+                                results.insert(token, result);
+                            }
+                        }
+                    }
+                    (results, false)
                 }
                 _ => (BTreeMap::new(), false),
             };

@@ -99,6 +99,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub(crate) mod batch;
 pub mod campaign;
 pub mod checker;
 pub(crate) mod contain;

@@ -25,7 +25,7 @@ use std::sync::Arc;
 /// sharing an injection prefix must consume identical link-RNG streams
 /// up to the first divergent fault, which is what makes checkpointed
 /// link-fault runs bit-identical to cold ones.
-const LINK_RNG_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+pub(crate) const LINK_RNG_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Configuration of an experiment: which firmware, which injected defects,
 /// which workload, and the simulation parameters shared by every run.
@@ -62,6 +62,13 @@ pub struct ExperimentConfig {
     /// Scenario watchdog budgets, so a non-terminating scenario cannot
     /// starve a worker forever (see [`WatchdogConfig`]).
     pub watchdog: WatchdogConfig,
+    /// Number of sibling scenarios a worker advances in lockstep through
+    /// one SoA [`avis_sim::LaneBatch`] when the dispatcher hands it a
+    /// prefix-sharded batch (see [`crate::batch`]). `1` disables
+    /// batching. Purely a speed knob: a batched run is bit-identical to
+    /// a scalar one, so this is excluded from the experiment
+    /// fingerprint, exactly like checkpoint placement.
+    pub lockstep_lanes: usize,
 }
 
 /// Per-experiment watchdog budgets. The *step* budget is the canonical
@@ -127,6 +134,7 @@ impl ExperimentConfig {
             grace_period: 2.0,
             checkpoints: CheckpointConfig::default(),
             watchdog: WatchdogConfig::default(),
+            lockstep_lanes: 4,
         }
     }
 }
@@ -187,26 +195,26 @@ impl RunResult {
 /// The experiment runner.
 #[derive(Debug, Clone)]
 pub struct ExperimentRunner {
-    config: ExperimentConfig,
-    runs: u64,
+    pub(crate) config: ExperimentConfig,
+    pub(crate) runs: u64,
     /// The checkpoint tree (see [`crate::snapshot`]): snapshots of
     /// injection runs keyed by quantised injection prefix, so later
     /// scenarios fork from the deepest shared prefix. Owned per runner —
     /// each engine worker holds its own runner, which keeps the parallel
     /// path lock-free.
-    cache: SnapshotCache,
+    pub(crate) cache: SnapshotCache,
     /// The optional cross-worker / cross-campaign second tier: lookups
     /// probe it lock-free alongside the local cache and take whichever
     /// snapshot is deeper; newly recorded snapshots are offered to it
     /// for the engine to republish between wavefronts.
-    shared: Option<Arc<SharedSnapshotTier>>,
+    pub(crate) shared: Option<Arc<SharedSnapshotTier>>,
     /// The simulated lock-step index the in-flight run last reached —
     /// read by [`ExperimentRunner::run_contained`] after a contained
     /// panic, when the run's locals are gone with the unwind.
-    step_cursor: u64,
+    pub(crate) step_cursor: u64,
     /// Local-cache keys the in-flight run recorded, so a contained panic
     /// can quarantine exactly the chain the panicked run tainted.
-    fresh_keys: Vec<SnapshotKey>,
+    pub(crate) fresh_keys: Vec<SnapshotKey>,
 }
 
 impl ExperimentRunner {
@@ -390,14 +398,14 @@ impl ExperimentRunner {
             // Probe both tiers for depth first; only the winner is
             // materialised (snapshot clones are cheap but not free — the
             // fixed substrate state is copied even under CoW).
-            let local = self.cache.peek_deepest(seed_offset, &plan);
+            let local = self.cache.peek_deepest(seed_offset, &plan, f64::INFINITY);
             let local_depth = local.as_ref().map(|(t, _)| *t);
             // Carry the tier handle with its probed depth, so the
             // take-from-shared arm below cannot exist without a tier.
-            let shared_probe = self
-                .shared
-                .as_ref()
-                .and_then(|tier| tier.peek_depth(seed_offset, &plan).map(|d| (d, tier)));
+            let shared_probe = self.shared.as_ref().and_then(|tier| {
+                tier.peek_depth(seed_offset, &plan, f64::INFINITY)
+                    .map(|d| (d, tier))
+            });
             let take_local = |cache: &mut SnapshotCache, chain_parent: &mut Option<ChainParent>| {
                 local.clone().and_then(|(time, key)| {
                     // `take` re-validates the chain's record-time
@@ -418,7 +426,7 @@ impl ExperimentRunner {
             };
             match shared_probe {
                 Some((probed, tier)) if Some(probed) > local_depth => {
-                    match tier.take_deepest(seed_offset, &plan) {
+                    match tier.take_deepest(seed_offset, &plan, f64::INFINITY) {
                         Some((depth, snapshot)) => {
                             self.cache.note_shared_fork(depth);
                             Some(snapshot)

@@ -536,11 +536,16 @@ impl ChunkLedger {
 /// time. Shared by the per-runner cache and the shared tier; the
 /// `meta_of` accessor yields `(cut time, exact prefix)` without
 /// materialising delta-encoded entries.
+/// `cap` bounds the cut time a caller can accept (`f64::INFINITY` for
+/// unbounded): the batch leader may only resume from cuts at or before
+/// its earliest lane-fork time, since forks are taken from the live
+/// leader at loop-tops — a deeper cut would skip past them.
 fn deepest_entry<'a, V>(
     entries: &'a BTreeMap<SnapshotKey, V>,
     meta_of: impl for<'v> Fn(&'v V) -> (f64, &'v InjectionPrefix),
     seed_offset: u64,
     plan: &FaultPlan,
+    cap: f64,
 ) -> Option<(f64, &'a SnapshotKey)> {
     // The plan's prefix only changes at its own failure times — sensor
     // *or* link — so there are at most `plan.len() + 1` distinct prefixes
@@ -578,6 +583,9 @@ fn deepest_entry<'a, V>(
         };
         for (entry_key, entry) in entries.range(lo..=hi).rev() {
             let (time, recorded_prefix) = meta_of(entry);
+            if time > cap {
+                continue; // too deep for the caller; shallower cuts may fit
+            }
             // Exact validity guard: the plan's exact prefix at the
             // snapshot's cut time must equal the recorded prefix. This
             // rejects both quantisation collisions and snapshots cut
@@ -827,9 +835,16 @@ impl SnapshotCache {
         &self,
         seed_offset: u64,
         plan: &FaultPlan,
+        cap: f64,
     ) -> Option<(f64, SnapshotKey)> {
-        deepest_entry(&self.entries, |e| (e.time, &e.prefix), seed_offset, plan)
-            .map(|(t, k)| (t, k.clone()))
+        deepest_entry(
+            &self.entries,
+            |e| (e.time, &e.prefix),
+            seed_offset,
+            plan,
+            cap,
+        )
+        .map(|(t, k)| (t, k.clone()))
     }
 
     /// The chain of keys from `key` down to (and including) its keyframe.
@@ -1201,13 +1216,14 @@ impl SharedSnapshotTier {
     /// The cut time of the deepest published snapshot a run of `plan`
     /// may resume from — a probe only (no clone, no hit counted), so the
     /// runner can compare against its local cache first.
-    pub(crate) fn peek_depth(&self, seed_offset: u64, plan: &FaultPlan) -> Option<f64> {
+    pub(crate) fn peek_depth(&self, seed_offset: u64, plan: &FaultPlan, cap: f64) -> Option<f64> {
         let map = self.current();
         deepest_entry(
             &map,
             |e| (e.snapshot.time, &e.snapshot.prefix),
             seed_offset,
             plan,
+            cap,
         )
         .map(|(t, _)| t)
     }
@@ -1221,6 +1237,7 @@ impl SharedSnapshotTier {
         &self,
         seed_offset: u64,
         plan: &FaultPlan,
+        cap: f64,
     ) -> Option<(f64, RunSnapshot)> {
         let map = self.current();
         let (time, key) = deepest_entry(
@@ -1228,6 +1245,7 @@ impl SharedSnapshotTier {
             |e| (e.snapshot.time, &e.snapshot.prefix),
             seed_offset,
             plan,
+            cap,
         )?;
         // `deepest_entry` returned the key by reference out of `map`, so
         // the lookup cannot miss; `?` keeps the no-hit shape regardless.
@@ -1479,7 +1497,7 @@ mod tests {
         assert!(stats.evicted > 0, "the tiny tier should evict: {stats:?}");
         assert!(stats.published_bytes <= 96 * 1024);
         // The hot entry survived the squeeze…
-        let hot_depth = tier.peek_depth(0, &plan(10.5));
+        let hot_depth = tier.peek_depth(0, &plan(10.5), f64::INFINITY);
         assert!(
             hot_depth.is_some_and(|t| t >= 9.9),
             "the twice-hit t = 10 entry should survive hit-weighted \
@@ -1487,7 +1505,7 @@ mod tests {
         );
         // …while the zero-hit t = 5 entry (the oldest) was shed first.
         assert_eq!(
-            tier.peek_depth(0, &plan(6.0)),
+            tier.peek_depth(0, &plan(6.0), f64::INFINITY),
             None,
             "the cold t = 5 entry should be the first victim ({stats:?})"
         );

@@ -262,6 +262,50 @@ impl FaultPlan {
         self.failure_time(instance).is_some_and(|t| time >= t)
     }
 
+    /// The largest plan contained in both `self` and `other`: the sensor
+    /// faults scheduled at the *same* time on the *same* instance in both
+    /// plans, plus the link faults present in both. Folding this over a
+    /// set of sibling plans yields their shared injection prefix — the
+    /// portion of the campaign schedule every sibling executes
+    /// identically, which is what lockstep batching runs once.
+    pub fn intersection(&self, other: &FaultPlan) -> FaultPlan {
+        let mut common = FaultPlan::default();
+        for (&instance, &time) in &self.faults {
+            if other.faults.get(&instance) == Some(&time) {
+                common.faults.insert(instance, time);
+            }
+        }
+        for spec in self.link.specs() {
+            if other.link.specs().contains(spec) {
+                common.link.add(*spec);
+            }
+        }
+        common
+    }
+
+    /// The earliest time at which this plan's behaviour can depart from
+    /// `base` (typically the intersection of a sibling set): the minimum
+    /// start time over sensor faults absent from `base` or scheduled at a
+    /// different time, and link faults absent from `base`. Returns `None`
+    /// when the plan never diverges (it is contained in `base`), i.e. a
+    /// lockstep lane for this plan can ride its leader to the end.
+    pub fn first_divergence_from(&self, base: &FaultPlan) -> Option<f64> {
+        let sensor = self
+            .faults
+            .iter()
+            .filter(|(instance, time)| base.faults.get(instance) != Some(time))
+            .map(|(_, &time)| time);
+        let link = self
+            .link
+            .specs()
+            .iter()
+            .filter(|spec| !base.link.specs().contains(spec))
+            .map(|spec| spec.time);
+        sensor.chain(link).fold(None, |acc: Option<f64>, t| {
+            Some(acc.map_or(t, |a| a.min(t)))
+        })
+    }
+
     /// A canonical, order-independent key for de-duplicating plans (the
     /// hash-set of explored scenarios in §V.B.2). Times are quantised to
     /// milliseconds so replay jitter does not create spurious new plans.

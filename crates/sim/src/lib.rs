@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod cow;
 pub mod environment;
 pub mod math;
@@ -42,6 +43,7 @@ pub mod sensors;
 pub mod simulator;
 pub mod vehicle;
 
+pub use batch::LaneBatch;
 pub use cow::{CowDelta, CowVec};
 pub use environment::{
     BoxObstacle, Collision, CollisionKind, Environment, Fence, FenceRegion, Wind,

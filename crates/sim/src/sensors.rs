@@ -303,20 +303,20 @@ impl SensorSuiteConfig {
 /// batch of readings from the true physical state each simulation step.
 #[derive(Debug, Clone)]
 pub struct SensorSuite {
-    config: SensorSuiteConfig,
-    rng: SimRng,
+    pub(crate) config: SensorSuiteConfig,
+    pub(crate) rng: SimRng,
     /// Per-accelerometer constant bias (body frame).
-    accel_bias: Vec<Vec3>,
+    pub(crate) accel_bias: Vec<Vec3>,
     /// Per-gyroscope constant bias (body frame).
-    gyro_bias: Vec<Vec3>,
+    pub(crate) gyro_bias: Vec<Vec3>,
     /// Last GPS fix per receiver, held between GPS epochs.
-    last_gps: Vec<Option<SensorValue>>,
+    pub(crate) last_gps: Vec<Option<SensorValue>>,
     /// GPS update interval (s).
-    gps_interval: f64,
+    pub(crate) gps_interval: f64,
     /// Time of last GPS epoch.
-    last_gps_time: f64,
+    pub(crate) last_gps_time: f64,
     /// Remaining battery fraction.
-    battery_remaining: f64,
+    pub(crate) battery_remaining: f64,
 }
 
 /// The per-run *mutable* slice of a [`SensorSuite`]: the noise RNG

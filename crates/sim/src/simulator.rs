@@ -231,7 +231,7 @@ impl PackedStepOutput {
 /// cloning it.
 #[derive(Debug, Clone)]
 pub struct SimSnapshot {
-    sim: Simulator,
+    pub(crate) sim: Simulator,
 }
 
 impl SimSnapshot {
@@ -344,14 +344,14 @@ impl SimDelta {
 /// The software-in-the-loop simulator.
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    config: SimConfig,
-    quad: Quadcopter,
-    env: Arc<Environment>,
-    sensors: SensorSuite,
-    time: f64,
-    steps: u64,
-    first_collision: Option<Collision>,
-    was_airborne: bool,
+    pub(crate) config: SimConfig,
+    pub(crate) quad: Quadcopter,
+    pub(crate) env: Arc<Environment>,
+    pub(crate) sensors: SensorSuite,
+    pub(crate) time: f64,
+    pub(crate) steps: u64,
+    pub(crate) first_collision: Option<Collision>,
+    pub(crate) was_airborne: bool,
 }
 
 impl Simulator {

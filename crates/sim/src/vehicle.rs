@@ -128,8 +128,8 @@ impl MotorCommands {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MotorBank {
     /// Current realized throttle of each motor (0..1).
-    realized: [f64; MOTOR_COUNT],
-    time_constant: f64,
+    pub(crate) realized: [f64; MOTOR_COUNT],
+    pub(crate) time_constant: f64,
 }
 
 impl MotorBank {
@@ -215,10 +215,10 @@ impl RigidBodyState {
 /// The rigid-body quadcopter: parameters, motors and dynamic state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Quadcopter {
-    params: VehicleParams,
-    motors: MotorBank,
-    state: RigidBodyState,
-    on_ground: bool,
+    pub(crate) params: VehicleParams,
+    pub(crate) motors: MotorBank,
+    pub(crate) state: RigidBodyState,
+    pub(crate) on_ground: bool,
 }
 
 /// The per-run *mutable* slice of a [`Quadcopter`]: motor spool-up state,

@@ -315,6 +315,93 @@ fn speculation_admission_is_bit_identical_at_parallelism_4() {
 }
 
 #[test]
+fn batched_lockstep_campaign_is_bit_identical_to_scalar() {
+    // The lockstep-batching pin: a campaign that steps prefix-sharing
+    // plans through the SoA multi-lane batch (`lockstep_lanes` > 1) must
+    // be bit-identical to the scalar single-lane engine. Lane count is a
+    // speed-only knob — it never appears in a campaign observable — so
+    // scalar, 4-lane and 8-lane execution agree byte-for-byte, cold and
+    // checkpointed, at parallelism 1 (serial wavefront batching) and 4
+    // (per-worker chunk batching).
+    let run = |lanes: usize, parallelism: usize, checkpoints: CheckpointConfig| {
+        Campaign::builder()
+            .experiment(experiment())
+            .approach(Approach::Avis)
+            .budget(Budget::simulations(8))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .checkpoints(checkpoints)
+            .lockstep_lanes(lanes)
+            .build()
+            .run()
+    };
+    let scalar = run(1, 1, CheckpointConfig::disabled());
+    assert!(
+        !scalar.unsafe_conditions.is_empty(),
+        "the comparison should cover unsafe-condition bookkeeping"
+    );
+    for parallelism in [1, 4] {
+        for lanes in [4, 8] {
+            let batched = run(lanes, parallelism, CheckpointConfig::disabled());
+            assert_eq!(
+                scalar, batched,
+                "cold {lanes}-lane campaign (parallelism {parallelism}) \
+                 diverged from the scalar engine"
+            );
+        }
+        let checkpointed = run(4, parallelism, CheckpointConfig::default());
+        assert_eq!(
+            scalar, checkpointed,
+            "checkpointed 4-lane campaign (parallelism {parallelism}) \
+             diverged from the cold scalar engine"
+        );
+    }
+}
+
+#[test]
+fn batched_lockstep_link_fault_campaign_matches_scalar() {
+    // Same pin under a pinned link-fault environment: lanes carry live
+    // `FaultyLink` shims whose rng streams must stay aligned with the
+    // scalar path, and mid-air arm storms force mode departures that
+    // evict lanes to the scalar loop. Cold and checkpointed batched
+    // execution still reproduce the scalar result — and the seeded
+    // protocol defect — exactly.
+    let run = |lanes: usize, parallelism: usize, checkpoints: CheckpointConfig| {
+        Campaign::builder()
+            .experiment(proto_experiment())
+            .approach(Approach::Avis)
+            .link_faults(arm_storm())
+            .budget(Budget::simulations(8))
+            .profiling_runs(1)
+            .parallelism(parallelism)
+            .checkpoints(checkpoints)
+            .lockstep_lanes(lanes)
+            .build()
+            .run()
+    };
+    let scalar = run(1, 1, CheckpointConfig::disabled());
+    assert!(
+        scalar.bugs_found().contains(&BugId::ProtoDoubleArm),
+        "the arm storm should reproduce PROTO-101: {:?}",
+        scalar.bugs_found()
+    );
+    for parallelism in [1, 4] {
+        let batched = run(4, parallelism, CheckpointConfig::disabled());
+        assert_eq!(
+            scalar, batched,
+            "cold 4-lane link-fault campaign (parallelism {parallelism}) \
+             diverged from the scalar engine"
+        );
+        let checkpointed = run(4, parallelism, CheckpointConfig::default());
+        assert_eq!(
+            scalar, checkpointed,
+            "checkpointed 4-lane link-fault campaign (parallelism {parallelism}) \
+             diverged from the scalar engine"
+        );
+    }
+}
+
+#[test]
 fn parallel_avis_campaign_still_finds_bugs() {
     // Guards against a degenerate "determinism" where both engines find
     // nothing: the buggy code base must expose unsafe conditions through
