@@ -22,6 +22,16 @@
 //! from the deepest cached prefix). The two campaigns must be
 //! bit-identical; the report records cold vs checkpointed scenarios/sec.
 //!
+//! A **warm-start** scenario measures the persistent snapshot store
+//! (`avis::store`): a very-late-injection sweep run storeless-cold,
+//! then against an empty store root (persisting its chains), then
+//! again against the populated root — the persisted-warm session must
+//! finish its search phase >= 2x faster than cold and stay
+//! bit-identical at parallelism 1 and 4. `AVIS_BENCH_WARM_SMOKE=1`
+//! runs just this scenario's single-session smoke against the
+//! `AVIS_BENCH_STORE` root (CI invokes the binary twice and the second
+//! invocation gates the cross-process ratio).
+//!
 //! Two further scenarios measure the PR-5 store and engine work: the
 //! **delta-density** sweep compares full snapshots (keyframe stride 1)
 //! against delta chains (stride 16) under one dense-anchor, tight-budget
@@ -54,6 +64,10 @@
 //!   (default `2,4`; `1` is always measured first as the baseline)
 //! - `AVIS_BENCH_OUT` — output path (default `BENCH_campaign.json`)
 //! - `AVIS_BENCH_BASELINE` — committed baseline JSON to gate against
+//! - `AVIS_BENCH_WARM_SMOKE` — run only the warm-start smoke (one
+//!   session) and exit
+//! - `AVIS_BENCH_STORE` — persistent store root for the warm-start
+//!   smoke
 
 use avis::campaign::Campaign;
 use avis::checker::{Approach, Budget, CampaignResult};
@@ -153,6 +167,11 @@ fn bench_scenario(name: &str, bugs: &BugSet, simulations: usize, worker_counts: 
                             ("wall_seconds", Json::Number(seconds)),
                             ("speedup_vs_serial", Json::Number(serial_seconds / seconds)),
                             ("result_identical", Json::Bool(true)),
+                            // These campaigns never touch a snapshot
+                            // store; the flag keeps every measurement
+                            // object comparable with the warm-start
+                            // scenario's.
+                            ("warm_start", Json::Bool(false)),
                         ])
                     })
                     .collect(),
@@ -201,6 +220,66 @@ impl Strategy for LateSweep {
                 self.plans
                     .push(FaultPlan::from_specs(vec![FaultSpec::new(instance, time)]));
             }
+        }
+    }
+
+    fn propose(&mut self) -> Vec<Candidate> {
+        if std::mem::replace(&mut self.proposed, true) {
+            return Vec::new();
+        }
+        self.plans
+            .iter()
+            .enumerate()
+            .map(|(slot, plan)| Candidate::speculate(slot as u64, plan.clone()))
+            .collect()
+    }
+
+    fn decide(&mut self, candidate: &Candidate) -> Decision {
+        Decision::run(self.plans[candidate.token() as usize].clone())
+    }
+
+    fn observe(&mut self, _observation: &Observation<'_>) {}
+}
+
+/// The warm-start sweep: a handful of *very* late single-sensor
+/// failures (last ~10% of the golden run). Within one session only the
+/// first plan pays the full fault-free prefix — the rest fork from the
+/// in-memory tier — so a session that hydrates the prefix chain from a
+/// persistent store skips that one cold run too, and the store's
+/// benefit dominates the session's wall time.
+struct WarmSweep {
+    plans: Vec<FaultPlan>,
+    proposed: bool,
+}
+
+/// Scenario plans per warm-start session (one very late failure each).
+const WARM_SWEEP_PLANS: usize = 4;
+
+impl WarmSweep {
+    fn new() -> Self {
+        WarmSweep {
+            plans: Vec::new(),
+            proposed: false,
+        }
+    }
+}
+
+impl Strategy for WarmSweep {
+    fn name(&self) -> &str {
+        "Warm-start sweep"
+    }
+
+    fn initialize(&mut self, ctx: &StrategyContext<'_>) {
+        let instances = [
+            SensorInstance::new(SensorKind::Gps, 0),
+            SensorInstance::new(SensorKind::Accelerometer, 0),
+            SensorInstance::new(SensorKind::Barometer, 0),
+            SensorInstance::new(SensorKind::Compass, 0),
+        ];
+        for (slot, instance) in instances.into_iter().take(WARM_SWEEP_PLANS).enumerate() {
+            let time = ctx.golden.duration * (0.90 + 0.015 * slot as f64);
+            self.plans
+                .push(FaultPlan::from_specs(vec![FaultSpec::new(instance, time)]));
         }
     }
 
@@ -619,6 +698,224 @@ fn bench_checkpointing(simulations: usize) -> (Json, f64) {
         ("result_identical", Json::Bool(true)),
     ]);
     (section, speedup)
+}
+
+/// Search-phase clock that also records what the snapshot store
+/// hydrated, so the warm-start scenario can tell a genuine warm start
+/// from an accidentally-cold one.
+struct WarmSessionClock {
+    search_started: Option<Instant>,
+    hydrated_chains: u64,
+}
+
+impl avis::campaign::CampaignObserver for WarmSessionClock {
+    fn on_event(&mut self, event: &avis::campaign::CampaignEvent) {
+        match event {
+            avis::campaign::CampaignEvent::ProfilingFinished { .. } => {
+                self.search_started = Some(Instant::now());
+            }
+            avis::campaign::CampaignEvent::StoreHydrated { chains, .. } => {
+                self.hydrated_chains = *chains;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs one warm-start sweep session, optionally against a persistent
+/// store root. Returns the result, the search-phase wall time, and the
+/// number of chains hydrated from disk (0 without a store or on a
+/// first session).
+fn run_warm_session(
+    parallelism: usize,
+    store: Option<&std::path::Path>,
+) -> (CampaignResult, f64, u64) {
+    let mut builder = Campaign::builder()
+        .firmware(FirmwareProfile::ArduPilotLike)
+        .bugs(BugSet::none())
+        .workload(auto_box_mission())
+        .strategy(WarmSweep::new())
+        .budget(Budget::simulations(
+            WARM_SWEEP_PLANS + LATE_SWEEP_PROFILING_RUNS,
+        ))
+        .parallelism(parallelism)
+        .max_duration(110.0)
+        .profiling_runs(LATE_SWEEP_PROFILING_RUNS)
+        .checkpoints(CheckpointConfig::with_max_bytes(CHECKPOINT_BUDGET_BYTES))
+        .lockstep_lanes(1);
+    if let Some(root) = store {
+        builder = builder.snapshot_store(root.to_path_buf());
+    }
+    let campaign = builder.build();
+    let mut clock = WarmSessionClock {
+        search_started: None,
+        hydrated_chains: 0,
+    };
+    let result = campaign.run_with_observer(&mut clock);
+    let search_seconds = clock
+        .search_started
+        .expect("campaign emitted ProfilingFinished")
+        .elapsed()
+        .as_secs_f64();
+    (result, search_seconds, clock.hydrated_chains)
+}
+
+/// The warm-start scenario (`avis::store`): the [`WarmSweep`] run three
+/// times — storeless cold, first session against an empty store root
+/// (persists its chains), second session against the now-populated root
+/// (hydrates and forks from last session's chains). Warm search time
+/// must come in >= 2x under cold, and every session — including a
+/// parallelism-4 warm rerun — must be bit-identical to the cold
+/// result.
+fn bench_warm_start() -> (Json, f64) {
+    println!(
+        "scenario `warm-start`: {WARM_SWEEP_PLANS}-plan very-late sweep, cold vs persisted-warm"
+    );
+    let root = std::env::temp_dir().join(format!("avis-bench-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let (cold_result, cold_seconds, _) = run_warm_session(1, None);
+    let scenarios = cold_result
+        .simulations
+        .saturating_sub(LATE_SWEEP_PROFILING_RUNS);
+    println!("  cold:          {cold_seconds:.2}s search, {scenarios} scenarios");
+
+    let (first_result, first_seconds, first_hydrated) = run_warm_session(1, Some(&root));
+    assert_eq!(
+        first_hydrated, 0,
+        "an empty store hydrated {first_hydrated} chains"
+    );
+    assert!(
+        first_result == cold_result,
+        "store-backed first session diverged from cold execution"
+    );
+    println!("  first session: {first_seconds:.2}s search (cold + write-behind flush)");
+
+    let (warm_result, warm_seconds, warm_hydrated) = run_warm_session(1, Some(&root));
+    let speedup = cold_seconds / warm_seconds;
+    let identical = warm_result == cold_result;
+    println!(
+        "  persisted-warm: {warm_seconds:.2}s search, {warm_hydrated} chains hydrated, speedup {speedup:.2}x, result {}",
+        if identical {
+            "bit-identical to cold"
+        } else {
+            "DIVERGED FROM COLD"
+        }
+    );
+    assert!(
+        identical,
+        "persisted-warm session diverged from cold execution"
+    );
+    assert!(
+        warm_hydrated > 0,
+        "the second session should warm-start from disk"
+    );
+    assert!(
+        speedup >= 2.0,
+        "warm-start speedup {speedup:.2}x below the 2x floor"
+    );
+
+    // The parallelism-4 warm rerun: hydrated chains republished through
+    // the shared tier must serve every worker without perturbing the
+    // result.
+    let (par4_result, par4_seconds, par4_hydrated) = run_warm_session(4, Some(&root));
+    assert!(
+        par4_result == cold_result,
+        "parallel-4 persisted-warm session diverged from cold execution"
+    );
+    assert!(par4_hydrated > 0, "the parallel-4 session should hydrate");
+    println!("  parallel-4 warm: {par4_seconds:.2}s search, result bit-identical");
+
+    let _ = std::fs::remove_dir_all(&root);
+
+    let measurement = |parallelism: usize, seconds: f64, warm: bool| {
+        json::object(vec![
+            ("parallelism", Json::Number(parallelism as f64)),
+            ("wall_seconds", Json::Number(seconds)),
+            ("speedup_vs_serial", Json::Number(cold_seconds / seconds)),
+            ("result_identical", Json::Bool(true)),
+            ("warm_start", Json::Bool(warm)),
+        ])
+    };
+    let section = json::object(vec![
+        ("scenario", Json::String("warm-start".to_string())),
+        ("simulations", Json::Number(scenarios as f64)),
+        (
+            "cache_budget_bytes",
+            Json::Number(CHECKPOINT_BUDGET_BYTES as f64),
+        ),
+        ("cold_wall_seconds", Json::Number(cold_seconds)),
+        ("first_session_wall_seconds", Json::Number(first_seconds)),
+        ("warm_wall_seconds", Json::Number(warm_seconds)),
+        ("store_warm_start_speedup", Json::Number(speedup)),
+        ("hydrated_chains", Json::Number(warm_hydrated as f64)),
+        (
+            "measurements",
+            Json::Array(vec![
+                measurement(1, cold_seconds, false),
+                measurement(1, first_seconds, false),
+                measurement(1, warm_seconds, true),
+                measurement(4, par4_seconds, true),
+            ]),
+        ),
+        ("result_identical", Json::Bool(true)),
+    ]);
+    (section, speedup)
+}
+
+/// `AVIS_BENCH_WARM_SMOKE` mode: one warm-start session against the
+/// `AVIS_BENCH_STORE` root. The first invocation records its
+/// search-phase seconds in a marker file inside the root; the second
+/// finds the marker, asserts it actually hydrated chains, and gates the
+/// first/second ratio at >= 2x. CI runs the binary twice against one
+/// directory and the pair proves persisted warm starts across
+/// *processes* — no shared in-memory state survives between them.
+fn run_warm_smoke() {
+    let root = std::path::PathBuf::from(
+        std::env::var("AVIS_BENCH_STORE")
+            .expect("AVIS_BENCH_WARM_SMOKE requires AVIS_BENCH_STORE to name the store root"),
+    );
+    let marker = root.join("warm-smoke-first.txt");
+    let (result, seconds, hydrated) = run_warm_session(1, Some(&root));
+    match std::fs::read_to_string(&marker) {
+        Ok(text) => {
+            let mut parts = text.split_whitespace();
+            let first_seconds: f64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("marker records the first invocation's seconds");
+            let first_simulations: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("marker records the first invocation's simulation count");
+            assert_eq!(
+                result.simulations, first_simulations,
+                "warm invocation ran a different campaign shape than the first"
+            );
+            let ratio = first_seconds / seconds;
+            println!(
+                "warm-start smoke: first {first_seconds:.2}s, warm {seconds:.2}s, \
+                 {hydrated} chains hydrated, ratio {ratio:.2}x"
+            );
+            if hydrated == 0 {
+                eprintln!("REGRESSION: warm invocation hydrated nothing from the store");
+                std::process::exit(1);
+            }
+            if ratio < 2.0 {
+                eprintln!("REGRESSION: persisted warm start {ratio:.2}x below the 2x floor");
+                std::process::exit(1);
+            }
+        }
+        Err(_) => {
+            std::fs::write(&marker, format!("{seconds} {}\n", result.simulations))
+                .expect("write warm-smoke marker");
+            println!(
+                "warm-start smoke: first invocation {seconds:.2}s search \
+                 ({} chains hydrated), marker written",
+                hydrated
+            );
+        }
+    }
 }
 
 /// The delta-chain density sweep: a *dense-anchor* configuration — cuts
@@ -1084,7 +1381,12 @@ fn bench_link_fault_smoke() -> Json {
 /// Gates the measured checkpoint speedup against the committed baseline:
 /// a >20% drop fails the run. The speedup is a same-host ratio, so the
 /// gate holds on hosts of any speed.
-fn check_baseline(baseline_path: &str, measured_speedup: f64, measured_batched_speedup: f64) {
+fn check_baseline(
+    baseline_path: &str,
+    measured_speedup: f64,
+    measured_batched_speedup: f64,
+    measured_warm_speedup: f64,
+) {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
     let baseline = Json::parse(&text).expect("baseline is valid JSON");
@@ -1120,6 +1422,24 @@ fn check_baseline(baseline_path: &str, measured_speedup: f64, measured_batched_s
             std::process::exit(1);
         }
     }
+    // The warm-start gate: same 20%-regression contract against the
+    // committed ratio, on top of the absolute >= 2x floor the scenario
+    // itself asserts.
+    if let Some(expected) = baseline
+        .get("store_warm_start_speedup")
+        .and_then(|v| v.as_f64())
+    {
+        let floor = expected * 0.8;
+        println!(
+            "baseline gate: warm start {measured_warm_speedup:.2}x vs committed {expected:.2}x (floor {floor:.2}x)"
+        );
+        if measured_warm_speedup < floor {
+            eprintln!(
+                "REGRESSION: warm-start speedup {measured_warm_speedup:.2}x fell more than 20% below the committed baseline {expected:.2}x"
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Physical processor count of the host, from `/proc/cpuinfo` where it
@@ -1140,6 +1460,10 @@ fn host_cpu_count() -> usize {
 }
 
 fn main() {
+    if std::env::var("AVIS_BENCH_WARM_SMOKE").is_ok() {
+        run_warm_smoke();
+        return;
+    }
     let simulations: usize = std::env::var("AVIS_BENCH_SIMS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -1163,6 +1487,7 @@ fn main() {
         .map(|(name, bugs)| bench_scenario(name, bugs, simulations, &worker_counts))
         .collect();
     let (checkpoint_report, checkpoint_speedup) = bench_checkpointing(simulations);
+    let (warm_report, warm_speedup) = bench_warm_start();
     let (batched_report, batched_speedup) = bench_batched_lockstep(simulations);
     let delta_report = bench_delta_density();
     let sharded_report = bench_sharded_dispatch(simulations);
@@ -1182,6 +1507,7 @@ fn main() {
         ),
         ("scenarios", Json::Array(reports)),
         ("checkpoint", checkpoint_report),
+        ("warm_start", warm_report),
         ("batched_lockstep", batched_report),
         ("delta_chain", delta_report),
         ("sharded_dispatch", sharded_report),
@@ -1194,6 +1520,11 @@ fn main() {
     println!("wrote {out_path}");
 
     if let Ok(baseline_path) = std::env::var("AVIS_BENCH_BASELINE") {
-        check_baseline(&baseline_path, checkpoint_speedup, batched_speedup);
+        check_baseline(
+            &baseline_path,
+            checkpoint_speedup,
+            batched_speedup,
+            warm_speedup,
+        );
     }
 }

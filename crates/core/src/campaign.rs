@@ -34,12 +34,15 @@ use crate::monitor::{InvariantMonitor, MonitorConfig};
 use crate::runner::{ExperimentConfig, ExperimentRunner};
 use crate::sabre::SabreConfig;
 use crate::snapshot::{CheckpointConfig, SharedSnapshotTier};
+use crate::store::{SnapshotStore, DEFAULT_STORE_BUDGET};
 use crate::strategy::{LinkScenarioStrategy, Strategy, StrategyContext};
 use avis_firmware::{BugSet, FirmwareProfile};
 use avis_hinj::{FaultPlan, LinkFaultPlan};
 use avis_sim::{SensorNoise, SensorSuiteConfig};
 use avis_workload::{auto_box_mission, ScriptedWorkload};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// One checkpoint in a campaign's life, streamed to the
@@ -97,6 +100,35 @@ pub enum CampaignEvent {
     DegradedMode {
         /// Human-readable explanation of why checkpointing was disabled.
         reason: String,
+    },
+    /// The persistent snapshot store hydrated the shared tier from disk
+    /// before the search started (see
+    /// [`CampaignBuilder::snapshot_store`]). Like [`DegradedMode`], this
+    /// is a wall-clock observability event, not a result event: the
+    /// final [`CampaignResult`] is bit-identical with or without it.
+    ///
+    /// [`DegradedMode`]: CampaignEvent::DegradedMode
+    StoreHydrated {
+        /// Snapshot chains re-materialised from disk.
+        chains: u64,
+        /// Individual snapshots offered to the shared tier.
+        snapshots: u64,
+        /// Blob bytes read (and verified) from disk.
+        bytes: u64,
+    },
+    /// The persistent snapshot store flushed the shared tier's chains to
+    /// disk at campaign end (write-behind flushes also run at engine
+    /// commit boundaries; this event reports the session totals). A
+    /// wall-clock observability event, like
+    /// [`DegradedMode`](CampaignEvent::DegradedMode).
+    StoreFlushed {
+        /// Chains now persisted for this experiment.
+        chains: u64,
+        /// Bytes the store holds on disk after flush + GC.
+        bytes: u64,
+        /// Blob writes elided because an identical content-addressed
+        /// blob already existed.
+        dedup_hits: u64,
     },
     /// The campaign ended (budget or search space exhausted).
     CampaignFinished {
@@ -171,6 +203,7 @@ pub struct Campaign {
     shared: Option<Arc<SharedSnapshotTier>>,
     dispatch: DispatchMode,
     worker_stats: Option<Arc<WorkerStatsCollector>>,
+    store: Option<StoreSpec>,
 }
 
 impl Campaign {
@@ -210,6 +243,7 @@ impl Campaign {
                 shared: self.shared,
                 dispatch: self.dispatch,
                 worker_stats: self.worker_stats,
+                store: self.store,
             },
             strategy.as_mut(),
             approach,
@@ -256,6 +290,8 @@ pub struct CampaignBuilder {
     shared: Option<Arc<SharedSnapshotTier>>,
     dispatch: DispatchMode,
     worker_stats: Option<Arc<WorkerStatsCollector>>,
+    store_path: Option<PathBuf>,
+    store_budget: u64,
 }
 
 impl Default for CampaignBuilder {
@@ -280,6 +316,8 @@ impl Default for CampaignBuilder {
             shared: None,
             dispatch: DispatchMode::default(),
             worker_stats: None,
+            store_path: None,
+            store_budget: DEFAULT_STORE_BUDGET,
         }
     }
 }
@@ -364,6 +402,34 @@ impl CampaignBuilder {
     /// state — keep one tier per experiment.
     pub fn shared_snapshots(mut self, tier: Arc<SharedSnapshotTier>) -> Self {
         self.shared = Some(tier);
+        self
+    }
+
+    /// Attaches a persistent [`SnapshotStore`] rooted at `path`: the
+    /// campaign hydrates its shared snapshot tier from whatever chains a
+    /// previous process persisted for the *same experiment* (warm start),
+    /// and flushes new chains back write-behind at engine commit
+    /// boundaries and campaign end. The store is content-addressed and
+    /// fingerprint-keyed, so one root directory safely serves many
+    /// experiments and many concurrent campaigns. Persistence is purely
+    /// a wall-clock optimisation: a warm-started campaign is
+    /// bit-identical to a cold one, and any corrupt or torn on-disk
+    /// state quarantines and falls back cold. Configuring a store
+    /// enables the shared tier even at `parallelism = 1`, so
+    /// single-threaded campaigns warm-start too. Default: no store.
+    pub fn snapshot_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+
+    /// On-disk byte budget for the snapshot store, enforced at flush
+    /// time by evicting the least-forked, oldest chains first (the
+    /// in-memory tier's hit-weighted policy, persisted). Default:
+    /// [`DEFAULT_STORE_BUDGET`].
+    ///
+    /// [`DEFAULT_STORE_BUDGET`]: crate::store::DEFAULT_STORE_BUDGET
+    pub fn snapshot_store_budget(mut self, max_bytes: u64) -> Self {
+        self.store_budget = max_bytes;
         self
     }
 
@@ -502,8 +568,21 @@ impl CampaignBuilder {
             shared: self.shared,
             dispatch: self.dispatch,
             worker_stats: self.worker_stats,
+            store: self.store_path.map(|root| StoreSpec {
+                root,
+                max_bytes: self.store_budget,
+            }),
         }
     }
+}
+
+/// Where (and how large) a campaign's persistent snapshot store is —
+/// resolved by [`CampaignBuilder::snapshot_store`] /
+/// [`CampaignBuilder::snapshot_store_budget`].
+#[derive(Debug, Clone)]
+pub(crate) struct StoreSpec {
+    pub(crate) root: PathBuf,
+    pub(crate) max_bytes: u64,
 }
 
 /// The resolved slice of configuration the campaign pipeline needs —
@@ -525,6 +604,9 @@ pub(crate) struct CampaignSpec<'a> {
     /// Sink for per-runner checkpoint statistics, if any (see
     /// [`CampaignBuilder::worker_stats`]).
     pub(crate) worker_stats: Option<Arc<WorkerStatsCollector>>,
+    /// Persistent snapshot store location, if any (see
+    /// [`CampaignBuilder::snapshot_store`]).
+    pub(crate) store: Option<StoreSpec>,
 }
 
 /// Runs one campaign end to end: profiling, monitor calibration, strategy
@@ -585,16 +667,41 @@ pub(crate) fn execute_campaign(
     // one was supplied, otherwise a campaign-local tier as soon as more
     // than one worker would re-record the same chains. At parallelism 1
     // with no caller tier, the per-runner cache alone is strictly
-    // better (a second tier would only duplicate memory).
+    // better (a second tier would only duplicate memory) — unless a
+    // persistent store is configured, which needs a tier to hydrate
+    // into and flush from even single-threaded.
     let tier: Option<Arc<SharedSnapshotTier>> = if checkpoints.enabled {
         spec.shared.clone().or_else(|| {
-            (spec.parallelism > 1).then(|| Arc::new(SharedSnapshotTier::new(checkpoints.max_bytes)))
+            (spec.parallelism > 1 || spec.store.is_some())
+                .then(|| Arc::new(SharedSnapshotTier::new(checkpoints.max_bytes)))
         })
     } else {
         None
     };
     if let Some(tier) = &tier {
         runner.set_shared_tier(Arc::clone(tier));
+    }
+
+    // The persistent store: hydrate the tier from disk before the search
+    // starts, so the engine forks from last session's chains instead of
+    // re-flying them. Opening can fail (read-only filesystem, bad path);
+    // the campaign then simply runs cold — the store never gates
+    // correctness, only wall-clock.
+    let store: Option<Arc<Mutex<SnapshotStore>>> = match (&spec.store, &tier) {
+        (Some(store_spec), Some(_)) => {
+            SnapshotStore::open(&store_spec.root, spec.experiment, store_spec.max_bytes)
+                .ok()
+                .map(|s| Arc::new(Mutex::new(s)))
+        }
+        _ => None,
+    };
+    if let (Some(store), Some(tier)) = (&store, &tier) {
+        let report = store.lock().hydrate(tier, spec.experiment);
+        observer.on_event(&CampaignEvent::StoreHydrated {
+            chains: report.chains,
+            snapshots: report.snapshots,
+            bytes: report.bytes,
+        });
     }
 
     let mut state = CampaignState {
@@ -624,6 +731,7 @@ pub(crate) fn execute_campaign(
             shared: tier.clone(),
             dispatch: spec.dispatch,
             worker_stats: spec.worker_stats.clone(),
+            store: store.clone(),
         },
         strategy,
         &mut state,
@@ -636,10 +744,32 @@ pub(crate) fn execute_campaign(
         tier.republish();
     }
 
+    // Final write-behind flush + GC: chains recorded after the engine's
+    // last commit-boundary flush reach disk before the campaign returns.
+    if let (Some(store), Some(tier)) = (&store, &tier) {
+        let mut store = store.lock();
+        store.flush(tier, spec.experiment);
+        let stats = store.stats();
+        observer.on_event(&CampaignEvent::StoreFlushed {
+            chains: stats.persisted_chains,
+            bytes: stats.store_bytes,
+            dedup_hits: stats.dedup_hits,
+        });
+    }
+
     // The campaign's inline runner (profiling + serial / fallback
-    // commits) reports its cache statistics alongside the pool workers'.
+    // commits) reports its cache statistics alongside the pool workers',
+    // with the persistent store's session counters merged in.
     if let Some(collector) = &spec.worker_stats {
-        collector.push(state.runner.checkpoint_stats());
+        let mut stats = state.runner.checkpoint_stats();
+        if let Some(store) = &store {
+            let store_stats = store.lock().stats();
+            stats.loaded_chains = store_stats.loaded_chains;
+            stats.persisted_chains = store_stats.persisted_chains;
+            stats.store_bytes = store_stats.store_bytes;
+            stats.dedup_hits = store_stats.dedup_hits;
+        }
+        collector.push(stats);
     }
 
     observer.on_event(&CampaignEvent::CampaignFinished {

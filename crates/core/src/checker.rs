@@ -462,6 +462,7 @@ impl Checker {
                 shared: None,
                 dispatch: crate::engine::DispatchMode::default(),
                 worker_stats: None,
+                store: None,
             },
             strategy.as_mut(),
             Some(cfg.approach),

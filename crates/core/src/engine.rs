@@ -148,6 +148,12 @@ pub(crate) struct EngineParams<'a> {
     /// Sink for per-worker checkpoint statistics, filled at pool
     /// shutdown.
     pub worker_stats: Option<Arc<WorkerStatsCollector>>,
+    /// The persistent snapshot store, if the campaign configured one:
+    /// the engine flushes newly published chains write-behind at each
+    /// commit boundary (right after the tier republish), so a crash
+    /// mid-campaign still leaves the completed wavefronts' chains on
+    /// disk for the next session.
+    pub store: Option<Arc<parking_lot::Mutex<crate::store::SnapshotStore>>>,
 }
 
 /// Simulations left before the hard budget cap (`usize::MAX` for
@@ -732,6 +738,15 @@ fn run_rounds(
                     // own cache already holds what it recorded.
                     if let Some(tier) = &params.shared {
                         tier.republish();
+                        // Commit-boundary write-behind: persist chains
+                        // published this wavefront. Incremental (already
+                        // persisted cuts are skipped) and purely
+                        // observational — a flush failure degrades the
+                        // next session's warm start, never this
+                        // campaign's results.
+                        if let Some(store) = &params.store {
+                            store.lock().flush(tier, params.experiment);
+                        }
                     }
                     let cap = remaining_simulations(params.budget, state);
                     // Admission: drop hints the strategy has withdrawn

@@ -114,6 +114,7 @@ pub mod report;
 pub mod runner;
 pub mod sabre;
 pub mod snapshot;
+pub mod store;
 pub mod strategy;
 pub mod study;
 pub mod trace;
@@ -134,6 +135,7 @@ pub use report::{replay, BugReport, ReplayOutcome};
 pub use runner::{ExperimentConfig, ExperimentRunner, RunResult, RunVerdict, WatchdogConfig};
 pub use sabre::{QueueEntry, SabreConfig, SabreQueue};
 pub use snapshot::{CheckpointConfig, CheckpointStats, SharedSnapshotTier, SharedTierStats};
+pub use store::{SnapshotStore, StoreReport, StoreStats};
 pub use strategy::{
     BfiStrategy, Candidate, Decision, LinkProbeStrategy, LinkScenarioStrategy, Observation,
     PruningCounters, RandomStrategy, RoundRobinMode, SabreStrategy, Strategy, StrategyContext,

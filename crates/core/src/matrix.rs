@@ -40,6 +40,7 @@ use avis_sim::SensorNoise;
 use avis_workload::ScriptedWorkload;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// A strategy column of the matrix: a display name plus a factory that
@@ -69,6 +70,8 @@ pub struct ScenarioMatrix {
     noise: Option<SensorNoise>,
     seed: u64,
     share_snapshots: bool,
+    snapshot_store: Option<PathBuf>,
+    store_budget: u64,
 }
 
 impl Default for ScenarioMatrix {
@@ -86,6 +89,8 @@ impl Default for ScenarioMatrix {
             noise: None,
             seed: 17,
             share_snapshots: true,
+            snapshot_store: None,
+            store_budget: crate::store::DEFAULT_STORE_BUDGET,
         }
     }
 }
@@ -232,6 +237,29 @@ impl ScenarioMatrix {
         self
     }
 
+    /// Attaches a persistent snapshot store rooted at `path` to every
+    /// cell (see [`crate::campaign::CampaignBuilder::snapshot_store`]).
+    /// The store keys its state by experiment fingerprint, so one root
+    /// directory cleanly separates every firmware × workload cell: a
+    /// re-run matrix warm-starts each cell from the chains its own
+    /// experiment persisted last time, and cells never see foreign
+    /// state. Requires [`ScenarioMatrix::share_snapshots`] (the
+    /// default) — without a shared tier there is nothing to hydrate
+    /// into. Persistence never changes any cell result. Default: no
+    /// store.
+    pub fn snapshot_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.snapshot_store = Some(path.into());
+        self
+    }
+
+    /// On-disk byte budget for each cell's slice of the snapshot store
+    /// (see
+    /// [`crate::campaign::CampaignBuilder::snapshot_store_budget`]).
+    pub fn snapshot_store_budget(mut self, max_bytes: u64) -> Self {
+        self.store_budget = max_bytes;
+        self
+    }
+
     /// Number of campaigns the matrix expands to (empty axes counted at
     /// their [`ScenarioMatrix::run`] fallback sizes).
     pub fn cell_count(&self) -> usize {
@@ -310,6 +338,14 @@ impl ScenarioMatrix {
                                 .entry((profile_idx, workload_idx))
                                 .or_insert_with(|| Arc::new(SharedSnapshotTier::new(tier_budget)));
                             builder = builder.shared_snapshots(Arc::clone(tier));
+                            if let Some(root) = &self.snapshot_store {
+                                // Fingerprint keying inside the store
+                                // separates the cells; every cell can
+                                // share one root directory.
+                                builder = builder
+                                    .snapshot_store(root.clone())
+                                    .snapshot_store_budget(self.store_budget);
+                            }
                         }
                         if let Some(parallelism) = self.parallelism {
                             builder = builder.parallelism(parallelism);

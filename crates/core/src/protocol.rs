@@ -22,7 +22,9 @@
 //! what a cold run would.
 
 use crate::trace::{ProtocolEvent, ProtocolEventKind};
+use avis_firmware::mission::{decode_mission_item, encode_mission_item};
 use avis_mavlite::{CommandKind, Message, MissionItem};
+use avis_sim::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 
 /// Altitude (m) above which a disarm observed over telemetry counts as
 /// an in-air disarm rather than a normal post-landing shutdown.
@@ -178,6 +180,47 @@ impl ProtocolTracker {
     /// moves them into the run's [`crate::trace::Trace`]).
     pub fn into_events(self) -> Vec<ProtocolEvent> {
         self.events
+    }
+
+    /// Serialise the tracker (full observer state, including recorded
+    /// events, so a restored checkpoint reports exactly what a cold run
+    /// would).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.f64(self.ack_window);
+        w.option(self.armed_seen.as_ref(), |w, v| w.bool(*v));
+        w.f64(self.last_altitude);
+        w.bool(self.last_landed);
+        w.seq(&self.pending_acks, |w, (kind, sent_at)| {
+            w.u8(match kind {
+                CommandKind::Arm => 0,
+                CommandKind::SetMode => 1,
+                CommandKind::Takeoff => 2,
+            });
+            w.f64(*sent_at);
+        });
+        w.seq(&self.upload, encode_mission_item);
+        w.seq(&self.events, |w, e| e.encode(w));
+    }
+
+    /// Decode a tracker previously written by [`ProtocolTracker::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<ProtocolTracker> {
+        Ok(ProtocolTracker {
+            ack_window: r.f64()?,
+            armed_seen: r.option(|r| r.bool())?,
+            last_altitude: r.f64()?,
+            last_landed: r.bool()?,
+            pending_acks: r.seq(|r| {
+                let kind = match r.u8()? {
+                    0 => CommandKind::Arm,
+                    1 => CommandKind::SetMode,
+                    2 => CommandKind::Takeoff,
+                    _ => return Err(CodecError::Malformed("command kind tag")),
+                };
+                Ok((kind, r.f64()?))
+            })?,
+            upload: r.seq(decode_mission_item)?,
+            events: r.seq(ProtocolEvent::decode)?,
+        })
     }
 
     /// Approximate heap bytes held (snapshot accounting).

@@ -354,6 +354,54 @@ impl ExperimentRunner {
         self.cache.degraded()
     }
 
+    /// The deterministic `t = 0` state of a run of this configuration —
+    /// the *genesis* snapshot the persistent store diffs keyframes
+    /// against. Mirrors the cold-start arm of
+    /// [`ExperimentRunner::execute`] exactly (same construction order,
+    /// same priming step), so a chain persisted as
+    /// `genesis → keyframe-delta → deltas…` re-materialises bit-exactly
+    /// on any host that can rebuild the same [`ExperimentConfig`]. The
+    /// fault plan is irrelevant here: a restore always swaps the plan in
+    /// (see `into_restored_with_plan`), so genesis carries the empty one.
+    pub(crate) fn genesis_snapshot(cfg: &ExperimentConfig, seed_offset: u64) -> RunSnapshot {
+        let plan = FaultPlan::empty();
+        let link_plan = plan.link_plan().clone();
+        let mut sim_config = SimConfig {
+            dt: cfg.dt,
+            seed: cfg.seed.wrapping_add(seed_offset),
+            ..SimConfig::default()
+        };
+        if let Some(noise) = &cfg.noise {
+            sim_config.sensors.noise = noise.clone();
+        }
+        let mut sim = Simulator::new_shared(sim_config, cfg.workload.shared_environment());
+        let injector = SharedInjector::new(FaultInjector::new(plan));
+        let mut firmware = Firmware::new(cfg.profile, cfg.bugs.clone(), injector.clone());
+        let link = FaultyLink::new(
+            link_plan,
+            SimRng::seed_from_u64(cfg.seed.wrapping_add(seed_offset) ^ LINK_RNG_SALT),
+        );
+        let mut output = StepOutput::empty();
+        sim.step_into(&MotorCommands::IDLE, &mut output);
+        let time = sim.time();
+        RunSnapshot {
+            sim: sim.snapshot(),
+            firmware: firmware.snapshot(),
+            injector: injector.snapshot(),
+            link: LinkSnapshot::capture(&link),
+            tracker: ProtocolTracker::new(),
+            workload: cfg.workload.fresh(),
+            samples: CowVec::with_capacity((cfg.max_duration / cfg.sample_interval) as usize + 2),
+            output,
+            fence_violations: 0,
+            next_sample_time: 0.0,
+            workload_status: WorkloadStatus::Running,
+            terminal_since: None,
+            time,
+            prefix: crate::snapshot::InjectionPrefix::default(),
+        }
+    }
+
     fn execute(&mut self, plan: FaultPlan, seed_offset: u64) -> RunResult {
         self.runs += 1;
         self.step_cursor = 0;

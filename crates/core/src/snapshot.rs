@@ -87,6 +87,8 @@ use avis_firmware::{FirmwareDelta, FirmwareSnapshot};
 use avis_hinj::{
     FaultPlan, FaultSpec, InjectorDelta, InjectorSnapshot, LinkDelta, LinkFaultSpec, LinkSnapshot,
 };
+use avis_sim::codec::{ByteReader, ByteWriter, CodecResult};
+use avis_sim::cow::{ChunkSink, ChunkSource};
 use avis_sim::simulator::StepOutput;
 use avis_sim::{CowDelta, CowVec, PackedStepOutput, SensorReading, SimDelta, SimSnapshot};
 use avis_workload::{ScriptedWorkload, WorkloadStatus};
@@ -232,6 +234,20 @@ impl InjectionPrefix {
     /// Total number of failures in the prefix (both surfaces).
     pub fn len(&self) -> usize {
         self.sensor.len() + self.link.len()
+    }
+
+    /// Serialise the prefix for the persistent store.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.seq(&self.sensor, |w, s| s.encode(w));
+        w.seq(&self.link, |w, s| s.encode(w));
+    }
+
+    /// Decode a prefix previously written by [`InjectionPrefix::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<InjectionPrefix> {
+        Ok(InjectionPrefix {
+            sensor: r.seq(FaultSpec::decode)?,
+            link: r.seq(LinkFaultSpec::decode)?,
+        })
     }
 }
 
@@ -464,6 +480,57 @@ impl RunDelta {
         self.samples.for_each_chunk(f);
         self.firmware.for_each_chunk(f);
         self.injector.for_each_chunk(f);
+    }
+
+    /// Serialises the delta for the persistent store. History chunks
+    /// (trace samples, firmware defect log, injector records) go to
+    /// `sink` content-addressed; everything else is written inline.
+    pub fn encode(&self, w: &mut ByteWriter, sink: &mut dyn ChunkSink) {
+        self.sim.encode(w);
+        self.firmware.encode(w, sink);
+        self.injector.encode(w, sink);
+        self.link.encode(w);
+        self.tracker.encode(w);
+        self.workload.encode_runtime(w);
+        self.samples
+            .encode_chunked(w, sink, &mut |w, s: &StateSample| s.encode(w));
+        self.output.encode(w);
+        w.usize(self.fence_violations);
+        w.f64(self.next_sample_time);
+        self.workload_status.encode(w);
+        w.option(self.terminal_since.as_ref(), |w, t| w.f64(*t));
+        w.f64(self.time);
+        self.prefix.encode(w);
+    }
+
+    /// Restores a delta serialised by [`RunDelta::encode`].
+    ///
+    /// `workload_template` supplies the static script structure (steps,
+    /// name, environment, timeout), which is derived from the experiment
+    /// configuration and never persisted — only the runtime progress is
+    /// read from the byte stream (see
+    /// [`ScriptedWorkload::decode_runtime`]).
+    pub fn decode(
+        r: &mut ByteReader<'_>,
+        source: &mut dyn ChunkSource,
+        workload_template: &ScriptedWorkload,
+    ) -> CodecResult<RunDelta> {
+        Ok(RunDelta {
+            sim: SimDelta::decode(r)?,
+            firmware: FirmwareDelta::decode(r, source)?,
+            injector: InjectorDelta::decode(r, source)?,
+            link: LinkDelta::decode(r)?,
+            tracker: ProtocolTracker::decode(r)?,
+            workload: workload_template.decode_runtime(r)?,
+            samples: CowDelta::decode_chunked(r, source, &mut StateSample::decode)?,
+            output: PackedStepOutput::decode(r)?,
+            fence_violations: r.usize()?,
+            next_sample_time: r.f64()?,
+            workload_status: WorkloadStatus::decode(r)?,
+            terminal_since: r.option(|r| r.f64())?,
+            time: r.f64()?,
+            prefix: InjectionPrefix::decode(r)?,
+        })
     }
 }
 
@@ -736,6 +803,18 @@ pub struct CheckpointStats {
     /// Total simulated seconds *not* re-executed thanks to forking (the
     /// sum of fork-point times).
     pub simulated_seconds_skipped: f64,
+    /// Chains hydrated from the persistent snapshot store at campaign
+    /// start (see [`crate::store`]); `0` when no store was attached.
+    pub loaded_chains: u64,
+    /// Chains the campaign flushed to the persistent store.
+    pub persisted_chains: u64,
+    /// Bytes held by the persistent store (blobs plus manifest) after
+    /// the campaign's final flush and GC pass.
+    pub store_bytes: u64,
+    /// Blob writes the persistent store skipped because an identical
+    /// content-addressed blob was already on disk — cross-cut and
+    /// cross-campaign dedup hits.
+    pub dedup_hits: u64,
 }
 
 /// The chain context a runner carries between cuts: the key of the last
@@ -1341,6 +1420,36 @@ impl SharedSnapshotTier {
         let next = Arc::new(state.map.clone());
         *self.published.write().unwrap_or_else(|e| e.into_inner()) = next;
     }
+
+    /// Exports every *published* snapshot — key parts, snapshot clone and
+    /// accrued hit count — for the persistent store's flush path. Pending
+    /// (not yet republished) offers are deliberately excluded: they have
+    /// not passed the engine's wavefront boundary yet, and the campaign's
+    /// final [`SharedSnapshotTier::republish`] runs before the final
+    /// flush.
+    pub(crate) fn export_published(&self) -> Vec<TierExport> {
+        self.current()
+            .iter()
+            .map(|(key, entry)| TierExport {
+                seed_offset: key.seed_offset,
+                prefix_key: key.prefix.clone(),
+                time_ms: key.time_ms,
+                snapshot: entry.snapshot.clone(),
+                hits: entry.hits.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// One published tier entry, exported for the persistent store (see
+/// [`SharedSnapshotTier::export_published`]).
+#[derive(Debug, Clone)]
+pub(crate) struct TierExport {
+    pub(crate) seed_offset: u64,
+    pub(crate) prefix_key: String,
+    pub(crate) time_ms: i64,
+    pub(crate) snapshot: RunSnapshot,
+    pub(crate) hits: u64,
 }
 
 #[cfg(test)]

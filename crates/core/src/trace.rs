@@ -9,6 +9,7 @@
 
 use avis_firmware::OperatingMode;
 use avis_hinj::ModeCode;
+use avis_sim::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 use avis_sim::{Collision, Vec3};
 use avis_workload::WorkloadStatus;
 use serde::{Deserialize, Serialize};
@@ -24,6 +25,26 @@ pub struct StateSample {
     pub acceleration: Vec3,
     /// Operating mode at the sample time.
     pub mode: OperatingMode,
+}
+
+impl StateSample {
+    /// Serialise the sample.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.f64(self.time);
+        self.position.encode(w);
+        self.acceleration.encode(w);
+        self.mode.encode(w);
+    }
+
+    /// Decode a sample previously written by [`StateSample::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<StateSample> {
+        Ok(StateSample {
+            time: r.f64()?,
+            position: Vec3::decode(r)?,
+            acceleration: Vec3::decode(r)?,
+            mode: OperatingMode::decode(r)?,
+        })
+    }
 }
 
 /// A mode transition observed during a run.
@@ -74,6 +95,69 @@ pub enum ProtocolEventKind {
         /// Items (of those comparable) that match on the vehicle.
         matching_items: usize,
     },
+}
+
+impl ProtocolEvent {
+    /// Serialise the event.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.f64(self.time);
+        self.kind.encode(w);
+    }
+
+    /// Decode an event previously written by [`ProtocolEvent::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<ProtocolEvent> {
+        Ok(ProtocolEvent {
+            time: r.f64()?,
+            kind: ProtocolEventKind::decode(r)?,
+        })
+    }
+}
+
+impl ProtocolEventKind {
+    /// Serialise the kind as a stable one-byte tag plus payload.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            ProtocolEventKind::InAirDisarm { altitude } => {
+                w.u8(0);
+                w.f64(*altitude);
+            }
+            ProtocolEventKind::AckTimeout {
+                command,
+                sent_at,
+                window,
+            } => {
+                w.u8(1);
+                w.str(command);
+                w.f64(*sent_at);
+                w.f64(*window);
+            }
+            ProtocolEventKind::MissionAliasing {
+                expected_items,
+                matching_items,
+            } => {
+                w.u8(2);
+                w.usize(*expected_items);
+                w.usize(*matching_items);
+            }
+        }
+    }
+
+    /// Decode a kind previously written by [`ProtocolEventKind::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<ProtocolEventKind> {
+        Ok(match r.u8()? {
+            0 => ProtocolEventKind::InAirDisarm { altitude: r.f64()? },
+            1 => ProtocolEventKind::AckTimeout {
+                command: r.str()?,
+                sent_at: r.f64()?,
+                window: r.f64()?,
+            },
+            2 => ProtocolEventKind::MissionAliasing {
+                expected_items: r.usize()?,
+                matching_items: r.usize()?,
+            },
+            _ => return Err(CodecError::Malformed("protocol event tag")),
+        })
+    }
 }
 
 /// The complete record of one simulated test run.

@@ -17,6 +17,7 @@
 
 use crate::modes::ModeCategory;
 use crate::params::FirmwareProfile;
+use avis_sim::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 use avis_sim::SensorKind;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -129,6 +130,54 @@ impl BugId {
             BugId::ProtoDoubleArm => "PROTO-101",
             BugId::ProtoPanicOnStaleEkf => "PROTO-102",
         }
+    }
+
+    /// Serialises the id for the persistent snapshot store. The tags are
+    /// stable across catalog reorderings — new bugs must append new tags.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u8(match self {
+            BugId::Apm16020 => 0,
+            BugId::Apm16021 => 1,
+            BugId::Apm16027 => 2,
+            BugId::Apm16967 => 3,
+            BugId::Apm16682 => 4,
+            BugId::Apm16953 => 5,
+            BugId::Px417046 => 6,
+            BugId::Px417057 => 7,
+            BugId::Px417192 => 8,
+            BugId::Px417181 => 9,
+            BugId::Apm4455 => 10,
+            BugId::Apm4679 => 11,
+            BugId::Apm5428 => 12,
+            BugId::Apm9349 => 13,
+            BugId::Px413291 => 14,
+            BugId::ProtoDoubleArm => 15,
+            BugId::ProtoPanicOnStaleEkf => 16,
+        });
+    }
+
+    /// Reads an id written by [`BugId::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        Ok(match r.u8()? {
+            0 => BugId::Apm16020,
+            1 => BugId::Apm16021,
+            2 => BugId::Apm16027,
+            3 => BugId::Apm16967,
+            4 => BugId::Apm16682,
+            5 => BugId::Apm16953,
+            6 => BugId::Px417046,
+            7 => BugId::Px417057,
+            8 => BugId::Px417192,
+            9 => BugId::Px417181,
+            10 => BugId::Apm4455,
+            11 => BugId::Apm4679,
+            12 => BugId::Apm5428,
+            13 => BugId::Apm9349,
+            14 => BugId::Px413291,
+            15 => BugId::ProtoDoubleArm,
+            16 => BugId::ProtoPanicOnStaleEkf,
+            _ => return Err(CodecError::Malformed("bug id tag")),
+        })
     }
 
     /// Structured description of the defect (firmware, symptom, trigger).
@@ -467,6 +516,17 @@ impl BugSet {
     /// Iterates over the enabled defects.
     pub fn iter(&self) -> impl Iterator<Item = BugId> + '_ {
         self.enabled.iter().copied()
+    }
+
+    /// Serialises the set for the persistent snapshot store.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        let bugs: Vec<BugId> = self.iter().collect();
+        w.seq(&bugs, |w, b| b.encode(w));
+    }
+
+    /// Reads a set written by [`BugSet::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        Ok(BugSet::with_bugs(r.seq(BugId::decode)?))
     }
 
     /// Number of enabled defects.

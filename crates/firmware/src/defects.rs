@@ -22,6 +22,7 @@ use crate::frontend::SensorHealth;
 use crate::modes::OperatingMode;
 use crate::nav::Setpoint;
 use crate::params::FirmwareProfile;
+use avis_sim::codec::{ByteReader, ByteWriter, CodecResult};
 use avis_sim::{SensorKind, Vec3};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -67,6 +68,28 @@ impl DefectOverrides {
     pub fn is_empty(&self) -> bool {
         self.active.is_empty()
     }
+
+    /// Serialise the overrides bit-exactly.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.option(self.force_mode.as_ref(), |w, m| m.encode(w));
+        w.option(self.setpoint.as_ref(), |w, s| s.encode(w));
+        w.bool(self.suppress_failsafes);
+        w.bool(self.cut_motors);
+        w.bool(self.disable_altitude_reached);
+        w.seq(&self.active, |w, b| b.encode(w));
+    }
+
+    /// Decode overrides previously written by [`DefectOverrides::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<DefectOverrides> {
+        Ok(DefectOverrides {
+            force_mode: r.option(OperatingMode::decode)?,
+            setpoint: r.option(Setpoint::decode)?,
+            suppress_failsafes: r.bool()?,
+            cut_motors: r.bool()?,
+            disable_altitude_reached: r.bool()?,
+            active: r.seq(BugId::decode)?,
+        })
+    }
 }
 
 /// Tracks trigger state for the enabled defects and produces per-step
@@ -95,6 +118,28 @@ impl DefectEngine {
     /// Bugs that have triggered so far, with their trigger times.
     pub fn triggered(&self) -> &BTreeMap<BugId, f64> {
         &self.triggered_at
+    }
+
+    /// Serialise the engine (enabled set + trigger times) deterministically.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.bugs.encode(w);
+        let triggered: Vec<(BugId, f64)> =
+            self.triggered_at.iter().map(|(b, t)| (*b, *t)).collect();
+        w.seq(&triggered, |w, (b, t)| {
+            b.encode(w);
+            w.f64(*t);
+        });
+    }
+
+    /// Decode an engine previously written by [`DefectEngine::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<DefectEngine> {
+        Ok(DefectEngine {
+            bugs: BugSet::decode(r)?,
+            triggered_at: r
+                .seq(|r| Ok((BugId::decode(r)?, r.f64()?)))?
+                .into_iter()
+                .collect(),
+        })
     }
 
     /// Evaluates every enabled defect for this step.

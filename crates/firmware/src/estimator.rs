@@ -20,6 +20,7 @@
 //!   after a timeout, which is what triggers the GPS failsafe.
 
 use crate::frontend::{SelectedSensors, SensorHealth};
+use avis_sim::codec::{ByteReader, ByteWriter, CodecResult};
 use avis_sim::math::wrap_angle;
 use avis_sim::{Quat, Vec3, GRAVITY};
 use serde::{Deserialize, Serialize};
@@ -70,6 +71,36 @@ impl EstimatorState {
     /// The estimated attitude as a quaternion.
     pub fn attitude(&self) -> Quat {
         Quat::from_euler(self.roll, self.pitch, self.yaw)
+    }
+
+    /// Serialise the estimate bit-exactly (all floats via their raw bits).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.f64(self.roll);
+        w.f64(self.pitch);
+        w.f64(self.yaw);
+        w.f64(self.altitude);
+        w.f64(self.climb_rate);
+        self.position.encode(w);
+        self.velocity.encode(w);
+        w.bool(self.position_ok);
+        w.bool(self.altitude_ok);
+        w.f64(self.gps_loss_seconds);
+    }
+
+    /// Decode an estimate previously written by [`EstimatorState::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<EstimatorState> {
+        Ok(EstimatorState {
+            roll: r.f64()?,
+            pitch: r.f64()?,
+            yaw: r.f64()?,
+            altitude: r.f64()?,
+            climb_rate: r.f64()?,
+            position: Vec3::decode(r)?,
+            velocity: Vec3::decode(r)?,
+            position_ok: r.bool()?,
+            altitude_ok: r.bool()?,
+            gps_loss_seconds: r.f64()?,
+        })
     }
 }
 
@@ -129,6 +160,22 @@ impl Default for StateEstimator {
 pub struct EstimatorDynamics {
     state: EstimatorState,
     baro_reference: Option<f64>,
+}
+
+impl EstimatorDynamics {
+    /// Serialise the dynamic estimator state bit-exactly.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.state.encode(w);
+        w.option(self.baro_reference.as_ref(), |w, v| w.f64(*v));
+    }
+
+    /// Decode dynamics previously written by [`EstimatorDynamics::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<EstimatorDynamics> {
+        Ok(EstimatorDynamics {
+            state: EstimatorState::decode(r)?,
+            baro_reference: r.option(|r| r.f64())?,
+        })
+    }
 }
 
 impl StateEstimator {

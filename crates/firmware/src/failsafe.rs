@@ -14,6 +14,7 @@ use crate::estimator::EstimatorState;
 use crate::frontend::{SelectedSensors, SensorHealth};
 use crate::modes::OperatingMode;
 use crate::params::{FailsafeAction, FirmwareParams};
+use avis_sim::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 use avis_sim::SensorKind;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -33,6 +34,34 @@ pub enum FailsafeCause {
     BatteryLow,
     /// Battery below the critical threshold.
     BatteryCritical,
+}
+
+impl FailsafeCause {
+    /// Serialise the cause as a stable one-byte tag.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        let tag: u8 = match self {
+            FailsafeCause::PositionLoss => 0,
+            FailsafeCause::ImuLoss => 1,
+            FailsafeCause::AltitudeLoss => 2,
+            FailsafeCause::CompassLoss => 3,
+            FailsafeCause::BatteryLow => 4,
+            FailsafeCause::BatteryCritical => 5,
+        };
+        w.u8(tag);
+    }
+
+    /// Decode a cause previously written by [`FailsafeCause::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<FailsafeCause> {
+        Ok(match r.u8()? {
+            0 => FailsafeCause::PositionLoss,
+            1 => FailsafeCause::ImuLoss,
+            2 => FailsafeCause::AltitudeLoss,
+            3 => FailsafeCause::CompassLoss,
+            4 => FailsafeCause::BatteryLow,
+            5 => FailsafeCause::BatteryCritical,
+            _ => return Err(CodecError::Malformed("failsafe cause tag")),
+        })
+    }
 }
 
 impl fmt::Display for FailsafeCause {
@@ -60,6 +89,24 @@ pub struct FailsafeEvent {
     pub time: f64,
 }
 
+impl FailsafeEvent {
+    /// Serialise the event bit-exactly.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.cause.encode(w);
+        self.action.encode(w);
+        w.f64(self.time);
+    }
+
+    /// Decode an event previously written by [`FailsafeEvent::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<FailsafeEvent> {
+        Ok(FailsafeEvent {
+            cause: FailsafeCause::decode(r)?,
+            action: FailsafeAction::decode(r)?,
+            time: r.f64()?,
+        })
+    }
+}
+
 /// The failsafe engine. Stateful so that each cause fires once per run
 /// (matching the latch-style behaviour of real firmware).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -81,6 +128,18 @@ impl FailsafeEngine {
     /// Whether the given cause has already fired.
     pub fn has_fired(&self, cause: FailsafeCause) -> bool {
         self.fired.iter().any(|e| e.cause == cause)
+    }
+
+    /// Serialise the latched events in firing order.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.seq(&self.fired, |w, e| e.encode(w));
+    }
+
+    /// Decode an engine previously written by [`FailsafeEngine::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<FailsafeEngine> {
+        Ok(FailsafeEngine {
+            fired: r.seq(FailsafeEvent::decode)?,
+        })
     }
 
     /// Evaluates the failsafe conditions for this step.

@@ -20,6 +20,8 @@ use crate::nav::{Navigator, Setpoint};
 use crate::params::{FirmwareParams, FirmwareProfile};
 use avis_hinj::SharedInjector;
 use avis_mavlite::{AckResult, CommandKind, Message, MissionCommand, ProtocolMode};
+use avis_sim::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
+use avis_sim::cow::{ChunkSink, ChunkSource};
 use avis_sim::{CowVec, MotorCommands, SensorKind, SensorReading, Vec3};
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +51,28 @@ pub struct Telemetry {
 enum RtlPhase {
     Travel { cruise_altitude: f64 },
     Landing,
+}
+
+impl RtlPhase {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            RtlPhase::Travel { cruise_altitude } => {
+                w.u8(0);
+                w.f64(*cruise_altitude);
+            }
+            RtlPhase::Landing => w.u8(1),
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> CodecResult<RtlPhase> {
+        Ok(match r.u8()? {
+            0 => RtlPhase::Travel {
+                cruise_altitude: r.f64()?,
+            },
+            1 => RtlPhase::Landing,
+            _ => return Err(CodecError::Malformed("rtl phase tag")),
+        })
+    }
 }
 
 /// A point-in-time capture of a [`Firmware`], taken mid-run by
@@ -278,6 +302,88 @@ impl FirmwareDelta {
     /// pairs (see [`CowVec::for_each_chunk`]).
     pub fn for_each_chunk(&self, f: &mut dyn FnMut(usize, usize)) {
         self.defect_log.for_each_chunk(f);
+    }
+
+    /// Serialise the delta bit-exactly. The defect-log chunks are handed
+    /// to `sink` for content-addressed storage and deduplication; only
+    /// their hashes land in the byte stream. The firmware outbox is
+    /// serialised through the wire codec ([`avis_mavlite::encode_frame`])
+    /// so the persistent format reuses the protocol's framing and CRC.
+    pub fn encode(&self, w: &mut ByteWriter, sink: &mut dyn ChunkSink) {
+        self.estimator.encode(w);
+        self.navigator.encode(w);
+        w.option(self.health.as_deref(), |w, h| h.encode(w));
+        w.option(self.failsafes.as_deref(), |w, f| f.encode(w));
+        w.option(self.defects.as_deref(), |w, d| d.encode(w));
+        w.option(self.mission.as_deref(), |w, m| m.encode(w));
+        self.mode.encode(w);
+        w.bool(self.armed);
+        self.home.encode(w);
+        w.f64(self.time);
+        w.f64(self.takeoff_target);
+        self.after_takeoff.encode(w);
+        w.option(self.guided_target.as_ref(), |w, v| v.encode(w));
+        self.hold_position.encode(w);
+        self.rtl_phase.encode(w);
+        w.f64(self.touchdown_timer);
+        w.f64(self.last_heartbeat);
+        w.f64(self.last_status);
+        self.last_selected.encode(w);
+        w.usize(self.mode_history_base);
+        w.seq(&self.mode_history_suffix, |w, (t, m)| {
+            w.f64(*t);
+            m.encode(w);
+        });
+        w.seq(&self.outbox, |w, m| {
+            w.bytes(&avis_mavlite::encode_frame(m, 0));
+        });
+        self.defect_log.encode_chunked(w, sink, &mut |w, (t, o)| {
+            w.f64(*t);
+            o.encode(w);
+        });
+    }
+
+    /// Decode a delta previously written by [`FirmwareDelta::encode`],
+    /// resolving defect-log chunk references through `source`.
+    pub fn decode(
+        r: &mut ByteReader<'_>,
+        source: &mut dyn ChunkSource,
+    ) -> CodecResult<FirmwareDelta> {
+        Ok(FirmwareDelta {
+            estimator: crate::estimator::EstimatorDynamics::decode(r)?,
+            navigator: crate::nav::NavDynamics::decode(r)?,
+            health: r.option(|r| Ok(Box::new(crate::frontend::SensorHealth::decode(r)?)))?,
+            failsafes: r.option(|r| Ok(Box::new(FailsafeEngine::decode(r)?)))?,
+            defects: r.option(|r| Ok(Box::new(DefectEngine::decode(r)?)))?,
+            mission: r.option(|r| Ok(Box::new(MissionManager::decode(r)?)))?,
+            mode: OperatingMode::decode(r)?,
+            armed: r.bool()?,
+            home: Vec3::decode(r)?,
+            time: r.f64()?,
+            takeoff_target: r.f64()?,
+            after_takeoff: OperatingMode::decode(r)?,
+            guided_target: r.option(Vec3::decode)?,
+            hold_position: Vec3::decode(r)?,
+            rtl_phase: RtlPhase::decode(r)?,
+            touchdown_timer: r.f64()?,
+            last_heartbeat: r.f64()?,
+            last_status: r.f64()?,
+            last_selected: SelectedSensors::decode(r)?,
+            mode_history_base: r.usize()?,
+            mode_history_suffix: r.seq(|r| Ok((r.f64()?, OperatingMode::decode(r)?)))?,
+            outbox: r.seq(|r| {
+                let frame = r.bytes()?;
+                let (msg, _seq, used) = avis_mavlite::decode_frame(&frame)
+                    .map_err(|_| CodecError::Malformed("outbox frame"))?;
+                if used != frame.len() {
+                    return Err(CodecError::Malformed("outbox frame length"));
+                }
+                Ok(msg)
+            })?,
+            defect_log: avis_sim::CowDelta::decode_chunked(r, source, &mut |r| {
+                Ok((r.f64()?, DefectOverrides::decode(r)?))
+            })?,
+        })
     }
 }
 
@@ -1008,6 +1114,56 @@ mod tests {
             }
             assert!(!responses.is_empty(), "mission upload stalled");
         }
+    }
+
+    #[test]
+    fn firmware_delta_codec_round_trips_through_chunk_store() {
+        use avis_sim::codec::{ByteReader, ByteWriter};
+        use avis_sim::cow::MemoryChunkStore;
+
+        // Fly a mission far enough that the delta carries real payload:
+        // mode transitions, a mission, defect-log growth and outbox
+        // traffic between the base and the cut.
+        let (mut fw, injector) = make_firmware(BugSet::none());
+        let mut sim = make_sim();
+        run(&mut fw, &mut sim, 1.0);
+        upload_mission(&mut fw, &square_mission(20.0, 15.0, true));
+        fw.handle_message(&Message::ArmDisarm { arm: true });
+        fw.handle_message(&Message::SetMode {
+            mode: ProtocolMode::Auto,
+        });
+        run(&mut fw, &mut sim, 3.0);
+        let base = fw.snapshot();
+        run(&mut fw, &mut sim, 5.0);
+        fw.handle_message(&Message::SetMode {
+            mode: ProtocolMode::ReturnToLaunch,
+        });
+        run(&mut fw, &mut sim, 2.0);
+        let cut = fw.snapshot();
+        let delta = cut.diff(&base);
+
+        let mut store = MemoryChunkStore::default();
+        let mut w = ByteWriter::new();
+        delta.encode(&mut w, &mut store);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let decoded = FirmwareDelta::decode(&mut r, &mut store).expect("decode");
+        r.finish().expect("no trailing bytes");
+
+        // Both re-materialised firmwares must continue bit-identically.
+        let mut via_delta = base.apply(&delta).restore(injector.clone());
+        let mut via_codec = base.apply(&decoded).restore(injector);
+        assert_eq!(via_delta.mode(), via_codec.mode());
+        assert_eq!(via_delta.mode_history(), via_codec.mode_history());
+        assert_eq!(via_delta.defect_log().len(), via_codec.defect_log().len());
+        let mut readings = sim.step(&MotorCommands::IDLE).readings;
+        for _ in 0..400 {
+            let a = via_delta.step(&readings, sim.time(), DT);
+            let b = via_codec.step(&readings, sim.time(), DT);
+            assert_eq!(a, b, "restored firmwares diverged");
+            readings = sim.step(&a).readings;
+        }
+        assert_eq!(via_delta.drain_outbox(), via_codec.drain_outbox());
     }
 
     #[test]

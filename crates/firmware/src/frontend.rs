@@ -9,6 +9,7 @@
 //! failed sensor, not to which physical instance failed).
 
 use avis_hinj::SharedInjector;
+use avis_sim::codec::{ByteReader, ByteWriter, CodecResult};
 use avis_sim::{SensorInstance, SensorKind, SensorReading, SensorValue, Vec3};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -48,6 +49,46 @@ pub struct SelectedSensors {
     pub heading: Option<f64>,
     /// Battery state.
     pub battery: Option<BatteryState>,
+}
+
+impl SelectedSensors {
+    /// Serialise the selection bit-exactly (floats via their raw bits).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.option(self.accel.as_ref(), |w, v| v.encode(w));
+        w.option(self.gyro.as_ref(), |w, v| v.encode(w));
+        w.option(self.gps.as_ref(), |w, g| {
+            g.position.encode(w);
+            g.velocity.encode(w);
+        });
+        w.option(self.baro_altitude.as_ref(), |w, v| w.f64(*v));
+        w.option(self.heading.as_ref(), |w, v| w.f64(*v));
+        w.option(self.battery.as_ref(), |w, b| {
+            w.f64(b.voltage);
+            w.f64(b.remaining);
+        });
+    }
+
+    /// Decode a selection previously written by [`SelectedSensors::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<SelectedSensors> {
+        Ok(SelectedSensors {
+            accel: r.option(Vec3::decode)?,
+            gyro: r.option(Vec3::decode)?,
+            gps: r.option(|r| {
+                Ok(GpsSolution {
+                    position: Vec3::decode(r)?,
+                    velocity: Vec3::decode(r)?,
+                })
+            })?,
+            baro_altitude: r.option(|r| r.f64())?,
+            heading: r.option(|r| r.f64())?,
+            battery: r.option(|r| {
+                Ok(BatteryState {
+                    voltage: r.f64()?,
+                    remaining: r.f64()?,
+                })
+            })?,
+        })
+    }
 }
 
 /// Health summary per sensor kind.
@@ -108,6 +149,29 @@ impl SensorHealth {
     /// is fully unavailable.
     pub fn imu_failed(&self) -> bool {
         self.kind_failed(SensorKind::Accelerometer) || self.kind_failed(SensorKind::Gyroscope)
+    }
+
+    /// Serialise the health bookkeeping in deterministic order.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        let failed: Vec<&SensorInstance> = self.failed_instances.iter().collect();
+        w.seq(&failed, |w, i| i.encode(w));
+        w.seq(&self.active, |w, (k, i)| {
+            k.encode(w);
+            i.encode(w);
+        });
+        w.seq(&self.total_per_kind, |w, (k, n)| {
+            k.encode(w);
+            w.u8(*n);
+        });
+    }
+
+    /// Decode health previously written by [`SensorHealth::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<SensorHealth> {
+        Ok(SensorHealth {
+            failed_instances: r.seq(SensorInstance::decode)?.into_iter().collect(),
+            active: r.seq(|r| Ok((SensorKind::decode(r)?, SensorInstance::decode(r)?)))?,
+            total_per_kind: r.seq(|r| Ok((SensorKind::decode(r)?, r.u8()?)))?,
+        })
     }
 }
 

@@ -1,7 +1,57 @@
 //! Mission storage and the vehicle side of the mission-upload handshake.
 
 use avis_mavlite::{Message, MissionCommand, MissionItem};
+use avis_sim::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 use serde::{Deserialize, Serialize};
+
+/// Serialise a mission command as a stable one-byte tag plus payload.
+///
+/// Lives here (not in `avis-mavlite`) because the mavlite crate is kept
+/// free of dependencies, including the shared byte codec.
+pub fn encode_mission_command(w: &mut ByteWriter, cmd: &MissionCommand) {
+    match cmd {
+        MissionCommand::Takeoff { altitude } => {
+            w.u8(0);
+            w.f64(*altitude);
+        }
+        MissionCommand::Waypoint { x, y, z } => {
+            w.u8(1);
+            w.f64(*x);
+            w.f64(*y);
+            w.f64(*z);
+        }
+        MissionCommand::Land => w.u8(2),
+        MissionCommand::ReturnToLaunch => w.u8(3),
+    }
+}
+
+/// Decode a command previously written by [`encode_mission_command`].
+pub fn decode_mission_command(r: &mut ByteReader<'_>) -> CodecResult<MissionCommand> {
+    Ok(match r.u8()? {
+        0 => MissionCommand::Takeoff { altitude: r.f64()? },
+        1 => MissionCommand::Waypoint {
+            x: r.f64()?,
+            y: r.f64()?,
+            z: r.f64()?,
+        },
+        2 => MissionCommand::Land,
+        3 => MissionCommand::ReturnToLaunch,
+        _ => return Err(CodecError::Malformed("mission command tag")),
+    })
+}
+
+/// Serialise a mission item (sequence number + command).
+pub fn encode_mission_item(w: &mut ByteWriter, item: &MissionItem) {
+    w.u16(item.seq);
+    encode_mission_command(w, &item.command);
+}
+
+/// Decode an item previously written by [`encode_mission_item`].
+pub fn decode_mission_item(r: &mut ByteReader<'_>) -> CodecResult<MissionItem> {
+    let seq = r.u16()?;
+    let command = decode_mission_command(r)?;
+    Ok(MissionItem { seq, command })
+}
 
 /// State of the vehicle-side mission upload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,6 +133,36 @@ impl MissionManager {
     /// Restarts the mission from the first item (entering Auto mode).
     pub fn restart(&mut self) {
         self.current = 0;
+    }
+
+    /// Serialise the manager (items, staging area and upload phase).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.seq(&self.items, encode_mission_item);
+        w.seq(&self.staged, encode_mission_item);
+        w.u16(self.expected_count);
+        match self.phase {
+            UploadPhase::Idle => w.u8(0),
+            UploadPhase::Receiving(next) => {
+                w.u8(1);
+                w.u16(next);
+            }
+        }
+        w.usize(self.current);
+    }
+
+    /// Decode a manager previously written by [`MissionManager::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<MissionManager> {
+        Ok(MissionManager {
+            items: r.seq(decode_mission_item)?,
+            staged: r.seq(decode_mission_item)?,
+            expected_count: r.u16()?,
+            phase: match r.u8()? {
+                0 => UploadPhase::Idle,
+                1 => UploadPhase::Receiving(r.u16()?),
+                _ => return Err(CodecError::Malformed("upload phase tag")),
+            },
+            current: r.usize()?,
+        })
     }
 
     /// Handles one ground-station message of the upload protocol and

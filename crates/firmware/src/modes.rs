@@ -11,6 +11,7 @@
 
 use avis_hinj::ModeCode;
 use avis_mavlite::ProtocolMode;
+use avis_sim::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -126,6 +127,17 @@ impl OperatingMode {
             self,
             OperatingMode::Land | OperatingMode::ReturnToLaunch | OperatingMode::Brake
         )
+    }
+
+    /// Serialise the mode as its stable numeric [`ModeCode`].
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u32(self.code().0);
+    }
+
+    /// Decode a mode previously written by [`OperatingMode::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<OperatingMode> {
+        OperatingMode::from_code(ModeCode(r.u32()?))
+            .ok_or(CodecError::Malformed("operating mode code"))
     }
 
     /// The coarse category used by the paper's Table IV breakdown

@@ -5,6 +5,7 @@
 
 use crate::estimator::EstimatorState;
 use crate::params::FirmwareParams;
+use avis_sim::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 use avis_sim::math::{clamp, wrap_angle};
 use avis_sim::{MotorCommands, Vec3, GRAVITY};
 use serde::{Deserialize, Serialize};
@@ -69,6 +70,87 @@ pub enum Setpoint {
     },
 }
 
+impl Setpoint {
+    /// Serialise the setpoint as a stable one-byte tag plus payload.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Setpoint::Idle => w.u8(0),
+            Setpoint::GroundIdle => w.u8(1),
+            Setpoint::ClimbTo { altitude, hold } => {
+                w.u8(2);
+                w.f64(*altitude);
+                hold.encode(w);
+            }
+            Setpoint::GotoPosition { target, speed } => {
+                w.u8(3);
+                target.encode(w);
+                w.f64(*speed);
+            }
+            Setpoint::HoldPosition { target } => {
+                w.u8(4);
+                target.encode(w);
+            }
+            Setpoint::HoldAltitude { altitude } => {
+                w.u8(5);
+                w.f64(*altitude);
+            }
+            Setpoint::Descend { rate, hold } => {
+                w.u8(6);
+                w.f64(*rate);
+                w.option(hold.as_ref(), |w, v| v.encode(w));
+            }
+            Setpoint::VerticalSpeed { rate, hold } => {
+                w.u8(7);
+                w.f64(*rate);
+                w.option(hold.as_ref(), |w, v| v.encode(w));
+            }
+            Setpoint::HorizontalVelocity { velocity, altitude } => {
+                w.u8(8);
+                velocity.encode(w);
+                w.f64(*altitude);
+            }
+            Setpoint::RawThrottle { throttle } => {
+                w.u8(9);
+                w.f64(*throttle);
+            }
+        }
+    }
+
+    /// Decode a setpoint previously written by [`Setpoint::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Setpoint> {
+        Ok(match r.u8()? {
+            0 => Setpoint::Idle,
+            1 => Setpoint::GroundIdle,
+            2 => Setpoint::ClimbTo {
+                altitude: r.f64()?,
+                hold: Vec3::decode(r)?,
+            },
+            3 => Setpoint::GotoPosition {
+                target: Vec3::decode(r)?,
+                speed: r.f64()?,
+            },
+            4 => Setpoint::HoldPosition {
+                target: Vec3::decode(r)?,
+            },
+            5 => Setpoint::HoldAltitude { altitude: r.f64()? },
+            6 => Setpoint::Descend {
+                rate: r.f64()?,
+                hold: r.option(Vec3::decode)?,
+            },
+            7 => Setpoint::VerticalSpeed {
+                rate: r.f64()?,
+                hold: r.option(Vec3::decode)?,
+            },
+            8 => Setpoint::HorizontalVelocity {
+                velocity: Vec3::decode(r)?,
+                altitude: r.f64()?,
+            },
+            9 => Setpoint::RawThrottle { throttle: r.f64()? },
+            _ => return Err(CodecError::Malformed("setpoint tag")),
+        })
+    }
+}
+
 /// Navigation gains (inner and outer loop).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NavGains {
@@ -117,6 +199,22 @@ impl Default for NavGains {
 pub struct NavDynamics {
     hover_trim: f64,
     yaw_hold: f64,
+}
+
+impl NavDynamics {
+    /// Serialise the dynamic navigator state bit-exactly.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.f64(self.hover_trim);
+        w.f64(self.yaw_hold);
+    }
+
+    /// Decode dynamics previously written by [`NavDynamics::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<NavDynamics> {
+        Ok(NavDynamics {
+            hover_trim: r.f64()?,
+            yaw_hold: r.f64()?,
+        })
+    }
 }
 
 /// The navigation controller.

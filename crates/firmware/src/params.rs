@@ -8,6 +8,7 @@
 //! of the paper's bugs can apply), while [`FirmwareParams`] holds the
 //! tunables the failsafe and navigation code reads.
 
+use avis_sim::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -53,6 +54,32 @@ pub enum FailsafeAction {
     ReturnToLaunch,
     /// Disarm immediately (only sensible on the ground).
     Disarm,
+}
+
+impl FailsafeAction {
+    /// Serialise the action as a stable one-byte tag.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        let tag: u8 = match self {
+            FailsafeAction::Warn => 0,
+            FailsafeAction::AltHold => 1,
+            FailsafeAction::Land => 2,
+            FailsafeAction::ReturnToLaunch => 3,
+            FailsafeAction::Disarm => 4,
+        };
+        w.u8(tag);
+    }
+
+    /// Decode an action previously written by [`FailsafeAction::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<FailsafeAction> {
+        Ok(match r.u8()? {
+            0 => FailsafeAction::Warn,
+            1 => FailsafeAction::AltHold,
+            2 => FailsafeAction::Land,
+            3 => FailsafeAction::ReturnToLaunch,
+            4 => FailsafeAction::Disarm,
+            _ => return Err(CodecError::Malformed("failsafe action tag")),
+        })
+    }
 }
 
 impl fmt::Display for FailsafeAction {

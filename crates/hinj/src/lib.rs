@@ -48,7 +48,8 @@ pub use link::{
     LinkFaultStats, LinkSnapshot, StormCommand,
 };
 
-use avis_sim::{CowVec, SensorInstance};
+use avis_sim::codec::{ByteReader, ByteWriter, CodecResult};
+use avis_sim::{ChunkSink, ChunkSource, CowDelta, CowVec, SensorInstance};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -83,6 +84,20 @@ impl FaultSpec {
     /// Creates a fault specification.
     pub fn new(instance: SensorInstance, time: f64) -> Self {
         FaultSpec { instance, time }
+    }
+
+    /// Serialises the spec (bit-exact) for the persistent store.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.instance.encode(w);
+        w.f64(self.time);
+    }
+
+    /// Restores a spec serialised by [`FaultSpec::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<FaultSpec> {
+        Ok(FaultSpec {
+            instance: SensorInstance::decode(r)?,
+            time: r.f64()?,
+        })
     }
 }
 
@@ -260,6 +275,24 @@ impl FaultPlan {
     /// Returns `true` if `instance` has failed by `time` under this plan.
     pub fn is_failed(&self, instance: SensorInstance, time: f64) -> bool {
         self.failure_time(instance).is_some_and(|t| time >= t)
+    }
+
+    /// Serialises the plan for the persistent store: the sensor specs in
+    /// instance order plus the link specs, both reconstructible through
+    /// the plan builders.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        let specs: Vec<FaultSpec> = self.specs().collect();
+        w.seq(&specs, |w, s| s.encode(w));
+        w.seq(self.link.specs(), |w, s| s.encode(w));
+    }
+
+    /// Restores a plan serialised by [`FaultPlan::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<FaultPlan> {
+        let specs = r.seq(FaultSpec::decode)?;
+        let link = r.seq(LinkFaultSpec::decode)?;
+        let mut plan = FaultPlan::from_specs(specs);
+        plan.set_link_plan(LinkFaultPlan::from_specs(link));
+        Ok(plan)
     }
 
     /// The largest plan contained in both `self` and `other`: the sensor
@@ -621,6 +654,68 @@ impl InjectorDelta {
         self.injections.for_each_chunk(f);
         self.transitions.for_each_chunk(f);
     }
+
+    /// Serialises the delta for the persistent store. Record-log chunks
+    /// go to `sink` content-addressed (see [`CowVec::encode_chunked`]).
+    pub fn encode(&self, w: &mut ByteWriter, sink: &mut dyn ChunkSink) {
+        w.option(self.plan.as_ref(), |w, p| p.encode(w));
+        self.injections
+            .encode_chunked(w, sink, &mut |w, rec: &InjectionRecord| rec.encode(w));
+        self.transitions
+            .encode_chunked(w, sink, &mut |w, rec: &ModeTransitionRecord| rec.encode(w));
+        w.option(self.current_mode.as_ref(), |w, m| w.u32(m.0));
+        w.u64(self.reads);
+        w.u64(self.failed_reads);
+    }
+
+    /// Restores a delta serialised by [`InjectorDelta::encode`].
+    pub fn decode(
+        r: &mut ByteReader<'_>,
+        source: &mut dyn ChunkSource,
+    ) -> CodecResult<InjectorDelta> {
+        Ok(InjectorDelta {
+            plan: r.option(FaultPlan::decode)?,
+            injections: CowDelta::decode_chunked(r, source, &mut InjectionRecord::decode)?,
+            transitions: CowDelta::decode_chunked(r, source, &mut ModeTransitionRecord::decode)?,
+            current_mode: r.option(|r| Ok(ModeCode(r.u32()?)))?,
+            reads: r.u64()?,
+            failed_reads: r.u64()?,
+        })
+    }
+}
+
+impl InjectionRecord {
+    /// Serialises the record for the persistent store.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.instance.encode(w);
+        w.f64(self.first_failed_read);
+    }
+
+    /// Restores a record serialised by [`InjectionRecord::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<InjectionRecord> {
+        Ok(InjectionRecord {
+            instance: SensorInstance::decode(r)?,
+            first_failed_read: r.f64()?,
+        })
+    }
+}
+
+impl ModeTransitionRecord {
+    /// Serialises the record for the persistent store.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.f64(self.time);
+        w.option(self.from.as_ref(), |w, m| w.u32(m.0));
+        w.u32(self.to.0);
+    }
+
+    /// Restores a record serialised by [`ModeTransitionRecord::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<ModeTransitionRecord> {
+        Ok(ModeTransitionRecord {
+            time: r.f64()?,
+            from: r.option(|r| Ok(ModeCode(r.u32()?)))?,
+            to: ModeCode(r.u32()?),
+        })
+    }
 }
 
 /// A cloneable, thread-safe handle to a [`FaultInjector`], shared between
@@ -857,6 +952,60 @@ mod tests {
         assert_eq!(plan.link_plan().len(), 2);
         // Canonical ordering: the earlier fault comes first.
         assert_eq!(plan.link_plan().specs()[0].time, 2.0);
+    }
+
+    #[test]
+    fn injector_delta_codec_round_trips_through_chunk_store() {
+        let plan = FaultPlan::from_specs(vec![
+            FaultSpec::new(gps(0), 2.0),
+            FaultSpec::new(baro(1), 4.0),
+        ])
+        .with_link(LinkFaultSpec::new(
+            LinkFaultKind::Corrupt {
+                duration: 3.0,
+                probability: 0.25,
+            },
+            LinkDirection::ToGcs,
+            1.0,
+        ));
+        let mut inj = FaultInjector::new(plan);
+        for t in 0..40 {
+            inj.should_fail(gps(0), t as f64 * 0.2);
+            inj.should_fail(baro(1), t as f64 * 0.2);
+            if t % 10 == 0 {
+                inj.report_mode(t as f64 * 0.2, ModeCode(t as u32 / 10));
+            }
+        }
+        let base = inj.snapshot();
+        for t in 40..80 {
+            inj.should_fail(gps(0), t as f64 * 0.2);
+        }
+        inj.report_mode(16.0, ModeCode(9));
+        let cut = inj.snapshot();
+        let delta = cut.diff(&base);
+
+        let mut store = avis_sim::cow::MemoryChunkStore::new();
+        let mut w = ByteWriter::new();
+        delta.encode(&mut w, &mut store);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let decoded = InjectorDelta::decode(&mut r, &mut store).expect("decode");
+        r.finish().expect("no trailing bytes");
+
+        let restored = base.apply(&decoded).restore();
+        let original = base.apply(&delta).restore();
+        assert_eq!(restored.plan(), original.plan());
+        assert_eq!(
+            restored.injections().to_vec(),
+            original.injections().to_vec()
+        );
+        assert_eq!(
+            restored.mode_transitions().to_vec(),
+            original.mode_transitions().to_vec()
+        );
+        assert_eq!(restored.current_mode(), original.current_mode());
+        assert_eq!(restored.total_reads(), original.total_reads());
+        assert_eq!(restored.failed_reads(), original.failed_reads());
     }
 
     #[test]

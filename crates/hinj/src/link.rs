@@ -15,7 +15,8 @@
 //! they consumed), which is exactly the contract the snapshot cache's
 //! prefix keys rely on.
 
-use avis_mavlite::{Endpoint, Link, Message, ProtocolMode};
+use avis_mavlite::{Endpoint, Link, LinkParts, Message, ProtocolMode};
+use avis_sim::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 use avis_sim::SimRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -61,6 +62,23 @@ impl LinkDirection {
             LinkDirection::ToGcs => "tg",
         }
     }
+
+    /// Serialises the direction for the persistent snapshot store.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u8(match self {
+            LinkDirection::ToVehicle => 0,
+            LinkDirection::ToGcs => 1,
+        });
+    }
+
+    /// Reads a direction written by [`LinkDirection::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        match r.u8()? {
+            0 => Ok(LinkDirection::ToVehicle),
+            1 => Ok(LinkDirection::ToGcs),
+            _ => Err(CodecError::Malformed("link direction tag")),
+        }
+    }
 }
 
 /// The command a [`LinkFaultKind::Storm`] floods the link with.
@@ -86,6 +104,23 @@ impl StormCommand {
         match self {
             StormCommand::Arm => "arm",
             StormCommand::ReturnToLaunch => "rtl",
+        }
+    }
+
+    /// Serialises the command for the persistent snapshot store.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u8(match self {
+            StormCommand::Arm => 0,
+            StormCommand::ReturnToLaunch => 1,
+        });
+    }
+
+    /// Reads a command written by [`StormCommand::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        match r.u8()? {
+            0 => Ok(StormCommand::Arm),
+            1 => Ok(StormCommand::ReturnToLaunch),
+            _ => Err(CodecError::Malformed("storm command tag")),
         }
     }
 }
@@ -158,6 +193,82 @@ impl LinkFaultKind {
             LinkFaultKind::Storm { .. } => 0.0,
         }
     }
+
+    /// Serialises the fault behaviour for the persistent snapshot store.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        match *self {
+            LinkFaultKind::Drop {
+                duration,
+                probability,
+            } => {
+                w.u8(0);
+                w.f64(duration);
+                w.f64(probability);
+            }
+            LinkFaultKind::Duplicate {
+                duration,
+                probability,
+            } => {
+                w.u8(1);
+                w.f64(duration);
+                w.f64(probability);
+            }
+            LinkFaultKind::Reorder { duration, window } => {
+                w.u8(2);
+                w.f64(duration);
+                w.usize(window);
+            }
+            LinkFaultKind::Corrupt {
+                duration,
+                probability,
+            } => {
+                w.u8(3);
+                w.f64(duration);
+                w.f64(probability);
+            }
+            LinkFaultKind::Delay { duration, seconds } => {
+                w.u8(4);
+                w.f64(duration);
+                w.f64(seconds);
+            }
+            LinkFaultKind::Storm { command, count } => {
+                w.u8(5);
+                command.encode(w);
+                w.u32(count);
+            }
+        }
+    }
+
+    /// Reads a fault behaviour written by [`LinkFaultKind::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        Ok(match r.u8()? {
+            0 => LinkFaultKind::Drop {
+                duration: r.f64()?,
+                probability: r.f64()?,
+            },
+            1 => LinkFaultKind::Duplicate {
+                duration: r.f64()?,
+                probability: r.f64()?,
+            },
+            2 => LinkFaultKind::Reorder {
+                duration: r.f64()?,
+                window: r.usize()?,
+            },
+            3 => LinkFaultKind::Corrupt {
+                duration: r.f64()?,
+                probability: r.f64()?,
+            },
+            4 => LinkFaultKind::Delay {
+                duration: r.f64()?,
+                seconds: r.f64()?,
+            },
+            5 => LinkFaultKind::Storm {
+                command: StormCommand::decode(r)?,
+                count: r.u32()?,
+            },
+            _ => return Err(CodecError::Malformed("link fault kind tag")),
+        })
+    }
 }
 
 /// One scheduled protocol fault: `kind` applied to `direction` starting
@@ -218,6 +329,22 @@ impl LinkFaultSpec {
                 format!("link:storm:{dir}:{t}:{}:{count}", command.short_name())
             }
         }
+    }
+
+    /// Serialises the spec for the persistent snapshot store.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.kind.encode(w);
+        self.direction.encode(w);
+        w.f64(self.time);
+    }
+
+    /// Reads a spec written by [`LinkFaultSpec::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        Ok(LinkFaultSpec {
+            kind: LinkFaultKind::decode(r)?,
+            direction: LinkDirection::decode(r)?,
+            time: r.f64()?,
+        })
     }
 }
 
@@ -363,6 +490,30 @@ pub struct LinkFaultStats {
     pub reordered: u64,
     /// Frames injected by command storms.
     pub storm_frames: u64,
+}
+
+impl LinkFaultStats {
+    /// Serialises the counters for the persistent snapshot store.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.dropped);
+        w.u64(self.duplicated);
+        w.u64(self.corrupted);
+        w.u64(self.delayed);
+        w.u64(self.reordered);
+        w.u64(self.storm_frames);
+    }
+
+    /// Reads counters written by [`LinkFaultStats::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        Ok(LinkFaultStats {
+            dropped: r.u64()?,
+            duplicated: r.u64()?,
+            corrupted: r.u64()?,
+            delayed: r.u64()?,
+            reordered: r.u64()?,
+            storm_frames: r.u64()?,
+        })
+    }
 }
 
 /// A deterministic fault-injecting shim around [`Link`].
@@ -639,6 +790,72 @@ impl LinkSnapshot {
     pub fn apply(&self, delta: &LinkDelta) -> LinkSnapshot {
         delta.snapshot.clone()
     }
+
+    /// Serialises the captured shim for the persistent snapshot store.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        let f = &self.faulty;
+        let parts = f.link.export_parts();
+        w.bytes(&parts.to_vehicle);
+        w.bytes(&parts.to_gcs);
+        w.u8(parts.seq_gcs);
+        w.u8(parts.seq_vehicle);
+        w.option(parts.expected_at_vehicle.as_ref(), |w, s| w.u8(*s));
+        w.option(parts.expected_at_gcs.as_ref(), |w, s| w.u8(*s));
+        w.u64(parts.seq_gaps_at_vehicle);
+        w.u64(parts.seq_gaps_at_gcs);
+        w.u64(parts.decode_errors);
+        w.seq(f.plan.specs(), |w, s| s.encode(w));
+        f.rng.encode(w);
+        w.seq(&f.delayed, |w, (release, dir, bytes)| {
+            w.f64(*release);
+            dir.encode(w);
+            w.bytes(bytes);
+        });
+        w.seq(&f.reorder_to_vehicle, |w, b| w.bytes(b));
+        w.seq(&f.reorder_to_gcs, |w, b| w.bytes(b));
+        let storms: Vec<&String> = f.storms_fired.iter().collect();
+        w.seq(&storms, |w, s| w.str(s));
+        f.stats.encode(w);
+    }
+
+    /// Reads a capture written by [`LinkSnapshot::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        let parts = LinkParts {
+            to_vehicle: r.bytes()?,
+            to_gcs: r.bytes()?,
+            seq_gcs: r.u8()?,
+            seq_vehicle: r.u8()?,
+            expected_at_vehicle: r.option(|r| r.u8())?,
+            expected_at_gcs: r.option(|r| r.u8())?,
+            seq_gaps_at_vehicle: r.u64()?,
+            seq_gaps_at_gcs: r.u64()?,
+            decode_errors: r.u64()?,
+        };
+        let specs = r.seq(LinkFaultSpec::decode)?;
+        let rng = SimRng::decode(r)?;
+        let delayed = r.seq(|r| {
+            let release = r.f64()?;
+            let dir = LinkDirection::decode(r)?;
+            let bytes = r.bytes()?;
+            Ok((release, dir, bytes))
+        })?;
+        let reorder_to_vehicle = r.seq(|r| r.bytes())?;
+        let reorder_to_gcs = r.seq(|r| r.bytes())?;
+        let storms_fired: BTreeSet<String> = r.seq(|r| r.str())?.into_iter().collect();
+        let stats = LinkFaultStats::decode(r)?;
+        Ok(LinkSnapshot {
+            faulty: FaultyLink {
+                link: Link::from_parts(parts),
+                plan: LinkFaultPlan::from_specs(specs),
+                rng,
+                delayed,
+                reorder_to_vehicle,
+                reorder_to_gcs,
+                storms_fired,
+                stats,
+            },
+        })
+    }
 }
 
 /// The dynamic slice of a [`LinkSnapshot`] relative to an earlier
@@ -652,6 +869,18 @@ impl LinkDelta {
     /// Approximate heap + inline bytes owned by the delta.
     pub fn approx_bytes(&self) -> usize {
         self.snapshot.approx_bytes()
+    }
+
+    /// Serialises the delta for the persistent snapshot store.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.snapshot.encode(w);
+    }
+
+    /// Reads a delta written by [`LinkDelta::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Self> {
+        Ok(LinkDelta {
+            snapshot: LinkSnapshot::decode(r)?,
+        })
     }
 }
 
@@ -940,6 +1169,99 @@ mod tests {
                 mode: ProtocolMode::ReturnToLaunch
             }
         )));
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips_mid_stream_state() {
+        // Exercise every queue: delayed frames, reorder buffers, fired
+        // storms, consumed rng, and non-trivial stats.
+        let plan = LinkFaultPlan::from_specs(vec![
+            LinkFaultSpec::new(
+                LinkFaultKind::Drop {
+                    duration: 100.0,
+                    probability: 0.5,
+                },
+                LinkDirection::ToVehicle,
+                0.0,
+            ),
+            LinkFaultSpec::new(
+                LinkFaultKind::Delay {
+                    duration: 100.0,
+                    seconds: 5.0,
+                },
+                LinkDirection::ToGcs,
+                0.0,
+            ),
+            LinkFaultSpec::new(
+                LinkFaultKind::Storm {
+                    command: StormCommand::Arm,
+                    count: 2,
+                },
+                LinkDirection::ToVehicle,
+                1.0,
+            ),
+        ]);
+        let mut faulty = FaultyLink::new(plan, SimRng::seed_from_u64(11));
+        for i in 0..30u16 {
+            faulty.send(
+                Endpoint::GroundStation,
+                &Message::MissionRequest { seq: i },
+                i as f64 * 0.1,
+            );
+            faulty.send(Endpoint::Vehicle, &heartbeat(), i as f64 * 0.1);
+        }
+        faulty.deliver(Endpoint::Vehicle, 2.0);
+        let snap = LinkSnapshot::capture(&faulty);
+
+        let mut w = ByteWriter::new();
+        snap.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let decoded = LinkSnapshot::decode(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+
+        // Both shims continue bit-identically from the restore point.
+        let mut a = snap.restore();
+        let mut b = decoded.restore();
+        assert_eq!(a.stats(), b.stats());
+        for i in 30..60u16 {
+            a.send(
+                Endpoint::GroundStation,
+                &Message::MissionRequest { seq: i },
+                3.0 + i as f64 * 0.1,
+            );
+            b.send(
+                Endpoint::GroundStation,
+                &Message::MissionRequest { seq: i },
+                3.0 + i as f64 * 0.1,
+            );
+        }
+        assert_eq!(
+            a.deliver(Endpoint::Vehicle, 20.0),
+            b.deliver(Endpoint::Vehicle, 20.0)
+        );
+        assert_eq!(
+            a.deliver(Endpoint::GroundStation, 20.0),
+            b.deliver(Endpoint::GroundStation, 20.0)
+        );
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(
+            a.link().seq_gaps(Endpoint::Vehicle),
+            b.link().seq_gaps(Endpoint::Vehicle)
+        );
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_truncated_bytes() {
+        let faulty = FaultyLink::passthrough();
+        let snap = LinkSnapshot::capture(&faulty);
+        let mut w = ByteWriter::new();
+        snap.encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(LinkSnapshot::decode(&mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

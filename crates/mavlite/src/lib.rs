@@ -38,6 +38,6 @@ pub mod message;
 pub mod mission;
 
 pub use codec::{decode_frame, encode_frame, CodecError, FRAME_MAGIC};
-pub use link::{Endpoint, Link};
+pub use link::{Endpoint, Link, LinkParts};
 pub use message::{AckResult, CommandKind, Message, MissionCommand, MissionItem, ProtocolMode};
-pub use mission::{square_mission, MissionUploader, UploadState};
+pub use mission::{square_mission, MissionUploader, UploadState, UploaderParts};

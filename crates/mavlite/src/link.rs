@@ -181,6 +181,42 @@ impl Link {
         }
     }
 
+    /// Exports the full link state as plain data for serialisation.
+    ///
+    /// `avis-mavlite` stays dependency-free, so it cannot hand-roll bytes
+    /// through the simulator crate's codec; instead the state crosses the
+    /// crate boundary as a [`LinkParts`] value and the caller (the fault
+    /// injector's link snapshot) owns the wire encoding. Exact inverse of
+    /// [`Link::from_parts`].
+    pub fn export_parts(&self) -> LinkParts {
+        LinkParts {
+            to_vehicle: self.to_vehicle.iter().copied().collect(),
+            to_gcs: self.to_gcs.iter().copied().collect(),
+            seq_gcs: self.seq_gcs,
+            seq_vehicle: self.seq_vehicle,
+            expected_at_vehicle: self.expected_at_vehicle,
+            expected_at_gcs: self.expected_at_gcs,
+            seq_gaps_at_vehicle: self.seq_gaps_at_vehicle,
+            seq_gaps_at_gcs: self.seq_gaps_at_gcs,
+            decode_errors: self.decode_errors,
+        }
+    }
+
+    /// Rebuilds a link from state exported by [`Link::export_parts`].
+    pub fn from_parts(parts: LinkParts) -> Self {
+        Link {
+            to_vehicle: parts.to_vehicle.into(),
+            to_gcs: parts.to_gcs.into(),
+            seq_gcs: parts.seq_gcs,
+            seq_vehicle: parts.seq_vehicle,
+            expected_at_vehicle: parts.expected_at_vehicle,
+            expected_at_gcs: parts.expected_at_gcs,
+            seq_gaps_at_vehicle: parts.seq_gaps_at_vehicle,
+            seq_gaps_at_gcs: parts.seq_gaps_at_gcs,
+            decode_errors: parts.decode_errors,
+        }
+    }
+
     /// Corrupts the next `n` bytes queued toward an endpoint (test helper
     /// for exercising link-level fault tolerance).
     pub fn corrupt_pending(&mut self, at: Endpoint, n: usize) {
@@ -192,6 +228,33 @@ impl Link {
             *byte ^= 0xA5;
         }
     }
+}
+
+/// Plain-data export of a [`Link`]'s full state (see
+/// [`Link::export_parts`]). Every field is public so a downstream crate
+/// can serialise it with whatever codec it owns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkParts {
+    /// Bytes queued toward the vehicle.
+    pub to_vehicle: Vec<u8>,
+    /// Bytes queued toward the ground station.
+    pub to_gcs: Vec<u8>,
+    /// The GCS's next send sequence number.
+    pub seq_gcs: u8,
+    /// The vehicle's next send sequence number.
+    pub seq_vehicle: u8,
+    /// Next sequence number the vehicle expects, once it has decoded one
+    /// frame.
+    pub expected_at_vehicle: Option<u8>,
+    /// Next sequence number the GCS expects, once it has decoded one
+    /// frame.
+    pub expected_at_gcs: Option<u8>,
+    /// Sequence numbers observed skipped at the vehicle.
+    pub seq_gaps_at_vehicle: u64,
+    /// Sequence numbers observed skipped at the GCS.
+    pub seq_gaps_at_gcs: u64,
+    /// Frames dropped due to decode errors.
+    pub decode_errors: u64,
 }
 
 #[cfg(test)]
@@ -348,6 +411,43 @@ mod tests {
         link.send(Endpoint::Vehicle, &heartbeat);
         assert!(link.recv(Endpoint::GroundStation).is_some());
         assert_eq!(link.seq_gaps(Endpoint::GroundStation), 3);
+    }
+
+    #[test]
+    fn export_parts_round_trips_mid_stream() {
+        let mut link = Link::new();
+        // Leave the link mid-flight: pending bytes both ways, advanced
+        // sequence counters, a registered gap and a decode error.
+        link.send(Endpoint::GroundStation, &Message::ArmDisarm { arm: true });
+        assert!(link.recv(Endpoint::Vehicle).is_some());
+        let _ = link.encode_next(Endpoint::GroundStation, &Message::MissionCount { count: 9 });
+        link.send(Endpoint::GroundStation, &Message::MissionCount { count: 1 });
+        link.send(
+            Endpoint::Vehicle,
+            &Message::Heartbeat {
+                mode: ProtocolMode::Auto,
+                armed: true,
+            },
+        );
+        link.corrupt_pending(Endpoint::GroundStation, 3);
+
+        let parts = link.export_parts();
+        let mut restored = Link::from_parts(parts.clone());
+        assert_eq!(restored.export_parts(), parts);
+        // Both copies behave identically from here on.
+        assert_eq!(
+            restored.drain(Endpoint::Vehicle),
+            link.drain(Endpoint::Vehicle)
+        );
+        assert_eq!(
+            restored.drain(Endpoint::GroundStation),
+            link.drain(Endpoint::GroundStation)
+        );
+        assert_eq!(
+            restored.seq_gaps(Endpoint::Vehicle),
+            link.seq_gaps(Endpoint::Vehicle)
+        );
+        assert_eq!(restored.decode_error_count(), link.decode_error_count());
     }
 
     #[test]

@@ -132,6 +132,42 @@ impl MissionUploader {
         }
         out
     }
+
+    /// Exports the uploader's full state as plain data for serialisation
+    /// (the crate is dependency-free, so the caller owns the wire
+    /// encoding). Exact inverse of [`MissionUploader::from_parts`].
+    pub fn export_parts(&self) -> UploaderParts {
+        UploaderParts {
+            items: self.items.clone(),
+            state: self.state,
+            timeout_ticks: self.timeout_ticks,
+            idle_ticks: self.idle_ticks,
+        }
+    }
+
+    /// Rebuilds an uploader from [`MissionUploader::export_parts`] state.
+    pub fn from_parts(parts: UploaderParts) -> Self {
+        MissionUploader {
+            items: parts.items,
+            state: parts.state,
+            timeout_ticks: parts.timeout_ticks,
+            idle_ticks: parts.idle_ticks,
+        }
+    }
+}
+
+/// Plain-data export of a [`MissionUploader`]'s state (see
+/// [`MissionUploader::export_parts`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UploaderParts {
+    /// The items being uploaded.
+    pub items: Vec<MissionItem>,
+    /// Current handshake state.
+    pub state: UploadState,
+    /// Ticks without progress before the upload fails.
+    pub timeout_ticks: u64,
+    /// Ticks elapsed since the last protocol progress.
+    pub idle_ticks: u64,
 }
 
 /// Builds the "takeoff, fly a box, land" style mission used by the paper's
@@ -239,6 +275,29 @@ mod tests {
             uploader.tick(&[Message::StatusText { severity: 6 }]);
         }
         assert_eq!(uploader.state(), UploadState::TimedOut);
+    }
+
+    #[test]
+    fn export_parts_round_trips_mid_handshake() {
+        let mut uploader = MissionUploader::new(items(), 5);
+        uploader.tick(&[]);
+        uploader.tick(&[Message::MissionRequest { seq: 0 }]);
+        uploader.tick(&[]); // one idle tick accrued
+        let parts = uploader.export_parts();
+        let mut restored = MissionUploader::from_parts(parts.clone());
+        assert_eq!(restored.export_parts(), parts);
+        // Identical behaviour after restore: same responses, same timeout.
+        for seq in 1..6u16 {
+            assert_eq!(
+                restored.tick(&[Message::MissionRequest { seq }]),
+                uploader.tick(&[Message::MissionRequest { seq }])
+            );
+        }
+        for _ in 0..5 {
+            assert_eq!(restored.tick(&[]), uploader.tick(&[]));
+        }
+        assert_eq!(restored.state(), uploader.state());
+        assert_eq!(restored.state(), UploadState::TimedOut);
     }
 
     #[test]

@@ -13,9 +13,91 @@
 //! *its own* later chunks) can never perturb the prefix another snapshot
 //! holds. `tests/snapshot_fidelity.rs` pins this property.
 
+use crate::codec::{fnv1a, ByteReader, ByteWriter, CodecError, CodecResult};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Index;
 use std::sync::Arc;
+
+/// Write side of a content-addressed chunk store.
+///
+/// [`CowVec::encode_chunked`] hands each sealed chunk's encoded bytes to
+/// the sink and records only the returned content hash inline; the sink
+/// owns deduplication (two snapshots whose histories share a chunk
+/// produce byte-identical chunk encodings, hence one stored blob).
+pub trait ChunkSink {
+    /// Stores (or dedups) a chunk blob, returning its FNV-1a content
+    /// hash. Implementations must return [`fnv1a`] of `bytes` so hashes
+    /// are stable across processes.
+    fn put_chunk(&mut self, bytes: Vec<u8>) -> u64;
+}
+
+/// Read side of a content-addressed chunk store.
+pub trait ChunkSource {
+    /// Fetches a chunk blob previously stored under `hash`.
+    fn get_chunk(&mut self, hash: u64) -> Option<Vec<u8>>;
+}
+
+/// In-memory [`ChunkSink`]/[`ChunkSource`] used by round-trip tests (the
+/// disk-backed implementation lives in `avis::store`).
+#[derive(Debug, Default)]
+pub struct MemoryChunkStore {
+    chunks: BTreeMap<u64, Vec<u8>>,
+    /// Chunk puts that found their hash already present.
+    pub dedup_hits: u64,
+}
+
+impl MemoryChunkStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemoryChunkStore::default()
+    }
+
+    /// Number of distinct chunk blobs held.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether the store holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Total stored chunk bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.chunks.values().map(Vec::len).sum()
+    }
+
+    /// Corrupts the stored chunk `hash` (test helper for the quarantine
+    /// paths): flips one byte in place.
+    pub fn corrupt_chunk(&mut self, hash: u64) -> bool {
+        match self.chunks.get_mut(&hash) {
+            Some(bytes) if !bytes.is_empty() => {
+                bytes[0] ^= 0xff;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl ChunkSink for MemoryChunkStore {
+    fn put_chunk(&mut self, bytes: Vec<u8>) -> u64 {
+        let hash = fnv1a(&bytes);
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.chunks.entry(hash) {
+            slot.insert(bytes);
+        } else {
+            self.dedup_hits += 1;
+        }
+        hash
+    }
+}
+
+impl ChunkSource for MemoryChunkStore {
+    fn get_chunk(&mut self, hash: u64) -> Option<Vec<u8>> {
+        self.chunks.get(&hash).cloned()
+    }
+}
 
 /// An append-only vector whose history is shared between clones as
 /// immutable `Arc` chunks (see the [module docs](self)).
@@ -221,6 +303,71 @@ impl<T: Clone> CowVec<T> {
             }
         }
     }
+
+    /// Serialises the vector for the persistent store. Each sealed chunk
+    /// is encoded (element count + elements via `enc`) into its own blob
+    /// and handed to `sink`, which content-addresses it; only the chunk
+    /// hashes are written inline, so histories shared across snapshots
+    /// dedup to one stored blob per distinct chunk. The unsealed tail (if
+    /// any) is encoded inline.
+    pub fn encode_chunked(
+        &self,
+        w: &mut ByteWriter,
+        sink: &mut dyn ChunkSink,
+        enc: &mut dyn FnMut(&mut ByteWriter, &T),
+    ) {
+        w.usize(self.chunks.len());
+        for chunk in &self.chunks {
+            let mut cw = ByteWriter::with_capacity(16 + chunk.len() * 8);
+            cw.usize(chunk.len());
+            for item in chunk.iter() {
+                enc(&mut cw, item);
+            }
+            w.u64(sink.put_chunk(cw.into_bytes()));
+        }
+        w.usize(self.tail.len());
+        for item in &self.tail {
+            enc(w, item);
+        }
+    }
+
+    /// Restores a vector serialised by [`CowVec::encode_chunked`],
+    /// fetching chunk blobs from `source`. A missing or malformed chunk
+    /// blob is a decode error (the store falls back to a cold start).
+    pub fn decode_chunked(
+        r: &mut ByteReader<'_>,
+        source: &mut dyn ChunkSource,
+        dec: &mut dyn FnMut(&mut ByteReader<'_>) -> CodecResult<T>,
+    ) -> CodecResult<CowVec<T>> {
+        let n_chunks = r.usize()?;
+        // Each chunk reference is 8 bytes inline; guard the count the same
+        // way ByteReader::seq guards element counts.
+        if n_chunks.checked_mul(8).is_none_or(|b| b > r.remaining()) {
+            return Err(CodecError::Malformed("implausible chunk count"));
+        }
+        let mut chunks: Vec<Arc<[T]>> = Vec::with_capacity(n_chunks);
+        let mut prefix_len = 0usize;
+        for _ in 0..n_chunks {
+            let hash = r.u64()?;
+            let bytes = source
+                .get_chunk(hash)
+                .ok_or(CodecError::Malformed("missing chunk blob"))?;
+            if fnv1a(&bytes) != hash {
+                return Err(CodecError::Malformed("chunk content hash mismatch"));
+            }
+            let mut cr = ByteReader::new(&bytes);
+            let elems = cr.seq(&mut *dec)?;
+            cr.finish()?;
+            prefix_len += elems.len();
+            chunks.push(elems.into());
+        }
+        let tail = r.seq(&mut *dec)?;
+        Ok(CowVec {
+            chunks,
+            prefix_len,
+            tail,
+        })
+    }
 }
 
 /// The chunk-list delta of a [`CowVec`] relative to an earlier sealed
@@ -282,6 +429,67 @@ impl<T: Clone> CowDelta<T> {
                 }
             }
             CowDelta::Full(full) => full.for_each_chunk(f),
+        }
+    }
+
+    /// Serialises the delta for the persistent store (chunk contents go
+    /// to `sink`; see [`CowVec::encode_chunked`]).
+    pub fn encode_chunked(
+        &self,
+        w: &mut ByteWriter,
+        sink: &mut dyn ChunkSink,
+        enc: &mut dyn FnMut(&mut ByteWriter, &T),
+    ) {
+        match self {
+            CowDelta::Suffix(suffix) => {
+                w.u8(0);
+                w.usize(suffix.len());
+                for chunk in suffix {
+                    let mut cw = ByteWriter::with_capacity(16 + chunk.len() * 8);
+                    cw.usize(chunk.len());
+                    for item in chunk.iter() {
+                        enc(&mut cw, item);
+                    }
+                    w.u64(sink.put_chunk(cw.into_bytes()));
+                }
+            }
+            CowDelta::Full(full) => {
+                w.u8(1);
+                full.encode_chunked(w, sink, enc);
+            }
+        }
+    }
+
+    /// Restores a delta serialised by [`CowDelta::encode_chunked`].
+    pub fn decode_chunked(
+        r: &mut ByteReader<'_>,
+        source: &mut dyn ChunkSource,
+        dec: &mut dyn FnMut(&mut ByteReader<'_>) -> CodecResult<T>,
+    ) -> CodecResult<CowDelta<T>> {
+        match r.u8()? {
+            0 => {
+                let n_chunks = r.usize()?;
+                if n_chunks.checked_mul(8).is_none_or(|b| b > r.remaining()) {
+                    return Err(CodecError::Malformed("implausible chunk count"));
+                }
+                let mut suffix: Vec<Arc<[T]>> = Vec::with_capacity(n_chunks);
+                for _ in 0..n_chunks {
+                    let hash = r.u64()?;
+                    let bytes = source
+                        .get_chunk(hash)
+                        .ok_or(CodecError::Malformed("missing chunk blob"))?;
+                    if fnv1a(&bytes) != hash {
+                        return Err(CodecError::Malformed("chunk content hash mismatch"));
+                    }
+                    let mut cr = ByteReader::new(&bytes);
+                    let elems = cr.seq(&mut *dec)?;
+                    cr.finish()?;
+                    suffix.push(elems.into());
+                }
+                Ok(CowDelta::Suffix(suffix))
+            }
+            1 => Ok(CowDelta::Full(CowVec::decode_chunked(r, source, dec)?)),
+            _ => Err(CodecError::Malformed("cow delta tag")),
         }
     }
 }
@@ -452,6 +660,87 @@ mod tests {
         let fallback = cut.delta_from(&foreign);
         assert!(matches!(fallback, CowDelta::Full(_)));
         assert_eq!(CowVec::apply_delta(&foreign, &fallback), cut);
+    }
+
+    #[test]
+    fn chunked_encode_round_trips_and_dedups_shared_history() {
+        use crate::codec::{ByteReader, ByteWriter};
+
+        let mut v = CowVec::from_vec((0..30u64).collect::<Vec<_>>());
+        v.seal();
+        let base = v.sealed_clone();
+        for i in 30..50 {
+            v.push(i);
+        }
+        let cut = v.sealed_clone();
+
+        let mut store = MemoryChunkStore::new();
+        let enc = |w: &mut ByteWriter, t: &u64| w.u64(*t);
+        let dec = |r: &mut ByteReader<'_>| r.u64();
+
+        let mut w = ByteWriter::new();
+        base.encode_chunked(&mut w, &mut store, &mut { enc });
+        let base_bytes = w.into_bytes();
+        let mut w = ByteWriter::new();
+        cut.encode_chunked(&mut w, &mut store, &mut { enc });
+        let cut_bytes = w.into_bytes();
+
+        // `cut` shares its first chunk with `base`: one dedup hit.
+        assert_eq!(store.dedup_hits, 1);
+        assert_eq!(store.len(), 2);
+
+        let rebuilt_base =
+            CowVec::decode_chunked(&mut ByteReader::new(&base_bytes), &mut store, &mut { dec })
+                .unwrap();
+        let rebuilt_cut =
+            CowVec::decode_chunked(&mut ByteReader::new(&cut_bytes), &mut store, &mut { dec })
+                .unwrap();
+        assert_eq!(rebuilt_base, base);
+        assert_eq!(rebuilt_cut, cut);
+
+        // Deltas round-trip too, and their suffix chunks dedup against the
+        // full encodings already stored.
+        let delta = cut.delta_from(&base);
+        let mut w = ByteWriter::new();
+        delta.encode_chunked(&mut w, &mut store, &mut { enc });
+        let delta_bytes = w.into_bytes();
+        assert_eq!(store.dedup_hits, 2);
+        let rebuilt_delta =
+            CowDelta::decode_chunked(&mut ByteReader::new(&delta_bytes), &mut store, &mut { dec })
+                .unwrap();
+        assert_eq!(CowVec::apply_delta(&rebuilt_base, &rebuilt_delta), cut);
+    }
+
+    #[test]
+    fn chunked_decode_rejects_corrupt_or_missing_chunks() {
+        use crate::codec::{ByteReader, ByteWriter};
+
+        let mut v = CowVec::from_vec(vec![1u64, 2, 3]);
+        v.seal();
+        let mut store = MemoryChunkStore::new();
+        let mut w = ByteWriter::new();
+        v.encode_chunked(&mut w, &mut store, &mut |w, t| w.u64(*t));
+        let bytes = w.into_bytes();
+
+        // Unsealed tail round-trips inline even with an empty store.
+        let hash = {
+            let mut ids = Vec::new();
+            store.chunks.keys().for_each(|k| ids.push(*k));
+            ids[0]
+        };
+        assert!(store.corrupt_chunk(hash));
+        let err =
+            CowVec::<u64>::decode_chunked(&mut ByteReader::new(&bytes), &mut store, &mut |r| {
+                r.u64()
+            });
+        assert!(err.is_err());
+
+        let mut empty = MemoryChunkStore::new();
+        let err =
+            CowVec::<u64>::decode_chunked(&mut ByteReader::new(&bytes), &mut empty, &mut |r| {
+                r.u64()
+            });
+        assert!(err.is_err());
     }
 
     #[test]

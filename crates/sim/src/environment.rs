@@ -330,6 +330,35 @@ impl Environment {
     }
 }
 
+impl Collision {
+    /// Serialises the collision record for the persistent store.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        match self.kind {
+            CollisionKind::Ground => w.u8(0),
+            CollisionKind::Obstacle(index) => {
+                w.u8(1);
+                w.usize(index);
+            }
+        }
+        w.f64(self.impact_speed);
+        self.position.encode(w);
+    }
+
+    /// Restores a collision serialised by [`Collision::encode`].
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> crate::codec::CodecResult<Collision> {
+        let kind = match r.u8()? {
+            0 => CollisionKind::Ground,
+            1 => CollisionKind::Obstacle(r.usize()?),
+            _ => return Err(crate::codec::CodecError::Malformed("collision kind tag")),
+        };
+        Ok(Collision {
+            kind,
+            impact_speed: r.f64()?,
+            position: Vec3::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod codec;
 pub mod cow;
 pub mod environment;
 pub mod math;
@@ -44,7 +45,8 @@ pub mod simulator;
 pub mod vehicle;
 
 pub use batch::LaneBatch;
-pub use cow::{CowDelta, CowVec};
+pub use codec::{ByteReader, ByteWriter, CodecError, CodecResult};
+pub use cow::{ChunkSink, ChunkSource, CowDelta, CowVec};
 pub use environment::{
     BoxObstacle, Collision, CollisionKind, Environment, Fence, FenceRegion, Wind,
 };

@@ -365,6 +365,44 @@ pub fn clamp(value: f64, lo: f64, hi: f64) -> f64 {
     value.max(lo).min(hi)
 }
 
+impl Vec3 {
+    /// Serialises the vector (bit-exact) for the persistent store.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.f64(self.x);
+        w.f64(self.y);
+        w.f64(self.z);
+    }
+
+    /// Restores a vector serialised by [`Vec3::encode`].
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> crate::codec::CodecResult<Vec3> {
+        Ok(Vec3 {
+            x: r.f64()?,
+            y: r.f64()?,
+            z: r.f64()?,
+        })
+    }
+}
+
+impl Quat {
+    /// Serialises the quaternion (bit-exact) for the persistent store.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.f64(self.w);
+        w.f64(self.x);
+        w.f64(self.y);
+        w.f64(self.z);
+    }
+
+    /// Restores a quaternion serialised by [`Quat::encode`].
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> crate::codec::CodecResult<Quat> {
+        Ok(Quat {
+            w: r.f64()?,
+            x: r.f64()?,
+            y: r.f64()?,
+            z: r.f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,6 +10,8 @@
 //! `rand`/`rand_chacha` crates are not available; the algorithm here is
 //! the same reduced-round ChaCha construction they provide).
 
+use crate::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
+
 /// ChaCha block constants ("expand 32-byte k").
 const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 /// Number of double-rounds (ChaCha8 = 4 double-rounds).
@@ -184,6 +186,53 @@ impl SimRng {
     pub fn chance(&mut self, p: f64) -> bool {
         self.uniform() < p
     }
+
+    /// Serialises the full generator state for the persistent snapshot
+    /// store.
+    ///
+    /// The raw state — key, block counter, the current keystream block
+    /// and the read cursor into it, plus the Box-Muller spare — must all
+    /// travel verbatim: `refill` bumps the counter *after* generating a
+    /// block, so the mid-block position cannot be re-derived from the
+    /// seed and counter alone.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        for word in &self.inner.key {
+            w.u32(*word);
+        }
+        w.u64(self.inner.counter);
+        for word in &self.inner.block {
+            w.u32(*word);
+        }
+        w.usize(self.inner.word_index);
+        w.option(self.spare.as_ref(), |w, v| w.f64(*v));
+    }
+
+    /// Restores a generator serialised by [`SimRng::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<SimRng> {
+        let mut key = [0u32; 8];
+        for word in &mut key {
+            *word = r.u32()?;
+        }
+        let counter = r.u64()?;
+        let mut block = [0u32; 16];
+        for word in &mut block {
+            *word = r.u32()?;
+        }
+        let word_index = r.usize()?;
+        if word_index > 16 {
+            return Err(CodecError::Malformed("rng word index"));
+        }
+        let spare = r.option(|r| r.f64())?;
+        Ok(SimRng {
+            inner: ChaCha8 {
+                key,
+                counter,
+                block,
+                word_index,
+            },
+            spare,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +297,44 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(3);
         assert!(!(0..100).any(|_| rng.chance(0.0)));
         assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn encode_decode_resumes_mid_block_and_mid_box_muller() {
+        let mut rng = SimRng::seed_from_u64(1234);
+        // Burn an odd number of draws so both the keystream cursor and the
+        // Box-Muller spare are mid-flight.
+        for _ in 0..7 {
+            let _ = rng.uniform();
+        }
+        let _ = rng.standard_normal(); // leaves a spare cached
+
+        let mut w = ByteWriter::new();
+        rng.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut reader = ByteReader::new(&bytes);
+        let mut restored = SimRng::decode(&mut reader).unwrap();
+        reader.finish().unwrap();
+
+        for _ in 0..100 {
+            assert_eq!(rng.uniform().to_bits(), restored.uniform().to_bits());
+            assert_eq!(
+                rng.standard_normal().to_bits(),
+                restored.standard_normal().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_word_index() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let _ = rng.uniform();
+        let mut w = ByteWriter::new();
+        rng.encode(&mut w);
+        let mut bytes = w.into_bytes();
+        // word_index lives after key (32 bytes) + counter (8) + block (64).
+        bytes[104] = 200;
+        assert!(SimRng::decode(&mut ByteReader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -340,6 +340,126 @@ impl SensorDynamics {
         std::mem::size_of::<Self>()
             + self.last_gps.len() * std::mem::size_of::<Option<SensorValue>>()
     }
+
+    /// Serialises the dynamic sensor state for the persistent store.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        self.rng.encode(w);
+        w.seq(&self.last_gps, |w, fix| {
+            w.option(fix.as_ref(), |w, v| v.encode(w))
+        });
+        w.f64(self.last_gps_time);
+        w.f64(self.battery_remaining);
+    }
+
+    /// Restores state serialised by [`SensorDynamics::encode`].
+    pub fn decode(
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> crate::codec::CodecResult<SensorDynamics> {
+        Ok(SensorDynamics {
+            rng: SimRng::decode(r)?,
+            last_gps: r.seq(|r| r.option(SensorValue::decode))?,
+            last_gps_time: r.f64()?,
+            battery_remaining: r.f64()?,
+        })
+    }
+}
+
+impl SensorKind {
+    /// Serialises the kind as a one-byte tag (index into
+    /// [`SensorKind::ALL`]).
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        let tag = SensorKind::ALL
+            .iter()
+            .position(|k| k == self)
+            .expect("SensorKind::ALL covers every kind") as u8;
+        w.u8(tag);
+    }
+
+    /// Restores a kind serialised by [`SensorKind::encode`].
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> crate::codec::CodecResult<SensorKind> {
+        let tag = r.u8()? as usize;
+        SensorKind::ALL
+            .get(tag)
+            .copied()
+            .ok_or(crate::codec::CodecError::Malformed("sensor kind tag"))
+    }
+}
+
+impl SensorInstance {
+    /// Serialises the instance identifier.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        self.kind.encode(w);
+        w.u8(self.index);
+    }
+
+    /// Restores an identifier serialised by [`SensorInstance::encode`].
+    pub fn decode(
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> crate::codec::CodecResult<SensorInstance> {
+        Ok(SensorInstance {
+            kind: SensorKind::decode(r)?,
+            index: r.u8()?,
+        })
+    }
+}
+
+impl SensorValue {
+    /// Serialises the measurement (bit-exact) for the persistent store.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        match self {
+            SensorValue::Acceleration(v) => {
+                w.u8(0);
+                v.encode(w);
+            }
+            SensorValue::AngularRate(v) => {
+                w.u8(1);
+                v.encode(w);
+            }
+            SensorValue::GpsFix {
+                position,
+                velocity,
+                satellites,
+            } => {
+                w.u8(2);
+                position.encode(w);
+                velocity.encode(w);
+                w.u8(*satellites);
+            }
+            SensorValue::PressureAltitude(alt) => {
+                w.u8(3);
+                w.f64(*alt);
+            }
+            SensorValue::MagneticHeading(heading) => {
+                w.u8(4);
+                w.f64(*heading);
+            }
+            SensorValue::BatteryStatus { voltage, remaining } => {
+                w.u8(5);
+                w.f64(*voltage);
+                w.f64(*remaining);
+            }
+        }
+    }
+
+    /// Restores a measurement serialised by [`SensorValue::encode`].
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> crate::codec::CodecResult<SensorValue> {
+        Ok(match r.u8()? {
+            0 => SensorValue::Acceleration(Vec3::decode(r)?),
+            1 => SensorValue::AngularRate(Vec3::decode(r)?),
+            2 => SensorValue::GpsFix {
+                position: Vec3::decode(r)?,
+                velocity: Vec3::decode(r)?,
+                satellites: r.u8()?,
+            },
+            3 => SensorValue::PressureAltitude(r.f64()?),
+            4 => SensorValue::MagneticHeading(r.f64()?),
+            5 => SensorValue::BatteryStatus {
+                voltage: r.f64()?,
+                remaining: r.f64()?,
+            },
+            _ => return Err(crate::codec::CodecError::Malformed("sensor value tag")),
+        })
+    }
 }
 
 impl SensorSuite {

@@ -216,6 +216,68 @@ impl PackedStepOutput {
             + self.floats.len() * std::mem::size_of::<f64>()
             + self.satellites.len()
     }
+
+    /// Serialises the packed output (bit-exact) for the persistent store.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.f64(self.state.time);
+        self.state.position.encode(w);
+        self.state.velocity.encode(w);
+        self.state.acceleration.encode(w);
+        w.f64(self.state.heading);
+        w.bool(self.state.on_ground);
+        w.option(self.collision.as_ref(), |w, c| c.encode(w));
+        w.seq(&self.violated_fences, |w, i| w.usize(*i));
+        w.f64(self.time);
+        w.seq(&self.instances, |w, i| i.encode(w));
+        w.seq(&self.floats, |w, v| w.f64(*v));
+        w.bytes(&self.satellites);
+    }
+
+    /// Restores a packed output serialised by [`PackedStepOutput::encode`].
+    pub fn decode(
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> crate::codec::CodecResult<PackedStepOutput> {
+        Ok(PackedStepOutput {
+            state: PhysicalState {
+                time: r.f64()?,
+                position: Vec3::decode(r)?,
+                velocity: Vec3::decode(r)?,
+                acceleration: Vec3::decode(r)?,
+                heading: r.f64()?,
+                on_ground: r.bool()?,
+            },
+            collision: r.option(Collision::decode)?,
+            violated_fences: r.seq(|r| r.usize())?,
+            time: r.f64()?,
+            instances: r.seq(crate::sensors::SensorInstance::decode)?,
+            floats: r.seq(|r| r.f64())?,
+            satellites: r.bytes()?,
+        })
+        .and_then(|packed: PackedStepOutput| {
+            // Validate the fixed per-kind layout so a corrupt blob can
+            // never panic a later unpack().
+            use crate::sensors::SensorKind;
+            let mut expected_floats = 0usize;
+            let mut expected_sats = 0usize;
+            for instance in &packed.instances {
+                expected_floats += match instance.kind {
+                    SensorKind::Accelerometer | SensorKind::Gyroscope => 3,
+                    SensorKind::Gps => {
+                        expected_sats += 1;
+                        6
+                    }
+                    SensorKind::Barometer | SensorKind::Compass => 1,
+                    SensorKind::Battery => 2,
+                };
+            }
+            if packed.floats.len() != expected_floats || packed.satellites.len() != expected_sats {
+                return Err(crate::codec::CodecError::Malformed(
+                    "packed reading layout mismatch",
+                ));
+            }
+            Ok(packed)
+        })
+    }
 }
 
 /// A point-in-time capture of a [`Simulator`], taken mid-run by
@@ -338,6 +400,28 @@ impl SimDelta {
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Self>() - std::mem::size_of::<crate::sensors::SensorDynamics>()
             + self.sensors.approx_bytes()
+    }
+
+    /// Serialises the delta (bit-exact) for the persistent store.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        self.quad.encode(w);
+        self.sensors.encode(w);
+        w.f64(self.time);
+        w.u64(self.steps);
+        w.option(self.first_collision.as_ref(), |w, c| c.encode(w));
+        w.bool(self.was_airborne);
+    }
+
+    /// Restores a delta serialised by [`SimDelta::encode`].
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> crate::codec::CodecResult<SimDelta> {
+        Ok(SimDelta {
+            quad: crate::vehicle::QuadDynamics::decode(r)?,
+            sensors: crate::sensors::SensorDynamics::decode(r)?,
+            time: r.f64()?,
+            steps: r.u64()?,
+            first_collision: r.option(Collision::decode)?,
+            was_airborne: r.bool()?,
+        })
     }
 }
 

@@ -232,6 +232,45 @@ pub struct QuadDynamics {
     on_ground: bool,
 }
 
+impl QuadDynamics {
+    /// Serialises the dynamics (bit-exact) for the persistent store.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        for throttle in &self.motors.realized {
+            w.f64(*throttle);
+        }
+        w.f64(self.motors.time_constant);
+        self.state.position.encode(w);
+        self.state.velocity.encode(w);
+        self.state.acceleration.encode(w);
+        self.state.attitude.encode(w);
+        self.state.angular_velocity.encode(w);
+        w.bool(self.on_ground);
+    }
+
+    /// Restores dynamics serialised by [`QuadDynamics::encode`].
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> crate::codec::CodecResult<QuadDynamics> {
+        let mut realized = [0.0; MOTOR_COUNT];
+        for throttle in &mut realized {
+            *throttle = r.f64()?;
+        }
+        let time_constant = r.f64()?;
+        Ok(QuadDynamics {
+            motors: MotorBank {
+                realized,
+                time_constant,
+            },
+            state: RigidBodyState {
+                position: Vec3::decode(r)?,
+                velocity: Vec3::decode(r)?,
+                acceleration: Vec3::decode(r)?,
+                attitude: Quat::decode(r)?,
+                angular_velocity: Vec3::decode(r)?,
+            },
+            on_ground: r.bool()?,
+        })
+    }
+}
+
 impl Quadcopter {
     /// Creates a quadcopter resting on the ground at the origin.
     pub fn new(params: VehicleParams) -> Self {

@@ -8,6 +8,7 @@
 //! internally yields to the checker through the `step()` RPC.
 
 use avis_mavlite::{Message, MissionItem, MissionUploader, ProtocolMode, UploadState};
+use avis_sim::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 use avis_sim::Environment;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -28,6 +29,29 @@ impl WorkloadStatus {
     /// Whether the workload has finished (passed or failed).
     pub fn is_terminal(&self) -> bool {
         !matches!(self, WorkloadStatus::Running)
+    }
+
+    /// Serialise the status as a stable one-byte tag (plus the failure
+    /// reason for [`WorkloadStatus::Failed`]).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            WorkloadStatus::Running => w.u8(0),
+            WorkloadStatus::Passed => w.u8(1),
+            WorkloadStatus::Failed(why) => {
+                w.u8(2);
+                w.str(why);
+            }
+        }
+    }
+
+    /// Decode a status previously written by [`WorkloadStatus::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<WorkloadStatus> {
+        Ok(match r.u8()? {
+            0 => WorkloadStatus::Running,
+            1 => WorkloadStatus::Passed,
+            2 => WorkloadStatus::Failed(r.str()?),
+            _ => return Err(CodecError::Malformed("workload status tag")),
+        })
     }
 }
 
@@ -197,6 +221,100 @@ impl ScriptedWorkload {
             sent_command: false,
             waiting_ack: false,
         }
+    }
+
+    /// Serialise the runtime state — script progress, seen telemetry,
+    /// in-flight upload handshake — bit-exactly. The immutable script
+    /// (name, steps, environment, timeout) is *not* written: it is part
+    /// of the experiment configuration, so a persisted chain rebuilds it
+    /// from the config and re-attaches the runtime through
+    /// [`ScriptedWorkload::decode_runtime`]. Mission items inside an
+    /// in-flight upload ride through the mavlite wire codec
+    /// ([`avis_mavlite::encode_frame`]), reusing the protocol's framing
+    /// and CRC instead of a second item format.
+    pub fn encode_runtime(&self, w: &mut ByteWriter) {
+        w.usize(self.index);
+        w.option(self.step_started.as_ref(), |w, t| w.f64(*t));
+        self.status.encode(w);
+        let t = &self.telemetry;
+        w.f64(t.altitude);
+        w.f64(t.x);
+        w.f64(t.y);
+        w.bool(t.landed);
+        w.bool(t.armed);
+        w.bool(t.have_status);
+        w.bool(t.have_heartbeat);
+        w.option(self.uploader.as_ref(), |w, uploader| {
+            let parts = uploader.export_parts();
+            w.seq(&parts.items, |w, item| {
+                w.bytes(&avis_mavlite::encode_frame(
+                    &Message::MissionItemMsg { item: *item },
+                    0,
+                ));
+            });
+            let state_tag: u8 = match parts.state {
+                UploadState::NotStarted => 0,
+                UploadState::InProgress => 1,
+                UploadState::Accepted => 2,
+                UploadState::Rejected => 3,
+                UploadState::TimedOut => 4,
+            };
+            w.u8(state_tag);
+            w.u64(parts.timeout_ticks);
+            w.u64(parts.idle_ticks);
+        });
+        w.bool(self.sent_command);
+        w.bool(self.waiting_ack);
+    }
+
+    /// Rebuilds a workload from a template (`self`, providing the shared
+    /// immutable script) plus runtime state previously written by
+    /// [`ScriptedWorkload::encode_runtime`].
+    pub fn decode_runtime(&self, r: &mut ByteReader<'_>) -> CodecResult<ScriptedWorkload> {
+        let mut workload = self.fresh();
+        workload.index = r.usize()?;
+        workload.step_started = r.option(|r| r.f64())?;
+        workload.status = WorkloadStatus::decode(r)?;
+        workload.telemetry = SeenTelemetry {
+            altitude: r.f64()?,
+            x: r.f64()?,
+            y: r.f64()?,
+            landed: r.bool()?,
+            armed: r.bool()?,
+            have_status: r.bool()?,
+            have_heartbeat: r.bool()?,
+        };
+        workload.uploader = r.option(|r| {
+            let items = r.seq(|r| {
+                let frame = r.bytes()?;
+                let (msg, _seq, used) = avis_mavlite::decode_frame(&frame)
+                    .map_err(|_| CodecError::Malformed("uploader item frame"))?;
+                if used != frame.len() {
+                    return Err(CodecError::Malformed("uploader item frame length"));
+                }
+                match msg {
+                    Message::MissionItemMsg { item } => Ok(item),
+                    _ => Err(CodecError::Malformed("uploader item message")),
+                }
+            })?;
+            let state = match r.u8()? {
+                0 => UploadState::NotStarted,
+                1 => UploadState::InProgress,
+                2 => UploadState::Accepted,
+                3 => UploadState::Rejected,
+                4 => UploadState::TimedOut,
+                _ => return Err(CodecError::Malformed("upload state tag")),
+            };
+            Ok(MissionUploader::from_parts(avis_mavlite::UploaderParts {
+                items,
+                state,
+                timeout_ticks: r.u64()?,
+                idle_ticks: r.u64()?,
+            }))
+        })?;
+        workload.sent_command = r.bool()?;
+        workload.waiting_ack = r.bool()?;
+        Ok(workload)
     }
 
     fn absorb_telemetry(&mut self, incoming: &[Message]) {
@@ -635,6 +753,84 @@ mod tests {
         w.tick(&[], 0.6);
         let (_, s) = w.tick(&[], 0.7);
         assert_eq!(s, WorkloadStatus::Passed);
+    }
+
+    #[test]
+    fn runtime_codec_round_trips_mid_upload() {
+        use avis_sim::codec::{ByteReader, ByteWriter};
+
+        let items = square_mission(20.0, 20.0, true);
+        let template = WorkloadBuilder::new("t")
+            .upload_mission(items.clone())
+            .arm_system_completely()
+            .wait_altitude_above(10.0)
+            .pass_test()
+            .build();
+
+        // Drive the original halfway through the upload handshake so the
+        // capture carries a live uploader, telemetry and step state.
+        let mut original = template.fresh();
+        original.tick(&[], 0.0);
+        original.tick(&[Message::MissionRequest { seq: 0 }], 0.1);
+        original.tick(&[Message::MissionRequest { seq: 1 }], 0.2);
+        let status = Message::Status {
+            x: 1.0,
+            y: 2.0,
+            altitude: 3.0,
+            climb_rate: 0.0,
+            mission_seq: 0,
+            landed: false,
+        };
+        original.tick(&[status], 0.3);
+
+        let mut w = ByteWriter::new();
+        original.encode_runtime(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut restored = template.decode_runtime(&mut r).expect("decode");
+        r.finish().expect("no trailing bytes");
+
+        // Both copies must continue the handshake identically.
+        for (tick, incoming) in [
+            (0.4, vec![Message::MissionRequest { seq: 2 }]),
+            (0.5, vec![Message::MissionRequest { seq: 3 }]),
+            (0.6, vec![Message::MissionRequest { seq: 4 }]),
+            (0.7, vec![Message::MissionRequest { seq: 5 }]),
+            (0.8, vec![Message::MissionAck { accepted: true }]),
+            (0.9, Vec::new()),
+        ] {
+            let (out_a, s_a) = original.tick(&incoming, tick);
+            let (out_b, s_b) = restored.tick(&incoming, tick);
+            assert_eq!(out_a, out_b, "diverged at t = {tick}");
+            assert_eq!(s_a, s_b);
+        }
+        // Both should have advanced to (and sent) the Arm step.
+        let ack = Message::CommandAck {
+            command: avis_mavlite::CommandKind::Arm,
+            result: avis_mavlite::AckResult::Accepted,
+        };
+        let (out_a, s_a) = original.tick(&[ack], 1.0);
+        let (out_b, s_b) = restored.tick(&[ack], 1.0);
+        assert_eq!(out_a, out_b);
+        assert_eq!(s_a, s_b);
+        assert_eq!(s_a, WorkloadStatus::Running);
+    }
+
+    #[test]
+    fn runtime_decode_rejects_truncated_bytes() {
+        use avis_sim::codec::{ByteReader, ByteWriter};
+
+        let template = WorkloadBuilder::new("t").wait_time(1.0).build();
+        let mut original = template.fresh();
+        original.tick(&[], 0.0);
+        let mut w = ByteWriter::new();
+        original.encode_runtime(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let result = template.decode_runtime(&mut r).and_then(|_| r.finish());
+            assert!(result.is_err(), "cut at {cut} should fail");
+        }
     }
 
     #[test]

@@ -132,6 +132,12 @@ impl CampaignObserver for LivePrinter {
                 ..
             } => println!(">> done: {unsafe_conditions} unsafe conditions in {simulations} runs"),
             CampaignEvent::DegradedMode { reason } => println!("   ** degraded: {reason}"),
+            CampaignEvent::StoreHydrated {
+                chains, snapshots, ..
+            } => println!("   store: hydrated {chains} chains ({snapshots} snapshots)"),
+            CampaignEvent::StoreFlushed { chains, bytes, .. } => {
+                println!("   store: flushed {chains} chains ({bytes} bytes)")
+            }
         }
     }
 }

@@ -1,0 +1,312 @@
+//! Acceptance suite for the persistent snapshot store: a campaign that
+//! warm-starts from chains a previous *process* persisted must be
+//! bit-identical to a cold campaign — at parallelism 1 and 4, with and
+//! without link faults — and two campaigns flushing into one store root
+//! concurrently must never corrupt each other. Persistence is a
+//! wall-clock optimisation only; every test here pins that it is
+//! invisible in campaign observables.
+
+use avis::campaign::{Campaign, CampaignEvent, EventLog};
+use avis::checker::{Approach, Budget, CampaignResult};
+use avis::matrix::ScenarioMatrix;
+use avis::runner::ExperimentConfig;
+use avis::snapshot::CheckpointConfig;
+use avis_firmware::{BugId, BugSet, FirmwareProfile};
+use avis_hinj::{LinkDirection, LinkFaultKind, LinkFaultPlan, LinkFaultSpec, StormCommand};
+use avis_sim::SensorNoise;
+use avis_workload::auto_box_mission;
+use std::path::PathBuf;
+
+fn experiment() -> ExperimentConfig {
+    let bugs = BugSet::current_code_base(FirmwareProfile::ArduPilotLike);
+    let mut experiment =
+        ExperimentConfig::new(FirmwareProfile::ArduPilotLike, bugs, auto_box_mission());
+    experiment.noise = Some(SensorNoise::default());
+    experiment.max_duration = 110.0;
+    experiment
+}
+
+fn temp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("avis-store-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn campaign(parallelism: usize, store: Option<&PathBuf>) -> (CampaignResult, Vec<CampaignEvent>) {
+    let mut builder = Campaign::builder()
+        .experiment(experiment())
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(8))
+        .profiling_runs(1)
+        .parallelism(parallelism);
+    if let Some(root) = store {
+        builder = builder.snapshot_store(root.clone());
+    }
+    let mut log = EventLog::new();
+    let result = builder.build().run_with_observer(&mut log);
+    (result, log.into_events())
+}
+
+fn hydrated_chains(events: &[CampaignEvent]) -> u64 {
+    events
+        .iter()
+        .find_map(|e| match e {
+            CampaignEvent::StoreHydrated { chains, .. } => Some(*chains),
+            _ => None,
+        })
+        .expect("a store-backed campaign emits StoreHydrated")
+}
+
+fn flushed_chains(events: &[CampaignEvent]) -> u64 {
+    events
+        .iter()
+        .find_map(|e| match e {
+            CampaignEvent::StoreFlushed { chains, .. } => Some(*chains),
+            _ => None,
+        })
+        .expect("a store-backed campaign emits StoreFlushed")
+}
+
+#[test]
+fn persisted_warm_campaign_is_bit_identical_to_cold() {
+    // The headline acceptance: session 1 populates the store, session 2
+    // hydrates from disk and forks from last session's chains — and both
+    // produce exactly the cold result, at parallelism 1 and 4.
+    let (cold, _) = campaign(1, None);
+    assert!(
+        !cold.unsafe_conditions.is_empty(),
+        "the comparison should cover unsafe-condition bookkeeping"
+    );
+    for parallelism in [1, 4] {
+        let root = temp_root(&format!("warm-p{parallelism}"));
+
+        let (first, first_events) = campaign(parallelism, Some(&root));
+        assert_eq!(
+            cold, first,
+            "store-backed first session (parallelism {parallelism}) \
+             diverged from cold execution"
+        );
+        assert_eq!(
+            hydrated_chains(&first_events),
+            0,
+            "an empty store hydrates nothing"
+        );
+        assert!(
+            flushed_chains(&first_events) > 0,
+            "the first session should persist its chains: {first_events:?}"
+        );
+
+        let (second, second_events) = campaign(parallelism, Some(&root));
+        assert_eq!(
+            cold, second,
+            "persisted-warm session (parallelism {parallelism}) \
+             diverged from cold execution"
+        );
+        assert!(
+            hydrated_chains(&second_events) > 0,
+            "the second session should warm-start from disk: {second_events:?}"
+        );
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn persisted_warm_link_fault_campaign_matches_cold() {
+    // Same pin under a pinned link-fault environment: persisted chains
+    // carry live link-shim state (rng stream, in-flight queues), so a
+    // fork from a hydrated snapshot must replay the protocol defect
+    // exactly as a cold run does.
+    let arm_storm = || {
+        LinkFaultPlan::from_specs(vec![LinkFaultSpec::new(
+            LinkFaultKind::Storm {
+                command: StormCommand::Arm,
+                count: 8,
+            },
+            LinkDirection::ToVehicle,
+            40.0,
+        )])
+    };
+    let proto_experiment = || {
+        let mut experiment = ExperimentConfig::new(
+            FirmwareProfile::ArduPilotLike,
+            BugSet::only(BugId::ProtoDoubleArm),
+            auto_box_mission(),
+        );
+        experiment.noise = Some(SensorNoise::default());
+        experiment.max_duration = 110.0;
+        experiment
+    };
+    let run = |parallelism: usize, store: Option<&PathBuf>| {
+        let mut builder = Campaign::builder()
+            .experiment(proto_experiment())
+            .approach(Approach::Avis)
+            .link_faults(arm_storm())
+            .budget(Budget::simulations(6))
+            .profiling_runs(1)
+            .parallelism(parallelism);
+        if let Some(root) = store {
+            builder = builder.snapshot_store(root.clone());
+        }
+        builder.build().run()
+    };
+    let cold = run(1, None);
+    assert!(
+        cold.bugs_found().contains(&BugId::ProtoDoubleArm),
+        "the arm storm should reproduce PROTO-101: {:?}",
+        cold.bugs_found()
+    );
+    for parallelism in [1, 4] {
+        let root = temp_root(&format!("link-p{parallelism}"));
+        let first = run(parallelism, Some(&root));
+        assert_eq!(
+            cold, first,
+            "store-backed link-fault session (parallelism {parallelism}) \
+             diverged from cold execution"
+        );
+        let warm = run(parallelism, Some(&root));
+        assert_eq!(
+            cold, warm,
+            "persisted-warm link-fault session (parallelism {parallelism}) \
+             diverged from cold execution"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn concurrent_campaigns_share_one_store_root_safely() {
+    // Two campaigns over the same experiment flushing into one store
+    // root at once: content-addressed blobs make racing writes
+    // idempotent and the manifest merge is atomic (tmp + rename), so
+    // both campaigns produce the cold result and the store stays fully
+    // hydratable afterwards.
+    let (cold, _) = campaign(1, None);
+    let root = temp_root("concurrent");
+    let (a, b) = std::thread::scope(|scope| {
+        let root_a = root.clone();
+        let root_b = root.clone();
+        let ta = scope.spawn(move || campaign(2, Some(&root_a)).0);
+        let tb = scope.spawn(move || campaign(2, Some(&root_b)).0);
+        (
+            ta.join().expect("campaign a"),
+            tb.join().expect("campaign b"),
+        )
+    });
+    assert_eq!(cold, a, "concurrent campaign A diverged from cold");
+    assert_eq!(cold, b, "concurrent campaign B diverged from cold");
+
+    // The store the two campaigns raced on still warm-starts a third,
+    // and the third still reproduces the cold result.
+    let (third, events) = campaign(1, Some(&root));
+    assert_eq!(cold, third, "post-race warm session diverged from cold");
+    assert!(
+        hydrated_chains(&events) > 0,
+        "the post-race store should still hydrate: {events:?}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn store_keys_experiments_apart_by_fingerprint() {
+    // Two *different* experiments sharing one store root never see each
+    // other's chains: each hydrates only from its own
+    // fingerprint-keyed cell.
+    let root = temp_root("fingerprint");
+    let (_, first_events) = campaign(1, Some(&root));
+    assert!(flushed_chains(&first_events) > 0);
+
+    // A different bug set → different fingerprint → fresh cell.
+    let mut other = experiment();
+    other.bugs = BugSet::none();
+    let mut log = EventLog::new();
+    Campaign::builder()
+        .experiment(other)
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(4))
+        .profiling_runs(1)
+        .parallelism(1)
+        .snapshot_store(root.clone())
+        .build()
+        .run_with_observer(&mut log);
+    assert_eq!(
+        hydrated_chains(log.events()),
+        0,
+        "a foreign experiment must not hydrate this experiment's chains"
+    );
+    // Two fingerprint cells now live under the root.
+    let cells = std::fs::read_dir(&root).unwrap().count();
+    assert_eq!(cells, 2, "each experiment gets its own store cell");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn matrix_with_persistent_store_reproduces_the_storeless_report() {
+    // The ScenarioMatrix integration: a matrix re-run against a store
+    // root warm-starts every firmware × workload cell from its own
+    // fingerprint-keyed chains and still reproduces the storeless
+    // report exactly.
+    let run = |store: Option<&PathBuf>| {
+        let mut matrix = ScenarioMatrix::new()
+            .firmware(FirmwareProfile::ArduPilotLike)
+            .workload(auto_box_mission())
+            .approaches([Approach::Avis, Approach::Bfi])
+            .budget(Budget::simulations(5))
+            .profiling_runs(1)
+            .parallelism(2)
+            .max_duration(110.0)
+            .noise(SensorNoise::default());
+        if let Some(root) = store {
+            matrix = matrix.snapshot_store(root.clone());
+        }
+        matrix.run()
+    };
+    let storeless = run(None);
+    let root = temp_root("matrix");
+    let first = run(Some(&root));
+    assert_eq!(
+        storeless, first,
+        "store-backed matrix diverged from the storeless report"
+    );
+    let warm = run(Some(&root));
+    assert_eq!(
+        storeless, warm,
+        "persisted-warm matrix diverged from the storeless report"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn store_survives_checkpointing_disabled() {
+    // A store configured alongside disabled checkpointing is inert: no
+    // tier exists, so no Store events fire and the campaign still
+    // matches cold execution.
+    let root = temp_root("disabled");
+    let mut log = EventLog::new();
+    let result = Campaign::builder()
+        .experiment(experiment())
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(6))
+        .profiling_runs(1)
+        .parallelism(1)
+        .checkpoints(CheckpointConfig::disabled())
+        .snapshot_store(root.clone())
+        .build()
+        .run_with_observer(&mut log);
+    let cold = Campaign::builder()
+        .experiment(experiment())
+        .approach(Approach::Avis)
+        .budget(Budget::simulations(6))
+        .profiling_runs(1)
+        .parallelism(1)
+        .build()
+        .run();
+    assert_eq!(cold, result, "an inert store changed a campaign result");
+    assert!(
+        !log.events()
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::StoreHydrated { .. })),
+        "no tier, no hydration"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
